@@ -1,0 +1,397 @@
+//! Set-associative caches with LRU replacement and way-partitioning
+//! (columnization, paper §6.2 / Chiou et al.).
+
+/// Result of a cache access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AccessResult {
+    /// Line present.
+    Hit,
+    /// Line absent; it has been filled.
+    Miss,
+}
+
+/// One set-associative cache (or one bank of a banked cache).
+///
+/// # Examples
+///
+/// ```
+/// use parallax_archsim::cache::{Cache, AccessResult};
+///
+/// let mut c = Cache::new(32 * 1024, 4, 64);
+/// assert_eq!(c.access(0x1000, 0), AccessResult::Miss);
+/// assert_eq!(c.access(0x1000, 0), AccessResult::Hit);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Cache {
+    sets: usize,
+    assoc: usize,
+    line: u64,
+    /// tags[set * assoc + way]; `u64::MAX` = invalid.
+    tags: Vec<u64>,
+    /// LRU stamps, larger = more recent.
+    stamps: Vec<u64>,
+    /// Partition owning each way-slot's line (for partition-aware
+    /// replacement); `u8::MAX` = unowned.
+    owners: Vec<u8>,
+    clock: u64,
+    /// When set, partition p may replace only in ways
+    /// `[way_start[p], way_start[p] + way_count[p])`.
+    partition_ranges: Option<Vec<(usize, usize)>>,
+    hits: u64,
+    misses: u64,
+}
+
+impl Cache {
+    /// Creates a cache of `bytes` capacity, `assoc` ways and `line`-byte
+    /// lines.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometry is degenerate (zero sets).
+    pub fn new(bytes: usize, assoc: usize, line: u64) -> Cache {
+        let sets = bytes / (assoc * line as usize);
+        assert!(sets > 0, "cache too small for its associativity");
+        // Sets need not be a power of two (e.g. 12 MB L2); we use modulo
+        // indexing.
+        Cache {
+            sets,
+            assoc,
+            line,
+            tags: vec![u64::MAX; sets * assoc],
+            stamps: vec![0; sets * assoc],
+            owners: vec![u8::MAX; sets * assoc],
+            clock: 0,
+            partition_ranges: None,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Restricts replacement by partition: `ways[p]` consecutive ways per
+    /// set belong to partition `p`. Unassigned ways are usable by
+    /// partition ids beyond the table (treated as sharing the remainder).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the assignment exceeds the associativity.
+    pub fn set_partitions(&mut self, ways: &[usize]) {
+        let total: usize = ways.iter().sum();
+        assert!(total <= self.assoc, "partition ways exceed associativity");
+        assert!(
+            ways.iter().all(|&w| w >= 1),
+            "every partition needs at least one way (0 would silently \
+             fall back to the whole set)"
+        );
+        let mut ranges = Vec::with_capacity(ways.len() + 1);
+        let mut start = 0;
+        for &w in ways {
+            ranges.push((start, w));
+            start += w;
+        }
+        // Partition ids beyond the table share the leftover ways, or the
+        // whole set when every way is assigned.
+        let rem = self.assoc - total;
+        if rem > 0 {
+            ranges.push((start, rem));
+        } else {
+            ranges.push((0, self.assoc));
+        }
+        self.partition_ranges = Some(ranges);
+    }
+
+    #[inline]
+    fn set_of(&self, addr: u64) -> usize {
+        ((addr / self.line) % self.sets as u64) as usize
+    }
+
+    #[inline]
+    fn tag_of(&self, addr: u64) -> u64 {
+        addr / self.line / self.sets as u64
+    }
+
+    /// Accesses `addr` on behalf of `partition`. Lookup checks all ways;
+    /// on a miss, the victim is chosen within the partition's ways when
+    /// partitioning is enabled.
+    pub fn access(&mut self, addr: u64, partition: u8) -> AccessResult {
+        self.clock += 1;
+        let set = self.set_of(addr);
+        let tag = self.tag_of(addr);
+        let base = set * self.assoc;
+
+        // Hit check across every way (partitioning restricts replacement,
+        // not lookup).
+        for w in 0..self.assoc {
+            if self.tags[base + w] == tag {
+                self.stamps[base + w] = self.clock;
+                self.hits += 1;
+                return AccessResult::Hit;
+            }
+        }
+        self.misses += 1;
+
+        // Victim selection (zero-way ranges are rejected at construction,
+        // so every range here is non-empty).
+        let (start, count) = match &self.partition_ranges {
+            Some(ranges) => ranges[(partition as usize).min(ranges.len() - 1)],
+            None => (0, self.assoc),
+        };
+        let mut victim = start;
+        let mut oldest = u64::MAX;
+        for w in start..(start + count).min(self.assoc) {
+            if self.tags[base + w] == u64::MAX {
+                victim = w;
+                break;
+            }
+            if self.stamps[base + w] < oldest {
+                oldest = self.stamps[base + w];
+                victim = w;
+            }
+        }
+        self.tags[base + victim] = tag;
+        self.stamps[base + victim] = self.clock;
+        self.owners[base + victim] = partition;
+        AccessResult::Miss
+    }
+
+    /// Invalidates the line containing `addr` if resident (coherence).
+    pub fn invalidate(&mut self, addr: u64) {
+        let set = self.set_of(addr);
+        let tag = self.tag_of(addr);
+        let base = set * self.assoc;
+        for w in 0..self.assoc {
+            if self.tags[base + w] == tag {
+                self.tags[base + w] = u64::MAX;
+                self.stamps[base + w] = 0;
+                self.owners[base + w] = u8::MAX;
+            }
+        }
+    }
+
+    /// Returns `true` without updating state if `addr` is resident.
+    pub fn probe(&self, addr: u64) -> bool {
+        let set = self.set_of(addr);
+        let tag = self.tag_of(addr);
+        let base = set * self.assoc;
+        (0..self.assoc).any(|w| self.tags[base + w] == tag)
+    }
+
+    /// (hits, misses) so far.
+    pub fn stats(&self) -> (u64, u64) {
+        (self.hits, self.misses)
+    }
+
+    /// Resets statistics but keeps cache contents.
+    pub fn reset_stats(&mut self) {
+        self.hits = 0;
+        self.misses = 0;
+    }
+
+    /// Invalidates everything (cold cache).
+    pub fn flush(&mut self) {
+        self.tags.fill(u64::MAX);
+        self.stamps.fill(0);
+        self.owners.fill(u8::MAX);
+    }
+
+    /// Capacity in bytes.
+    pub fn bytes(&self) -> usize {
+        self.sets * self.assoc * self.line as usize
+    }
+}
+
+/// A multi-bank cache: line-interleaved across `banks` banks.
+#[derive(Debug, Clone)]
+pub struct BankedCache {
+    banks: Vec<Cache>,
+    line: u64,
+}
+
+impl BankedCache {
+    /// Creates `banks` banks of `bank_bytes` each.
+    pub fn new(banks: usize, bank_bytes: usize, assoc: usize, line: u64) -> BankedCache {
+        BankedCache {
+            banks: (0..banks.max(1))
+                .map(|_| Cache::new(bank_bytes, assoc, line))
+                .collect(),
+            line,
+        }
+    }
+
+    /// Applies way-partitioning to every bank.
+    pub fn set_partitions(&mut self, ways: &[usize]) {
+        for b in &mut self.banks {
+            b.set_partitions(ways);
+        }
+    }
+
+    /// Which bank serves `addr`.
+    pub fn bank_of(&self, addr: u64) -> usize {
+        ((addr / self.line) % self.banks.len() as u64) as usize
+    }
+
+    /// Bank-local address: lines are interleaved across banks, so within a
+    /// bank consecutive resident lines are `banks` lines apart globally.
+    /// Folding by the bank count lets every bank use all of its sets.
+    fn local_addr(&self, addr: u64) -> u64 {
+        let line_id = addr / self.line;
+        (line_id / self.banks.len() as u64) * self.line + (addr % self.line)
+    }
+
+    /// Accesses the line through its bank.
+    pub fn access(&mut self, addr: u64, partition: u8) -> AccessResult {
+        let b = self.bank_of(addr);
+        let local = self.local_addr(addr);
+        self.banks[b].access(local, partition)
+    }
+
+    /// Probes without side effects.
+    pub fn probe(&self, addr: u64) -> bool {
+        self.banks[self.bank_of(addr)].probe(self.local_addr(addr))
+    }
+
+    /// Aggregate (hits, misses).
+    pub fn stats(&self) -> (u64, u64) {
+        self.banks
+            .iter()
+            .map(|b| b.stats())
+            .fold((0, 0), |(h, m), (bh, bm)| (h + bh, m + bm))
+    }
+
+    /// Resets statistics on every bank.
+    pub fn reset_stats(&mut self) {
+        for b in &mut self.banks {
+            b.reset_stats();
+        }
+    }
+
+    /// Invalidates every bank.
+    pub fn flush(&mut self) {
+        for b in &mut self.banks {
+            b.flush();
+        }
+    }
+
+    /// Number of banks.
+    pub fn bank_count(&self) -> usize {
+        self.banks.len()
+    }
+
+    /// Total capacity in bytes.
+    pub fn bytes(&self) -> usize {
+        self.banks.iter().map(|b| b.bytes()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_after_fill() {
+        let mut c = Cache::new(1024, 2, 64);
+        assert_eq!(c.access(0, 0), AccessResult::Miss);
+        assert_eq!(c.access(0, 0), AccessResult::Hit);
+        assert_eq!(c.access(32, 0), AccessResult::Hit, "same line");
+        assert_eq!(c.stats(), (2, 1));
+    }
+
+    #[test]
+    fn lru_evicts_oldest() {
+        // 2-way cache: three conflicting lines evict the least recent.
+        let mut c = Cache::new(2 * 64, 2, 64); // 1 set, 2 ways
+        c.access(0, 0);
+        c.access(64, 0);
+        c.access(0, 0); // refresh line 0
+        c.access(128, 0); // evicts line 64
+        assert!(c.probe(0));
+        assert!(!c.probe(64));
+        assert!(c.probe(128));
+    }
+
+    #[test]
+    fn capacity_miss_behavior() {
+        // Working set larger than capacity thrashes; smaller fits.
+        let mut c = Cache::new(4 * 1024, 4, 64);
+        let lines = 4 * 1024 / 64;
+        for pass in 0..3 {
+            for i in 0..(lines as u64) * 2 {
+                c.access(i * 64, 0);
+            }
+            let _ = pass;
+        }
+        let (h, m) = c.stats();
+        assert!(m > h, "2x working set must thrash: {h} hits {m} misses");
+
+        let mut c2 = Cache::new(4 * 1024, 4, 64);
+        for _ in 0..3 {
+            for i in 0..(lines as u64) / 2 {
+                c2.access(i * 64, 0);
+            }
+        }
+        let (h2, m2) = c2.stats();
+        assert!(h2 >= m2 * 2, "half working set must mostly hit: {h2} hits {m2} misses");
+    }
+
+    #[test]
+    fn partitioned_replacement_protects_other_partition() {
+        // 4-way, 1 set. Partition 0 gets 2 ways, partition 1 gets 2 ways.
+        let mut c = Cache::new(4 * 64, 4, 64);
+        c.set_partitions(&[2, 2]);
+        // Partition 0 loads two lines.
+        c.access(0, 0);
+        c.access(256, 0);
+        // Partition 1 streams many lines; partition 0's data must survive.
+        for i in 0..100u64 {
+            c.access(64 * (1000 + i), 1);
+        }
+        assert!(c.probe(0), "partition 0 line evicted by partition 1");
+        assert!(c.probe(256));
+    }
+
+    #[test]
+    fn lookup_hits_across_partitions() {
+        let mut c = Cache::new(4 * 64, 4, 64);
+        c.set_partitions(&[2, 2]);
+        c.access(0, 0);
+        // Partition 1 can *hit* on partition 0's line.
+        assert_eq!(c.access(0, 1), AccessResult::Hit);
+    }
+
+    #[test]
+    fn banked_cache_distributes_lines() {
+        let mut b = BankedCache::new(4, 1024, 4, 64);
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..8u64 {
+            seen.insert(b.bank_of(i * 64));
+            b.access(i * 64, 0);
+        }
+        assert_eq!(seen.len(), 4, "consecutive lines hit all banks");
+        assert_eq!(b.stats().1, 8);
+        for i in 0..8u64 {
+            assert_eq!(b.access(i * 64, 0), AccessResult::Hit);
+        }
+    }
+
+    #[test]
+    fn flush_empties_cache() {
+        let mut c = Cache::new(1024, 2, 64);
+        c.access(0, 0);
+        c.flush();
+        assert!(!c.probe(0));
+    }
+
+    #[test]
+    fn non_power_of_two_sets_work() {
+        // 12 KB, 4-way, 64B lines → 48 sets. 100 lines (≈2 per set) fit.
+        let mut c = Cache::new(12 * 1024, 4, 64);
+        for i in 0..100u64 {
+            c.access(i * 64, 0);
+        }
+        for i in 0..100u64 {
+            c.access(i * 64, 0);
+        }
+        let (h, _) = c.stats();
+        assert!(h > 0);
+        assert_eq!(c.bytes(), 12 * 1024);
+    }
+}

@@ -1,0 +1,122 @@
+//! The on-chip 2-D mesh interconnect (paper §5.1).
+//!
+//! Parameters from the paper's Polaris-derived model at 90 nm: 1-cycle
+//! per-hop link delay, a 5-cycle router pipeline, 64-bit flits with an
+//! 8-bit header (56-bit payload), and four virtual channels.
+
+use serde::{Deserialize, Serialize};
+
+/// A `w × h` 2-D mesh of tiles.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct Mesh2D {
+    /// Tiles along X.
+    pub width: usize,
+    /// Tiles along Y.
+    pub height: usize,
+    /// Link traversal cycles per hop (paper: 1).
+    pub link_cycles: u64,
+    /// Router pipeline depth in cycles (paper: 5).
+    pub router_cycles: u64,
+    /// Flit size in bits (paper: 64).
+    pub flit_bits: u64,
+    /// Header bits per packet (paper: 8).
+    pub header_bits: u64,
+    /// Virtual channels (paper: 4) — scales sustainable throughput.
+    pub virtual_channels: usize,
+}
+
+impl Mesh2D {
+    /// A mesh just large enough for `tiles` tiles (near-square).
+    pub fn for_tiles(tiles: usize) -> Mesh2D {
+        let w = (tiles as f64).sqrt().ceil().max(1.0) as usize;
+        let h = tiles.div_ceil(w).max(1);
+        Mesh2D {
+            width: w,
+            height: h,
+            link_cycles: 1,
+            router_cycles: 5,
+            flit_bits: 64,
+            header_bits: 8,
+            virtual_channels: 4,
+        }
+    }
+
+    /// XY-routing hop count between tile indices (row-major).
+    pub fn hops(&self, from: usize, to: usize) -> u64 {
+        let (fx, fy) = (from % self.width, from / self.width);
+        let (tx, ty) = (to % self.width, to / self.width);
+        (fx.abs_diff(tx) + fy.abs_diff(ty)) as u64
+    }
+
+    /// Average hop count over all tile pairs (≈ (w+h)/3 for a mesh).
+    pub fn average_hops(&self) -> f64 {
+        (self.width as f64 + self.height as f64) / 3.0
+    }
+
+    /// Flits needed for a `bytes`-byte message (payload = flit −
+    /// header bits).
+    pub fn flits(&self, bytes: u64) -> u64 {
+        let payload = self.flit_bits - self.header_bits;
+        (bytes * 8).div_ceil(payload).max(1)
+    }
+
+    /// Latency of one `bytes`-byte packet over `hops` hops: per-hop link +
+    /// router delays for the head flit plus serialization of the body.
+    pub fn packet_latency(&self, bytes: u64, hops: u64) -> u64 {
+        let head = hops * (self.link_cycles + self.router_cycles);
+        head + self.flits(bytes) - 1
+    }
+
+    /// Latency using the average hop distance.
+    pub fn average_latency(&self, bytes: u64) -> u64 {
+        self.packet_latency(bytes, self.average_hops().round() as u64)
+    }
+
+    /// Peak bandwidth of one link in bytes/cycle (payload bits per flit
+    /// per cycle).
+    pub fn link_bandwidth(&self) -> f64 {
+        (self.flit_bits - self.header_bits) as f64 / 8.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn for_tiles_covers_requested_count() {
+        for n in [1, 4, 30, 43, 150] {
+            let m = Mesh2D::for_tiles(n);
+            assert!(m.width * m.height >= n, "{n} tiles");
+        }
+    }
+
+    #[test]
+    fn xy_routing_hops() {
+        let m = Mesh2D::for_tiles(16); // 4x4
+        assert_eq!(m.hops(0, 0), 0);
+        assert_eq!(m.hops(0, 3), 3);
+        assert_eq!(m.hops(0, 15), 6);
+        assert_eq!(m.hops(5, 10), 2);
+    }
+
+    #[test]
+    fn packet_latency_scales_with_size_and_distance() {
+        let m = Mesh2D::for_tiles(16);
+        let small_near = m.packet_latency(8, 1);
+        let small_far = m.packet_latency(8, 6);
+        let big_near = m.packet_latency(512, 1);
+        assert!(small_far > small_near);
+        assert!(big_near > small_near);
+        // Head-flit latency: hops × (1 + 5).
+        assert_eq!(m.packet_latency(7, 4), 4 * 6);
+    }
+
+    #[test]
+    fn flit_count_uses_56bit_payload() {
+        let m = Mesh2D::for_tiles(4);
+        assert_eq!(m.flits(7), 1);
+        assert_eq!(m.flits(8), 2); // 64 bits > 56-bit payload
+        assert_eq!(m.flits(56), 8);
+    }
+}

@@ -1,0 +1,106 @@
+//! Off-chip interconnects: HyperTransport (HTX) and PCI Express (paper
+//! §5.1/§7.2).
+//!
+//! PCIe: "a system interconnect with a maximum half-duplex bandwidth of
+//! 4 GB/s, used by both GPUs and PhysX." HTX: "a co-processor interconnect
+//! with a maximum half-duplex bandwidth of 20.8 GB/s."
+
+use serde::{Deserialize, Serialize};
+
+/// An interconnect between the CG cores and the FG pool.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Link {
+    /// On-chip 2-D mesh (tight coupling).
+    OnChipMesh,
+    /// HyperTransport co-processor link.
+    Htx,
+    /// PCI Express system bus.
+    Pcie,
+}
+
+impl Link {
+    /// All three alternatives in the paper's order.
+    pub const ALL: [Link; 3] = [Link::OnChipMesh, Link::Htx, Link::Pcie];
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Link::OnChipMesh => "On-chip",
+            Link::Htx => "HTX",
+            Link::Pcie => "PCIe",
+        }
+    }
+
+    /// Half-duplex bandwidth in bytes per second.
+    pub fn bandwidth_bytes_per_sec(self) -> f64 {
+        match self {
+            // On-chip mesh: one 56-bit payload per cycle per link at 2 GHz.
+            Link::OnChipMesh => 7.0 * 2.0e9,
+            Link::Htx => 20.8e9,
+            Link::Pcie => 4.0e9,
+        }
+    }
+
+    /// One-way latency in core cycles at 2 GHz.
+    ///
+    /// On-chip: a handful of mesh hops. HTX: a co-processor hop
+    /// (~65 ns). PCIe: a full system-bus round (~350 ns) — the ~12×
+    /// on-chip-to-PCIe ratio reflected in the paper's Table 7 task
+    /// requirements.
+    pub fn latency_cycles(self) -> u64 {
+        match self {
+            Link::OnChipMesh => 60,
+            Link::Htx => 135,
+            Link::Pcie => 700,
+        }
+    }
+
+    /// Cycles to transfer `bytes` one way, latency + serialization at
+    /// 2 GHz.
+    pub fn transfer_cycles(self, bytes: u64) -> u64 {
+        let ser = (bytes as f64) / self.bandwidth_bytes_per_sec() * 2.0e9;
+        self.latency_cycles() + ser.ceil() as u64
+    }
+
+    /// Seconds to transfer `bytes` one way.
+    pub fn transfer_seconds(self, bytes: u64) -> f64 {
+        self.transfer_cycles(bytes) as f64 / 2.0e9
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latency_ordering() {
+        assert!(Link::OnChipMesh.latency_cycles() < Link::Htx.latency_cycles());
+        assert!(Link::Htx.latency_cycles() < Link::Pcie.latency_cycles());
+    }
+
+    #[test]
+    fn bandwidth_matches_paper() {
+        assert_eq!(Link::Htx.bandwidth_bytes_per_sec(), 20.8e9);
+        assert_eq!(Link::Pcie.bandwidth_bytes_per_sec(), 4.0e9);
+    }
+
+    #[test]
+    fn pcie_frame_sync_cost_matches_paper_estimate() {
+        // Paper §8.3: communicating 1,000 object poses (60 B), 10,000
+        // particle positions (12 B) and 5,000 mesh vertices (12 B) over
+        // PCIe takes ~0.00006 s.
+        let bytes = 1_000 * 60 + 10_000 * 12 + 5_000 * 12;
+        let t = Link::Pcie.transfer_seconds(bytes);
+        assert!(
+            (3e-5..1.2e-4).contains(&t),
+            "frame sync {t} s, paper says ~6e-5"
+        );
+    }
+
+    #[test]
+    fn serialization_grows_with_size() {
+        let small = Link::Htx.transfer_cycles(64);
+        let big = Link::Htx.transfer_cycles(64 * 1024);
+        assert!(big > small);
+    }
+}

@@ -1,0 +1,126 @@
+//! Property-based tests for the architecture simulator's data structures.
+
+use parallax_archsim::cache::{AccessResult, BankedCache, Cache};
+use parallax_archsim::mesh::Mesh2D;
+use parallax_archsim::yags::Yags;
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn cache_inclusion_after_access(addrs in prop::collection::vec(0u64..1_000_000, 1..200)) {
+        // The most recently accessed line is always resident.
+        let mut c = Cache::new(4 * 1024, 4, 64);
+        for &a in &addrs {
+            c.access(a, 0);
+            prop_assert!(c.probe(a), "line {a:#x} missing right after access");
+        }
+    }
+
+    #[test]
+    fn cache_hit_plus_miss_equals_accesses(addrs in prop::collection::vec(0u64..100_000, 1..300)) {
+        let mut c = Cache::new(2 * 1024, 2, 64);
+        for &a in &addrs {
+            c.access(a, 0);
+        }
+        let (h, m) = c.stats();
+        prop_assert_eq!(h + m, addrs.len() as u64);
+    }
+
+    #[test]
+    fn repeated_single_line_always_hits_after_first(addr in 0u64..1_000_000, n in 2usize..50) {
+        let mut c = Cache::new(1024, 2, 64);
+        c.access(addr, 0);
+        for _ in 1..n {
+            prop_assert_eq!(c.access(addr, 0), AccessResult::Hit);
+        }
+    }
+
+    #[test]
+    fn banked_cache_agrees_with_itself_on_residency(
+        addrs in prop::collection::vec(0u64..10_000_000, 1..300)
+    ) {
+        // probe() must agree with a subsequent access being a hit.
+        let mut b = BankedCache::new(4, 64 * 1024, 4, 64);
+        for &a in &addrs {
+            b.access(a, 0);
+        }
+        for &a in addrs.iter().rev().take(3) {
+            if b.probe(a) {
+                prop_assert_eq!(b.access(a, 0), AccessResult::Hit);
+            }
+        }
+    }
+
+    #[test]
+    fn working_set_within_capacity_converges_to_hits(
+        lines in 1usize..30, passes in 2usize..6
+    ) {
+        // Any working set smaller than half the capacity must stop missing
+        // after the first pass (LRU with enough associativity).
+        let mut c = Cache::new(16 * 1024, 8, 64);
+        let addrs: Vec<u64> = (0..lines as u64).map(|i| i * 64).collect();
+        for &a in &addrs {
+            c.access(a, 0);
+        }
+        c.reset_stats();
+        for _ in 1..passes {
+            for &a in &addrs {
+                c.access(a, 0);
+            }
+        }
+        let (_, m) = c.stats();
+        prop_assert_eq!(m, 0, "resident working set must not miss");
+    }
+
+    #[test]
+    fn partitioned_cache_never_loses_lookup_correctness(
+        addrs in prop::collection::vec(0u64..100_000, 1..200),
+        parts in prop::collection::vec(0u8..3, 1..200)
+    ) {
+        // Partitioning restricts replacement, not correctness: a line
+        // reported resident must hit for every partition id.
+        let mut c = Cache::new(4 * 1024, 4, 64);
+        c.set_partitions(&[1, 2, 1]);
+        for (i, &a) in addrs.iter().enumerate() {
+            let p = parts[i % parts.len()];
+            c.access(a, p);
+            prop_assert!(c.probe(a));
+        }
+    }
+
+    #[test]
+    fn mesh_hops_form_a_metric(tiles in 2usize..64, a in 0usize..64, b in 0usize..64, c in 0usize..64) {
+        let m = Mesh2D::for_tiles(tiles);
+        let n = m.width * m.height;
+        let (a, b, c) = (a % n, b % n, c % n);
+        prop_assert_eq!(m.hops(a, a), 0);
+        prop_assert_eq!(m.hops(a, b), m.hops(b, a), "symmetry");
+        prop_assert!(m.hops(a, c) <= m.hops(a, b) + m.hops(b, c), "triangle inequality");
+    }
+
+    #[test]
+    fn mesh_latency_monotone_in_size(bytes in 1u64..4096, hops in 0u64..12) {
+        let m = Mesh2D::for_tiles(16);
+        prop_assert!(m.packet_latency(bytes + 64, hops) >= m.packet_latency(bytes, hops));
+        prop_assert!(m.packet_latency(bytes, hops + 1) >= m.packet_latency(bytes, hops));
+    }
+
+    #[test]
+    fn yags_never_panics_and_learns_constants(pcs in prop::collection::vec(0u64..1_000_000, 10..100)) {
+        let mut y = Yags::with_budget(4096);
+        // Arbitrary PC stream with constant outcome: accuracy must exceed 90%
+        // after warm-up (several passes so the 2-bit counters saturate).
+        for _ in 0..3 {
+            for &pc in &pcs {
+                y.predict_and_update(pc, true);
+            }
+        }
+        let mut correct = 0;
+        for &pc in &pcs {
+            if y.predict_and_update(pc, true) {
+                correct += 1;
+            }
+        }
+        prop_assert!(correct as f64 / pcs.len() as f64 > 0.9);
+    }
+}

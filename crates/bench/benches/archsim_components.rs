@@ -1,0 +1,81 @@
+//! Criterion benchmarks for the architecture simulator's components.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId as CritId, Criterion};
+use parallax_archsim::cache::{BankedCache, Cache};
+use parallax_archsim::config::{CoreConfig, MachineConfig};
+use parallax_archsim::core::CoreModel;
+use parallax_archsim::hierarchy::Hierarchy;
+use parallax_archsim::yags::Yags;
+use parallax_trace::{Kernel, TaskTrace};
+
+fn bench_cache(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cache");
+    group.bench_function("l1_32k_hits", |b| {
+        let mut cache = Cache::new(32 * 1024, 4, 64);
+        for i in 0..256u64 {
+            cache.access(i * 64, 0);
+        }
+        let mut i = 0u64;
+        b.iter(|| {
+            i = (i + 1) % 256;
+            cache.access(i * 64, 0)
+        });
+    });
+    group.bench_function("l2_4mb_stream", |b| {
+        let mut l2 = BankedCache::new(4, 1024 * 1024, 4, 64);
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 64;
+            l2.access(i % (16 * 1024 * 1024), 0)
+        });
+    });
+    group.finish();
+}
+
+fn bench_yags(c: &mut Criterion) {
+    let mut group = c.benchmark_group("yags");
+    for kb in [1usize, 17, 64] {
+        group.bench_with_input(CritId::new("predict_update", kb), &kb, |b, &kb| {
+            let mut y = Yags::with_budget(kb * 1024);
+            let mut i = 0u64;
+            b.iter(|| {
+                i += 1;
+                y.predict_and_update(0x1000 + (i % 32) * 4, !i.is_multiple_of(7))
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_core_model(c: &mut Criterion) {
+    let mut group = c.benchmark_group("core_model");
+    let task = TaskTrace {
+        ops: parallax_trace::kernels::KernelModel::island_solver(100, 20, 10),
+        reads: vec![],
+        writes: vec![],
+        fg_subtasks: 1,
+    };
+    for cfg in [CoreConfig::desktop(), CoreConfig::shader()] {
+        let mut model = CoreModel::new(cfg);
+        // Prime the mispredict table outside the timing loop.
+        let _ = model.task_cycles(&task, Kernel::IslandSolver, 0);
+        group.bench_function(cfg.name, |b| {
+            b.iter(|| model.task_cycles(&task, Kernel::IslandSolver, 100))
+        });
+    }
+    group.finish();
+}
+
+fn bench_hierarchy(c: &mut Criterion) {
+    let mut h = Hierarchy::new(&MachineConfig::baseline(2, 4));
+    let mut i = 0u64;
+    c.bench_function("hierarchy/access", |b| {
+        b.iter(|| {
+            i += 64;
+            h.access(0, i % (8 * 1024 * 1024), i.is_multiple_of(4), 0)
+        })
+    });
+}
+
+criterion_group!(benches, bench_cache, bench_yags, bench_core_model, bench_hierarchy);
+criterion_main!(benches);

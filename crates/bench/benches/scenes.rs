@@ -1,0 +1,26 @@
+//! Criterion benchmarks: one physics step of each paper benchmark scene
+//! at reduced scale (real engine execution, not the timing model).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use parallax_workloads::{BenchmarkId, SceneParams};
+
+fn bench_scene_steps(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scene_step");
+    group.sample_size(15);
+    for id in BenchmarkId::ALL {
+        let params = SceneParams {
+            scale: 0.2,
+            ..Default::default()
+        };
+        let mut scene = id.build(&params);
+        // Settle the scene so steady-state work is measured.
+        for _ in 0..10 {
+            scene.step();
+        }
+        group.bench_function(id.name(), |b| b.iter(|| scene.step()));
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_scene_steps);
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! Runs every experiment binary's logic in sequence — regenerates all
+//! tables and figures of the paper's evaluation in one run.
+//!
+//! ```text
+//! cargo run --release -p parallax-bench --bin all_experiments
+//! ```
+
+use std::process::Command;
+
+fn main() {
+    let bins = [
+        "table3_instructions",
+        "table4_specs",
+        "fig2a_breakdown",
+        "fig2b_serial_l2",
+        "fig3_dedicated_l2",
+        "fig4_dedicated_l2",
+        "fig5a_cloth_l2",
+        "fig5b_cg_scaling",
+        "fig6a_breakdown4",
+        "fig6b_os_misses",
+        "fig7a_cg_limit",
+        "fig7b_instmix",
+        "fig9a_cg_fg",
+        "fig9b_kernel_mix",
+        "fig10_fg_cores",
+        "fig11_fg_tasks",
+        "table7_latency_hiding",
+        "kernel_storage",
+        "area_estimates",
+        "ablations",
+        "model2_accelerator",
+        "parallax_system",
+    ];
+    let exe = std::env::current_exe().expect("current exe path");
+    let dir = exe.parent().expect("target dir");
+    let mut failed = Vec::new();
+    for bin in bins {
+        println!("\n##### {bin} #####");
+        let status = Command::new(dir.join(bin))
+            .status()
+            .unwrap_or_else(|e| panic!("failed to launch {bin}: {e}"));
+        if !status.success() {
+            failed.push(bin);
+        }
+    }
+    if failed.is_empty() {
+        println!("\nAll experiments completed.");
+    } else {
+        eprintln!("\nFAILED: {failed:?}");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,40 @@
+//! §8.2.1: die-area estimates for the FG pools at 90 nm, and the cost of
+//! static (inflexible) FG→CG mapping.
+
+use parallax::area::{pool_area_mm2, static_mapping_overhead, STATIC_IMBALANCE};
+use parallax::buffering::paper_pool_size;
+use parallax::fgcore::FgCoreType;
+use parallax_bench::print_table;
+
+fn main() {
+    let mut rows = Vec::new();
+    for core in FgCoreType::REALISTIC {
+        let n = paper_pool_size(core);
+        let dynamic = pool_area_mm2(core, n);
+        let static_n = static_mapping_overhead(n, STATIC_IMBALANCE);
+        let static_area = pool_area_mm2(core, static_n);
+        rows.push(vec![
+            core.name().to_string(),
+            n.to_string(),
+            format!("{:.0}", dynamic),
+            static_n.to_string(),
+            format!("{:.0}", static_area),
+            format!("{:+.0}%", (static_area / dynamic - 1.0) * 100.0),
+        ]);
+    }
+    print_table(
+        "Sec 8.2.1: FG pool area at 90nm (30 FPS on Mix)",
+        &[
+            "Core",
+            "Cores (dyn)",
+            "Area mm2",
+            "Cores (static)",
+            "Area mm2",
+            "Overhead",
+        ],
+        &rows,
+    );
+    println!("\nPaper: 1,388 / 926 / 591 mm2 for desktop/console/shader pools —");
+    println!("the simplest cores are the most area-efficient; static mapping of");
+    println!("shaders to CG cores costs 34% more area than dynamic arbitration.");
+}

@@ -1,0 +1,49 @@
+//! Figures 3(a)/3(b): Broad-phase and Narrow-phase performance with
+//! *dedicated* per-phase L2 (cache state saved/restored per phase).
+
+use parallax_archsim::config::MachineConfig;
+use parallax_archsim::multicore::{MulticoreSim, SimOptions};
+use parallax_bench::{bench_data, fmt_secs, print_table, traces_of, warm_measure, Ctx};
+use parallax_physics::PhaseKind;
+use parallax_workloads::BenchmarkId;
+
+fn dedicated_sweep(ctx: &Ctx, phase: PhaseKind, title: &str) {
+    let sizes = [1usize, 2, 4, 8, 16];
+    let mut rows = Vec::new();
+    for id in BenchmarkId::ALL {
+        let d = bench_data(id, ctx);
+        let traces = traces_of(&d.profiles);
+        let mut row = vec![id.abbrev().to_string()];
+        for mb in sizes {
+            let mut sim = MulticoreSim::new(
+                MachineConfig::baseline(1, mb),
+                SimOptions {
+                    dedicated_per_phase: true,
+                    ..Default::default()
+                },
+            );
+            let r = warm_measure(&mut sim, &traces);
+            let secs = r.time.of(phase) as f64 / 2.0e9 / ctx.measure_frames as f64;
+            row.push(fmt_secs(secs));
+        }
+        rows.push(row);
+    }
+    print_table(title, &["Bench", "1MB", "2MB", "4MB", "8MB", "16MB"], &rows);
+}
+
+fn main() {
+    let ctx = Ctx::from_env();
+    dedicated_sweep(
+        &ctx,
+        PhaseKind::Broadphase,
+        "Figure 3a: Broadphase with dedicated L2 (s/frame)",
+    );
+    dedicated_sweep(
+        &ctx,
+        PhaseKind::Narrowphase,
+        "Figure 3b: Narrowphase with dedicated L2 (s/frame)",
+    );
+    println!("\nPaper: with dedicated state, serial-phase performance plateaus at");
+    println!("4MB (within 7% of a 16MB shared L2); Explosions and Highspeed show");
+    println!("the largest Narrowphase sensitivity due to their object-pair counts.");
+}

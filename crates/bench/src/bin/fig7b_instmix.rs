@@ -1,0 +1,43 @@
+//! Figure 7(b): instruction mix of all five phases, aggregated over the
+//! benchmark suite.
+
+use parallax_bench::{bench_data, print_table, traces_of, Ctx};
+use parallax_physics::PhaseKind;
+use parallax_trace::OpCounts;
+use parallax_workloads::BenchmarkId;
+
+fn main() {
+    let ctx = Ctx::from_env();
+    let mut per_phase = [OpCounts::default(); 5];
+    for id in BenchmarkId::ALL {
+        let d = bench_data(id, &ctx);
+        for t in traces_of(&d.profiles) {
+            for (i, _) in PhaseKind::ALL.iter().enumerate() {
+                per_phase[i] += t.phases[i].ops();
+            }
+        }
+    }
+    let mut rows = Vec::new();
+    for (i, phase) in PhaseKind::ALL.iter().enumerate() {
+        let f = per_phase[i].fractions();
+        rows.push(vec![
+            phase.name().to_string(),
+            format!("{:.0}%", f[0] * 100.0),
+            format!("{:.0}%", f[1] * 100.0),
+            format!("{:.0}%", f[2] * 100.0),
+            format!("{:.0}%", f[3] * 100.0),
+            format!("{:.0}%", f[4] * 100.0),
+            format!("{:.0}%", f[5] * 100.0),
+            format!("{:.0}%", f[6] * 100.0),
+        ]);
+    }
+    print_table(
+        "Figure 7b: instruction mix per phase",
+        &[
+            "Phase", "int alu", "branch", "fp add", "fp mul", "rd port", "wr port", "other",
+        ],
+        &rows,
+    );
+    println!("\nPaper: serial phases and Narrowphase are integer-dominant with many");
+    println!("branches; Island Processing and Cloth are FP-dominant.");
+}

@@ -1,0 +1,32 @@
+//! Figure 9(b): instruction mix of the three fine-grain kernels.
+
+use parallax::fgcore::representative_ops;
+use parallax_bench::print_table;
+use parallax_trace::Kernel;
+
+fn main() {
+    let mut rows = Vec::new();
+    for kernel in Kernel::FG {
+        let f = representative_ops(kernel).fractions();
+        rows.push(vec![
+            format!("{kernel:?}"),
+            format!("{:.0}%", f[0] * 100.0),
+            format!("{:.0}%", f[1] * 100.0),
+            format!("{:.0}%", f[2] * 100.0),
+            format!("{:.0}%", f[3] * 100.0),
+            format!("{:.0}%", f[4] * 100.0),
+            format!("{:.0}%", f[5] * 100.0),
+            format!("{:.0}%", f[6] * 100.0),
+        ]);
+    }
+    print_table(
+        "Figure 9b: FG kernel instruction mix",
+        &[
+            "Kernel", "int alu", "branch", "fp add", "fp mul", "rd port", "wr port", "other",
+        ],
+        &rows,
+    );
+    println!("\nPaper: integer ops and reads are the top two classes everywhere.");
+    println!("Narrowphase: 8% branches, few FP ops. Island/Cloth: 32%/28% FP;");
+    println!("Cloth adds integer multiplies, FP divides and square roots.");
+}

@@ -1,0 +1,38 @@
+//! §8.1.2: memory required for FG instruction and data storage.
+
+use parallax::fgcore::kernel_code_bytes;
+use parallax_bench::print_table;
+use parallax_trace::Kernel;
+
+fn main() {
+    let mut rows = Vec::new();
+    for k in Kernel::FG {
+        rows.push(vec![
+            format!("{k:?}"),
+            k.static_instructions().to_string(),
+            format!("{:.1}", k.static_instructions() as f64 * 4.0 / 1024.0),
+            format!("{:.1}", k.static_instructions() as f64 * 8.0 / 1024.0),
+            k.unique_read_bytes_per_100().to_string(),
+            k.unique_write_bytes_per_100().to_string(),
+        ]);
+    }
+    print_table(
+        "Sec 8.1.2: FG kernel storage requirements",
+        &[
+            "Kernel",
+            "Static instr",
+            "KB (32-bit)",
+            "KB (64-bit)",
+            "Rd B/100 iter",
+            "Wr B/100 iter",
+        ],
+        &rows,
+    );
+    println!(
+        "\nAll three kernels fit in {:.1} KB of local instruction memory",
+        kernel_code_bytes() as f64 / 1024.0
+    );
+    println!("(paper: 2.7KB with 32-bit instructions: 1.1 + 0.7 + 0.9 KB).");
+    println!("2KB of local data storage buffers enough tasks to hide on-chip");
+    println!("and HTX communication latency in all cases (paper §8.2.1).");
+}

@@ -1,0 +1,31 @@
+//! Table 3: average instructions per frame for each benchmark — the
+//! calibration target for the trace layer's kernel cost models.
+
+use parallax_bench::{bench_data, print_table, traces_of, Ctx};
+use parallax_workloads::BenchmarkId;
+
+fn main() {
+    let ctx = Ctx::from_env();
+    let paper = [34.0, 36.0, 47.0, 256.0, 409.0, 547.0, 518.0, 829.0];
+    let mut rows = Vec::new();
+    for (i, id) in BenchmarkId::ALL.iter().enumerate() {
+        let d = bench_data(*id, &ctx);
+        let traces = traces_of(&d.profiles);
+        let total: u64 = traces.iter().map(|t| t.total_instructions()).sum();
+        let per_frame = total as f64 / ctx.measure_frames as f64 / 1e6;
+        rows.push(vec![
+            id.name().to_string(),
+            format!("{:.1}M", per_frame),
+            format!("{:.0}M", paper[i]),
+            format!("{:.2}", per_frame / paper[i]),
+        ]);
+    }
+    print_table(
+        "Table 3: average instructions per frame",
+        &["Benchmark", "Measured", "Paper", "Ratio"],
+        &rows,
+    );
+    println!("\nThe trace layer's per-kernel costs are calibrated so the suite");
+    println!("lands near the paper's measured instruction counts (see");
+    println!("parallax_trace::kernels::calibration).");
+}

@@ -1,0 +1,175 @@
+//! Shared experiment infrastructure for the ParallAX reproduction.
+//!
+//! Every figure/table of the paper's evaluation has a binary in
+//! `src/bin/`; run `cargo run --release -p parallax-bench --bin
+//! all_experiments` to regenerate everything. The environment variable
+//! `PARALLAX_SCALE` (default `1.0`) scales the scenes, and
+//! `PARALLAX_FRAMES` (default `3`) sets the measured window — useful for
+//! quick smoke runs (`PARALLAX_SCALE=0.1`).
+
+use std::collections::HashMap;
+use std::sync::{Mutex, OnceLock};
+
+use parallax_physics::StepProfile;
+use parallax_trace::StepTrace;
+use parallax_workloads::{BenchmarkId, Scene, SceneMeta, SceneParams};
+
+/// Experiment context: scale and measurement window.
+#[derive(Debug, Clone, Copy)]
+pub struct Ctx {
+    /// Scene scale (1.0 = paper scale).
+    pub scale: f32,
+    /// Warm-up frames before measurement (paper: frames 1–4).
+    pub warm_frames: usize,
+    /// Measured frames (paper: frames 5–7).
+    pub measure_frames: usize,
+}
+
+impl Ctx {
+    /// Reads the context from the environment.
+    pub fn from_env() -> Ctx {
+        let scale = std::env::var("PARALLAX_SCALE")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(1.0);
+        let measure_frames = std::env::var("PARALLAX_FRAMES")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(3)
+            .max(1);
+        Ctx {
+            scale,
+            warm_frames: 4,
+            measure_frames,
+        }
+    }
+}
+
+/// Cached measured data for one benchmark: metadata + the measured-window
+/// step profiles.
+#[derive(Debug, Clone)]
+pub struct BenchData {
+    /// Static scene composition.
+    pub meta: SceneMeta,
+    /// Step profiles of the measured window.
+    pub profiles: Vec<StepProfile>,
+}
+
+fn profile_cache() -> &'static Mutex<HashMap<(BenchmarkId, u32), BenchData>> {
+    static CACHE: OnceLock<Mutex<HashMap<(BenchmarkId, u32), BenchData>>> = OnceLock::new();
+    CACHE.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+/// Builds and measures a benchmark (memoized per scale within the
+/// process).
+pub fn bench_data(id: BenchmarkId, ctx: &Ctx) -> BenchData {
+    let key = (id, (ctx.scale * 1000.0) as u32);
+    if let Some(d) = profile_cache().lock().expect("cache lock").get(&key) {
+        return d.clone();
+    }
+    let params = SceneParams {
+        scale: ctx.scale,
+        ..Default::default()
+    };
+    let mut scene: Scene = id.build(&params);
+    let profiles = scene.run_measured(ctx.warm_frames, ctx.measure_frames);
+    let data = BenchData {
+        meta: scene.meta,
+        profiles,
+    };
+    profile_cache()
+        .lock()
+        .expect("cache lock")
+        .insert(key, data.clone());
+    data
+}
+
+/// Converts profiles to architecture traces.
+pub fn traces_of(profiles: &[StepProfile]) -> Vec<StepTrace> {
+    profiles.iter().map(StepTrace::from_profile).collect()
+}
+
+/// Formats seconds in the paper's figure units.
+pub fn fmt_secs(s: f64) -> String {
+    format!("{:.2e}", s)
+}
+
+/// Prints an aligned text table.
+pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
+    println!("\n== {title} ==");
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let line = |cells: &[String]| {
+        let mut s = String::new();
+        for (i, c) in cells.iter().enumerate() {
+            s.push_str(&format!("{:>width$}  ", c, width = widths[i.min(widths.len() - 1)]));
+        }
+        println!("{}", s.trim_end());
+    };
+    line(&headers.iter().map(|h| h.to_string()).collect::<Vec<_>>());
+    for row in rows {
+        line(row);
+    }
+}
+
+/// The 33-ms frame budget at 30 FPS.
+pub const FRAME_BUDGET_SECS: f64 = 1.0 / 30.0;
+
+/// Warm-then-measure helper: runs `traces` through the simulator once to
+/// warm caches, resets stats, runs again and returns the measured result.
+pub fn warm_measure(
+    sim: &mut parallax_archsim::multicore::MulticoreSim,
+    traces: &[StepTrace],
+) -> parallax_archsim::multicore::FrameResult {
+    for t in traces {
+        sim.run_step(t);
+    }
+    sim.reset_stats();
+    sim.run_steps(traces)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ctx_defaults() {
+        let c = Ctx {
+            scale: 1.0,
+            warm_frames: 4,
+            measure_frames: 3,
+        };
+        assert_eq!(c.measure_frames, 3);
+    }
+
+    #[test]
+    fn bench_data_is_memoized() {
+        let ctx = Ctx {
+            scale: 0.05,
+            warm_frames: 0,
+            measure_frames: 1,
+        };
+        let a = bench_data(BenchmarkId::Ragdoll, &ctx);
+        let b = bench_data(BenchmarkId::Ragdoll, &ctx);
+        assert_eq!(a.profiles.len(), b.profiles.len());
+        assert_eq!(a.meta.dynamic_objs, b.meta.dynamic_objs);
+    }
+
+    #[test]
+    fn traces_match_profiles() {
+        let ctx = Ctx {
+            scale: 0.05,
+            warm_frames: 0,
+            measure_frames: 1,
+        };
+        let d = bench_data(BenchmarkId::Periodic, &ctx);
+        let t = traces_of(&d.profiles);
+        assert_eq!(t.len(), d.profiles.len());
+    }
+}

@@ -1,0 +1,1 @@
+//! Integration tests live in the workspace-level `tests/` directory.

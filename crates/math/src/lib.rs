@@ -1,0 +1,53 @@
+//! Minimal 3-D math substrate for the ParallAX physics reproduction.
+//!
+//! Provides the small fixed-size linear-algebra types the physics engine
+//! needs: [`Vec3`], [`Mat3`], [`Quat`], [`Aabb`] and [`Transform`]. All types
+//! are `f32`-based `Copy` value types with the usual operator overloads.
+//!
+//! # Examples
+//!
+//! ```
+//! use parallax_math::{Vec3, Quat};
+//!
+//! let v = Vec3::new(1.0, 0.0, 0.0);
+//! let q = Quat::from_axis_angle(Vec3::UNIT_Z, std::f32::consts::FRAC_PI_2);
+//! let rotated = q.rotate(v);
+//! assert!((rotated - Vec3::new(0.0, 1.0, 0.0)).length() < 1e-5);
+//! ```
+
+mod aabb;
+mod mat3;
+mod quat;
+mod transform;
+mod vec3;
+
+pub use aabb::Aabb;
+pub use mat3::Mat3;
+pub use quat::Quat;
+pub use transform::Transform;
+pub use vec3::Vec3;
+
+/// Clamps `x` into the inclusive range `[lo, hi]`.
+///
+/// # Examples
+///
+/// ```
+/// assert_eq!(parallax_math::clamp(5.0, 0.0, 1.0), 1.0);
+/// ```
+#[inline]
+pub fn clamp(x: f32, lo: f32, hi: f32) -> f32 {
+    debug_assert!(lo <= hi, "clamp: lo must be <= hi");
+    x.max(lo).min(hi)
+}
+
+/// Returns `true` if `a` and `b` differ by at most `eps`.
+///
+/// # Examples
+///
+/// ```
+/// assert!(parallax_math::approx_eq(1.0, 1.0 + 1e-7, 1e-5));
+/// ```
+#[inline]
+pub fn approx_eq(a: f32, b: f32, eps: f32) -> bool {
+    (a - b).abs() <= eps
+}

@@ -1,0 +1,266 @@
+use std::ops::{Add, Mul, Sub};
+
+use serde::{Deserialize, Serialize};
+
+use crate::Vec3;
+
+/// A 3×3 `f32` matrix stored in row-major order.
+///
+/// Used for inertia tensors and rotation matrices in the physics engine.
+///
+/// # Examples
+///
+/// ```
+/// use parallax_math::{Mat3, Vec3};
+///
+/// let m = Mat3::from_diagonal(Vec3::new(2.0, 3.0, 4.0));
+/// assert_eq!(m * Vec3::ONE, Vec3::new(2.0, 3.0, 4.0));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Mat3 {
+    /// Rows of the matrix.
+    pub rows: [Vec3; 3],
+}
+
+impl Default for Mat3 {
+    fn default() -> Self {
+        Mat3::IDENTITY
+    }
+}
+
+impl Mat3 {
+    /// The identity matrix.
+    pub const IDENTITY: Mat3 = Mat3 {
+        rows: [Vec3::UNIT_X, Vec3::UNIT_Y, Vec3::UNIT_Z],
+    };
+
+    /// The zero matrix.
+    pub const ZERO: Mat3 = Mat3 {
+        rows: [Vec3::ZERO, Vec3::ZERO, Vec3::ZERO],
+    };
+
+    /// Creates a matrix from three rows.
+    #[inline]
+    pub const fn from_rows(r0: Vec3, r1: Vec3, r2: Vec3) -> Self {
+        Mat3 { rows: [r0, r1, r2] }
+    }
+
+    /// Creates a matrix from three columns.
+    #[inline]
+    pub fn from_cols(c0: Vec3, c1: Vec3, c2: Vec3) -> Self {
+        Mat3::from_rows(
+            Vec3::new(c0.x, c1.x, c2.x),
+            Vec3::new(c0.y, c1.y, c2.y),
+            Vec3::new(c0.z, c1.z, c2.z),
+        )
+    }
+
+    /// Creates a diagonal matrix.
+    #[inline]
+    pub fn from_diagonal(d: Vec3) -> Self {
+        Mat3::from_rows(
+            Vec3::new(d.x, 0.0, 0.0),
+            Vec3::new(0.0, d.y, 0.0),
+            Vec3::new(0.0, 0.0, d.z),
+        )
+    }
+
+    /// The skew-symmetric cross-product matrix `[v]×` such that
+    /// `Mat3::skew(v) * w == v.cross(w)`.
+    #[inline]
+    pub fn skew(v: Vec3) -> Self {
+        Mat3::from_rows(
+            Vec3::new(0.0, -v.z, v.y),
+            Vec3::new(v.z, 0.0, -v.x),
+            Vec3::new(-v.y, v.x, 0.0),
+        )
+    }
+
+    /// Returns the transpose.
+    #[inline]
+    pub fn transpose(&self) -> Mat3 {
+        Mat3::from_cols(self.rows[0], self.rows[1], self.rows[2])
+    }
+
+    /// Returns column `i` (0..3).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i > 2`.
+    #[inline]
+    pub fn col(&self, i: usize) -> Vec3 {
+        Vec3::new(self.rows[0][i], self.rows[1][i], self.rows[2][i])
+    }
+
+    /// Determinant of the matrix.
+    #[inline]
+    pub fn determinant(&self) -> f32 {
+        self.rows[0].dot(self.rows[1].cross(self.rows[2]))
+    }
+
+    /// Returns the inverse, or `None` when the matrix is singular
+    /// (|det| < 1e-12).
+    pub fn inverse(&self) -> Option<Mat3> {
+        let det = self.determinant();
+        if det.abs() < 1e-12 {
+            return None;
+        }
+        let inv_det = 1.0 / det;
+        let r0 = self.rows[1].cross(self.rows[2]) * inv_det;
+        let r1 = self.rows[2].cross(self.rows[0]) * inv_det;
+        let r2 = self.rows[0].cross(self.rows[1]) * inv_det;
+        // Cross products above give the rows of the cofactor transpose's
+        // columns; assemble as columns.
+        Some(Mat3::from_cols(r0, r1, r2))
+    }
+
+    /// Returns the diagonal as a vector.
+    #[inline]
+    pub fn diagonal(&self) -> Vec3 {
+        Vec3::new(self.rows[0].x, self.rows[1].y, self.rows[2].z)
+    }
+
+    /// Scales the matrix by scalar `s`.
+    #[inline]
+    pub fn scaled(&self, s: f32) -> Mat3 {
+        Mat3::from_rows(self.rows[0] * s, self.rows[1] * s, self.rows[2] * s)
+    }
+}
+
+impl Mul<Vec3> for Mat3 {
+    type Output = Vec3;
+    #[inline]
+    fn mul(self, v: Vec3) -> Vec3 {
+        Vec3::new(self.rows[0].dot(v), self.rows[1].dot(v), self.rows[2].dot(v))
+    }
+}
+
+impl Mul for Mat3 {
+    type Output = Mat3;
+    #[inline]
+    fn mul(self, rhs: Mat3) -> Mat3 {
+        let t = rhs.transpose();
+        Mat3::from_rows(
+            Vec3::new(
+                self.rows[0].dot(t.rows[0]),
+                self.rows[0].dot(t.rows[1]),
+                self.rows[0].dot(t.rows[2]),
+            ),
+            Vec3::new(
+                self.rows[1].dot(t.rows[0]),
+                self.rows[1].dot(t.rows[1]),
+                self.rows[1].dot(t.rows[2]),
+            ),
+            Vec3::new(
+                self.rows[2].dot(t.rows[0]),
+                self.rows[2].dot(t.rows[1]),
+                self.rows[2].dot(t.rows[2]),
+            ),
+        )
+    }
+}
+
+impl Add for Mat3 {
+    type Output = Mat3;
+    #[inline]
+    fn add(self, rhs: Mat3) -> Mat3 {
+        Mat3::from_rows(
+            self.rows[0] + rhs.rows[0],
+            self.rows[1] + rhs.rows[1],
+            self.rows[2] + rhs.rows[2],
+        )
+    }
+}
+
+impl Sub for Mat3 {
+    type Output = Mat3;
+    #[inline]
+    fn sub(self, rhs: Mat3) -> Mat3 {
+        Mat3::from_rows(
+            self.rows[0] - rhs.rows[0],
+            self.rows[1] - rhs.rows[1],
+            self.rows[2] - rhs.rows[2],
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mat_approx_eq(a: Mat3, b: Mat3, eps: f32) -> bool {
+        (0..3).all(|i| (a.rows[i] - b.rows[i]).length() < eps)
+    }
+
+    #[test]
+    fn identity_multiplication() {
+        let v = Vec3::new(1.0, -2.0, 3.0);
+        assert_eq!(Mat3::IDENTITY * v, v);
+        let m = Mat3::from_diagonal(Vec3::new(2.0, 3.0, 4.0));
+        assert!(mat_approx_eq(Mat3::IDENTITY * m, m, 1e-6));
+        assert!(mat_approx_eq(m * Mat3::IDENTITY, m, 1e-6));
+    }
+
+    #[test]
+    fn skew_matches_cross() {
+        let v = Vec3::new(1.0, 2.0, 3.0);
+        let w = Vec3::new(-4.0, 5.0, 0.5);
+        assert!((Mat3::skew(v) * w - v.cross(w)).length() < 1e-6);
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let m = Mat3::from_rows(
+            Vec3::new(1.0, 2.0, 3.0),
+            Vec3::new(4.0, 5.0, 6.0),
+            Vec3::new(7.0, 8.0, 10.0),
+        );
+        assert_eq!(m.transpose().transpose(), m);
+        assert_eq!(m.col(1), Vec3::new(2.0, 5.0, 8.0));
+    }
+
+    #[test]
+    fn inverse_of_invertible() {
+        let m = Mat3::from_rows(
+            Vec3::new(2.0, 0.0, 1.0),
+            Vec3::new(0.0, 3.0, 0.0),
+            Vec3::new(1.0, 0.0, 1.0),
+        );
+        let inv = m.inverse().expect("invertible");
+        assert!(mat_approx_eq(m * inv, Mat3::IDENTITY, 1e-5));
+        assert!(mat_approx_eq(inv * m, Mat3::IDENTITY, 1e-5));
+    }
+
+    #[test]
+    fn inverse_of_singular_is_none() {
+        let m = Mat3::from_rows(
+            Vec3::new(1.0, 2.0, 3.0),
+            Vec3::new(2.0, 4.0, 6.0),
+            Vec3::new(0.0, 1.0, 0.0),
+        );
+        assert!(m.inverse().is_none());
+    }
+
+    #[test]
+    fn determinant_of_diagonal() {
+        let m = Mat3::from_diagonal(Vec3::new(2.0, 3.0, 4.0));
+        assert!((m.determinant() - 24.0).abs() < 1e-6);
+        assert_eq!(m.diagonal(), Vec3::new(2.0, 3.0, 4.0));
+    }
+
+    #[test]
+    fn matrix_product_associates_with_vector() {
+        let a = Mat3::from_rows(
+            Vec3::new(1.0, 2.0, 0.0),
+            Vec3::new(0.0, 1.0, 1.0),
+            Vec3::new(1.0, 0.0, 1.0),
+        );
+        let b = Mat3::from_rows(
+            Vec3::new(0.0, 1.0, 2.0),
+            Vec3::new(1.0, 0.0, 1.0),
+            Vec3::new(2.0, 1.0, 0.0),
+        );
+        let v = Vec3::new(1.0, -1.0, 2.0);
+        assert!(((a * b) * v - a * (b * v)).length() < 1e-5);
+    }
+}

@@ -1,0 +1,230 @@
+use std::ops::Mul;
+
+use serde::{Deserialize, Serialize};
+
+use crate::{Mat3, Vec3};
+
+/// A unit quaternion representing a 3-D rotation, stored as `(w, x, y, z)`.
+///
+/// # Examples
+///
+/// ```
+/// use parallax_math::{Quat, Vec3};
+///
+/// let q = Quat::from_axis_angle(Vec3::UNIT_Y, std::f32::consts::PI);
+/// let v = q.rotate(Vec3::UNIT_X);
+/// assert!((v + Vec3::UNIT_X).length() < 1e-5);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Quat {
+    /// Scalar part.
+    pub w: f32,
+    /// Vector part, x.
+    pub x: f32,
+    /// Vector part, y.
+    pub y: f32,
+    /// Vector part, z.
+    pub z: f32,
+}
+
+impl Default for Quat {
+    fn default() -> Self {
+        Quat::IDENTITY
+    }
+}
+
+impl Quat {
+    /// The identity rotation.
+    pub const IDENTITY: Quat = Quat {
+        w: 1.0,
+        x: 0.0,
+        y: 0.0,
+        z: 0.0,
+    };
+
+    /// Creates a quaternion from raw components (not normalized).
+    #[inline]
+    pub const fn new(w: f32, x: f32, y: f32, z: f32) -> Self {
+        Quat { w, x, y, z }
+    }
+
+    /// Creates a rotation of `angle` radians about `axis`.
+    ///
+    /// `axis` need not be normalized; a zero axis yields the identity.
+    pub fn from_axis_angle(axis: Vec3, angle: f32) -> Self {
+        match axis.normalized_with_length() {
+            Some((a, _)) => {
+                let half = angle * 0.5;
+                let s = half.sin();
+                Quat::new(half.cos(), a.x * s, a.y * s, a.z * s)
+            }
+            None => Quat::IDENTITY,
+        }
+    }
+
+    /// Squared norm of the quaternion.
+    #[inline]
+    pub fn norm_squared(self) -> f32 {
+        self.w * self.w + self.x * self.x + self.y * self.y + self.z * self.z
+    }
+
+    /// Returns the unit quaternion; falls back to the identity when the
+    /// quaternion is (near) zero.
+    #[inline]
+    pub fn normalized(self) -> Quat {
+        let n = self.norm_squared().sqrt();
+        if n > 1e-12 {
+            Quat::new(self.w / n, self.x / n, self.y / n, self.z / n)
+        } else {
+            Quat::IDENTITY
+        }
+    }
+
+    /// The conjugate (inverse for unit quaternions).
+    #[inline]
+    pub fn conjugate(self) -> Quat {
+        Quat::new(self.w, -self.x, -self.y, -self.z)
+    }
+
+    /// Rotates vector `v` by this quaternion.
+    #[inline]
+    pub fn rotate(self, v: Vec3) -> Vec3 {
+        // v' = v + 2*q_vec × (q_vec × v + w*v)
+        let qv = Vec3::new(self.x, self.y, self.z);
+        let t = qv.cross(v) * 2.0;
+        v + t * self.w + qv.cross(t)
+    }
+
+    /// Rotates `v` by the inverse of this quaternion.
+    #[inline]
+    pub fn rotate_inverse(self, v: Vec3) -> Vec3 {
+        self.conjugate().rotate(v)
+    }
+
+    /// Converts to a rotation matrix.
+    pub fn to_mat3(self) -> Mat3 {
+        let (w, x, y, z) = (self.w, self.x, self.y, self.z);
+        Mat3::from_rows(
+            Vec3::new(
+                1.0 - 2.0 * (y * y + z * z),
+                2.0 * (x * y - w * z),
+                2.0 * (x * z + w * y),
+            ),
+            Vec3::new(
+                2.0 * (x * y + w * z),
+                1.0 - 2.0 * (x * x + z * z),
+                2.0 * (y * z - w * x),
+            ),
+            Vec3::new(
+                2.0 * (x * z - w * y),
+                2.0 * (y * z + w * x),
+                1.0 - 2.0 * (x * x + y * y),
+            ),
+        )
+    }
+
+    /// Integrates the quaternion by angular velocity `omega` over `dt`
+    /// seconds using the first-order update `q' = q + dt/2 * (0,ω) ⊗ q`,
+    /// then renormalizes. This is the update ODE uses for rigid bodies.
+    pub fn integrate(self, omega: Vec3, dt: f32) -> Quat {
+        let half_dt = 0.5 * dt;
+        let dq = Quat::new(0.0, omega.x, omega.y, omega.z) * self;
+        Quat::new(
+            self.w + dq.w * half_dt,
+            self.x + dq.x * half_dt,
+            self.y + dq.y * half_dt,
+            self.z + dq.z * half_dt,
+        )
+        .normalized()
+    }
+
+    /// Returns `true` if all components are finite.
+    #[inline]
+    pub fn is_finite(self) -> bool {
+        self.w.is_finite() && self.x.is_finite() && self.y.is_finite() && self.z.is_finite()
+    }
+}
+
+impl Mul for Quat {
+    type Output = Quat;
+    /// Hamilton product (composition of rotations; `a * b` applies `b` first).
+    #[inline]
+    fn mul(self, rhs: Quat) -> Quat {
+        Quat::new(
+            self.w * rhs.w - self.x * rhs.x - self.y * rhs.y - self.z * rhs.z,
+            self.w * rhs.x + self.x * rhs.w + self.y * rhs.z - self.z * rhs.y,
+            self.w * rhs.y - self.x * rhs.z + self.y * rhs.w + self.z * rhs.x,
+            self.w * rhs.z + self.x * rhs.y - self.y * rhs.x + self.z * rhs.w,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f32::consts::{FRAC_PI_2, PI};
+
+    #[test]
+    fn identity_rotation_is_noop() {
+        let v = Vec3::new(1.0, 2.0, 3.0);
+        assert!((Quat::IDENTITY.rotate(v) - v).length() < 1e-6);
+    }
+
+    #[test]
+    fn quarter_turn_about_z() {
+        let q = Quat::from_axis_angle(Vec3::UNIT_Z, FRAC_PI_2);
+        assert!((q.rotate(Vec3::UNIT_X) - Vec3::UNIT_Y).length() < 1e-5);
+        assert!((q.rotate(Vec3::UNIT_Y) + Vec3::UNIT_X).length() < 1e-5);
+    }
+
+    #[test]
+    fn conjugate_inverts_rotation() {
+        let q = Quat::from_axis_angle(Vec3::new(1.0, 1.0, 0.3), 1.1);
+        let v = Vec3::new(0.2, -0.5, 0.9);
+        assert!((q.rotate_inverse(q.rotate(v)) - v).length() < 1e-5);
+    }
+
+    #[test]
+    fn composition_matches_sequential_rotation() {
+        let a = Quat::from_axis_angle(Vec3::UNIT_X, 0.7);
+        let b = Quat::from_axis_angle(Vec3::UNIT_Y, -1.2);
+        let v = Vec3::new(1.0, 2.0, 3.0);
+        let composed = (a * b).rotate(v);
+        let sequential = a.rotate(b.rotate(v));
+        assert!((composed - sequential).length() < 1e-5);
+    }
+
+    #[test]
+    fn to_mat3_agrees_with_rotate() {
+        let q = Quat::from_axis_angle(Vec3::new(0.3, -1.0, 0.5), 2.2);
+        let m = q.to_mat3();
+        let v = Vec3::new(-1.0, 0.5, 2.0);
+        assert!((m * v - q.rotate(v)).length() < 1e-5);
+    }
+
+    #[test]
+    fn integrate_small_step_approximates_axis_angle() {
+        let omega = Vec3::new(0.0, 0.0, 1.0);
+        let mut q = Quat::IDENTITY;
+        let steps = 1000;
+        let dt = PI / steps as f32;
+        for _ in 0..steps {
+            q = q.integrate(omega, dt);
+        }
+        // After integrating ω=ẑ for π seconds we should have a half turn.
+        let v = q.rotate(Vec3::UNIT_X);
+        assert!((v + Vec3::UNIT_X).length() < 1e-2, "got {v:?}");
+    }
+
+    #[test]
+    fn zero_axis_yields_identity() {
+        let q = Quat::from_axis_angle(Vec3::ZERO, 1.0);
+        assert_eq!(q, Quat::IDENTITY);
+    }
+
+    #[test]
+    fn normalized_unit_norm() {
+        let q = Quat::new(1.0, 2.0, 3.0, 4.0).normalized();
+        assert!((q.norm_squared() - 1.0).abs() < 1e-5);
+    }
+}

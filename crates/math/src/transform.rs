@@ -1,0 +1,129 @@
+use serde::{Deserialize, Serialize};
+
+use crate::{Quat, Vec3};
+
+/// A rigid transform: rotation followed by translation.
+///
+/// # Examples
+///
+/// ```
+/// use parallax_math::{Transform, Quat, Vec3};
+///
+/// let t = Transform::new(Vec3::new(1.0, 0.0, 0.0), Quat::IDENTITY);
+/// assert_eq!(t.apply(Vec3::ZERO), Vec3::new(1.0, 0.0, 0.0));
+/// ```
+#[derive(Debug, Default, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Transform {
+    /// Translation component.
+    pub position: Vec3,
+    /// Rotation component.
+    pub rotation: Quat,
+}
+
+impl Transform {
+    /// The identity transform.
+    pub const IDENTITY: Transform = Transform {
+        position: Vec3::ZERO,
+        rotation: Quat::IDENTITY,
+    };
+
+    /// Creates a transform from a position and rotation.
+    #[inline]
+    pub const fn new(position: Vec3, rotation: Quat) -> Self {
+        Transform { position, rotation }
+    }
+
+    /// A pure translation.
+    #[inline]
+    pub const fn from_position(position: Vec3) -> Self {
+        Transform::new(position, Quat::IDENTITY)
+    }
+
+    /// Transforms a point from local to world space.
+    #[inline]
+    pub fn apply(&self, p: Vec3) -> Vec3 {
+        self.rotation.rotate(p) + self.position
+    }
+
+    /// Transforms a point from world to local space.
+    #[inline]
+    pub fn apply_inverse(&self, p: Vec3) -> Vec3 {
+        self.rotation.rotate_inverse(p - self.position)
+    }
+
+    /// Rotates a direction (no translation).
+    #[inline]
+    pub fn apply_vector(&self, v: Vec3) -> Vec3 {
+        self.rotation.rotate(v)
+    }
+
+    /// Composes two transforms: `self.compose(rhs)` applies `rhs` first.
+    #[inline]
+    pub fn compose(&self, rhs: &Transform) -> Transform {
+        Transform {
+            position: self.apply(rhs.position),
+            rotation: self.rotation * rhs.rotation,
+        }
+    }
+
+    /// Returns the inverse transform.
+    #[inline]
+    pub fn inverse(&self) -> Transform {
+        let inv_rot = self.rotation.conjugate();
+        Transform {
+            position: inv_rot.rotate(-self.position),
+            rotation: inv_rot,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f32::consts::FRAC_PI_2;
+
+    #[test]
+    fn apply_and_inverse_roundtrip() {
+        let t = Transform::new(
+            Vec3::new(1.0, 2.0, 3.0),
+            Quat::from_axis_angle(Vec3::UNIT_Y, 0.8),
+        );
+        let p = Vec3::new(-0.3, 0.7, 2.2);
+        let q = t.apply(p);
+        assert!((t.apply_inverse(q) - p).length() < 1e-5);
+    }
+
+    #[test]
+    fn compose_matches_sequential_application() {
+        let a = Transform::new(
+            Vec3::new(1.0, 0.0, 0.0),
+            Quat::from_axis_angle(Vec3::UNIT_Z, FRAC_PI_2),
+        );
+        let b = Transform::new(
+            Vec3::new(0.0, 2.0, 0.0),
+            Quat::from_axis_angle(Vec3::UNIT_X, -0.4),
+        );
+        let p = Vec3::new(0.5, 0.5, 0.5);
+        let via_compose = a.compose(&b).apply(p);
+        let sequential = a.apply(b.apply(p));
+        assert!((via_compose - sequential).length() < 1e-5);
+    }
+
+    #[test]
+    fn inverse_composes_to_identity() {
+        let t = Transform::new(
+            Vec3::new(-2.0, 1.0, 5.0),
+            Quat::from_axis_angle(Vec3::new(1.0, 2.0, -1.0), 1.3),
+        );
+        let id = t.compose(&t.inverse());
+        assert!(id.position.length() < 1e-5);
+        let p = Vec3::new(3.0, -1.0, 0.5);
+        assert!((id.apply(p) - p).length() < 1e-5);
+    }
+
+    #[test]
+    fn apply_vector_ignores_translation() {
+        let t = Transform::from_position(Vec3::new(100.0, 100.0, 100.0));
+        assert_eq!(t.apply_vector(Vec3::UNIT_X), Vec3::UNIT_X);
+    }
+}

@@ -1,0 +1,108 @@
+//! Property-based tests for the math substrate.
+
+use parallax_math::{Aabb, Mat3, Quat, Transform, Vec3};
+use proptest::prelude::*;
+
+fn finite_f32(range: f32) -> impl Strategy<Value = f32> {
+    prop::num::f32::NORMAL.prop_map(move |x| x % range).prop_filter("finite", |x| x.is_finite())
+}
+
+fn vec3(range: f32) -> impl Strategy<Value = Vec3> {
+    (finite_f32(range), finite_f32(range), finite_f32(range)).prop_map(|(x, y, z)| Vec3::new(x, y, z))
+}
+
+fn unit_quat() -> impl Strategy<Value = Quat> {
+    (vec3(10.0), -3.1f32..3.1f32).prop_map(|(axis, angle)| {
+        if axis.length() < 1e-3 {
+            Quat::IDENTITY
+        } else {
+            Quat::from_axis_angle(axis, angle)
+        }
+    })
+}
+
+proptest! {
+    #[test]
+    fn cross_product_is_orthogonal(a in vec3(100.0), b in vec3(100.0)) {
+        let c = a.cross(b);
+        let scale = a.length() * b.length();
+        prop_assume!(scale > 1e-3);
+        prop_assert!(c.dot(a).abs() <= 1e-2 * scale * a.length() + 1e-3);
+        prop_assert!(c.dot(b).abs() <= 1e-2 * scale * b.length() + 1e-3);
+    }
+
+    #[test]
+    fn dot_is_commutative(a in vec3(100.0), b in vec3(100.0)) {
+        prop_assert_eq!(a.dot(b), b.dot(a));
+    }
+
+    #[test]
+    fn normalized_has_unit_length(v in vec3(100.0)) {
+        prop_assume!(v.length() > 1e-6);
+        prop_assert!((v.normalized().length() - 1.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn quat_rotation_preserves_length(q in unit_quat(), v in vec3(100.0)) {
+        let r = q.rotate(v);
+        prop_assert!((r.length() - v.length()).abs() <= 1e-3 * (1.0 + v.length()));
+    }
+
+    #[test]
+    fn quat_rotate_then_inverse_is_identity(q in unit_quat(), v in vec3(100.0)) {
+        let back = q.rotate_inverse(q.rotate(v));
+        prop_assert!((back - v).length() <= 1e-3 * (1.0 + v.length()));
+    }
+
+    #[test]
+    fn quat_matrix_agreement(q in unit_quat(), v in vec3(10.0)) {
+        let m = q.to_mat3();
+        prop_assert!((m * v - q.rotate(v)).length() <= 1e-3 * (1.0 + v.length()));
+    }
+
+    #[test]
+    fn mat3_inverse_roundtrip(d in vec3(4.0), q in unit_quat()) {
+        // Build a well-conditioned matrix: R * D * R^T with D diagonal and
+        // all eigenvalues in [0.5, 4.5] (condition number <= 9).
+        let d = Vec3::new(0.5 + d.x.abs(), 0.5 + d.y.abs(), 0.5 + d.z.abs());
+        let r = q.to_mat3();
+        let m = r * Mat3::from_diagonal(d) * r.transpose();
+        let inv = m.inverse().expect("well-conditioned");
+        let v = Vec3::new(1.0, -2.0, 0.5);
+        let back = inv * (m * v);
+        prop_assert!((back - v).length() < 1e-2);
+    }
+
+    #[test]
+    fn transform_inverse_roundtrip(p in vec3(50.0), q in unit_quat(), x in vec3(50.0)) {
+        let t = Transform::new(p, q);
+        let back = t.apply_inverse(t.apply(x));
+        prop_assert!((back - x).length() <= 1e-2 * (1.0 + x.length() + p.length()));
+    }
+
+    #[test]
+    fn aabb_union_contains_both(a1 in vec3(50.0), a2 in vec3(50.0), b1 in vec3(50.0), b2 in vec3(50.0)) {
+        let a = Aabb::new(a1.min(a2), a1.max(a2));
+        let b = Aabb::new(b1.min(b2), b1.max(b2));
+        let u = a.union(&b);
+        prop_assert!(u.contains_point(a.min) && u.contains_point(a.max));
+        prop_assert!(u.contains_point(b.min) && u.contains_point(b.max));
+    }
+
+    #[test]
+    fn aabb_overlap_symmetry(a1 in vec3(50.0), a2 in vec3(50.0), b1 in vec3(50.0), b2 in vec3(50.0)) {
+        let a = Aabb::new(a1.min(a2), a1.max(a2));
+        let b = Aabb::new(b1.min(b2), b1.max(b2));
+        prop_assert_eq!(a.overlaps(&b), b.overlaps(&a));
+    }
+
+    #[test]
+    fn aabb_overlap_iff_center_distance_small(c1 in vec3(20.0), c2 in vec3(20.0)) {
+        let h = Vec3::splat(1.0);
+        let a = Aabb::from_center_half_extents(c1, h);
+        let b = Aabb::from_center_half_extents(c2, h);
+        let d = (c1 - c2).abs();
+        let expected = d.x <= 2.0 && d.y <= 2.0 && d.z <= 2.0;
+        prop_assert_eq!(a.overlaps(&b), expected);
+    }
+}

@@ -1,0 +1,172 @@
+//! Latency-hiding buffering analysis (paper §7.2, §8.2.2, Table 7).
+//!
+//! "The more tasks that are sent to each FG core at once, the more
+//! potential communication latency we can hide, and the looser we can
+//! make the coupling between CG and FG cores."
+//!
+//! A core that has `n` tasks buffered computes for `n × c` cycles while
+//! the next batch transfers (`L + n × s` cycles: link latency plus
+//! serialization). Communication is fully hidden when `n·c ≥ L + n·s`,
+//! i.e. `n ≥ L / (c − s)` — impossible when a task's serialization time
+//! exceeds its compute time.
+
+use parallax_archsim::offchip::Link;
+use parallax_trace::Kernel;
+use serde::{Deserialize, Serialize};
+
+use crate::fgcore::{task_profile, FgCoreType};
+
+/// Result of the hiding analysis for one (kernel, core, link) point.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct HidingReport {
+    /// Tasks that must be buffered per FG core.
+    pub tasks_per_core: Option<u64>,
+    /// Total in-flight tasks for a pool of the given size.
+    pub total_tasks: Option<u64>,
+    /// Bytes of local buffering needed per core.
+    pub buffer_bytes_per_core: Option<u64>,
+    /// Per-task compute cycles on this core.
+    pub compute_per_task: f64,
+    /// Per-task serialization cycles on this link.
+    pub ser_per_task: f64,
+}
+
+/// Computes the buffering requirement for `pool_size` FG cores of type
+/// `core` running `kernel` over `link`.
+///
+/// Returns `tasks_per_core = None` when hiding is impossible (per-task
+/// transfer time exceeds per-task compute time).
+pub fn tasks_to_hide_latency(
+    kernel: Kernel,
+    core: FgCoreType,
+    link: Link,
+    pool_size: usize,
+) -> HidingReport {
+    let (instr, bytes) = task_profile(kernel);
+    let ipc = core.kernel_ipc(kernel);
+    // Only the task's FIRST iteration can overlap its own transfer, so
+    // buffering is sized against single-iteration compute.
+    let compute = instr / ipc.max(1e-6);
+    let bw_bytes_per_cycle = link.bandwidth_bytes_per_sec() / 2.0e9;
+    let ser = bytes / bw_bytes_per_cycle;
+    let latency = link.latency_cycles() as f64;
+
+    if compute <= ser || instr == 0.0 {
+        return HidingReport {
+            tasks_per_core: None,
+            total_tasks: None,
+            buffer_bytes_per_core: None,
+            compute_per_task: compute,
+            ser_per_task: ser,
+        };
+    }
+    let per_core = (latency / (compute - ser)).ceil().max(1.0) as u64;
+    HidingReport {
+        tasks_per_core: Some(per_core),
+        total_tasks: Some(per_core * pool_size as u64),
+        buffer_bytes_per_core: Some((per_core as f64 * bytes).ceil() as u64),
+        compute_per_task: compute,
+        ser_per_task: ser,
+    }
+}
+
+/// The paper's pool sizes per core type (from Figure 10b's simulated
+/// column: 30 desktop, 43 console, 150 shader).
+pub fn paper_pool_size(core: FgCoreType) -> usize {
+    match core {
+        FgCoreType::Desktop => 30,
+        FgCoreType::Console => 43,
+        FgCoreType::Shader => 150,
+        FgCoreType::LimitStudy => 8,
+    }
+}
+
+/// §8.2.2 feasibility: fraction of a phase's FG work that can be offloaded
+/// when only work units with at least `min_tasks` parallel FG tasks can
+/// hide the link latency.
+///
+/// `unit_sizes` holds the FG-task count of every independent work unit
+/// (islands or cloths) in a step.
+pub fn offloadable_fraction(unit_sizes: &[usize], min_tasks: usize) -> f64 {
+    let total: usize = unit_sizes.iter().sum();
+    if total == 0 {
+        return 0.0;
+    }
+    let offloadable: usize = unit_sizes.iter().filter(|&&s| s >= min_tasks).sum();
+    offloadable as f64 / total as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn narrowphase_hides_with_minimal_buffering() {
+        // Narrowphase tasks are big: one buffered task per core suffices
+        // on-chip (paper Table 7: counts equal the pool size).
+        let r = tasks_to_hide_latency(
+            Kernel::Narrowphase,
+            FgCoreType::Desktop,
+            Link::OnChipMesh,
+            30,
+        );
+        assert_eq!(r.tasks_per_core, Some(1));
+        assert_eq!(r.total_tasks, Some(30));
+    }
+
+    #[test]
+    fn island_needs_more_buffering_than_narrowphase() {
+        for link in Link::ALL {
+            let nw = tasks_to_hide_latency(Kernel::Narrowphase, FgCoreType::Desktop, link, 30);
+            let is = tasks_to_hide_latency(Kernel::IslandSolver, FgCoreType::Desktop, link, 30);
+            assert!(
+                is.total_tasks.unwrap() >= nw.total_tasks.unwrap(),
+                "{link:?}: island {:?} vs narrowphase {:?}",
+                is.total_tasks,
+                nw.total_tasks
+            );
+        }
+    }
+
+    #[test]
+    fn looser_coupling_needs_more_tasks() {
+        for k in Kernel::FG {
+            let on = tasks_to_hide_latency(k, FgCoreType::Shader, Link::OnChipMesh, 150);
+            let htx = tasks_to_hide_latency(k, FgCoreType::Shader, Link::Htx, 150);
+            let pcie = tasks_to_hide_latency(k, FgCoreType::Shader, Link::Pcie, 150);
+            let (a, b, c) = (
+                on.total_tasks.unwrap(),
+                htx.total_tasks.unwrap(),
+                pcie.total_tasks.unwrap(),
+            );
+            assert!(a <= b && b <= c, "{k:?}: {a} {b} {c}");
+        }
+    }
+
+    #[test]
+    fn buffer_fits_in_2kb_for_onchip_and_htx() {
+        // Paper: "2KB of local storage is enough to buffer the minimum
+        // amount of data to hide communication latency for all cases"
+        // (on-chip and HTX).
+        for core in FgCoreType::REALISTIC {
+            for k in Kernel::FG {
+                for link in [Link::OnChipMesh, Link::Htx] {
+                    let r = tasks_to_hide_latency(k, core, link, paper_pool_size(core));
+                    let b = r.buffer_bytes_per_core.expect("hidable");
+                    assert!(b <= 2048, "{core:?}/{k:?}/{link:?}: {b} B");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn offloadable_fraction_filters_small_units() {
+        // Islands of sizes 5, 30, 100: with a 25-task minimum, 130 of 135
+        // tasks remain offloadable.
+        let f = offloadable_fraction(&[5, 30, 100], 25);
+        assert!((f - 130.0 / 135.0).abs() < 1e-9);
+        assert_eq!(offloadable_fraction(&[], 10), 0.0);
+        assert_eq!(offloadable_fraction(&[5, 5], 10), 0.0);
+        assert_eq!(offloadable_fraction(&[50], 10), 1.0);
+    }
+}

@@ -1,0 +1,442 @@
+//! Rigid bodies: state, mass properties and force accumulators.
+
+use parallax_math::{Mat3, Quat, Transform, Vec3};
+use serde::{Deserialize, Serialize};
+
+use crate::shape::Shape;
+
+/// Identifier of a rigid body inside a [`crate::World`].
+///
+/// Indexes are stable for the lifetime of the world (bodies are disabled, not
+/// removed).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct BodyId(pub u32);
+
+impl BodyId {
+    /// Returns the raw index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+// A tiny local bitflags implementation so we do not need the bitflags crate.
+macro_rules! bitflags_lite {
+    (
+        $(#[$meta:meta])*
+        pub struct $name:ident: $ty:ty {
+            $( $(#[$fmeta:meta])* const $flag:ident = $value:expr; )*
+        }
+    ) => {
+        $(#[$meta])*
+        #[derive(Debug, Default, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+        pub struct $name(pub $ty);
+
+        impl $name {
+            $( $(#[$fmeta])* pub const $flag: $name = $name($value); )*
+
+            /// The empty flag set.
+            pub const fn empty() -> Self { $name(0) }
+            /// Returns `true` if all bits of `other` are set.
+            #[inline]
+            pub const fn contains(self, other: $name) -> bool {
+                (self.0 & other.0) == other.0
+            }
+            /// Sets the bits of `other`.
+            #[inline]
+            pub fn insert(&mut self, other: $name) { self.0 |= other.0; }
+            /// Clears the bits of `other`.
+            #[inline]
+            pub fn remove(&mut self, other: $name) { self.0 &= !other.0; }
+        }
+
+        impl std::ops::BitOr for $name {
+            type Output = $name;
+            #[inline]
+            fn bitor(self, rhs: $name) -> $name { $name(self.0 | rhs.0) }
+        }
+    };
+}
+
+bitflags_lite! {
+    /// Behavioural flags on a body.
+    pub struct BodyFlags: u32 {
+        /// Body never moves; it still participates in collision detection.
+        const STATIC = 1 << 0;
+        /// Body is currently disabled (e.g. unbroken debris) and is skipped
+        /// by every phase.
+        const DISABLED = 1 << 1;
+        /// Explosive payload: replaced by a blast volume on first contact.
+        const EXPLOSIVE = 1 << 2;
+        /// This body is a blast volume (sphere) created by an explosion.
+        const BLAST_VOLUME = 1 << 3;
+        /// Pre-fractured: shatters into debris inside a blast volume.
+        const PREFRACTURED = 1 << 4;
+        /// Debris piece belonging to a pre-fractured object.
+        const DEBRIS = 1 << 5;
+    }
+}
+
+/// Full dynamic state of a rigid body.
+///
+/// The paper reports 412 B of memory per object; this struct (plus its slot
+/// in the world's side tables) is of comparable size.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RigidBody {
+    pub(crate) transform: Transform,
+    pub(crate) lin_vel: Vec3,
+    pub(crate) ang_vel: Vec3,
+    pub(crate) force: Vec3,
+    pub(crate) torque: Vec3,
+    pub(crate) inv_mass: f32,
+    /// Inverse inertia tensor in body-local coordinates.
+    pub(crate) inv_inertia_local: Mat3,
+    /// Cached world-space inverse inertia, refreshed before each solve.
+    pub(crate) inv_inertia_world: Mat3,
+    pub(crate) flags: BodyFlags,
+    /// Island index assigned during island creation (`u32::MAX` = none).
+    pub(crate) island: u32,
+    pub(crate) linear_damping: f32,
+    pub(crate) angular_damping: f32,
+}
+
+impl RigidBody {
+    /// World-space position of the centre of mass.
+    #[inline]
+    pub fn position(&self) -> Vec3 {
+        self.transform.position
+    }
+
+    /// World-space orientation.
+    #[inline]
+    pub fn rotation(&self) -> Quat {
+        self.transform.rotation
+    }
+
+    /// The full rigid transform.
+    #[inline]
+    pub fn transform(&self) -> Transform {
+        self.transform
+    }
+
+    /// Linear velocity of the centre of mass.
+    #[inline]
+    pub fn linear_velocity(&self) -> Vec3 {
+        self.lin_vel
+    }
+
+    /// Angular velocity (world space, rad/s).
+    #[inline]
+    pub fn angular_velocity(&self) -> Vec3 {
+        self.ang_vel
+    }
+
+    /// Inverse mass; 0 for static bodies.
+    #[inline]
+    pub fn inv_mass(&self) -> f32 {
+        self.inv_mass
+    }
+
+    /// Mass of the body.
+    ///
+    /// Returns `f32::INFINITY` for static (immovable) bodies.
+    #[inline]
+    pub fn mass(&self) -> f32 {
+        if self.inv_mass > 0.0 {
+            1.0 / self.inv_mass
+        } else {
+            f32::INFINITY
+        }
+    }
+
+    /// Behaviour flags.
+    #[inline]
+    pub fn flags(&self) -> BodyFlags {
+        self.flags
+    }
+
+    /// Returns `true` if this body cannot move.
+    #[inline]
+    pub fn is_static(&self) -> bool {
+        self.flags.contains(BodyFlags::STATIC) || self.inv_mass == 0.0
+    }
+
+    /// Returns `true` if the body is currently disabled.
+    #[inline]
+    pub fn is_disabled(&self) -> bool {
+        self.flags.contains(BodyFlags::DISABLED)
+    }
+
+    /// Island index assigned by the most recent island-creation phase, or
+    /// `None` when the body was not part of any island.
+    #[inline]
+    pub fn island(&self) -> Option<u32> {
+        (self.island != u32::MAX).then_some(self.island)
+    }
+
+    /// Velocity of the material point of the body at world position `p`.
+    #[inline]
+    pub fn velocity_at(&self, p: Vec3) -> Vec3 {
+        self.lin_vel + self.ang_vel.cross(p - self.transform.position)
+    }
+
+    /// Adds a force (N) through the centre of mass for the next step.
+    #[inline]
+    pub fn add_force(&mut self, f: Vec3) {
+        self.force += f;
+    }
+
+    /// Adds a torque (N·m) for the next step.
+    #[inline]
+    pub fn add_torque(&mut self, t: Vec3) {
+        self.torque += t;
+    }
+
+    /// Applies an instantaneous impulse (kg·m/s) at world position `p`.
+    pub fn apply_impulse_at(&mut self, impulse: Vec3, p: Vec3) {
+        if self.is_static() {
+            return;
+        }
+        self.lin_vel += impulse * self.inv_mass;
+        let r = p - self.transform.position;
+        self.ang_vel += self.inv_inertia_world * r.cross(impulse);
+    }
+
+    /// Directly sets the linear velocity.
+    #[inline]
+    pub fn set_linear_velocity(&mut self, v: Vec3) {
+        self.lin_vel = v;
+    }
+
+    /// Directly sets the angular velocity.
+    #[inline]
+    pub fn set_angular_velocity(&mut self, w: Vec3) {
+        self.ang_vel = w;
+    }
+
+    /// Refreshes the cached world-space inverse inertia from the current
+    /// orientation.
+    pub(crate) fn refresh_inertia(&mut self) {
+        let r = self.transform.rotation.to_mat3();
+        self.inv_inertia_world = r * self.inv_inertia_local * r.transpose();
+    }
+
+    /// Kinetic energy of the body (0 for static bodies).
+    pub fn kinetic_energy(&self) -> f32 {
+        if self.inv_mass == 0.0 {
+            return 0.0;
+        }
+        let m = 1.0 / self.inv_mass;
+        let lin = 0.5 * m * self.lin_vel.length_squared();
+        // ω · I ω / 2; recover I from I⁻¹ where possible.
+        let ang = match self.inv_inertia_world.inverse() {
+            Some(inertia) => 0.5 * self.ang_vel.dot(inertia * self.ang_vel),
+            None => 0.0,
+        };
+        lin + ang
+    }
+}
+
+/// Builder-style description of a rigid body to add to the world.
+///
+/// # Examples
+///
+/// ```
+/// use parallax_physics::{BodyDesc, Shape};
+/// use parallax_math::Vec3;
+///
+/// let desc = BodyDesc::dynamic(Vec3::new(0.0, 2.0, 0.0))
+///     .with_shape(Shape::cuboid(Vec3::splat(0.5)), 10.0)
+///     .with_velocity(Vec3::new(1.0, 0.0, 0.0));
+/// ```
+#[derive(Debug, Clone)]
+pub struct BodyDesc {
+    pub(crate) position: Vec3,
+    pub(crate) rotation: Quat,
+    pub(crate) lin_vel: Vec3,
+    pub(crate) ang_vel: Vec3,
+    pub(crate) shapes: Vec<(Shape, Transform)>,
+    pub(crate) mass: f32,
+    pub(crate) flags: BodyFlags,
+    pub(crate) linear_damping: f32,
+    pub(crate) angular_damping: f32,
+}
+
+impl BodyDesc {
+    /// Starts describing a dynamic body at `position`.
+    pub fn dynamic(position: Vec3) -> Self {
+        BodyDesc {
+            position,
+            rotation: Quat::IDENTITY,
+            lin_vel: Vec3::ZERO,
+            ang_vel: Vec3::ZERO,
+            shapes: Vec::new(),
+            mass: 1.0,
+            flags: BodyFlags::empty(),
+            linear_damping: 0.0,
+            angular_damping: 0.01,
+        }
+    }
+
+    /// Starts describing a static (immovable) body at `position`.
+    pub fn fixed(position: Vec3) -> Self {
+        let mut d = BodyDesc::dynamic(position);
+        d.flags.insert(BodyFlags::STATIC);
+        d
+    }
+
+    /// Attaches a collision shape at the body origin and sets total mass.
+    ///
+    /// The mass of the *body* becomes `mass` (shapes do not accumulate mass
+    /// separately; the last call wins for the inertia-defining shape).
+    pub fn with_shape(mut self, shape: Shape, mass: f32) -> Self {
+        self.shapes.push((shape, Transform::IDENTITY));
+        self.mass = mass;
+        self
+    }
+
+    /// Attaches an additional collision shape at a local offset.
+    pub fn with_shape_at(mut self, shape: Shape, local: Transform) -> Self {
+        self.shapes.push((shape, local));
+        self
+    }
+
+    /// Sets the initial orientation.
+    pub fn with_rotation(mut self, rotation: Quat) -> Self {
+        self.rotation = rotation;
+        self
+    }
+
+    /// Sets the initial linear velocity.
+    pub fn with_velocity(mut self, v: Vec3) -> Self {
+        self.lin_vel = v;
+        self
+    }
+
+    /// Sets the initial angular velocity.
+    pub fn with_angular_velocity(mut self, w: Vec3) -> Self {
+        self.ang_vel = w;
+        self
+    }
+
+    /// Ors in extra behaviour flags (e.g. [`BodyFlags::EXPLOSIVE`]).
+    pub fn with_flags(mut self, flags: BodyFlags) -> Self {
+        self.flags.insert(flags);
+        self
+    }
+
+    /// Sets velocity damping factors (per second).
+    pub fn with_damping(mut self, linear: f32, angular: f32) -> Self {
+        self.linear_damping = linear;
+        self.angular_damping = angular;
+        self
+    }
+
+    /// Builds the runtime body. Inertia comes from the first shape (or a
+    /// unit sphere when the body has no shape).
+    pub(crate) fn build(&self) -> RigidBody {
+        let is_static = self.flags.contains(BodyFlags::STATIC);
+        let (inv_mass, inv_inertia_local) = if is_static {
+            (0.0, Mat3::ZERO)
+        } else {
+            let mass = self.mass.max(1e-6);
+            let inertia = match self.shapes.first() {
+                Some((shape, _)) => shape.unit_inertia().scaled(mass),
+                None => Mat3::from_diagonal(Vec3::splat(0.4 * mass)),
+            };
+            let inv = inertia.inverse().unwrap_or(Mat3::IDENTITY);
+            (1.0 / mass, inv)
+        };
+        let mut body = RigidBody {
+            transform: Transform::new(self.position, self.rotation),
+            lin_vel: self.lin_vel,
+            ang_vel: self.ang_vel,
+            force: Vec3::ZERO,
+            torque: Vec3::ZERO,
+            inv_mass,
+            inv_inertia_local,
+            inv_inertia_world: Mat3::ZERO,
+            flags: self.flags,
+            island: u32::MAX,
+            linear_damping: self.linear_damping,
+            angular_damping: self.angular_damping,
+        };
+        body.refresh_inertia();
+        body
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dynamic_body_has_finite_mass() {
+        let b = BodyDesc::dynamic(Vec3::ZERO)
+            .with_shape(Shape::sphere(1.0), 2.0)
+            .build();
+        assert!((b.mass() - 2.0).abs() < 1e-6);
+        assert!(!b.is_static());
+    }
+
+    #[test]
+    fn static_body_is_immovable() {
+        let mut b = BodyDesc::fixed(Vec3::ZERO)
+            .with_shape(Shape::sphere(1.0), 2.0)
+            .build();
+        assert!(b.is_static());
+        assert_eq!(b.mass(), f32::INFINITY);
+        b.apply_impulse_at(Vec3::new(100.0, 0.0, 0.0), Vec3::ZERO);
+        assert_eq!(b.linear_velocity(), Vec3::ZERO);
+    }
+
+    #[test]
+    fn impulse_through_com_is_purely_linear() {
+        let mut b = BodyDesc::dynamic(Vec3::ZERO)
+            .with_shape(Shape::sphere(1.0), 1.0)
+            .build();
+        b.apply_impulse_at(Vec3::new(3.0, 0.0, 0.0), Vec3::ZERO);
+        assert!((b.linear_velocity() - Vec3::new(3.0, 0.0, 0.0)).length() < 1e-6);
+        assert!(b.angular_velocity().length() < 1e-6);
+    }
+
+    #[test]
+    fn offset_impulse_induces_spin() {
+        let mut b = BodyDesc::dynamic(Vec3::ZERO)
+            .with_shape(Shape::sphere(1.0), 1.0)
+            .build();
+        b.apply_impulse_at(Vec3::new(0.0, 0.0, 1.0), Vec3::new(1.0, 0.0, 0.0));
+        assert!(b.angular_velocity().length() > 0.0);
+    }
+
+    #[test]
+    fn velocity_at_accounts_for_rotation() {
+        let mut b = BodyDesc::dynamic(Vec3::ZERO)
+            .with_shape(Shape::sphere(1.0), 1.0)
+            .build();
+        b.set_angular_velocity(Vec3::new(0.0, 0.0, 1.0));
+        let v = b.velocity_at(Vec3::new(1.0, 0.0, 0.0));
+        assert!((v - Vec3::new(0.0, 1.0, 0.0)).length() < 1e-6);
+    }
+
+    #[test]
+    fn flags_work() {
+        let mut f = BodyFlags::empty();
+        f.insert(BodyFlags::EXPLOSIVE);
+        assert!(f.contains(BodyFlags::EXPLOSIVE));
+        assert!(!f.contains(BodyFlags::STATIC));
+        f.remove(BodyFlags::EXPLOSIVE);
+        assert_eq!(f, BodyFlags::empty());
+        let both = BodyFlags::STATIC | BodyFlags::DISABLED;
+        assert!(both.contains(BodyFlags::STATIC) && both.contains(BodyFlags::DISABLED));
+    }
+
+    #[test]
+    fn kinetic_energy_of_moving_body() {
+        let mut b = BodyDesc::dynamic(Vec3::ZERO)
+            .with_shape(Shape::sphere(1.0), 2.0)
+            .build();
+        b.set_linear_velocity(Vec3::new(3.0, 0.0, 0.0));
+        assert!((b.kinetic_energy() - 9.0).abs() < 1e-4);
+    }
+}

@@ -1,0 +1,289 @@
+//! Broad-phase collision culling.
+//!
+//! The paper notes that broad-phase algorithms that maintain a spatial
+//! structure (hash tables, kd-trees, sweep-and-prune axes) are hard to
+//! parallelize — this is one of the two *serial* phases. Two interchangeable
+//! algorithms are provided:
+//!
+//! * [`SweepAndPrune`] — sort-and-sweep along the X axis (the default, and
+//!   the algorithm ODE's `dxSAPSpace` uses), and
+//! * [`UniformGrid`] — a uniform spatial hash, used by the ablation study.
+
+use parallax_math::Aabb;
+
+use crate::shape::GeomId;
+
+/// Work statistics produced by a broad-phase pass (consumed by the trace
+/// layer to derive instruction counts).
+#[derive(Debug, Default, Clone, Copy)]
+pub struct BroadphaseStats {
+    /// Number of enabled geoms considered.
+    pub geoms: usize,
+    /// Comparisons performed while sorting endpoints / hashing cells.
+    pub sort_ops: usize,
+    /// Candidate AABB overlap tests performed.
+    pub overlap_tests: usize,
+    /// Pairs emitted.
+    pub pairs: usize,
+}
+
+/// A broad-phase algorithm: produces candidate geom pairs from AABBs.
+pub trait Broadphase {
+    /// Computes candidate overlapping pairs.
+    ///
+    /// `aabbs` carries `(geom, world aabb)` for every enabled geom. The
+    /// returned pairs are unordered and deduplicated, with `a < b`.
+    fn pairs(&mut self, aabbs: &[(GeomId, Aabb)]) -> (Vec<(GeomId, GeomId)>, BroadphaseStats);
+}
+
+/// Sort-and-sweep along the X axis.
+///
+/// Geoms are sorted by their AABB min-x; a sweep then tests each geom
+/// against followers whose min-x is below its max-x. This is O(n log n +
+/// n·k) and matches the serial, hard-to-parallelize profile the paper
+/// describes.
+#[derive(Debug, Default)]
+pub struct SweepAndPrune {
+    // Scratch buffers reused across frames to avoid allocation churn.
+    order: Vec<u32>,
+}
+
+impl SweepAndPrune {
+    /// Creates a new sweep-and-prune broad-phase.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Broadphase for SweepAndPrune {
+    fn pairs(&mut self, aabbs: &[(GeomId, Aabb)]) -> (Vec<(GeomId, GeomId)>, BroadphaseStats) {
+        let n = aabbs.len();
+        let mut stats = BroadphaseStats {
+            geoms: n,
+            ..Default::default()
+        };
+        self.order.clear();
+        self.order.extend(0..n as u32);
+        // Count comparisons via a wrapper-free estimate: n log2 n.
+        stats.sort_ops = if n > 1 {
+            n * (usize::BITS - (n - 1).leading_zeros()) as usize
+        } else {
+            0
+        };
+        self.order
+            .sort_unstable_by(|&a, &b| aabbs[a as usize].1.min.x.total_cmp(&aabbs[b as usize].1.min.x));
+
+        let mut out = Vec::new();
+        for (i, &ia) in self.order.iter().enumerate() {
+            let (ga, ba) = &aabbs[ia as usize];
+            for &ib in &self.order[i + 1..] {
+                let (gb, bb) = &aabbs[ib as usize];
+                if bb.min.x > ba.max.x {
+                    break;
+                }
+                stats.overlap_tests += 1;
+                if ba.overlaps(bb) {
+                    let (lo, hi) = if ga < gb { (*ga, *gb) } else { (*gb, *ga) };
+                    out.push((lo, hi));
+                }
+            }
+        }
+        stats.pairs = out.len();
+        (out, stats)
+    }
+}
+
+/// Uniform-grid spatial hash broad-phase.
+///
+/// Geoms are binned into cells of a fixed size; pairs are generated within
+/// each cell and deduplicated. Useful as an ablation against
+/// [`SweepAndPrune`].
+#[derive(Debug)]
+pub struct UniformGrid {
+    cell: f32,
+}
+
+impl UniformGrid {
+    /// Creates a grid with the given cell size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cell` is not positive and finite.
+    pub fn new(cell: f32) -> Self {
+        assert!(cell > 0.0 && cell.is_finite(), "cell size must be positive");
+        UniformGrid { cell }
+    }
+
+    fn cell_range(&self, bb: &Aabb) -> ([i32; 3], [i32; 3]) {
+        let lo = [
+            (bb.min.x / self.cell).floor() as i32,
+            (bb.min.y / self.cell).floor() as i32,
+            (bb.min.z / self.cell).floor() as i32,
+        ];
+        let hi = [
+            (bb.max.x / self.cell).floor() as i32,
+            (bb.max.y / self.cell).floor() as i32,
+            (bb.max.z / self.cell).floor() as i32,
+        ];
+        (lo, hi)
+    }
+}
+
+impl Broadphase for UniformGrid {
+    fn pairs(&mut self, aabbs: &[(GeomId, Aabb)]) -> (Vec<(GeomId, GeomId)>, BroadphaseStats) {
+        use std::collections::HashMap;
+        let mut stats = BroadphaseStats {
+            geoms: aabbs.len(),
+            ..Default::default()
+        };
+        // Very large AABBs (planes) would flood the grid; put anything
+        // spanning more than `MAX_CELLS_PER_AXIS` cells into a global bin
+        // tested against everyone.
+        const MAX_CELLS_PER_AXIS: i32 = 64;
+        let mut cells: HashMap<(i32, i32, i32), Vec<u32>> = HashMap::new();
+        let mut global: Vec<u32> = Vec::new();
+        for (i, (_, bb)) in aabbs.iter().enumerate() {
+            let (lo, hi) = self.cell_range(bb);
+            if (0..3).any(|k| hi[k] - lo[k] > MAX_CELLS_PER_AXIS) {
+                global.push(i as u32);
+                continue;
+            }
+            for x in lo[0]..=hi[0] {
+                for y in lo[1]..=hi[1] {
+                    for z in lo[2]..=hi[2] {
+                        cells.entry((x, y, z)).or_default().push(i as u32);
+                        stats.sort_ops += 1;
+                    }
+                }
+            }
+        }
+        let mut seen = std::collections::HashSet::new();
+        let mut out = Vec::new();
+        let mut emit = |ia: u32, ib: u32, stats: &mut BroadphaseStats| {
+            let (ga, ba) = &aabbs[ia as usize];
+            let (gb, bb) = &aabbs[ib as usize];
+            // Deduplicate before testing: a pair sharing several cells is
+            // AABB-tested only once.
+            let key = if ga < gb { (*ga, *gb) } else { (*gb, *ga) };
+            if !seen.insert(key) {
+                return;
+            }
+            stats.overlap_tests += 1;
+            if ba.overlaps(bb) {
+                out.push(key);
+            }
+        };
+        for members in cells.values() {
+            for (i, &a) in members.iter().enumerate() {
+                for &b in &members[i + 1..] {
+                    emit(a, b, &mut stats);
+                }
+            }
+        }
+        for (i, &a) in global.iter().enumerate() {
+            for &b in &global[i + 1..] {
+                emit(a, b, &mut stats);
+            }
+            for j in 0..aabbs.len() as u32 {
+                if !global.contains(&j) {
+                    emit(a, j, &mut stats);
+                }
+            }
+        }
+        // HashMap iteration order is randomized per process; sort so the
+        // pair order (and everything downstream: solver row order,
+        // island numbering, dynamics) is deterministic.
+        out.sort_unstable();
+        stats.pairs = out.len();
+        (out, stats)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parallax_math::Vec3;
+
+    fn boxes(centers: &[Vec3], half: f32) -> Vec<(GeomId, Aabb)> {
+        centers
+            .iter()
+            .enumerate()
+            .map(|(i, c)| {
+                (
+                    GeomId(i as u32),
+                    Aabb::from_center_half_extents(*c, Vec3::splat(half)),
+                )
+            })
+            .collect()
+    }
+
+    fn sorted(mut v: Vec<(GeomId, GeomId)>) -> Vec<(GeomId, GeomId)> {
+        v.sort();
+        v
+    }
+
+    #[test]
+    fn sap_finds_overlapping_pair() {
+        let aabbs = boxes(&[Vec3::ZERO, Vec3::new(0.5, 0.0, 0.0), Vec3::new(10.0, 0.0, 0.0)], 0.5);
+        let (pairs, stats) = SweepAndPrune::new().pairs(&aabbs);
+        assert_eq!(pairs, vec![(GeomId(0), GeomId(1))]);
+        assert_eq!(stats.pairs, 1);
+        assert_eq!(stats.geoms, 3);
+    }
+
+    #[test]
+    fn sap_no_pairs_when_separated() {
+        let aabbs = boxes(
+            &[Vec3::ZERO, Vec3::new(5.0, 0.0, 0.0), Vec3::new(-5.0, 0.0, 0.0)],
+            0.5,
+        );
+        let (pairs, _) = SweepAndPrune::new().pairs(&aabbs);
+        assert!(pairs.is_empty());
+    }
+
+    #[test]
+    fn sap_separated_on_other_axes_culled() {
+        // Same x interval but far apart in y: the sweep must still reject.
+        let aabbs = boxes(&[Vec3::ZERO, Vec3::new(0.0, 100.0, 0.0)], 0.5);
+        let (pairs, stats) = SweepAndPrune::new().pairs(&aabbs);
+        assert!(pairs.is_empty());
+        assert_eq!(stats.overlap_tests, 1);
+    }
+
+    #[test]
+    fn grid_matches_sap_on_clusters() {
+        let centers: Vec<Vec3> = (0..20)
+            .map(|i| Vec3::new((i % 5) as f32 * 0.8, (i / 5) as f32 * 0.8, 0.0))
+            .collect();
+        let aabbs = boxes(&centers, 0.5);
+        let (mut sap, _) = SweepAndPrune::new().pairs(&aabbs);
+        let (mut grid, _) = UniformGrid::new(2.0).pairs(&aabbs);
+        sap.sort();
+        grid.sort();
+        assert_eq!(sap, grid);
+    }
+
+    #[test]
+    fn grid_handles_huge_aabb_as_global() {
+        let mut aabbs = boxes(&[Vec3::ZERO, Vec3::new(1000.0, 0.0, 0.0)], 0.5);
+        // A plane-like huge box overlapping everything.
+        aabbs.push((
+            GeomId(2),
+            Aabb::from_center_half_extents(Vec3::ZERO, Vec3::splat(1e9)),
+        ));
+        let (pairs, _) = UniformGrid::new(1.0).pairs(&aabbs);
+        let pairs = sorted(pairs);
+        assert!(pairs.contains(&(GeomId(0), GeomId(2))));
+        assert!(pairs.contains(&(GeomId(1), GeomId(2))));
+        assert!(!pairs.contains(&(GeomId(0), GeomId(1))));
+    }
+
+    #[test]
+    fn empty_input_is_fine() {
+        let (pairs, stats) = SweepAndPrune::new().pairs(&[]);
+        assert!(pairs.is_empty());
+        assert_eq!(stats.geoms, 0);
+        let (pairs, _) = UniformGrid::new(1.0).pairs(&[]);
+        assert!(pairs.is_empty());
+    }
+}

@@ -1,0 +1,509 @@
+//! Cloth simulation: Jakobsen-style position-based dynamics (paper §3.2).
+//!
+//! A cloth is a triangular mesh where every edge is a length constraint.
+//! Vertices are integrated with a Verlet step and constraints are solved by
+//! iterative relaxation (vertex projection). Collision with rigid bodies on
+//! the cloth's contact list is resolved by projecting vertices out of the
+//! offending shape.
+//!
+//! Each vertex update is independent — this is the fine-grain parallel
+//! kernel the paper maps onto FG cores.
+
+use parallax_math::{Aabb, Transform, Vec3};
+use serde::{Deserialize, Serialize};
+
+use crate::shape::Shape;
+
+/// Identifier of a cloth object inside a world.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct ClothId(pub u32);
+
+impl ClothId {
+    /// Returns the raw index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Configuration for a cloth object.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct ClothConfig {
+    /// Constraint-relaxation iterations per step.
+    pub iterations: usize,
+    /// Velocity damping (0..1 fraction retained per step).
+    pub damping: f32,
+    /// Thickness used when projecting vertices out of colliders.
+    pub thickness: f32,
+}
+
+impl Default for ClothConfig {
+    fn default() -> Self {
+        ClothConfig {
+            iterations: 8,
+            damping: 0.995,
+            thickness: 0.02,
+        }
+    }
+}
+
+/// One cloth vertex.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct ClothVertex {
+    /// Current position.
+    pub pos: Vec3,
+    /// Previous position (Verlet state).
+    pub prev: Vec3,
+    /// Pinned vertices do not move (attachment points).
+    pub pinned: bool,
+}
+
+/// A distance constraint between two vertices.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct LengthConstraint {
+    /// First vertex index.
+    pub a: u32,
+    /// Second vertex index.
+    pub b: u32,
+    /// Rest length.
+    pub rest: f32,
+}
+
+/// Work statistics from one cloth step, consumed by the trace layer.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct ClothStats {
+    /// Vertices integrated.
+    pub vertices: usize,
+    /// Constraint projections executed (constraints × iterations).
+    pub projections: usize,
+    /// Vertex-collider tests executed.
+    pub collision_tests: usize,
+    /// Vertices pushed out of colliders.
+    pub collisions_resolved: usize,
+}
+
+/// A cloth object: triangular mesh + length constraints.
+///
+/// # Examples
+///
+/// ```
+/// use parallax_physics::cloth::Cloth;
+/// use parallax_math::Vec3;
+///
+/// // A 5x5 vertex cloth (the paper's "small" cloth is 25 vertices).
+/// let cloth = Cloth::rectangle(Vec3::new(0.0, 2.0, 0.0), 1.0, 1.0, 5, 5, &[0, 4]);
+/// assert_eq!(cloth.vertices().len(), 25);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Cloth {
+    verts: Vec<ClothVertex>,
+    constraints: Vec<LengthConstraint>,
+    triangles: Vec<[u32; 3]>,
+    config: ClothConfig,
+    /// Bodies to collide against this step (world maintains this from
+    /// broad-phase overlaps with the cloth's AABB).
+    pub(crate) contact_bodies: Vec<u32>,
+    /// World-static geoms (ground plane, terrain) on the contact list.
+    pub(crate) contact_static_geoms: Vec<u32>,
+}
+
+impl Cloth {
+    /// Builds a rectangular cloth in the XZ plane at `origin`, `w × h`
+    /// metres, with `nx × nz` vertices. Indices in `pinned` are fixed in
+    /// space.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nx < 2` or `nz < 2`.
+    pub fn rectangle(
+        origin: Vec3,
+        w: f32,
+        h: f32,
+        nx: usize,
+        nz: usize,
+        pinned: &[usize],
+    ) -> Self {
+        assert!(nx >= 2 && nz >= 2, "cloth needs at least 2x2 vertices");
+        let mut verts = Vec::with_capacity(nx * nz);
+        for iz in 0..nz {
+            for ix in 0..nx {
+                let p = origin
+                    + Vec3::new(
+                        w * ix as f32 / (nx - 1) as f32,
+                        0.0,
+                        h * iz as f32 / (nz - 1) as f32,
+                    );
+                verts.push(ClothVertex {
+                    pos: p,
+                    prev: p,
+                    pinned: false,
+                });
+            }
+        }
+        for &p in pinned {
+            if p < verts.len() {
+                verts[p].pinned = true;
+            }
+        }
+
+        let idx = |ix: usize, iz: usize| (iz * nx + ix) as u32;
+        let mut constraints = Vec::new();
+        let mut triangles = Vec::new();
+        for iz in 0..nz {
+            for ix in 0..nx {
+                let a = idx(ix, iz);
+                if ix + 1 < nx {
+                    constraints.push((a, idx(ix + 1, iz)));
+                }
+                if iz + 1 < nz {
+                    constraints.push((a, idx(ix, iz + 1)));
+                }
+                // Shear constraints along the triangulation diagonal.
+                if ix + 1 < nx && iz + 1 < nz {
+                    constraints.push((a, idx(ix + 1, iz + 1)));
+                    triangles.push([a, idx(ix + 1, iz), idx(ix + 1, iz + 1)]);
+                    triangles.push([a, idx(ix + 1, iz + 1), idx(ix, iz + 1)]);
+                }
+            }
+        }
+        let constraints = constraints
+            .into_iter()
+            .map(|(a, b)| LengthConstraint {
+                a,
+                b,
+                rest: (verts[a as usize].pos - verts[b as usize].pos).length(),
+            })
+            .collect();
+
+        Cloth {
+            verts,
+            constraints,
+            triangles,
+            config: ClothConfig::default(),
+            contact_bodies: Vec::new(),
+            contact_static_geoms: Vec::new(),
+        }
+    }
+
+    /// Overrides the default configuration.
+    pub fn with_config(mut self, config: ClothConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// The vertices.
+    #[inline]
+    pub fn vertices(&self) -> &[ClothVertex] {
+        &self.verts
+    }
+
+    /// The length constraints.
+    #[inline]
+    pub fn constraints(&self) -> &[LengthConstraint] {
+        &self.constraints
+    }
+
+    /// The triangles (for rendering / collision volumes).
+    #[inline]
+    pub fn triangles(&self) -> &[[u32; 3]] {
+        &self.triangles
+    }
+
+    /// Bodies currently on the contact list.
+    #[inline]
+    pub fn contact_bodies(&self) -> &[u32] {
+        &self.contact_bodies
+    }
+
+    /// World-static geoms currently on the contact list.
+    #[inline]
+    pub fn contact_static_geoms(&self) -> &[u32] {
+        &self.contact_static_geoms
+    }
+
+    /// Pins vertex `i` at its current position.
+    pub fn pin(&mut self, i: usize) {
+        self.verts[i].pinned = true;
+    }
+
+    /// Moves a pinned vertex (attachment follows a body).
+    pub fn move_pinned(&mut self, i: usize, pos: Vec3) {
+        let v = &mut self.verts[i];
+        v.pos = pos;
+        v.prev = pos;
+    }
+
+    /// World-space AABB of the cloth, expanded by `margin`.
+    pub fn aabb(&self, margin: f32) -> Aabb {
+        let mut bb = Aabb::EMPTY;
+        for v in &self.verts {
+            bb = bb.union(&Aabb::new(v.pos, v.pos));
+        }
+        bb.expanded(margin)
+    }
+
+    /// Mean squared violation of the length constraints (m²) — a
+    /// convergence metric used by tests and benches.
+    pub fn constraint_error(&self) -> f32 {
+        if self.constraints.is_empty() {
+            return 0.0;
+        }
+        let sum: f32 = self
+            .constraints
+            .iter()
+            .map(|c| {
+                let d =
+                    (self.verts[c.a as usize].pos - self.verts[c.b as usize].pos).length() - c.rest;
+                d * d
+            })
+            .sum();
+        sum / self.constraints.len() as f32
+    }
+
+    /// Advances the cloth one step: Verlet integration, constraint
+    /// relaxation, then collision projection against `colliders`.
+    ///
+    /// Every entry of `colliders` is a posed shape from the contact list.
+    pub fn step(&mut self, gravity: Vec3, dt: f32, colliders: &[(Shape, Transform)]) -> ClothStats {
+        let mut stats = ClothStats {
+            vertices: self.verts.len(),
+            ..Default::default()
+        };
+
+        // Verlet integration.
+        let damping = self.config.damping;
+        for v in &mut self.verts {
+            if v.pinned {
+                continue;
+            }
+            let vel = (v.pos - v.prev) * damping;
+            let next = v.pos + vel + gravity * (dt * dt);
+            v.prev = v.pos;
+            v.pos = next;
+        }
+
+        // Constraint relaxation.
+        for _ in 0..self.config.iterations {
+            for c in &self.constraints {
+                let (ia, ib) = (c.a as usize, c.b as usize);
+                let delta = self.verts[ib].pos - self.verts[ia].pos;
+                let Some((dir, len)) = delta.normalized_with_length() else {
+                    continue;
+                };
+                let err = len - c.rest;
+                let correction = dir * (err * 0.5);
+                let (pa, pb) = (self.verts[ia].pinned, self.verts[ib].pinned);
+                match (pa, pb) {
+                    (false, false) => {
+                        self.verts[ia].pos += correction;
+                        self.verts[ib].pos -= correction;
+                    }
+                    (true, false) => self.verts[ib].pos -= correction * 2.0,
+                    (false, true) => self.verts[ia].pos += correction * 2.0,
+                    (true, true) => {}
+                }
+            }
+            stats.projections += self.constraints.len();
+        }
+
+        // Collision: continuous (ray-cast, paper: cloth CD "is based on a
+        // combination of ray casting and AABB hierarchies") plus discrete
+        // vertex projection.
+        for v in &mut self.verts {
+            if v.pinned {
+                continue;
+            }
+            // CCD: a vertex that moved more than its thickness this step
+            // may have tunnelled; clamp it at the first surface its path
+            // crossed.
+            let travel = v.pos - v.prev;
+            if travel.length() > self.config.thickness * 2.0 {
+                let ray = crate::ray::Ray::between(v.prev, v.pos);
+                for (shape, t) in colliders {
+                    stats.collision_tests += 1;
+                    if let Some(hit) = crate::ray::cast_shape(&ray, shape, t) {
+                        v.pos = hit.point + hit.normal * self.config.thickness;
+                        v.prev = v.prev.lerp(v.pos, 0.5);
+                        stats.collisions_resolved += 1;
+                        break;
+                    }
+                }
+            }
+            for (shape, t) in colliders {
+                stats.collision_tests += 1;
+                if let Some(pushed) = project_out(v.pos, shape, t, self.config.thickness) {
+                    v.pos = pushed;
+                    // Kill the velocity component into the surface by
+                    // moving prev with the vertex (inelastic).
+                    v.prev = v.prev.lerp(v.pos, 0.5);
+                    stats.collisions_resolved += 1;
+                }
+            }
+        }
+        stats
+    }
+}
+
+/// Projects a point out of a shape if inside (plus `thickness`), returning
+/// the corrected position.
+fn project_out(p: Vec3, shape: &Shape, t: &Transform, thickness: f32) -> Option<Vec3> {
+    match shape {
+        Shape::Sphere { radius } => {
+            let d = p - t.position;
+            let r = radius + thickness;
+            let (dir, len) = d.normalized_with_length().unwrap_or((Vec3::UNIT_Y, 0.0));
+            (len < r).then(|| t.position + dir * r)
+        }
+        Shape::Cuboid { half } => {
+            let local = t.apply_inverse(p);
+            let grown = *half + Vec3::splat(thickness);
+            let inside = local.abs().x < grown.x && local.abs().y < grown.y && local.abs().z < grown.z;
+            if !inside {
+                return None;
+            }
+            // Push out through the nearest face.
+            let d = grown - local.abs();
+            let mut out = local;
+            if d.x <= d.y && d.x <= d.z {
+                out.x = grown.x * local.x.signum();
+            } else if d.y <= d.z {
+                out.y = grown.y * local.y.signum();
+            } else {
+                out.z = grown.z * local.z.signum();
+            }
+            Some(t.apply(out))
+        }
+        Shape::Capsule { radius, half_len } => {
+            let axis = t.apply_vector(Vec3::UNIT_Y);
+            let closest = crate::narrowphase::closest_point_on_segment(
+                t.position - axis * *half_len,
+                t.position + axis * *half_len,
+                p,
+            );
+            let d = p - closest;
+            let r = radius + thickness;
+            let (dir, len) = d.normalized_with_length().unwrap_or((Vec3::UNIT_Y, 0.0));
+            (len < r).then(|| closest + dir * r)
+        }
+        Shape::Plane { normal, offset } => {
+            let dist = p.dot(*normal) - offset - thickness;
+            (dist < 0.0).then(|| p - *normal * dist)
+        }
+        Shape::Heightfield(hf) => {
+            let local = t.apply_inverse(p);
+            let h = hf.height_at(local.x, local.z) + thickness;
+            (local.y < h).then(|| t.apply(Vec3::new(local.x, h, local.z)))
+        }
+        Shape::TriMesh(_) => None, // Cloth-trimesh collision not supported.
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rectangle_builds_expected_topology() {
+        let c = Cloth::rectangle(Vec3::ZERO, 1.0, 1.0, 3, 3, &[]);
+        assert_eq!(c.vertices().len(), 9);
+        // Edges: 6 horizontal + 6 vertical + 4 diagonal.
+        assert_eq!(c.constraints().len(), 16);
+        assert_eq!(c.triangles().len(), 8);
+    }
+
+    #[test]
+    fn pinned_vertices_do_not_fall() {
+        let mut c = Cloth::rectangle(Vec3::ZERO, 1.0, 1.0, 5, 5, &[0]);
+        let start = c.vertices()[0].pos;
+        for _ in 0..50 {
+            c.step(Vec3::new(0.0, -10.0, 0.0), 0.01, &[]);
+        }
+        assert_eq!(c.vertices()[0].pos, start);
+        // Unpinned vertices fell.
+        assert!(c.vertices()[24].pos.y < -0.05);
+    }
+
+    #[test]
+    fn hanging_cloth_stays_connected() {
+        // Pin the whole top edge; after settling, constraint error stays
+        // small (relaxation converges).
+        let mut c = Cloth::rectangle(Vec3::ZERO, 1.0, 1.0, 5, 5, &[0, 1, 2, 3, 4]);
+        for _ in 0..200 {
+            c.step(Vec3::new(0.0, -10.0, 0.0), 0.01, &[]);
+        }
+        assert!(
+            c.constraint_error() < 1e-3,
+            "constraint error {}",
+            c.constraint_error()
+        );
+    }
+
+    #[test]
+    fn cloth_rests_on_sphere() {
+        let mut c = Cloth::rectangle(Vec3::new(-0.5, 1.0, -0.5), 1.0, 1.0, 7, 7, &[]);
+        let colliders = [(Shape::sphere(0.5), Transform::from_position(Vec3::ZERO))];
+        let mut stats = ClothStats::default();
+        for _ in 0..100 {
+            stats = c.step(Vec3::new(0.0, -10.0, 0.0), 0.01, &colliders);
+        }
+        assert!(stats.collisions_resolved > 0, "cloth should touch sphere");
+        // Centre vertex should sit on top of the sphere, not inside it.
+        let centre = c.vertices()[24].pos;
+        assert!(centre.length() >= 0.49, "vertex inside sphere: {centre:?}");
+    }
+
+    #[test]
+    fn cloth_does_not_sink_through_plane() {
+        let mut c = Cloth::rectangle(Vec3::new(-0.5, 0.5, -0.5), 1.0, 1.0, 5, 5, &[]);
+        let colliders = [(Shape::plane(Vec3::UNIT_Y, 0.0), Transform::IDENTITY)];
+        for _ in 0..200 {
+            c.step(Vec3::new(0.0, -10.0, 0.0), 0.01, &colliders);
+        }
+        for v in c.vertices() {
+            assert!(v.pos.y > -1e-3, "vertex below plane: {:?}", v.pos);
+        }
+    }
+
+    #[test]
+    fn fast_vertices_do_not_tunnel_through_thin_box() {
+        // A cloth slammed downward at high speed over a thin plate: without
+        // CCD the vertices would skip straight through in one step.
+        let mut c = Cloth::rectangle(Vec3::new(-0.4, 1.0, -0.4), 0.8, 0.8, 5, 5, &[]);
+        // Give every vertex a large downward velocity via Verlet state.
+        for i in 0..c.verts.len() {
+            let p = c.verts[i].pos;
+            c.verts[i].prev = p + Vec3::new(0.0, 1.2, 0.0); // 120 m/s at dt=0.01
+        }
+        let plate = (
+            Shape::cuboid(Vec3::new(2.0, 0.02, 2.0)),
+            Transform::from_position(Vec3::new(0.0, 0.5, 0.0)),
+        );
+        for _ in 0..3 {
+            c.step(Vec3::new(0.0, -10.0, 0.0), 0.01, std::slice::from_ref(&plate));
+        }
+        for v in c.vertices() {
+            assert!(
+                v.pos.y > 0.4,
+                "vertex tunnelled through the plate: {:?}",
+                v.pos
+            );
+        }
+    }
+
+    #[test]
+    fn aabb_covers_vertices() {
+        let c = Cloth::rectangle(Vec3::new(1.0, 2.0, 3.0), 2.0, 1.0, 4, 4, &[]);
+        let bb = c.aabb(0.1);
+        for v in c.vertices() {
+            assert!(bb.contains_point(v.pos));
+        }
+    }
+
+    #[test]
+    fn stats_report_work() {
+        let mut c = Cloth::rectangle(Vec3::ZERO, 1.0, 1.0, 4, 4, &[]);
+        let stats = c.step(Vec3::new(0.0, -10.0, 0.0), 0.01, &[]);
+        assert_eq!(stats.vertices, 16);
+        assert_eq!(stats.projections, c.constraints().len() * 8);
+    }
+}

@@ -1,0 +1,119 @@
+//! Contact points and manifolds produced by narrow-phase collision.
+
+use parallax_math::Vec3;
+use serde::{Deserialize, Serialize};
+
+use crate::shape::GeomId;
+
+/// A single contact point between two geoms.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct ContactPoint {
+    /// World-space contact position.
+    pub position: Vec3,
+    /// Unit contact normal, pointing from geom B towards geom A.
+    pub normal: Vec3,
+    /// Penetration depth (>= 0 when overlapping).
+    pub depth: f32,
+}
+
+/// All contact points between one pair of geoms.
+///
+/// Narrow-phase produces at most [`ContactManifold::MAX_POINTS`] points per
+/// pair, matching ODE's per-pair contact cap.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ContactManifold {
+    /// First geom of the pair.
+    pub geom_a: GeomId,
+    /// Second geom of the pair.
+    pub geom_b: GeomId,
+    /// The contact points.
+    pub points: Vec<ContactPoint>,
+    /// Combined friction coefficient for the pair.
+    pub friction: f32,
+    /// Combined restitution for the pair.
+    pub restitution: f32,
+}
+
+impl ContactManifold {
+    /// Maximum number of contact points retained per pair.
+    pub const MAX_POINTS: usize = 4;
+
+    /// Creates an empty manifold for the pair.
+    pub fn new(geom_a: GeomId, geom_b: GeomId) -> Self {
+        ContactManifold {
+            geom_a,
+            geom_b,
+            points: Vec::new(),
+            friction: 0.6,
+            restitution: 0.1,
+        }
+    }
+
+    /// Adds a point, keeping only the deepest [`Self::MAX_POINTS`].
+    pub fn push(&mut self, p: ContactPoint) {
+        debug_assert!(p.normal.is_finite() && p.position.is_finite());
+        if self.points.len() < Self::MAX_POINTS {
+            self.points.push(p);
+            return;
+        }
+        // Replace the shallowest point if the new one is deeper.
+        let (idx, shallowest) = self
+            .points
+            .iter()
+            .enumerate()
+            .min_by(|a, b| a.1.depth.total_cmp(&b.1.depth))
+            .map(|(i, c)| (i, c.depth))
+            .expect("manifold is non-empty here");
+        if p.depth > shallowest {
+            self.points[idx] = p;
+        }
+    }
+
+    /// Returns `true` when the manifold has no points.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Number of contact points.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pt(depth: f32) -> ContactPoint {
+        ContactPoint {
+            position: Vec3::ZERO,
+            normal: Vec3::UNIT_Y,
+            depth,
+        }
+    }
+
+    #[test]
+    fn push_caps_at_max_points_keeping_deepest() {
+        let mut m = ContactManifold::new(GeomId(0), GeomId(1));
+        for d in [0.1, 0.2, 0.3, 0.4] {
+            m.push(pt(d));
+        }
+        assert_eq!(m.len(), 4);
+        // A deeper point replaces the shallowest.
+        m.push(pt(0.5));
+        assert_eq!(m.len(), 4);
+        assert!(m.points.iter().all(|p| p.depth >= 0.2));
+        // A shallower point is dropped.
+        m.push(pt(0.05));
+        assert!(m.points.iter().all(|p| p.depth >= 0.2));
+    }
+
+    #[test]
+    fn empty_manifold() {
+        let m = ContactManifold::new(GeomId(3), GeomId(4));
+        assert!(m.is_empty());
+        assert_eq!(m.len(), 0);
+    }
+}

@@ -1,0 +1,144 @@
+//! Explosions (paper Table 2): explosive bodies become blast volumes on
+//! contact; blast volumes push bodies radially during their lifetime and
+//! shatter pre-fractured objects.
+
+use parallax_math::Vec3;
+use serde::{Deserialize, Serialize};
+
+use crate::body::BodyId;
+
+/// Parameters for explosive bodies.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct ExplosionConfig {
+    /// Radius of the blast sphere that replaces the explosive body.
+    pub blast_radius: f32,
+    /// Number of steps the blast volume persists.
+    pub duration_steps: u32,
+    /// Impulse applied at the blast centre, falling off linearly to the
+    /// radius (kg·m/s).
+    pub impulse: f32,
+}
+
+impl Default for ExplosionConfig {
+    fn default() -> Self {
+        ExplosionConfig {
+            blast_radius: 4.0,
+            duration_steps: 10,
+            impulse: 60.0,
+        }
+    }
+}
+
+/// A live blast volume.
+#[derive(Debug, Clone, Copy)]
+pub struct BlastVolume {
+    /// Body acting as the (disabled-collision-response) blast sphere.
+    pub body: BodyId,
+    /// World-space centre.
+    pub center: Vec3,
+    /// Blast radius.
+    pub radius: f32,
+    /// Remaining steps before the volume is disabled.
+    pub steps_left: u32,
+    /// Impulse at the centre.
+    pub impulse: f32,
+    /// `true` until the end of the step the blast was created in; the
+    /// world skips the first tick so a blast acts for its full duration.
+    pub fresh: bool,
+}
+
+impl BlastVolume {
+    /// Radial impulse applied to a body whose centre sits at `pos`.
+    ///
+    /// Linear falloff to zero at the blast radius; zero outside it.
+    pub fn impulse_at(&self, pos: Vec3) -> Vec3 {
+        let d = pos - self.center;
+        let dist = d.length();
+        if dist >= self.radius {
+            return Vec3::ZERO;
+        }
+        let falloff = 1.0 - dist / self.radius;
+        let dir = if dist > 1e-6 { d / dist } else { Vec3::UNIT_Y };
+        dir * (self.impulse * falloff)
+    }
+
+    /// Advances the volume by one step; returns `true` while still active.
+    ///
+    /// The step the blast was created in does not count against its
+    /// duration (it was created mid-step and has not acted yet).
+    pub fn tick(&mut self) -> bool {
+        if self.fresh {
+            self.fresh = false;
+            return true;
+        }
+        if self.steps_left == 0 {
+            return false;
+        }
+        self.steps_left -= 1;
+        self.steps_left > 0
+    }
+
+    /// `true` if `pos` lies inside the blast sphere.
+    pub fn contains(&self, pos: Vec3) -> bool {
+        (pos - self.center).length_squared() <= self.radius * self.radius
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn blast() -> BlastVolume {
+        BlastVolume {
+            body: BodyId(0),
+            center: Vec3::ZERO,
+            radius: 4.0,
+            steps_left: 3,
+            impulse: 60.0,
+            fresh: false,
+        }
+    }
+
+    #[test]
+    fn impulse_decays_radially() {
+        let b = blast();
+        let near = b.impulse_at(Vec3::new(1.0, 0.0, 0.0));
+        let far = b.impulse_at(Vec3::new(3.0, 0.0, 0.0));
+        assert!(near.length() > far.length());
+        assert!(near.x > 0.0, "impulse points outward");
+        assert_eq!(b.impulse_at(Vec3::new(5.0, 0.0, 0.0)), Vec3::ZERO);
+    }
+
+    #[test]
+    fn impulse_at_center_is_finite() {
+        let b = blast();
+        let i = b.impulse_at(Vec3::ZERO);
+        assert!(i.is_finite());
+        assert!((i.length() - 60.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn tick_counts_down_and_expires() {
+        let mut b = blast();
+        assert!(b.tick());
+        assert!(b.tick());
+        assert!(!b.tick());
+        assert!(!b.tick());
+    }
+
+    #[test]
+    fn fresh_blast_survives_its_creation_step() {
+        let mut b = blast();
+        b.fresh = true;
+        b.steps_left = 1;
+        assert!(b.tick(), "creation-step tick must not consume duration");
+        assert!(!b.tick(), "then one acting step");
+    }
+
+    #[test]
+    fn containment() {
+        let b = blast();
+        assert!(b.contains(Vec3::new(2.0, 2.0, 0.0)));
+        assert!(!b.contains(Vec3::new(4.0, 4.0, 0.0)));
+    }
+}

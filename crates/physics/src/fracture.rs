@@ -1,0 +1,141 @@
+//! Pre-fractured objects (paper Table 2): each breakable object carries a
+//! set of debris bodies created at startup and disabled; when the object
+//! contacts a blast volume, the parent is disabled and the debris pieces
+//! are enabled with inherited velocity plus a radial kick.
+
+use parallax_math::Vec3;
+use serde::{Deserialize, Serialize};
+
+use crate::body::BodyId;
+
+/// Parameters controlling debris generation.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct FractureConfig {
+    /// Number of debris pieces per fractured object (per axis the piece
+    /// grid is roughly the cube root of this).
+    pub pieces: usize,
+    /// Extra radial speed given to debris on shatter (m/s).
+    pub scatter_speed: f32,
+}
+
+impl Default for FractureConfig {
+    fn default() -> Self {
+        FractureConfig {
+            pieces: 8,
+            scatter_speed: 3.0,
+        }
+    }
+}
+
+/// Book-keeping for one pre-fractured object.
+#[derive(Debug, Clone)]
+pub struct Prefractured {
+    /// The intact parent body.
+    pub parent: BodyId,
+    /// The debris bodies (created disabled at startup).
+    pub debris: Vec<BodyId>,
+    /// Parent-local centre offsets of the debris pieces (used to re-pose
+    /// debris at shatter time, since the parent may have moved).
+    pub local_offsets: Vec<Vec3>,
+    /// Whether the object has shattered.
+    pub shattered: bool,
+    /// Scatter speed applied on shatter.
+    pub scatter_speed: f32,
+}
+
+impl Prefractured {
+    /// Creates the record; debris must already exist (disabled) in the
+    /// world, one per entry of `local_offsets`.
+    pub fn new(
+        parent: BodyId,
+        debris: Vec<BodyId>,
+        local_offsets: Vec<Vec3>,
+        scatter_speed: f32,
+    ) -> Self {
+        debug_assert_eq!(debris.len(), local_offsets.len());
+        Prefractured {
+            parent,
+            debris,
+            local_offsets,
+            shattered: false,
+            scatter_speed,
+        }
+    }
+
+    /// Splits a box half-extent into a debris grid: returns local centre
+    /// offsets and the per-piece half extent for `n` pieces (rounded to a
+    /// grid).
+    pub fn debris_layout(half: Vec3, n: usize) -> (Vec<Vec3>, Vec3) {
+        // Pick grid dims whose product is >= n, as cubic as possible.
+        let k = (n as f32).cbrt().ceil().max(1.0) as usize;
+        let dims = [k, k.max(1), n.div_ceil(k * k).max(1)];
+        let piece_half = Vec3::new(
+            half.x / dims[0] as f32,
+            half.y / dims[1] as f32,
+            half.z / dims[2] as f32,
+        );
+        let mut offsets = Vec::with_capacity(n);
+        'outer: for iz in 0..dims[2] {
+            for iy in 0..dims[1] {
+                for ix in 0..dims[0] {
+                    if offsets.len() >= n {
+                        break 'outer;
+                    }
+                    offsets.push(Vec3::new(
+                        -half.x + piece_half.x * (2 * ix + 1) as f32,
+                        -half.y + piece_half.y * (2 * iy + 1) as f32,
+                        -half.z + piece_half.z * (2 * iz + 1) as f32,
+                    ));
+                }
+            }
+        }
+        (offsets, piece_half)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn debris_layout_counts_and_bounds() {
+        let half = Vec3::new(1.0, 0.5, 0.25);
+        for n in [1, 4, 8, 9, 27] {
+            let (offsets, piece_half) = Prefractured::debris_layout(half, n);
+            assert_eq!(offsets.len(), n, "n = {n}");
+            for o in &offsets {
+                // Each piece must fit inside the parent box.
+                assert!(o.x.abs() + piece_half.x <= half.x + 1e-4);
+                assert!(o.y.abs() + piece_half.y <= half.y + 1e-4);
+                assert!(o.z.abs() + piece_half.z <= half.z + 1e-4);
+            }
+        }
+    }
+
+    #[test]
+    fn debris_pieces_tile_without_overlap() {
+        let half = Vec3::splat(1.0);
+        let (offsets, piece_half) = Prefractured::debris_layout(half, 8);
+        for (i, a) in offsets.iter().enumerate() {
+            for b in &offsets[i + 1..] {
+                let d = (*a - *b).abs();
+                let overlap = d.x < 2.0 * piece_half.x - 1e-4
+                    && d.y < 2.0 * piece_half.y - 1e-4
+                    && d.z < 2.0 * piece_half.z - 1e-4;
+                assert!(!overlap, "pieces {a:?} and {b:?} overlap");
+            }
+        }
+    }
+
+    #[test]
+    fn record_starts_intact() {
+        let p = Prefractured::new(
+            BodyId(0),
+            vec![BodyId(1), BodyId(2)],
+            vec![Vec3::ZERO, Vec3::UNIT_X],
+            3.0,
+        );
+        assert!(!p.shattered);
+        assert_eq!(p.debris.len(), 2);
+    }
+}

@@ -1,0 +1,128 @@
+//! Semi-implicit Euler integration of rigid-body state.
+
+use parallax_math::Vec3;
+
+use crate::body::RigidBody;
+
+/// Applies accumulated forces to velocities (the "apply forces" step).
+///
+/// `gravity` is added as an acceleration; accumulated force/torque are
+/// consumed and cleared.
+pub fn apply_forces(body: &mut RigidBody, gravity: Vec3, dt: f32) {
+    if body.is_static() || body.is_disabled() {
+        body.force = Vec3::ZERO;
+        body.torque = Vec3::ZERO;
+        return;
+    }
+    body.lin_vel += (gravity + body.force * body.inv_mass) * dt;
+    body.ang_vel += body.inv_inertia_world * body.torque * dt;
+    body.force = Vec3::ZERO;
+    body.torque = Vec3::ZERO;
+}
+
+/// Integrates position/orientation from velocity and applies damping.
+pub fn integrate(body: &mut RigidBody, dt: f32) {
+    if body.is_static() || body.is_disabled() {
+        return;
+    }
+    // Damping as exponential decay, matching ODE's linear/angular damping.
+    let lin_scale = (1.0 - body.linear_damping * dt).clamp(0.0, 1.0);
+    let ang_scale = (1.0 - body.angular_damping * dt).clamp(0.0, 1.0);
+    body.lin_vel *= lin_scale;
+    body.ang_vel *= ang_scale;
+
+    body.transform.position += body.lin_vel * dt;
+    body.transform.rotation = body.transform.rotation.integrate(body.ang_vel, dt);
+    body.refresh_inertia();
+}
+
+/// Caps runaway velocities to keep explosions numerically stable.
+pub fn clamp_velocities(body: &mut RigidBody, max_lin: f32, max_ang: f32) {
+    let l = body.lin_vel.length();
+    if l > max_lin {
+        body.lin_vel *= max_lin / l;
+    }
+    let a = body.ang_vel.length();
+    if a > max_ang {
+        body.ang_vel *= max_ang / a;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::body::BodyDesc;
+    use crate::shape::Shape;
+
+    fn unit_ball(pos: Vec3) -> RigidBody {
+        BodyDesc::dynamic(pos)
+            .with_shape(Shape::sphere(0.5), 1.0)
+            .build()
+    }
+
+    #[test]
+    fn gravity_accelerates() {
+        let mut b = unit_ball(Vec3::ZERO);
+        apply_forces(&mut b, Vec3::new(0.0, -10.0, 0.0), 0.1);
+        assert!((b.linear_velocity().y + 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn forces_are_consumed() {
+        let mut b = unit_ball(Vec3::ZERO);
+        b.add_force(Vec3::new(10.0, 0.0, 0.0));
+        apply_forces(&mut b, Vec3::ZERO, 0.1);
+        assert!((b.linear_velocity().x - 1.0).abs() < 1e-6);
+        // Second step without new force: no further acceleration.
+        apply_forces(&mut b, Vec3::ZERO, 0.1);
+        assert!((b.linear_velocity().x - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn static_bodies_ignore_forces() {
+        let mut b = BodyDesc::fixed(Vec3::ZERO)
+            .with_shape(Shape::sphere(0.5), 1.0)
+            .build();
+        b.add_force(Vec3::new(10.0, 0.0, 0.0));
+        apply_forces(&mut b, Vec3::new(0.0, -10.0, 0.0), 0.1);
+        integrate(&mut b, 0.1);
+        assert_eq!(b.position(), Vec3::ZERO);
+        assert_eq!(b.linear_velocity(), Vec3::ZERO);
+    }
+
+    #[test]
+    fn ballistic_trajectory() {
+        // x(t) = v0 t, y(t) ≈ -g t²/2 under semi-implicit Euler.
+        let mut b = unit_ball(Vec3::ZERO);
+        b.set_linear_velocity(Vec3::new(1.0, 0.0, 0.0));
+        let dt = 0.001;
+        for _ in 0..1000 {
+            apply_forces(&mut b, Vec3::new(0.0, -10.0, 0.0), dt);
+            integrate(&mut b, dt);
+        }
+        let p = b.position();
+        assert!((p.x - 1.0).abs() < 1e-2, "x = {}", p.x);
+        assert!((p.y + 5.0).abs() < 0.05, "y = {}", p.y);
+    }
+
+    #[test]
+    fn velocity_clamp() {
+        let mut b = unit_ball(Vec3::ZERO);
+        b.set_linear_velocity(Vec3::new(1000.0, 0.0, 0.0));
+        b.set_angular_velocity(Vec3::new(0.0, 500.0, 0.0));
+        clamp_velocities(&mut b, 50.0, 20.0);
+        assert!((b.linear_velocity().length() - 50.0).abs() < 1e-3);
+        assert!((b.angular_velocity().length() - 20.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn angular_damping_slows_spin() {
+        let mut b = unit_ball(Vec3::ZERO);
+        b.angular_damping = 0.5;
+        b.set_angular_velocity(Vec3::new(0.0, 10.0, 0.0));
+        for _ in 0..100 {
+            integrate(&mut b, 0.01);
+        }
+        assert!(b.angular_velocity().length() < 10.0 * 0.7);
+    }
+}

@@ -1,0 +1,308 @@
+//! Island creation: connected components of interacting bodies.
+//!
+//! This is the second *serial* phase of the pipeline (paper §3.2): "the
+//! full topology of the contacts isn't known until the last pair is
+//! examined by the algorithm, and only then can the constraint solvers
+//! begin." A union-find over the joint/contact edges produces the islands;
+//! static bodies do not merge islands (they act as anchors, like ODE).
+
+use crate::body::{BodyFlags, RigidBody};
+
+/// A single island: the bodies, joints and contact manifolds that must be
+/// solved together.
+#[derive(Debug, Default, Clone)]
+pub struct Island {
+    /// Indices into the world's body array.
+    pub bodies: Vec<u32>,
+    /// Indices into the world's joint array.
+    pub joints: Vec<u32>,
+    /// Indices into this step's manifold array.
+    pub manifolds: Vec<u32>,
+    /// Total degrees of freedom removed by the island's constraints
+    /// (the paper's work-queue filter: islands with more than 25 DOF
+    /// removed go to worker threads).
+    pub dof_removed: usize,
+}
+
+/// Statistics from island creation, consumed by the trace layer.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct IslandStats {
+    /// Bodies scanned.
+    pub bodies: usize,
+    /// Union operations performed.
+    pub union_ops: usize,
+    /// Find operations performed.
+    pub find_ops: usize,
+    /// Islands produced.
+    pub islands: usize,
+}
+
+/// Union-find with path halving.
+#[derive(Debug)]
+pub struct UnionFind {
+    parent: Vec<u32>,
+    finds: usize,
+    unions: usize,
+}
+
+impl UnionFind {
+    /// Creates a forest of `n` singletons.
+    pub fn new(n: usize) -> Self {
+        UnionFind {
+            parent: (0..n as u32).collect(),
+            finds: 0,
+            unions: 0,
+        }
+    }
+
+    /// Finds the representative of `x` with path halving.
+    pub fn find(&mut self, x: u32) -> u32 {
+        self.finds += 1;
+        let mut x = x;
+        while self.parent[x as usize] != x {
+            let gp = self.parent[self.parent[x as usize] as usize];
+            self.parent[x as usize] = gp;
+            x = gp;
+        }
+        x
+    }
+
+    /// Unions the sets containing `a` and `b`; returns `true` if they were
+    /// previously disjoint.
+    pub fn union(&mut self, a: u32, b: u32) -> bool {
+        let ra = self.find(a);
+        let rb = self.find(b);
+        self.unions += 1;
+        if ra == rb {
+            return false;
+        }
+        self.parent[ra.max(rb) as usize] = ra.min(rb);
+        true
+    }
+}
+
+/// An edge connecting two bodies: either a permanent joint or a contact
+/// manifold produced this step.
+#[derive(Debug, Clone, Copy)]
+pub struct ConstraintEdge {
+    /// Index of body A in the world body array.
+    pub body_a: u32,
+    /// Index of body B, or `u32::MAX` when the edge anchors to the static
+    /// environment.
+    pub body_b: u32,
+    /// Index of the joint (`kind == EdgeKind::Joint`) or manifold.
+    pub index: u32,
+    /// What the edge refers to.
+    pub kind: EdgeKind,
+    /// Degrees of freedom this edge's constraint removes.
+    pub dof: usize,
+}
+
+/// Whether a [`ConstraintEdge`] refers to a joint or a contact manifold.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EdgeKind {
+    /// Permanent joint.
+    Joint,
+    /// Contact manifold from this step.
+    Contact,
+}
+
+/// Builds islands from the constraint edges.
+///
+/// `bodies` is the world body array (used to skip static/disabled bodies).
+/// Bodies' `island` fields are updated in place. Bodies with no edges do
+/// not form islands (they are integrated unconstrained).
+pub fn build_islands(
+    bodies: &mut [RigidBody],
+    edges: &[ConstraintEdge],
+) -> (Vec<Island>, IslandStats) {
+    let n = bodies.len();
+    let mut uf = UnionFind::new(n);
+    let mut stats = IslandStats {
+        bodies: n,
+        ..Default::default()
+    };
+
+    let movable = |b: &RigidBody| !b.is_static() && !b.is_disabled();
+
+    // Union pass: only dynamic-dynamic edges merge components.
+    for e in edges {
+        if e.body_b == u32::MAX {
+            continue;
+        }
+        let (a, b) = (e.body_a as usize, e.body_b as usize);
+        if movable(&bodies[a]) && movable(&bodies[b]) {
+            uf.union(e.body_a, e.body_b);
+        }
+    }
+
+    // Assign island slots by representative.
+    let mut slot_of_root: std::collections::HashMap<u32, u32> = std::collections::HashMap::new();
+    let mut islands: Vec<Island> = Vec::new();
+    for b in bodies.iter_mut() {
+        b.island = u32::MAX;
+    }
+
+    // Touch flag: a body belongs to an island only if it participates in at
+    // least one edge (directly or transitively).
+    let mut touched = vec![false; n];
+    for e in edges {
+        if movable(&bodies[e.body_a as usize]) {
+            touched[e.body_a as usize] = true;
+        }
+        if e.body_b != u32::MAX && movable(&bodies[e.body_b as usize]) {
+            touched[e.body_b as usize] = true;
+        }
+    }
+
+    for i in 0..n {
+        if !touched[i] || !movable(&bodies[i]) {
+            continue;
+        }
+        let root = uf.find(i as u32);
+        let slot = *slot_of_root.entry(root).or_insert_with(|| {
+            islands.push(Island::default());
+            (islands.len() - 1) as u32
+        });
+        bodies[i].island = slot;
+        islands[slot as usize].bodies.push(i as u32);
+    }
+
+    // Attach edges to islands.
+    for e in edges {
+        let a_movable = movable(&bodies[e.body_a as usize]);
+        let owner = if a_movable {
+            bodies[e.body_a as usize].island
+        } else if e.body_b != u32::MAX && movable(&bodies[e.body_b as usize]) {
+            bodies[e.body_b as usize].island
+        } else {
+            u32::MAX
+        };
+        if owner == u32::MAX {
+            continue;
+        }
+        let island = &mut islands[owner as usize];
+        match e.kind {
+            EdgeKind::Joint => island.joints.push(e.index),
+            EdgeKind::Contact => island.manifolds.push(e.index),
+        }
+        island.dof_removed += e.dof;
+    }
+
+    stats.union_ops = uf.unions;
+    stats.find_ops = uf.finds;
+    stats.islands = islands.len();
+    (islands, stats)
+}
+
+/// Convenience: returns `true` when a body should be skipped entirely by
+/// the dynamics phases.
+pub fn is_inert(b: &RigidBody) -> bool {
+    b.flags().contains(BodyFlags::DISABLED) || b.is_static()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::body::BodyDesc;
+    use crate::shape::Shape;
+    use parallax_math::Vec3;
+
+    fn dynamic_bodies(n: usize) -> Vec<RigidBody> {
+        (0..n)
+            .map(|i| {
+                BodyDesc::dynamic(Vec3::new(i as f32, 0.0, 0.0))
+                    .with_shape(Shape::sphere(0.4), 1.0)
+                    .build()
+            })
+            .collect()
+    }
+
+    fn edge(a: u32, b: u32) -> ConstraintEdge {
+        ConstraintEdge {
+            body_a: a,
+            body_b: b,
+            index: 0,
+            kind: EdgeKind::Contact,
+            dof: 3,
+        }
+    }
+
+    #[test]
+    fn unconnected_bodies_form_no_islands() {
+        let mut bodies = dynamic_bodies(4);
+        let (islands, stats) = build_islands(&mut bodies, &[]);
+        assert!(islands.is_empty());
+        assert_eq!(stats.islands, 0);
+        assert!(bodies.iter().all(|b| b.island().is_none()));
+    }
+
+    #[test]
+    fn chain_merges_into_one_island() {
+        let mut bodies = dynamic_bodies(5);
+        let edges = [edge(0, 1), edge(1, 2), edge(2, 3), edge(3, 4)];
+        let (islands, _) = build_islands(&mut bodies, &edges);
+        assert_eq!(islands.len(), 1);
+        assert_eq!(islands[0].bodies.len(), 5);
+        assert_eq!(islands[0].manifolds.len(), 4);
+        assert_eq!(islands[0].dof_removed, 12);
+    }
+
+    #[test]
+    fn two_separate_clusters() {
+        let mut bodies = dynamic_bodies(6);
+        let edges = [edge(0, 1), edge(1, 2), edge(3, 4), edge(4, 5)];
+        let (islands, _) = build_islands(&mut bodies, &edges);
+        assert_eq!(islands.len(), 2);
+        let sizes: Vec<usize> = islands.iter().map(|i| i.bodies.len()).collect();
+        assert_eq!(sizes, vec![3, 3]);
+    }
+
+    #[test]
+    fn static_anchor_does_not_merge() {
+        // Bodies 0 and 2 both touch static body 1; they must remain in
+        // separate islands (ODE semantics).
+        let mut bodies = dynamic_bodies(3);
+        bodies[1] = BodyDesc::fixed(Vec3::ZERO)
+            .with_shape(Shape::sphere(0.4), 1.0)
+            .build();
+        let edges = [edge(0, 1), edge(2, 1)];
+        let (islands, _) = build_islands(&mut bodies, &edges);
+        assert_eq!(islands.len(), 2);
+        // Each island carries its own contact edge.
+        assert_eq!(islands[0].manifolds.len(), 1);
+        assert_eq!(islands[1].manifolds.len(), 1);
+    }
+
+    #[test]
+    fn world_anchored_edge_joins_island() {
+        let mut bodies = dynamic_bodies(2);
+        let edges = [edge(0, 1), edge(0, u32::MAX)];
+        let (islands, _) = build_islands(&mut bodies, &edges);
+        assert_eq!(islands.len(), 1);
+        assert_eq!(islands[0].manifolds.len(), 2);
+    }
+
+    #[test]
+    fn disabled_bodies_are_skipped() {
+        let mut bodies = dynamic_bodies(3);
+        bodies[1].flags.insert(BodyFlags::DISABLED);
+        let edges = [edge(0, 1), edge(1, 2)];
+        let (islands, _) = build_islands(&mut bodies, &edges);
+        // Body 1 is disabled: 0 and 2 stay separate... but the edges still
+        // anchor each remaining body.
+        assert_eq!(islands.len(), 2);
+    }
+
+    #[test]
+    fn union_find_path_halving_correctness() {
+        let mut uf = UnionFind::new(10);
+        uf.union(0, 1);
+        uf.union(2, 3);
+        uf.union(1, 3);
+        assert_eq!(uf.find(0), uf.find(2));
+        assert_ne!(uf.find(0), uf.find(5));
+        // Re-union of same set returns false.
+        assert!(!uf.union(0, 3));
+    }
+}

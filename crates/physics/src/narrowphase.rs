@@ -1,0 +1,1091 @@
+//! Narrow-phase contact generation.
+//!
+//! Determines contact points between each pair of colliding geoms. This
+//! phase exhibits the massive fine-grain parallelism the paper exploits:
+//! every pair is independent. The per-pair entry point is
+//! [`collide_shapes`]; the dispatcher covers sphere, box, capsule, plane,
+//! heightfield and triangle-mesh combinations.
+
+use parallax_math::{Transform, Vec3};
+
+use crate::contact::{ContactManifold, ContactPoint};
+use crate::shape::{GeomId, Heightfield, Shape, TriMesh};
+
+/// Computes the contact manifold between two posed shapes.
+///
+/// Returns `None` when the shapes do not touch. The manifold normal points
+/// from shape B towards shape A (pushing A out of B).
+///
+/// # Examples
+///
+/// ```
+/// use parallax_physics::narrowphase::collide_shapes;
+/// use parallax_physics::Shape;
+/// use parallax_math::{Transform, Vec3};
+///
+/// let a = Shape::sphere(1.0);
+/// let b = Shape::sphere(1.0);
+/// let ta = Transform::from_position(Vec3::new(0.0, 1.5, 0.0));
+/// let tb = Transform::IDENTITY;
+/// let m = collide_shapes(&a, &ta, &b, &tb).expect("overlapping spheres");
+/// assert_eq!(m.points.len(), 1);
+/// assert!((m.points[0].depth - 0.5).abs() < 1e-5);
+/// ```
+pub fn collide_shapes(
+    shape_a: &Shape,
+    ta: &Transform,
+    shape_b: &Shape,
+    tb: &Transform,
+) -> Option<ContactManifold> {
+    collide_with_ids(GeomId(0), shape_a, ta, GeomId(0), shape_b, tb)
+}
+
+/// Like [`collide_shapes`] but records the geom ids in the manifold.
+pub fn collide_with_ids(
+    ga: GeomId,
+    shape_a: &Shape,
+    ta: &Transform,
+    gb: GeomId,
+    shape_b: &Shape,
+    tb: &Transform,
+) -> Option<ContactManifold> {
+    use Shape::*;
+    let mut m = ContactManifold::new(ga, gb);
+    let hit = match (shape_a, shape_b) {
+        (Sphere { radius: ra }, Sphere { radius: rb }) => {
+            sphere_sphere(ta.position, *ra, tb.position, *rb, &mut m)
+        }
+        (Sphere { radius }, Cuboid { half }) => sphere_box(ta.position, *radius, tb, *half, &mut m, false),
+        (Cuboid { half }, Sphere { radius }) => sphere_box(tb.position, *radius, ta, *half, &mut m, true),
+        (Sphere { radius }, Plane { normal, offset }) => {
+            sphere_plane(ta.position, *radius, *normal, *offset, &mut m, false)
+        }
+        (Plane { normal, offset }, Sphere { radius }) => {
+            sphere_plane(tb.position, *radius, *normal, *offset, &mut m, true)
+        }
+        (Cuboid { half: ha }, Cuboid { half: hb }) => box_box(ta, *ha, tb, *hb, &mut m),
+        (Cuboid { half }, Plane { normal, offset }) => {
+            box_plane(ta, *half, *normal, *offset, &mut m, false)
+        }
+        (Plane { normal, offset }, Cuboid { half }) => {
+            box_plane(tb, *half, *normal, *offset, &mut m, true)
+        }
+        (Capsule { radius, half_len }, Plane { normal, offset }) => {
+            capsule_plane(ta, *radius, *half_len, *normal, *offset, &mut m, false)
+        }
+        (Plane { normal, offset }, Capsule { radius, half_len }) => {
+            capsule_plane(tb, *radius, *half_len, *normal, *offset, &mut m, true)
+        }
+        (Capsule { radius: ra, half_len: la }, Capsule { radius: rb, half_len: lb }) => {
+            capsule_capsule(ta, *ra, *la, tb, *rb, *lb, &mut m)
+        }
+        (Sphere { radius }, Capsule { radius: rc, half_len }) => {
+            sphere_capsule(ta.position, *radius, tb, *rc, *half_len, &mut m, false)
+        }
+        (Capsule { radius: rc, half_len }, Sphere { radius }) => {
+            sphere_capsule(tb.position, *radius, ta, *rc, *half_len, &mut m, true)
+        }
+        (Capsule { radius, half_len }, Cuboid { half }) => {
+            capsule_box(ta, *radius, *half_len, tb, *half, &mut m, false)
+        }
+        (Cuboid { half }, Capsule { radius, half_len }) => {
+            capsule_box(tb, *radius, *half_len, ta, *half, &mut m, true)
+        }
+        (Sphere { radius }, Heightfield(hf)) => {
+            sphere_heightfield(ta.position, *radius, hf, tb, &mut m, false)
+        }
+        (Heightfield(hf), Sphere { radius }) => {
+            sphere_heightfield(tb.position, *radius, hf, ta, &mut m, true)
+        }
+        (Cuboid { half }, Heightfield(hf)) => box_heightfield(ta, *half, hf, tb, &mut m, false),
+        (Heightfield(hf), Cuboid { half }) => box_heightfield(tb, *half, hf, ta, &mut m, true),
+        (Capsule { radius, half_len }, Heightfield(hf)) => {
+            capsule_heightfield(ta, *radius, *half_len, hf, tb, &mut m, false)
+        }
+        (Heightfield(hf), Capsule { radius, half_len }) => {
+            capsule_heightfield(tb, *radius, *half_len, hf, ta, &mut m, true)
+        }
+        (Sphere { radius }, TriMesh(mesh)) => {
+            sphere_trimesh(ta.position, *radius, mesh, tb, &mut m, false)
+        }
+        (TriMesh(mesh), Sphere { radius }) => {
+            sphere_trimesh(tb.position, *radius, mesh, ta, &mut m, true)
+        }
+        (Cuboid { half }, TriMesh(mesh)) => box_trimesh(ta, *half, mesh, tb, &mut m, false),
+        (TriMesh(mesh), Cuboid { half }) => box_trimesh(tb, *half, mesh, ta, &mut m, true),
+        (Capsule { radius, half_len }, TriMesh(mesh)) => {
+            capsule_trimesh(ta, *radius, *half_len, mesh, tb, &mut m, false)
+        }
+        (TriMesh(mesh), Capsule { radius, half_len }) => {
+            capsule_trimesh(tb, *radius, *half_len, mesh, ta, &mut m, true)
+        }
+        // Static-static combinations never collide meaningfully.
+        _ => false,
+    };
+    if hit && !m.is_empty() {
+        Some(m)
+    } else {
+        None
+    }
+}
+
+fn push_maybe_flipped(m: &mut ContactManifold, p: ContactPoint, flipped: bool) {
+    let mut p = p;
+    if flipped {
+        p.normal = -p.normal;
+    }
+    m.push(p);
+}
+
+// --- sphere ---------------------------------------------------------------
+
+fn sphere_sphere(ca: Vec3, ra: f32, cb: Vec3, rb: f32, m: &mut ContactManifold) -> bool {
+    let d = ca - cb;
+    let dist2 = d.length_squared();
+    let rsum = ra + rb;
+    if dist2 > rsum * rsum {
+        return false;
+    }
+    let (normal, dist) = d
+        .normalized_with_length()
+        .unwrap_or((Vec3::UNIT_Y, 0.0));
+    m.push(ContactPoint {
+        position: cb + normal * (rb - (rsum - dist) * 0.5),
+        normal,
+        depth: rsum - dist,
+    });
+    true
+}
+
+fn sphere_plane(
+    c: Vec3,
+    r: f32,
+    n: Vec3,
+    offset: f32,
+    m: &mut ContactManifold,
+    flipped: bool,
+) -> bool {
+    let dist = c.dot(n) - offset;
+    if dist > r {
+        return false;
+    }
+    push_maybe_flipped(
+        m,
+        ContactPoint {
+            position: c - n * dist,
+            normal: n,
+            depth: r - dist,
+        },
+        flipped,
+    );
+    true
+}
+
+fn sphere_box(
+    c: Vec3,
+    r: f32,
+    tb: &Transform,
+    half: Vec3,
+    m: &mut ContactManifold,
+    flipped: bool,
+) -> bool {
+    // Work in box-local space.
+    let local = tb.apply_inverse(c);
+    let clamped = local.min(half).max(-half);
+    let delta = local - clamped;
+    let dist2 = delta.length_squared();
+    if dist2 > r * r {
+        return false;
+    }
+    let (normal_local, depth) = if dist2 > 1e-12 {
+        let d = dist2.sqrt();
+        (delta / d, r - d)
+    } else {
+        // Centre inside the box: push out along the face of least
+        // penetration.
+        let dists = half - local.abs();
+        let (axis, pen) = if dists.x <= dists.y && dists.x <= dists.z {
+            (Vec3::new(local.x.signum(), 0.0, 0.0), dists.x)
+        } else if dists.y <= dists.z {
+            (Vec3::new(0.0, local.y.signum(), 0.0), dists.y)
+        } else {
+            (Vec3::new(0.0, 0.0, local.z.signum()), dists.z)
+        };
+        (axis, pen + r)
+    };
+    let normal = tb.apply_vector(normal_local);
+    push_maybe_flipped(
+        m,
+        ContactPoint {
+            position: tb.apply(clamped),
+            normal,
+            depth,
+        },
+        flipped,
+    );
+    true
+}
+
+fn sphere_capsule(
+    c: Vec3,
+    r: f32,
+    tc: &Transform,
+    rc: f32,
+    half_len: f32,
+    m: &mut ContactManifold,
+    flipped: bool,
+) -> bool {
+    let axis = tc.apply_vector(Vec3::UNIT_Y);
+    let p = closest_point_on_segment(
+        tc.position - axis * half_len,
+        tc.position + axis * half_len,
+        c,
+    );
+    // Equivalent to sphere-sphere against the core point. Normal points
+    // from capsule (B in the flipped=false case) to sphere (A).
+    let before = m.points.len();
+    let hit = sphere_sphere(c, r, p, rc, m);
+    if hit && flipped {
+        for pt in &mut m.points[before..] {
+            pt.normal = -pt.normal;
+        }
+    }
+    hit
+}
+
+// --- capsule ----------------------------------------------------------------
+
+fn capsule_segment(t: &Transform, half_len: f32) -> (Vec3, Vec3) {
+    let axis = t.apply_vector(Vec3::UNIT_Y) * half_len;
+    (t.position - axis, t.position + axis)
+}
+
+fn capsule_plane(
+    t: &Transform,
+    r: f32,
+    half_len: f32,
+    n: Vec3,
+    offset: f32,
+    m: &mut ContactManifold,
+    flipped: bool,
+) -> bool {
+    let (p0, p1) = capsule_segment(t, half_len);
+    let mut hit = false;
+    for p in [p0, p1] {
+        let dist = p.dot(n) - offset;
+        if dist <= r {
+            push_maybe_flipped(
+                m,
+                ContactPoint {
+                    position: p - n * dist,
+                    normal: n,
+                    depth: r - dist,
+                },
+                flipped,
+            );
+            hit = true;
+        }
+    }
+    hit
+}
+
+fn capsule_capsule(
+    ta: &Transform,
+    ra: f32,
+    la: f32,
+    tb: &Transform,
+    rb: f32,
+    lb: f32,
+    m: &mut ContactManifold,
+) -> bool {
+    let (a0, a1) = capsule_segment(ta, la);
+    let (b0, b1) = capsule_segment(tb, lb);
+    let (pa, pb) = closest_points_segments(a0, a1, b0, b1);
+    sphere_sphere(pa, ra, pb, rb, m)
+}
+
+fn capsule_box(
+    tc: &Transform,
+    r: f32,
+    half_len: f32,
+    tb: &Transform,
+    half: Vec3,
+    m: &mut ContactManifold,
+    flipped: bool,
+) -> bool {
+    // Sample the capsule core segment at both caps and the midpoint and run
+    // sphere-box tests; adequate for game-style stacking.
+    let (p0, p1) = capsule_segment(tc, half_len);
+    let mid = (p0 + p1) * 0.5;
+    let mut hit = false;
+    for p in [p0, mid, p1] {
+        hit |= sphere_box(p, r, tb, half, m, flipped);
+    }
+    hit
+}
+
+// --- box --------------------------------------------------------------------
+
+fn box_plane(
+    t: &Transform,
+    half: Vec3,
+    n: Vec3,
+    offset: f32,
+    m: &mut ContactManifold,
+    flipped: bool,
+) -> bool {
+    let rot = t.rotation.to_mat3();
+    let mut hit = false;
+    for sx in [-1.0f32, 1.0] {
+        for sy in [-1.0f32, 1.0] {
+            for sz in [-1.0f32, 1.0] {
+                let corner_local = Vec3::new(sx * half.x, sy * half.y, sz * half.z);
+                let corner = rot * corner_local + t.position;
+                let dist = corner.dot(n) - offset;
+                if dist < 0.0 {
+                    push_maybe_flipped(
+                        m,
+                        ContactPoint {
+                            position: corner,
+                            normal: n,
+                            depth: -dist,
+                        },
+                        flipped,
+                    );
+                    hit = true;
+                }
+            }
+        }
+    }
+    hit
+}
+
+/// Oriented box for SAT tests: centre, axis matrix (columns), half-extents.
+struct Obb {
+    c: Vec3,
+    /// Column i = world direction of local axis i.
+    axes: [Vec3; 3],
+    h: Vec3,
+}
+
+impl Obb {
+    fn new(t: &Transform, half: Vec3) -> Self {
+        let m = t.rotation.to_mat3();
+        Obb {
+            c: t.position,
+            axes: [m.col(0), m.col(1), m.col(2)],
+            h: half,
+        }
+    }
+
+    /// Projection radius onto unit axis `n`.
+    fn radius(&self, n: Vec3) -> f32 {
+        self.h.x * self.axes[0].dot(n).abs()
+            + self.h.y * self.axes[1].dot(n).abs()
+            + self.h.z * self.axes[2].dot(n).abs()
+    }
+
+    fn support(&self, dir: Vec3) -> Vec3 {
+        self.c
+            + self.axes[0] * self.h.x * self.axes[0].dot(dir).signum()
+            + self.axes[1] * self.h.y * self.axes[1].dot(dir).signum()
+            + self.axes[2] * self.h.z * self.axes[2].dot(dir).signum()
+    }
+
+    /// The 4 corners of the face whose outward normal is local axis
+    /// `axis` * `sign`.
+    fn face(&self, axis: usize, sign: f32) -> [Vec3; 4] {
+        let n = self.axes[axis] * sign;
+        let u = self.axes[(axis + 1) % 3];
+        let v = self.axes[(axis + 2) % 3];
+        let hu = self.h[(axis + 1) % 3];
+        let hv = self.h[(axis + 2) % 3];
+        let center = self.c + n * self.h[axis];
+        [
+            center + u * hu + v * hv,
+            center - u * hu + v * hv,
+            center - u * hu - v * hv,
+            center + u * hu - v * hv,
+        ]
+    }
+}
+
+fn box_box(ta: &Transform, ha: Vec3, tb: &Transform, hb: Vec3, m: &mut ContactManifold) -> bool {
+    let a = Obb::new(ta, ha);
+    let b = Obb::new(tb, hb);
+    let d = a.c - b.c;
+
+    // SAT over 6 face axes + 9 edge cross products; track minimum overlap.
+    let mut best_depth = f32::INFINITY;
+    let mut best_axis = Vec3::UNIT_Y;
+    let mut best_is_edge = false;
+    let mut best_edge = (0usize, 0usize);
+
+    let mut test_axis = |axis: Vec3, is_edge: bool, edge: (usize, usize)| -> bool {
+        let len2 = axis.length_squared();
+        if len2 < 1e-10 {
+            return true; // Degenerate axis (parallel edges): skip.
+        }
+        let n = axis / len2.sqrt();
+        let overlap = a.radius(n) + b.radius(n) - d.dot(n).abs();
+        if overlap < 0.0 {
+            return false; // Separating axis found.
+        }
+        // Prefer face axes slightly to avoid jittery edge contacts.
+        let bias = if is_edge { 0.95 } else { 1.0 };
+        if overlap * bias < best_depth {
+            best_depth = overlap * bias;
+            best_axis = n;
+            best_is_edge = is_edge;
+            best_edge = edge;
+        }
+        true
+    };
+
+    for i in 0..3 {
+        if !test_axis(a.axes[i], false, (i, 0)) {
+            return false;
+        }
+    }
+    for j in 0..3 {
+        if !test_axis(b.axes[j], false, (3 + j, 0)) {
+            return false;
+        }
+    }
+    for i in 0..3 {
+        for j in 0..3 {
+            if !test_axis(a.axes[i].cross(b.axes[j]), true, (i, j)) {
+                return false;
+            }
+        }
+    }
+
+    // Orient the normal from B to A.
+    let mut normal = best_axis;
+    if normal.dot(d) < 0.0 {
+        normal = -normal;
+    }
+
+    if best_is_edge {
+        // Single contact at the closest points of the two edges.
+        let (i, j) = best_edge;
+        let pa = a.support(-normal);
+        let pb = b.support(normal);
+        let (qa, qb) = closest_points_lines(pa, a.axes[i], pb, b.axes[j]);
+        m.push(ContactPoint {
+            position: (qa + qb) * 0.5,
+            normal,
+            depth: best_depth / 0.95,
+        });
+        return true;
+    }
+
+    // Face contact: choose reference box (owner of the separating axis).
+    let (reference, incident, ref_normal) = {
+        // Which box's face axis matched best? Determine by alignment.
+        let align_a = (0..3).map(|i| a.axes[i].dot(normal).abs()).fold(0.0f32, f32::max);
+        let align_b = (0..3).map(|i| b.axes[i].dot(normal).abs()).fold(0.0f32, f32::max);
+        if align_a >= align_b {
+            (&a, &b, normal)
+        } else {
+            (&b, &a, -normal)
+        }
+    };
+
+    // Reference face: the face of `reference` most aligned with +ref_normal
+    // ... for box A the outward normal towards B is -normal (normal points
+    // B->A), so the contact face of A faces -normal.
+    let ref_face_dir = -ref_normal;
+    let (ref_axis, ref_sign) = most_aligned_axis(reference, ref_face_dir);
+    let ref_face = reference.face(ref_axis, ref_sign);
+    let ref_face_n = reference.axes[ref_axis] * ref_sign;
+
+    // Incident face: the face of `incident` most anti-aligned with the
+    // reference face normal.
+    let (inc_axis, inc_sign) = most_aligned_axis(incident, -ref_face_n);
+    let mut poly: Vec<Vec3> = incident.face(inc_axis, inc_sign).to_vec();
+
+    // Clip the incident polygon against the 4 side planes of the reference
+    // face.
+    let ref_center = (ref_face[0] + ref_face[1] + ref_face[2] + ref_face[3]) * 0.25;
+    for k in 0..4 {
+        let edge_from = ref_face[k];
+        let edge_to = ref_face[(k + 1) % 4];
+        let edge = edge_to - edge_from;
+        // Side-plane normal, flipped if needed so it points at the face
+        // interior.
+        let mut plane_n = ref_face_n.cross(edge).normalized();
+        if plane_n.dot(ref_center - edge_from) < 0.0 {
+            plane_n = -plane_n;
+        }
+        poly = clip_polygon(&poly, plane_n, plane_n.dot(edge_from));
+        if poly.is_empty() {
+            break;
+        }
+    }
+
+    let plane_d = ref_face_n.dot(ref_face[0]);
+    let mut hit = false;
+    for p in poly {
+        let sep = ref_face_n.dot(p) - plane_d;
+        if sep <= 0.0 {
+            m.push(ContactPoint {
+                position: p,
+                normal,
+                depth: -sep,
+            });
+            hit = true;
+        }
+    }
+    if !hit {
+        // Fall back to a single support-point contact (shallow grazing).
+        let p = incident.support(-ref_face_n);
+        m.push(ContactPoint {
+            position: p,
+            normal,
+            depth: best_depth,
+        });
+        hit = true;
+    }
+    hit
+}
+
+fn most_aligned_axis(o: &Obb, dir: Vec3) -> (usize, f32) {
+    let mut best = 0;
+    let mut best_dot = f32::NEG_INFINITY;
+    let mut best_sign = 1.0;
+    for i in 0..3 {
+        let d = o.axes[i].dot(dir);
+        if d.abs() > best_dot {
+            best_dot = d.abs();
+            best = i;
+            best_sign = d.signum();
+        }
+    }
+    (best, best_sign)
+}
+
+/// Sutherland–Hodgman clip of `poly` against half-space `n·x >= d`.
+fn clip_polygon(poly: &[Vec3], n: Vec3, d: f32) -> Vec<Vec3> {
+    let mut out = Vec::with_capacity(poly.len() + 2);
+    for i in 0..poly.len() {
+        let cur = poly[i];
+        let next = poly[(i + 1) % poly.len()];
+        let cur_in = n.dot(cur) >= d;
+        let next_in = n.dot(next) >= d;
+        if cur_in {
+            out.push(cur);
+        }
+        if cur_in != next_in {
+            let t = (d - n.dot(cur)) / n.dot(next - cur);
+            out.push(cur + (next - cur) * t.clamp(0.0, 1.0));
+        }
+    }
+    out
+}
+
+// --- terrain ------------------------------------------------------------------
+
+fn sphere_heightfield(
+    c: Vec3,
+    r: f32,
+    hf: &Heightfield,
+    t: &Transform,
+    m: &mut ContactManifold,
+    flipped: bool,
+) -> bool {
+    let local = t.apply_inverse(c);
+    let h = hf.height_at(local.x, local.z);
+    let dist = local.y - h;
+    if dist > r {
+        return false;
+    }
+    let n_local = hf.normal_at(local.x, local.z);
+    let n = t.apply_vector(n_local);
+    push_maybe_flipped(
+        m,
+        ContactPoint {
+            position: t.apply(Vec3::new(local.x, h, local.z)),
+            normal: n,
+            depth: (r - dist).max(0.0),
+        },
+        flipped,
+    );
+    true
+}
+
+fn box_heightfield(
+    tb: &Transform,
+    half: Vec3,
+    hf: &Heightfield,
+    t: &Transform,
+    m: &mut ContactManifold,
+    flipped: bool,
+) -> bool {
+    let rot = tb.rotation.to_mat3();
+    let mut hit = false;
+    for sx in [-1.0f32, 1.0] {
+        for sy in [-1.0f32, 1.0] {
+            for sz in [-1.0f32, 1.0] {
+                let corner =
+                    rot * Vec3::new(sx * half.x, sy * half.y, sz * half.z) + tb.position;
+                let local = t.apply_inverse(corner);
+                let h = hf.height_at(local.x, local.z);
+                if local.y < h {
+                    let n = t.apply_vector(hf.normal_at(local.x, local.z));
+                    push_maybe_flipped(
+                        m,
+                        ContactPoint {
+                            position: corner,
+                            normal: n,
+                            depth: h - local.y,
+                        },
+                        flipped,
+                    );
+                    hit = true;
+                }
+            }
+        }
+    }
+    hit
+}
+
+fn capsule_heightfield(
+    tc: &Transform,
+    r: f32,
+    half_len: f32,
+    hf: &Heightfield,
+    t: &Transform,
+    m: &mut ContactManifold,
+    flipped: bool,
+) -> bool {
+    let (p0, p1) = capsule_segment(tc, half_len);
+    let mut hit = false;
+    for p in [p0, p1] {
+        hit |= sphere_heightfield(p, r, hf, t, m, flipped);
+    }
+    hit
+}
+
+// --- trimesh ------------------------------------------------------------------
+
+fn sphere_trimesh(
+    c: Vec3,
+    r: f32,
+    mesh: &TriMesh,
+    t: &Transform,
+    m: &mut ContactManifold,
+    flipped: bool,
+) -> bool {
+    let local = t.apply_inverse(c);
+    let mut hit = false;
+    for i in 0..mesh.triangles().len() {
+        let tri = mesh.triangle(i);
+        let p = closest_point_on_triangle(local, tri[0], tri[1], tri[2]);
+        let delta = local - p;
+        let dist2 = delta.length_squared();
+        if dist2 <= r * r {
+            let (n_local, dist) = delta
+                .normalized_with_length()
+                .unwrap_or((triangle_normal(&tri), 0.0));
+            push_maybe_flipped(
+                m,
+                ContactPoint {
+                    position: t.apply(p),
+                    normal: t.apply_vector(n_local),
+                    depth: r - dist,
+                },
+                flipped,
+            );
+            hit = true;
+        }
+    }
+    hit
+}
+
+fn box_trimesh(
+    tb: &Transform,
+    half: Vec3,
+    mesh: &TriMesh,
+    t: &Transform,
+    m: &mut ContactManifold,
+    flipped: bool,
+) -> bool {
+    // Test the 8 box corners against the mesh surface (vertex-face
+    // contacts); adequate for boxes resting on terrain meshes.
+    let rot = tb.rotation.to_mat3();
+    let mut hit = false;
+    for sx in [-1.0f32, 1.0] {
+        for sy in [-1.0f32, 1.0] {
+            for sz in [-1.0f32, 1.0] {
+                let corner =
+                    rot * Vec3::new(sx * half.x, sy * half.y, sz * half.z) + tb.position;
+                let local = t.apply_inverse(corner);
+                for i in 0..mesh.triangles().len() {
+                    let tri = mesh.triangle(i);
+                    let n = triangle_normal(&tri);
+                    let dist = (local - tri[0]).dot(n);
+                    // Below the triangle plane and projecting inside it.
+                    if (-0.5..=0.0).contains(&dist) {
+                        let proj = local - n * dist;
+                        if point_in_triangle(proj, tri[0], tri[1], tri[2]) {
+                            push_maybe_flipped(
+                                m,
+                                ContactPoint {
+                                    position: corner,
+                                    normal: t.apply_vector(n),
+                                    depth: -dist,
+                                },
+                                flipped,
+                            );
+                            hit = true;
+                            break;
+                        }
+                    }
+                }
+            }
+        }
+    }
+    hit
+}
+
+fn capsule_trimesh(
+    tc: &Transform,
+    r: f32,
+    half_len: f32,
+    mesh: &TriMesh,
+    t: &Transform,
+    m: &mut ContactManifold,
+    flipped: bool,
+) -> bool {
+    let (p0, p1) = capsule_segment(tc, half_len);
+    let mut hit = false;
+    for p in [p0, p1] {
+        hit |= sphere_trimesh(p, r, mesh, t, m, flipped);
+    }
+    hit
+}
+
+// --- geometric helpers ----------------------------------------------------------
+
+/// Closest point on segment [a, b] to point `p`.
+pub fn closest_point_on_segment(a: Vec3, b: Vec3, p: Vec3) -> Vec3 {
+    let ab = b - a;
+    let len2 = ab.length_squared();
+    if len2 < 1e-12 {
+        return a;
+    }
+    let t = ((p - a).dot(ab) / len2).clamp(0.0, 1.0);
+    a + ab * t
+}
+
+/// Closest points between two segments.
+pub fn closest_points_segments(p1: Vec3, q1: Vec3, p2: Vec3, q2: Vec3) -> (Vec3, Vec3) {
+    let d1 = q1 - p1;
+    let d2 = q2 - p2;
+    let r = p1 - p2;
+    let a = d1.length_squared();
+    let e = d2.length_squared();
+    let f = d2.dot(r);
+    let (mut s, mut t);
+    if a <= 1e-12 && e <= 1e-12 {
+        return (p1, p2);
+    }
+    if a <= 1e-12 {
+        s = 0.0;
+        t = (f / e).clamp(0.0, 1.0);
+    } else {
+        let c = d1.dot(r);
+        if e <= 1e-12 {
+            t = 0.0;
+            s = (-c / a).clamp(0.0, 1.0);
+        } else {
+            let b = d1.dot(d2);
+            let denom = a * e - b * b;
+            s = if denom > 1e-12 {
+                ((b * f - c * e) / denom).clamp(0.0, 1.0)
+            } else {
+                0.0
+            };
+            t = (b * s + f) / e;
+            if t < 0.0 {
+                t = 0.0;
+                s = (-c / a).clamp(0.0, 1.0);
+            } else if t > 1.0 {
+                t = 1.0;
+                s = ((b - c) / a).clamp(0.0, 1.0);
+            }
+        }
+    }
+    (p1 + d1 * s, p2 + d2 * t)
+}
+
+/// Closest points between two infinite lines `p + t·u` and `q + s·v`.
+fn closest_points_lines(p: Vec3, u: Vec3, q: Vec3, v: Vec3) -> (Vec3, Vec3) {
+    let w = p - q;
+    let a = u.dot(u);
+    let b = u.dot(v);
+    let c = v.dot(v);
+    let d = u.dot(w);
+    let e = v.dot(w);
+    let denom = a * c - b * b;
+    if denom.abs() < 1e-10 {
+        return (p, q + v * (e / c.max(1e-12)));
+    }
+    let s = (b * e - c * d) / denom;
+    let t = (a * e - b * d) / denom;
+    (p + u * s, q + v * t)
+}
+
+/// Closest point on a triangle to point `p` (Ericson, RTCD §5.1.5).
+pub fn closest_point_on_triangle(p: Vec3, a: Vec3, b: Vec3, c: Vec3) -> Vec3 {
+    let ab = b - a;
+    let ac = c - a;
+    let ap = p - a;
+    let d1 = ab.dot(ap);
+    let d2 = ac.dot(ap);
+    if d1 <= 0.0 && d2 <= 0.0 {
+        return a;
+    }
+    let bp = p - b;
+    let d3 = ab.dot(bp);
+    let d4 = ac.dot(bp);
+    if d3 >= 0.0 && d4 <= d3 {
+        return b;
+    }
+    let vc = d1 * d4 - d3 * d2;
+    if vc <= 0.0 && d1 >= 0.0 && d3 <= 0.0 {
+        let v = d1 / (d1 - d3);
+        return a + ab * v;
+    }
+    let cp = p - c;
+    let d5 = ab.dot(cp);
+    let d6 = ac.dot(cp);
+    if d6 >= 0.0 && d5 <= d6 {
+        return c;
+    }
+    let vb = d5 * d2 - d1 * d6;
+    if vb <= 0.0 && d2 >= 0.0 && d6 <= 0.0 {
+        let w = d2 / (d2 - d6);
+        return a + ac * w;
+    }
+    let va = d3 * d6 - d5 * d4;
+    if va <= 0.0 && (d4 - d3) >= 0.0 && (d5 - d6) >= 0.0 {
+        let w = (d4 - d3) / ((d4 - d3) + (d5 - d6));
+        return b + (c - b) * w;
+    }
+    let denom = 1.0 / (va + vb + vc);
+    let v = vb * denom;
+    let w = vc * denom;
+    a + ab * v + ac * w
+}
+
+fn triangle_normal(tri: &[Vec3; 3]) -> Vec3 {
+    (tri[1] - tri[0]).cross(tri[2] - tri[0]).normalized()
+}
+
+fn point_in_triangle(p: Vec3, a: Vec3, b: Vec3, c: Vec3) -> bool {
+    let n = (b - a).cross(c - a);
+    let s1 = (b - a).cross(p - a).dot(n);
+    let s2 = (c - b).cross(p - b).dot(n);
+    let s3 = (a - c).cross(p - c).dot(n);
+    (s1 >= 0.0 && s2 >= 0.0 && s3 >= 0.0) || (s1 <= 0.0 && s2 <= 0.0 && s3 <= 0.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parallax_math::Quat;
+
+    fn t(p: Vec3) -> Transform {
+        Transform::from_position(p)
+    }
+
+    #[test]
+    fn sphere_sphere_overlap_and_separation() {
+        let a = Shape::sphere(1.0);
+        let b = Shape::sphere(1.0);
+        assert!(collide_shapes(&a, &t(Vec3::new(0.0, 1.9, 0.0)), &b, &t(Vec3::ZERO)).is_some());
+        assert!(collide_shapes(&a, &t(Vec3::new(0.0, 2.1, 0.0)), &b, &t(Vec3::ZERO)).is_none());
+    }
+
+    #[test]
+    fn sphere_sphere_normal_points_b_to_a() {
+        let a = Shape::sphere(1.0);
+        let b = Shape::sphere(1.0);
+        let m = collide_shapes(&a, &t(Vec3::new(0.0, 1.5, 0.0)), &b, &t(Vec3::ZERO)).unwrap();
+        assert!(m.points[0].normal.y > 0.99);
+    }
+
+    #[test]
+    fn sphere_plane_contact() {
+        let s = Shape::sphere(0.5);
+        let p = Shape::plane(Vec3::UNIT_Y, 0.0);
+        let m = collide_shapes(&s, &t(Vec3::new(0.0, 0.3, 0.0)), &p, &t(Vec3::ZERO)).unwrap();
+        assert!((m.points[0].depth - 0.2).abs() < 1e-5);
+        assert!(m.points[0].normal.y > 0.99);
+        // Flipped order must flip the normal.
+        let m2 = collide_shapes(&p, &t(Vec3::ZERO), &s, &t(Vec3::new(0.0, 0.3, 0.0))).unwrap();
+        assert!(m2.points[0].normal.y < -0.99);
+    }
+
+    #[test]
+    fn sphere_box_face_contact() {
+        let s = Shape::sphere(0.5);
+        let b = Shape::cuboid(Vec3::splat(1.0));
+        let m = collide_shapes(&s, &t(Vec3::new(0.0, 1.4, 0.0)), &b, &t(Vec3::ZERO)).unwrap();
+        assert!(m.points[0].normal.y > 0.99);
+        assert!((m.points[0].depth - 0.1).abs() < 1e-5);
+    }
+
+    #[test]
+    fn sphere_deep_inside_box_pushes_out_nearest_face() {
+        let s = Shape::sphere(0.1);
+        let b = Shape::cuboid(Vec3::splat(1.0));
+        let m = collide_shapes(&s, &t(Vec3::new(0.0, 0.8, 0.0)), &b, &t(Vec3::ZERO)).unwrap();
+        assert!(m.points[0].normal.y > 0.99);
+        assert!(m.points[0].depth > 0.2);
+    }
+
+    #[test]
+    fn box_plane_produces_corner_contacts() {
+        let b = Shape::cuboid(Vec3::splat(0.5));
+        let p = Shape::plane(Vec3::UNIT_Y, 0.0);
+        let m = collide_shapes(&b, &t(Vec3::new(0.0, 0.4, 0.0)), &p, &t(Vec3::ZERO)).unwrap();
+        assert_eq!(m.points.len(), 4);
+        for pt in &m.points {
+            assert!((pt.depth - 0.1).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn box_box_stacked_face_contact() {
+        let b = Shape::cuboid(Vec3::splat(0.5));
+        let m = collide_shapes(&b, &t(Vec3::new(0.0, 0.9, 0.0)), &b, &t(Vec3::ZERO)).unwrap();
+        assert!(!m.is_empty());
+        // Normal should be roughly +Y (pushing the upper box up).
+        let avg: Vec3 = m.points.iter().map(|p| p.normal).sum::<Vec3>() * (1.0 / m.len() as f32);
+        assert!(avg.y > 0.9, "normal {avg:?}");
+        for p in &m.points {
+            assert!((p.depth - 0.1).abs() < 0.02, "depth {}", p.depth);
+        }
+    }
+
+    #[test]
+    fn box_box_separated() {
+        let b = Shape::cuboid(Vec3::splat(0.5));
+        assert!(collide_shapes(&b, &t(Vec3::new(0.0, 1.1, 0.0)), &b, &t(Vec3::ZERO)).is_none());
+        assert!(collide_shapes(&b, &t(Vec3::new(2.0, 0.0, 0.0)), &b, &t(Vec3::ZERO)).is_none());
+    }
+
+    #[test]
+    fn box_box_rotated_45_edge_contact() {
+        let b = Shape::cuboid(Vec3::splat(0.5));
+        let ta = Transform::new(
+            Vec3::new(0.0, 1.15, 0.0),
+            Quat::from_axis_angle(Vec3::UNIT_X, std::f32::consts::FRAC_PI_4),
+        );
+        // Rotated cube's lowest edge dips to y ≈ 1.15 − 0.707 ≈ 0.44 < 0.5.
+        let m = collide_shapes(&b, &ta, &b, &t(Vec3::ZERO)).unwrap();
+        assert!(!m.is_empty());
+        let avg: Vec3 = m.points.iter().map(|p| p.normal).sum::<Vec3>() * (1.0 / m.len() as f32);
+        assert!(avg.y > 0.5, "normal {avg:?}");
+    }
+
+    #[test]
+    fn capsule_plane_two_contacts_when_lying_down() {
+        let c = Shape::capsule(0.5, 1.0);
+        let p = Shape::plane(Vec3::UNIT_Y, 0.0);
+        let tc = Transform::new(
+            Vec3::new(0.0, 0.4, 0.0),
+            Quat::from_axis_angle(Vec3::UNIT_Z, std::f32::consts::FRAC_PI_2),
+        );
+        let m = collide_shapes(&c, &tc, &p, &t(Vec3::ZERO)).unwrap();
+        assert_eq!(m.points.len(), 2);
+    }
+
+    #[test]
+    fn capsule_capsule_parallel_overlap() {
+        let c = Shape::capsule(0.5, 1.0);
+        let m = collide_shapes(&c, &t(Vec3::new(0.9, 0.0, 0.0)), &c, &t(Vec3::ZERO)).unwrap();
+        assert!((m.points[0].depth - 0.1).abs() < 1e-4);
+        assert!(m.points[0].normal.x > 0.99);
+    }
+
+    #[test]
+    fn sphere_capsule_cap_contact() {
+        let s = Shape::sphere(0.5);
+        let c = Shape::capsule(0.5, 1.0);
+        // Sphere above the top cap (cap centre at y=1, surface y=1.5).
+        let m = collide_shapes(&s, &t(Vec3::new(0.0, 1.8, 0.0)), &c, &t(Vec3::ZERO)).unwrap();
+        assert!(m.points[0].normal.y > 0.99);
+        assert!((m.points[0].depth - 0.2).abs() < 1e-4);
+    }
+
+    #[test]
+    fn sphere_heightfield_contact() {
+        let hf = Heightfield::new(3, 3, 1.0, vec![0.0; 9]);
+        let s = Shape::sphere(0.5);
+        let shape_hf = Shape::heightfield(hf);
+        let m =
+            collide_shapes(&s, &t(Vec3::new(0.0, 0.4, 0.0)), &shape_hf, &t(Vec3::ZERO)).unwrap();
+        assert!(m.points[0].normal.y > 0.99);
+        assert!((m.points[0].depth - 0.1).abs() < 1e-4);
+    }
+
+    #[test]
+    fn box_heightfield_corner_contacts() {
+        let hf = Heightfield::new(3, 3, 2.0, vec![0.0; 9]);
+        let b = Shape::cuboid(Vec3::splat(0.5));
+        let shape_hf = Shape::heightfield(hf);
+        let m =
+            collide_shapes(&b, &t(Vec3::new(0.0, 0.4, 0.0)), &shape_hf, &t(Vec3::ZERO)).unwrap();
+        assert_eq!(m.points.len(), 4);
+    }
+
+    #[test]
+    fn sphere_trimesh_face_contact() {
+        let mesh = TriMesh::new(
+            vec![
+                Vec3::new(-2.0, 0.0, -2.0),
+                Vec3::new(2.0, 0.0, -2.0),
+                Vec3::new(0.0, 0.0, 2.0),
+            ],
+            vec![[0, 1, 2]],
+        );
+        let s = Shape::sphere(0.5);
+        let shape_m = Shape::trimesh(mesh);
+        let m =
+            collide_shapes(&s, &t(Vec3::new(0.0, 0.3, 0.0)), &shape_m, &t(Vec3::ZERO)).unwrap();
+        assert!((m.points[0].depth - 0.2).abs() < 1e-4);
+        assert!(m.points[0].normal.y.abs() > 0.99);
+    }
+
+    #[test]
+    fn closest_point_triangle_regions() {
+        let a = Vec3::ZERO;
+        let b = Vec3::new(1.0, 0.0, 0.0);
+        let c = Vec3::new(0.0, 1.0, 0.0);
+        // Interior projection.
+        let p = closest_point_on_triangle(Vec3::new(0.25, 0.25, 1.0), a, b, c);
+        assert!((p - Vec3::new(0.25, 0.25, 0.0)).length() < 1e-6);
+        // Vertex region.
+        let p = closest_point_on_triangle(Vec3::new(-1.0, -1.0, 0.0), a, b, c);
+        assert!((p - a).length() < 1e-6);
+        // Edge region.
+        let p = closest_point_on_triangle(Vec3::new(0.5, -1.0, 0.0), a, b, c);
+        assert!((p - Vec3::new(0.5, 0.0, 0.0)).length() < 1e-6);
+    }
+
+    #[test]
+    fn segment_segment_closest_points() {
+        let (p, q) = closest_points_segments(
+            Vec3::new(-1.0, 0.0, 0.0),
+            Vec3::new(1.0, 0.0, 0.0),
+            Vec3::new(0.0, 1.0, -1.0),
+            Vec3::new(0.0, 1.0, 1.0),
+        );
+        assert!((p - Vec3::ZERO).length() < 1e-6);
+        assert!((q - Vec3::new(0.0, 1.0, 0.0)).length() < 1e-6);
+    }
+}

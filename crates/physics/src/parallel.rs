@@ -1,0 +1,237 @@
+//! Parallel execution: a persistent worker pool with a work-queue model.
+//!
+//! The paper parallelizes the engine "using pthreads and a work-queue model
+//! with persistent worker threads. Pthreads minimize thread overhead, while
+//! persistent threads eliminate thread creation and destruction costs."
+//! [`WorkerPool`] reproduces that model with crossbeam channels.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use crossbeam::channel::{unbounded, Sender};
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// A pool of persistent worker threads consuming a shared work queue.
+///
+/// # Examples
+///
+/// ```
+/// use parallax_physics::parallel::WorkerPool;
+///
+/// let pool = WorkerPool::new(4);
+/// let results = pool.par_map(vec![1, 2, 3, 4, 5], |x| x * x);
+/// assert_eq!(results, vec![1, 4, 9, 16, 25]);
+/// ```
+pub struct WorkerPool {
+    sender: Option<Sender<Job>>,
+    handles: Vec<std::thread::JoinHandle<()>>,
+    workers: usize,
+}
+
+impl std::fmt::Debug for WorkerPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WorkerPool")
+            .field("workers", &self.workers)
+            .finish()
+    }
+}
+
+impl WorkerPool {
+    /// Spawns `workers` persistent threads (at least 1).
+    pub fn new(workers: usize) -> Self {
+        let workers = workers.max(1);
+        let (sender, receiver) = unbounded::<Job>();
+        let handles = (0..workers)
+            .map(|i| {
+                let rx = receiver.clone();
+                std::thread::Builder::new()
+                    .name(format!("parallax-worker-{i}"))
+                    .spawn(move || {
+                        while let Ok(job) = rx.recv() {
+                            job();
+                        }
+                    })
+                    .expect("failed to spawn worker thread")
+            })
+            .collect();
+        WorkerPool {
+            sender: Some(sender),
+            handles,
+            workers,
+        }
+    }
+
+    /// Number of worker threads.
+    #[inline]
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Maps `f` over `items` on the pool, preserving order.
+    ///
+    /// Work is distributed via a shared atomic cursor (work-queue model):
+    /// idle workers steal the next index, so imbalanced item costs are
+    /// handled automatically.
+    pub fn par_map<T, R, F>(&self, items: Vec<T>, f: F) -> Vec<R>
+    where
+        T: Send + 'static,
+        R: Send + 'static,
+        F: Fn(T) -> R + Send + Sync + 'static,
+    {
+        let n = items.len();
+        if n == 0 {
+            return Vec::new();
+        }
+        let f = Arc::new(f);
+        let items: Arc<Vec<parking_lot::Mutex<Option<T>>>> = Arc::new(
+            items
+                .into_iter()
+                .map(|t| parking_lot::Mutex::new(Some(t)))
+                .collect(),
+        );
+        let results: Arc<Vec<parking_lot::Mutex<Option<R>>>> =
+            Arc::new((0..n).map(|_| parking_lot::Mutex::new(None)).collect());
+        let cursor = Arc::new(AtomicUsize::new(0));
+        let (done_tx, done_rx) = unbounded::<()>();
+
+        let jobs = self.workers.min(n);
+        for _ in 0..jobs {
+            let f = Arc::clone(&f);
+            let items = Arc::clone(&items);
+            let results = Arc::clone(&results);
+            let cursor = Arc::clone(&cursor);
+            let done = done_tx.clone();
+            self.sender
+                .as_ref()
+                .expect("pool is alive")
+                .send(Box::new(move || {
+                    loop {
+                        let i = cursor.fetch_add(1, Ordering::Relaxed);
+                        if i >= items.len() {
+                            break;
+                        }
+                        let item = items[i].lock().take().expect("item taken once");
+                        let r = f(item);
+                        *results[i].lock() = Some(r);
+                    }
+                    let _ = done.send(());
+                }))
+                .expect("worker channel open");
+        }
+        drop(done_tx);
+        for _ in 0..jobs {
+            done_rx.recv().expect("worker completed");
+        }
+        // Workers may still hold their Arc clones for a moment after
+        // signalling completion, so take the results out through the
+        // mutexes rather than unwrapping the Arc.
+        results
+            .iter()
+            .map(|m| m.lock().take().expect("result written"))
+            .collect()
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        // Close the channel; workers exit their recv loop.
+        self.sender.take();
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+/// Scoped parallel map over borrowed data using one-shot threads.
+///
+/// Used by the engine for phases that borrow world state (`&` captures).
+/// Chunked statically: item `i` goes to thread `i % threads`.
+pub fn par_map_scoped<T, R, F>(threads: usize, items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Send + Sync,
+{
+    let threads = threads.max(1).min(items.len().max(1));
+    if threads <= 1 || items.len() <= 1 {
+        return items.iter().map(&f).collect();
+    }
+    let cursor = AtomicUsize::new(0);
+    let results: Vec<parking_lot::Mutex<Option<R>>> =
+        (0..items.len()).map(|_| parking_lot::Mutex::new(None)).collect();
+    std::thread::scope(|s| {
+        for _ in 0..threads {
+            s.spawn(|| loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                if i >= items.len() {
+                    break;
+                }
+                let r = f(&items[i]);
+                *results[i].lock() = Some(r);
+            });
+        }
+    });
+    results
+        .into_iter()
+        .map(|m| m.into_inner().expect("result written"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn par_map_preserves_order() {
+        let pool = WorkerPool::new(4);
+        let out = pool.par_map((0..100).collect(), |x: i32| x * 2);
+        assert_eq!(out, (0..100).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn par_map_empty() {
+        let pool = WorkerPool::new(2);
+        let out: Vec<i32> = pool.par_map(Vec::<i32>::new(), |x| x);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn par_map_single_worker() {
+        let pool = WorkerPool::new(1);
+        let out = pool.par_map(vec![5, 6], |x| x + 1);
+        assert_eq!(out, vec![6, 7]);
+    }
+
+    #[test]
+    fn pool_survives_multiple_batches() {
+        let pool = WorkerPool::new(3);
+        for round in 0..5 {
+            let out = pool.par_map(vec![round; 10], |x| x);
+            assert_eq!(out, vec![round; 10]);
+        }
+    }
+
+    #[test]
+    fn scoped_map_borrows() {
+        let data = vec![1.0f32, 2.0, 3.0, 4.0];
+        let out = par_map_scoped(2, &data, |x| x * x);
+        assert_eq!(out, vec![1.0, 4.0, 9.0, 16.0]);
+    }
+
+    #[test]
+    fn scoped_map_single_thread_fallback() {
+        let data = vec![7u32];
+        let out = par_map_scoped(8, &data, |x| x + 1);
+        assert_eq!(out, vec![8]);
+    }
+
+    #[test]
+    fn imbalanced_work_completes() {
+        let pool = WorkerPool::new(4);
+        // One expensive item plus many cheap ones (work-queue load balance).
+        let items: Vec<u64> = (0..50).map(|i| if i == 0 { 1_000_000 } else { 10 }).collect();
+        let out = pool.par_map(items, |n| (0..n).fold(0u64, |a, b| a.wrapping_add(b)));
+        assert_eq!(out.len(), 50);
+    }
+}

@@ -1,0 +1,225 @@
+//! Step instrumentation: per-phase work records.
+//!
+//! The paper instruments phase boundaries with Simics MAGIC instructions;
+//! here every [`crate::World::step`] returns a [`StepProfile`] describing
+//! exactly how much work each of the five phases performed and which
+//! entities it touched. The `parallax-trace` crate converts these records
+//! into instruction and memory-reference streams for the architecture
+//! simulator.
+
+use std::time::Duration;
+
+use serde::{Deserialize, Serialize};
+
+use crate::broadphase::BroadphaseStats;
+use crate::cloth::ClothStats;
+use crate::island::IslandStats;
+
+/// The five computational phases of the physics pipeline (paper Figure 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PhaseKind {
+    /// Broad-phase collision culling (serial).
+    Broadphase,
+    /// Narrow-phase contact generation (fine-grain parallel).
+    Narrowphase,
+    /// Island creation — connected components (serial).
+    IslandCreation,
+    /// Island processing — constraint solve + integration (CG+FG parallel).
+    IslandProcessing,
+    /// Cloth simulation (CG+FG parallel).
+    Cloth,
+}
+
+impl PhaseKind {
+    /// All phases in pipeline order.
+    pub const ALL: [PhaseKind; 5] = [
+        PhaseKind::Broadphase,
+        PhaseKind::Narrowphase,
+        PhaseKind::IslandCreation,
+        PhaseKind::IslandProcessing,
+        PhaseKind::Cloth,
+    ];
+
+    /// Display name matching the paper's figures.
+    pub fn name(self) -> &'static str {
+        match self {
+            PhaseKind::Broadphase => "Broadphase",
+            PhaseKind::Narrowphase => "Narrowphase",
+            PhaseKind::IslandCreation => "Island Serial",
+            PhaseKind::IslandProcessing => "Island Parallel",
+            PhaseKind::Cloth => "Cloth",
+        }
+    }
+
+    /// `true` for the two phases the paper identifies as serial.
+    pub fn is_serial(self) -> bool {
+        matches!(self, PhaseKind::Broadphase | PhaseKind::IslandCreation)
+    }
+}
+
+/// Narrow-phase work for one object pair.
+#[derive(Debug, Clone)]
+pub struct PairWork {
+    /// Geom index of A.
+    pub geom_a: u32,
+    /// Geom index of B.
+    pub geom_b: u32,
+    /// Body index of A (`u32::MAX` for static geoms).
+    pub body_a: u32,
+    /// Body index of B (`u32::MAX` for static geoms).
+    pub body_b: u32,
+    /// Shape-kind name of A (e.g. "sphere").
+    pub shape_a: &'static str,
+    /// Shape-kind name of B.
+    pub shape_b: &'static str,
+    /// Contact points generated (0 = pair rejected in narrow-phase).
+    pub contacts: usize,
+    /// `false` when the pair was only *considered* (both static or a
+    /// disabled body): counted, cheaply rejected, no contacts possible.
+    pub active: bool,
+}
+
+/// Island-processing work for one island.
+#[derive(Debug, Clone)]
+pub struct IslandWork {
+    /// Body indices in the island.
+    pub bodies: Vec<u32>,
+    /// Permanent-joint indices in the island.
+    pub joints: Vec<u32>,
+    /// Manifold count in the island.
+    pub manifolds: usize,
+    /// Constraint rows built.
+    pub rows: usize,
+    /// Degrees of freedom removed (the work-queue filter metric).
+    pub dof_removed: usize,
+    /// Solver iterations executed.
+    pub iterations: usize,
+    /// Whether the island went to the parallel work queue (paper: > 25
+    /// DOF removed) or ran on the main thread.
+    pub queued: bool,
+}
+
+/// Cloth work for one cloth object.
+#[derive(Debug, Clone)]
+pub struct ClothWork {
+    /// Cloth index.
+    pub cloth: u32,
+    /// Verlet/constraint/collision statistics.
+    pub stats: ClothStats,
+    /// Number of rigid bodies on the contact list this step.
+    pub colliders: usize,
+}
+
+/// Discrete events raised during a step.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct StepEvents {
+    /// Explosive bodies detonated.
+    pub explosions: usize,
+    /// Breakable joints that broke.
+    pub joints_broken: usize,
+    /// Pre-fractured objects shattered.
+    pub shattered: usize,
+    /// Blast volumes expired.
+    pub blasts_expired: usize,
+}
+
+/// The full work profile of one simulation step.
+#[derive(Debug, Default, Clone)]
+pub struct StepProfile {
+    /// Broad-phase statistics.
+    pub broadphase: BroadphaseStats,
+    /// Per-pair narrow-phase records.
+    pub pairs: Vec<PairWork>,
+    /// Island-creation statistics.
+    pub island_creation: IslandStats,
+    /// Per-island processing records.
+    pub islands: Vec<IslandWork>,
+    /// Per-cloth records.
+    pub cloths: Vec<ClothWork>,
+    /// Events raised this step.
+    pub events: StepEvents,
+    /// Wall-clock time per phase, pipeline order (debug aid; the
+    /// architecture simulator produces the *simulated* times).
+    pub wall: [Duration; 5],
+    /// Bodies enabled at the end of the step.
+    pub body_count: usize,
+    /// Geoms enabled at the end of the step.
+    pub geom_count: usize,
+    /// Unbroken joints at the end of the step.
+    pub joint_count: usize,
+}
+
+impl StepProfile {
+    /// Total contact points generated this step.
+    pub fn total_contacts(&self) -> usize {
+        self.pairs.iter().map(|p| p.contacts).sum()
+    }
+
+    /// Fine-grain task count per phase (paper Figure 11): object-pairs for
+    /// Narrowphase, DOF removed for Island Processing, vertices for Cloth.
+    pub fn fg_tasks(&self, phase: PhaseKind) -> usize {
+        match phase {
+            PhaseKind::Narrowphase => self.pairs.len(),
+            PhaseKind::IslandProcessing => self.islands.iter().map(|i| i.dof_removed).sum(),
+            PhaseKind::Cloth => self.cloths.iter().map(|c| c.stats.vertices).sum(),
+            _ => 0,
+        }
+    }
+
+    /// Wall time of a phase.
+    pub fn wall_time(&self, phase: PhaseKind) -> Duration {
+        let idx = PhaseKind::ALL.iter().position(|p| *p == phase).expect("phase");
+        self.wall[idx]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn phase_names_match_paper() {
+        assert_eq!(PhaseKind::Broadphase.name(), "Broadphase");
+        assert_eq!(PhaseKind::IslandCreation.name(), "Island Serial");
+        assert!(PhaseKind::Broadphase.is_serial());
+        assert!(PhaseKind::IslandCreation.is_serial());
+        assert!(!PhaseKind::Narrowphase.is_serial());
+    }
+
+    #[test]
+    fn fg_tasks_counts() {
+        let mut p = StepProfile::default();
+        p.pairs.push(PairWork {
+            geom_a: 0,
+            geom_b: 1,
+            body_a: 0,
+            body_b: 1,
+            shape_a: "sphere",
+            shape_b: "sphere",
+            contacts: 1,
+            active: true,
+        });
+        p.islands.push(IslandWork {
+            bodies: vec![0, 1],
+            joints: vec![],
+            manifolds: 1,
+            rows: 3,
+            dof_removed: 3,
+            iterations: 20,
+            queued: false,
+        });
+        p.cloths.push(ClothWork {
+            cloth: 0,
+            stats: ClothStats {
+                vertices: 25,
+                ..Default::default()
+            },
+            colliders: 0,
+        });
+        assert_eq!(p.fg_tasks(PhaseKind::Narrowphase), 1);
+        assert_eq!(p.fg_tasks(PhaseKind::IslandProcessing), 3);
+        assert_eq!(p.fg_tasks(PhaseKind::Cloth), 25);
+        assert_eq!(p.fg_tasks(PhaseKind::Broadphase), 0);
+        assert_eq!(p.total_contacts(), 1);
+    }
+}

@@ -1,0 +1,589 @@
+//! The iterative constraint solver (projected Gauss–Seidel / SOR).
+//!
+//! This is the heart of **Island Processing** (paper §3.1): for each island
+//! the engine builds constraint rows from joints and contacts, then relaxes
+//! them iteratively. The number of solver iterations (paper default: 20)
+//! trades accuracy for speed. Each relaxation iteration over the rows of an
+//! island is the fine-grain parallel unit the FG cores execute ("degrees of
+//! freedom removed in the LCP solver").
+
+use parallax_math::{Mat3, Vec3};
+
+use crate::body::RigidBody;
+use crate::contact::ContactManifold;
+use crate::joint::{Joint, JointKind};
+
+/// Velocity-space state of one body inside the solver scratch arrays.
+#[derive(Debug, Clone, Copy)]
+pub struct VelState {
+    /// Linear velocity.
+    pub lin: Vec3,
+    /// Angular velocity.
+    pub ang: Vec3,
+    /// Inverse mass.
+    pub inv_mass: f32,
+    /// World-space inverse inertia.
+    pub inv_inertia: Mat3,
+}
+
+impl VelState {
+    /// Captures the solver-relevant state of a body.
+    pub fn from_body(b: &RigidBody) -> Self {
+        VelState {
+            lin: b.lin_vel,
+            ang: b.ang_vel,
+            inv_mass: b.inv_mass,
+            inv_inertia: b.inv_inertia_world,
+        }
+    }
+}
+
+/// Sentinel body index meaning "the static environment".
+pub const STATIC_BODY: u32 = u32::MAX;
+
+/// How a row's impulse is limited.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum RowLimit {
+    /// Equality constraint: impulse unbounded (joints).
+    Bilateral,
+    /// Contact normal: impulse >= 0.
+    Unilateral,
+    /// Friction: |impulse| <= mu * lambda(normal row).
+    Friction {
+        /// Index of the governing normal row within the row array.
+        normal_row: u32,
+        /// Friction coefficient.
+        mu: f32,
+    },
+}
+
+/// One scalar constraint row `J · v = rhs` with impulse limits.
+#[derive(Debug, Clone)]
+pub struct ConstraintRow {
+    /// Island-local index of body A, or [`STATIC_BODY`].
+    pub body_a: u32,
+    /// Island-local index of body B, or [`STATIC_BODY`].
+    pub body_b: u32,
+    /// Jacobian, linear part for A.
+    pub j_lin_a: Vec3,
+    /// Jacobian, angular part for A.
+    pub j_ang_a: Vec3,
+    /// Jacobian, linear part for B.
+    pub j_lin_b: Vec3,
+    /// Jacobian, angular part for B.
+    pub j_ang_b: Vec3,
+    /// Target velocity along the constraint (bias + restitution).
+    pub rhs: f32,
+    /// Constraint-force mixing (softness).
+    pub cfm: f32,
+    /// Impulse limit policy.
+    pub limit: RowLimit,
+    /// Accumulated impulse (warm-startable).
+    pub lambda: f32,
+    /// Which joint (index into the world's joint array) produced this row;
+    /// `u32::MAX` for contact rows. Used for breakable-joint accounting.
+    pub source_joint: u32,
+}
+
+impl ConstraintRow {
+    fn new(a: u32, b: u32) -> Self {
+        ConstraintRow {
+            body_a: a,
+            body_b: b,
+            j_lin_a: Vec3::ZERO,
+            j_ang_a: Vec3::ZERO,
+            j_lin_b: Vec3::ZERO,
+            j_ang_b: Vec3::ZERO,
+            rhs: 0.0,
+            cfm: 0.0,
+            limit: RowLimit::Bilateral,
+            lambda: 0.0,
+            source_joint: u32::MAX,
+        }
+    }
+
+    /// `J · v` for the current velocities.
+    #[inline]
+    fn jv(&self, vel: &[VelState]) -> f32 {
+        let mut s = 0.0;
+        if self.body_a != STATIC_BODY {
+            let v = &vel[self.body_a as usize];
+            s += self.j_lin_a.dot(v.lin) + self.j_ang_a.dot(v.ang);
+        }
+        if self.body_b != STATIC_BODY {
+            let v = &vel[self.body_b as usize];
+            s += self.j_lin_b.dot(v.lin) + self.j_ang_b.dot(v.ang);
+        }
+        s
+    }
+
+    /// Effective mass `J M⁻¹ Jᵀ`.
+    fn effective_mass(&self, vel: &[VelState]) -> f32 {
+        let mut k = 0.0;
+        if self.body_a != STATIC_BODY {
+            let v = &vel[self.body_a as usize];
+            k += v.inv_mass * self.j_lin_a.length_squared();
+            k += self.j_ang_a.dot(v.inv_inertia * self.j_ang_a);
+        }
+        if self.body_b != STATIC_BODY {
+            let v = &vel[self.body_b as usize];
+            k += v.inv_mass * self.j_lin_b.length_squared();
+            k += self.j_ang_b.dot(v.inv_inertia * self.j_ang_b);
+        }
+        k
+    }
+
+    fn apply(&self, vel: &mut [VelState], dlambda: f32) {
+        if self.body_a != STATIC_BODY {
+            let v = &mut vel[self.body_a as usize];
+            v.lin += self.j_lin_a * (v.inv_mass * dlambda);
+            v.ang += v.inv_inertia * self.j_ang_a * dlambda;
+        }
+        if self.body_b != STATIC_BODY {
+            let v = &mut vel[self.body_b as usize];
+            v.lin += self.j_lin_b * (v.inv_mass * dlambda);
+            v.ang += v.inv_inertia * self.j_ang_b * dlambda;
+        }
+    }
+}
+
+/// Statistics from one island solve, consumed by the trace layer.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct SolveStats {
+    /// Number of constraint rows.
+    pub rows: usize,
+    /// Relaxation iterations executed.
+    pub iterations: usize,
+    /// Total |Δλ| applied over the solve (convergence indicator).
+    pub total_delta: f32,
+}
+
+/// Runs projected Gauss–Seidel over the rows for `iterations` sweeps.
+///
+/// Velocities in `vel` are updated in place; `rows[i].lambda` holds the
+/// accumulated impulses afterwards.
+pub fn solve(rows: &mut [ConstraintRow], vel: &mut [VelState], iterations: usize) -> SolveStats {
+    // Precompute effective masses.
+    let inv_k: Vec<f32> = rows
+        .iter()
+        .map(|r| {
+            let k = r.effective_mass(vel) + r.cfm;
+            if k > 1e-10 {
+                1.0 / k
+            } else {
+                0.0
+            }
+        })
+        .collect();
+
+    let mut stats = SolveStats {
+        rows: rows.len(),
+        iterations,
+        total_delta: 0.0,
+    };
+
+    for _ in 0..iterations {
+        for i in 0..rows.len() {
+            let jv = rows[i].jv(vel);
+            let lambda_old = rows[i].lambda;
+            let unclamped =
+                lambda_old + (rows[i].rhs - jv - rows[i].cfm * lambda_old) * inv_k[i];
+            let clamped = match rows[i].limit {
+                RowLimit::Bilateral => unclamped,
+                RowLimit::Unilateral => unclamped.max(0.0),
+                RowLimit::Friction { normal_row, mu } => {
+                    let bound = mu * rows[normal_row as usize].lambda.max(0.0);
+                    unclamped.clamp(-bound, bound)
+                }
+            };
+            let dlambda = clamped - lambda_old;
+            if dlambda != 0.0 {
+                rows[i].lambda = clamped;
+                let row = rows[i].clone();
+                row.apply(vel, dlambda);
+                stats.total_delta += dlambda.abs();
+            }
+        }
+    }
+    stats
+}
+
+/// Parameters controlling row construction.
+#[derive(Debug, Clone, Copy)]
+pub struct RowParams {
+    /// Time step.
+    pub dt: f32,
+    /// Error-reduction parameter (Baumgarte factor), 0..1.
+    pub erp: f32,
+    /// Constraint-force mixing for contacts.
+    pub contact_cfm: f32,
+    /// Penetration slop tolerated without correction.
+    pub slop: f32,
+    /// Relative velocity below which restitution is ignored.
+    pub restitution_threshold: f32,
+}
+
+impl Default for RowParams {
+    fn default() -> Self {
+        RowParams {
+            dt: 0.01,
+            erp: 0.2,
+            contact_cfm: 1e-5,
+            slop: 0.005,
+            restitution_threshold: 0.5,
+        }
+    }
+}
+
+/// Builds the constraint rows for one contact manifold.
+///
+/// `la`/`lb` are island-local body indices ([`STATIC_BODY`] for static
+/// geoms); `pa`/`pb` are the body centre positions. Rows are appended to
+/// `out`. Returns the number of rows added (1 normal + 2 friction per
+/// point).
+#[allow(clippy::too_many_arguments)]
+pub fn build_contact_rows(
+    manifold: &ContactManifold,
+    la: u32,
+    lb: u32,
+    pa: Vec3,
+    pb: Vec3,
+    vel: &[VelState],
+    params: &RowParams,
+    out: &mut Vec<ConstraintRow>,
+) -> usize {
+    let start = out.len();
+    for cp in &manifold.points {
+        let n = cp.normal;
+        let ra = cp.position - pa;
+        let rb = cp.position - pb;
+
+        let mut row = ConstraintRow::new(la, lb);
+        row.j_lin_a = n;
+        row.j_ang_a = ra.cross(n);
+        row.j_lin_b = -n;
+        row.j_ang_b = -(rb.cross(n));
+        row.limit = RowLimit::Unilateral;
+        row.cfm = params.contact_cfm;
+
+        // Baumgarte positional bias plus restitution.
+        let bias = params.erp / params.dt * (cp.depth - params.slop).max(0.0);
+        let mut rel_normal_vel = 0.0;
+        if la != STATIC_BODY {
+            let v = &vel[la as usize];
+            rel_normal_vel += n.dot(v.lin + v.ang.cross(ra));
+        }
+        if lb != STATIC_BODY {
+            let v = &vel[lb as usize];
+            rel_normal_vel -= n.dot(v.lin + v.ang.cross(rb));
+        }
+        let restitution = if rel_normal_vel < -params.restitution_threshold {
+            -manifold.restitution * rel_normal_vel
+        } else {
+            0.0
+        };
+        row.rhs = bias.max(restitution);
+        let normal_idx = out.len() as u32;
+        out.push(row);
+
+        // Two friction rows along tangents.
+        let t1 = n.any_orthogonal();
+        let t2 = n.cross(t1);
+        for t in [t1, t2] {
+            let mut fr = ConstraintRow::new(la, lb);
+            fr.j_lin_a = t;
+            fr.j_ang_a = ra.cross(t);
+            fr.j_lin_b = -t;
+            fr.j_ang_b = -(rb.cross(t));
+            fr.limit = RowLimit::Friction {
+                normal_row: normal_idx,
+                mu: manifold.friction,
+            };
+            out.push(fr);
+        }
+    }
+    out.len() - start
+}
+
+/// Builds the constraint rows for a permanent joint.
+///
+/// `joint_index` is recorded on each row for break accounting; transforms
+/// come from the current body poses. Returns the number of rows added.
+#[allow(clippy::too_many_arguments)]
+pub fn build_joint_rows(
+    joint: &Joint,
+    joint_index: u32,
+    la: u32,
+    lb: u32,
+    body_a: &RigidBody,
+    body_b: &RigidBody,
+    params: &RowParams,
+    out: &mut Vec<ConstraintRow>,
+) -> usize {
+    let start = out.len();
+    let ta = body_a.transform;
+    let tb = body_b.transform;
+    let bias_k = params.erp / params.dt;
+
+    let point_rows = |anchor_a: Vec3, anchor_b: Vec3, out: &mut Vec<ConstraintRow>| {
+        let wa = ta.apply(anchor_a);
+        let wb = tb.apply(anchor_b);
+        let ra = wa - ta.position;
+        let rb = wb - tb.position;
+        let err = wa - wb;
+        for k in 0..3 {
+            let e = [Vec3::UNIT_X, Vec3::UNIT_Y, Vec3::UNIT_Z][k];
+            let mut row = ConstraintRow::new(la, lb);
+            row.j_lin_a = e;
+            row.j_ang_a = ra.cross(e);
+            row.j_lin_b = -e;
+            row.j_ang_b = -(rb.cross(e));
+            row.rhs = -bias_k * err.dot(e);
+            row.source_joint = joint_index;
+            out.push(row);
+        }
+    };
+
+    let angular_rows =
+        |dirs: &[Vec3], err: Vec3, out: &mut Vec<ConstraintRow>| {
+            for &d in dirs {
+                let mut row = ConstraintRow::new(la, lb);
+                row.j_ang_a = d;
+                row.j_ang_b = -d;
+                row.rhs = -bias_k * err.dot(d);
+                row.source_joint = joint_index;
+                out.push(row);
+            }
+        };
+
+    match joint.kind {
+        JointKind::Ball { anchor_a, anchor_b } => {
+            point_rows(anchor_a, anchor_b, out);
+        }
+        JointKind::Hinge {
+            anchor_a,
+            anchor_b,
+            axis_a,
+            axis_b,
+        } => {
+            point_rows(anchor_a, anchor_b, out);
+            let wa_axis = ta.apply_vector(axis_a);
+            let wb_axis = tb.apply_vector(axis_b);
+            // Constrain rotation perpendicular to the hinge axis. Error is
+            // the misalignment rotation vector axis_b × axis_a.
+            let p = wa_axis.any_orthogonal();
+            let q = wa_axis.cross(p);
+            let err = wb_axis.cross(wa_axis);
+            angular_rows(&[p, q], err, out);
+        }
+        JointKind::Slider { axis_a, anchor_a } => {
+            let w_axis = ta.apply_vector(axis_a);
+            let p = w_axis.any_orthogonal();
+            let q = w_axis.cross(p);
+            // Lock all relative rotation. The error rotation E takes A's
+            // frame to B's (dE/dt ≈ ωb − ωa), while `angular_rows` models
+            // dE/dt ≈ ωa − ωb (the hinge convention), so negate E here.
+            let rel = tb.rotation * ta.rotation.conjugate();
+            let rot_err = Vec3::new(rel.x, rel.y, rel.z) * (-2.0 * rel.w.signum());
+            angular_rows(&[Vec3::UNIT_X, Vec3::UNIT_Y, Vec3::UNIT_Z], rot_err, out);
+            // Lock translation perpendicular to the axis, measured from the
+            // anchor point on A. With C = t·(xb − anchor_world) the row
+            // below measures jv = −Ċ, so the bias enters with a positive
+            // sign to make C decay. (Springs along the axis are applied as
+            // forces in World.)
+            let anchor_world = ta.apply(anchor_a);
+            let d = tb.position - ta.position;
+            let err = tb.position - anchor_world;
+            let off = err - w_axis * err.dot(w_axis);
+            for t in [p, q] {
+                let mut row = ConstraintRow::new(la, lb);
+                row.j_lin_a = t;
+                row.j_ang_a = d.cross(t);
+                row.j_lin_b = -t;
+                row.rhs = bias_k * off.dot(t);
+                row.source_joint = joint_index;
+                out.push(row);
+            }
+        }
+        JointKind::Fixed { anchor_a, anchor_b } => {
+            point_rows(anchor_a, anchor_b, out);
+            // See the Slider case for the sign of the rotation error.
+            let rel = tb.rotation * ta.rotation.conjugate();
+            let rot_err = Vec3::new(rel.x, rel.y, rel.z) * (-2.0 * rel.w.signum());
+            angular_rows(&[Vec3::UNIT_X, Vec3::UNIT_Y, Vec3::UNIT_Z], rot_err, out);
+        }
+    }
+    out.len() - start
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::contact::ContactPoint;
+    use crate::shape::GeomId;
+
+    fn free_unit_body() -> VelState {
+        VelState {
+            lin: Vec3::ZERO,
+            ang: Vec3::ZERO,
+            inv_mass: 1.0,
+            inv_inertia: Mat3::from_diagonal(Vec3::splat(2.5)),
+        }
+    }
+
+    #[test]
+    fn normal_row_stops_approach() {
+        // Body A moving down onto the static ground with a contact whose
+        // normal is +Y; after solving, downward velocity must vanish.
+        let mut vel = vec![free_unit_body()];
+        vel[0].lin = Vec3::new(0.0, -3.0, 0.0);
+        let mut m = ContactManifold::new(GeomId(0), GeomId(1));
+        m.restitution = 0.0;
+        m.push(ContactPoint {
+            position: Vec3::ZERO,
+            normal: Vec3::UNIT_Y,
+            depth: 0.0,
+        });
+        let mut rows = Vec::new();
+        let params = RowParams::default();
+        build_contact_rows(&m, 0, STATIC_BODY, Vec3::ZERO, Vec3::ZERO, &vel, &params, &mut rows);
+        assert_eq!(rows.len(), 3);
+        solve(&mut rows, &mut vel, 20);
+        assert!(vel[0].lin.y.abs() < 1e-3, "vy = {}", vel[0].lin.y);
+    }
+
+    #[test]
+    fn unilateral_contact_does_not_pull() {
+        // Body moving away from the contact: no impulse should be applied.
+        let mut vel = vec![free_unit_body()];
+        vel[0].lin = Vec3::new(0.0, 5.0, 0.0);
+        let mut m = ContactManifold::new(GeomId(0), GeomId(1));
+        m.push(ContactPoint {
+            position: Vec3::ZERO,
+            normal: Vec3::UNIT_Y,
+            depth: 0.0,
+        });
+        let mut rows = Vec::new();
+        build_contact_rows(
+            &m,
+            0,
+            STATIC_BODY,
+            Vec3::ZERO,
+            Vec3::ZERO,
+            &vel,
+            &RowParams::default(),
+            &mut rows,
+        );
+        solve(&mut rows, &mut vel, 20);
+        assert!((vel[0].lin.y - 5.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn friction_clamps_tangential_impulse() {
+        // Sliding contact: tangential velocity should shrink but friction is
+        // bounded by mu * normal impulse.
+        let mut vel = vec![free_unit_body()];
+        vel[0].lin = Vec3::new(4.0, -1.0, 0.0);
+        let mut m = ContactManifold::new(GeomId(0), GeomId(1));
+        m.friction = 0.3;
+        m.restitution = 0.0;
+        m.push(ContactPoint {
+            position: Vec3::ZERO,
+            normal: Vec3::UNIT_Y,
+            depth: 0.0,
+        });
+        let mut rows = Vec::new();
+        build_contact_rows(
+            &m,
+            0,
+            STATIC_BODY,
+            Vec3::ZERO,
+            Vec3::ZERO,
+            &vel,
+            &RowParams::default(),
+            &mut rows,
+        );
+        solve(&mut rows, &mut vel, 50);
+        // Normal velocity removed.
+        assert!(vel[0].lin.y.abs() < 1e-3);
+        // Tangential velocity reduced but not fully (mu too small to stop
+        // a 4 m/s slide with a 1 m/s normal impulse).
+        assert!(vel[0].lin.x < 4.0);
+        assert!(vel[0].lin.x > 0.0);
+    }
+
+    #[test]
+    fn restitution_bounces() {
+        let mut vel = vec![free_unit_body()];
+        vel[0].lin = Vec3::new(0.0, -4.0, 0.0);
+        let mut m = ContactManifold::new(GeomId(0), GeomId(1));
+        m.restitution = 0.5;
+        m.push(ContactPoint {
+            position: Vec3::ZERO,
+            normal: Vec3::UNIT_Y,
+            depth: 0.0,
+        });
+        let mut rows = Vec::new();
+        build_contact_rows(
+            &m,
+            0,
+            STATIC_BODY,
+            Vec3::ZERO,
+            Vec3::ZERO,
+            &vel,
+            &RowParams::default(),
+            &mut rows,
+        );
+        solve(&mut rows, &mut vel, 30);
+        assert!(
+            (vel[0].lin.y - 2.0).abs() < 0.1,
+            "expected ~+2 m/s bounce, got {}",
+            vel[0].lin.y
+        );
+    }
+
+    #[test]
+    fn bilateral_row_enforces_equality() {
+        // Two bodies moving apart along X joined by a single bilateral row
+        // along X: their relative velocity along X must become zero.
+        let mut vel = vec![free_unit_body(), free_unit_body()];
+        vel[0].lin = Vec3::new(1.0, 0.0, 0.0);
+        vel[1].lin = Vec3::new(-1.0, 0.0, 0.0);
+        let mut row = ConstraintRow::new(0, 1);
+        row.j_lin_a = Vec3::UNIT_X;
+        row.j_lin_b = -Vec3::UNIT_X;
+        let mut rows = vec![row];
+        solve(&mut rows, &mut vel, 30);
+        let rel = vel[0].lin.x - vel[1].lin.x;
+        assert!(rel.abs() < 1e-4, "rel = {rel}");
+        // Momentum conserved (equal masses): both should be ~0.
+        assert!(vel[0].lin.x.abs() < 1e-3);
+    }
+
+    #[test]
+    fn solve_reports_stats() {
+        let mut vel = vec![free_unit_body()];
+        vel[0].lin = Vec3::new(0.0, -1.0, 0.0);
+        let mut m = ContactManifold::new(GeomId(0), GeomId(1));
+        m.push(ContactPoint {
+            position: Vec3::ZERO,
+            normal: Vec3::UNIT_Y,
+            depth: 0.0,
+        });
+        let mut rows = Vec::new();
+        build_contact_rows(
+            &m,
+            0,
+            STATIC_BODY,
+            Vec3::ZERO,
+            Vec3::ZERO,
+            &vel,
+            &RowParams::default(),
+            &mut rows,
+        );
+        let stats = solve(&mut rows, &mut vel, 20);
+        assert_eq!(stats.rows, 3);
+        assert_eq!(stats.iterations, 20);
+        assert!(stats.total_delta > 0.0);
+    }
+}

@@ -1,0 +1,1392 @@
+//! The simulation world: owns all entities and runs the five-phase step.
+//!
+//! [`World::step`] implements the algorithmic flow from paper §3.1,
+//! including the italicized extensions: explosion triggering, cloth contact
+//! lists, pre-fractured shattering and breakable-joint checks.
+
+use std::collections::HashSet;
+use std::time::Instant;
+
+use parallax_math::{Transform, Vec3};
+
+use crate::body::{BodyDesc, BodyFlags, BodyId, RigidBody};
+use crate::broadphase::{Broadphase, SweepAndPrune, UniformGrid};
+use crate::cloth::{Cloth, ClothId};
+use crate::contact::ContactManifold;
+use crate::explosion::{BlastVolume, ExplosionConfig};
+use crate::fracture::Prefractured;
+use crate::integrator;
+use crate::island::{build_islands, ConstraintEdge, EdgeKind};
+use crate::joint::{Joint, JointId, JointKind};
+use crate::narrowphase;
+use crate::parallel::par_map_scoped;
+use crate::probe::{ClothWork, IslandWork, PairWork, StepEvents, StepProfile};
+use crate::shape::{Geom, GeomId, Shape};
+use crate::solver::{self, ConstraintRow, RowParams, VelState, STATIC_BODY};
+
+/// Global simulation parameters.
+///
+/// Defaults follow the paper: ∆t = 0.01 s, 20 solver iterations, 3 steps
+/// executed per displayed frame.
+#[derive(Debug, Clone)]
+pub struct WorldConfig {
+    /// Gravitational acceleration.
+    pub gravity: Vec3,
+    /// Time step (s).
+    pub dt: f32,
+    /// Constraint-solver relaxation iterations per step.
+    pub solver_iterations: usize,
+    /// Error-reduction parameter for positional correction.
+    pub erp: f32,
+    /// Constraint-force mixing for contacts.
+    pub contact_cfm: f32,
+    /// Worker threads for the parallel phases (1 = serial).
+    pub threads: usize,
+    /// Islands with more DOF removed than this go to the work queue
+    /// (paper: 25).
+    pub island_queue_threshold: usize,
+    /// Linear velocity cap (m/s) for numerical stability.
+    pub max_linear_velocity: f32,
+    /// Angular velocity cap (rad/s).
+    pub max_angular_velocity: f32,
+    /// Physics steps per displayed frame (paper: 3).
+    pub steps_per_frame: usize,
+    /// Broad-phase algorithm. The paper's engine updates a spatial hash
+    /// each step (the default here); sweep-and-prune is available as an
+    /// ablation.
+    pub broadphase: BroadphaseKind,
+    /// Spring stiffness used by slider suspensions.
+    pub slider_spring_k: f32,
+    /// Spring damping used by slider suspensions.
+    pub slider_spring_c: f32,
+}
+
+impl Default for WorldConfig {
+    fn default() -> Self {
+        WorldConfig {
+            gravity: Vec3::new(0.0, -9.81, 0.0),
+            dt: 0.01,
+            solver_iterations: 20,
+            erp: 0.2,
+            contact_cfm: 1e-5,
+            threads: 1,
+            island_queue_threshold: 25,
+            max_linear_velocity: 100.0,
+            max_angular_velocity: 50.0,
+            steps_per_frame: 3,
+            broadphase: BroadphaseKind::Grid { cell: 1.2 },
+            slider_spring_k: 35_000.0,
+            slider_spring_c: 1_200.0,
+        }
+    }
+}
+
+/// Broad-phase algorithm selection.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum BroadphaseKind {
+    /// Uniform spatial hash with the given cell size (default).
+    Grid {
+        /// Cell edge length in metres.
+        cell: f32,
+    },
+    /// Sort-and-sweep along the X axis.
+    SweepAndPrune,
+}
+
+enum BroadphaseImpl {
+    Grid(UniformGrid),
+    Sap(SweepAndPrune),
+}
+
+impl BroadphaseImpl {
+    fn of(kind: BroadphaseKind) -> BroadphaseImpl {
+        match kind {
+            BroadphaseKind::Grid { cell } => BroadphaseImpl::Grid(UniformGrid::new(cell)),
+            BroadphaseKind::SweepAndPrune => BroadphaseImpl::Sap(SweepAndPrune::new()),
+        }
+    }
+
+    fn pairs(
+        &mut self,
+        aabbs: &[(GeomId, parallax_math::Aabb)],
+    ) -> (
+        Vec<(GeomId, GeomId)>,
+        crate::broadphase::BroadphaseStats,
+    ) {
+        match self {
+            BroadphaseImpl::Grid(g) => g.pairs(aabbs),
+            BroadphaseImpl::Sap(s) => s.pairs(aabbs),
+        }
+    }
+}
+
+/// The simulation world.
+///
+/// See the [crate docs](crate) for a complete example.
+pub struct World {
+    config: WorldConfig,
+    bodies: Vec<RigidBody>,
+    geoms: Vec<Geom>,
+    /// Geoms attached to each body (parallel to `bodies`).
+    body_geoms: Vec<Vec<GeomId>>,
+    joints: Vec<Joint>,
+    /// Collision-excluded body pairs (jointed bodies do not collide).
+    joint_pairs: HashSet<(u32, u32)>,
+    cloths: Vec<Cloth>,
+    prefractured: Vec<Prefractured>,
+    explosive_cfg: Vec<(u32, ExplosionConfig)>,
+    blasts: Vec<BlastVolume>,
+    broadphase: BroadphaseImpl,
+    time: f64,
+    steps: u64,
+}
+
+impl std::fmt::Debug for World {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("World")
+            .field("bodies", &self.bodies.len())
+            .field("geoms", &self.geoms.len())
+            .field("joints", &self.joints.len())
+            .field("cloths", &self.cloths.len())
+            .field("time", &self.time)
+            .finish()
+    }
+}
+
+impl World {
+    /// Creates an empty world.
+    pub fn new(config: WorldConfig) -> Self {
+        let broadphase = BroadphaseImpl::of(config.broadphase);
+        World {
+            config,
+            bodies: Vec::new(),
+            geoms: Vec::new(),
+            body_geoms: Vec::new(),
+            joints: Vec::new(),
+            joint_pairs: HashSet::new(),
+            cloths: Vec::new(),
+            prefractured: Vec::new(),
+            explosive_cfg: Vec::new(),
+            blasts: Vec::new(),
+            broadphase,
+            time: 0.0,
+            steps: 0,
+        }
+    }
+
+    /// The active configuration.
+    #[inline]
+    pub fn config(&self) -> &WorldConfig {
+        &self.config
+    }
+
+    /// Mutable access to the configuration (e.g. to change thread count).
+    ///
+    /// Note: changing `config.broadphase` here has no effect on an already
+    /// constructed world — use [`World::set_broadphase`].
+    #[inline]
+    pub fn config_mut(&mut self) -> &mut WorldConfig {
+        &mut self.config
+    }
+
+    /// Switches the broad-phase algorithm (used by the ablation study).
+    pub fn set_broadphase(&mut self, kind: BroadphaseKind) {
+        self.config.broadphase = kind;
+        self.broadphase = BroadphaseImpl::of(kind);
+    }
+
+    /// Simulated time (s).
+    #[inline]
+    pub fn time(&self) -> f64 {
+        self.time
+    }
+
+    /// Steps executed so far.
+    #[inline]
+    pub fn step_count(&self) -> u64 {
+        self.steps
+    }
+
+    // --- construction -----------------------------------------------------
+
+    /// Adds a body described by `desc`, creating its geoms.
+    pub fn add_body(&mut self, desc: BodyDesc) -> BodyId {
+        let id = BodyId(self.bodies.len() as u32);
+        let body = desc.build();
+        let body_transform = body.transform();
+        self.bodies.push(body);
+        self.body_geoms.push(Vec::new());
+        for (shape, local) in &desc.shapes {
+            let gid = GeomId(self.geoms.len() as u32);
+            let world_t = body_transform.compose(local);
+            self.geoms.push(Geom {
+                aabb: shape.aabb(&world_t),
+                shape: shape.clone(),
+                body: Some(id),
+                local: *local,
+                enabled: !desc.flags.contains(BodyFlags::DISABLED),
+            });
+            self.body_geoms[id.index()].push(gid);
+        }
+        id
+    }
+
+    /// Adds a world-static geom at the origin.
+    pub fn add_static_geom(&mut self, shape: Shape) -> GeomId {
+        self.add_static_geom_at(shape, Transform::IDENTITY)
+    }
+
+    /// Adds a world-static geom at `transform`.
+    pub fn add_static_geom_at(&mut self, shape: Shape, transform: Transform) -> GeomId {
+        let gid = GeomId(self.geoms.len() as u32);
+        self.geoms.push(Geom {
+            aabb: shape.aabb(&transform),
+            shape,
+            body: None,
+            local: transform,
+            enabled: true,
+        });
+        gid
+    }
+
+    /// Adds a permanent joint; collision between its bodies is disabled.
+    pub fn add_joint(&mut self, joint: Joint) -> JointId {
+        let id = JointId(self.joints.len() as u32);
+        let (a, b) = (joint.body_a.0, joint.body_b.0);
+        self.joint_pairs.insert((a.min(b), a.max(b)));
+        self.joints.push(joint);
+        id
+    }
+
+    /// Excludes collision detection between two bodies (used for composite
+    /// entities like vehicles whose parts interpenetrate by design).
+    pub fn exclude_collision(&mut self, a: BodyId, b: BodyId) {
+        self.joint_pairs.insert((a.0.min(b.0), a.0.max(b.0)));
+    }
+
+    /// Adds a cloth object.
+    pub fn add_cloth(&mut self, cloth: Cloth) -> ClothId {
+        let id = ClothId(self.cloths.len() as u32);
+        self.cloths.push(cloth);
+        id
+    }
+
+    /// Marks a body explosive: on its first contact it is replaced by a
+    /// blast sphere.
+    pub fn make_explosive(&mut self, body: BodyId, cfg: ExplosionConfig) {
+        self.bodies[body.index()].flags.insert(BodyFlags::EXPLOSIVE);
+        self.explosive_cfg.push((body.0, cfg));
+    }
+
+    /// Adds a pre-fractured box at `position` with orientation `rotation`:
+    /// an intact parent plus `pieces` debris boxes created disabled.
+    ///
+    /// Returns the parent body id.
+    pub fn add_prefractured(
+        &mut self,
+        position: Vec3,
+        rotation: parallax_math::Quat,
+        half: Vec3,
+        mass: f32,
+        cfg: crate::fracture::FractureConfig,
+    ) -> BodyId {
+        let parent = self.add_body(
+            BodyDesc::dynamic(position)
+                .with_rotation(rotation)
+                .with_shape(Shape::cuboid(half), mass)
+                .with_flags(BodyFlags::PREFRACTURED),
+        );
+        let (offsets, piece_half) = Prefractured::debris_layout(half, cfg.pieces);
+        let piece_mass = mass / cfg.pieces as f32;
+        let mut debris = Vec::with_capacity(offsets.len());
+        for off in &offsets {
+            let d = self.add_body(
+                BodyDesc::dynamic(position + rotation.rotate(*off))
+                    .with_rotation(rotation)
+                    .with_shape(Shape::cuboid(piece_half), piece_mass)
+                    .with_flags(BodyFlags::DEBRIS | BodyFlags::DISABLED),
+            );
+            self.set_body_enabled(d, false);
+            // Debris geoms stay in the collision space while dormant (ODE
+            // semantics): they are considered by broad-phase and counted
+            // as object-pairs, but cheaply rejected in narrow-phase.
+            for g in &self.body_geoms[d.index()] {
+                self.geoms[g.index()].enabled = true;
+            }
+            debris.push(d);
+        }
+        self.prefractured
+            .push(Prefractured::new(parent, debris, offsets, cfg.scatter_speed));
+        parent
+    }
+
+    // --- access -----------------------------------------------------------
+
+    /// Immutable access to a body.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    #[inline]
+    pub fn body(&self, id: BodyId) -> &RigidBody {
+        &self.bodies[id.index()]
+    }
+
+    /// Mutable access to a body.
+    #[inline]
+    pub fn body_mut(&mut self, id: BodyId) -> &mut RigidBody {
+        &mut self.bodies[id.index()]
+    }
+
+    /// All bodies.
+    #[inline]
+    pub fn bodies(&self) -> &[RigidBody] {
+        &self.bodies
+    }
+
+    /// All geoms.
+    #[inline]
+    pub fn geoms(&self) -> &[Geom] {
+        &self.geoms
+    }
+
+    /// Immutable access to a joint.
+    #[inline]
+    pub fn joint(&self, id: JointId) -> &Joint {
+        &self.joints[id.index()]
+    }
+
+    /// All joints.
+    #[inline]
+    pub fn joints(&self) -> &[Joint] {
+        &self.joints
+    }
+
+    /// Immutable access to a cloth.
+    #[inline]
+    pub fn cloth(&self, id: ClothId) -> &Cloth {
+        &self.cloths[id.index()]
+    }
+
+    /// Mutable access to a cloth.
+    #[inline]
+    pub fn cloth_mut(&mut self, id: ClothId) -> &mut Cloth {
+        &mut self.cloths[id.index()]
+    }
+
+    /// All cloths.
+    #[inline]
+    pub fn cloths(&self) -> &[Cloth] {
+        &self.cloths
+    }
+
+    /// Live blast volumes.
+    #[inline]
+    pub fn blasts(&self) -> &[BlastVolume] {
+        &self.blasts
+    }
+
+    /// Enables or disables a body and its geoms.
+    pub fn set_body_enabled(&mut self, id: BodyId, enabled: bool) {
+        let b = &mut self.bodies[id.index()];
+        if enabled {
+            b.flags.remove(BodyFlags::DISABLED);
+        } else {
+            b.flags.insert(BodyFlags::DISABLED);
+        }
+        for g in &self.body_geoms[id.index()] {
+            self.geoms[g.index()].enabled = enabled;
+        }
+    }
+
+    /// Count of enabled, dynamic bodies.
+    pub fn enabled_dynamic_bodies(&self) -> usize {
+        self.bodies
+            .iter()
+            .filter(|b| !b.is_static() && !b.is_disabled())
+            .count()
+    }
+
+    // --- stepping -----------------------------------------------------------
+
+    /// Runs one displayed frame: `steps_per_frame` simulation steps.
+    pub fn step_frame(&mut self) -> Vec<StepProfile> {
+        (0..self.config.steps_per_frame).map(|_| self.step()).collect()
+    }
+
+    /// Advances the simulation by one ∆t, returning the work profile.
+    pub fn step(&mut self) -> StepProfile {
+        let mut profile = StepProfile::default();
+        let dt = self.config.dt;
+
+        // (a) Apply forces: gravity, slider suspension springs, blast
+        // impulses.
+        self.apply_slider_springs();
+        self.apply_blast_impulses();
+        for b in &mut self.bodies {
+            integrator::apply_forces(b, self.config.gravity, dt);
+        }
+
+        // (b) Broad-phase.
+        let t0 = Instant::now();
+        let aabb_list = self.refresh_aabbs();
+        let (candidates, bp_stats) = self.broadphase.pairs(&aabb_list);
+        profile.broadphase = bp_stats;
+        profile.wall[0] = t0.elapsed();
+
+        // (c) Narrow-phase with explosive / cloth / fracture hooks.
+        let t1 = Instant::now();
+        let pairs = self.filter_pairs(candidates);
+        let (manifolds, pair_work) = self.narrowphase(&pairs);
+        profile.pairs = pair_work;
+        let events = self.process_contact_events(&manifolds);
+        self.update_cloth_contact_lists();
+        profile.wall[1] = t1.elapsed();
+
+        // Drop manifolds that involve blast volumes or newly exploded
+        // bodies: they are fields, not solids.
+        let manifolds: Vec<ContactManifold> = manifolds
+            .into_iter()
+            .filter(|m| !self.manifold_is_inert(m))
+            .collect();
+
+        // (d) Island creation.
+        let t2 = Instant::now();
+        let edges = self.build_edges(&manifolds);
+        let (islands, ic_stats) = build_islands(&mut self.bodies, &edges);
+        profile.island_creation = ic_stats;
+        profile.wall[2] = t2.elapsed();
+
+        // (e) Island processing + (f) breakable joints.
+        let t3 = Instant::now();
+        let (island_work, joint_impulses) = self.process_islands(&islands, &manifolds);
+        profile.islands = island_work;
+        let broken = self.update_breakable_joints(&joint_impulses);
+        for b in &mut self.bodies {
+            integrator::clamp_velocities(
+                b,
+                self.config.max_linear_velocity,
+                self.config.max_angular_velocity,
+            );
+            integrator::integrate(b, dt);
+        }
+        profile.wall[3] = t3.elapsed();
+
+        // (g) Cloth.
+        let t4 = Instant::now();
+        profile.cloths = self.step_cloths();
+        profile.wall[4] = t4.elapsed();
+
+        // Blast volume lifetime.
+        let mut expired = 0;
+        let bodies = &mut self.bodies;
+        let geoms = &mut self.geoms;
+        let body_geoms = &self.body_geoms;
+        self.blasts.retain_mut(|blast| {
+            if blast.tick() {
+                true
+            } else {
+                expired += 1;
+                bodies[blast.body.index()].flags.insert(BodyFlags::DISABLED);
+                for g in &body_geoms[blast.body.index()] {
+                    geoms[g.index()].enabled = false;
+                }
+                false
+            }
+        });
+
+        // (h) Advance time.
+        self.time += dt as f64;
+        self.steps += 1;
+
+        profile.events = StepEvents {
+            explosions: events.0,
+            shattered: events.1,
+            joints_broken: broken,
+            blasts_expired: expired,
+        };
+        profile.body_count = self
+            .bodies
+            .iter()
+            .filter(|b| !b.is_disabled())
+            .count();
+        profile.geom_count = self.geoms.iter().filter(|g| g.enabled).count();
+        profile.joint_count = self.joints.iter().filter(|j| !j.is_broken()).count();
+        profile
+    }
+
+    // --- step internals ---------------------------------------------------------
+
+    fn apply_slider_springs(&mut self) {
+        let k = self.config.slider_spring_k;
+        let c = self.config.slider_spring_c;
+        for j in &self.joints {
+            if j.is_broken() {
+                continue;
+            }
+            if let JointKind::Slider { axis_a, anchor_a } = j.kind {
+                let (ia, ib) = (j.body_a.index(), j.body_b.index());
+                let axis = self.bodies[ia].transform().apply_vector(axis_a);
+                let anchor_world = self.bodies[ia].transform().apply(anchor_a);
+                let displacement = (self.bodies[ib].position() - anchor_world).dot(axis);
+                let rel_vel =
+                    (self.bodies[ib].linear_velocity() - self.bodies[ia].linear_velocity()).dot(axis);
+                let f = axis * (-k * displacement - c * rel_vel);
+                self.bodies[ib].add_force(f);
+                self.bodies[ia].add_force(-f);
+            }
+        }
+    }
+
+    fn apply_blast_impulses(&mut self) {
+        if self.blasts.is_empty() {
+            return;
+        }
+        for bi in 0..self.bodies.len() {
+            let b = &self.bodies[bi];
+            if b.is_static() || b.is_disabled() || b.flags().contains(BodyFlags::BLAST_VOLUME) {
+                continue;
+            }
+            let pos = b.position();
+            let mut total = Vec3::ZERO;
+            for blast in &self.blasts {
+                total += blast.impulse_at(pos);
+            }
+            if total != Vec3::ZERO {
+                let p = self.bodies[bi].position();
+                self.bodies[bi].apply_impulse_at(total, p);
+            }
+        }
+    }
+
+    fn refresh_aabbs(&mut self) -> Vec<(GeomId, parallax_math::Aabb)> {
+        let mut out = Vec::with_capacity(self.geoms.len());
+        for (i, g) in self.geoms.iter_mut().enumerate() {
+            if !g.enabled {
+                continue;
+            }
+            let world_t = match g.body {
+                Some(b) => self.bodies[b.index()].transform().compose(&g.local),
+                None => g.local,
+            };
+            g.aabb = g.shape.aabb(&world_t);
+            out.push((GeomId(i as u32), g.aabb));
+        }
+        out
+    }
+
+    /// Removes pairs that cannot produce contacts: same body, both static,
+    /// jointed bodies, disabled.
+    /// Classifies broad-phase candidates. Pairs from the same body or
+    /// between jointed/excluded bodies are dropped; pairs where both sides
+    /// are static or either body is disabled are kept as *considered*
+    /// pairs (`active = false`) — they are counted and pay a cheap
+    /// narrow-phase rejection, like ODE pairs filtered in the near
+    /// callback — but generate no contacts. The rest are fully collided.
+    fn filter_pairs(&self, candidates: Vec<(GeomId, GeomId)>) -> Vec<(GeomId, GeomId, bool)> {
+        candidates
+            .into_iter()
+            .filter_map(|(a, b)| {
+                let ga = &self.geoms[a.index()];
+                let gb = &self.geoms[b.index()];
+                if !ga.enabled || !gb.enabled {
+                    return None;
+                }
+                let body_disabled = |g: &Geom| {
+                    g.body
+                        .map(|id| self.bodies[id.index()].is_disabled())
+                        .unwrap_or(false)
+                };
+                let body_static = |g: &Geom| {
+                    g.body
+                        .map(|id| self.bodies[id.index()].is_static())
+                        .unwrap_or(true)
+                };
+                if let (Some(ba), Some(bb)) = (ga.body, gb.body) {
+                    if ba == bb {
+                        return None;
+                    }
+                    let key = (ba.0.min(bb.0), ba.0.max(bb.0));
+                    if self.joint_pairs.contains(&key) {
+                        return None;
+                    }
+                }
+                let active = !(body_static(ga) && body_static(gb))
+                    && !body_disabled(ga)
+                    && !body_disabled(gb);
+                Some((a, b, active))
+            })
+            .collect()
+    }
+
+    fn geom_world_transform(&self, g: &Geom) -> Transform {
+        match g.body {
+            Some(b) => self.bodies[b.index()].transform().compose(&g.local),
+            None => g.local,
+        }
+    }
+
+    fn narrowphase(
+        &self,
+        pairs: &[(GeomId, GeomId, bool)],
+    ) -> (Vec<ContactManifold>, Vec<PairWork>) {
+        let run_pair = |&(a, b, active): &(GeomId, GeomId, bool)| {
+            let ga = &self.geoms[a.index()];
+            let gb = &self.geoms[b.index()];
+            let manifold = if active {
+                let ta = self.geom_world_transform(ga);
+                let tb = self.geom_world_transform(gb);
+                narrowphase::collide_with_ids(a, &ga.shape, &ta, b, &gb.shape, &tb)
+            } else {
+                None
+            };
+            let work = PairWork {
+                geom_a: a.0,
+                geom_b: b.0,
+                body_a: ga.body.map_or(u32::MAX, |x| x.0),
+                body_b: gb.body.map_or(u32::MAX, |x| x.0),
+                shape_a: ga.shape.kind_name(),
+                shape_b: gb.shape.kind_name(),
+                contacts: manifold.as_ref().map_or(0, |m| m.len()),
+                active,
+            };
+            (manifold, work)
+        };
+
+        let results = par_map_scoped(self.config.threads, pairs, run_pair);
+        let mut manifolds = Vec::new();
+        let mut work = Vec::with_capacity(results.len());
+        for (m, w) in results {
+            if let Some(m) = m {
+                manifolds.push(m);
+            }
+            work.push(w);
+        }
+        (manifolds, work)
+    }
+
+    /// Explosion + fracture hooks. Returns (explosions, shattered).
+    fn process_contact_events(&mut self, manifolds: &[ContactManifold]) -> (usize, usize) {
+        let mut to_explode: Vec<u32> = Vec::new();
+        let mut to_shatter: Vec<usize> = Vec::new();
+
+        for m in manifolds {
+            let ba = self.geoms[m.geom_a.index()].body;
+            let bb = self.geoms[m.geom_b.index()].body;
+            for (this, other) in [(ba, bb), (bb, ba)] {
+                let Some(this) = this else { continue };
+                let body = &self.bodies[this.index()];
+                let other_is_blast = other
+                    .map(|o| self.bodies[o.index()].flags().contains(BodyFlags::BLAST_VOLUME))
+                    .unwrap_or(false);
+                if body.flags().contains(BodyFlags::EXPLOSIVE)
+                    && !body.is_disabled()
+                    && !other_is_blast
+                    && !to_explode.contains(&this.0)
+                {
+                    to_explode.push(this.0);
+                }
+                if body.flags().contains(BodyFlags::PREFRACTURED)
+                    && !body.is_disabled()
+                    && other_is_blast
+                {
+                    if let Some(pi) = self
+                        .prefractured
+                        .iter()
+                        .position(|p| p.parent == this && !p.shattered)
+                    {
+                        if !to_shatter.contains(&pi) {
+                            to_shatter.push(pi);
+                        }
+                    }
+                }
+            }
+        }
+
+        let explosions = to_explode.len();
+        for b in to_explode {
+            self.explode(BodyId(b));
+        }
+        let shattered = to_shatter.len();
+        for pi in to_shatter {
+            self.shatter(pi);
+        }
+        (explosions, shattered)
+    }
+
+    fn explode(&mut self, body: BodyId) {
+        let cfg = self
+            .explosive_cfg
+            .iter()
+            .find(|(b, _)| *b == body.0)
+            .map(|(_, c)| *c)
+            .unwrap_or_default();
+        let center = self.bodies[body.index()].position();
+        self.set_body_enabled(body, false);
+        // Blast sphere body: static, flagged, participates in CD so
+        // pre-fractured objects can detect it.
+        let blast_body = self.add_body(
+            BodyDesc::fixed(center)
+                .with_shape(Shape::sphere(cfg.blast_radius), 1.0)
+                .with_flags(BodyFlags::BLAST_VOLUME),
+        );
+        self.blasts.push(BlastVolume {
+            body: blast_body,
+            center,
+            radius: cfg.blast_radius,
+            steps_left: cfg.duration_steps,
+            impulse: cfg.impulse,
+            fresh: true,
+        });
+    }
+
+    fn shatter(&mut self, index: usize) {
+        let (parent, debris, offsets, scatter) = {
+            let p = &mut self.prefractured[index];
+            p.shattered = true;
+            (p.parent, p.debris.clone(), p.local_offsets.clone(), p.scatter_speed)
+        };
+        let parent_body = self.bodies[parent.index()].clone();
+        let parent_vel = parent_body.linear_velocity();
+        let center = parent_body.position();
+        self.set_body_enabled(parent, false);
+        for (d, off) in debris.into_iter().zip(offsets) {
+            self.set_body_enabled(d, true);
+            // Re-pose the piece on the parent's current transform.
+            let pos = parent_body.transform().apply(off);
+            let dir = (pos - center).normalized();
+            let b = &mut self.bodies[d.index()];
+            b.transform.position = pos;
+            b.transform.rotation = parent_body.rotation();
+            b.refresh_inertia();
+            b.set_linear_velocity(parent_vel + dir * scatter);
+        }
+    }
+
+    fn update_cloth_contact_lists(&mut self) {
+        for cloth in &mut self.cloths {
+            cloth.contact_bodies.clear();
+            cloth.contact_static_geoms.clear();
+            let bb = cloth.aabb(0.2);
+            for (gi, g) in self.geoms.iter().enumerate() {
+                if !g.enabled || !bb.overlaps(&g.aabb) {
+                    continue;
+                }
+                match g.body {
+                    Some(b) => {
+                        let body = &self.bodies[b.index()];
+                        if body.is_disabled() || body.flags().contains(BodyFlags::BLAST_VOLUME) {
+                            continue;
+                        }
+                        if !cloth.contact_bodies.contains(&b.0) {
+                            cloth.contact_bodies.push(b.0);
+                        }
+                    }
+                    // World-static geoms (ground plane, terrain) collide
+                    // with cloth too.
+                    None => cloth.contact_static_geoms.push(gi as u32),
+                }
+            }
+        }
+    }
+
+    fn manifold_is_inert(&self, m: &ContactManifold) -> bool {
+        for gid in [m.geom_a, m.geom_b] {
+            let g = &self.geoms[gid.index()];
+            if !g.enabled {
+                return true;
+            }
+            if let Some(b) = g.body {
+                let body = &self.bodies[b.index()];
+                if body.is_disabled() || body.flags().contains(BodyFlags::BLAST_VOLUME) {
+                    return true;
+                }
+            }
+        }
+        false
+    }
+
+    fn build_edges(&self, manifolds: &[ContactManifold]) -> Vec<ConstraintEdge> {
+        let mut edges = Vec::with_capacity(self.joints.len() + manifolds.len());
+        for (i, j) in self.joints.iter().enumerate() {
+            if j.is_broken() {
+                continue;
+            }
+            let ba = &self.bodies[j.body_a.index()];
+            let bb = &self.bodies[j.body_b.index()];
+            if ba.is_disabled() || bb.is_disabled() {
+                continue;
+            }
+            edges.push(ConstraintEdge {
+                body_a: j.body_a.0,
+                body_b: j.body_b.0,
+                index: i as u32,
+                kind: EdgeKind::Joint,
+                dof: j.kind().dof_removed(),
+            });
+        }
+        for (i, m) in manifolds.iter().enumerate() {
+            let ba = self.geoms[m.geom_a.index()].body.map_or(u32::MAX, |b| b.0);
+            let bb = self.geoms[m.geom_b.index()].body.map_or(u32::MAX, |b| b.0);
+            let (a, b) = if ba == u32::MAX { (bb, ba) } else { (ba, bb) };
+            if a == u32::MAX {
+                continue;
+            }
+            edges.push(ConstraintEdge {
+                body_a: a,
+                body_b: b,
+                index: i as u32,
+                kind: EdgeKind::Contact,
+                dof: m.len() * 3,
+            });
+        }
+        edges
+    }
+
+    /// Solves every island; returns work records and per-joint applied
+    /// impulses.
+    fn process_islands(
+        &mut self,
+        islands: &[crate::island::Island],
+        manifolds: &[ContactManifold],
+    ) -> (Vec<IslandWork>, Vec<(u32, f32)>) {
+        let params = RowParams {
+            dt: self.config.dt,
+            erp: self.config.erp,
+            contact_cfm: self.config.contact_cfm,
+            ..Default::default()
+        };
+        let iterations = self.config.solver_iterations;
+        let threshold = self.config.island_queue_threshold;
+
+        struct IslandResult {
+            velocities: Vec<(u32, Vec3, Vec3)>,
+            joint_impulses: Vec<(u32, f32)>,
+            rows: usize,
+            work: IslandWork,
+        }
+
+        let solve_island = |(idx, island): &(usize, &crate::island::Island)| -> IslandResult {
+            let island = *island;
+            let _ = idx;
+            // Local index map.
+            let mut local_of = std::collections::HashMap::with_capacity(island.bodies.len());
+            let mut vel: Vec<VelState> = Vec::with_capacity(island.bodies.len());
+            for (li, &bi) in island.bodies.iter().enumerate() {
+                local_of.insert(bi, li as u32);
+                vel.push(VelState::from_body(&self.bodies[bi as usize]));
+            }
+            let local = |body: u32| -> u32 {
+                if body == u32::MAX {
+                    return STATIC_BODY;
+                }
+                match local_of.get(&body) {
+                    Some(&l) => l,
+                    None => STATIC_BODY, // Static or foreign body: anchor.
+                }
+            };
+
+            let mut rows: Vec<ConstraintRow> = Vec::new();
+            for &ji in &island.joints {
+                let j = &self.joints[ji as usize];
+                solver::build_joint_rows(
+                    j,
+                    ji,
+                    local(j.body_a.0),
+                    local(j.body_b.0),
+                    &self.bodies[j.body_a.index()],
+                    &self.bodies[j.body_b.index()],
+                    &params,
+                    &mut rows,
+                );
+            }
+            for &mi in &island.manifolds {
+                let m = &manifolds[mi as usize];
+                let ba = self.geoms[m.geom_a.index()].body;
+                let bb = self.geoms[m.geom_b.index()].body;
+                let pa = ba.map_or(Vec3::ZERO, |b| self.bodies[b.index()].position());
+                let pb = bb.map_or(Vec3::ZERO, |b| self.bodies[b.index()].position());
+                let la = ba.map_or(STATIC_BODY, |b| {
+                    if self.bodies[b.index()].is_static() {
+                        STATIC_BODY
+                    } else {
+                        local(b.0)
+                    }
+                });
+                let lb = bb.map_or(STATIC_BODY, |b| {
+                    if self.bodies[b.index()].is_static() {
+                        STATIC_BODY
+                    } else {
+                        local(b.0)
+                    }
+                });
+                solver::build_contact_rows(m, la, lb, pa, pb, &vel, &params, &mut rows);
+            }
+
+            let stats = solver::solve(&mut rows, &mut vel, iterations);
+
+            // Per-joint impulse accounting for breakables.
+            let mut joint_impulses: std::collections::HashMap<u32, f32> =
+                std::collections::HashMap::new();
+            for r in &rows {
+                if r.source_joint != u32::MAX {
+                    *joint_impulses.entry(r.source_joint).or_insert(0.0) += r.lambda.abs();
+                }
+            }
+
+            IslandResult {
+                velocities: island
+                    .bodies
+                    .iter()
+                    .zip(vel.iter())
+                    .map(|(&bi, v)| (bi, v.lin, v.ang))
+                    .collect(),
+                joint_impulses: joint_impulses.into_iter().collect(),
+                rows: stats.rows,
+                work: IslandWork {
+                    bodies: island.bodies.clone(),
+                    joints: island.joints.clone(),
+                    manifolds: island.manifolds.len(),
+                    rows: stats.rows,
+                    dof_removed: island.dof_removed,
+                    iterations: stats.iterations,
+                    queued: island.dof_removed > threshold,
+                },
+            }
+        };
+
+        // Split islands: big ones (queued) may run on worker threads, the
+        // rest on the main thread — matching the paper's filter.
+        let indexed: Vec<(usize, &crate::island::Island)> =
+            islands.iter().enumerate().collect();
+        let (queued, small): (Vec<_>, Vec<_>) = indexed
+            .into_iter()
+            .partition(|(_, i)| i.dof_removed > threshold);
+
+        let mut results = par_map_scoped(self.config.threads, &queued, solve_island);
+        results.extend(small.iter().map(solve_island));
+
+        let mut work = Vec::with_capacity(results.len());
+        let mut joint_impulses = Vec::new();
+        for r in results {
+            for (bi, lin, ang) in r.velocities {
+                let b = &mut self.bodies[bi as usize];
+                b.set_linear_velocity(lin);
+                b.set_angular_velocity(ang);
+            }
+            joint_impulses.extend(r.joint_impulses);
+            let _ = r.rows;
+            work.push(r.work);
+        }
+        (work, joint_impulses)
+    }
+
+    /// Returns the number of joints that broke this step.
+    fn update_breakable_joints(&mut self, impulses: &[(u32, f32)]) -> usize {
+        let mut per_joint: std::collections::HashMap<u32, f32> = std::collections::HashMap::new();
+        for (j, i) in impulses {
+            *per_joint.entry(*j).or_insert(0.0) += i;
+        }
+        let mut broken = 0;
+        for (ji, j) in self.joints.iter_mut().enumerate() {
+            let applied = per_joint.get(&(ji as u32)).copied().unwrap_or(0.0);
+            if j.update_break(applied) {
+                broken += 1;
+                let key = (
+                    j.body_a.0.min(j.body_b.0),
+                    j.body_a.0.max(j.body_b.0),
+                );
+                self.joint_pairs.remove(&key);
+            }
+        }
+        broken
+    }
+
+    fn step_cloths(&mut self) -> Vec<ClothWork> {
+        let gravity = self.config.gravity;
+        let dt = self.config.dt;
+        // Gather collider lists per cloth (shape + pose snapshots).
+        let collider_sets: Vec<Vec<(Shape, Transform)>> = self
+            .cloths
+            .iter()
+            .map(|cloth| {
+                let mut out = Vec::new();
+                for &b in &cloth.contact_bodies {
+                    let bid = BodyId(b);
+                    for g in &self.body_geoms[bid.index()] {
+                        let geom = &self.geoms[g.index()];
+                        if geom.enabled {
+                            out.push((geom.shape.clone(), self.geom_world_transform(geom)));
+                        }
+                    }
+                }
+                for &gi in &cloth.contact_static_geoms {
+                    let geom = &self.geoms[gi as usize];
+                    if geom.enabled {
+                        out.push((geom.shape.clone(), geom.local));
+                    }
+                }
+                out
+            })
+            .collect();
+
+        let threads = self.config.threads;
+        let mut tasks: Vec<(usize, &mut Cloth, &[(Shape, Transform)])> = self
+            .cloths
+            .iter_mut()
+            .enumerate()
+            .map(|(i, c)| {
+                let colliders = collider_sets[i].as_slice();
+                (i, c, colliders)
+            })
+            .collect();
+
+        // Cloth objects are independent: parallelize at the object level
+        // (paper parallelizes at both object and vertex levels; object
+        // level suffices for real execution — vertex level is what the FG
+        // timing model exploits).
+        let results: Vec<ClothWork> = if threads > 1 && tasks.len() > 1 {
+            std::thread::scope(|s| {
+                let handles: Vec<_> = tasks
+                    .iter_mut()
+                    .map(|(i, c, colliders)| {
+                        let i = *i;
+                        let colliders: &[(Shape, Transform)] = colliders;
+                        let cloth: &mut Cloth = c;
+                        s.spawn(move || {
+                            let stats = cloth.step(gravity, dt, colliders);
+                            ClothWork {
+                                cloth: i as u32,
+                                stats,
+                                colliders: colliders.len(),
+                            }
+                        })
+                    })
+                    .collect();
+                handles.into_iter().map(|h| h.join().expect("cloth thread")).collect()
+            })
+        } else {
+            tasks
+                .iter_mut()
+                .map(|(i, c, colliders)| {
+                    let stats = c.step(gravity, dt, colliders);
+                    ClothWork {
+                        cloth: *i as u32,
+                        stats,
+                        colliders: colliders.len(),
+                    }
+                })
+                .collect()
+        };
+        results
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn world() -> World {
+        World::new(WorldConfig::default())
+    }
+
+    #[test]
+    fn sphere_falls_and_rests_on_plane() {
+        let mut w = world();
+        w.add_static_geom(Shape::plane(Vec3::UNIT_Y, 0.0));
+        let ball = w.add_body(
+            BodyDesc::dynamic(Vec3::new(0.0, 3.0, 0.0)).with_shape(Shape::sphere(0.5), 1.0),
+        );
+        for _ in 0..400 {
+            w.step();
+        }
+        let p = w.body(ball).position();
+        assert!((p.y - 0.5).abs() < 0.05, "rest height {p:?}");
+        assert!(w.body(ball).linear_velocity().length() < 0.1);
+    }
+
+    #[test]
+    fn box_stack_is_stable() {
+        let mut w = world();
+        w.add_static_geom(Shape::plane(Vec3::UNIT_Y, 0.0));
+        let mut ids = Vec::new();
+        for i in 0..3 {
+            ids.push(w.add_body(
+                BodyDesc::dynamic(Vec3::new(0.0, 0.5 + i as f32 * 1.001, 0.0))
+                    .with_shape(Shape::cuboid(Vec3::splat(0.5)), 1.0),
+            ));
+        }
+        for _ in 0..300 {
+            w.step();
+        }
+        for (i, id) in ids.iter().enumerate() {
+            let p = w.body(*id).position();
+            assert!(
+                (p.y - (0.5 + i as f32)).abs() < 0.1,
+                "box {i} at {p:?}"
+            );
+            assert!(p.x.abs() < 0.2 && p.z.abs() < 0.2, "box {i} slid to {p:?}");
+        }
+    }
+
+    #[test]
+    fn ball_joint_holds_pendulum_together() {
+        let mut w = world();
+        let anchor = w.add_body(BodyDesc::fixed(Vec3::new(0.0, 2.0, 0.0)));
+        let bob = w.add_body(
+            BodyDesc::dynamic(Vec3::new(1.0, 2.0, 0.0)).with_shape(Shape::sphere(0.2), 1.0),
+        );
+        w.add_joint(Joint::new(
+            JointKind::Ball {
+                anchor_a: Vec3::ZERO,
+                anchor_b: Vec3::new(-1.0, 0.0, 0.0),
+            },
+            anchor,
+            bob,
+        ));
+        for _ in 0..200 {
+            w.step();
+        }
+        // The bob must stay ~1 m from the anchor.
+        let d = (w.body(bob).position() - Vec3::new(0.0, 2.0, 0.0)).length();
+        assert!((d - 1.0).abs() < 0.1, "pendulum length drifted to {d}");
+        // And it must have swung downward.
+        assert!(w.body(bob).position().y < 2.0);
+    }
+
+    #[test]
+    fn islands_form_from_contact_clusters() {
+        let mut w = world();
+        w.add_static_geom(Shape::plane(Vec3::UNIT_Y, 0.0));
+        // Two separated stacks of two touching spheres.
+        for x in [0.0f32, 100.0] {
+            for i in 0..2 {
+                w.add_body(
+                    BodyDesc::dynamic(Vec3::new(x, 0.5 + i as f32 * 0.95, 0.0))
+                        .with_shape(Shape::sphere(0.5), 1.0),
+                );
+            }
+        }
+        let mut profile = StepProfile::default();
+        for _ in 0..5 {
+            profile = w.step();
+        }
+        assert_eq!(profile.islands.len(), 2, "{:?}", profile.islands.len());
+    }
+
+    #[test]
+    fn explosive_body_detonates_on_contact() {
+        let mut w = world();
+        w.add_static_geom(Shape::plane(Vec3::UNIT_Y, 0.0));
+        let bomb = w.add_body(
+            BodyDesc::dynamic(Vec3::new(0.0, 1.0, 0.0)).with_shape(Shape::sphere(0.3), 1.0),
+        );
+        w.make_explosive(bomb, ExplosionConfig::default());
+        let bystander = w.add_body(
+            BodyDesc::dynamic(Vec3::new(2.0, 0.5, 0.0)).with_shape(Shape::sphere(0.5), 1.0),
+        );
+        let mut exploded = false;
+        for _ in 0..200 {
+            let p = w.step();
+            if p.events.explosions > 0 {
+                exploded = true;
+                break;
+            }
+        }
+        assert!(exploded, "bomb should explode when it lands");
+        assert!(w.body(bomb).is_disabled());
+        assert_eq!(w.blasts().len(), 1);
+        // The blast pushes the bystander away.
+        for _ in 0..5 {
+            w.step();
+        }
+        assert!(
+            w.body(bystander).linear_velocity().x > 0.5,
+            "bystander vel {:?}",
+            w.body(bystander).linear_velocity()
+        );
+    }
+
+    #[test]
+    fn prefractured_shatters_in_blast() {
+        let mut w = world();
+        w.add_static_geom(Shape::plane(Vec3::UNIT_Y, 0.0));
+        let wall = w.add_prefractured(
+            Vec3::new(1.5, 1.0, 0.0),
+            parallax_math::Quat::IDENTITY,
+            Vec3::new(0.5, 1.0, 0.5),
+            8.0,
+            crate::fracture::FractureConfig::default(),
+        );
+        let bomb = w.add_body(
+            BodyDesc::dynamic(Vec3::new(0.0, 0.6, 0.0)).with_shape(Shape::sphere(0.3), 1.0),
+        );
+        w.make_explosive(bomb, ExplosionConfig::default());
+        let mut shattered = false;
+        for _ in 0..300 {
+            let p = w.step();
+            if p.events.shattered > 0 {
+                shattered = true;
+                break;
+            }
+        }
+        assert!(shattered, "wall should shatter inside blast radius");
+        assert!(w.body(wall).is_disabled());
+        // Debris is enabled and moving.
+        let debris_moving = w
+            .bodies()
+            .iter()
+            .filter(|b| b.flags().contains(BodyFlags::DEBRIS))
+            .any(|b| !b.is_disabled() && b.linear_velocity().length() > 0.1);
+        assert!(debris_moving);
+    }
+
+    #[test]
+    fn breakable_joint_snaps_under_impact() {
+        let mut w = world();
+        let left = w.add_body(BodyDesc::fixed(Vec3::new(-0.5, 1.0, 0.0)));
+        let right = w.add_body(
+            BodyDesc::dynamic(Vec3::new(0.5, 1.0, 0.0)).with_shape(Shape::cuboid(Vec3::splat(0.4)), 1.0),
+        );
+        w.add_joint(
+            Joint::new(
+                JointKind::Fixed {
+                    anchor_a: Vec3::new(0.5, 0.0, 0.0),
+                    anchor_b: Vec3::new(-0.5, 0.0, 0.0),
+                },
+                left,
+                right,
+            )
+            .breakable(2.0),
+        );
+        // Slam a heavy fast projectile into the jointed box.
+        let hammer = w.add_body(
+            BodyDesc::dynamic(Vec3::new(5.0, 1.0, 0.0))
+                .with_shape(Shape::sphere(0.4), 20.0)
+                .with_velocity(Vec3::new(-30.0, 0.0, 0.0)),
+        );
+        let _ = hammer;
+        let mut broke = false;
+        for _ in 0..300 {
+            let p = w.step();
+            if p.events.joints_broken > 0 {
+                broke = true;
+                break;
+            }
+        }
+        assert!(broke, "fixed joint should break under the impact");
+    }
+
+    #[test]
+    fn cloth_contact_list_populates() {
+        let mut w = world();
+        let ball = w.add_body(
+            BodyDesc::dynamic(Vec3::new(0.0, 0.5, 0.0)).with_shape(Shape::sphere(0.5), 1.0),
+        );
+        let _ = ball;
+        let cloth = Cloth::rectangle(Vec3::new(-0.5, 1.2, -0.5), 1.0, 1.0, 5, 5, &[]);
+        let cid = w.add_cloth(cloth);
+        let mut touched = false;
+        for _ in 0..100 {
+            w.step();
+            if !w.cloth(cid).contact_bodies().is_empty() {
+                touched = true;
+            }
+        }
+        assert!(touched, "falling cloth should pick up the ball");
+        // Cloth must not be inside the sphere.
+        for v in w.cloth(cid).vertices() {
+            let d = (v.pos - w.body(ball).position()).length();
+            assert!(d > 0.4, "vertex {v:?} inside ball");
+        }
+    }
+
+    #[test]
+    fn profile_reports_phase_work() {
+        let mut w = world();
+        w.add_static_geom(Shape::plane(Vec3::UNIT_Y, 0.0));
+        for i in 0..10 {
+            w.add_body(
+                BodyDesc::dynamic(Vec3::new(i as f32 * 0.9, 0.5, 0.0))
+                    .with_shape(Shape::sphere(0.5), 1.0),
+            );
+        }
+        let p = w.step();
+        assert!(p.broadphase.geoms >= 11);
+        assert!(!p.pairs.is_empty());
+        assert!(p.body_count >= 10);
+    }
+
+    #[test]
+    fn multithreaded_step_matches_entity_counts() {
+        let build = |threads: usize| {
+            let mut cfg = WorldConfig::default();
+            cfg.threads = threads;
+            let mut w = World::new(cfg);
+            w.add_static_geom(Shape::plane(Vec3::UNIT_Y, 0.0));
+            for i in 0..20 {
+                w.add_body(
+                    BodyDesc::dynamic(Vec3::new(
+                        (i % 5) as f32 * 1.2,
+                        0.5 + (i / 5) as f32 * 1.05,
+                        0.0,
+                    ))
+                    .with_shape(Shape::cuboid(Vec3::splat(0.5)), 1.0),
+                );
+            }
+            for _ in 0..50 {
+                w.step();
+            }
+            w
+        };
+        let w1 = build(1);
+        let w4 = build(4);
+        // Deterministic phases must agree on entity counts; positions may
+        // diverge slightly due to solver ordering, but everything must stay
+        // above the floor.
+        assert_eq!(w1.bodies().len(), w4.bodies().len());
+        for b in w4.bodies().iter().filter(|b| !b.is_static()) {
+            assert!(b.position().y > 0.0, "body fell through floor: {:?}", b.position());
+        }
+    }
+
+    #[test]
+    fn frame_runs_three_steps() {
+        let mut w = world();
+        let profiles = w.step_frame();
+        assert_eq!(profiles.len(), 3);
+        assert_eq!(w.step_count(), 3);
+        assert!((w.time() - 0.03).abs() < 1e-9);
+    }
+}
+
+#[cfg(test)]
+mod cloth_static_tests {
+    use super::*;
+
+    #[test]
+    fn cloth_rests_on_world_static_ground() {
+        // Regression: cloths must collide with world-static geoms (ground
+        // plane / terrain added via add_static_geom), not only with bodies.
+        let mut w = World::new(WorldConfig::default());
+        w.add_static_geom(Shape::plane(Vec3::UNIT_Y, 0.0));
+        let cid = w.add_cloth(Cloth::rectangle(
+            Vec3::new(-0.5, 1.0, -0.5),
+            1.0,
+            1.0,
+            5,
+            5,
+            &[],
+        ));
+        for _ in 0..200 {
+            w.step();
+        }
+        assert!(
+            !w.cloth(cid).contact_static_geoms().is_empty(),
+            "ground plane missing from the cloth contact list"
+        );
+        for v in w.cloth(cid).vertices() {
+            assert!(v.pos.y > -0.05, "cloth fell through the floor: {:?}", v.pos);
+        }
+    }
+}

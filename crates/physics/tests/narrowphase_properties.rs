@@ -1,0 +1,128 @@
+//! Property-based tests of the narrow-phase collision functions.
+
+use parallax_math::{Quat, Transform, Vec3};
+use parallax_physics::narrowphase::collide_shapes;
+use parallax_physics::Shape;
+use proptest::prelude::*;
+
+fn shape_strategy() -> impl Strategy<Value = Shape> {
+    prop_oneof![
+        (0.2f32..1.0).prop_map(Shape::sphere),
+        (0.2f32..0.8, 0.2f32..0.8, 0.2f32..0.8)
+            .prop_map(|(x, y, z)| Shape::cuboid(Vec3::new(x, y, z))),
+        (0.15f32..0.5, 0.1f32..0.8).prop_map(|(r, h)| Shape::capsule(r, h)),
+    ]
+}
+
+fn pose_strategy() -> impl Strategy<Value = Transform> {
+    (
+        -2.0f32..2.0,
+        -2.0f32..2.0,
+        -2.0f32..2.0,
+        -3.1f32..3.1,
+        (0.1f32..1.0, 0.1f32..1.0, 0.1f32..1.0),
+    )
+        .prop_map(|(x, y, z, angle, (ax, ay, az))| {
+            Transform::new(
+                Vec3::new(x, y, z),
+                Quat::from_axis_angle(Vec3::new(ax, ay, az), angle),
+            )
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn contacts_have_unit_normals_and_nonnegative_depth(
+        a in shape_strategy(),
+        b in shape_strategy(),
+        ta in pose_strategy(),
+        tb in pose_strategy(),
+    ) {
+        if let Some(m) = collide_shapes(&a, &ta, &b, &tb) {
+            prop_assert!(!m.is_empty(), "Some(manifold) must carry points");
+            for p in &m.points {
+                prop_assert!(p.position.is_finite(), "position {:?}", p.position);
+                prop_assert!(p.normal.is_finite(), "normal {:?}", p.normal);
+                prop_assert!(
+                    (p.normal.length() - 1.0).abs() < 1e-3,
+                    "normal not unit: {:?}",
+                    p.normal
+                );
+                prop_assert!(p.depth >= -1e-4, "negative depth {}", p.depth);
+                prop_assert!(p.depth < 10.0, "absurd depth {}", p.depth);
+            }
+        }
+    }
+
+    #[test]
+    fn swapping_arguments_flips_the_normal(
+        a in shape_strategy(),
+        b in shape_strategy(),
+        ta in pose_strategy(),
+        tb in pose_strategy(),
+    ) {
+        let ab = collide_shapes(&a, &ta, &b, &tb);
+        let ba = collide_shapes(&b, &tb, &a, &ta);
+        // Hit/miss must agree.
+        prop_assert_eq!(ab.is_some(), ba.is_some(), "swap changed hit/miss");
+        if let (Some(m1), Some(m2)) = (ab, ba) {
+            // Average normals must be opposite (per-point ordering may
+            // differ between directions).
+            let n1: Vec3 = m1.points.iter().map(|p| p.normal).sum::<Vec3>().normalized();
+            let n2: Vec3 = m2.points.iter().map(|p| p.normal).sum::<Vec3>().normalized();
+            if n1.length() > 0.5 && n2.length() > 0.5 {
+                prop_assert!(
+                    n1.dot(n2) < 0.3,
+                    "normals should roughly oppose: {n1:?} vs {n2:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn far_apart_shapes_never_collide(
+        a in shape_strategy(),
+        b in shape_strategy(),
+        dir in (0.0f32..std::f32::consts::TAU),
+    ) {
+        // Any two shapes from the strategy fit in a radius-2 ball; at 10 m
+        // separation they cannot touch.
+        let ta = Transform::IDENTITY;
+        let tb = Transform::from_position(Vec3::new(dir.cos() * 10.0, 0.0, dir.sin() * 10.0));
+        prop_assert!(collide_shapes(&a, &ta, &b, &tb).is_none());
+    }
+
+    #[test]
+    fn coincident_shapes_always_collide(
+        a in shape_strategy(),
+        b in shape_strategy(),
+        pose in pose_strategy(),
+    ) {
+        // Two shapes at the same origin must overlap (all strategy shapes
+        // contain their origin).
+        let m = collide_shapes(&a, &pose, &b, &pose);
+        prop_assert!(m.is_some(), "coincident {a:?} and {b:?} reported separate");
+    }
+
+    #[test]
+    fn plane_contacts_point_along_plane_normal(
+        a in shape_strategy(),
+        x in -3.0f32..3.0,
+        z in -3.0f32..3.0,
+        h in -0.5f32..0.5,
+    ) {
+        let plane = Shape::plane(Vec3::UNIT_Y, 0.0);
+        let ta = Transform::from_position(Vec3::new(x, h, z));
+        if let Some(m) = collide_shapes(&a, &ta, &plane, &Transform::IDENTITY) {
+            for p in &m.points {
+                prop_assert!(
+                    p.normal.dot(Vec3::UNIT_Y) > 0.99,
+                    "contact normal {:?} should be the plane normal",
+                    p.normal
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,183 @@
+//! Synthetic memory map of the engine's entities.
+//!
+//! The trace layer assigns every entity a stable address range sized per
+//! the paper's measurements: "the memory required per object and geom is
+//! 412 B and 116 B respectively. The memory required per joint varies
+//! between 148 B to 392 B depending on the type." Cache-line addresses
+//! derived from these ranges drive the architecture simulator's cache
+//! model.
+
+/// Cache-line size (paper: 64-byte blocks).
+pub const LINE: u64 = 64;
+
+/// Bytes per rigid-body object record.
+pub const OBJECT_BYTES: u64 = 412;
+/// Bytes per geom record.
+pub const GEOM_BYTES: u64 = 116;
+/// Bytes per (average) joint record.
+pub const JOINT_BYTES: u64 = 256;
+/// Bytes per contact-joint record created by narrow-phase.
+pub const CONTACT_BYTES: u64 = 256;
+/// Bytes per cloth vertex (position + previous position + flags).
+pub const CLOTH_VERTEX_BYTES: u64 = 40;
+/// Bytes per broad-phase sort-axis entry.
+pub const SORT_ENTRY_BYTES: u64 = 16;
+
+/// Region bases: entity arrays live in disjoint address regions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Region {
+    /// Rigid-body records.
+    Objects,
+    /// Geom (shape) records.
+    Geoms,
+    /// Permanent joints.
+    Joints,
+    /// Per-step contact joints.
+    Contacts,
+    /// Cloth vertex arrays (per cloth object).
+    ClothVertices,
+    /// Cloth constraint arrays.
+    ClothConstraints,
+    /// Broad-phase sort axis.
+    SortAxis,
+    /// Broad-phase pair output buffer.
+    PairBuffer,
+    /// Island work-queue and solver scratch.
+    SolverScratch,
+    /// Per-thread kernel (OS) memory — used by the OS-overhead model.
+    Kernel,
+}
+
+impl Region {
+    /// Base address of the region.
+    pub fn base(self) -> u64 {
+        match self {
+            Region::Objects => 0x1000_0000,
+            Region::Geoms => 0x2000_0000,
+            Region::Joints => 0x3000_0000,
+            Region::Contacts => 0x4000_0000,
+            Region::ClothVertices => 0x5000_0000,
+            Region::ClothConstraints => 0x5800_0000,
+            Region::SortAxis => 0x6000_0000,
+            Region::PairBuffer => 0x6800_0000,
+            Region::SolverScratch => 0x7000_0000,
+            Region::Kernel => 0x8000_0000,
+        }
+    }
+
+    /// `true` if an address falls inside this region (regions are 128 MiB).
+    pub fn contains(self, addr: u64) -> bool {
+        let b = self.base();
+        (b..b + 0x0800_0000).contains(&addr)
+    }
+}
+
+/// Byte address of entity `index` in `region` with a per-entity `stride`.
+#[inline]
+pub fn entity_addr(region: Region, index: u64, stride: u64) -> u64 {
+    region.base() + index * stride
+}
+
+/// Appends the cache-line addresses covering `[addr, addr + bytes)` to
+/// `out`.
+pub fn push_lines(out: &mut Vec<u64>, addr: u64, bytes: u64) {
+    let first = addr / LINE;
+    let last = (addr + bytes.max(1) - 1) / LINE;
+    for l in first..=last {
+        out.push(l * LINE);
+    }
+}
+
+/// Convenience: lines of an object record.
+pub fn object_lines(out: &mut Vec<u64>, body: u64) {
+    push_lines(out, entity_addr(Region::Objects, body, OBJECT_BYTES), OBJECT_BYTES);
+}
+
+/// Convenience: lines of a geom record.
+pub fn geom_lines(out: &mut Vec<u64>, geom: u64) {
+    push_lines(out, entity_addr(Region::Geoms, geom, GEOM_BYTES), GEOM_BYTES);
+}
+
+/// Convenience: lines of a permanent joint.
+pub fn joint_lines(out: &mut Vec<u64>, joint: u64) {
+    push_lines(out, entity_addr(Region::Joints, joint, JOINT_BYTES), JOINT_BYTES);
+}
+
+/// Convenience: lines of a contact-joint record for broad-phase pair `k`.
+pub fn contact_lines(out: &mut Vec<u64>, pair: u64) {
+    push_lines(
+        out,
+        entity_addr(Region::Contacts, pair, CONTACT_BYTES),
+        CONTACT_BYTES,
+    );
+}
+
+/// Convenience: lines of cloth `c`'s vertex `v`.
+pub fn cloth_vertex_lines(out: &mut Vec<u64>, cloth: u64, vertex: u64) {
+    let base = Region::ClothVertices.base() + cloth * 0x10_0000;
+    push_lines(out, base + vertex * CLOTH_VERTEX_BYTES, CLOTH_VERTEX_BYTES);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn regions_are_disjoint() {
+        let regions = [
+            Region::Objects,
+            Region::Geoms,
+            Region::Joints,
+            Region::Contacts,
+            Region::ClothVertices,
+            Region::ClothConstraints,
+            Region::SortAxis,
+            Region::PairBuffer,
+            Region::SolverScratch,
+            Region::Kernel,
+        ];
+        for (i, a) in regions.iter().enumerate() {
+            for b in &regions[i + 1..] {
+                assert!(!b.contains(a.base()), "{a:?} overlaps {b:?}");
+                assert!(!a.contains(b.base()), "{a:?} overlaps {b:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn push_lines_covers_span() {
+        let mut v = Vec::new();
+        // Bytes 100..512 span lines 1..=7.
+        push_lines(&mut v, 100, 412);
+        assert_eq!(v.len(), 7);
+        assert_eq!(v[0], 64);
+        assert!(v.windows(2).all(|w| w[1] == w[0] + 64));
+    }
+
+    #[test]
+    fn object_records_do_not_collide() {
+        let mut a = Vec::new();
+        let mut b = Vec::new();
+        object_lines(&mut a, 0);
+        object_lines(&mut b, 1);
+        // Consecutive objects may share one boundary line at most.
+        let shared = a.iter().filter(|l| b.contains(l)).count();
+        assert!(shared <= 1);
+    }
+
+    #[test]
+    fn cloth_vertices_are_per_cloth_isolated() {
+        let mut a = Vec::new();
+        let mut b = Vec::new();
+        cloth_vertex_lines(&mut a, 0, 0);
+        cloth_vertex_lines(&mut b, 1, 0);
+        assert!(a.iter().all(|l| !b.contains(l)));
+    }
+
+    #[test]
+    fn single_byte_touches_one_line() {
+        let mut v = Vec::new();
+        push_lines(&mut v, 64, 1);
+        assert_eq!(v, vec![64]);
+    }
+}

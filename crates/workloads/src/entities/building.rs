@@ -1,0 +1,294 @@
+//! Walls, buildings and bridges. Walls are built of pre-fractured bricks
+//! (paper: "the wall bricks fracture into pieces due to explosions");
+//! bridges use planks connected by breakable fixed joints.
+
+use parallax_math::{Quat, Vec3};
+use parallax_physics::{
+    fracture::FractureConfig, BodyDesc, BodyId, Joint, JointId, JointKind, Shape, World,
+};
+
+/// Specification for a brick wall.
+#[derive(Debug, Clone, Copy)]
+pub struct WallSpec {
+    /// Bricks along the wall's length.
+    pub bricks_x: usize,
+    /// Brick courses (rows).
+    pub courses: usize,
+    /// Half-extents of one brick.
+    pub brick_half: Vec3,
+    /// Debris pieces per brick when pre-fractured (0 = solid bricks).
+    pub debris_per_brick: usize,
+}
+
+impl Default for WallSpec {
+    fn default() -> Self {
+        WallSpec {
+            bricks_x: 6,
+            courses: 4,
+            brick_half: Vec3::new(0.4, 0.2, 0.2),
+            debris_per_brick: 4,
+        }
+    }
+}
+
+/// Spawns a wall centred at `pos` facing `yaw`; returns the brick parent
+/// bodies. Pre-fractured when `spec.debris_per_brick > 0`.
+pub fn spawn_wall(world: &mut World, pos: Vec3, yaw: f32, spec: &WallSpec) -> Vec<BodyId> {
+    let rot = Quat::from_axis_angle(Vec3::UNIT_Y, yaw);
+    let bw = spec.brick_half.x * 2.0;
+    let bh = spec.brick_half.y * 2.0;
+    let total_w = bw * spec.bricks_x as f32;
+    let mut bricks = Vec::with_capacity(spec.bricks_x * spec.courses);
+    for row in 0..spec.courses {
+        // Offset alternating courses by half a brick (running bond).
+        let stagger = if row % 2 == 0 { 0.0 } else { bw * 0.5 };
+        for col in 0..spec.bricks_x {
+            let local = Vec3::new(
+                -total_w * 0.5 + bw * (col as f32 + 0.5) + stagger,
+                bh * (row as f32 + 0.5),
+                0.0,
+            );
+            let p = pos + rot.rotate(local);
+            let id = if spec.debris_per_brick > 0 {
+                world.add_prefractured(
+                    p,
+                    rot,
+                    spec.brick_half,
+                    6.0,
+                    FractureConfig {
+                        pieces: spec.debris_per_brick,
+                        scatter_speed: 4.0,
+                    },
+                )
+            } else {
+                world.add_body(
+                    BodyDesc::dynamic(p)
+                        .with_rotation(rot)
+                        .with_shape(Shape::cuboid(spec.brick_half), 6.0),
+                )
+            };
+            bricks.push(id);
+        }
+    }
+    bricks
+}
+
+/// Specification for a three-walled building/area (paper: areas "enclosed
+/// by three walls").
+#[derive(Debug, Clone, Copy)]
+pub struct BuildingSpec {
+    /// Per-wall specification.
+    pub wall: WallSpec,
+    /// Enclosed area half-width (walls sit on three sides of a square of
+    /// this half-size).
+    pub half_size: f32,
+}
+
+impl Default for BuildingSpec {
+    fn default() -> Self {
+        BuildingSpec {
+            wall: WallSpec::default(),
+            half_size: 3.0,
+        }
+    }
+}
+
+/// Spawns three walls around `center` (open on +X). Returns all brick
+/// bodies.
+pub fn spawn_building(world: &mut World, center: Vec3, spec: &BuildingSpec) -> Vec<BodyId> {
+    let h = spec.half_size;
+    let mut bricks = Vec::new();
+    // Back wall (facing +X) and two side walls.
+    bricks.extend(spawn_wall(world, center + Vec3::new(-h, 0.0, 0.0), std::f32::consts::FRAC_PI_2, &spec.wall));
+    bricks.extend(spawn_wall(world, center + Vec3::new(0.0, 0.0, -h), 0.0, &spec.wall));
+    bricks.extend(spawn_wall(world, center + Vec3::new(0.0, 0.0, h), 0.0, &spec.wall));
+    bricks
+}
+
+/// Spawns a plank bridge from `from` to `to` with `planks` segments joined
+/// by breakable fixed joints anchored at both ends to static posts.
+///
+/// Returns the plank bodies and the joints.
+pub fn spawn_bridge(
+    world: &mut World,
+    from: Vec3,
+    to: Vec3,
+    planks: usize,
+    break_threshold: f32,
+) -> (Vec<BodyId>, Vec<JointId>) {
+    assert!(planks >= 1, "bridge needs at least one plank");
+    let span = to - from;
+    let dir = span.normalized();
+    let plank_len = span.length() / planks as f32;
+    let half = Vec3::new(plank_len * 0.45, 0.05, 0.5);
+    let yaw = (-dir.z).atan2(dir.x);
+    let rot = Quat::from_axis_angle(Vec3::UNIT_Y, yaw);
+
+    // Static anchor posts at both ends.
+    let post_a = world.add_body(BodyDesc::fixed(from).with_shape(Shape::cuboid(Vec3::splat(0.1)), 1.0));
+    let post_b = world.add_body(BodyDesc::fixed(to).with_shape(Shape::cuboid(Vec3::splat(0.1)), 1.0));
+
+    let mut bodies = Vec::with_capacity(planks);
+    let mut joints = Vec::new();
+    for i in 0..planks {
+        let center = from + span * ((i as f32 + 0.5) / planks as f32);
+        let id = world.add_body(
+            BodyDesc::dynamic(center)
+                .with_rotation(rot)
+                .with_shape(Shape::cuboid(half), 12.0)
+                .with_damping(0.1, 0.3),
+        );
+        bodies.push(id);
+    }
+    // Anchor first and last planks to the posts; link consecutive planks.
+    let half_step = plank_len * 0.5;
+    joints.push(world.add_joint(
+        Joint::new(
+            JointKind::Fixed {
+                anchor_a: Vec3::ZERO,
+                anchor_b: Vec3::new(-half_step, 0.0, 0.0),
+            },
+            post_a,
+            bodies[0],
+        )
+        .breakable(break_threshold),
+    ));
+    for i in 0..planks - 1 {
+        joints.push(world.add_joint(
+            Joint::new(
+                JointKind::Fixed {
+                    anchor_a: Vec3::new(half_step, 0.0, 0.0),
+                    anchor_b: Vec3::new(-half_step, 0.0, 0.0),
+                },
+                bodies[i],
+                bodies[i + 1],
+            )
+            .breakable(break_threshold),
+        ));
+    }
+    joints.push(world.add_joint(
+        Joint::new(
+            JointKind::Fixed {
+                anchor_a: Vec3::new(half_step, 0.0, 0.0),
+                anchor_b: Vec3::ZERO,
+            },
+            bodies[planks - 1],
+            post_b,
+        )
+        .breakable(break_threshold),
+    ));
+    (bodies, joints)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parallax_physics::WorldConfig;
+
+    #[test]
+    fn wall_brick_count() {
+        let mut w = World::new(WorldConfig::default());
+        let spec = WallSpec {
+            bricks_x: 5,
+            courses: 3,
+            debris_per_brick: 0,
+            ..Default::default()
+        };
+        let bricks = spawn_wall(&mut w, Vec3::ZERO, 0.0, &spec);
+        assert_eq!(bricks.len(), 15);
+        assert_eq!(w.bodies().len(), 15);
+    }
+
+    #[test]
+    fn prefractured_wall_creates_disabled_debris() {
+        let mut w = World::new(WorldConfig::default());
+        let spec = WallSpec {
+            bricks_x: 2,
+            courses: 1,
+            debris_per_brick: 4,
+            ..Default::default()
+        };
+        let bricks = spawn_wall(&mut w, Vec3::ZERO, 0.0, &spec);
+        assert_eq!(bricks.len(), 2);
+        // 2 parents + 8 debris.
+        assert_eq!(w.bodies().len(), 10);
+        let disabled = w.bodies().iter().filter(|b| b.is_disabled()).count();
+        assert_eq!(disabled, 8);
+    }
+
+    #[test]
+    fn rotated_prefractured_wall_keeps_its_orientation() {
+        let mut w = World::new(WorldConfig::default());
+        let spec = WallSpec {
+            bricks_x: 2,
+            courses: 1,
+            debris_per_brick: 4,
+            ..Default::default()
+        };
+        let yaw = std::f32::consts::FRAC_PI_2;
+        let bricks = spawn_wall(&mut w, Vec3::ZERO, yaw, &spec);
+        for b in &bricks {
+            let q = w.body(*b).rotation();
+            let fwd = q.rotate(parallax_math::Vec3::UNIT_X);
+            assert!(
+                fwd.z.abs() > 0.99,
+                "brick not rotated by yaw: local X maps to {fwd:?}"
+            );
+        }
+        // Bricks of a 90-degree wall must be adjacent along world Z.
+        let d = (w.body(bricks[1]).position() - w.body(bricks[0]).position()).abs();
+        assert!(d.z > d.x, "bricks should run along Z after rotation: {d:?}");
+    }
+
+    #[test]
+    fn building_has_three_walls() {
+        let mut w = World::new(WorldConfig::default());
+        let spec = BuildingSpec {
+            wall: WallSpec {
+                bricks_x: 2,
+                courses: 1,
+                debris_per_brick: 0,
+                ..Default::default()
+            },
+            half_size: 2.0,
+        };
+        let bricks = spawn_building(&mut w, Vec3::ZERO, &spec);
+        assert_eq!(bricks.len(), 6);
+    }
+
+    #[test]
+    fn bridge_holds_then_breaks_under_load() {
+        let mut w = World::new(WorldConfig::default());
+        w.add_static_geom(Shape::plane(Vec3::UNIT_Y, 0.0));
+        let (planks, joints) = spawn_bridge(
+            &mut w,
+            Vec3::new(-2.0, 2.0, 0.0),
+            Vec3::new(2.0, 2.0, 0.0),
+            4,
+            20.0,
+        );
+        for _ in 0..100 {
+            w.step();
+        }
+        // Bridge holds its own weight.
+        assert!(joints.iter().all(|j| !w.joint(*j).is_broken()));
+        let mid_y = w.body(planks[1]).position().y;
+        assert!(mid_y > 1.0, "bridge sagged to {mid_y}");
+
+        // Drop a heavy weight on the middle.
+        w.add_body(
+            BodyDesc::dynamic(Vec3::new(0.0, 4.0, 0.0))
+                .with_shape(Shape::cuboid(Vec3::splat(0.4)), 500.0)
+                .with_velocity(Vec3::new(0.0, -15.0, 0.0)),
+        );
+        let mut broke = false;
+        for _ in 0..200 {
+            let p = w.step();
+            if p.events.joints_broken > 0 {
+                broke = true;
+                break;
+            }
+        }
+        assert!(broke, "bridge should break under a 500 kg impact");
+    }
+}

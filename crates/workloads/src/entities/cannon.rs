@@ -1,0 +1,134 @@
+//! Cannons: periodic launchers of (optionally explosive) projectiles —
+//! "time bombs and cannonballs are used" (paper Table 2).
+
+use parallax_math::Vec3;
+use parallax_physics::{BodyDesc, BodyId, ExplosionConfig, Shape, World};
+
+/// A projectile launcher. Call [`Cannon::update`] once per step; it fires
+/// every `period_steps` steps until `max_shots` is reached.
+#[derive(Debug, Clone)]
+pub struct Cannon {
+    /// Muzzle position.
+    pub position: Vec3,
+    /// Firing direction (normalized at construction).
+    pub direction: Vec3,
+    /// Muzzle speed (m/s).
+    pub speed: f32,
+    /// Steps between shots.
+    pub period_steps: u64,
+    /// Shots remaining.
+    pub shots_left: usize,
+    /// Explosive payload configuration; `None` fires inert cannonballs
+    /// (the Highspeed scenario).
+    pub explosive: Option<ExplosionConfig>,
+    /// Projectile radius.
+    pub radius: f32,
+    /// Projectile mass.
+    pub mass: f32,
+    fired: Vec<BodyId>,
+    countdown: u64,
+}
+
+impl Cannon {
+    /// Creates a cannon with `max_shots` rounds.
+    pub fn new(
+        position: Vec3,
+        direction: Vec3,
+        speed: f32,
+        period_steps: u64,
+        max_shots: usize,
+        explosive: Option<ExplosionConfig>,
+    ) -> Self {
+        Cannon {
+            position,
+            direction: direction.normalized(),
+            speed,
+            period_steps: period_steps.max(1),
+            shots_left: max_shots,
+            explosive,
+            radius: 0.2,
+            mass: 8.0,
+            fired: Vec::new(),
+            countdown: 1,
+        }
+    }
+
+    /// Steps the cannon; fires when the period elapses. Returns the
+    /// projectile id when a shot is fired.
+    pub fn update(&mut self, world: &mut World) -> Option<BodyId> {
+        if self.shots_left == 0 {
+            return None;
+        }
+        self.countdown -= 1;
+        if self.countdown > 0 {
+            return None;
+        }
+        self.countdown = self.period_steps;
+        self.shots_left -= 1;
+
+        let id = world.add_body(
+            BodyDesc::dynamic(self.position)
+                .with_shape(Shape::sphere(self.radius), self.mass)
+                .with_velocity(self.direction * self.speed),
+        );
+        if let Some(cfg) = self.explosive {
+            world.make_explosive(id, cfg);
+        }
+        self.fired.push(id);
+        Some(id)
+    }
+
+    /// Projectiles fired so far.
+    pub fn fired(&self) -> &[BodyId] {
+        &self.fired
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parallax_physics::WorldConfig;
+
+    #[test]
+    fn cannon_fires_on_schedule() {
+        let mut w = World::new(WorldConfig::default());
+        let mut c = Cannon::new(Vec3::ZERO, Vec3::UNIT_X, 50.0, 3, 2, None);
+        let mut shots = Vec::new();
+        for step in 0..10 {
+            if let Some(id) = c.update(&mut w) {
+                shots.push((step, id));
+            }
+            w.step();
+        }
+        assert_eq!(shots.len(), 2);
+        assert_eq!(shots[0].0, 0);
+        assert_eq!(shots[1].0, 3);
+        assert_eq!(c.fired().len(), 2);
+    }
+
+    #[test]
+    fn projectile_has_muzzle_velocity() {
+        let mut w = World::new(WorldConfig::default());
+        let mut c = Cannon::new(Vec3::ZERO, Vec3::new(2.0, 0.0, 0.0), 40.0, 1, 1, None);
+        let id = c.update(&mut w).expect("fires immediately");
+        assert!((w.body(id).linear_velocity().x - 40.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn explosive_projectile_is_flagged() {
+        let mut w = World::new(WorldConfig::default());
+        let mut c = Cannon::new(
+            Vec3::ZERO,
+            Vec3::UNIT_X,
+            40.0,
+            1,
+            1,
+            Some(ExplosionConfig::default()),
+        );
+        let id = c.update(&mut w).unwrap();
+        assert!(w
+            .body(id)
+            .flags()
+            .contains(parallax_physics::BodyFlags::EXPLOSIVE));
+    }
+}

@@ -1,0 +1,14 @@
+//! Reusable scene entities: humanoids, vehicles, buildings, bridges,
+//! terrain and cannons (paper Table 2 features).
+
+pub mod building;
+pub mod cannon;
+pub mod humanoid;
+pub mod terrain;
+pub mod vehicle;
+
+pub use building::{spawn_bridge, spawn_building, spawn_wall, BuildingSpec, WallSpec};
+pub use cannon::Cannon;
+pub use humanoid::{spawn_humanoid, Humanoid};
+pub use terrain::{heightfield_terrain, trimesh_terrain};
+pub use vehicle::{spawn_car, Car};

@@ -1,0 +1,95 @@
+//! Terrain: "uneven surfaces described by heightfields or trimeshes"
+//! (paper Table 2).
+
+use parallax_math::Vec3;
+use parallax_physics::{GeomId, Heightfield, Shape, TriMesh, World};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Adds a rolling heightfield of `nx × nz` samples with `cell` spacing,
+/// height amplitude `amp`, centred at the world origin.
+pub fn heightfield_terrain(
+    world: &mut World,
+    nx: usize,
+    nz: usize,
+    cell: f32,
+    amp: f32,
+    seed: u64,
+) -> GeomId {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut heights = Vec::with_capacity(nx * nz);
+    for iz in 0..nz {
+        for ix in 0..nx {
+            let x = ix as f32 * 0.7;
+            let z = iz as f32 * 0.5;
+            let rolling = (x.sin() + (z * 1.3).cos()) * 0.5;
+            let noise: f32 = rng.gen_range(-0.15..0.15);
+            heights.push((rolling + noise) * amp);
+        }
+    }
+    world.add_static_geom(Shape::heightfield(Heightfield::new(nx, nz, cell, heights)))
+}
+
+/// Adds a fan-triangulated trimesh terrain patch of `segments` triangles
+/// around `center` with the given radius — used alongside the heightfield
+/// in the racing scene ("terrain formed by heightfields and trimeshes").
+pub fn trimesh_terrain(world: &mut World, center: Vec3, radius: f32, segments: usize) -> GeomId {
+    assert!(segments >= 3, "need at least 3 segments");
+    let mut vertices = vec![center];
+    for i in 0..segments {
+        let a = i as f32 / segments as f32 * std::f32::consts::TAU;
+        // A gentle bowl: rim slightly above the centre.
+        vertices.push(center + Vec3::new(a.cos() * radius, 0.15 * radius * 0.2, a.sin() * radius));
+    }
+    let mut triangles = Vec::with_capacity(segments);
+    for i in 0..segments {
+        let b = 1 + i as u32;
+        let c = 1 + ((i + 1) % segments) as u32;
+        // Wind upward-facing.
+        triangles.push([0, c, b]);
+    }
+    world.add_static_geom(Shape::trimesh(TriMesh::new(vertices, triangles)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parallax_physics::{BodyDesc, WorldConfig};
+
+    #[test]
+    fn heightfield_is_static_geom() {
+        let mut w = World::new(WorldConfig::default());
+        heightfield_terrain(&mut w, 16, 16, 2.0, 1.0, 7);
+        assert_eq!(w.geoms().len(), 1);
+        assert!(w.geoms()[0].body().is_none());
+    }
+
+    #[test]
+    fn sphere_rests_on_heightfield() {
+        let mut w = World::new(WorldConfig::default());
+        heightfield_terrain(&mut w, 16, 16, 2.0, 1.0, 7);
+        let ball = w.add_body(
+            BodyDesc::dynamic(Vec3::new(0.0, 5.0, 0.0)).with_shape(Shape::sphere(0.5), 1.0),
+        );
+        for _ in 0..400 {
+            w.step();
+        }
+        let p = w.body(ball).position();
+        assert!(p.y > -1.5 && p.y < 3.0, "ball at {p:?}");
+        assert!(w.body(ball).linear_velocity().length() < 2.0);
+    }
+
+    #[test]
+    fn sphere_rests_on_trimesh() {
+        let mut w = World::new(WorldConfig::default());
+        trimesh_terrain(&mut w, Vec3::ZERO, 10.0, 12);
+        let ball = w.add_body(
+            BodyDesc::dynamic(Vec3::new(1.0, 3.0, 1.0)).with_shape(Shape::sphere(0.5), 1.0),
+        );
+        for _ in 0..300 {
+            w.step();
+        }
+        let p = w.body(ball).position();
+        assert!(p.y > 0.0, "ball fell through trimesh: {p:?}");
+    }
+}

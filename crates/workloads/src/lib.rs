@@ -1,0 +1,315 @@
+//! The ParallAX forward-looking physics benchmark suite (paper §4).
+//!
+//! Eight parameterized scenes cover the high-level physical actions of
+//! future interactive-entertainment workloads: continuous contact, periodic
+//! contact, high-velocity impulses, explosions and deformations — each
+//! matched to a representative game genre (paper Tables 1–3).
+//!
+//! | Benchmark | Genre | Features |
+//! |---|---|---|
+//! | [`BenchmarkId::Periodic`] | RPG | humanoid melee combat |
+//! | [`BenchmarkId::Ragdoll`] | FPS | falling ragdolls |
+//! | [`BenchmarkId::Continuous`] | racing | cars on terrain |
+//! | [`BenchmarkId::Breakable`] | FPS | walls, bridges, explosions, debris |
+//! | [`BenchmarkId::Deformable`] | sports | cloth uniforms + drapery |
+//! | [`BenchmarkId::Explosions`] | RTS | urban battlefield, cannons |
+//! | [`BenchmarkId::Highspeed`] | action | high-speed impacts, no blasts |
+//! | [`BenchmarkId::Mix`] | — | everything combined |
+//!
+//! # Examples
+//!
+//! ```
+//! use parallax_workloads::{BenchmarkId, SceneParams};
+//!
+//! // Build a 10%-scale Ragdoll scene and run one frame.
+//! let params = SceneParams { scale: 0.1, ..SceneParams::default() };
+//! let mut scene = BenchmarkId::Ragdoll.build(&params);
+//! let profiles = scene.world.step_frame();
+//! assert_eq!(profiles.len(), 3);
+//! ```
+
+pub mod entities;
+pub mod scenes;
+pub mod stats;
+
+use parallax_physics::{World, WorldConfig};
+use serde::{Deserialize, Serialize};
+
+pub use stats::{measure, BenchStats};
+
+/// The eight benchmarks of the suite (paper Table 3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum BenchmarkId {
+    /// Role-playing genre: groups of humanoids in hand-to-hand combat.
+    Periodic,
+    /// FPS genre: ragdolls falling from projectile impacts.
+    Ragdoll,
+    /// Racing genre: rally cars over heightfield/trimesh terrain.
+    Continuous,
+    /// FPS genre: walls and bridges fractured by cannon fire.
+    Breakable,
+    /// Sports/action genre: cloth uniforms and large drapery.
+    Deformable,
+    /// RTS genre: an army with exploding projectiles in an urban area.
+    Explosions,
+    /// Action genre: high-speed projectiles and crashes, no blasts.
+    Highspeed,
+    /// Combination of all features.
+    Mix,
+}
+
+impl BenchmarkId {
+    /// All benchmarks in paper order.
+    pub const ALL: [BenchmarkId; 8] = [
+        BenchmarkId::Periodic,
+        BenchmarkId::Ragdoll,
+        BenchmarkId::Continuous,
+        BenchmarkId::Breakable,
+        BenchmarkId::Deformable,
+        BenchmarkId::Explosions,
+        BenchmarkId::Highspeed,
+        BenchmarkId::Mix,
+    ];
+
+    /// Full name as used in the paper's tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            BenchmarkId::Periodic => "Periodic",
+            BenchmarkId::Ragdoll => "Ragdoll",
+            BenchmarkId::Continuous => "Continuous",
+            BenchmarkId::Breakable => "Breakable",
+            BenchmarkId::Deformable => "Deformable",
+            BenchmarkId::Explosions => "Explosions",
+            BenchmarkId::Highspeed => "Highspeed",
+            BenchmarkId::Mix => "Mix",
+        }
+    }
+
+    /// Three-letter abbreviation used in the paper's figures.
+    pub fn abbrev(self) -> &'static str {
+        match self {
+            BenchmarkId::Periodic => "Per",
+            BenchmarkId::Ragdoll => "Rag",
+            BenchmarkId::Continuous => "Con",
+            BenchmarkId::Breakable => "Bre",
+            BenchmarkId::Deformable => "Def",
+            BenchmarkId::Explosions => "Exp",
+            BenchmarkId::Highspeed => "Hig",
+            BenchmarkId::Mix => "Mix",
+        }
+    }
+
+    /// Builds the scene at the given parameters.
+    pub fn build(self, params: &SceneParams) -> Scene {
+        match self {
+            BenchmarkId::Periodic => scenes::periodic::build(params),
+            BenchmarkId::Ragdoll => scenes::ragdoll::build(params),
+            BenchmarkId::Continuous => scenes::continuous::build(params),
+            BenchmarkId::Breakable => scenes::breakable::build(params),
+            BenchmarkId::Deformable => scenes::deformable::build(params),
+            BenchmarkId::Explosions => scenes::explosions::build(params),
+            BenchmarkId::Highspeed => scenes::highspeed::build(params),
+            BenchmarkId::Mix => scenes::mix::build(params),
+        }
+    }
+}
+
+/// Parameters scaling a scene's computational load (paper: "all benchmarks
+/// have a set of parameters that scale its computational load").
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct SceneParams {
+    /// Entity-count multiplier (1.0 = the paper's scale).
+    pub scale: f32,
+    /// RNG seed for deterministic placement jitter.
+    pub seed: u64,
+    /// Worker threads for the engine's parallel phases.
+    pub threads: usize,
+}
+
+impl Default for SceneParams {
+    fn default() -> Self {
+        SceneParams {
+            scale: 1.0,
+            seed: 0x7A11AC5,
+            threads: 1,
+        }
+    }
+}
+
+impl SceneParams {
+    /// Scales an entity count, keeping at least `min`.
+    pub fn count(&self, base: usize, min: usize) -> usize {
+        ((base as f32 * self.scale).round() as usize).max(min)
+    }
+
+    /// Standard world configuration for the suite (∆t = 0.01 s, 20 solver
+    /// iterations, 3 steps per frame).
+    pub fn world_config(&self) -> WorldConfig {
+        WorldConfig {
+            threads: self.threads,
+            ..WorldConfig::default()
+        }
+    }
+}
+
+/// Static composition of a scene, recorded at build time (Table 4 columns
+/// that do not vary per step).
+#[derive(Debug, Default, Clone, Copy, Serialize, Deserialize)]
+pub struct SceneMeta {
+    /// Immobile collision-only objects.
+    pub static_objs: usize,
+    /// Dynamic rigid bodies (enabled at start).
+    pub dynamic_objs: usize,
+    /// Debris bodies created for pre-fractured objects.
+    pub prefractured_objs: usize,
+    /// Permanent joints.
+    pub static_joints: usize,
+    /// Cloth objects.
+    pub cloth_objs: usize,
+    /// Total cloth vertices.
+    pub cloth_vertices: usize,
+}
+
+/// A cloth vertex pinned to a rigid body (e.g. a uniform on a player's
+/// shoulders): the world position of `vertex` follows `body`'s frame.
+#[derive(Debug, Clone, Copy)]
+pub struct ClothAttachment {
+    /// Which cloth.
+    pub cloth: parallax_physics::ClothId,
+    /// Pinned vertex index.
+    pub vertex: usize,
+    /// Body the vertex follows.
+    pub body: parallax_physics::BodyId,
+    /// Attachment point in the body's local frame.
+    pub local: parallax_math::Vec3,
+}
+
+/// Scripted actors that keep a scene active: cannons fire, cars drive,
+/// combat groups shove each other, attached cloths follow their wearers.
+#[derive(Debug, Default)]
+pub struct Actors {
+    /// Projectile launchers, updated every step.
+    pub cannons: Vec<entities::Cannon>,
+    /// Cars with a drive torque applied every step.
+    pub cars: Vec<(entities::Car, f32)>,
+    /// Combat groups: members periodically shove the next member.
+    pub combat_groups: Vec<Vec<entities::Humanoid>>,
+    /// Cloth vertices pinned to bodies.
+    pub cloth_attachments: Vec<ClothAttachment>,
+}
+
+impl Actors {
+    /// Runs one tick of actor logic before a physics step.
+    pub fn update(&mut self, world: &mut World, step: u64) {
+        for c in &mut self.cannons {
+            c.update(world);
+        }
+        // Attached cloth vertices ride their bodies.
+        for a in &self.cloth_attachments {
+            let pos = world.body(a.body).transform().apply(a.local);
+            world.cloth_mut(a.cloth).move_pinned(a.vertex, pos);
+        }
+        for (car, torque) in &self.cars {
+            car.drive(world, *torque);
+        }
+        // Combat: every 15 steps each member lunges at the next.
+        if step.is_multiple_of(15) {
+            for group in &self.combat_groups {
+                for (i, h) in group.iter().enumerate() {
+                    let target = &group[(i + 1) % group.len()];
+                    let from = world.body(h.segments[0]).position();
+                    let to = world.body(target.segments[0]).position();
+                    let dir = (to - from).normalized();
+                    h.shove(world, dir * 40.0);
+                }
+            }
+        }
+    }
+}
+
+/// A built benchmark scene.
+pub struct Scene {
+    /// The populated world.
+    pub world: World,
+    /// Which benchmark this is.
+    pub id: BenchmarkId,
+    /// Static composition counts.
+    pub meta: SceneMeta,
+    /// Scripted actors driving the scenario.
+    pub actors: Actors,
+}
+
+impl std::fmt::Debug for Scene {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Scene")
+            .field("id", &self.id)
+            .field("meta", &self.meta)
+            .finish()
+    }
+}
+
+impl Scene {
+    /// Advances one step, running actor logic first.
+    pub fn step(&mut self) -> parallax_physics::StepProfile {
+        let step = self.world.step_count();
+        self.actors.update(&mut self.world, step);
+        self.world.step()
+    }
+
+    /// Runs one displayed frame (3 steps) and returns the profiles.
+    pub fn step_frame(&mut self) -> Vec<parallax_physics::StepProfile> {
+        (0..self.world.config().steps_per_frame).map(|_| self.step()).collect()
+    }
+
+    /// Warms the scene up and returns profiles for the paper's measured
+    /// window: warm-up for `warm_frames`, then profile `measure_frames`
+    /// (paper: activity in the first 10 frames, frames 5–7 measured).
+    pub fn run_measured(
+        &mut self,
+        warm_frames: usize,
+        measure_frames: usize,
+    ) -> Vec<parallax_physics::StepProfile> {
+        for _ in 0..warm_frames {
+            self.step_frame();
+        }
+        let mut out = Vec::new();
+        for _ in 0..measure_frames {
+            out.extend(self.step_frame());
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod actor_tests {
+    use super::*;
+
+    #[test]
+    fn attached_cloth_follows_its_body() {
+        // Regression: uniform pins must track the wearer, not stay at
+        // their spawn coordinates.
+        let mut scene = BenchmarkId::Deformable.build(&SceneParams {
+            scale: 0.1,
+            ..Default::default()
+        });
+        assert!(
+            !scene.actors.cloth_attachments.is_empty(),
+            "deformable must attach uniforms"
+        );
+        let a = scene.actors.cloth_attachments[0];
+        // Launch the wearer sideways: the pinned vertex must move with it.
+        let before = scene.world.cloth(a.cloth).vertices()[a.vertex].pos;
+        scene
+            .world
+            .body_mut(a.body)
+            .set_linear_velocity(parallax_math::Vec3::new(50.0, 0.0, 0.0));
+        for _ in 0..5 {
+            scene.step();
+        }
+        let after = scene.world.cloth(a.cloth).vertices()[a.vertex].pos;
+        assert!(
+            (after - before).x > 0.5,
+            "pinned vertex did not follow the body: {before:?} -> {after:?}"
+        );
+    }
+}

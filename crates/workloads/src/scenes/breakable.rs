@@ -1,0 +1,112 @@
+//! **Breakable** — FPS genre: "Three areas are each enclosed by three
+//! walls. Two bridges are in each area. 30 humans are scattered in groups
+//! of 10. The wall bricks fracture into pieces due to explosions from the
+//! cannonballs. Six vehicles ram the walls and explode upon contact."
+
+use parallax_math::Vec3;
+use parallax_physics::{ExplosionConfig, World};
+
+use crate::entities::{spawn_bridge, spawn_building, spawn_humanoid, BuildingSpec, WallSpec};
+use crate::scenes::{finish, grid, ground};
+use crate::{Actors, BenchmarkId, Scene, SceneParams};
+
+/// Wall specification matching the paper's debris counts (≈5,650 debris
+/// pieces at full scale: 9 walls × 60 bricks × ~10 pieces).
+pub(crate) fn breakable_wall() -> WallSpec {
+    WallSpec {
+        bricks_x: 10,
+        courses: 6,
+        brick_half: Vec3::new(0.4, 0.2, 0.2),
+        debris_per_brick: 10,
+    }
+}
+
+/// Builds the Breakable scene.
+pub fn build(params: &SceneParams) -> Scene {
+    let mut world = World::new(params.world_config());
+    ground(&mut world);
+
+    let areas = params.count(3, 1);
+    let spec = BuildingSpec {
+        wall: breakable_wall(),
+        half_size: 6.0,
+    };
+    let mut actors = Actors::default();
+    for a in 0..areas {
+        let center = Vec3::new(a as f32 * 25.0 - 25.0, 0.0, 0.0);
+        spawn_building(&mut world, center, &spec);
+
+        // Two bridges per area.
+        for b in 0..2 {
+            let z = if b == 0 { -3.0 } else { 3.0 };
+            spawn_bridge(
+                &mut world,
+                center + Vec3::new(-4.0, 2.5, z),
+                center + Vec3::new(4.0, 2.5, z),
+                8,
+                25.0,
+            );
+        }
+
+        // 10 humans per area.
+        for pos in grid(center + Vec3::new(0.0, 0.0, 0.0), 1.6, 0.0, 10) {
+            spawn_humanoid(&mut world, pos, 0.7 * a as f32);
+        }
+
+        // Two ramming vehicles per area, aimed at the back wall, explosive.
+        for v in 0..2 {
+            let z = if v == 0 { -2.0 } else { 2.0 };
+            let car = crate::entities::spawn_car(
+                &mut world,
+                center + Vec3::new(10.0, 0.9, z),
+                std::f32::consts::PI,
+                Some(30.0),
+            );
+            car.set_velocity(&mut world, Vec3::new(-14.0, 0.0, 0.0));
+            world.make_explosive(
+                car.chassis,
+                ExplosionConfig {
+                    blast_radius: 5.0,
+                    duration_steps: 8,
+                    impulse: 90.0,
+                },
+            );
+            actors.cars.push((car, -30.0));
+        }
+    }
+    finish(world, BenchmarkId::Breakable, actors)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_scale_composition_near_paper() {
+        let scene = build(&SceneParams::default());
+        // Paper: 1,608 dynamic, 5,652 prefractured, 564 static joints.
+        // Ours: 9 walls × 60 bricks + 30 humans × 16 + 6 cars × 9 +
+        // 6 bridges × 8 planks = 540 + 480 + 54 + 48 = 1,122 dynamic;
+        // 5,400 debris; 450 + 48 + 54 = 552 joints.
+        assert_eq!(scene.meta.prefractured_objs, 5_400);
+        assert_eq!(scene.meta.dynamic_objs, 1_122);
+        assert_eq!(scene.meta.static_joints, 552);
+    }
+
+    #[test]
+    fn ramming_cars_explode_and_shatter_bricks() {
+        let mut scene = build(&SceneParams {
+            scale: 0.34,
+            ..Default::default()
+        });
+        let mut explosions = 0;
+        let mut shattered = 0;
+        for _ in 0..250 {
+            let p = scene.step();
+            explosions += p.events.explosions;
+            shattered += p.events.shattered;
+        }
+        assert!(explosions > 0, "a ramming car should detonate");
+        assert!(shattered > 0, "bricks should shatter in the blast");
+    }
+}

@@ -1,0 +1,91 @@
+//! **Continuous Contact** — racing genre: "a rally race with 30 cars
+//! driving over terrain formed by heightfields and trimeshes" between
+//! static obstacles (paper: 1,700 static objects).
+
+use parallax_math::Vec3;
+use parallax_physics::{Shape, World};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::entities::{heightfield_terrain, spawn_car, trimesh_terrain};
+use crate::scenes::finish;
+use crate::{Actors, BenchmarkId, Scene, SceneParams};
+
+/// Builds the Continuous scene.
+pub fn build(params: &SceneParams) -> Scene {
+    let mut world = World::new(params.world_config());
+    let mut rng = SmallRng::seed_from_u64(params.seed);
+
+    // Rolling heightfield course plus trimesh patches.
+    heightfield_terrain(&mut world, 48, 48, 3.0, 0.6, params.seed);
+    let patches = params.count(4, 1);
+    for i in 0..patches {
+        let a = i as f32 / patches as f32 * std::f32::consts::TAU;
+        trimesh_terrain(
+            &mut world,
+            Vec3::new(a.cos() * 30.0, 0.7, a.sin() * 30.0),
+            8.0,
+            10,
+        );
+    }
+
+    // Static obstacles densely lining the rally course — the cars slalom
+    // between them (paper: 1,700 static objects).
+    let obstacles = params.count(1695, 10);
+    for _ in 0..obstacles {
+        let x = rng.gen_range(-30.0f32..55.0);
+        let z = rng.gen_range(-16.0f32..16.0);
+        let shape = if rng.gen_bool(0.5) {
+            Shape::cuboid(Vec3::new(0.3, 0.5, 0.3))
+        } else {
+            Shape::capsule(0.25, 0.4)
+        };
+        world.add_static_geom_at(
+            shape,
+            parallax_math::Transform::from_position(Vec3::new(x, 0.6, z)),
+        );
+    }
+
+    // 30 rally cars on the start grid, driving.
+    let mut actors = Actors::default();
+    let cars = params.count(30, 1);
+    for i in 0..cars {
+        let lane = (i % 6) as f32;
+        let row = (i / 6) as f32;
+        let pos = Vec3::new(-20.0 + row * 4.0, 2.2, -10.0 + lane * 3.5);
+        let car = spawn_car(&mut world, pos, 0.0, None);
+        actors.cars.push((car, -40.0));
+    }
+    finish(world, BenchmarkId::Continuous, actors)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_scale_matches_paper_composition() {
+        let scene = build(&SceneParams::default());
+        // 30 cars × 9 bodies.
+        assert_eq!(scene.meta.dynamic_objs, 270);
+        // Heightfield + 4 trimesh patches + 1,695 obstacles + 60 static
+        // anchors... no anchors here: exactly 1 + 4 + 1695.
+        assert_eq!(scene.meta.static_objs, 1700);
+        assert_eq!(scene.meta.static_joints, 240);
+    }
+
+    #[test]
+    fn cars_stay_on_terrain() {
+        let mut scene = build(&SceneParams {
+            scale: 0.1,
+            ..Default::default()
+        });
+        for _ in 0..20 {
+            scene.step();
+        }
+        for (car, _) in &scene.actors.cars {
+            let y = scene.world.body(car.chassis).position().y;
+            assert!(y > -3.0, "car fell through terrain at y={y}");
+        }
+    }
+}

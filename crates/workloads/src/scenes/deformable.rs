@@ -1,0 +1,101 @@
+//! **Deformable** — sports/action genre: "30 uniformed players and 2 large
+//! cloth objects each in contact with one player. Each uniform is a small
+//! cloth object attached on a player." Small cloths are 25 vertices, large
+//! cloths 625 (paper Table 2).
+
+use parallax_math::Vec3;
+use parallax_physics::{Cloth, World};
+
+use crate::entities::spawn_humanoid;
+use crate::scenes::{finish, grid, ground};
+use crate::{Actors, BenchmarkId, Scene, SceneParams};
+
+/// Builds the Deformable scene.
+pub fn build(params: &SceneParams) -> Scene {
+    let mut world = World::new(params.world_config());
+    ground(&mut world);
+
+    let players = params.count(30, 2);
+    let mut player_handles = Vec::with_capacity(players);
+    let mut actors = Actors::default();
+    for (i, pos) in grid(Vec3::ZERO, 2.5, 0.0, players).into_iter().enumerate() {
+        let h = spawn_humanoid(&mut world, pos, i as f32 * 0.4);
+        // Uniform: a 5×5 cloth draped over the shoulders, pinned at the two
+        // top corners which follow the upper torso.
+        let cloth = Cloth::rectangle(
+            pos + Vec3::new(-0.2, 1.55, -0.2),
+            0.4,
+            0.4,
+            5,
+            5,
+            &[0, 4],
+        );
+        let cid = world.add_cloth(cloth);
+        let torso = h.segments[2];
+        for (vertex, local) in [
+            (0usize, Vec3::new(-0.2, 0.12, -0.2)),
+            (4usize, Vec3::new(0.2, 0.12, -0.2)),
+        ] {
+            actors.cloth_attachments.push(crate::ClothAttachment {
+                cloth: cid,
+                vertex,
+                body: torso,
+                local,
+            });
+        }
+        player_handles.push(h);
+    }
+
+    // Two large drapery cloths (25×25 = 625 vertices), hanging over the
+    // first players.
+    let large = params.count(2, 1);
+    for i in 0..large {
+        let anchor = world.body(player_handles[i % player_handles.len()].segments[0]).position();
+        let mut cloth = Cloth::rectangle(
+            anchor + Vec3::new(-1.5, 2.4, -1.5),
+            3.0,
+            3.0,
+            25,
+            25,
+            &[],
+        );
+        // Pin the whole +X edge so the drape hangs.
+        for k in 0..25 {
+            cloth.pin(k);
+        }
+        world.add_cloth(cloth);
+    }
+    finish(world, BenchmarkId::Deformable, actors)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_scale_matches_paper_composition() {
+        let scene = build(&SceneParams::default());
+        // Paper Table 4: 32 cloths [2000 vertices], 480 dynamic objects.
+        assert_eq!(scene.meta.cloth_objs, 32);
+        assert_eq!(scene.meta.cloth_vertices, 30 * 25 + 2 * 625);
+        assert_eq!(scene.meta.dynamic_objs, 480);
+    }
+
+    #[test]
+    fn cloths_interact_with_players() {
+        let mut scene = build(&SceneParams {
+            scale: 0.1,
+            ..Default::default()
+        });
+        let mut touched = false;
+        for _ in 0..40 {
+            scene.step();
+            touched |= scene
+                .world
+                .cloths()
+                .iter()
+                .any(|c| !c.contact_bodies().is_empty());
+        }
+        assert!(touched, "some cloth should contact a player");
+    }
+}

@@ -1,0 +1,103 @@
+//! **Explosions** — RTS genre: "10 areas are enclosed on three sides by
+//! walls. 50 vehicles roam the area with 10 cannons shooting exploding
+//! projectiles. There are no breakable joints or prefractured objects."
+
+use parallax_math::Vec3;
+use parallax_physics::{ExplosionConfig, World};
+
+use crate::entities::{spawn_building, spawn_car, BuildingSpec, Cannon, WallSpec};
+use crate::scenes::{finish, ground};
+use crate::{Actors, BenchmarkId, Scene, SceneParams};
+
+/// Solid (non-fracturing) wall of 100 bricks.
+pub(crate) fn solid_wall() -> WallSpec {
+    WallSpec {
+        bricks_x: 10,
+        courses: 10,
+        brick_half: Vec3::new(0.4, 0.2, 0.2),
+        debris_per_brick: 0,
+    }
+}
+
+/// Builds the Explosions scene.
+pub fn build(params: &SceneParams) -> Scene {
+    let mut world = World::new(params.world_config());
+    ground(&mut world);
+
+    let areas = params.count(10, 1);
+    let spec = BuildingSpec {
+        wall: solid_wall(),
+        half_size: 7.0,
+    };
+    for a in 0..areas {
+        let center = Vec3::new(
+            (a % 5) as f32 * 25.0 - 50.0,
+            0.0,
+            (a / 5) as f32 * 25.0 - 12.0,
+        );
+        spawn_building(&mut world, center, &spec);
+    }
+
+    let mut actors = Actors::default();
+    // 50 roaming vehicles.
+    let cars = params.count(50, 1);
+    for i in 0..cars {
+        let pos = Vec3::new(
+            (i % 10) as f32 * 8.0 - 36.0,
+            0.9,
+            (i / 10) as f32 * 8.0 - 16.0,
+        );
+        let car = spawn_car(&mut world, pos, i as f32 * 0.6, None);
+        actors.cars.push((car, -35.0));
+    }
+
+    // 10 cannons with exploding projectiles.
+    let cannons = params.count(10, 1);
+    for i in 0..cannons {
+        let a = i as f32 / cannons as f32 * std::f32::consts::TAU;
+        let pos = Vec3::new(a.cos() * 60.0, 3.0, a.sin() * 60.0);
+        let dir = (Vec3::new(0.0, 8.0, 0.0) - pos).normalized() + Vec3::new(0.0, 0.35, 0.0);
+        actors.cannons.push(Cannon::new(
+            pos,
+            dir,
+            35.0,
+            9,
+            20,
+            Some(ExplosionConfig {
+                blast_radius: 4.0,
+                duration_steps: 8,
+                impulse: 70.0,
+            }),
+        ));
+    }
+    finish(world, BenchmarkId::Explosions, actors)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_scale_composition_near_paper() {
+        let scene = build(&SceneParams::default());
+        // Paper: 3,459 dynamic. Ours: 10 areas × 300 bricks + 50 cars × 9
+        // = 3,000 + 450 = 3,450 (projectiles appear at runtime).
+        assert_eq!(scene.meta.dynamic_objs, 3_450);
+        assert_eq!(scene.meta.prefractured_objs, 0);
+        assert_eq!(scene.actors.cannons.len(), 10);
+    }
+
+    #[test]
+    fn cannons_cause_explosions() {
+        let mut scene = build(&SceneParams {
+            scale: 0.1,
+            ..Default::default()
+        });
+        let mut explosions = 0;
+        for _ in 0..400 {
+            let p = scene.step();
+            explosions += p.events.explosions;
+        }
+        assert!(explosions > 0, "projectiles should detonate on impact");
+    }
+}

@@ -1,0 +1,90 @@
+//! **Highspeed** — action genre: "there are 10 buildings and 20 moving
+//! cars. 10 cannons shoot high-speed projectiles at the buildings. There
+//! are no explosions — just the complexity of detecting high-speed
+//! impacts."
+
+use parallax_math::Vec3;
+use parallax_physics::World;
+
+use crate::entities::{spawn_building, spawn_car, BuildingSpec, Cannon};
+use crate::scenes::{finish, ground};
+use crate::{Actors, BenchmarkId, Scene, SceneParams};
+
+/// Builds the Highspeed scene.
+pub fn build(params: &SceneParams) -> Scene {
+    let mut world = World::new(params.world_config());
+    ground(&mut world);
+
+    let buildings = params.count(10, 1);
+    let spec = BuildingSpec {
+        wall: super::explosions::solid_wall(),
+        half_size: 7.0,
+    };
+    let mut targets = Vec::with_capacity(buildings);
+    for b in 0..buildings {
+        let center = Vec3::new(
+            (b % 5) as f32 * 25.0 - 50.0,
+            0.0,
+            (b / 5) as f32 * 25.0 - 12.0,
+        );
+        spawn_building(&mut world, center, &spec);
+        targets.push(center);
+    }
+
+    let mut actors = Actors::default();
+    let cars = params.count(20, 1);
+    for i in 0..cars {
+        let pos = Vec3::new(
+            (i % 5) as f32 * 10.0 - 20.0,
+            0.9,
+            (i / 5) as f32 * 10.0 - 15.0,
+        );
+        let car = spawn_car(&mut world, pos, i as f32, None);
+        // Crashing cars: send them fast toward the buildings.
+        let target = targets[i % targets.len()] + Vec3::new(0.0, 1.0, 0.0);
+        let dir = (target - pos).normalized();
+        car.set_velocity(&mut world, dir * 20.0);
+        actors.cars.push((car, -50.0));
+    }
+
+    // High-speed, inert projectiles (120 m/s — the paper's stress on
+    // fast-object collision detection).
+    let cannons = params.count(10, 1);
+    for i in 0..cannons {
+        let a = i as f32 / cannons as f32 * std::f32::consts::TAU;
+        let pos = Vec3::new(a.cos() * 70.0, 4.0, a.sin() * 70.0);
+        let target = targets[i % targets.len()] + Vec3::new(0.0, 2.0, 0.0);
+        let dir = (target - pos).normalized();
+        actors
+            .cannons
+            .push(Cannon::new(pos, dir, 120.0, 6, 30, None));
+    }
+    finish(world, BenchmarkId::Highspeed, actors)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_scale_composition_near_paper() {
+        let scene = build(&SceneParams::default());
+        // Paper: 3,309 dynamic. Ours: 10 × 300 bricks + 20 cars × 9 = 3,180.
+        assert_eq!(scene.meta.dynamic_objs, 3_180);
+        assert_eq!(scene.meta.cloth_objs, 0);
+        assert_eq!(scene.meta.prefractured_objs, 0);
+    }
+
+    #[test]
+    fn no_explosions_occur() {
+        let mut scene = build(&SceneParams {
+            scale: 0.1,
+            ..Default::default()
+        });
+        let mut explosions = 0;
+        for _ in 0..100 {
+            explosions += scene.step().events.explosions;
+        }
+        assert_eq!(explosions, 0, "highspeed has no explosive payloads");
+    }
+}

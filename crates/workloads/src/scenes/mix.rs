@@ -1,0 +1,143 @@
+//! **Mix** — "a combination of all the features and entities used in the
+//! previous 7 benchmarks. There are 3 buildings, 6 bridges, 30 humanoids
+//! and 6 vehicles in the area. The humanoids are draped in cloth, and the
+//! buildings' openings are covered by large cloths. Heightfield terrain,
+//! breakable joints, prefractured objects, and exploding projectiles are
+//! all used."
+
+use parallax_math::Vec3;
+use parallax_physics::{Cloth, ExplosionConfig, World};
+
+use crate::entities::{
+    heightfield_terrain, spawn_bridge, spawn_building, spawn_car, spawn_humanoid, BuildingSpec,
+    Cannon,
+};
+use crate::scenes::{finish, grid};
+use crate::{Actors, BenchmarkId, Scene, SceneParams};
+
+/// Builds the Mix scene.
+pub fn build(params: &SceneParams) -> Scene {
+    let mut world = World::new(params.world_config());
+    // Heightfield terrain instead of a flat plane.
+    heightfield_terrain(&mut world, 64, 64, 2.5, 0.4, params.seed);
+
+    let buildings = params.count(3, 1);
+    let spec = BuildingSpec {
+        wall: super::breakable::breakable_wall(),
+        half_size: 6.0,
+    };
+    let mut centers = Vec::with_capacity(buildings);
+    for b in 0..buildings {
+        let center = Vec3::new(b as f32 * 28.0 - 28.0, 1.0, 0.0);
+        spawn_building(&mut world, center, &spec);
+        centers.push(center);
+
+        // Large cloth covering each building's opening (25×25 = 625).
+        let mut cloth = Cloth::rectangle(
+            center + Vec3::new(4.5, 4.0, -1.5),
+            3.0,
+            3.0,
+            25,
+            25,
+            &[],
+        );
+        for k in 0..25 {
+            cloth.pin(k);
+        }
+        world.add_cloth(cloth);
+
+        // Two bridges per building.
+        for i in 0..2 {
+            let z = if i == 0 { -4.0 } else { 4.0 };
+            spawn_bridge(
+                &mut world,
+                center + Vec3::new(-4.0, 3.0, z),
+                center + Vec3::new(4.0, 3.0, z),
+                8,
+                25.0,
+            );
+        }
+    }
+
+    // 30 humanoids draped in small cloths that follow their torsos.
+    let mut actors = Actors::default();
+    let humans = params.count(30, 2);
+    for (i, pos) in grid(Vec3::new(0.0, 1.2, 14.0), 2.2, 0.0, humans).into_iter().enumerate() {
+        let h = spawn_humanoid(&mut world, pos, i as f32 * 0.5);
+        let cloth = Cloth::rectangle(pos + Vec3::new(-0.2, 1.55, -0.2), 0.4, 0.4, 5, 5, &[0, 4]);
+        let cid = world.add_cloth(cloth);
+        for (vertex, local) in [
+            (0usize, Vec3::new(-0.2, 0.12, -0.2)),
+            (4usize, Vec3::new(0.2, 0.12, -0.2)),
+        ] {
+            actors.cloth_attachments.push(crate::ClothAttachment {
+                cloth: cid,
+                vertex,
+                body: h.segments[2],
+                local,
+            });
+        }
+    }
+    // 6 vehicles.
+    let cars = params.count(6, 1);
+    for i in 0..cars {
+        let pos = Vec3::new(i as f32 * 6.0 - 15.0, 2.0, -14.0);
+        let car = spawn_car(&mut world, pos, 0.3 * i as f32, Some(40.0));
+        actors.cars.push((car, -35.0));
+    }
+
+    // Exploding projectiles aimed at the buildings.
+    let cannons = params.count(6, 1);
+    for i in 0..cannons {
+        let a = i as f32 / cannons as f32 * std::f32::consts::TAU;
+        let pos = Vec3::new(a.cos() * 50.0, 4.0, a.sin() * 50.0);
+        let target = centers[i % centers.len()] + Vec3::new(0.0, 2.0, 0.0);
+        let dir = (target - pos).normalized() + Vec3::new(0.0, 0.25, 0.0);
+        actors.cannons.push(Cannon::new(
+            pos,
+            dir,
+            40.0,
+            8,
+            24,
+            Some(ExplosionConfig {
+                blast_radius: 4.5,
+                duration_steps: 8,
+                impulse: 80.0,
+            }),
+        ));
+    }
+    finish(world, BenchmarkId::Mix, actors)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_scale_composition_near_paper() {
+        let scene = build(&SceneParams::default());
+        // Paper: 33 cloths [2,625 vertices], 1,608 dynamic, 5,652 debris.
+        assert_eq!(scene.meta.cloth_objs, 33);
+        assert_eq!(scene.meta.cloth_vertices, 30 * 25 + 3 * 625);
+        assert_eq!(scene.meta.prefractured_objs, 5_400);
+        // 540 bricks + 480 human segments + 54 car bodies + 48 planks.
+        assert_eq!(scene.meta.dynamic_objs, 1_122);
+    }
+
+    #[test]
+    fn mix_exercises_every_feature() {
+        let mut scene = build(&SceneParams {
+            scale: 0.34,
+            ..Default::default()
+        });
+        let mut explosions = 0;
+        let mut cloth_work = 0;
+        for _ in 0..150 {
+            let p = scene.step();
+            explosions += p.events.explosions;
+            cloth_work += p.cloths.len();
+        }
+        assert!(explosions > 0, "cannons should hit something");
+        assert!(cloth_work > 0, "cloth must be simulated");
+    }
+}

@@ -1,0 +1,75 @@
+//! The eight benchmark scenes (paper Table 3).
+
+pub mod breakable;
+pub mod continuous;
+pub mod deformable;
+pub mod explosions;
+pub mod highspeed;
+pub mod mix;
+pub mod periodic;
+pub mod ragdoll;
+
+use parallax_math::Vec3;
+use parallax_physics::{BodyFlags, Shape, World};
+
+use crate::{Actors, BenchmarkId, Scene, SceneMeta};
+
+/// Adds the standard ground plane.
+pub(crate) fn ground(world: &mut World) {
+    world.add_static_geom(Shape::plane(Vec3::UNIT_Y, 0.0));
+}
+
+/// Computes [`SceneMeta`] from the built world and wraps everything into a
+/// [`Scene`].
+pub(crate) fn finish(world: World, id: BenchmarkId, actors: Actors) -> Scene {
+    let mut meta = SceneMeta::default();
+    for b in world.bodies() {
+        if b.flags().contains(BodyFlags::DEBRIS) {
+            meta.prefractured_objs += 1;
+        } else if b.is_static() {
+            meta.static_objs += 1;
+        } else if !b.is_disabled() {
+            meta.dynamic_objs += 1;
+        }
+    }
+    // World-static geoms (planes, terrain, obstacles without bodies).
+    meta.static_objs += world.geoms().iter().filter(|g| g.body().is_none()).count();
+    meta.static_joints = world.joints().len();
+    meta.cloth_objs = world.cloths().len();
+    meta.cloth_vertices = world.cloths().iter().map(|c| c.vertices().len()).sum();
+    Scene {
+        world,
+        id,
+        meta,
+        actors,
+    }
+}
+
+/// Deterministic placement ring: `n` positions on a circle of `radius`
+/// around `center`, at height `y`.
+pub(crate) fn ring(center: Vec3, radius: f32, y: f32, n: usize) -> Vec<Vec3> {
+    (0..n)
+        .map(|i| {
+            let a = i as f32 / n as f32 * std::f32::consts::TAU;
+            center + Vec3::new(a.cos() * radius, y, a.sin() * radius)
+        })
+        .collect()
+}
+
+/// Deterministic grid: up to `n` positions spaced `spacing` apart centred
+/// on `center` at height `y`.
+pub(crate) fn grid(center: Vec3, spacing: f32, y: f32, n: usize) -> Vec<Vec3> {
+    let cols = (n as f32).sqrt().ceil() as usize;
+    (0..n)
+        .map(|i| {
+            let (r, c) = (i / cols, i % cols);
+            let off = (cols as f32 - 1.0) * 0.5;
+            center
+                + Vec3::new(
+                    (c as f32 - off) * spacing,
+                    y,
+                    (r as f32 - (n as f32 / cols as f32 - 1.0) * 0.5) * spacing,
+                )
+        })
+        .collect()
+}

@@ -1,0 +1,70 @@
+//! **Periodic** — role-playing genre: "30 humanoids with 3 groups of 5,
+//! 3 groups of 3, and 3 groups of 2 where all members of each group are
+//! engaged in combat with one another."
+
+use parallax_math::Vec3;
+use parallax_physics::World;
+
+use crate::entities::spawn_humanoid;
+use crate::scenes::{finish, ground, ring};
+use crate::{Actors, BenchmarkId, Scene, SceneParams};
+
+/// Builds the Periodic scene.
+pub fn build(params: &SceneParams) -> Scene {
+    let mut world = World::new(params.world_config());
+    ground(&mut world);
+
+    // Group sizes from the paper, replicated `scale` times each.
+    let replicas = params.count(3, 1);
+    let mut actors = Actors::default();
+    let mut arena = 0usize;
+    for &group_size in &[5usize, 3, 2] {
+        for _ in 0..replicas {
+            let center = arena_center(arena);
+            arena += 1;
+            let mut group = Vec::with_capacity(group_size);
+            for (i, pos) in ring(center, 0.9, 0.0, group_size).into_iter().enumerate() {
+                // Face roughly towards the group centre.
+                let yaw = std::f32::consts::PI + i as f32 / group_size as f32 * std::f32::consts::TAU;
+                group.push(spawn_humanoid(&mut world, pos, yaw));
+            }
+            actors.combat_groups.push(group);
+        }
+    }
+    finish(world, BenchmarkId::Periodic, actors)
+}
+
+fn arena_center(i: usize) -> Vec3 {
+    let cols = 3;
+    Vec3::new(
+        (i % cols) as f32 * 8.0 - 8.0,
+        0.0,
+        (i / cols) as f32 * 8.0 - 8.0,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_scale_matches_paper_composition() {
+        let scene = build(&SceneParams::default());
+        // 3×(5+3+2) = 30 humanoids of 16 segments.
+        assert_eq!(scene.meta.dynamic_objs, 480);
+        assert_eq!(scene.meta.static_joints, 450);
+        assert_eq!(scene.meta.cloth_objs, 0);
+        assert_eq!(scene.actors.combat_groups.len(), 9);
+    }
+
+    #[test]
+    fn scaled_scene_runs_and_generates_contacts() {
+        let mut scene = build(&SceneParams {
+            scale: 0.34,
+            ..Default::default()
+        });
+        let profiles = scene.run_measured(1, 1);
+        let pairs: usize = profiles.iter().map(|p| p.pairs.len()).sum();
+        assert!(pairs > 0, "combatants should touch the ground at least");
+    }
+}

@@ -1,0 +1,67 @@
+//! **Ragdoll Effects** — FPS genre: "30 ragdolls all falling away from
+//! each other" due to projectile impacts.
+
+use parallax_math::Vec3;
+use parallax_physics::World;
+
+use crate::entities::spawn_humanoid;
+use crate::scenes::{finish, ground, ring};
+use crate::{Actors, BenchmarkId, Scene, SceneParams};
+
+/// Builds the Ragdoll scene.
+pub fn build(params: &SceneParams) -> Scene {
+    let mut world = World::new(params.world_config());
+    ground(&mut world);
+
+    let n = params.count(30, 2);
+    for (i, pos) in ring(Vec3::ZERO, 2.5, 1.5, n).into_iter().enumerate() {
+        let yaw = i as f32 / n as f32 * std::f32::consts::TAU;
+        let h = spawn_humanoid(&mut world, pos, yaw);
+        // Impact impulse: outward and slightly up, as if hit by a
+        // projectile from the centre.
+        let dir = Vec3::new(pos.x, 0.0, pos.z).normalized() + Vec3::new(0.0, 0.4, 0.0);
+        for seg in [h.segments[0], h.segments[2]] {
+            let p = world.body(seg).position();
+            world.body_mut(seg).apply_impulse_at(dir * 60.0, p);
+        }
+    }
+    finish(world, BenchmarkId::Ragdoll, Actors::default())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_scale_matches_paper_composition() {
+        let scene = build(&SceneParams::default());
+        assert_eq!(scene.meta.dynamic_objs, 480);
+        assert_eq!(scene.meta.static_joints, 450);
+    }
+
+    #[test]
+    fn ragdolls_fly_apart() {
+        let mut scene = build(&SceneParams {
+            scale: 0.1,
+            ..Default::default()
+        });
+        let r0: f32 = scene
+            .world
+            .bodies()
+            .iter()
+            .filter(|b| !b.is_static())
+            .map(|b| (b.position() - Vec3::new(0.0, b.position().y, 0.0)).length())
+            .sum();
+        for _ in 0..30 {
+            scene.step();
+        }
+        let r1: f32 = scene
+            .world
+            .bodies()
+            .iter()
+            .filter(|b| !b.is_static())
+            .map(|b| (b.position() - Vec3::new(0.0, b.position().y, 0.0)).length())
+            .sum();
+        assert!(r1 > r0, "ragdolls should scatter outward: {r0} -> {r1}");
+    }
+}

@@ -1,0 +1,102 @@
+//! Benchmark statistics: the measured columns of paper Table 4 and the
+//! fine-grain task counts of Figure 11.
+
+use parallax_physics::{PhaseKind, StepProfile};
+use serde::{Deserialize, Serialize};
+
+use crate::{Scene, SceneMeta};
+
+/// Measured benchmark statistics (Table 4 row + Figure 11 series).
+#[derive(Debug, Default, Clone, Copy, Serialize, Deserialize)]
+pub struct BenchStats {
+    /// Average broad-phase candidate object-pairs per step.
+    pub obj_pairs: f64,
+    /// Average islands per step.
+    pub islands: f64,
+    /// Cloth objects.
+    pub cloth_objs: usize,
+    /// Total cloth vertices.
+    pub cloth_vertices: usize,
+    /// Static objects.
+    pub static_objs: usize,
+    /// Dynamic objects.
+    pub dynamic_objs: usize,
+    /// Pre-fractured debris bodies.
+    pub prefractured_objs: usize,
+    /// Permanent joints.
+    pub static_joints: usize,
+    /// Average fine-grain Narrowphase tasks (object-pairs) per step.
+    pub fg_narrowphase: f64,
+    /// Average fine-grain Island-Processing tasks (DOF removed) per step.
+    pub fg_island: f64,
+    /// Average fine-grain Cloth tasks (vertices) per step.
+    pub fg_cloth: f64,
+    /// Largest single island's DOF removed (the CG-parallelism limiter).
+    pub max_island_dof: usize,
+    /// Largest single cloth's vertex count.
+    pub max_cloth_vertices: usize,
+}
+
+/// Aggregates step profiles and static metadata into a stats row.
+pub fn aggregate(meta: &SceneMeta, profiles: &[StepProfile]) -> BenchStats {
+    let n = profiles.len().max(1) as f64;
+    let mut s = BenchStats {
+        cloth_objs: meta.cloth_objs,
+        cloth_vertices: meta.cloth_vertices,
+        static_objs: meta.static_objs,
+        dynamic_objs: meta.dynamic_objs,
+        prefractured_objs: meta.prefractured_objs,
+        static_joints: meta.static_joints,
+        ..Default::default()
+    };
+    for p in profiles {
+        s.obj_pairs += p.pairs.len() as f64 / n;
+        s.islands += p.islands.len() as f64 / n;
+        s.fg_narrowphase += p.fg_tasks(PhaseKind::Narrowphase) as f64 / n;
+        s.fg_island += p.fg_tasks(PhaseKind::IslandProcessing) as f64 / n;
+        s.fg_cloth += p.fg_tasks(PhaseKind::Cloth) as f64 / n;
+        for i in &p.islands {
+            s.max_island_dof = s.max_island_dof.max(i.dof_removed);
+        }
+        for c in &p.cloths {
+            s.max_cloth_vertices = s.max_cloth_vertices.max(c.stats.vertices);
+        }
+    }
+    s
+}
+
+/// Builds, warms up, and measures a scene over the paper's window (warm-up
+/// then `frames` measured frames).
+pub fn measure(scene: &mut Scene, warm_frames: usize, frames: usize) -> BenchStats {
+    let profiles = scene.run_measured(warm_frames, frames);
+    aggregate(&scene.meta, &profiles)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{BenchmarkId, SceneParams};
+
+    #[test]
+    fn aggregate_averages_over_steps() {
+        let mut scene = BenchmarkId::Ragdoll.build(&SceneParams {
+            scale: 0.1,
+            ..Default::default()
+        });
+        let stats = measure(&mut scene, 1, 1);
+        assert!(stats.obj_pairs > 0.0, "falling ragdolls touch the ground");
+        assert_eq!(stats.dynamic_objs, 3 * 16);
+        assert!(stats.fg_narrowphase > 0.0);
+    }
+
+    #[test]
+    fn deformable_reports_cloth_tasks() {
+        let mut scene = BenchmarkId::Deformable.build(&SceneParams {
+            scale: 0.1,
+            ..Default::default()
+        });
+        let stats = measure(&mut scene, 0, 1);
+        assert!(stats.fg_cloth > 0.0);
+        assert!(stats.max_cloth_vertices >= 625);
+    }
+}

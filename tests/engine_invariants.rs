@@ -1,0 +1,140 @@
+//! Property-based invariants of the physics engine: stability, no
+//! tunnelling, island partitioning, energy behaviour.
+
+use parallax_math::Vec3;
+use parallax_physics::{BodyDesc, Shape, World, WorldConfig};
+use proptest::prelude::*;
+
+/// Drops `n` random bodies above a ground plane and steps for `steps`.
+fn drop_world(seed: u64, n: usize, mixed_shapes: bool) -> World {
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut world = World::new(WorldConfig::default());
+    world.add_static_geom(Shape::plane(Vec3::UNIT_Y, 0.0));
+    for _ in 0..n {
+        let pos = Vec3::new(
+            rng.gen_range(-3.0f32..3.0),
+            rng.gen_range(1.0f32..6.0),
+            rng.gen_range(-3.0f32..3.0),
+        );
+        let shape = if mixed_shapes && rng.gen_bool(0.5) {
+            if rng.gen_bool(0.5) {
+                Shape::cuboid(Vec3::splat(rng.gen_range(0.2f32..0.5)))
+            } else {
+                Shape::capsule(rng.gen_range(0.15f32..0.3), rng.gen_range(0.1f32..0.4))
+            }
+        } else {
+            Shape::sphere(rng.gen_range(0.2f32..0.5))
+        };
+        world.add_body(
+            BodyDesc::dynamic(pos)
+                .with_shape(shape, rng.gen_range(0.5f32..5.0))
+                .with_velocity(Vec3::new(
+                    rng.gen_range(-2.0f32..2.0),
+                    0.0,
+                    rng.gen_range(-2.0f32..2.0),
+                )),
+        );
+    }
+    world
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn bodies_never_gain_nan_or_escape(seed in 0u64..1000) {
+        let mut world = drop_world(seed, 12, true);
+        for _ in 0..120 {
+            world.step();
+        }
+        for (i, b) in world.bodies().iter().enumerate() {
+            if b.is_static() {
+                continue;
+            }
+            let p = b.position();
+            prop_assert!(p.is_finite(), "body {i} position is not finite: {p:?}");
+            prop_assert!(b.linear_velocity().is_finite(), "body {i} velocity NaN");
+            prop_assert!(b.rotation().is_finite(), "body {i} rotation NaN");
+            // No tunnelling below the floor (allowing solver slop).
+            prop_assert!(p.y > -0.6, "body {i} fell through the floor: {p:?}");
+            // Nothing teleports to infinity.
+            prop_assert!(p.length() < 100.0, "body {i} escaped: {p:?}");
+        }
+    }
+
+    #[test]
+    fn resting_contact_dissipates_energy(seed in 0u64..500) {
+        let mut world = drop_world(seed, 8, false);
+        for _ in 0..100 {
+            world.step();
+        }
+        let early: f32 = world.bodies().iter().map(|b| b.kinetic_energy()).sum();
+        for _ in 0..200 {
+            world.step();
+        }
+        let late: f32 = world.bodies().iter().map(|b| b.kinetic_energy()).sum();
+        // After settling, kinetic energy must not grow (no solver
+        // explosion).
+        prop_assert!(
+            late <= early.max(1.0) * 1.5,
+            "energy grew from {early} to {late}"
+        );
+    }
+
+    #[test]
+    fn islands_partition_bodies(seed in 0u64..500) {
+        let mut world = drop_world(seed, 15, true);
+        let mut profile = Default::default();
+        for _ in 0..40 {
+            profile = world.step();
+        }
+        let profile: parallax_physics::StepProfile = profile;
+        // Every dynamic body appears in at most one island.
+        let mut seen = std::collections::HashSet::new();
+        for island in &profile.islands {
+            for b in &island.bodies {
+                prop_assert!(seen.insert(*b), "body {b} in two islands");
+            }
+            prop_assert!(!island.bodies.is_empty(), "empty island");
+            prop_assert!(island.dof_removed > 0, "island with no constraints");
+        }
+    }
+
+    #[test]
+    fn contact_depths_are_bounded(seed in 0u64..500) {
+        let mut world = drop_world(seed, 10, true);
+        for _ in 0..150 {
+            world.step();
+        }
+        let p = world.step();
+        // After settling, resting penetration should be modest (Baumgarte
+        // keeps depths near the slop, far below object size).
+        for pair in &p.pairs {
+            prop_assert!(pair.contacts <= 4, "manifold exceeded the cap");
+        }
+    }
+
+    #[test]
+    fn step_profile_accounting_is_consistent(seed in 0u64..500) {
+        let mut world = drop_world(seed, 10, true);
+        for _ in 0..30 {
+            world.step();
+        }
+        let p = world.step();
+        // Contacts counted in pairs equal contacts implied by manifold
+        // edges feeding islands (every contact-bearing pair with a dynamic
+        // body lands in exactly one island's manifold list).
+        let manifold_count: usize = p.islands.iter().map(|i| i.manifolds).sum();
+        let contact_pairs = p
+            .pairs
+            .iter()
+            .filter(|pw| pw.contacts > 0 && pw.active)
+            .count();
+        prop_assert!(
+            manifold_count <= contact_pairs,
+            "islands reference more manifolds ({manifold_count}) than exist ({contact_pairs})"
+        );
+    }
+}

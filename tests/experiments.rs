@@ -1,0 +1,185 @@
+//! Shape tests for the paper's experiments at reduced scale: who wins, in
+//! which direction curves move, and where the knees fall.
+
+use parallax::buffering::tasks_to_hide_latency;
+use parallax::explore::{cores_required_compute_only, FgWorkload};
+use parallax::fgcore::FgCoreType;
+use parallax_archsim::config::{L2Config, MachineConfig};
+use parallax_archsim::multicore::{MulticoreSim, SimOptions};
+use parallax_archsim::offchip::Link;
+use parallax_trace::{Kernel, StepTrace};
+use parallax_workloads::{BenchmarkId, SceneParams};
+
+fn measured_traces(id: BenchmarkId, scale: f32) -> Vec<StepTrace> {
+    let mut scene = id.build(&SceneParams {
+        scale,
+        ..Default::default()
+    });
+    scene
+        .run_measured(2, 1)
+        .iter()
+        .map(StepTrace::from_profile)
+        .collect()
+}
+
+fn warm_measure(sim: &mut MulticoreSim, traces: &[StepTrace]) -> u64 {
+    for t in traces {
+        sim.run_step(t);
+    }
+    sim.reset_stats();
+    traces.iter().map(|t| sim.run_step(t).total()).sum()
+}
+
+#[test]
+fn fig2b_shape_bigger_l2_never_hurts_serial_phases() {
+    let traces = measured_traces(BenchmarkId::Explosions, 0.2);
+    let serial = |mb: usize| {
+        let mut sim = MulticoreSim::new(MachineConfig::baseline(1, mb), SimOptions::default());
+        for t in &traces {
+            sim.run_step(t);
+        }
+        sim.reset_stats();
+        traces
+            .iter()
+            .map(|t| sim.run_step(t).serial())
+            .sum::<u64>()
+    };
+    let s1 = serial(1);
+    let s4 = serial(4);
+    let s16 = serial(16);
+    assert!(s4 <= s1, "4MB ({s4}) vs 1MB ({s1})");
+    assert!(s16 <= s4, "16MB ({s16}) vs 4MB ({s4})");
+}
+
+#[test]
+fn fig5b_shape_more_cg_cores_help_and_plateau() {
+    let traces = measured_traces(BenchmarkId::Mix, 0.2);
+    let total = |cores: usize| {
+        let mut machine = MachineConfig::baseline(cores, 12);
+        machine.l2 = L2Config::partitioned(12, vec![1, 1, 2]);
+        let mut sim = MulticoreSim::new(
+            machine,
+            SimOptions {
+                os_overhead: true,
+                partition_of_phase: Some([0, 2, 1, 2, 2]),
+                ..Default::default()
+            },
+        );
+        warm_measure(&mut sim, &traces)
+    };
+    let t1 = total(1);
+    let t2 = total(2);
+    let t4 = total(4);
+    assert!(t2 < t1, "2 cores must beat 1: {t2} vs {t1}");
+    assert!(t4 < t2, "4 cores must beat 2: {t4} vs {t2}");
+    // Diminishing returns (the paper's plateau): the 2->4 gain is smaller
+    // than the 1->2 gain.
+    let g12 = t1 as f64 / t2 as f64;
+    let g24 = t2 as f64 / t4 as f64;
+    assert!(
+        g24 < g12 + 0.05,
+        "scaling should flatten: 1->2 {g12:.2}x, 2->4 {g24:.2}x"
+    );
+}
+
+#[test]
+fn fig6b_shape_kernel_misses_explode_at_eight_threads() {
+    let traces = measured_traces(BenchmarkId::Mix, 0.2);
+    let kernel_misses = |cores: usize| {
+        let mut sim = MulticoreSim::new(
+            MachineConfig::baseline(cores, 12),
+            SimOptions {
+                os_overhead: true,
+                ..Default::default()
+            },
+        );
+        for t in &traces {
+            sim.run_step(t);
+        }
+        sim.reset_stats();
+        for t in &traces {
+            sim.run_step(t);
+        }
+        sim.run_steps(&[]).kernel_l2_misses
+    };
+    let four = kernel_misses(4);
+    let eight = kernel_misses(8);
+    assert!(
+        eight > four * 2,
+        "8T kernel misses ({eight}) must far exceed 4T ({four})"
+    );
+}
+
+#[test]
+fn fig10a_shape_ipc_per_core_type() {
+    // Island: monotone in core aggressiveness; limit study wins big.
+    let island: Vec<f64> = FgCoreType::ALL
+        .iter()
+        .map(|c| c.kernel_ipc(Kernel::IslandSolver))
+        .collect();
+    assert!(island[0] > island[1] && island[1] > island[2]); // d > c > s
+    assert!(island[3] > island[0]); // limit > desktop
+    // Narrowphase: the limit-study core does *worse* than the console.
+    let nw_limit = FgCoreType::LimitStudy.kernel_ipc(Kernel::Narrowphase);
+    let nw_console = FgCoreType::Console.kernel_ipc(Kernel::Narrowphase);
+    assert!(nw_limit < nw_console, "paper: narrowphase degrades with resources");
+}
+
+#[test]
+fn fig10b_shape_core_counts() {
+    let mut scene = BenchmarkId::Mix.build(&SceneParams {
+        scale: 0.2,
+        ..Default::default()
+    });
+    let profiles = scene.run_measured(2, 1);
+    let w = FgWorkload::from_profiles(&profiles);
+    let d = cores_required_compute_only(FgCoreType::Desktop, &w, 0.32);
+    let c = cores_required_compute_only(FgCoreType::Console, &w, 0.32);
+    let s = cores_required_compute_only(FgCoreType::Shader, &w, 0.32);
+    assert!(d <= c && c <= s, "simpler cores need more: {d} {c} {s}");
+}
+
+#[test]
+fn table7_shape_looser_links_need_more_island_buffering() {
+    let on = tasks_to_hide_latency(Kernel::IslandSolver, FgCoreType::Desktop, Link::OnChipMesh, 30);
+    let htx = tasks_to_hide_latency(Kernel::IslandSolver, FgCoreType::Desktop, Link::Htx, 30);
+    let pcie = tasks_to_hide_latency(Kernel::IslandSolver, FgCoreType::Desktop, Link::Pcie, 30);
+    let (a, b, c) = (
+        on.total_tasks.unwrap(),
+        htx.total_tasks.unwrap(),
+        pcie.total_tasks.unwrap(),
+    );
+    assert!(a < b && b < c, "island buffering must grow with latency: {a} {b} {c}");
+}
+
+#[test]
+fn partitioned_l2_protects_serial_phases_under_churn() {
+    let traces = measured_traces(BenchmarkId::Breakable, 0.2);
+    let serial = |partitioned: bool| {
+        let mut machine = MachineConfig::baseline(1, 4);
+        let options = if partitioned {
+            machine.l2 = L2Config::partitioned(4, vec![1, 1, 2]);
+            SimOptions {
+                partition_of_phase: Some([0, 2, 1, 2, 2]),
+                ..Default::default()
+            }
+        } else {
+            SimOptions::default()
+        };
+        let mut sim = MulticoreSim::new(machine, options);
+        for t in &traces {
+            sim.run_step(t);
+        }
+        sim.reset_stats();
+        traces.iter().map(|t| sim.run_step(t).serial()).sum::<u64>()
+    };
+    let unprotected = serial(false);
+    let protected = serial(true);
+    // Partitioning must not make the serial phases slower than the
+    // free-for-all by more than noise (the paper's claim is that it lets a
+    // *smaller* total L2 do the same job).
+    assert!(
+        (protected as f64) < unprotected as f64 * 1.15,
+        "partitioned {protected} vs shared {unprotected}"
+    );
+}
