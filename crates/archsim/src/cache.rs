@@ -329,7 +329,10 @@ mod tests {
             }
         }
         let (h2, m2) = c2.stats();
-        assert!(h2 >= m2 * 2, "half working set must mostly hit: {h2} hits {m2} misses");
+        assert!(
+            h2 >= m2 * 2,
+            "half working set must mostly hit: {h2} hits {m2} misses"
+        );
     }
 
     #[test]

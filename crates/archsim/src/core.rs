@@ -70,8 +70,7 @@ impl CoreModel {
     /// the paper\'s observation that Narrowphase *degrades* on bigger
     /// cores.
     pub fn flush_penalty(&self) -> f64 {
-        self.cfg.pipeline_depth as f64
-            + ((self.cfg.rob * self.cfg.window) as f64).sqrt()
+        self.cfg.pipeline_depth as f64 + ((self.cfg.rob * self.cfg.window) as f64).sqrt()
     }
 
     /// Cycles for the compute portion of `ops` (no cache misses).
@@ -110,7 +109,12 @@ impl CoreModel {
     }
 
     /// Effective IPC of a finished task (diagnostic, Figure 10a).
-    pub fn effective_ipc(&mut self, task: &TaskTrace, kernel: Kernel, mem_stall_cycles: u64) -> f64 {
+    pub fn effective_ipc(
+        &mut self,
+        task: &TaskTrace,
+        kernel: Kernel,
+        mem_stall_cycles: u64,
+    ) -> f64 {
         let cycles = self.task_cycles(task, kernel, mem_stall_cycles).max(1);
         task.ops.total() as f64 / cycles as f64
     }
@@ -198,7 +202,10 @@ mod tests {
         let ci = m.effective_ipc(&cloth, Kernel::Cloth, 0);
         let ii = m.effective_ipc(&island, Kernel::IslandSolver, 0);
         assert!(ci < ii, "cloth {ci} vs island {ii}");
-        assert!((1.0..2.5).contains(&ci), "paper: limit cloth IPC ≈ 1.5, got {ci}");
+        assert!(
+            (1.0..2.5).contains(&ci),
+            "paper: limit cloth IPC ≈ 1.5, got {ci}"
+        );
     }
 
     #[test]

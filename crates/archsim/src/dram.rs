@@ -53,7 +53,10 @@ impl Dram {
     #[inline]
     fn map(&self, addr: u64) -> (usize, u64) {
         let row_id = addr / self.row_bytes;
-        ((row_id % self.banks as u64) as usize, row_id / self.banks as u64)
+        (
+            (row_id % self.banks as u64) as usize,
+            row_id / self.banks as u64,
+        )
     }
 
     /// Performs one access, returning its latency in cycles.
@@ -129,7 +132,7 @@ mod tests {
         let mut d = Dram::with_geometry(2, 1024, 100, 300);
         d.access(0); // bank 0, row 0
         d.access(1024); // bank 1, row 0
-        // Returning to bank 0's open row is a hit.
+                        // Returning to bank 0's open row is a hit.
         assert_eq!(d.access(64), 100);
     }
 

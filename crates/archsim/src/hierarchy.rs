@@ -330,7 +330,7 @@ mod tests {
             }
             let mut h = Hierarchy::new(&m);
             let small: Vec<u64> = (0..2048).map(|i| 0x1000_0000 + i * 64).collect(); // 128 KB
-            // Warm the small set.
+                                                                                     // Warm the small set.
             for &a in &small {
                 h.access(0, a, false, 0);
             }

@@ -10,14 +10,11 @@ use crate::hierarchy::{Hierarchy, MemStats};
 use crate::os;
 
 /// Which kernel model a phase uses.
+///
+/// Thin alias over [`Kernel::of_phase`], kept for existing callers; the
+/// mapping itself lives in the trace crate next to the kernel models.
 pub fn kernel_of(phase: PhaseKind) -> Kernel {
-    match phase {
-        PhaseKind::Broadphase => Kernel::Broadphase,
-        PhaseKind::Narrowphase => Kernel::Narrowphase,
-        PhaseKind::IslandCreation => Kernel::IslandCreation,
-        PhaseKind::IslandProcessing => Kernel::IslandSolver,
-        PhaseKind::Cloth => Kernel::Cloth,
-    }
+    Kernel::of_phase(phase)
 }
 
 /// Simulation options.
@@ -44,7 +41,10 @@ pub struct PhaseTime {
 impl PhaseTime {
     /// Cycles of one phase.
     pub fn of(&self, phase: PhaseKind) -> u64 {
-        let i = PhaseKind::ALL.iter().position(|p| *p == phase).expect("phase");
+        let i = PhaseKind::ALL
+            .iter()
+            .position(|p| *p == phase)
+            .expect("phase");
         self.cycles[i]
     }
 
@@ -128,7 +128,10 @@ impl MulticoreSim {
     fn partition(&self, phase: PhaseKind) -> u8 {
         match &self.options.partition_of_phase {
             Some(map) => {
-                let i = PhaseKind::ALL.iter().position(|p| *p == phase).expect("phase");
+                let i = PhaseKind::ALL
+                    .iter()
+                    .position(|p| *p == phase)
+                    .expect("phase");
                 map[i]
             }
             None => 0,
@@ -137,7 +140,10 @@ impl MulticoreSim {
 
     fn hierarchy_index(&self, phase: PhaseKind) -> usize {
         if self.options.dedicated_per_phase {
-            PhaseKind::ALL.iter().position(|p| *p == phase).expect("phase")
+            PhaseKind::ALL
+                .iter()
+                .position(|p| *p == phase)
+                .expect("phase")
         } else {
             0
         }
@@ -222,8 +228,7 @@ impl MulticoreSim {
                     }
                     load[core] += cycles;
                 }
-                let os_cycles =
-                    self.os_kernel_traffic(*phase, threads, ptrace.tasks.len());
+                let os_cycles = self.os_kernel_traffic(*phase, threads, ptrace.tasks.len());
                 time.cycles[pi] = load.into_iter().max().unwrap_or(0) + os_cycles;
             }
         }
@@ -239,20 +244,17 @@ impl MulticoreSim {
                 result.time.cycles[i] += pt.cycles[i];
             }
         }
-        result.mem = self
-            .hierarchies
-            .iter()
-            .fold(MemStats::default(), |acc, h| {
-                let s = h.stats();
-                MemStats {
-                    l1_hits: acc.l1_hits + s.l1_hits,
-                    l1_misses: acc.l1_misses + s.l1_misses,
-                    l2_hits: acc.l2_hits + s.l2_hits,
-                    l2_misses: acc.l2_misses + s.l2_misses,
-                    coherence_transfers: acc.coherence_transfers + s.coherence_transfers,
-                    total_latency: acc.total_latency + s.total_latency,
-                }
-            });
+        result.mem = self.hierarchies.iter().fold(MemStats::default(), |acc, h| {
+            let s = h.stats();
+            MemStats {
+                l1_hits: acc.l1_hits + s.l1_hits,
+                l1_misses: acc.l1_misses + s.l1_misses,
+                l2_hits: acc.l2_hits + s.l2_hits,
+                l2_misses: acc.l2_misses + s.l2_misses,
+                coherence_transfers: acc.coherence_transfers + s.coherence_transfers,
+                total_latency: acc.total_latency + s.total_latency,
+            }
+        });
         result.kernel_l2_misses = self.kernel_l2_misses;
         result.user_l2_misses = self.user_l2_misses;
         result
@@ -317,10 +319,8 @@ mod tests {
     fn more_cores_speed_up_parallel_phases() {
         let trace = synthetic_trace(200, 8, 12);
         let run = |cores: usize| {
-            let mut sim = MulticoreSim::new(
-                MachineConfig::baseline(cores, 4),
-                SimOptions::default(),
-            );
+            let mut sim =
+                MulticoreSim::new(MachineConfig::baseline(cores, 4), SimOptions::default());
             sim.run_step(&trace)
         };
         let one = run(1);
@@ -334,15 +334,17 @@ mod tests {
         // Serial phases do not scale.
         let s1 = one.of(PhaseKind::Broadphase);
         let s4 = four.of(PhaseKind::Broadphase);
-        assert!(s4 as f64 > s1 as f64 * 0.8, "broadphase serial: {s1} vs {s4}");
+        assert!(
+            s4 as f64 > s1 as f64 * 0.8,
+            "broadphase serial: {s1} vs {s4}"
+        );
     }
 
     #[test]
     fn bigger_l2_never_slower() {
         let trace = synthetic_trace(600, 10, 20);
         let run = |mb: usize| {
-            let mut sim =
-                MulticoreSim::new(MachineConfig::baseline(1, mb), SimOptions::default());
+            let mut sim = MulticoreSim::new(MachineConfig::baseline(1, mb), SimOptions::default());
             // Warm one step, measure the second (steady state).
             sim.run_step(&trace);
             sim.reset_stats();

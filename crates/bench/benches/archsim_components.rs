@@ -77,5 +77,11 @@ fn bench_hierarchy(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_cache, bench_yags, bench_core_model, bench_hierarchy);
+criterion_group!(
+    benches,
+    bench_cache,
+    bench_yags,
+    bench_core_model,
+    bench_hierarchy
+);
 criterion_main!(benches);

@@ -38,7 +38,11 @@ fn bench_narrowphase(c: &mut Criterion) {
     let mut group = c.benchmark_group("narrowphase");
     let pairs: [(&str, Shape, Shape); 4] = [
         ("sphere_sphere", Shape::sphere(0.5), Shape::sphere(0.5)),
-        ("sphere_box", Shape::sphere(0.5), Shape::cuboid(Vec3::splat(0.5))),
+        (
+            "sphere_box",
+            Shape::sphere(0.5),
+            Shape::cuboid(Vec3::splat(0.5)),
+        ),
         (
             "box_box",
             Shape::cuboid(Vec3::splat(0.5)),
@@ -73,9 +77,7 @@ fn bench_island_processing(c: &mut Criterion) {
     for _ in 0..50 {
         world.step();
     }
-    c.bench_function("island_processing/stack5_step", |b| {
-        b.iter(|| world.step())
-    });
+    c.bench_function("island_processing/stack5_step", |b| b.iter(|| world.step()));
 }
 
 fn bench_cloth(c: &mut Criterion) {
@@ -93,8 +95,10 @@ fn bench_full_step(c: &mut Criterion) {
     let mut group = c.benchmark_group("world_step");
     group.sample_size(20);
     for threads in [1usize, 4] {
-        let mut cfg = WorldConfig::default();
-        cfg.threads = threads;
+        let cfg = WorldConfig {
+            threads,
+            ..Default::default()
+        };
         let mut world = World::new(cfg);
         world.add_static_geom(Shape::plane(Vec3::UNIT_Y, 0.0));
         for i in 0..100 {

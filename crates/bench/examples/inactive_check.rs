@@ -1,10 +1,16 @@
 use parallax_workloads::{BenchmarkId, SceneParams};
 fn main() {
     for id in [BenchmarkId::Continuous, BenchmarkId::Mix] {
-        let mut scene = id.build(&SceneParams { scale: 0.3, ..Default::default() });
+        let mut scene = id.build(&SceneParams {
+            scale: 0.3,
+            ..Default::default()
+        });
         let profiles = scene.run_measured(2, 1);
         let total: usize = profiles.iter().map(|p| p.pairs.len()).sum();
-        let inactive: usize = profiles.iter().map(|p| p.pairs.iter().filter(|pw| !pw.active).count()).sum();
+        let inactive: usize = profiles
+            .iter()
+            .map(|p| p.pairs.iter().filter(|pw| !pw.active).count())
+            .sum();
         println!("{id:?}: pairs={total} inactive={inactive}");
     }
 }

@@ -15,7 +15,11 @@ fn main() {
 
     // --- Ablation 1: broad-phase algorithm -------------------------------
     let mut rows = Vec::new();
-    for id in [BenchmarkId::Periodic, BenchmarkId::Explosions, BenchmarkId::Mix] {
+    for id in [
+        BenchmarkId::Periodic,
+        BenchmarkId::Explosions,
+        BenchmarkId::Mix,
+    ] {
         let mut row = vec![id.abbrev().to_string()];
         for (name, kind) in [
             ("grid", BroadphaseKind::Grid { cell: 1.2 }),
@@ -31,10 +35,7 @@ fn main() {
             let profiles = scene.run_measured(2, 1);
             let tests: usize = profiles.iter().map(|p| p.broadphase.overlap_tests).sum();
             let pairs: usize = profiles.iter().map(|p| p.pairs.len()).sum();
-            let wall: f64 = profiles
-                .iter()
-                .map(|p| p.wall[0].as_secs_f64())
-                .sum();
+            let wall: f64 = profiles.iter().map(|p| p.wall[0].as_secs_f64()).sum();
             row.push(format!("{tests}"));
             row.push(format!("{pairs}"));
             row.push(format!("{:.1}ms", wall * 1000.0));
@@ -43,7 +44,9 @@ fn main() {
     }
     print_table(
         "Ablation 1: broad-phase — grid(tests, pairs, wall) vs SAP(tests, pairs, wall), 1 frame",
-        &["Bench", "g.tests", "g.pairs", "g.wall", "s.tests", "s.pairs", "s.wall"],
+        &[
+            "Bench", "g.tests", "g.pairs", "g.wall", "s.tests", "s.pairs", "s.wall",
+        ],
         &rows,
     );
     println!("\nThe spatial hash bounds overlap tests by locality; single-axis SAP");
@@ -73,8 +76,7 @@ fn main() {
 
         let mut row = vec![id.abbrev().to_string(), fmt_secs(partitioned)];
         for mb in [8usize, 16, 32] {
-            let mut sim =
-                MulticoreSim::new(MachineConfig::baseline(1, mb), SimOptions::default());
+            let mut sim = MulticoreSim::new(MachineConfig::baseline(1, mb), SimOptions::default());
             let unified = warm_measure(&mut sim, &traces).time.serial() as f64 / 2.0e9 / frames;
             row.push(fmt_secs(unified));
         }
@@ -107,7 +109,13 @@ fn main() {
     }
     print_table(
         "Ablation 3: next-line L2 prefetch at 2MB (off vs on)",
-        &["Bench", "off s/frame", "off misses", "on s/frame", "on misses"],
+        &[
+            "Bench",
+            "off s/frame",
+            "off misses",
+            "on s/frame",
+            "on misses",
+        ],
         &rows,
     );
     println!("\nPaper §6.2 future work: \"L2 cache size reduction by prefetching\" —");

@@ -64,7 +64,14 @@ fn main() {
     print_table(
         "Figure 10b: FG cores required for 30 FPS (Mix, worst frame)",
         &[
-            "Core", "100%", "50%", "25%", "12.5%", "Sim(32%,mesh)", "Sim(HTX)", "Sim(PCIe)",
+            "Core",
+            "100%",
+            "50%",
+            "25%",
+            "12.5%",
+            "Sim(32%,mesh)",
+            "Sim(HTX)",
+            "Sim(PCIe)",
         ],
         &rows,
     );

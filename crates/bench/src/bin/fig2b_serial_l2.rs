@@ -15,8 +15,7 @@ fn main() {
         let traces = traces_of(&d.profiles);
         let mut row = vec![id.abbrev().to_string()];
         for mb in sizes {
-            let mut sim =
-                MulticoreSim::new(MachineConfig::baseline(1, mb), SimOptions::default());
+            let mut sim = MulticoreSim::new(MachineConfig::baseline(1, mb), SimOptions::default());
             let r = warm_measure(&mut sim, &traces);
             let secs = r.time.serial() as f64 / 2.0e9 / ctx.measure_frames as f64;
             row.push(fmt_secs(secs));

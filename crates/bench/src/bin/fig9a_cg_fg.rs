@@ -31,9 +31,12 @@ fn main() {
             cg_island += KernelModel::island_solver(0, 0, i.bodies.len()).total();
         }
         for c in &p.cloths {
-            fg_cloth +=
-                KernelModel::cloth(c.stats.vertices, c.stats.projections, c.stats.collision_tests)
-                    .total();
+            fg_cloth += KernelModel::cloth(
+                c.stats.vertices,
+                c.stats.projections,
+                c.stats.collision_tests,
+            )
+            .total();
         }
     }
 
@@ -75,7 +78,8 @@ fn main() {
             fmt_secs(cloth_fine),
             format!(
                 "{:.0}%",
-                (serial + island_coarse) / (serial + island_coarse + narrow + island_fine + cloth_fine)
+                (serial + island_coarse)
+                    / (serial + island_coarse + narrow + island_fine + cloth_fine)
                     * 100.0
             ),
         ]);

@@ -32,7 +32,14 @@ fn main() {
     }
     print_table(
         "Sec 8.3, Model 2: per-frame PCIe state sync for a discrete accelerator",
-        &["Bench", "Objects", "ClothVerts", "Bytes", "Sync (s)", "% of frame"],
+        &[
+            "Bench",
+            "Objects",
+            "ClothVerts",
+            "Bytes",
+            "Sync (s)",
+            "% of frame",
+        ],
         &rows,
     );
 

@@ -26,7 +26,11 @@ fn main() {
             fmt_secs(r.fg_cycles as f64 / 2.0e9 / frames),
             fmt_secs(secs),
             format!("{:.0}", 1.0 / secs.max(1e-12)),
-            if 1.0 / secs >= 30.0 { "yes".into() } else { "NO".into() },
+            if 1.0 / secs >= 30.0 {
+                "yes".into()
+            } else {
+                "NO".into()
+            },
         ]);
     }
     print_table(

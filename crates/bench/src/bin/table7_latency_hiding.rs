@@ -39,7 +39,11 @@ fn main() {
 
     // §8.2.2: how much work survives filtering small work units.
     let mut rows = Vec::new();
-    for id in [BenchmarkId::Continuous, BenchmarkId::Deformable, BenchmarkId::Mix] {
+    for id in [
+        BenchmarkId::Continuous,
+        BenchmarkId::Deformable,
+        BenchmarkId::Mix,
+    ] {
         let d = bench_data(id, &ctx);
         let mut island_sizes = Vec::new();
         let mut cloth_sizes = Vec::new();

@@ -1,0 +1,228 @@
+//! Executor-scaling experiment: real (wall-clock) steps/sec of the
+//! pipeline versus executor width.
+//!
+//! Unlike the figure binaries — which feed step *traces* into the timing
+//! models — this experiment measures the actual engine: the persistent
+//! [`Executor`](parallax_physics::parallel::Executor) serving the three
+//! parallel stages. It reports steps/sec per thread count, the serial /
+//! parallel wall split of the single-thread run, the Amdahl bound implied
+//! by that split, and whether the run was serial-bound (either because
+//! the host has too few hardware threads for the executor to help, or
+//! because the scene's serial phases dominate its step).
+
+use std::time::Instant;
+
+use parallax_physics::PhaseKind;
+use parallax_workloads::{BenchmarkId, Scene, SceneParams};
+
+/// One measured point: the pipeline stepped with a given executor width.
+#[derive(Debug, Clone)]
+pub struct ScalingPoint {
+    /// Executor width (participants incl. the caller).
+    pub threads: usize,
+    /// Measured steps per second over the window.
+    pub steps_per_sec: f64,
+    /// Speed-up versus the 1-thread point.
+    pub speedup: f64,
+    /// Wall seconds spent per phase ([`PhaseKind::ALL`] order), summed
+    /// over the window.
+    pub phase_wall: [f64; 5],
+}
+
+/// The full experiment result.
+#[derive(Debug, Clone)]
+pub struct ScalingReport {
+    /// Scene measured.
+    pub scene: BenchmarkId,
+    /// Scene scale.
+    pub scale: f32,
+    /// Steps per measured window.
+    pub steps: usize,
+    /// Hardware threads the host offers the process.
+    pub available_parallelism: usize,
+    /// Measured points, ascending thread count (first entry is 1 thread).
+    pub points: Vec<ScalingPoint>,
+    /// Fraction of the 1-thread step spent in the parallelizable phases.
+    pub parallel_fraction: f64,
+    /// Amdahl speed-up bound at the widest measured point, from
+    /// `parallel_fraction`.
+    pub amdahl_bound: f64,
+    /// `true` when executor scaling cannot be expected on this run.
+    pub serial_bound: bool,
+    /// Human-readable explanation when `serial_bound`.
+    pub serial_bound_reason: String,
+}
+
+/// Measures one `(scene, threads)` point: builds the scene fresh, warms
+/// up, then times `steps` steps.
+pub fn measure_point(
+    id: BenchmarkId,
+    scale: f32,
+    threads: usize,
+    warmup_steps: usize,
+    steps: usize,
+) -> ScalingPoint {
+    let mut scene: Scene = id.build(&SceneParams {
+        scale,
+        threads,
+        ..SceneParams::default()
+    });
+    for _ in 0..warmup_steps {
+        scene.step();
+    }
+    let mut phase_wall = [0.0f64; 5];
+    let t0 = Instant::now();
+    for _ in 0..steps {
+        let p = scene.step();
+        for (i, w) in p.wall.iter().enumerate() {
+            phase_wall[i] += w.as_secs_f64();
+        }
+    }
+    let elapsed = t0.elapsed().as_secs_f64();
+    ScalingPoint {
+        threads,
+        steps_per_sec: steps as f64 / elapsed.max(1e-9),
+        speedup: 1.0,
+        phase_wall,
+    }
+}
+
+/// Runs the experiment over `thread_counts` (must start with 1).
+pub fn run(
+    id: BenchmarkId,
+    scale: f32,
+    thread_counts: &[usize],
+    warmup_steps: usize,
+    steps: usize,
+) -> ScalingReport {
+    assert_eq!(
+        thread_counts.first(),
+        Some(&1),
+        "baseline point must be 1 thread"
+    );
+    let available_parallelism = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+
+    let mut points: Vec<ScalingPoint> = thread_counts
+        .iter()
+        .map(|&t| measure_point(id, scale, t, warmup_steps, steps))
+        .collect();
+    let base = points[0].steps_per_sec;
+    for p in &mut points {
+        p.speedup = p.steps_per_sec / base.max(1e-12);
+    }
+
+    // Amdahl split from the 1-thread run's phase wall times.
+    let serial_wall: f64 = PhaseKind::ALL
+        .iter()
+        .enumerate()
+        .filter(|(_, k)| k.is_serial())
+        .map(|(i, _)| points[0].phase_wall[i])
+        .sum();
+    let total_wall: f64 = points[0].phase_wall.iter().sum();
+    let parallel_fraction = if total_wall > 0.0 {
+        1.0 - serial_wall / total_wall
+    } else {
+        0.0
+    };
+    let widest = *thread_counts.last().expect("points") as f64;
+    let amdahl_bound = 1.0 / ((1.0 - parallel_fraction) + parallel_fraction / widest);
+
+    let (serial_bound, serial_bound_reason) = if available_parallelism < 2 {
+        (
+            true,
+            format!(
+                "host exposes {available_parallelism} hardware thread(s); worker threads \
+                 time-slice one core, so wall-clock scaling is impossible regardless of \
+                 the pipeline's parallel fraction ({:.0}% of the 1-thread step)",
+                parallel_fraction * 100.0
+            ),
+        )
+    } else if parallel_fraction < 1.0 / 3.0 {
+        (
+            true,
+            format!(
+                "only {:.0}% of the 1-thread step is in parallel phases; Amdahl bound at \
+                 {widest:.0} threads is {amdahl_bound:.2}x",
+                parallel_fraction * 100.0
+            ),
+        )
+    } else {
+        (false, String::new())
+    };
+
+    ScalingReport {
+        scene: id,
+        scale,
+        steps,
+        available_parallelism,
+        points,
+        parallel_fraction,
+        amdahl_bound,
+        serial_bound,
+        serial_bound_reason,
+    }
+}
+
+impl ScalingReport {
+    /// Serializes the report as JSON (hand-rolled: the workspace's serde
+    /// is an offline no-op shim).
+    pub fn to_json(&self) -> String {
+        let mut s = String::new();
+        s.push_str("{\n");
+        s.push_str("  \"experiment\": \"executor_scaling\",\n");
+        s.push_str(&format!("  \"scene\": \"{}\",\n", self.scene.name()));
+        s.push_str(&format!("  \"scale\": {},\n", self.scale));
+        s.push_str(&format!("  \"steps_per_point\": {},\n", self.steps));
+        s.push_str(&format!(
+            "  \"available_parallelism\": {},\n",
+            self.available_parallelism
+        ));
+        s.push_str(&format!(
+            "  \"parallel_fraction\": {:.4},\n",
+            self.parallel_fraction
+        ));
+        s.push_str(&format!("  \"amdahl_bound\": {:.4},\n", self.amdahl_bound));
+        s.push_str(&format!("  \"serial_bound\": {},\n", self.serial_bound));
+        s.push_str(&format!(
+            "  \"serial_bound_reason\": \"{}\",\n",
+            self.serial_bound_reason.replace('"', "'")
+        ));
+        s.push_str("  \"points\": [\n");
+        for (i, p) in self.points.iter().enumerate() {
+            let sep = if i + 1 == self.points.len() { "" } else { "," };
+            s.push_str(&format!(
+                "    {{\"threads\": {}, \"steps_per_sec\": {:.2}, \"speedup\": {:.3}, \
+                 \"phase_wall_secs\": [{}]}}{sep}\n",
+                p.threads,
+                p.steps_per_sec,
+                p.speedup,
+                p.phase_wall
+                    .iter()
+                    .map(|w| format!("{w:.6}"))
+                    .collect::<Vec<_>>()
+                    .join(", "),
+            ));
+        }
+        s.push_str("  ]\n}\n");
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_runs_and_serializes() {
+        let r = run(BenchmarkId::Periodic, 0.05, &[1, 2], 2, 3);
+        assert_eq!(r.points.len(), 2);
+        assert!((r.points[0].speedup - 1.0).abs() < 1e-9);
+        assert!(r.points.iter().all(|p| p.steps_per_sec > 0.0));
+        assert!((0.0..=1.0).contains(&r.parallel_fraction));
+        let json = r.to_json();
+        assert!(json.contains("\"experiment\": \"executor_scaling\""));
+        assert!(json.contains("\"threads\": 2"));
+    }
+}

@@ -7,6 +7,8 @@
 //! `PARALLAX_FRAMES` (default `3`) sets the measured window — useful for
 //! quick smoke runs (`PARALLAX_SCALE=0.1`).
 
+pub mod executor_scaling;
+
 use std::collections::HashMap;
 use std::sync::{Mutex, OnceLock};
 
@@ -108,7 +110,11 @@ pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
     let line = |cells: &[String]| {
         let mut s = String::new();
         for (i, c) in cells.iter().enumerate() {
-            s.push_str(&format!("{:>width$}  ", c, width = widths[i.min(widths.len() - 1)]));
+            s.push_str(&format!(
+                "{:>width$}  ",
+                c,
+                width = widths[i.min(widths.len() - 1)]
+            ));
         }
         println!("{}", s.trim_end());
     };

@@ -131,7 +131,11 @@ impl Mul<Vec3> for Mat3 {
     type Output = Vec3;
     #[inline]
     fn mul(self, v: Vec3) -> Vec3 {
-        Vec3::new(self.rows[0].dot(v), self.rows[1].dot(v), self.rows[2].dot(v))
+        Vec3::new(
+            self.rows[0].dot(v),
+            self.rows[1].dot(v),
+            self.rows[2].dot(v),
+        )
     }
 }
 

@@ -4,11 +4,14 @@ use parallax_math::{Aabb, Mat3, Quat, Transform, Vec3};
 use proptest::prelude::*;
 
 fn finite_f32(range: f32) -> impl Strategy<Value = f32> {
-    prop::num::f32::NORMAL.prop_map(move |x| x % range).prop_filter("finite", |x| x.is_finite())
+    prop::num::f32::NORMAL
+        .prop_map(move |x| x % range)
+        .prop_filter("finite", |x| x.is_finite())
 }
 
 fn vec3(range: f32) -> impl Strategy<Value = Vec3> {
-    (finite_f32(range), finite_f32(range), finite_f32(range)).prop_map(|(x, y, z)| Vec3::new(x, y, z))
+    (finite_f32(range), finite_f32(range), finite_f32(range))
+        .prop_map(|(x, y, z)| Vec3::new(x, y, z))
 }
 
 fn unit_quat() -> impl Strategy<Value = Quat> {

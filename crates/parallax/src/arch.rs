@@ -163,9 +163,7 @@ fn replace_parallel_ops_with_cg_side(trace: &mut StepTrace, profile: &StepProfil
                     // sweeps go to FG.
                     let setup = KernelModel::island_solver(0, 0, island.bodies.len());
                     task.ops = setup
-                        + dispatch_ops(
-                            CG_DISPATCH_INSTR + 8 * island.dof_removed.max(1) as u64,
-                        );
+                        + dispatch_ops(CG_DISPATCH_INSTR + 8 * island.dof_removed.max(1) as u64);
                 }
             }
             PhaseKind::Cloth => {

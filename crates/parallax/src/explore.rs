@@ -147,8 +147,8 @@ mod tests {
         let w = mix_like_workload();
         for link in Link::ALL {
             let compute = cores_required_compute_only(FgCoreType::Shader, &w, 0.32);
-            let simulated = cores_required_simulated(FgCoreType::Shader, link, &w, 0.32)
-                .expect("satisfiable");
+            let simulated =
+                cores_required_simulated(FgCoreType::Shader, link, &w, 0.32).expect("satisfiable");
             assert!(
                 simulated >= compute,
                 "{link:?}: simulated {simulated} < compute-only {compute}"

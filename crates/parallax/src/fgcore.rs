@@ -121,10 +121,7 @@ pub fn iterations_per_task(kernel: Kernel) -> u64 {
 /// Local instruction memory needed to hold all three kernels (paper
 /// §8.1.2: 2.7 KB with 32-bit instructions).
 pub fn kernel_code_bytes() -> usize {
-    Kernel::FG
-        .iter()
-        .map(|k| k.static_instructions() * 4)
-        .sum()
+    Kernel::FG.iter().map(|k| k.static_instructions() * 4).sum()
 }
 
 #[cfg(test)]

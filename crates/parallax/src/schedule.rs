@@ -7,8 +7,8 @@
 //! id), data size, iteration count, and kernel id. Each data packet's
 //! header includes task id and data-set id."
 
-use bytes::{Buf, BufMut, Bytes, BytesMut};
 use parallax_archsim::offchip::Link;
+use parallax_physics::PhaseKind;
 use parallax_trace::Kernel;
 use serde::{Deserialize, Serialize};
 
@@ -33,15 +33,15 @@ impl ControlPacket {
     /// Serialized size in bytes.
     pub const WIRE_BYTES: usize = 17;
 
-    /// Encodes the packet.
-    pub fn encode(&self) -> Bytes {
-        let mut b = BytesMut::with_capacity(Self::WIRE_BYTES);
-        b.put_u32(self.task_id);
-        b.put_u32(self.dataset_id);
-        b.put_u32(self.data_size);
-        b.put_u32(self.iteration_count);
-        b.put_u8(self.kernel_id);
-        b.freeze()
+    /// Encodes the packet (big-endian fields, in declaration order).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut b = Vec::with_capacity(Self::WIRE_BYTES);
+        b.extend_from_slice(&self.task_id.to_be_bytes());
+        b.extend_from_slice(&self.dataset_id.to_be_bytes());
+        b.extend_from_slice(&self.data_size.to_be_bytes());
+        b.extend_from_slice(&self.iteration_count.to_be_bytes());
+        b.push(self.kernel_id);
+        b
     }
 
     /// Decodes a packet.
@@ -49,16 +49,18 @@ impl ControlPacket {
     /// # Errors
     ///
     /// Returns `None` when the buffer is too short.
-    pub fn decode(mut buf: Bytes) -> Option<ControlPacket> {
+    pub fn decode(buf: impl AsRef<[u8]>) -> Option<ControlPacket> {
+        let buf = buf.as_ref();
         if buf.len() < Self::WIRE_BYTES {
             return None;
         }
+        let u32_at = |i: usize| u32::from_be_bytes(buf[i..i + 4].try_into().unwrap());
         Some(ControlPacket {
-            task_id: buf.get_u32(),
-            dataset_id: buf.get_u32(),
-            data_size: buf.get_u32(),
-            iteration_count: buf.get_u32(),
-            kernel_id: buf.get_u8(),
+            task_id: u32_at(0),
+            dataset_id: u32_at(4),
+            data_size: u32_at(8),
+            iteration_count: u32_at(12),
+            kernel_id: buf[16],
         })
     }
 
@@ -87,22 +89,23 @@ impl DataPacketHeader {
     /// Serialized size in bytes.
     pub const WIRE_BYTES: usize = 8;
 
-    /// Encodes the header.
-    pub fn encode(&self) -> Bytes {
-        let mut b = BytesMut::with_capacity(Self::WIRE_BYTES);
-        b.put_u32(self.task_id);
-        b.put_u32(self.dataset_id);
-        b.freeze()
+    /// Encodes the header (big-endian fields, in declaration order).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut b = Vec::with_capacity(Self::WIRE_BYTES);
+        b.extend_from_slice(&self.task_id.to_be_bytes());
+        b.extend_from_slice(&self.dataset_id.to_be_bytes());
+        b
     }
 
     /// Decodes a header; `None` when too short.
-    pub fn decode(mut buf: Bytes) -> Option<DataPacketHeader> {
+    pub fn decode(buf: impl AsRef<[u8]>) -> Option<DataPacketHeader> {
+        let buf = buf.as_ref();
         if buf.len() < Self::WIRE_BYTES {
             return None;
         }
         Some(DataPacketHeader {
-            task_id: buf.get_u32(),
-            dataset_id: buf.get_u32(),
+            task_id: u32::from_be_bytes(buf[0..4].try_into().unwrap()),
+            dataset_id: u32::from_be_bytes(buf[4..8].try_into().unwrap()),
         })
     }
 }
@@ -175,6 +178,19 @@ pub fn fg_phase_timing(
     }
 }
 
+/// [`fg_phase_timing`] keyed by the engine's phase enumeration instead of
+/// the kernel: resolves the stage's kernel via [`Kernel::of_phase`], so
+/// schedulers driving the pipeline stages don't need their own mapping.
+pub fn fg_phase_timing_for_phase(
+    phase: PhaseKind,
+    core: FgCoreType,
+    count: usize,
+    link: Link,
+    tasks: usize,
+) -> FgPhaseTiming {
+    fg_phase_timing(Kernel::of_phase(phase), core, count, link, tasks)
+}
+
 /// CG-side overhead instructions for dispatching one FG task: data
 /// packing before send, scattering on return, queue management.
 pub const CG_DISPATCH_INSTR: u64 = 90;
@@ -207,13 +223,19 @@ mod tests {
 
     #[test]
     fn short_buffers_rejected() {
-        assert!(ControlPacket::decode(Bytes::from_static(&[0u8; 4])).is_none());
-        assert!(DataPacketHeader::decode(Bytes::from_static(&[0u8; 4])).is_none());
+        assert!(ControlPacket::decode([0u8; 4]).is_none());
+        assert!(DataPacketHeader::decode([0u8; 4]).is_none());
     }
 
     #[test]
     fn onchip_narrowphase_hides_communication() {
-        let t = fg_phase_timing(Kernel::Narrowphase, FgCoreType::Shader, 150, Link::OnChipMesh, 3000);
+        let t = fg_phase_timing(
+            Kernel::Narrowphase,
+            FgCoreType::Shader,
+            150,
+            Link::OnChipMesh,
+            3000,
+        );
         assert!(t.hidden, "{t:?}");
         assert_eq!(t.exposed_comm_cycles, 0);
     }
@@ -222,19 +244,60 @@ mod tests {
     fn huge_pcie_pool_saturates_the_link() {
         // With enough cores pulling tasks, the shared 4 GB/s link becomes
         // the bottleneck and communication is exposed.
-        let t = fg_phase_timing(Kernel::Narrowphase, FgCoreType::Shader, 4000, Link::Pcie, 40_000);
+        let t = fg_phase_timing(
+            Kernel::Narrowphase,
+            FgCoreType::Shader,
+            4000,
+            Link::Pcie,
+            40_000,
+        );
         assert!(!t.hidden, "{t:?}");
         assert!(t.exposed_comm_cycles > 0);
         // The on-chip mesh with per-core links stays hidden.
-        let m = fg_phase_timing(Kernel::Narrowphase, FgCoreType::Shader, 4000, Link::OnChipMesh, 40_000);
+        let m = fg_phase_timing(
+            Kernel::Narrowphase,
+            FgCoreType::Shader,
+            4000,
+            Link::OnChipMesh,
+            40_000,
+        );
         assert!(m.hidden, "{m:?}");
     }
 
     #[test]
     fn more_cores_reduce_time_until_comm_bound() {
-        let t50 = fg_phase_timing(Kernel::IslandSolver, FgCoreType::Shader, 50, Link::OnChipMesh, 10_000);
-        let t150 = fg_phase_timing(Kernel::IslandSolver, FgCoreType::Shader, 150, Link::OnChipMesh, 10_000);
+        let t50 = fg_phase_timing(
+            Kernel::IslandSolver,
+            FgCoreType::Shader,
+            50,
+            Link::OnChipMesh,
+            10_000,
+        );
+        let t150 = fg_phase_timing(
+            Kernel::IslandSolver,
+            FgCoreType::Shader,
+            150,
+            Link::OnChipMesh,
+            10_000,
+        );
         assert!(t150.total_cycles < t50.total_cycles);
+    }
+
+    #[test]
+    fn phase_keyed_timing_matches_kernel_keyed() {
+        for phase in PhaseKind::ALL {
+            let by_phase =
+                fg_phase_timing_for_phase(phase, FgCoreType::Shader, 150, Link::OnChipMesh, 3000);
+            let by_kernel = fg_phase_timing(
+                Kernel::of_phase(phase),
+                FgCoreType::Shader,
+                150,
+                Link::OnChipMesh,
+                3000,
+            );
+            assert_eq!(by_phase.total_cycles, by_kernel.total_cycles);
+            assert_eq!(by_phase.compute_cycles, by_kernel.compute_cycles);
+        }
     }
 
     #[test]

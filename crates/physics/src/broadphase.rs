@@ -29,11 +29,24 @@ pub struct BroadphaseStats {
 
 /// A broad-phase algorithm: produces candidate geom pairs from AABBs.
 pub trait Broadphase {
-    /// Computes candidate overlapping pairs.
+    /// Computes candidate overlapping pairs into `out` (cleared first),
+    /// reusing `out`'s capacity across calls.
     ///
     /// `aabbs` carries `(geom, world aabb)` for every enabled geom. The
-    /// returned pairs are unordered and deduplicated, with `a < b`.
-    fn pairs(&mut self, aabbs: &[(GeomId, Aabb)]) -> (Vec<(GeomId, GeomId)>, BroadphaseStats);
+    /// emitted pairs are unordered and deduplicated, with `a < b`.
+    fn pairs_into(
+        &mut self,
+        aabbs: &[(GeomId, Aabb)],
+        out: &mut Vec<(GeomId, GeomId)>,
+    ) -> BroadphaseStats;
+
+    /// Convenience wrapper around [`pairs_into`](Broadphase::pairs_into)
+    /// allocating a fresh pair vector.
+    fn pairs(&mut self, aabbs: &[(GeomId, Aabb)]) -> (Vec<(GeomId, GeomId)>, BroadphaseStats) {
+        let mut out = Vec::new();
+        let stats = self.pairs_into(aabbs, &mut out);
+        (out, stats)
+    }
 }
 
 /// Sort-and-sweep along the X axis.
@@ -56,12 +69,17 @@ impl SweepAndPrune {
 }
 
 impl Broadphase for SweepAndPrune {
-    fn pairs(&mut self, aabbs: &[(GeomId, Aabb)]) -> (Vec<(GeomId, GeomId)>, BroadphaseStats) {
+    fn pairs_into(
+        &mut self,
+        aabbs: &[(GeomId, Aabb)],
+        out: &mut Vec<(GeomId, GeomId)>,
+    ) -> BroadphaseStats {
         let n = aabbs.len();
         let mut stats = BroadphaseStats {
             geoms: n,
             ..Default::default()
         };
+        out.clear();
         self.order.clear();
         self.order.extend(0..n as u32);
         // Count comparisons via a wrapper-free estimate: n log2 n.
@@ -70,10 +88,14 @@ impl Broadphase for SweepAndPrune {
         } else {
             0
         };
-        self.order
-            .sort_unstable_by(|&a, &b| aabbs[a as usize].1.min.x.total_cmp(&aabbs[b as usize].1.min.x));
+        self.order.sort_unstable_by(|&a, &b| {
+            aabbs[a as usize]
+                .1
+                .min
+                .x
+                .total_cmp(&aabbs[b as usize].1.min.x)
+        });
 
-        let mut out = Vec::new();
         for (i, &ia) in self.order.iter().enumerate() {
             let (ga, ba) = &aabbs[ia as usize];
             for &ib in &self.order[i + 1..] {
@@ -89,7 +111,7 @@ impl Broadphase for SweepAndPrune {
             }
         }
         stats.pairs = out.len();
-        (out, stats)
+        stats
     }
 }
 
@@ -101,6 +123,11 @@ impl Broadphase for SweepAndPrune {
 #[derive(Debug)]
 pub struct UniformGrid {
     cell: f32,
+    // Scratch reused across steps: cell table, oversized-AABB bin and the
+    // pair-dedup set keep their capacity between calls.
+    cells: std::collections::HashMap<(i32, i32, i32), Vec<u32>>,
+    global: Vec<u32>,
+    seen: std::collections::HashSet<(GeomId, GeomId)>,
 }
 
 impl UniformGrid {
@@ -111,7 +138,12 @@ impl UniformGrid {
     /// Panics if `cell` is not positive and finite.
     pub fn new(cell: f32) -> Self {
         assert!(cell > 0.0 && cell.is_finite(), "cell size must be positive");
-        UniformGrid { cell }
+        UniformGrid {
+            cell,
+            cells: std::collections::HashMap::new(),
+            global: Vec::new(),
+            seen: std::collections::HashSet::new(),
+        }
     }
 
     fn cell_range(&self, bb: &Aabb) -> ([i32; 3], [i32; 3]) {
@@ -130,8 +162,11 @@ impl UniformGrid {
 }
 
 impl Broadphase for UniformGrid {
-    fn pairs(&mut self, aabbs: &[(GeomId, Aabb)]) -> (Vec<(GeomId, GeomId)>, BroadphaseStats) {
-        use std::collections::HashMap;
+    fn pairs_into(
+        &mut self,
+        aabbs: &[(GeomId, Aabb)],
+        out: &mut Vec<(GeomId, GeomId)>,
+    ) -> BroadphaseStats {
         let mut stats = BroadphaseStats {
             geoms: aabbs.len(),
             ..Default::default()
@@ -140,8 +175,15 @@ impl Broadphase for UniformGrid {
         // spanning more than `MAX_CELLS_PER_AXIS` cells into a global bin
         // tested against everyone.
         const MAX_CELLS_PER_AXIS: i32 = 64;
-        let mut cells: HashMap<(i32, i32, i32), Vec<u32>> = HashMap::new();
-        let mut global: Vec<u32> = Vec::new();
+        // Work on taken scratch so the closure below can borrow freely;
+        // returned to `self` at the end for reuse next step.
+        let mut cells = std::mem::take(&mut self.cells);
+        let mut global = std::mem::take(&mut self.global);
+        let mut seen = std::mem::take(&mut self.seen);
+        cells.clear();
+        global.clear();
+        seen.clear();
+        out.clear();
         for (i, (_, bb)) in aabbs.iter().enumerate() {
             let (lo, hi) = self.cell_range(bb);
             if (0..3).any(|k| hi[k] - lo[k] > MAX_CELLS_PER_AXIS) {
@@ -157,8 +199,6 @@ impl Broadphase for UniformGrid {
                 }
             }
         }
-        let mut seen = std::collections::HashSet::new();
-        let mut out = Vec::new();
         let mut emit = |ia: u32, ib: u32, stats: &mut BroadphaseStats| {
             let (ga, ba) = &aabbs[ia as usize];
             let (gb, bb) = &aabbs[ib as usize];
@@ -195,7 +235,10 @@ impl Broadphase for UniformGrid {
         // island numbering, dynamics) is deterministic.
         out.sort_unstable();
         stats.pairs = out.len();
-        (out, stats)
+        self.cells = cells;
+        self.global = global;
+        self.seen = seen;
+        stats
     }
 }
 
@@ -224,7 +267,14 @@ mod tests {
 
     #[test]
     fn sap_finds_overlapping_pair() {
-        let aabbs = boxes(&[Vec3::ZERO, Vec3::new(0.5, 0.0, 0.0), Vec3::new(10.0, 0.0, 0.0)], 0.5);
+        let aabbs = boxes(
+            &[
+                Vec3::ZERO,
+                Vec3::new(0.5, 0.0, 0.0),
+                Vec3::new(10.0, 0.0, 0.0),
+            ],
+            0.5,
+        );
         let (pairs, stats) = SweepAndPrune::new().pairs(&aabbs);
         assert_eq!(pairs, vec![(GeomId(0), GeomId(1))]);
         assert_eq!(stats.pairs, 1);
@@ -234,7 +284,11 @@ mod tests {
     #[test]
     fn sap_no_pairs_when_separated() {
         let aabbs = boxes(
-            &[Vec3::ZERO, Vec3::new(5.0, 0.0, 0.0), Vec3::new(-5.0, 0.0, 0.0)],
+            &[
+                Vec3::ZERO,
+                Vec3::new(5.0, 0.0, 0.0),
+                Vec3::new(-5.0, 0.0, 0.0),
+            ],
             0.5,
         );
         let (pairs, _) = SweepAndPrune::new().pairs(&aabbs);

@@ -115,14 +115,7 @@ impl Cloth {
     /// # Panics
     ///
     /// Panics if `nx < 2` or `nz < 2`.
-    pub fn rectangle(
-        origin: Vec3,
-        w: f32,
-        h: f32,
-        nx: usize,
-        nz: usize,
-        pinned: &[usize],
-    ) -> Self {
+    pub fn rectangle(origin: Vec3, w: f32, h: f32, nx: usize, nz: usize, pinned: &[usize]) -> Self {
         assert!(nx >= 2 && nz >= 2, "cloth needs at least 2x2 vertices");
         let mut verts = Vec::with_capacity(nx * nz);
         for iz in 0..nz {
@@ -357,7 +350,8 @@ fn project_out(p: Vec3, shape: &Shape, t: &Transform, thickness: f32) -> Option<
         Shape::Cuboid { half } => {
             let local = t.apply_inverse(p);
             let grown = *half + Vec3::splat(thickness);
-            let inside = local.abs().x < grown.x && local.abs().y < grown.y && local.abs().z < grown.z;
+            let inside =
+                local.abs().x < grown.x && local.abs().y < grown.y && local.abs().z < grown.z;
             if !inside {
                 return None;
             }
@@ -479,7 +473,11 @@ mod tests {
             Transform::from_position(Vec3::new(0.0, 0.5, 0.0)),
         );
         for _ in 0..3 {
-            c.step(Vec3::new(0.0, -10.0, 0.0), 0.01, std::slice::from_ref(&plate));
+            c.step(
+                Vec3::new(0.0, -10.0, 0.0),
+                0.01,
+                std::slice::from_ref(&plate),
+            );
         }
         for v in c.vertices() {
             assert!(

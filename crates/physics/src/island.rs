@@ -24,6 +24,17 @@ pub struct Island {
     pub dof_removed: usize,
 }
 
+impl Island {
+    /// Empties the island while keeping its buffers' capacity, so island
+    /// arenas can be reused across steps.
+    pub fn clear(&mut self) {
+        self.bodies.clear();
+        self.joints.clear();
+        self.manifolds.clear();
+        self.dof_removed = 0;
+    }
+}
+
 /// Statistics from island creation, consumed by the trace layer.
 #[derive(Debug, Default, Clone, Copy)]
 pub struct IslandStats {
@@ -116,6 +127,23 @@ pub fn build_islands(
     bodies: &mut [RigidBody],
     edges: &[ConstraintEdge],
 ) -> (Vec<Island>, IslandStats) {
+    let mut islands = Vec::new();
+    let stats = build_islands_into(bodies, edges, &mut islands);
+    (islands, stats)
+}
+
+/// [`build_islands`] writing into a caller-owned arena: existing `Island`
+/// entries in `out` are cleared and refilled in place, so their inner
+/// buffers are reused step over step.
+pub fn build_islands_into(
+    bodies: &mut [RigidBody],
+    edges: &[ConstraintEdge],
+    out: &mut Vec<Island>,
+) -> IslandStats {
+    for island in out.iter_mut() {
+        island.clear();
+    }
+    let mut used = 0usize;
     let n = bodies.len();
     let mut uf = UnionFind::new(n);
     let mut stats = IslandStats {
@@ -138,7 +166,6 @@ pub fn build_islands(
 
     // Assign island slots by representative.
     let mut slot_of_root: std::collections::HashMap<u32, u32> = std::collections::HashMap::new();
-    let mut islands: Vec<Island> = Vec::new();
     for b in bodies.iter_mut() {
         b.island = u32::MAX;
     }
@@ -161,12 +188,16 @@ pub fn build_islands(
         }
         let root = uf.find(i as u32);
         let slot = *slot_of_root.entry(root).or_insert_with(|| {
-            islands.push(Island::default());
-            (islands.len() - 1) as u32
+            if used == out.len() {
+                out.push(Island::default());
+            }
+            used += 1;
+            (used - 1) as u32
         });
         bodies[i].island = slot;
-        islands[slot as usize].bodies.push(i as u32);
+        out[slot as usize].bodies.push(i as u32);
     }
+    out.truncate(used);
 
     // Attach edges to islands.
     for e in edges {
@@ -181,7 +212,7 @@ pub fn build_islands(
         if owner == u32::MAX {
             continue;
         }
-        let island = &mut islands[owner as usize];
+        let island = &mut out[owner as usize];
         match e.kind {
             EdgeKind::Joint => island.joints.push(e.index),
             EdgeKind::Contact => island.manifolds.push(e.index),
@@ -191,8 +222,8 @@ pub fn build_islands(
 
     stats.union_ops = uf.unions;
     stats.find_ops = uf.finds;
-    stats.islands = islands.len();
-    (islands, stats)
+    stats.islands = out.len();
+    stats
 }
 
 /// Convenience: returns `true` when a body should be skipped entirely by

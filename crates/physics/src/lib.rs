@@ -47,6 +47,7 @@ pub mod island;
 pub mod joint;
 pub mod narrowphase;
 pub mod parallel;
+pub mod pipeline;
 pub mod probe;
 pub mod ray;
 pub mod shape;
@@ -59,6 +60,7 @@ pub use contact::{ContactManifold, ContactPoint};
 pub use explosion::ExplosionConfig;
 pub use fracture::FractureConfig;
 pub use joint::{Joint, JointId, JointKind};
+pub use pipeline::{Stage, StepPipeline};
 pub use probe::{PhaseKind, StepProfile};
 pub use shape::{GeomId, Heightfield, Shape, TriMesh};
 pub use world::{BroadphaseKind, World, WorldConfig};

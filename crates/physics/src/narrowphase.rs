@@ -55,8 +55,12 @@ pub fn collide_with_ids(
         (Sphere { radius: ra }, Sphere { radius: rb }) => {
             sphere_sphere(ta.position, *ra, tb.position, *rb, &mut m)
         }
-        (Sphere { radius }, Cuboid { half }) => sphere_box(ta.position, *radius, tb, *half, &mut m, false),
-        (Cuboid { half }, Sphere { radius }) => sphere_box(tb.position, *radius, ta, *half, &mut m, true),
+        (Sphere { radius }, Cuboid { half }) => {
+            sphere_box(ta.position, *radius, tb, *half, &mut m, false)
+        }
+        (Cuboid { half }, Sphere { radius }) => {
+            sphere_box(tb.position, *radius, ta, *half, &mut m, true)
+        }
         (Sphere { radius }, Plane { normal, offset }) => {
             sphere_plane(ta.position, *radius, *normal, *offset, &mut m, false)
         }
@@ -76,15 +80,30 @@ pub fn collide_with_ids(
         (Plane { normal, offset }, Capsule { radius, half_len }) => {
             capsule_plane(tb, *radius, *half_len, *normal, *offset, &mut m, true)
         }
-        (Capsule { radius: ra, half_len: la }, Capsule { radius: rb, half_len: lb }) => {
-            capsule_capsule(ta, *ra, *la, tb, *rb, *lb, &mut m)
-        }
-        (Sphere { radius }, Capsule { radius: rc, half_len }) => {
-            sphere_capsule(ta.position, *radius, tb, *rc, *half_len, &mut m, false)
-        }
-        (Capsule { radius: rc, half_len }, Sphere { radius }) => {
-            sphere_capsule(tb.position, *radius, ta, *rc, *half_len, &mut m, true)
-        }
+        (
+            Capsule {
+                radius: ra,
+                half_len: la,
+            },
+            Capsule {
+                radius: rb,
+                half_len: lb,
+            },
+        ) => capsule_capsule(ta, *ra, *la, tb, *rb, *lb, &mut m),
+        (
+            Sphere { radius },
+            Capsule {
+                radius: rc,
+                half_len,
+            },
+        ) => sphere_capsule(ta.position, *radius, tb, *rc, *half_len, &mut m, false),
+        (
+            Capsule {
+                radius: rc,
+                half_len,
+            },
+            Sphere { radius },
+        ) => sphere_capsule(tb.position, *radius, ta, *rc, *half_len, &mut m, true),
         (Capsule { radius, half_len }, Cuboid { half }) => {
             capsule_box(ta, *radius, *half_len, tb, *half, &mut m, false)
         }
@@ -146,9 +165,7 @@ fn sphere_sphere(ca: Vec3, ra: f32, cb: Vec3, rb: f32, m: &mut ContactManifold) 
     if dist2 > rsum * rsum {
         return false;
     }
-    let (normal, dist) = d
-        .normalized_with_length()
-        .unwrap_or((Vec3::UNIT_Y, 0.0));
+    let (normal, dist) = d.normalized_with_length().unwrap_or((Vec3::UNIT_Y, 0.0));
     m.push(ContactPoint {
         position: cb + normal * (rb - (rsum - dist) * 0.5),
         normal,
@@ -483,8 +500,12 @@ fn box_box(ta: &Transform, ha: Vec3, tb: &Transform, hb: Vec3, m: &mut ContactMa
     // Face contact: choose reference box (owner of the separating axis).
     let (reference, incident, ref_normal) = {
         // Which box's face axis matched best? Determine by alignment.
-        let align_a = (0..3).map(|i| a.axes[i].dot(normal).abs()).fold(0.0f32, f32::max);
-        let align_b = (0..3).map(|i| b.axes[i].dot(normal).abs()).fold(0.0f32, f32::max);
+        let align_a = (0..3)
+            .map(|i| a.axes[i].dot(normal).abs())
+            .fold(0.0f32, f32::max);
+        let align_b = (0..3)
+            .map(|i| b.axes[i].dot(normal).abs())
+            .fold(0.0f32, f32::max);
         if align_a >= align_b {
             (&a, &b, normal)
         } else {
@@ -627,8 +648,7 @@ fn box_heightfield(
     for sx in [-1.0f32, 1.0] {
         for sy in [-1.0f32, 1.0] {
             for sz in [-1.0f32, 1.0] {
-                let corner =
-                    rot * Vec3::new(sx * half.x, sy * half.y, sz * half.z) + tb.position;
+                let corner = rot * Vec3::new(sx * half.x, sy * half.y, sz * half.z) + tb.position;
                 let local = t.apply_inverse(corner);
                 let h = hf.height_at(local.x, local.z);
                 if local.y < h {
@@ -718,8 +738,7 @@ fn box_trimesh(
     for sx in [-1.0f32, 1.0] {
         for sy in [-1.0f32, 1.0] {
             for sz in [-1.0f32, 1.0] {
-                let corner =
-                    rot * Vec3::new(sx * half.x, sy * half.y, sz * half.z) + tb.position;
+                let corner = rot * Vec3::new(sx * half.x, sy * half.y, sz * half.z) + tb.position;
                 let local = t.apply_inverse(corner);
                 for i in 0..mesh.triangles().len() {
                     let tri = mesh.triangle(i);
@@ -1055,8 +1074,7 @@ mod tests {
         );
         let s = Shape::sphere(0.5);
         let shape_m = Shape::trimesh(mesh);
-        let m =
-            collide_shapes(&s, &t(Vec3::new(0.0, 0.3, 0.0)), &shape_m, &t(Vec3::ZERO)).unwrap();
+        let m = collide_shapes(&s, &t(Vec3::new(0.0, 0.3, 0.0)), &shape_m, &t(Vec3::ZERO)).unwrap();
         assert!((m.points[0].depth - 0.2).abs() < 1e-4);
         assert!(m.points[0].normal.y.abs() > 0.99);
     }

@@ -1,237 +1,417 @@
-//! Parallel execution: a persistent worker pool with a work-queue model.
+//! Persistent worker-thread executor for the engine's parallel phases.
 //!
-//! The paper parallelizes the engine "using pthreads and a work-queue model
-//! with persistent worker threads. Pthreads minimize thread overhead, while
-//! persistent threads eliminate thread creation and destruction costs."
-//! [`WorkerPool`] reproduces that model with crossbeam channels.
+//! The paper's engine (§6.1) keeps a pool of pthreads alive for the whole
+//! run and feeds them phase work through a work queue; threads block on
+//! the queue between phases instead of being re-created. [`Executor`]
+//! reproduces that model: `World` owns one executor for its lifetime and
+//! every parallel phase (narrowphase, island processing, cloth) submits
+//! borrowed, scoped jobs to the same threads. Nothing on the step path
+//! spawns a thread.
+//!
+//! Work distribution is chunked: participants (the workers plus the
+//! calling thread) claim contiguous chunks of the item range off a shared
+//! atomic cursor and write results by item index, so the output order —
+//! and therefore the simulation — is identical for any thread count.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Arc;
+use std::collections::VecDeque;
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
 
-use crossbeam::channel::{unbounded, Sender};
-
-type Job = Box<dyn FnOnce() + Send + 'static>;
-
-/// A pool of persistent worker threads consuming a shared work queue.
+/// A persistent pool of worker threads serving scoped, borrowed jobs.
 ///
-/// # Examples
+/// Created once (from `WorldConfig::threads`) and reused for every step.
+/// `threads` counts the calling thread: `Executor::new(4)` spawns three
+/// workers and the caller participates as the fourth.
 ///
 /// ```
-/// use parallax_physics::parallel::WorkerPool;
+/// use parallax_physics::parallel::Executor;
 ///
-/// let pool = WorkerPool::new(4);
-/// let results = pool.par_map(vec![1, 2, 3, 4, 5], |x| x * x);
-/// assert_eq!(results, vec![1, 4, 9, 16, 25]);
+/// let exec = Executor::new(4);
+/// let mut out = Vec::new();
+/// exec.map_into(&[1, 2, 3, 4], &mut out, |x| x * 10);
+/// assert_eq!(out, vec![10, 20, 30, 40]);
 /// ```
-pub struct WorkerPool {
-    sender: Option<Sender<Job>>,
-    handles: Vec<std::thread::JoinHandle<()>>,
-    workers: usize,
+pub struct Executor {
+    shared: Arc<Shared>,
+    workers: Vec<JoinHandle<()>>,
+    threads: usize,
 }
 
-impl std::fmt::Debug for WorkerPool {
+struct Shared {
+    queue: Mutex<VecDeque<Job>>,
+    available: Condvar,
+    shutdown: AtomicBool,
+}
+
+/// A type-erased pointer to a live `MapState` on the submitting thread's
+/// stack plus the monomorphized entry point that knows its real type. The
+/// submitting call blocks on [`Latch`] until every job has finished, which
+/// keeps the pointee alive for the job's whole execution.
+struct Job {
+    state: *const (),
+    run: unsafe fn(*const ()),
+    latch: Arc<Latch>,
+}
+
+// Safety: `state` points at a `MapState` whose closure is `Sync` (required
+// by the public `map_*` bounds) and whose results are `Send`; the
+// submitting thread keeps it alive until the latch opens.
+unsafe impl Send for Job {}
+
+/// Completion barrier: opens once `count_down` has been called `n` times.
+struct Latch {
+    remaining: Mutex<usize>,
+    opened: Condvar,
+}
+
+impl Latch {
+    fn new(n: usize) -> Self {
+        Latch {
+            remaining: Mutex::new(n),
+            opened: Condvar::new(),
+        }
+    }
+
+    fn count_down(&self) {
+        let mut left = self.remaining.lock().unwrap();
+        *left -= 1;
+        if *left == 0 {
+            self.opened.notify_all();
+        }
+    }
+
+    fn wait(&self) {
+        let mut left = self.remaining.lock().unwrap();
+        while *left > 0 {
+            left = self.opened.wait(left).unwrap();
+        }
+    }
+}
+
+/// Shared per-call state for one parallel map, type-erased behind [`Job`].
+/// Raw pointers (not references) so the struct has no lifetime parameters
+/// and a plain `unsafe fn(*const ())` can reconstruct it.
+struct MapState<R, F> {
+    n: usize,
+    out: *mut R,
+    cursor: AtomicUsize,
+    chunk: usize,
+    f: *const F,
+    panicked: AtomicBool,
+}
+
+impl<R, F: Fn(usize) -> R> MapState<R, F> {
+    /// Claims chunks off the cursor and fills `out[i]` for each index `i`.
+    /// Writing by index makes the result independent of which participant
+    /// processed which chunk.
+    unsafe fn work(&self) {
+        let f = &*self.f;
+        loop {
+            let start = self.cursor.fetch_add(self.chunk, Ordering::Relaxed);
+            if start >= self.n {
+                return;
+            }
+            let end = (start + self.chunk).min(self.n);
+            for i in start..end {
+                match panic::catch_unwind(AssertUnwindSafe(|| f(i))) {
+                    Ok(r) => self.out.add(i).write(r),
+                    Err(_) => {
+                        // Keep draining so other items still complete and
+                        // the latch opens; the caller re-panics.
+                        self.panicked.store(true, Ordering::Release);
+                    }
+                }
+            }
+        }
+    }
+}
+
+unsafe fn run_map<R, F: Fn(usize) -> R>(state: *const ()) {
+    (*(state as *const MapState<R, F>)).work();
+}
+
+impl Executor {
+    /// Builds an executor where `threads` participants (including the
+    /// caller) serve each parallel region. `threads <= 1` spawns nothing
+    /// and runs every region serially on the caller.
+    pub fn new(threads: usize) -> Self {
+        let threads = threads.max(1);
+        let shared = Arc::new(Shared {
+            queue: Mutex::new(VecDeque::new()),
+            available: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+        });
+        let workers = (1..threads)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("physics-worker-{i}"))
+                    .spawn(move || worker_loop(&shared))
+                    .expect("spawn physics worker")
+            })
+            .collect();
+        Executor {
+            shared,
+            workers,
+            threads,
+        }
+    }
+
+    /// Number of participants (workers + caller) serving parallel regions.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Maps `f` over `items`, writing results into `out` (cleared first)
+    /// in item order. The caller participates; workers are fed through the
+    /// persistent queue. Deterministic for any thread count.
+    pub fn map_into<T, R, F>(&self, items: &[T], out: &mut Vec<R>, f: F)
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(&T) -> R + Sync,
+    {
+        self.map_indexed_into(items.len(), out, |i| f(&items[i]));
+    }
+
+    /// Like [`map_into`](Self::map_into) but hands the closure disjoint
+    /// `&mut` access to each item (plus the item's index), for phases that
+    /// update in place (cloth).
+    pub fn map_mut_into<T, R, F>(&self, items: &mut [T], out: &mut Vec<R>, f: F)
+    where
+        T: Send,
+        R: Send,
+        F: Fn(usize, &mut T) -> R + Sync,
+    {
+        let base = SendPtr(items.as_mut_ptr());
+        let n = items.len();
+        // Safety: the cursor hands out each index exactly once, so the
+        // `&mut` borrows are disjoint; the slice outlives the call.
+        self.map_indexed_into(n, out, move |i| f(i, unsafe { &mut *base.at(i) }));
+    }
+
+    /// Shared implementation: maps an index-addressed closure over `0..n`.
+    fn map_indexed_into<R, F>(&self, n: usize, out: &mut Vec<R>, f: F)
+    where
+        R: Send,
+        F: Fn(usize) -> R + Sync,
+    {
+        out.clear();
+        if n == 0 {
+            return;
+        }
+        if self.threads <= 1 || n == 1 {
+            out.extend((0..n).map(f));
+            return;
+        }
+        out.reserve(n);
+
+        // Chunks sized for ~4 claims per participant: large enough to keep
+        // cursor contention negligible, small enough to balance load.
+        let state = MapState {
+            n,
+            out: out.as_mut_ptr(),
+            cursor: AtomicUsize::new(0),
+            chunk: n.div_ceil(self.threads * 4).max(1),
+            f: &f,
+            panicked: AtomicBool::new(false),
+        };
+
+        let helpers = (self.threads - 1).min(n - 1);
+        let latch = Arc::new(Latch::new(helpers));
+        {
+            let mut queue = self.shared.queue.lock().unwrap();
+            for _ in 0..helpers {
+                queue.push_back(Job {
+                    state: &state as *const MapState<R, F> as *const (),
+                    run: run_map::<R, F>,
+                    latch: Arc::clone(&latch),
+                });
+            }
+        }
+        self.shared.available.notify_all();
+
+        // Participate, then wait for the workers; the latch keeps `state`,
+        // `out`'s buffer and `f` alive until every job is done with them.
+        unsafe { state.work() };
+        latch.wait();
+
+        if state.panicked.load(Ordering::Acquire) {
+            // Written results are leaked (len stays 0), never read.
+            panic!("worker panicked in Executor parallel region");
+        }
+        // Safety: every index in 0..n was written exactly once.
+        unsafe { out.set_len(n) };
+    }
+}
+
+/// Raw pointer wrapper that may cross into the `Sync` closure. Element
+/// access goes through [`SendPtr::at`] so closures capture the wrapper
+/// (which is `Sync`), not the raw pointer field.
+struct SendPtr<T>(*mut T);
+
+impl<T> SendPtr<T> {
+    fn at(&self, i: usize) -> *mut T {
+        unsafe { self.0.add(i) }
+    }
+}
+
+impl<T> Clone for SendPtr<T> {
+    fn clone(&self) -> Self {
+        SendPtr(self.0)
+    }
+}
+
+// Safety: only used to derive disjoint per-index `&mut` borrows of a
+// `Send` element type (see `map_mut_into`).
+unsafe impl<T: Send> Sync for SendPtr<T> {}
+unsafe impl<T: Send> Send for SendPtr<T> {}
+
+impl std::fmt::Debug for Executor {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("WorkerPool")
-            .field("workers", &self.workers)
+        f.debug_struct("Executor")
+            .field("threads", &self.threads)
             .finish()
     }
 }
 
-impl WorkerPool {
-    /// Spawns `workers` persistent threads (at least 1).
-    pub fn new(workers: usize) -> Self {
-        let workers = workers.max(1);
-        let (sender, receiver) = unbounded::<Job>();
-        let handles = (0..workers)
-            .map(|i| {
-                let rx = receiver.clone();
-                std::thread::Builder::new()
-                    .name(format!("parallax-worker-{i}"))
-                    .spawn(move || {
-                        while let Ok(job) = rx.recv() {
-                            job();
-                        }
-                    })
-                    .expect("failed to spawn worker thread")
-            })
-            .collect();
-        WorkerPool {
-            sender: Some(sender),
-            handles,
-            workers,
-        }
-    }
-
-    /// Number of worker threads.
-    #[inline]
-    pub fn workers(&self) -> usize {
-        self.workers
-    }
-
-    /// Maps `f` over `items` on the pool, preserving order.
-    ///
-    /// Work is distributed via a shared atomic cursor (work-queue model):
-    /// idle workers steal the next index, so imbalanced item costs are
-    /// handled automatically.
-    pub fn par_map<T, R, F>(&self, items: Vec<T>, f: F) -> Vec<R>
-    where
-        T: Send + 'static,
-        R: Send + 'static,
-        F: Fn(T) -> R + Send + Sync + 'static,
-    {
-        let n = items.len();
-        if n == 0 {
-            return Vec::new();
-        }
-        let f = Arc::new(f);
-        let items: Arc<Vec<parking_lot::Mutex<Option<T>>>> = Arc::new(
-            items
-                .into_iter()
-                .map(|t| parking_lot::Mutex::new(Some(t)))
-                .collect(),
-        );
-        let results: Arc<Vec<parking_lot::Mutex<Option<R>>>> =
-            Arc::new((0..n).map(|_| parking_lot::Mutex::new(None)).collect());
-        let cursor = Arc::new(AtomicUsize::new(0));
-        let (done_tx, done_rx) = unbounded::<()>();
-
-        let jobs = self.workers.min(n);
-        for _ in 0..jobs {
-            let f = Arc::clone(&f);
-            let items = Arc::clone(&items);
-            let results = Arc::clone(&results);
-            let cursor = Arc::clone(&cursor);
-            let done = done_tx.clone();
-            self.sender
-                .as_ref()
-                .expect("pool is alive")
-                .send(Box::new(move || {
-                    loop {
-                        let i = cursor.fetch_add(1, Ordering::Relaxed);
-                        if i >= items.len() {
-                            break;
-                        }
-                        let item = items[i].lock().take().expect("item taken once");
-                        let r = f(item);
-                        *results[i].lock() = Some(r);
-                    }
-                    let _ = done.send(());
-                }))
-                .expect("worker channel open");
-        }
-        drop(done_tx);
-        for _ in 0..jobs {
-            done_rx.recv().expect("worker completed");
-        }
-        // Workers may still hold their Arc clones for a moment after
-        // signalling completion, so take the results out through the
-        // mutexes rather than unwrapping the Arc.
-        results
-            .iter()
-            .map(|m| m.lock().take().expect("result written"))
-            .collect()
-    }
-}
-
-impl Drop for WorkerPool {
+impl Drop for Executor {
     fn drop(&mut self) {
-        // Close the channel; workers exit their recv loop.
-        self.sender.take();
-        for h in self.handles.drain(..) {
-            let _ = h.join();
+        self.shared.shutdown.store(true, Ordering::Release);
+        self.shared.available.notify_all();
+        for w in self.workers.drain(..) {
+            let _ = w.join();
         }
     }
 }
 
-/// Scoped parallel map over borrowed data using one-shot threads.
-///
-/// Used by the engine for phases that borrow world state (`&` captures).
-/// Chunked statically: item `i` goes to thread `i % threads`.
-pub fn par_map_scoped<T, R, F>(threads: usize, items: &[T], f: F) -> Vec<R>
-where
-    T: Sync,
-    R: Send,
-    F: Fn(&T) -> R + Send + Sync,
-{
-    let threads = threads.max(1).min(items.len().max(1));
-    if threads <= 1 || items.len() <= 1 {
-        return items.iter().map(&f).collect();
-    }
-    let cursor = AtomicUsize::new(0);
-    let results: Vec<parking_lot::Mutex<Option<R>>> =
-        (0..items.len()).map(|_| parking_lot::Mutex::new(None)).collect();
-    std::thread::scope(|s| {
-        for _ in 0..threads {
-            s.spawn(|| loop {
-                let i = cursor.fetch_add(1, Ordering::Relaxed);
-                if i >= items.len() {
-                    break;
+fn worker_loop(shared: &Shared) {
+    loop {
+        let job = {
+            let mut queue = shared.queue.lock().unwrap();
+            loop {
+                if let Some(job) = queue.pop_front() {
+                    break job;
                 }
-                let r = f(&items[i]);
-                *results[i].lock() = Some(r);
-            });
-        }
-    });
-    results
-        .into_iter()
-        .map(|m| m.into_inner().expect("result written"))
-        .collect()
+                if shared.shutdown.load(Ordering::Acquire) {
+                    return;
+                }
+                queue = shared.available.wait(queue).unwrap();
+            }
+        };
+        // Safety: the submitting thread blocks on the latch until this
+        // job's `run` returns, keeping the pointee alive.
+        unsafe { (job.run)(job.state) };
+        job.latch.count_down();
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::sync::atomic::AtomicU32;
 
     #[test]
-    fn par_map_preserves_order() {
-        let pool = WorkerPool::new(4);
-        let out = pool.par_map((0..100).collect(), |x: i32| x * 2);
-        assert_eq!(out, (0..100).map(|x| x * 2).collect::<Vec<_>>());
+    fn maps_in_item_order() {
+        let exec = Executor::new(4);
+        let items: Vec<u64> = (0..1000).collect();
+        let mut out = Vec::new();
+        exec.map_into(&items, &mut out, |x| x * 2);
+        assert_eq!(out, items.iter().map(|x| x * 2).collect::<Vec<_>>());
     }
 
     #[test]
-    fn par_map_empty() {
-        let pool = WorkerPool::new(2);
-        let out: Vec<i32> = pool.par_map(Vec::<i32>::new(), |x| x);
+    fn single_thread_runs_serially() {
+        let exec = Executor::new(1);
+        let mut out = Vec::new();
+        exec.map_into(&[5, 6, 7], &mut out, |x| x + 1);
+        assert_eq!(out, vec![6, 7, 8]);
+    }
+
+    #[test]
+    fn empty_input_gives_empty_output() {
+        let exec = Executor::new(4);
+        let mut out: Vec<i32> = vec![1, 2, 3];
+        exec.map_into(&[], &mut out, |x: &i32| *x);
         assert!(out.is_empty());
     }
 
     #[test]
-    fn par_map_single_worker() {
-        let pool = WorkerPool::new(1);
-        let out = pool.par_map(vec![5, 6], |x| x + 1);
-        assert_eq!(out, vec![6, 7]);
+    fn more_threads_than_items() {
+        let exec = Executor::new(8);
+        let mut out = Vec::new();
+        exec.map_into(&[1, 2], &mut out, |x| x * x);
+        assert_eq!(out, vec![1, 4]);
     }
 
     #[test]
-    fn pool_survives_multiple_batches() {
-        let pool = WorkerPool::new(3);
-        for round in 0..5 {
-            let out = pool.par_map(vec![round; 10], |x| x);
-            assert_eq!(out, vec![round; 10]);
+    fn reused_across_many_calls() {
+        let exec = Executor::new(3);
+        let mut out = Vec::new();
+        for round in 0..50u64 {
+            let items: Vec<u64> = (0..97).collect();
+            exec.map_into(&items, &mut out, |x| x + round);
+            assert_eq!(out.len(), 97);
+            assert_eq!(out[13], 13 + round);
         }
     }
 
     #[test]
-    fn scoped_map_borrows() {
-        let data = vec![1.0f32, 2.0, 3.0, 4.0];
-        let out = par_map_scoped(2, &data, |x| x * x);
-        assert_eq!(out, vec![1.0, 4.0, 9.0, 16.0]);
+    fn all_participants_see_every_item_once() {
+        let exec = Executor::new(4);
+        let hits: Vec<AtomicU32> = (0..500).map(|_| AtomicU32::new(0)).collect();
+        let items: Vec<usize> = (0..500).collect();
+        let mut out = Vec::new();
+        exec.map_into(&items, &mut out, |&i| {
+            hits[i].fetch_add(1, Ordering::Relaxed);
+            i
+        });
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
     }
 
     #[test]
-    fn scoped_map_single_thread_fallback() {
-        let data = vec![7u32];
-        let out = par_map_scoped(8, &data, |x| x + 1);
-        assert_eq!(out, vec![8]);
+    fn map_mut_gives_disjoint_mutable_access() {
+        let exec = Executor::new(4);
+        let mut items: Vec<u64> = (0..256).collect();
+        let mut out = Vec::new();
+        exec.map_mut_into(&mut items, &mut out, |i, x| {
+            assert_eq!(*x, i as u64);
+            *x += 1;
+            *x
+        });
+        assert_eq!(items, (1..=256).collect::<Vec<u64>>());
+        assert_eq!(out, items);
     }
 
     #[test]
-    fn imbalanced_work_completes() {
-        let pool = WorkerPool::new(4);
-        // One expensive item plus many cheap ones (work-queue load balance).
-        let items: Vec<u64> = (0..50).map(|i| if i == 0 { 1_000_000 } else { 10 }).collect();
-        let out = pool.par_map(items, |n| (0..n).fold(0u64, |a, b| a.wrapping_add(b)));
-        assert_eq!(out.len(), 50);
+    fn matches_serial_result_for_any_thread_count() {
+        let items: Vec<u64> = (0..313).collect();
+        let expected: Vec<u64> = items.iter().map(|x| x.wrapping_mul(31) ^ 7).collect();
+        for threads in [1, 2, 3, 8] {
+            let exec = Executor::new(threads);
+            let mut out = Vec::new();
+            exec.map_into(&items, &mut out, |x| x.wrapping_mul(31) ^ 7);
+            assert_eq!(out, expected, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn worker_panic_propagates_to_caller() {
+        let exec = Executor::new(4);
+        let items: Vec<u32> = (0..64).collect();
+        let mut out = Vec::new();
+        let result = panic::catch_unwind(AssertUnwindSafe(|| {
+            exec.map_into(&items, &mut out, |&x| {
+                assert!(x != 33, "boom");
+                x
+            });
+        }));
+        assert!(result.is_err());
+        // The executor must survive a panicked region and stay usable.
+        let mut out2 = Vec::new();
+        exec.map_into(&items, &mut out2, |&x| x);
+        assert_eq!(out2.len(), 64);
     }
 }

@@ -1,0 +1,597 @@
+//! The staged step pipeline: one stage type per paper phase.
+//!
+//! Paper §3.1 structures a physics step as five phases — broad-phase,
+//! narrow-phase, island creation, island processing and cloth — two of
+//! which are serial and three parallel. [`StepPipeline`] owns one
+//! [`Stage`] per phase plus the persistent [`Executor`] that serves the
+//! parallel ones, and [`StepPipeline::step`] drives them in order while
+//! filling the [`StepProfile`].
+//!
+//! Each stage carries its own scratch arenas (candidate-pair, manifold,
+//! edge, island and collider buffers) which are cleared and refilled in
+//! place, so a steady-state step performs no per-phase allocation beyond
+//! the profile's owned output vectors.
+
+use std::time::Instant;
+
+use parallax_math::{Aabb, Transform, Vec3};
+
+use crate::body::BodyId;
+use crate::broadphase::{Broadphase, BroadphaseStats, SweepAndPrune, UniformGrid};
+use crate::contact::ContactManifold;
+use crate::integrator;
+use crate::island::{build_islands_into, ConstraintEdge, Island, IslandStats};
+use crate::narrowphase;
+use crate::parallel::Executor;
+use crate::probe::{ClothWork, IslandWork, PairWork, PhaseKind, StepEvents, StepProfile};
+use crate::shape::{GeomId, Shape};
+use crate::solver::{self, ConstraintRow, RowParams, VelState, STATIC_BODY};
+use crate::world::{BroadphaseKind, World};
+
+/// A pipeline stage: one per paper phase.
+///
+/// The stage declares which [`PhaseKind`] it implements; its serial /
+/// parallel split follows from the phase ([`PhaseKind::is_serial`]), so
+/// every consumer — the trace layer, the architecture model, the bench
+/// harness — keys off the same enumeration.
+pub trait Stage {
+    /// The phase this stage implements.
+    const PHASE: PhaseKind;
+
+    /// The phase this stage implements (object-safe accessor).
+    fn phase(&self) -> PhaseKind {
+        Self::PHASE
+    }
+
+    /// Whether the stage's inner loop runs on the executor.
+    fn parallel(&self) -> bool {
+        !Self::PHASE.is_serial()
+    }
+}
+
+/// Serial phase 1: refresh world AABBs and produce candidate pairs.
+pub struct BroadphaseStage {
+    imp: BroadphaseImpl,
+    aabbs: Vec<(GeomId, Aabb)>,
+    candidates: Vec<(GeomId, GeomId)>,
+}
+
+/// Parallel phase 2: exact contact generation over the candidate pairs.
+pub struct NarrowphaseStage {
+    pairs: Vec<(GeomId, GeomId, bool)>,
+    results: Vec<(Option<ContactManifold>, PairWork)>,
+    /// Manifold arena for the step; indexed by the islands.
+    manifolds: Vec<ContactManifold>,
+}
+
+/// Serial phase 3: constraint edges + union-find island creation.
+pub struct IslandCreationStage {
+    edges: Vec<ConstraintEdge>,
+    islands: Vec<Island>,
+}
+
+/// Parallel phase 4: per-island constraint solving, with the paper's
+/// DOF work-queue filter (small islands stay on the calling thread).
+pub struct IslandProcessingStage {
+    queued_idx: Vec<u32>,
+    small_idx: Vec<u32>,
+    results: Vec<IslandResult>,
+}
+
+/// Parallel phase 5: cloth relaxation, one task per cloth object.
+pub struct ClothStage {
+    collider_sets: Vec<Vec<(Shape, Transform)>>,
+    results: Vec<ClothWork>,
+}
+
+impl Stage for BroadphaseStage {
+    const PHASE: PhaseKind = PhaseKind::Broadphase;
+}
+impl Stage for NarrowphaseStage {
+    const PHASE: PhaseKind = PhaseKind::Narrowphase;
+}
+impl Stage for IslandCreationStage {
+    const PHASE: PhaseKind = PhaseKind::IslandCreation;
+}
+impl Stage for IslandProcessingStage {
+    const PHASE: PhaseKind = PhaseKind::IslandProcessing;
+}
+impl Stage for ClothStage {
+    const PHASE: PhaseKind = PhaseKind::Cloth;
+}
+
+enum BroadphaseImpl {
+    Grid(UniformGrid),
+    Sap(SweepAndPrune),
+}
+
+impl BroadphaseImpl {
+    fn of(kind: BroadphaseKind) -> BroadphaseImpl {
+        match kind {
+            BroadphaseKind::Grid { cell } => BroadphaseImpl::Grid(UniformGrid::new(cell)),
+            BroadphaseKind::SweepAndPrune => BroadphaseImpl::Sap(SweepAndPrune::new()),
+        }
+    }
+
+    fn pairs_into(
+        &mut self,
+        aabbs: &[(GeomId, Aabb)],
+        out: &mut Vec<(GeomId, GeomId)>,
+    ) -> BroadphaseStats {
+        match self {
+            BroadphaseImpl::Grid(g) => g.pairs_into(aabbs, out),
+            BroadphaseImpl::Sap(s) => s.pairs_into(aabbs, out),
+        }
+    }
+}
+
+impl BroadphaseStage {
+    fn new(kind: BroadphaseKind) -> Self {
+        BroadphaseStage {
+            imp: BroadphaseImpl::of(kind),
+            aabbs: Vec::new(),
+            candidates: Vec::new(),
+        }
+    }
+
+    /// Refreshes world AABBs and fills `self.candidates`.
+    fn run(&mut self, world: &mut World) -> BroadphaseStats {
+        world.refresh_aabbs_into(&mut self.aabbs);
+        self.imp.pairs_into(&self.aabbs, &mut self.candidates)
+    }
+}
+
+impl NarrowphaseStage {
+    fn new() -> Self {
+        NarrowphaseStage {
+            pairs: Vec::new(),
+            results: Vec::new(),
+            manifolds: Vec::new(),
+        }
+    }
+
+    /// Collides the candidate pairs on the executor; fills the manifold
+    /// arena and returns the per-pair work records for the profile.
+    fn run(
+        &mut self,
+        world: &World,
+        executor: &Executor,
+        candidates: &[(GeomId, GeomId)],
+    ) -> Vec<PairWork> {
+        world.filter_pairs_into(candidates, &mut self.pairs);
+
+        let run_pair = |&(a, b, active): &(GeomId, GeomId, bool)| {
+            let ga = &world.geoms[a.index()];
+            let gb = &world.geoms[b.index()];
+            let manifold = if active {
+                let ta = world.geom_world_transform(ga);
+                let tb = world.geom_world_transform(gb);
+                narrowphase::collide_with_ids(a, &ga.shape, &ta, b, &gb.shape, &tb)
+            } else {
+                None
+            };
+            let work = PairWork {
+                geom_a: a.0,
+                geom_b: b.0,
+                body_a: ga.body.map_or(u32::MAX, |x| x.0),
+                body_b: gb.body.map_or(u32::MAX, |x| x.0),
+                shape_a: ga.shape.kind_name(),
+                shape_b: gb.shape.kind_name(),
+                contacts: manifold.as_ref().map_or(0, |m| m.len()),
+                active,
+            };
+            (manifold, work)
+        };
+        executor.map_into(&self.pairs, &mut self.results, run_pair);
+
+        self.manifolds.clear();
+        let mut work = Vec::with_capacity(self.results.len());
+        for (m, w) in self.results.drain(..) {
+            if let Some(m) = m {
+                self.manifolds.push(m);
+            }
+            work.push(w);
+        }
+        work
+    }
+}
+
+impl IslandCreationStage {
+    fn new() -> Self {
+        IslandCreationStage {
+            edges: Vec::new(),
+            islands: Vec::new(),
+        }
+    }
+
+    /// Builds constraint edges and islands into the stage arenas.
+    fn run(&mut self, world: &mut World, manifolds: &[ContactManifold]) -> IslandStats {
+        world.build_edges_into(manifolds, &mut self.edges);
+        build_islands_into(&mut world.bodies, &self.edges, &mut self.islands)
+    }
+}
+
+/// One island's solver output, applied back to the world serially.
+struct IslandResult {
+    velocities: Vec<(u32, Vec3, Vec3)>,
+    joint_impulses: Vec<(u32, f32)>,
+    work: IslandWork,
+}
+
+impl IslandProcessingStage {
+    fn new() -> Self {
+        IslandProcessingStage {
+            queued_idx: Vec::new(),
+            small_idx: Vec::new(),
+            results: Vec::new(),
+        }
+    }
+
+    /// Solves every island — big ones on the executor, small ones on the
+    /// calling thread (the paper's DOF > threshold work-queue filter) —
+    /// then applies the velocities. Returns the profile work records and
+    /// the per-joint impulses for breakables.
+    fn run(
+        &mut self,
+        world: &mut World,
+        executor: &Executor,
+        islands: &[Island],
+        manifolds: &[ContactManifold],
+    ) -> (Vec<IslandWork>, Vec<(u32, f32)>) {
+        let params = RowParams {
+            dt: world.config.dt,
+            erp: world.config.erp,
+            contact_cfm: world.config.contact_cfm,
+            ..Default::default()
+        };
+        let iterations = world.config.solver_iterations;
+        let threshold = world.config.island_queue_threshold;
+
+        // Partition by the DOF filter. The index lists are rebuilt from the
+        // same island order every step, so the result sequence — and thus
+        // the simulation — is independent of the thread count.
+        self.queued_idx.clear();
+        self.small_idx.clear();
+        for (i, island) in islands.iter().enumerate() {
+            if island.dof_removed > threshold {
+                self.queued_idx.push(i as u32);
+            } else {
+                self.small_idx.push(i as u32);
+            }
+        }
+
+        let world_ref: &World = world;
+        let solve_island = |&ii: &u32| -> IslandResult {
+            let island = &islands[ii as usize];
+            // Local index map.
+            let mut local_of = std::collections::HashMap::with_capacity(island.bodies.len());
+            let mut vel: Vec<VelState> = Vec::with_capacity(island.bodies.len());
+            for (li, &bi) in island.bodies.iter().enumerate() {
+                local_of.insert(bi, li as u32);
+                vel.push(VelState::from_body(&world_ref.bodies[bi as usize]));
+            }
+            let local = |body: u32| -> u32 {
+                if body == u32::MAX {
+                    return STATIC_BODY;
+                }
+                match local_of.get(&body) {
+                    Some(&l) => l,
+                    None => STATIC_BODY, // Static or foreign body: anchor.
+                }
+            };
+
+            let mut rows: Vec<ConstraintRow> = Vec::new();
+            for &ji in &island.joints {
+                let j = &world_ref.joints[ji as usize];
+                solver::build_joint_rows(
+                    j,
+                    ji,
+                    local(j.body_a.0),
+                    local(j.body_b.0),
+                    &world_ref.bodies[j.body_a.index()],
+                    &world_ref.bodies[j.body_b.index()],
+                    &params,
+                    &mut rows,
+                );
+            }
+            for &mi in &island.manifolds {
+                let m = &manifolds[mi as usize];
+                let ba = world_ref.geoms[m.geom_a.index()].body;
+                let bb = world_ref.geoms[m.geom_b.index()].body;
+                let pa = ba.map_or(Vec3::ZERO, |b| world_ref.bodies[b.index()].position());
+                let pb = bb.map_or(Vec3::ZERO, |b| world_ref.bodies[b.index()].position());
+                let la = ba.map_or(STATIC_BODY, |b| {
+                    if world_ref.bodies[b.index()].is_static() {
+                        STATIC_BODY
+                    } else {
+                        local(b.0)
+                    }
+                });
+                let lb = bb.map_or(STATIC_BODY, |b| {
+                    if world_ref.bodies[b.index()].is_static() {
+                        STATIC_BODY
+                    } else {
+                        local(b.0)
+                    }
+                });
+                solver::build_contact_rows(m, la, lb, pa, pb, &vel, &params, &mut rows);
+            }
+
+            let stats = solver::solve(&mut rows, &mut vel, iterations);
+
+            // Per-joint impulse accounting for breakables. Sorted by joint
+            // so downstream accumulation order is reproducible.
+            let mut joint_impulses: std::collections::HashMap<u32, f32> =
+                std::collections::HashMap::new();
+            for r in &rows {
+                if r.source_joint != u32::MAX {
+                    *joint_impulses.entry(r.source_joint).or_insert(0.0) += r.lambda.abs();
+                }
+            }
+            let mut joint_impulses: Vec<(u32, f32)> = joint_impulses.into_iter().collect();
+            joint_impulses.sort_unstable_by_key(|&(j, _)| j);
+
+            IslandResult {
+                velocities: island
+                    .bodies
+                    .iter()
+                    .zip(vel.iter())
+                    .map(|(&bi, v)| (bi, v.lin, v.ang))
+                    .collect(),
+                joint_impulses,
+                work: IslandWork {
+                    bodies: island.bodies.clone(),
+                    joints: island.joints.clone(),
+                    manifolds: island.manifolds.len(),
+                    rows: stats.rows,
+                    dof_removed: island.dof_removed,
+                    iterations: stats.iterations,
+                    queued: island.dof_removed > threshold,
+                },
+            }
+        };
+
+        executor.map_into(&self.queued_idx, &mut self.results, solve_island);
+        for ii in &self.small_idx {
+            self.results.push(solve_island(ii));
+        }
+
+        let mut work = Vec::with_capacity(self.results.len());
+        let mut joint_impulses = Vec::new();
+        for r in self.results.drain(..) {
+            for (bi, lin, ang) in r.velocities {
+                let b = &mut world.bodies[bi as usize];
+                b.set_linear_velocity(lin);
+                b.set_angular_velocity(ang);
+            }
+            joint_impulses.extend(r.joint_impulses);
+            work.push(r.work);
+        }
+        (work, joint_impulses)
+    }
+}
+
+impl ClothStage {
+    fn new() -> Self {
+        ClothStage {
+            collider_sets: Vec::new(),
+            results: Vec::new(),
+        }
+    }
+
+    /// Steps every cloth on the executor, one task per object (the paper
+    /// parallelizes at both object and vertex level; object level suffices
+    /// for real execution — vertex level is what the FG timing model
+    /// exploits).
+    fn run(&mut self, world: &mut World, executor: &Executor) -> Vec<ClothWork> {
+        let gravity = world.config.gravity;
+        let dt = world.config.dt;
+
+        // Gather collider lists per cloth (shape + pose snapshots), reusing
+        // the per-cloth buffers.
+        let n = world.cloths.len();
+        self.collider_sets.resize_with(n, Vec::new);
+        for (i, set) in self.collider_sets.iter_mut().enumerate() {
+            let cloth = &world.cloths[i];
+            set.clear();
+            for &b in &cloth.contact_bodies {
+                let bid = BodyId(b);
+                for g in &world.body_geoms[bid.index()] {
+                    let geom = &world.geoms[g.index()];
+                    if geom.enabled {
+                        set.push((geom.shape.clone(), world.geom_world_transform(geom)));
+                    }
+                }
+            }
+            for &gi in &cloth.contact_static_geoms {
+                let geom = &world.geoms[gi as usize];
+                if geom.enabled {
+                    set.push((geom.shape.clone(), geom.local));
+                }
+            }
+        }
+
+        let collider_sets = &self.collider_sets;
+        executor.map_mut_into(&mut world.cloths, &mut self.results, |i, cloth| {
+            let colliders = collider_sets[i].as_slice();
+            let stats = cloth.step(gravity, dt, colliders);
+            ClothWork {
+                cloth: i as u32,
+                stats,
+                colliders: colliders.len(),
+            }
+        });
+        let mut out = Vec::with_capacity(self.results.len());
+        out.append(&mut self.results);
+        out
+    }
+}
+
+/// The five-stage step pipeline plus its persistent executor.
+///
+/// Owned by [`World`]; `World::step` delegates here. The executor is
+/// created once from `WorldConfig::threads` and rebuilt only when the
+/// configured thread count changes.
+pub struct StepPipeline {
+    executor: Executor,
+    broadphase: BroadphaseStage,
+    narrowphase: NarrowphaseStage,
+    island_creation: IslandCreationStage,
+    island_processing: IslandProcessingStage,
+    cloth: ClothStage,
+}
+
+impl std::fmt::Debug for StepPipeline {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("StepPipeline")
+            .field("threads", &self.executor.threads())
+            .finish()
+    }
+}
+
+impl StepPipeline {
+    /// Builds the pipeline for a world configuration.
+    pub(crate) fn new(threads: usize, broadphase: BroadphaseKind) -> Self {
+        StepPipeline {
+            executor: Executor::new(threads),
+            broadphase: BroadphaseStage::new(broadphase),
+            narrowphase: NarrowphaseStage::new(),
+            island_creation: IslandCreationStage::new(),
+            island_processing: IslandProcessingStage::new(),
+            cloth: ClothStage::new(),
+        }
+    }
+
+    /// The persistent executor serving the parallel stages.
+    pub fn executor(&self) -> &Executor {
+        &self.executor
+    }
+
+    /// Replaces the broad-phase algorithm (ablation hook).
+    pub(crate) fn set_broadphase(&mut self, kind: BroadphaseKind) {
+        self.broadphase = BroadphaseStage::new(kind);
+    }
+
+    /// Runs one full step over `world`, returning the work profile.
+    pub(crate) fn step(&mut self, world: &mut World) -> StepProfile {
+        if self.executor.threads() != world.config.threads.max(1) {
+            self.executor = Executor::new(world.config.threads);
+        }
+
+        let mut profile = StepProfile::default();
+        let dt = world.config.dt;
+        let gravity = world.config.gravity;
+
+        // (a) Apply forces: gravity, slider suspension springs, blast
+        // impulses.
+        world.apply_slider_springs();
+        world.apply_blast_impulses();
+        for b in &mut world.bodies {
+            integrator::apply_forces(b, gravity, dt);
+        }
+
+        // (b) Broad-phase (serial).
+        let t0 = Instant::now();
+        profile.broadphase = self.broadphase.run(world);
+        profile.wall[0] = t0.elapsed();
+
+        // (c) Narrow-phase (parallel) with explosive / cloth / fracture
+        // hooks.
+        let t1 = Instant::now();
+        profile.pairs = self
+            .narrowphase
+            .run(world, &self.executor, &self.broadphase.candidates);
+        let events = world.process_contact_events(&self.narrowphase.manifolds);
+        world.update_cloth_contact_lists();
+        profile.wall[1] = t1.elapsed();
+
+        // Drop manifolds that involve blast volumes or newly exploded
+        // bodies: they are fields, not solids.
+        let inert_filter = &*world;
+        self.narrowphase
+            .manifolds
+            .retain(|m| !inert_filter.manifold_is_inert(m));
+
+        // (d) Island creation (serial).
+        let t2 = Instant::now();
+        profile.island_creation = self.island_creation.run(world, &self.narrowphase.manifolds);
+        profile.wall[2] = t2.elapsed();
+
+        // (e) Island processing (parallel) + (f) breakable joints.
+        let t3 = Instant::now();
+        let (island_work, joint_impulses) = self.island_processing.run(
+            world,
+            &self.executor,
+            &self.island_creation.islands,
+            &self.narrowphase.manifolds,
+        );
+        profile.islands = island_work;
+        let broken = world.update_breakable_joints(&joint_impulses);
+        for b in &mut world.bodies {
+            integrator::clamp_velocities(
+                b,
+                world.config.max_linear_velocity,
+                world.config.max_angular_velocity,
+            );
+            integrator::integrate(b, dt);
+        }
+        profile.wall[3] = t3.elapsed();
+
+        // (g) Cloth (parallel).
+        let t4 = Instant::now();
+        profile.cloths = self.cloth.run(world, &self.executor);
+        profile.wall[4] = t4.elapsed();
+
+        // Blast volume lifetime.
+        let expired = world.expire_blasts();
+
+        // (h) Advance time.
+        world.time += dt as f64;
+        world.steps += 1;
+
+        profile.events = StepEvents {
+            explosions: events.0,
+            shattered: events.1,
+            joints_broken: broken,
+            blasts_expired: expired,
+        };
+        profile.body_count = world.bodies.iter().filter(|b| !b.is_disabled()).count();
+        profile.geom_count = world.geoms.iter().filter(|g| g.enabled).count();
+        profile.joint_count = world.joints.iter().filter(|j| !j.is_broken()).count();
+        profile
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stages_declare_paper_phases() {
+        assert_eq!(BroadphaseStage::PHASE, PhaseKind::Broadphase);
+        assert_eq!(NarrowphaseStage::PHASE, PhaseKind::Narrowphase);
+        assert_eq!(IslandCreationStage::PHASE, PhaseKind::IslandCreation);
+        assert_eq!(IslandProcessingStage::PHASE, PhaseKind::IslandProcessing);
+        assert_eq!(ClothStage::PHASE, PhaseKind::Cloth);
+    }
+
+    #[test]
+    fn serial_parallel_split_follows_phase_kind() {
+        let bp = BroadphaseStage::new(BroadphaseKind::SweepAndPrune);
+        assert!(!bp.parallel());
+        assert!(!IslandCreationStage::new().parallel());
+        assert!(NarrowphaseStage::new().parallel());
+        assert!(IslandProcessingStage::new().parallel());
+        assert!(ClothStage::new().parallel());
+    }
+
+    #[test]
+    fn pipeline_rebuilds_executor_on_thread_change() {
+        let cfg = crate::world::WorldConfig::default();
+        let mut w = World::new(cfg);
+        assert_eq!(w.pipeline().executor().threads(), 1);
+        w.config_mut().threads = 3;
+        w.step();
+        assert_eq!(w.pipeline().executor().threads(), 3);
+    }
+}

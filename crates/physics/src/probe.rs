@@ -168,7 +168,10 @@ impl StepProfile {
 
     /// Wall time of a phase.
     pub fn wall_time(&self, phase: PhaseKind) -> Duration {
-        let idx = PhaseKind::ALL.iter().position(|p| *p == phase).expect("phase");
+        let idx = PhaseKind::ALL
+            .iter()
+            .position(|p| *p == phase)
+            .expect("phase");
         self.wall[idx]
     }
 }

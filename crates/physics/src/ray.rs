@@ -26,7 +26,10 @@ impl Ray {
     pub fn new(origin: Vec3, dir: Vec3, max_t: f32) -> Ray {
         Ray {
             origin,
-            dir: dir.normalized_with_length().map(|(d, _)| d).unwrap_or(Vec3::UNIT_Y),
+            dir: dir
+                .normalized_with_length()
+                .map(|(d, _)| d)
+                .unwrap_or(Vec3::UNIT_Y),
             max_t,
         }
     }
@@ -99,8 +102,7 @@ pub fn cast_shape(ray: &Ray, shape: &Shape, pose: &Transform) -> Option<RayHit> 
                 let tri = mesh.triangle(i);
                 if let Some(t) = ray_triangle(local_o, local_d, ray.max_t, tri) {
                     if best.is_none_or(|b| t < b.t) {
-                        let n_local =
-                            (tri[1] - tri[0]).cross(tri[2] - tri[0]).normalized();
+                        let n_local = (tri[1] - tri[0]).cross(tri[2] - tri[0]).normalized();
                         let n = pose.apply_vector(n_local);
                         // Face the normal against the ray.
                         let n = if n.dot(ray.dir) > 0.0 { -n } else { n };
@@ -376,18 +378,17 @@ mod tests {
         let ray = Ray::new(Vec3::new(0.0, 0.0, -5.0), Vec3::UNIT_Z, 100.0);
         let hit = cast_shape(&ray, &Shape::cuboid(Vec3::splat(1.0)), &pose).expect("hit");
         // 45°-rotated unit cube: nearest corner at z = -√2.
-        assert!((hit.t - (5.0 - 2.0f32.sqrt())).abs() < 1e-3, "t = {}", hit.t);
+        assert!(
+            (hit.t - (5.0 - 2.0f32.sqrt())).abs() < 1e-3,
+            "t = {}",
+            hit.t
+        );
     }
 
     #[test]
     fn ray_hits_capsule_side() {
         let ray = Ray::new(Vec3::new(-5.0, 0.0, 0.0), Vec3::UNIT_X, 100.0);
-        let hit = cast_shape(
-            &ray,
-            &Shape::capsule(0.5, 1.0),
-            &Transform::IDENTITY,
-        )
-        .expect("hit");
+        let hit = cast_shape(&ray, &Shape::capsule(0.5, 1.0), &Transform::IDENTITY).expect("hit");
         assert!((hit.t - 4.5).abs() < 1e-2, "t = {}", hit.t);
         assert!(hit.normal.x < -0.95);
     }
@@ -420,9 +421,7 @@ mod tests {
         use crate::{BodyDesc, WorldConfig};
         let mut w = World::new(WorldConfig::default());
         w.add_static_geom(Shape::plane(Vec3::UNIT_Y, 0.0));
-        w.add_body(
-            BodyDesc::dynamic(Vec3::new(0.0, 2.0, 0.0)).with_shape(Shape::sphere(0.5), 1.0),
-        );
+        w.add_body(BodyDesc::dynamic(Vec3::new(0.0, 2.0, 0.0)).with_shape(Shape::sphere(0.5), 1.0));
         let ray = Ray::new(Vec3::new(0.0, 10.0, 0.0), -Vec3::UNIT_Y, 100.0);
         let (geom, hit) = w.raycast(&ray).expect("hit");
         // Sphere (geom 1) is nearer than the plane (geom 0).

@@ -113,7 +113,11 @@ impl Heightfield {
     /// Local-space bounding box.
     pub fn local_aabb(&self) -> Aabb {
         Aabb::new(
-            Vec3::new(-self.width_x() * 0.5, self.min_height, -self.width_z() * 0.5),
+            Vec3::new(
+                -self.width_x() * 0.5,
+                self.min_height,
+                -self.width_z() * 0.5,
+            ),
             Vec3::new(self.width_x() * 0.5, self.max_height, self.width_z() * 0.5),
         )
     }
@@ -282,9 +286,7 @@ impl Shape {
     /// Planes and terrain (static-only shapes) return an identity placeholder.
     pub fn unit_inertia(&self) -> Mat3 {
         match *self {
-            Shape::Sphere { radius } => {
-                Mat3::from_diagonal(Vec3::splat(0.4 * radius * radius))
-            }
+            Shape::Sphere { radius } => Mat3::from_diagonal(Vec3::splat(0.4 * radius * radius)),
             Shape::Cuboid { half } => {
                 let d = half * 2.0;
                 let c = 1.0 / 12.0;

@@ -186,8 +186,7 @@ pub fn solve(rows: &mut [ConstraintRow], vel: &mut [VelState], iterations: usize
         for i in 0..rows.len() {
             let jv = rows[i].jv(vel);
             let lambda_old = rows[i].lambda;
-            let unclamped =
-                lambda_old + (rows[i].rhs - jv - rows[i].cfm * lambda_old) * inv_k[i];
+            let unclamped = lambda_old + (rows[i].rhs - jv - rows[i].cfm * lambda_old) * inv_k[i];
             let clamped = match rows[i].limit {
                 RowLimit::Bilateral => unclamped,
                 RowLimit::Unilateral => unclamped.max(0.0),
@@ -344,17 +343,16 @@ pub fn build_joint_rows(
         }
     };
 
-    let angular_rows =
-        |dirs: &[Vec3], err: Vec3, out: &mut Vec<ConstraintRow>| {
-            for &d in dirs {
-                let mut row = ConstraintRow::new(la, lb);
-                row.j_ang_a = d;
-                row.j_ang_b = -d;
-                row.rhs = -bias_k * err.dot(d);
-                row.source_joint = joint_index;
-                out.push(row);
-            }
-        };
+    let angular_rows = |dirs: &[Vec3], err: Vec3, out: &mut Vec<ConstraintRow>| {
+        for &d in dirs {
+            let mut row = ConstraintRow::new(la, lb);
+            row.j_ang_a = d;
+            row.j_ang_b = -d;
+            row.rhs = -bias_k * err.dot(d);
+            row.source_joint = joint_index;
+            out.push(row);
+        }
+    };
 
     match joint.kind {
         JointKind::Ball { anchor_a, anchor_b } => {
@@ -446,7 +444,16 @@ mod tests {
         });
         let mut rows = Vec::new();
         let params = RowParams::default();
-        build_contact_rows(&m, 0, STATIC_BODY, Vec3::ZERO, Vec3::ZERO, &vel, &params, &mut rows);
+        build_contact_rows(
+            &m,
+            0,
+            STATIC_BODY,
+            Vec3::ZERO,
+            Vec3::ZERO,
+            &vel,
+            &params,
+            &mut rows,
+        );
         assert_eq!(rows.len(), 3);
         solve(&mut rows, &mut vel, 20);
         assert!(vel[0].lin.y.abs() < 1e-3, "vy = {}", vel[0].lin.y);

@@ -2,27 +2,25 @@
 //!
 //! [`World::step`] implements the algorithmic flow from paper §3.1,
 //! including the italicized extensions: explosion triggering, cloth contact
-//! lists, pre-fractured shattering and breakable-joint checks.
+//! lists, pre-fractured shattering and breakable-joint checks. The phases
+//! themselves live in [`crate::pipeline`] as [`StepPipeline`] stages; the
+//! world keeps the entity stores and the entity-level hooks the stages
+//! call back into.
 
 use std::collections::HashSet;
-use std::time::Instant;
 
-use parallax_math::{Transform, Vec3};
+use parallax_math::{Aabb, Transform, Vec3};
 
 use crate::body::{BodyDesc, BodyFlags, BodyId, RigidBody};
-use crate::broadphase::{Broadphase, SweepAndPrune, UniformGrid};
 use crate::cloth::{Cloth, ClothId};
 use crate::contact::ContactManifold;
 use crate::explosion::{BlastVolume, ExplosionConfig};
 use crate::fracture::Prefractured;
-use crate::integrator;
-use crate::island::{build_islands, ConstraintEdge, EdgeKind};
+use crate::island::{ConstraintEdge, EdgeKind};
 use crate::joint::{Joint, JointId, JointKind};
-use crate::narrowphase;
-use crate::parallel::par_map_scoped;
-use crate::probe::{ClothWork, IslandWork, PairWork, StepEvents, StepProfile};
+use crate::pipeline::StepPipeline;
+use crate::probe::StepProfile;
 use crate::shape::{Geom, GeomId, Shape};
-use crate::solver::{self, ConstraintRow, RowParams, VelState, STATIC_BODY};
 
 /// Global simulation parameters.
 ///
@@ -93,52 +91,27 @@ pub enum BroadphaseKind {
     SweepAndPrune,
 }
 
-enum BroadphaseImpl {
-    Grid(UniformGrid),
-    Sap(SweepAndPrune),
-}
-
-impl BroadphaseImpl {
-    fn of(kind: BroadphaseKind) -> BroadphaseImpl {
-        match kind {
-            BroadphaseKind::Grid { cell } => BroadphaseImpl::Grid(UniformGrid::new(cell)),
-            BroadphaseKind::SweepAndPrune => BroadphaseImpl::Sap(SweepAndPrune::new()),
-        }
-    }
-
-    fn pairs(
-        &mut self,
-        aabbs: &[(GeomId, parallax_math::Aabb)],
-    ) -> (
-        Vec<(GeomId, GeomId)>,
-        crate::broadphase::BroadphaseStats,
-    ) {
-        match self {
-            BroadphaseImpl::Grid(g) => g.pairs(aabbs),
-            BroadphaseImpl::Sap(s) => s.pairs(aabbs),
-        }
-    }
-}
-
 /// The simulation world.
 ///
 /// See the [crate docs](crate) for a complete example.
 pub struct World {
-    config: WorldConfig,
-    bodies: Vec<RigidBody>,
-    geoms: Vec<Geom>,
+    pub(crate) config: WorldConfig,
+    pub(crate) bodies: Vec<RigidBody>,
+    pub(crate) geoms: Vec<Geom>,
     /// Geoms attached to each body (parallel to `bodies`).
-    body_geoms: Vec<Vec<GeomId>>,
-    joints: Vec<Joint>,
+    pub(crate) body_geoms: Vec<Vec<GeomId>>,
+    pub(crate) joints: Vec<Joint>,
     /// Collision-excluded body pairs (jointed bodies do not collide).
-    joint_pairs: HashSet<(u32, u32)>,
-    cloths: Vec<Cloth>,
+    pub(crate) joint_pairs: HashSet<(u32, u32)>,
+    pub(crate) cloths: Vec<Cloth>,
     prefractured: Vec<Prefractured>,
     explosive_cfg: Vec<(u32, ExplosionConfig)>,
-    blasts: Vec<BlastVolume>,
-    broadphase: BroadphaseImpl,
-    time: f64,
-    steps: u64,
+    pub(crate) blasts: Vec<BlastVolume>,
+    /// The step pipeline; `None` only transiently while [`World::step`]
+    /// has lent it out.
+    pipeline: Option<StepPipeline>,
+    pub(crate) time: f64,
+    pub(crate) steps: u64,
 }
 
 impl std::fmt::Debug for World {
@@ -156,7 +129,7 @@ impl std::fmt::Debug for World {
 impl World {
     /// Creates an empty world.
     pub fn new(config: WorldConfig) -> Self {
-        let broadphase = BroadphaseImpl::of(config.broadphase);
+        let pipeline = StepPipeline::new(config.threads, config.broadphase);
         World {
             config,
             bodies: Vec::new(),
@@ -168,7 +141,7 @@ impl World {
             prefractured: Vec::new(),
             explosive_cfg: Vec::new(),
             blasts: Vec::new(),
-            broadphase,
+            pipeline: Some(pipeline),
             time: 0.0,
             steps: 0,
         }
@@ -192,7 +165,18 @@ impl World {
     /// Switches the broad-phase algorithm (used by the ablation study).
     pub fn set_broadphase(&mut self, kind: BroadphaseKind) {
         self.config.broadphase = kind;
-        self.broadphase = BroadphaseImpl::of(kind);
+        self.pipeline
+            .as_mut()
+            .expect("pipeline present outside step")
+            .set_broadphase(kind);
+    }
+
+    /// The step pipeline (stages + persistent executor).
+    #[inline]
+    pub fn pipeline(&self) -> &StepPipeline {
+        self.pipeline
+            .as_ref()
+            .expect("pipeline present outside step")
     }
 
     /// Simulated time (s).
@@ -315,8 +299,12 @@ impl World {
             }
             debris.push(d);
         }
-        self.prefractured
-            .push(Prefractured::new(parent, debris, offsets, cfg.scatter_speed));
+        self.prefractured.push(Prefractured::new(
+            parent,
+            debris,
+            offsets,
+            cfg.scatter_speed,
+        ));
         parent
     }
 
@@ -411,113 +399,25 @@ impl World {
 
     /// Runs one displayed frame: `steps_per_frame` simulation steps.
     pub fn step_frame(&mut self) -> Vec<StepProfile> {
-        (0..self.config.steps_per_frame).map(|_| self.step()).collect()
+        (0..self.config.steps_per_frame)
+            .map(|_| self.step())
+            .collect()
     }
 
     /// Advances the simulation by one ∆t, returning the work profile.
+    ///
+    /// The phases themselves are implemented by the [`StepPipeline`]
+    /// stages; see [`crate::pipeline`].
     pub fn step(&mut self) -> StepProfile {
-        let mut profile = StepProfile::default();
-        let dt = self.config.dt;
-
-        // (a) Apply forces: gravity, slider suspension springs, blast
-        // impulses.
-        self.apply_slider_springs();
-        self.apply_blast_impulses();
-        for b in &mut self.bodies {
-            integrator::apply_forces(b, self.config.gravity, dt);
-        }
-
-        // (b) Broad-phase.
-        let t0 = Instant::now();
-        let aabb_list = self.refresh_aabbs();
-        let (candidates, bp_stats) = self.broadphase.pairs(&aabb_list);
-        profile.broadphase = bp_stats;
-        profile.wall[0] = t0.elapsed();
-
-        // (c) Narrow-phase with explosive / cloth / fracture hooks.
-        let t1 = Instant::now();
-        let pairs = self.filter_pairs(candidates);
-        let (manifolds, pair_work) = self.narrowphase(&pairs);
-        profile.pairs = pair_work;
-        let events = self.process_contact_events(&manifolds);
-        self.update_cloth_contact_lists();
-        profile.wall[1] = t1.elapsed();
-
-        // Drop manifolds that involve blast volumes or newly exploded
-        // bodies: they are fields, not solids.
-        let manifolds: Vec<ContactManifold> = manifolds
-            .into_iter()
-            .filter(|m| !self.manifold_is_inert(m))
-            .collect();
-
-        // (d) Island creation.
-        let t2 = Instant::now();
-        let edges = self.build_edges(&manifolds);
-        let (islands, ic_stats) = build_islands(&mut self.bodies, &edges);
-        profile.island_creation = ic_stats;
-        profile.wall[2] = t2.elapsed();
-
-        // (e) Island processing + (f) breakable joints.
-        let t3 = Instant::now();
-        let (island_work, joint_impulses) = self.process_islands(&islands, &manifolds);
-        profile.islands = island_work;
-        let broken = self.update_breakable_joints(&joint_impulses);
-        for b in &mut self.bodies {
-            integrator::clamp_velocities(
-                b,
-                self.config.max_linear_velocity,
-                self.config.max_angular_velocity,
-            );
-            integrator::integrate(b, dt);
-        }
-        profile.wall[3] = t3.elapsed();
-
-        // (g) Cloth.
-        let t4 = Instant::now();
-        profile.cloths = self.step_cloths();
-        profile.wall[4] = t4.elapsed();
-
-        // Blast volume lifetime.
-        let mut expired = 0;
-        let bodies = &mut self.bodies;
-        let geoms = &mut self.geoms;
-        let body_geoms = &self.body_geoms;
-        self.blasts.retain_mut(|blast| {
-            if blast.tick() {
-                true
-            } else {
-                expired += 1;
-                bodies[blast.body.index()].flags.insert(BodyFlags::DISABLED);
-                for g in &body_geoms[blast.body.index()] {
-                    geoms[g.index()].enabled = false;
-                }
-                false
-            }
-        });
-
-        // (h) Advance time.
-        self.time += dt as f64;
-        self.steps += 1;
-
-        profile.events = StepEvents {
-            explosions: events.0,
-            shattered: events.1,
-            joints_broken: broken,
-            blasts_expired: expired,
-        };
-        profile.body_count = self
-            .bodies
-            .iter()
-            .filter(|b| !b.is_disabled())
-            .count();
-        profile.geom_count = self.geoms.iter().filter(|g| g.enabled).count();
-        profile.joint_count = self.joints.iter().filter(|j| !j.is_broken()).count();
+        let mut pipeline = self.pipeline.take().expect("pipeline present outside step");
+        let profile = pipeline.step(self);
+        self.pipeline = Some(pipeline);
         profile
     }
 
-    // --- step internals ---------------------------------------------------------
+    // --- step internals (called by the pipeline stages) -------------------------
 
-    fn apply_slider_springs(&mut self) {
+    pub(crate) fn apply_slider_springs(&mut self) {
         let k = self.config.slider_spring_k;
         let c = self.config.slider_spring_c;
         for j in &self.joints {
@@ -529,8 +429,9 @@ impl World {
                 let axis = self.bodies[ia].transform().apply_vector(axis_a);
                 let anchor_world = self.bodies[ia].transform().apply(anchor_a);
                 let displacement = (self.bodies[ib].position() - anchor_world).dot(axis);
-                let rel_vel =
-                    (self.bodies[ib].linear_velocity() - self.bodies[ia].linear_velocity()).dot(axis);
+                let rel_vel = (self.bodies[ib].linear_velocity()
+                    - self.bodies[ia].linear_velocity())
+                .dot(axis);
                 let f = axis * (-k * displacement - c * rel_vel);
                 self.bodies[ib].add_force(f);
                 self.bodies[ia].add_force(-f);
@@ -538,9 +439,22 @@ impl World {
         }
     }
 
-    fn apply_blast_impulses(&mut self) {
+    pub(crate) fn apply_blast_impulses(&mut self) {
         if self.blasts.is_empty() {
             return;
+        }
+        // A body outside every blast radius receives no impulse; one
+        // bounding box over all blasts rejects such bodies with a single
+        // containment test instead of a per-blast falloff evaluation.
+        let mut bounds = Aabb::from_center_half_extents(
+            self.blasts[0].center,
+            Vec3::splat(self.blasts[0].radius),
+        );
+        for blast in &self.blasts[1..] {
+            bounds = bounds.union(&Aabb::from_center_half_extents(
+                blast.center,
+                Vec3::splat(blast.radius),
+            ));
         }
         for bi in 0..self.bodies.len() {
             let b = &self.bodies[bi];
@@ -548,19 +462,21 @@ impl World {
                 continue;
             }
             let pos = b.position();
+            if !bounds.contains_point(pos) {
+                continue;
+            }
             let mut total = Vec3::ZERO;
             for blast in &self.blasts {
                 total += blast.impulse_at(pos);
             }
             if total != Vec3::ZERO {
-                let p = self.bodies[bi].position();
-                self.bodies[bi].apply_impulse_at(total, p);
+                self.bodies[bi].apply_impulse_at(total, pos);
             }
         }
     }
 
-    fn refresh_aabbs(&mut self) -> Vec<(GeomId, parallax_math::Aabb)> {
-        let mut out = Vec::with_capacity(self.geoms.len());
+    pub(crate) fn refresh_aabbs_into(&mut self, out: &mut Vec<(GeomId, Aabb)>) {
+        out.clear();
         for (i, g) in self.geoms.iter_mut().enumerate() {
             if !g.enabled {
                 continue;
@@ -572,7 +488,6 @@ impl World {
             g.aabb = g.shape.aabb(&world_t);
             out.push((GeomId(i as u32), g.aabb));
         }
-        out
     }
 
     /// Removes pairs that cannot produce contacts: same body, both static,
@@ -583,90 +498,55 @@ impl World {
     /// pairs (`active = false`) — they are counted and pay a cheap
     /// narrow-phase rejection, like ODE pairs filtered in the near
     /// callback — but generate no contacts. The rest are fully collided.
-    fn filter_pairs(&self, candidates: Vec<(GeomId, GeomId)>) -> Vec<(GeomId, GeomId, bool)> {
-        candidates
-            .into_iter()
-            .filter_map(|(a, b)| {
-                let ga = &self.geoms[a.index()];
-                let gb = &self.geoms[b.index()];
-                if !ga.enabled || !gb.enabled {
+    pub(crate) fn filter_pairs_into(
+        &self,
+        candidates: &[(GeomId, GeomId)],
+        out: &mut Vec<(GeomId, GeomId, bool)>,
+    ) {
+        out.clear();
+        out.extend(candidates.iter().filter_map(|&(a, b)| {
+            let ga = &self.geoms[a.index()];
+            let gb = &self.geoms[b.index()];
+            if !ga.enabled || !gb.enabled {
+                return None;
+            }
+            let body_disabled = |g: &Geom| {
+                g.body
+                    .map(|id| self.bodies[id.index()].is_disabled())
+                    .unwrap_or(false)
+            };
+            let body_static = |g: &Geom| {
+                g.body
+                    .map(|id| self.bodies[id.index()].is_static())
+                    .unwrap_or(true)
+            };
+            if let (Some(ba), Some(bb)) = (ga.body, gb.body) {
+                if ba == bb {
                     return None;
                 }
-                let body_disabled = |g: &Geom| {
-                    g.body
-                        .map(|id| self.bodies[id.index()].is_disabled())
-                        .unwrap_or(false)
-                };
-                let body_static = |g: &Geom| {
-                    g.body
-                        .map(|id| self.bodies[id.index()].is_static())
-                        .unwrap_or(true)
-                };
-                if let (Some(ba), Some(bb)) = (ga.body, gb.body) {
-                    if ba == bb {
-                        return None;
-                    }
-                    let key = (ba.0.min(bb.0), ba.0.max(bb.0));
-                    if self.joint_pairs.contains(&key) {
-                        return None;
-                    }
+                let key = (ba.0.min(bb.0), ba.0.max(bb.0));
+                if self.joint_pairs.contains(&key) {
+                    return None;
                 }
-                let active = !(body_static(ga) && body_static(gb))
-                    && !body_disabled(ga)
-                    && !body_disabled(gb);
-                Some((a, b, active))
-            })
-            .collect()
+            }
+            let both_static = body_static(ga) && body_static(gb);
+            let active = !both_static && !body_disabled(ga) && !body_disabled(gb);
+            Some((a, b, active))
+        }));
     }
 
-    fn geom_world_transform(&self, g: &Geom) -> Transform {
+    pub(crate) fn geom_world_transform(&self, g: &Geom) -> Transform {
         match g.body {
             Some(b) => self.bodies[b.index()].transform().compose(&g.local),
             None => g.local,
         }
     }
 
-    fn narrowphase(
-        &self,
-        pairs: &[(GeomId, GeomId, bool)],
-    ) -> (Vec<ContactManifold>, Vec<PairWork>) {
-        let run_pair = |&(a, b, active): &(GeomId, GeomId, bool)| {
-            let ga = &self.geoms[a.index()];
-            let gb = &self.geoms[b.index()];
-            let manifold = if active {
-                let ta = self.geom_world_transform(ga);
-                let tb = self.geom_world_transform(gb);
-                narrowphase::collide_with_ids(a, &ga.shape, &ta, b, &gb.shape, &tb)
-            } else {
-                None
-            };
-            let work = PairWork {
-                geom_a: a.0,
-                geom_b: b.0,
-                body_a: ga.body.map_or(u32::MAX, |x| x.0),
-                body_b: gb.body.map_or(u32::MAX, |x| x.0),
-                shape_a: ga.shape.kind_name(),
-                shape_b: gb.shape.kind_name(),
-                contacts: manifold.as_ref().map_or(0, |m| m.len()),
-                active,
-            };
-            (manifold, work)
-        };
-
-        let results = par_map_scoped(self.config.threads, pairs, run_pair);
-        let mut manifolds = Vec::new();
-        let mut work = Vec::with_capacity(results.len());
-        for (m, w) in results {
-            if let Some(m) = m {
-                manifolds.push(m);
-            }
-            work.push(w);
-        }
-        (manifolds, work)
-    }
-
     /// Explosion + fracture hooks. Returns (explosions, shattered).
-    fn process_contact_events(&mut self, manifolds: &[ContactManifold]) -> (usize, usize) {
+    pub(crate) fn process_contact_events(
+        &mut self,
+        manifolds: &[ContactManifold],
+    ) -> (usize, usize) {
         let mut to_explode: Vec<u32> = Vec::new();
         let mut to_shatter: Vec<usize> = Vec::new();
 
@@ -677,7 +557,11 @@ impl World {
                 let Some(this) = this else { continue };
                 let body = &self.bodies[this.index()];
                 let other_is_blast = other
-                    .map(|o| self.bodies[o.index()].flags().contains(BodyFlags::BLAST_VOLUME))
+                    .map(|o| {
+                        self.bodies[o.index()]
+                            .flags()
+                            .contains(BodyFlags::BLAST_VOLUME)
+                    })
                     .unwrap_or(false);
                 if body.flags().contains(BodyFlags::EXPLOSIVE)
                     && !body.is_disabled()
@@ -744,7 +628,12 @@ impl World {
         let (parent, debris, offsets, scatter) = {
             let p = &mut self.prefractured[index];
             p.shattered = true;
-            (p.parent, p.debris.clone(), p.local_offsets.clone(), p.scatter_speed)
+            (
+                p.parent,
+                p.debris.clone(),
+                p.local_offsets.clone(),
+                p.scatter_speed,
+            )
         };
         let parent_body = self.bodies[parent.index()].clone();
         let parent_vel = parent_body.linear_velocity();
@@ -763,7 +652,7 @@ impl World {
         }
     }
 
-    fn update_cloth_contact_lists(&mut self) {
+    pub(crate) fn update_cloth_contact_lists(&mut self) {
         for cloth in &mut self.cloths {
             cloth.contact_bodies.clear();
             cloth.contact_static_geoms.clear();
@@ -790,7 +679,7 @@ impl World {
         }
     }
 
-    fn manifold_is_inert(&self, m: &ContactManifold) -> bool {
+    pub(crate) fn manifold_is_inert(&self, m: &ContactManifold) -> bool {
         for gid in [m.geom_a, m.geom_b] {
             let g = &self.geoms[gid.index()];
             if !g.enabled {
@@ -806,8 +695,13 @@ impl World {
         false
     }
 
-    fn build_edges(&self, manifolds: &[ContactManifold]) -> Vec<ConstraintEdge> {
-        let mut edges = Vec::with_capacity(self.joints.len() + manifolds.len());
+    pub(crate) fn build_edges_into(
+        &self,
+        manifolds: &[ContactManifold],
+        edges: &mut Vec<ConstraintEdge>,
+    ) {
+        edges.clear();
+        edges.reserve(self.joints.len() + manifolds.len());
         for (i, j) in self.joints.iter().enumerate() {
             if j.is_broken() {
                 continue;
@@ -840,149 +734,10 @@ impl World {
                 dof: m.len() * 3,
             });
         }
-        edges
-    }
-
-    /// Solves every island; returns work records and per-joint applied
-    /// impulses.
-    fn process_islands(
-        &mut self,
-        islands: &[crate::island::Island],
-        manifolds: &[ContactManifold],
-    ) -> (Vec<IslandWork>, Vec<(u32, f32)>) {
-        let params = RowParams {
-            dt: self.config.dt,
-            erp: self.config.erp,
-            contact_cfm: self.config.contact_cfm,
-            ..Default::default()
-        };
-        let iterations = self.config.solver_iterations;
-        let threshold = self.config.island_queue_threshold;
-
-        struct IslandResult {
-            velocities: Vec<(u32, Vec3, Vec3)>,
-            joint_impulses: Vec<(u32, f32)>,
-            rows: usize,
-            work: IslandWork,
-        }
-
-        let solve_island = |(idx, island): &(usize, &crate::island::Island)| -> IslandResult {
-            let island = *island;
-            let _ = idx;
-            // Local index map.
-            let mut local_of = std::collections::HashMap::with_capacity(island.bodies.len());
-            let mut vel: Vec<VelState> = Vec::with_capacity(island.bodies.len());
-            for (li, &bi) in island.bodies.iter().enumerate() {
-                local_of.insert(bi, li as u32);
-                vel.push(VelState::from_body(&self.bodies[bi as usize]));
-            }
-            let local = |body: u32| -> u32 {
-                if body == u32::MAX {
-                    return STATIC_BODY;
-                }
-                match local_of.get(&body) {
-                    Some(&l) => l,
-                    None => STATIC_BODY, // Static or foreign body: anchor.
-                }
-            };
-
-            let mut rows: Vec<ConstraintRow> = Vec::new();
-            for &ji in &island.joints {
-                let j = &self.joints[ji as usize];
-                solver::build_joint_rows(
-                    j,
-                    ji,
-                    local(j.body_a.0),
-                    local(j.body_b.0),
-                    &self.bodies[j.body_a.index()],
-                    &self.bodies[j.body_b.index()],
-                    &params,
-                    &mut rows,
-                );
-            }
-            for &mi in &island.manifolds {
-                let m = &manifolds[mi as usize];
-                let ba = self.geoms[m.geom_a.index()].body;
-                let bb = self.geoms[m.geom_b.index()].body;
-                let pa = ba.map_or(Vec3::ZERO, |b| self.bodies[b.index()].position());
-                let pb = bb.map_or(Vec3::ZERO, |b| self.bodies[b.index()].position());
-                let la = ba.map_or(STATIC_BODY, |b| {
-                    if self.bodies[b.index()].is_static() {
-                        STATIC_BODY
-                    } else {
-                        local(b.0)
-                    }
-                });
-                let lb = bb.map_or(STATIC_BODY, |b| {
-                    if self.bodies[b.index()].is_static() {
-                        STATIC_BODY
-                    } else {
-                        local(b.0)
-                    }
-                });
-                solver::build_contact_rows(m, la, lb, pa, pb, &vel, &params, &mut rows);
-            }
-
-            let stats = solver::solve(&mut rows, &mut vel, iterations);
-
-            // Per-joint impulse accounting for breakables.
-            let mut joint_impulses: std::collections::HashMap<u32, f32> =
-                std::collections::HashMap::new();
-            for r in &rows {
-                if r.source_joint != u32::MAX {
-                    *joint_impulses.entry(r.source_joint).or_insert(0.0) += r.lambda.abs();
-                }
-            }
-
-            IslandResult {
-                velocities: island
-                    .bodies
-                    .iter()
-                    .zip(vel.iter())
-                    .map(|(&bi, v)| (bi, v.lin, v.ang))
-                    .collect(),
-                joint_impulses: joint_impulses.into_iter().collect(),
-                rows: stats.rows,
-                work: IslandWork {
-                    bodies: island.bodies.clone(),
-                    joints: island.joints.clone(),
-                    manifolds: island.manifolds.len(),
-                    rows: stats.rows,
-                    dof_removed: island.dof_removed,
-                    iterations: stats.iterations,
-                    queued: island.dof_removed > threshold,
-                },
-            }
-        };
-
-        // Split islands: big ones (queued) may run on worker threads, the
-        // rest on the main thread — matching the paper's filter.
-        let indexed: Vec<(usize, &crate::island::Island)> =
-            islands.iter().enumerate().collect();
-        let (queued, small): (Vec<_>, Vec<_>) = indexed
-            .into_iter()
-            .partition(|(_, i)| i.dof_removed > threshold);
-
-        let mut results = par_map_scoped(self.config.threads, &queued, solve_island);
-        results.extend(small.iter().map(solve_island));
-
-        let mut work = Vec::with_capacity(results.len());
-        let mut joint_impulses = Vec::new();
-        for r in results {
-            for (bi, lin, ang) in r.velocities {
-                let b = &mut self.bodies[bi as usize];
-                b.set_linear_velocity(lin);
-                b.set_angular_velocity(ang);
-            }
-            joint_impulses.extend(r.joint_impulses);
-            let _ = r.rows;
-            work.push(r.work);
-        }
-        (work, joint_impulses)
     }
 
     /// Returns the number of joints that broke this step.
-    fn update_breakable_joints(&mut self, impulses: &[(u32, f32)]) -> usize {
+    pub(crate) fn update_breakable_joints(&mut self, impulses: &[(u32, f32)]) -> usize {
         let mut per_joint: std::collections::HashMap<u32, f32> = std::collections::HashMap::new();
         for (j, i) in impulses {
             *per_joint.entry(*j).or_insert(0.0) += i;
@@ -992,93 +747,33 @@ impl World {
             let applied = per_joint.get(&(ji as u32)).copied().unwrap_or(0.0);
             if j.update_break(applied) {
                 broken += 1;
-                let key = (
-                    j.body_a.0.min(j.body_b.0),
-                    j.body_a.0.max(j.body_b.0),
-                );
+                let key = (j.body_a.0.min(j.body_b.0), j.body_a.0.max(j.body_b.0));
                 self.joint_pairs.remove(&key);
             }
         }
         broken
     }
 
-    fn step_cloths(&mut self) -> Vec<ClothWork> {
-        let gravity = self.config.gravity;
-        let dt = self.config.dt;
-        // Gather collider lists per cloth (shape + pose snapshots).
-        let collider_sets: Vec<Vec<(Shape, Transform)>> = self
-            .cloths
-            .iter()
-            .map(|cloth| {
-                let mut out = Vec::new();
-                for &b in &cloth.contact_bodies {
-                    let bid = BodyId(b);
-                    for g in &self.body_geoms[bid.index()] {
-                        let geom = &self.geoms[g.index()];
-                        if geom.enabled {
-                            out.push((geom.shape.clone(), self.geom_world_transform(geom)));
-                        }
-                    }
+    /// Ticks blast volumes, disabling expired ones. Returns the number
+    /// that expired this step.
+    pub(crate) fn expire_blasts(&mut self) -> usize {
+        let mut expired = 0;
+        let bodies = &mut self.bodies;
+        let geoms = &mut self.geoms;
+        let body_geoms = &self.body_geoms;
+        self.blasts.retain_mut(|blast| {
+            if blast.tick() {
+                true
+            } else {
+                expired += 1;
+                bodies[blast.body.index()].flags.insert(BodyFlags::DISABLED);
+                for g in &body_geoms[blast.body.index()] {
+                    geoms[g.index()].enabled = false;
                 }
-                for &gi in &cloth.contact_static_geoms {
-                    let geom = &self.geoms[gi as usize];
-                    if geom.enabled {
-                        out.push((geom.shape.clone(), geom.local));
-                    }
-                }
-                out
-            })
-            .collect();
-
-        let threads = self.config.threads;
-        let mut tasks: Vec<(usize, &mut Cloth, &[(Shape, Transform)])> = self
-            .cloths
-            .iter_mut()
-            .enumerate()
-            .map(|(i, c)| {
-                let colliders = collider_sets[i].as_slice();
-                (i, c, colliders)
-            })
-            .collect();
-
-        // Cloth objects are independent: parallelize at the object level
-        // (paper parallelizes at both object and vertex levels; object
-        // level suffices for real execution — vertex level is what the FG
-        // timing model exploits).
-        let results: Vec<ClothWork> = if threads > 1 && tasks.len() > 1 {
-            std::thread::scope(|s| {
-                let handles: Vec<_> = tasks
-                    .iter_mut()
-                    .map(|(i, c, colliders)| {
-                        let i = *i;
-                        let colliders: &[(Shape, Transform)] = colliders;
-                        let cloth: &mut Cloth = c;
-                        s.spawn(move || {
-                            let stats = cloth.step(gravity, dt, colliders);
-                            ClothWork {
-                                cloth: i as u32,
-                                stats,
-                                colliders: colliders.len(),
-                            }
-                        })
-                    })
-                    .collect();
-                handles.into_iter().map(|h| h.join().expect("cloth thread")).collect()
-            })
-        } else {
-            tasks
-                .iter_mut()
-                .map(|(i, c, colliders)| {
-                    let stats = c.step(gravity, dt, colliders);
-                    ClothWork {
-                        cloth: *i as u32,
-                        stats,
-                        colliders: colliders.len(),
-                    }
-                })
-                .collect()
-        };
-        results
+                false
+            }
+        });
+        expired
     }
 }
 
@@ -1111,20 +806,19 @@ mod tests {
         w.add_static_geom(Shape::plane(Vec3::UNIT_Y, 0.0));
         let mut ids = Vec::new();
         for i in 0..3 {
-            ids.push(w.add_body(
-                BodyDesc::dynamic(Vec3::new(0.0, 0.5 + i as f32 * 1.001, 0.0))
-                    .with_shape(Shape::cuboid(Vec3::splat(0.5)), 1.0),
-            ));
+            ids.push(
+                w.add_body(
+                    BodyDesc::dynamic(Vec3::new(0.0, 0.5 + i as f32 * 1.001, 0.0))
+                        .with_shape(Shape::cuboid(Vec3::splat(0.5)), 1.0),
+                ),
+            );
         }
         for _ in 0..300 {
             w.step();
         }
         for (i, id) in ids.iter().enumerate() {
             let p = w.body(*id).position();
-            assert!(
-                (p.y - (0.5 + i as f32)).abs() < 0.1,
-                "box {i} at {p:?}"
-            );
+            assert!((p.y - (0.5 + i as f32)).abs() < 0.1, "box {i} at {p:?}");
             assert!(p.x.abs() < 0.2 && p.z.abs() < 0.2, "box {i} slid to {p:?}");
         }
     }
@@ -1246,7 +940,8 @@ mod tests {
         let mut w = world();
         let left = w.add_body(BodyDesc::fixed(Vec3::new(-0.5, 1.0, 0.0)));
         let right = w.add_body(
-            BodyDesc::dynamic(Vec3::new(0.5, 1.0, 0.0)).with_shape(Shape::cuboid(Vec3::splat(0.4)), 1.0),
+            BodyDesc::dynamic(Vec3::new(0.5, 1.0, 0.0))
+                .with_shape(Shape::cuboid(Vec3::splat(0.4)), 1.0),
         );
         w.add_joint(
             Joint::new(
@@ -1320,8 +1015,10 @@ mod tests {
     #[test]
     fn multithreaded_step_matches_entity_counts() {
         let build = |threads: usize| {
-            let mut cfg = WorldConfig::default();
-            cfg.threads = threads;
+            let cfg = WorldConfig {
+                threads,
+                ..Default::default()
+            };
             let mut w = World::new(cfg);
             w.add_static_geom(Shape::plane(Vec3::UNIT_Y, 0.0));
             for i in 0..20 {
@@ -1346,7 +1043,11 @@ mod tests {
         // above the floor.
         assert_eq!(w1.bodies().len(), w4.bodies().len());
         for b in w4.bodies().iter().filter(|b| !b.is_static()) {
-            assert!(b.position().y > 0.0, "body fell through floor: {:?}", b.position());
+            assert!(
+                b.position().y > 0.0,
+                "body fell through floor: {:?}",
+                b.position()
+            );
         }
     }
 

@@ -3,7 +3,9 @@
 use parallax_math::{Mat3, Vec3};
 use parallax_physics::contact::{ContactManifold, ContactPoint};
 use parallax_physics::shape::GeomId;
-use parallax_physics::solver::{build_contact_rows, solve, RowLimit, RowParams, VelState, STATIC_BODY};
+use parallax_physics::solver::{
+    build_contact_rows, solve, RowLimit, RowParams, VelState, STATIC_BODY,
+};
 use proptest::prelude::*;
 
 fn body(vel: Vec3, inv_mass: f32) -> VelState {

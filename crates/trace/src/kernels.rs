@@ -6,6 +6,7 @@
 //! (1,668/604/376 B read and 100/128/308 B written per 100 iterations),
 //! and the instruction mixes of Figures 7b and 9b.
 
+use parallax_physics::PhaseKind;
 use serde::{Deserialize, Serialize};
 
 use crate::opmix::OpCounts;
@@ -28,6 +29,19 @@ pub enum Kernel {
 impl Kernel {
     /// The three kernels that run on FG cores (paper §8.1).
     pub const FG: [Kernel; 3] = [Kernel::Narrowphase, Kernel::IslandSolver, Kernel::Cloth];
+
+    /// The kernel model a pipeline stage uses. This is the single mapping
+    /// from the engine's phase enumeration to the kernel cost models; the
+    /// architecture simulator and the CG→FG scheduler both key off it.
+    pub fn of_phase(phase: PhaseKind) -> Kernel {
+        match phase {
+            PhaseKind::Broadphase => Kernel::Broadphase,
+            PhaseKind::Narrowphase => Kernel::Narrowphase,
+            PhaseKind::IslandCreation => Kernel::IslandCreation,
+            PhaseKind::IslandProcessing => Kernel::IslandSolver,
+            PhaseKind::Cloth => Kernel::Cloth,
+        }
+    }
 
     /// Unique static instructions of the kernel (paper §8.1.2). Only
     /// defined for the FG kernels; serial phases return an estimate.
@@ -279,7 +293,12 @@ mod tests {
         let solver = KernelModel::island_solver(120, 20, 10);
         let fc = cloth.fractions();
         let fs = solver.fractions();
-        assert!(fc[1] > fs[1], "cloth branches {} vs solver {}", fc[1], fs[1]);
+        assert!(
+            fc[1] > fs[1],
+            "cloth branches {} vs solver {}",
+            fc[1],
+            fs[1]
+        );
         assert!(cloth.fp_div_sqrt > 0);
     }
 

@@ -90,17 +90,29 @@ pub fn push_lines(out: &mut Vec<u64>, addr: u64, bytes: u64) {
 
 /// Convenience: lines of an object record.
 pub fn object_lines(out: &mut Vec<u64>, body: u64) {
-    push_lines(out, entity_addr(Region::Objects, body, OBJECT_BYTES), OBJECT_BYTES);
+    push_lines(
+        out,
+        entity_addr(Region::Objects, body, OBJECT_BYTES),
+        OBJECT_BYTES,
+    );
 }
 
 /// Convenience: lines of a geom record.
 pub fn geom_lines(out: &mut Vec<u64>, geom: u64) {
-    push_lines(out, entity_addr(Region::Geoms, geom, GEOM_BYTES), GEOM_BYTES);
+    push_lines(
+        out,
+        entity_addr(Region::Geoms, geom, GEOM_BYTES),
+        GEOM_BYTES,
+    );
 }
 
 /// Convenience: lines of a permanent joint.
 pub fn joint_lines(out: &mut Vec<u64>, joint: u64) {
-    push_lines(out, entity_addr(Region::Joints, joint, JOINT_BYTES), JOINT_BYTES);
+    push_lines(
+        out,
+        entity_addr(Region::Joints, joint, JOINT_BYTES),
+        JOINT_BYTES,
+    );
 }
 
 /// Convenience: lines of a contact-joint record for broad-phase pair `k`.

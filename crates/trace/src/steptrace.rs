@@ -65,13 +65,7 @@ impl StepTrace {
     /// Builds the trace for one step from its work profile.
     pub fn from_profile(p: &StepProfile) -> StepTrace {
         StepTrace {
-            phases: vec![
-                broadphase_trace(p),
-                narrowphase_trace(p),
-                island_creation_trace(p),
-                island_processing_trace(p),
-                cloth_trace(p),
-            ],
+            phases: PhaseKind::ALL.iter().map(|k| phase_trace(p, *k)).collect(),
         }
     }
 
@@ -96,6 +90,22 @@ impl StepTrace {
             .flat_map(|p| p.tasks.iter())
             .map(|t| t.mem_refs())
             .sum()
+    }
+}
+
+/// Builds the trace of one phase from the stage's profile slice.
+///
+/// Each pipeline stage emits its own slice of the [`StepProfile`]
+/// (broad-phase stats, per-pair work, island stats, per-island work,
+/// per-cloth work); this maps a stage's phase to its trace without
+/// requiring the other phases' outputs.
+pub fn phase_trace(p: &StepProfile, phase: PhaseKind) -> PhaseTrace {
+    match phase {
+        PhaseKind::Broadphase => broadphase_trace(p),
+        PhaseKind::Narrowphase => narrowphase_trace(p),
+        PhaseKind::IslandCreation => island_creation_trace(p),
+        PhaseKind::IslandProcessing => island_processing_trace(p),
+        PhaseKind::Cloth => cloth_trace(p),
     }
 }
 
@@ -246,7 +256,11 @@ fn island_processing_trace(p: &StepProfile) -> PhaseTrace {
         .iter()
         .map(|island| {
             let mut task = TaskTrace {
-                ops: KernelModel::island_solver(island.rows, island.iterations, island.bodies.len()),
+                ops: KernelModel::island_solver(
+                    island.rows,
+                    island.iterations,
+                    island.bodies.len(),
+                ),
                 fg_subtasks: island.dof_removed.max(1),
                 ..Default::default()
             };
@@ -405,18 +419,9 @@ mod tests {
     fn pair_tasks_touch_geom_and_object_lines() {
         let t = StepTrace::from_profile(&sample_profile());
         let task = &t.phase(PhaseKind::Narrowphase).tasks[0];
-        assert!(task
-            .reads
-            .iter()
-            .any(|a| Region::Geoms.contains(*a)));
-        assert!(task
-            .reads
-            .iter()
-            .any(|a| Region::Objects.contains(*a)));
-        assert!(task
-            .writes
-            .iter()
-            .all(|a| Region::Contacts.contains(*a)));
+        assert!(task.reads.iter().any(|a| Region::Geoms.contains(*a)));
+        assert!(task.reads.iter().any(|a| Region::Objects.contains(*a)));
+        assert!(task.writes.iter().all(|a| Region::Contacts.contains(*a)));
     }
 
     #[test]

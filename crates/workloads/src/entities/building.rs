@@ -99,9 +99,24 @@ pub fn spawn_building(world: &mut World, center: Vec3, spec: &BuildingSpec) -> V
     let h = spec.half_size;
     let mut bricks = Vec::new();
     // Back wall (facing +X) and two side walls.
-    bricks.extend(spawn_wall(world, center + Vec3::new(-h, 0.0, 0.0), std::f32::consts::FRAC_PI_2, &spec.wall));
-    bricks.extend(spawn_wall(world, center + Vec3::new(0.0, 0.0, -h), 0.0, &spec.wall));
-    bricks.extend(spawn_wall(world, center + Vec3::new(0.0, 0.0, h), 0.0, &spec.wall));
+    bricks.extend(spawn_wall(
+        world,
+        center + Vec3::new(-h, 0.0, 0.0),
+        std::f32::consts::FRAC_PI_2,
+        &spec.wall,
+    ));
+    bricks.extend(spawn_wall(
+        world,
+        center + Vec3::new(0.0, 0.0, -h),
+        0.0,
+        &spec.wall,
+    ));
+    bricks.extend(spawn_wall(
+        world,
+        center + Vec3::new(0.0, 0.0, h),
+        0.0,
+        &spec.wall,
+    ));
     bricks
 }
 
@@ -125,8 +140,10 @@ pub fn spawn_bridge(
     let rot = Quat::from_axis_angle(Vec3::UNIT_Y, yaw);
 
     // Static anchor posts at both ends.
-    let post_a = world.add_body(BodyDesc::fixed(from).with_shape(Shape::cuboid(Vec3::splat(0.1)), 1.0));
-    let post_b = world.add_body(BodyDesc::fixed(to).with_shape(Shape::cuboid(Vec3::splat(0.1)), 1.0));
+    let post_a =
+        world.add_body(BodyDesc::fixed(from).with_shape(Shape::cuboid(Vec3::splat(0.1)), 1.0));
+    let post_b =
+        world.add_body(BodyDesc::fixed(to).with_shape(Shape::cuboid(Vec3::splat(0.1)), 1.0));
 
     let mut bodies = Vec::with_capacity(planks);
     let mut joints = Vec::new();
@@ -142,41 +159,47 @@ pub fn spawn_bridge(
     }
     // Anchor first and last planks to the posts; link consecutive planks.
     let half_step = plank_len * 0.5;
-    joints.push(world.add_joint(
-        Joint::new(
-            JointKind::Fixed {
-                anchor_a: Vec3::ZERO,
-                anchor_b: Vec3::new(-half_step, 0.0, 0.0),
-            },
-            post_a,
-            bodies[0],
-        )
-        .breakable(break_threshold),
-    ));
+    joints.push(
+        world.add_joint(
+            Joint::new(
+                JointKind::Fixed {
+                    anchor_a: Vec3::ZERO,
+                    anchor_b: Vec3::new(-half_step, 0.0, 0.0),
+                },
+                post_a,
+                bodies[0],
+            )
+            .breakable(break_threshold),
+        ),
+    );
     for i in 0..planks - 1 {
-        joints.push(world.add_joint(
+        joints.push(
+            world.add_joint(
+                Joint::new(
+                    JointKind::Fixed {
+                        anchor_a: Vec3::new(half_step, 0.0, 0.0),
+                        anchor_b: Vec3::new(-half_step, 0.0, 0.0),
+                    },
+                    bodies[i],
+                    bodies[i + 1],
+                )
+                .breakable(break_threshold),
+            ),
+        );
+    }
+    joints.push(
+        world.add_joint(
             Joint::new(
                 JointKind::Fixed {
                     anchor_a: Vec3::new(half_step, 0.0, 0.0),
-                    anchor_b: Vec3::new(-half_step, 0.0, 0.0),
+                    anchor_b: Vec3::ZERO,
                 },
-                bodies[i],
-                bodies[i + 1],
+                bodies[planks - 1],
+                post_b,
             )
             .breakable(break_threshold),
-        ));
-    }
-    joints.push(world.add_joint(
-        Joint::new(
-            JointKind::Fixed {
-                anchor_a: Vec3::new(half_step, 0.0, 0.0),
-                anchor_b: Vec3::ZERO,
-            },
-            bodies[planks - 1],
-            post_b,
-        )
-        .breakable(break_threshold),
-    ));
+        ),
+    );
     (bodies, joints)
 }
 

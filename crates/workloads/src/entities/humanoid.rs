@@ -30,23 +30,93 @@ struct Seg {
 /// {upper arm, forearm, hand, thigh, shin, foot}.
 fn segment_table() -> Vec<Seg> {
     let mut t = vec![
-        Seg { name: "pelvis", radius: 0.12, half_len: 0.08, offset: Vec3::new(0.0, 1.0, 0.0), parent: usize::MAX, anchor: Vec3::ZERO },
-        Seg { name: "lower_torso", radius: 0.12, half_len: 0.10, offset: Vec3::new(0.0, 1.22, 0.0), parent: 0, anchor: Vec3::new(0.0, 1.11, 0.0) },
-        Seg { name: "upper_torso", radius: 0.13, half_len: 0.12, offset: Vec3::new(0.0, 1.46, 0.0), parent: 1, anchor: Vec3::new(0.0, 1.34, 0.0) },
-        Seg { name: "head", radius: 0.10, half_len: 0.05, offset: Vec3::new(0.0, 1.72, 0.0), parent: 2, anchor: Vec3::new(0.0, 1.62, 0.0) },
+        Seg {
+            name: "pelvis",
+            radius: 0.12,
+            half_len: 0.08,
+            offset: Vec3::new(0.0, 1.0, 0.0),
+            parent: usize::MAX,
+            anchor: Vec3::ZERO,
+        },
+        Seg {
+            name: "lower_torso",
+            radius: 0.12,
+            half_len: 0.10,
+            offset: Vec3::new(0.0, 1.22, 0.0),
+            parent: 0,
+            anchor: Vec3::new(0.0, 1.11, 0.0),
+        },
+        Seg {
+            name: "upper_torso",
+            radius: 0.13,
+            half_len: 0.12,
+            offset: Vec3::new(0.0, 1.46, 0.0),
+            parent: 1,
+            anchor: Vec3::new(0.0, 1.34, 0.0),
+        },
+        Seg {
+            name: "head",
+            radius: 0.10,
+            half_len: 0.05,
+            offset: Vec3::new(0.0, 1.72, 0.0),
+            parent: 2,
+            anchor: Vec3::new(0.0, 1.62, 0.0),
+        },
     ];
     for (side, sx) in [("l", -1.0f32), ("r", 1.0f32)] {
         let _ = side;
-        t.push(Seg { name: "upper_arm", radius: 0.05, half_len: 0.14, offset: Vec3::new(sx * 0.25, 1.38, 0.0), parent: 2, anchor: Vec3::new(sx * 0.2, 1.52, 0.0) });
+        t.push(Seg {
+            name: "upper_arm",
+            radius: 0.05,
+            half_len: 0.14,
+            offset: Vec3::new(sx * 0.25, 1.38, 0.0),
+            parent: 2,
+            anchor: Vec3::new(sx * 0.2, 1.52, 0.0),
+        });
         let ua = t.len() - 1;
-        t.push(Seg { name: "forearm", radius: 0.04, half_len: 0.13, offset: Vec3::new(sx * 0.25, 1.06, 0.0), parent: ua, anchor: Vec3::new(sx * 0.25, 1.22, 0.0) });
+        t.push(Seg {
+            name: "forearm",
+            radius: 0.04,
+            half_len: 0.13,
+            offset: Vec3::new(sx * 0.25, 1.06, 0.0),
+            parent: ua,
+            anchor: Vec3::new(sx * 0.25, 1.22, 0.0),
+        });
         let fa = t.len() - 1;
-        t.push(Seg { name: "hand", radius: 0.04, half_len: 0.05, offset: Vec3::new(sx * 0.25, 0.86, 0.0), parent: fa, anchor: Vec3::new(sx * 0.25, 0.92, 0.0) });
-        t.push(Seg { name: "thigh", radius: 0.07, half_len: 0.18, offset: Vec3::new(sx * 0.1, 0.68, 0.0), parent: 0, anchor: Vec3::new(sx * 0.1, 0.9, 0.0) });
+        t.push(Seg {
+            name: "hand",
+            radius: 0.04,
+            half_len: 0.05,
+            offset: Vec3::new(sx * 0.25, 0.86, 0.0),
+            parent: fa,
+            anchor: Vec3::new(sx * 0.25, 0.92, 0.0),
+        });
+        t.push(Seg {
+            name: "thigh",
+            radius: 0.07,
+            half_len: 0.18,
+            offset: Vec3::new(sx * 0.1, 0.68, 0.0),
+            parent: 0,
+            anchor: Vec3::new(sx * 0.1, 0.9, 0.0),
+        });
         let th = t.len() - 1;
-        t.push(Seg { name: "shin", radius: 0.05, half_len: 0.17, offset: Vec3::new(sx * 0.1, 0.28, 0.0), parent: th, anchor: Vec3::new(sx * 0.1, 0.47, 0.0) });
+        t.push(Seg {
+            name: "shin",
+            radius: 0.05,
+            half_len: 0.17,
+            offset: Vec3::new(sx * 0.1, 0.28, 0.0),
+            parent: th,
+            anchor: Vec3::new(sx * 0.1, 0.47, 0.0),
+        });
         let sh = t.len() - 1;
-        t.push(Seg { name: "foot", radius: 0.04, half_len: 0.07, offset: Vec3::new(sx * 0.1, 0.06, 0.05), parent: sh, anchor: Vec3::new(sx * 0.1, 0.1, 0.0) });
+        t.push(Seg {
+            name: "foot",
+            radius: 0.04,
+            half_len: 0.07,
+            offset: Vec3::new(sx * 0.1, 0.06, 0.05),
+            parent: sh,
+            anchor: Vec3::new(sx * 0.1, 0.1, 0.0),
+        });
     }
     t
 }

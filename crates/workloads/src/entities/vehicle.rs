@@ -111,7 +111,10 @@ impl Car {
     /// Drives the car by spinning its wheels (crude torque drive).
     pub fn drive(&self, world: &mut World, torque: f32) {
         for w in self.wheels {
-            let axis = world.body(self.chassis).transform().apply_vector(Vec3::UNIT_Z);
+            let axis = world
+                .body(self.chassis)
+                .transform()
+                .apply_vector(Vec3::UNIT_Z);
             world.body_mut(w).add_torque(axis * torque);
         }
     }

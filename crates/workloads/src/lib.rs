@@ -258,7 +258,9 @@ impl Scene {
 
     /// Runs one displayed frame (3 steps) and returns the profiles.
     pub fn step_frame(&mut self) -> Vec<parallax_physics::StepProfile> {
-        (0..self.world.config().steps_per_frame).map(|_| self.step()).collect()
+        (0..self.world.config().steps_per_frame)
+            .map(|_| self.step())
+            .collect()
     }
 
     /// Warms the scene up and returns profiles for the paper's measured

@@ -22,14 +22,7 @@ pub fn build(params: &SceneParams) -> Scene {
         let h = spawn_humanoid(&mut world, pos, i as f32 * 0.4);
         // Uniform: a 5×5 cloth draped over the shoulders, pinned at the two
         // top corners which follow the upper torso.
-        let cloth = Cloth::rectangle(
-            pos + Vec3::new(-0.2, 1.55, -0.2),
-            0.4,
-            0.4,
-            5,
-            5,
-            &[0, 4],
-        );
+        let cloth = Cloth::rectangle(pos + Vec3::new(-0.2, 1.55, -0.2), 0.4, 0.4, 5, 5, &[0, 4]);
         let cid = world.add_cloth(cloth);
         let torso = h.segments[2];
         for (vertex, local) in [
@@ -50,15 +43,11 @@ pub fn build(params: &SceneParams) -> Scene {
     // first players.
     let large = params.count(2, 1);
     for i in 0..large {
-        let anchor = world.body(player_handles[i % player_handles.len()].segments[0]).position();
-        let mut cloth = Cloth::rectangle(
-            anchor + Vec3::new(-1.5, 2.4, -1.5),
-            3.0,
-            3.0,
-            25,
-            25,
-            &[],
-        );
+        let anchor = world
+            .body(player_handles[i % player_handles.len()].segments[0])
+            .position();
+        let mut cloth =
+            Cloth::rectangle(anchor + Vec3::new(-1.5, 2.4, -1.5), 3.0, 3.0, 25, 25, &[]);
         // Pin the whole +X edge so the drape hangs.
         for k in 0..25 {
             cloth.pin(k);

@@ -33,14 +33,7 @@ pub fn build(params: &SceneParams) -> Scene {
         centers.push(center);
 
         // Large cloth covering each building's opening (25×25 = 625).
-        let mut cloth = Cloth::rectangle(
-            center + Vec3::new(4.5, 4.0, -1.5),
-            3.0,
-            3.0,
-            25,
-            25,
-            &[],
-        );
+        let mut cloth = Cloth::rectangle(center + Vec3::new(4.5, 4.0, -1.5), 3.0, 3.0, 25, 25, &[]);
         for k in 0..25 {
             cloth.pin(k);
         }
@@ -62,7 +55,10 @@ pub fn build(params: &SceneParams) -> Scene {
     // 30 humanoids draped in small cloths that follow their torsos.
     let mut actors = Actors::default();
     let humans = params.count(30, 2);
-    for (i, pos) in grid(Vec3::new(0.0, 1.2, 14.0), 2.2, 0.0, humans).into_iter().enumerate() {
+    for (i, pos) in grid(Vec3::new(0.0, 1.2, 14.0), 2.2, 0.0, humans)
+        .into_iter()
+        .enumerate()
+    {
         let h = spawn_humanoid(&mut world, pos, i as f32 * 0.5);
         let cloth = Cloth::rectangle(pos + Vec3::new(-0.2, 1.55, -0.2), 0.4, 0.4, 5, 5, &[0, 4]);
         let cid = world.add_cloth(cloth);

@@ -25,7 +25,8 @@ pub fn build(params: &SceneParams) -> Scene {
             let mut group = Vec::with_capacity(group_size);
             for (i, pos) in ring(center, 0.9, 0.0, group_size).into_iter().enumerate() {
                 // Face roughly towards the group centre.
-                let yaw = std::f32::consts::PI + i as f32 / group_size as f32 * std::f32::consts::TAU;
+                let yaw =
+                    std::f32::consts::PI + i as f32 / group_size as f32 * std::f32::consts::TAU;
                 group.push(spawn_humanoid(&mut world, pos, yaw));
             }
             actors.combat_groups.push(group);

@@ -13,9 +13,7 @@ fn main() {
     world.add_static_geom(Shape::plane(Vec3::UNIT_Y, 0.0));
 
     // A heavy static sphere for the cloth to drape over.
-    world.add_body(
-        BodyDesc::fixed(Vec3::new(0.0, 1.2, 0.0)).with_shape(Shape::sphere(0.8), 1.0),
-    );
+    world.add_body(BodyDesc::fixed(Vec3::new(0.0, 1.2, 0.0)).with_shape(Shape::sphere(0.8), 1.0));
 
     // The paper's large cloth: 25 x 25 = 625 vertices.
     let cloth = Cloth::rectangle(Vec3::new(-1.5, 2.6, -1.5), 3.0, 3.0, 25, 25, &[]);
@@ -31,7 +29,11 @@ fn main() {
         let profiles = world.step_frame();
         if frame % 8 == 0 {
             let c = world.cloth(cid);
-            let low = c.vertices().iter().map(|v| v.pos.y).fold(f32::INFINITY, f32::min);
+            let low = c
+                .vertices()
+                .iter()
+                .map(|v| v.pos.y)
+                .fold(f32::INFINITY, f32::min);
             let err = c.constraint_error();
             let fg = profiles
                 .iter()
@@ -55,5 +57,8 @@ fn main() {
         .count();
     println!("\nvertices penetrating the sphere: {inside} (expected 0)");
     let err = world.cloth(cid).constraint_error();
-    println!("final constraint error: {err:.2e} m^2 (relaxation converged: {})", err < 1e-3);
+    println!(
+        "final constraint error: {err:.2e} m^2 (relaxation converged: {})",
+        err < 1e-3
+    );
 }

@@ -6,9 +6,7 @@
 //! ```
 
 use parallax_math::Vec3;
-use parallax_physics::{
-    BodyDesc, BodyFlags, ExplosionConfig, Shape, World, WorldConfig,
-};
+use parallax_physics::{BodyDesc, BodyFlags, ExplosionConfig, Shape, World, WorldConfig};
 use parallax_workloads::entities::{spawn_bridge, spawn_wall, WallSpec};
 
 fn main() {
@@ -24,7 +22,11 @@ fn main() {
         ..Default::default()
     };
     let bricks = spawn_wall(&mut world, Vec3::ZERO, 0.0, &spec);
-    println!("wall: {} bricks ({} debris pieces standing by)", bricks.len(), bricks.len() * 8);
+    println!(
+        "wall: {} bricks ({} debris pieces standing by)",
+        bricks.len(),
+        bricks.len() * 8
+    );
 
     // A plank bridge behind the wall with breakable joints.
     let (_planks, joints) = spawn_bridge(

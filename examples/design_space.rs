@@ -6,8 +6,8 @@
 //! cargo run --release -p parallax-examples --example design_space
 //! ```
 
-use parallax::area::pool_area_mm2;
 use parallax::arch::ParallaxSystem;
+use parallax::area::pool_area_mm2;
 use parallax::explore::{cores_required_simulated, FgWorkload};
 use parallax::fgcore::FgCoreType;
 use parallax_archsim::offchip::Link;
@@ -30,7 +30,10 @@ fn main() {
 
     // 1. Minimum pool per core type and link for 30 FPS with 32% of the
     //    frame available to FG work.
-    println!("{:<12} {:>8} {:>8} {:>8}   (FG cores for 30 FPS)", "Core", "mesh", "HTX", "PCIe");
+    println!(
+        "{:<12} {:>8} {:>8} {:>8}   (FG cores for 30 FPS)",
+        "Core", "mesh", "HTX", "PCIe"
+    );
     for core in FgCoreType::REALISTIC {
         let need = |link| {
             cores_required_simulated(core, link, &workload, 0.32)
@@ -47,7 +50,10 @@ fn main() {
     }
 
     // 2. Area-performance frontier at fixed pool sizes.
-    println!("\n{:<12} {:>6} {:>10} {:>8}", "Core", "pool", "area mm2", "FPS");
+    println!(
+        "\n{:<12} {:>6} {:>10} {:>8}",
+        "Core", "pool", "area mm2", "FPS"
+    );
     for core in FgCoreType::REALISTIC {
         for pool in [16usize, 64, 150] {
             let mut sys = ParallaxSystem::new(4, core, pool, Link::OnChipMesh);

@@ -10,8 +10,10 @@ use parallax_physics::{World, WorldConfig};
 use parallax_workloads::entities::{heightfield_terrain, spawn_car, trimesh_terrain};
 
 fn main() {
-    let mut cfg = WorldConfig::default();
-    cfg.threads = 4; // persistent-worker parallel phases
+    let cfg = WorldConfig {
+        threads: 4, // persistent-worker parallel phases
+        ..Default::default()
+    };
     let mut world = World::new(cfg);
 
     heightfield_terrain(&mut world, 32, 32, 3.0, 0.5, 42);
@@ -27,7 +29,10 @@ fn main() {
         );
         cars.push(car);
     }
-    println!("4 cars on the start grid ({} bodies total)", world.bodies().len());
+    println!(
+        "4 cars on the start grid ({} bodies total)",
+        world.bodies().len()
+    );
 
     // Race for 4 simulated seconds.
     let mut wall = std::time::Duration::ZERO;
@@ -40,17 +45,30 @@ fn main() {
         wall += t0.elapsed();
     }
 
-    println!("\nafter {:.1}s simulated ({:?} wall, {} threads):", world.time(), wall, 4);
+    println!(
+        "\nafter {:.1}s simulated ({:?} wall, {} threads):",
+        world.time(),
+        wall,
+        4
+    );
     for (i, car) in cars.iter().enumerate() {
         let b = world.body(car.chassis);
         let p = b.position();
-        let broken = car.joints.iter().filter(|j| world.joint(**j).is_broken()).count();
+        let broken = car
+            .joints
+            .iter()
+            .filter(|j| world.joint(**j).is_broken())
+            .count();
         println!(
             "  car {i}: x={:+6.1} m  y={:+5.2} m  speed {:4.1} m/s  suspension {}",
             p.x,
             p.y,
             b.linear_velocity().length(),
-            if broken == 0 { "intact".to_string() } else { format!("{broken} joints broken") }
+            if broken == 0 {
+                "intact".to_string()
+            } else {
+                format!("{broken} joints broken")
+            }
         );
     }
     let leader = cars

@@ -1,0 +1,11 @@
+#!/usr/bin/env bash
+# Tier-1 verify: build, test, format, lint. Run from the repo root.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --release --offline
+cargo test -q --offline
+cargo fmt --check
+cargo clippy --workspace --offline --all-targets -- -D warnings
+
+echo "tier-1 verify: OK"

@@ -1,0 +1,163 @@
+//! Cross-thread determinism: the pipeline's parallel stages must produce
+//! bit-identical simulations for any executor width.
+//!
+//! The executor writes every result by item index and the island
+//! work-queue partition is derived from island order, not thread timing,
+//! so a scene stepped with 1, 2 or 8 threads must agree exactly — both in
+//! the simulated state (body positions, velocities) and in the derived
+//! step-trace instruction counts the architecture model consumes.
+
+use parallax_math::Vec3;
+use parallax_physics::{BodyDesc, Shape, World, WorldConfig};
+use parallax_trace::StepTrace;
+use parallax_workloads::{BenchmarkId, SceneParams};
+
+const STEPS: usize = 100;
+
+/// Bit-exact snapshot of the dynamic state plus per-step trace counts.
+#[derive(PartialEq, Debug)]
+struct RunRecord {
+    /// (position, linear velocity) bit patterns for every body at the end.
+    body_state: Vec<[u32; 6]>,
+    /// Cloth vertex position bit patterns at the end.
+    cloth_state: Vec<[u32; 3]>,
+    /// Per-step total step-trace instructions.
+    instructions: Vec<u64>,
+    /// Per-step entity counts (pairs, islands, contacts).
+    work: Vec<(usize, usize, usize)>,
+}
+
+fn bits(v: Vec3) -> [u32; 3] {
+    [v.x.to_bits(), v.y.to_bits(), v.z.to_bits()]
+}
+
+fn record(world: &mut World, steps: usize) -> RunRecord {
+    let mut instructions = Vec::with_capacity(steps);
+    let mut work = Vec::with_capacity(steps);
+    for _ in 0..steps {
+        let p = world.step();
+        instructions.push(StepTrace::from_profile(&p).total_instructions());
+        work.push((p.pairs.len(), p.islands.len(), p.total_contacts()));
+    }
+    let body_state = world
+        .bodies()
+        .iter()
+        .map(|b| {
+            let [px, py, pz] = bits(b.position());
+            let [vx, vy, vz] = bits(b.linear_velocity());
+            [px, py, pz, vx, vy, vz]
+        })
+        .collect();
+    let cloth_state = world
+        .cloths()
+        .iter()
+        .flat_map(|c| c.vertices().iter().map(|v| bits(v.pos)))
+        .collect();
+    RunRecord {
+        body_state,
+        cloth_state,
+        instructions,
+        work,
+    }
+}
+
+/// A dense hand-built scene touching every parallel phase: stacked boxes
+/// (islands above the queue threshold), loose spheres (small islands) and
+/// a cloth sheet.
+fn build_dense_world(threads: usize) -> World {
+    let mut w = World::new(WorldConfig {
+        threads,
+        ..WorldConfig::default()
+    });
+    w.add_static_geom(Shape::plane(Vec3::UNIT_Y, 0.0));
+    for s in 0..4 {
+        for i in 0..4 {
+            w.add_body(
+                BodyDesc::dynamic(Vec3::new(s as f32 * 2.0 - 3.0, 0.5 + i as f32 * 1.001, 0.0))
+                    .with_shape(Shape::cuboid(Vec3::splat(0.5)), 1.0),
+            );
+        }
+    }
+    for i in 0..6 {
+        w.add_body(
+            BodyDesc::dynamic(Vec3::new(i as f32 * 1.5 - 4.0, 0.5, 4.0))
+                .with_shape(Shape::sphere(0.5), 1.0),
+        );
+    }
+    w.add_cloth(parallax_physics::Cloth::rectangle(
+        Vec3::new(-1.0, 3.0, -1.0),
+        2.0,
+        2.0,
+        8,
+        8,
+        &[],
+    ));
+    w
+}
+
+#[test]
+fn dense_world_is_bit_identical_across_thread_counts() {
+    let baseline = record(&mut build_dense_world(1), STEPS);
+    assert!(baseline.instructions.iter().all(|&i| i > 0));
+    for threads in [2, 8] {
+        let run = record(&mut build_dense_world(threads), STEPS);
+        assert!(
+            run == baseline,
+            "threads = {threads} diverged from the serial run"
+        );
+    }
+}
+
+#[test]
+fn mix_scene_is_bit_identical_across_thread_counts() {
+    // The Mix scene exercises explosions, fracture, breakables and cloth
+    // on top of plain stacks — the full pipeline.
+    let record_mix = |threads: usize| {
+        let mut scene = BenchmarkId::Mix.build(&SceneParams {
+            scale: 0.1,
+            threads,
+            ..SceneParams::default()
+        });
+        let mut instructions = Vec::new();
+        for _ in 0..STEPS {
+            let p = scene.step();
+            instructions.push(StepTrace::from_profile(&p).total_instructions());
+        }
+        let positions: Vec<[u32; 3]> = scene
+            .world
+            .bodies()
+            .iter()
+            .map(|b| bits(b.position()))
+            .collect();
+        (instructions, positions)
+    };
+    let baseline = record_mix(1);
+    for threads in [2, 8] {
+        assert_eq!(record_mix(threads), baseline, "threads = {threads}");
+    }
+}
+
+#[test]
+fn thread_count_change_mid_run_stays_deterministic() {
+    // Switching the executor width mid-simulation (config_mut) must not
+    // perturb the trajectory either.
+    let mut steady = build_dense_world(1);
+    let mut switching = build_dense_world(1);
+    for step in 0..STEPS {
+        steady.step();
+        if step == 25 {
+            switching.config_mut().threads = 4;
+        }
+        if step == 75 {
+            switching.config_mut().threads = 2;
+        }
+        switching.step();
+    }
+    let a: Vec<[u32; 3]> = steady.bodies().iter().map(|b| bits(b.position())).collect();
+    let b: Vec<[u32; 3]> = switching
+        .bodies()
+        .iter()
+        .map(|b| bits(b.position()))
+        .collect();
+    assert_eq!(a, b);
+}

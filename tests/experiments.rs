@@ -39,10 +39,7 @@ fn fig2b_shape_bigger_l2_never_hurts_serial_phases() {
             sim.run_step(t);
         }
         sim.reset_stats();
-        traces
-            .iter()
-            .map(|t| sim.run_step(t).serial())
-            .sum::<u64>()
+        traces.iter().map(|t| sim.run_step(t).serial()).sum::<u64>()
     };
     let s1 = serial(1);
     let s4 = serial(4);
@@ -119,10 +116,13 @@ fn fig10a_shape_ipc_per_core_type() {
         .collect();
     assert!(island[0] > island[1] && island[1] > island[2]); // d > c > s
     assert!(island[3] > island[0]); // limit > desktop
-    // Narrowphase: the limit-study core does *worse* than the console.
+                                    // Narrowphase: the limit-study core does *worse* than the console.
     let nw_limit = FgCoreType::LimitStudy.kernel_ipc(Kernel::Narrowphase);
     let nw_console = FgCoreType::Console.kernel_ipc(Kernel::Narrowphase);
-    assert!(nw_limit < nw_console, "paper: narrowphase degrades with resources");
+    assert!(
+        nw_limit < nw_console,
+        "paper: narrowphase degrades with resources"
+    );
 }
 
 #[test]
@@ -141,7 +141,12 @@ fn fig10b_shape_core_counts() {
 
 #[test]
 fn table7_shape_looser_links_need_more_island_buffering() {
-    let on = tasks_to_hide_latency(Kernel::IslandSolver, FgCoreType::Desktop, Link::OnChipMesh, 30);
+    let on = tasks_to_hide_latency(
+        Kernel::IslandSolver,
+        FgCoreType::Desktop,
+        Link::OnChipMesh,
+        30,
+    );
     let htx = tasks_to_hide_latency(Kernel::IslandSolver, FgCoreType::Desktop, Link::Htx, 30);
     let pcie = tasks_to_hide_latency(Kernel::IslandSolver, FgCoreType::Desktop, Link::Pcie, 30);
     let (a, b, c) = (
@@ -149,7 +154,10 @@ fn table7_shape_looser_links_need_more_island_buffering() {
         htx.total_tasks.unwrap(),
         pcie.total_tasks.unwrap(),
     );
-    assert!(a < b && b < c, "island buffering must grow with latency: {a} {b} {c}");
+    assert!(
+        a < b && b < c,
+        "island buffering must grow with latency: {a} {b} {c}"
+    );
 }
 
 #[test]

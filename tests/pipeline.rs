@@ -60,7 +60,11 @@ fn same_seed_reproduces_the_same_workload() {
             .map(|p| (p.pairs.len(), p.islands.len(), p.total_contacts()))
             .collect::<Vec<_>>()
     };
-    assert_eq!(run(), run(), "scene construction and stepping are deterministic");
+    assert_eq!(
+        run(),
+        run(),
+        "scene construction and stepping are deterministic"
+    );
 }
 
 #[test]
@@ -126,7 +130,10 @@ fn fg_pool_scales_until_serial_bound() {
     };
     let t10 = time(10);
     let t150 = time(150);
-    assert!(t150 <= t10, "more FG cores cannot be slower: {t150} vs {t10}");
+    assert!(
+        t150 <= t10,
+        "more FG cores cannot be slower: {t150} vs {t10}"
+    );
     // Serial phases are untouched by FG scaling.
     let serial = |fg: usize| {
         let mut sys = ParallaxSystem::new(4, FgCoreType::Shader, fg, Link::OnChipMesh);
@@ -136,7 +143,10 @@ fn fg_pool_scales_until_serial_bound() {
     let s10 = serial(10);
     let s150 = serial(150);
     let drift = (s10 as f64 - s150 as f64).abs() / s10.max(1) as f64;
-    assert!(drift < 0.05, "serial time should not depend on FG pool: {s10} vs {s150}");
+    assert!(
+        drift < 0.05,
+        "serial time should not depend on FG pool: {s10} vs {s150}"
+    );
 }
 
 #[test]

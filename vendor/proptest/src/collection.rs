@@ -1,0 +1,27 @@
+//! Collection strategies (`prop::collection::vec`).
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use rand::Rng;
+use std::ops::Range;
+
+/// Strategy for `Vec`s with lengths drawn from `size` and elements from
+/// `element`.
+pub struct VecStrategy<S> {
+    element: S,
+    size: Range<usize>,
+}
+
+/// `Vec` strategy: lengths in `size`, elements from `element`.
+pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+    assert!(size.start < size.end, "empty size range");
+    VecStrategy { element, size }
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+    fn sample(&self, rng: &mut TestRng) -> Option<Vec<S::Value>> {
+        let len = rng.gen_range(self.size.clone());
+        (0..len).map(|_| self.element.sample(rng)).collect()
+    }
+}

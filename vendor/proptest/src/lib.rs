@@ -1,0 +1,122 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The container has no registry access, so the real `proptest` cannot be
+//! fetched. This crate reimplements the subset the workspace's property
+//! tests use: the `proptest!` / `prop_assert*` / `prop_assume!` /
+//! `prop_oneof!` macros, the [`strategy::Strategy`] trait with `prop_map`
+//! and `prop_filter`, range/tuple strategies, `prop::num::f32::NORMAL`,
+//! `prop::collection::vec`, and `any::<T>()`.
+//!
+//! Differences from upstream: cases are sampled from a deterministic
+//! per-test RNG (seeded from the test's name), and there is no shrinking —
+//! a failing case panics with the assertion message, which in these tests
+//! always interpolates the offending values.
+
+pub mod arbitrary;
+pub mod collection;
+pub mod num;
+pub mod strategy;
+pub mod test_runner;
+
+/// The glob-import surface: `use proptest::prelude::*;`.
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::Strategy;
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+
+    /// Mirror of upstream's `prelude::prop` module alias.
+    pub mod prop {
+        pub use crate::collection;
+        pub use crate::num;
+    }
+}
+
+/// Declares property tests. Each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` that runs `body` over `config.cases` sampled inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns! { ($crate::test_runner::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    ( ($cfg:expr) ) => {};
+    ( ($cfg:expr)
+      $(#[$attr:meta])*
+      fn $name:ident ( $($arg:ident in $strat:expr),+ $(,)? ) $body:block
+      $($rest:tt)*
+    ) => {
+        $(#[$attr])*
+        fn $name() {
+            let __config: $crate::test_runner::ProptestConfig = $cfg;
+            'cases: for __case in 0..__config.cases {
+                let mut __rng =
+                    $crate::test_runner::TestRng::for_case(stringify!($name), __case);
+                $(
+                    let $arg = match $crate::test_runner::sample_or_reject(
+                        &($strat),
+                        &mut __rng,
+                    ) {
+                        ::std::result::Result::Ok(v) => v,
+                        ::std::result::Result::Err(_) => continue 'cases,
+                    };
+                )+
+                let __outcome: ::std::result::Result<(), $crate::test_runner::Rejection> =
+                    (move || {
+                        $body
+                        ::std::result::Result::Ok(())
+                    })();
+                // A rejected case (prop_assume! failure) is skipped, not failed.
+                let _ = __outcome;
+            }
+        }
+        $crate::__proptest_fns! { ($cfg) $($rest)* }
+    };
+}
+
+/// Asserts a condition inside a property test, failing the current case.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { ::std::assert!($($tt)*) };
+}
+
+/// Asserts equality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { ::std::assert_eq!($($tt)*) };
+}
+
+/// Asserts inequality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { ::std::assert_ne!($($tt)*) };
+}
+
+/// Rejects the current case (it is skipped without failing the test).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(, $($fmt:tt)*)?) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::Rejection);
+        }
+    };
+}
+
+/// Picks uniformly between several strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(::std::vec![
+            $($crate::strategy::boxed($strat)),+
+        ])
+    };
+}

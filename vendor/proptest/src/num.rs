@@ -1,0 +1,28 @@
+//! Numeric strategies (`prop::num::f32::NORMAL`).
+
+pub mod f32 {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use rand::RngCore;
+
+    /// Strategy producing normal (non-zero, non-subnormal, finite) `f32`s
+    /// across the full exponent range, like upstream's `f32::NORMAL`.
+    #[derive(Debug, Clone, Copy)]
+    pub struct NormalF32;
+
+    pub const NORMAL: NormalF32 = NormalF32;
+
+    impl Strategy for NormalF32 {
+        type Value = f32;
+        fn sample(&self, rng: &mut TestRng) -> Option<f32> {
+            // Uniform over bit patterns, rejecting non-normal encodings;
+            // ~99.6% of patterns are normal, so this terminates fast.
+            loop {
+                let f = f32::from_bits(rng.next_u32());
+                if f.is_normal() {
+                    return Some(f);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,63 @@
+//! Deterministic test execution support: per-case RNG, config, rejection.
+
+use crate::strategy::Strategy;
+use rand::rngs::SmallRng;
+use rand::{RngCore, SeedableRng};
+
+/// How many cases each property test runs (upstream default: 256).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Config running `cases` sampled inputs per test.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// Marker returned when a case is rejected (`prop_assume!` failed or a
+/// strategy filter never produced a value).
+#[derive(Debug)]
+pub struct Rejection;
+
+/// Deterministic per-case random source. Seeded from the test name and
+/// case index, so reruns explore identical inputs.
+pub struct TestRng(SmallRng);
+
+impl TestRng {
+    /// RNG for case `case` of the test named `name`.
+    pub fn for_case(name: &str, case: u32) -> Self {
+        // FNV-1a over the name, mixed with the case index.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        TestRng(SmallRng::seed_from_u64(h ^ ((case as u64) << 32 | 0x9E37)))
+    }
+}
+
+impl RngCore for TestRng {
+    fn next_u64(&mut self) -> u64 {
+        self.0.next_u64()
+    }
+}
+
+/// Samples a strategy, retrying through filter rejections; rejects the
+/// case if the filter is too tight to ever pass.
+pub fn sample_or_reject<S: Strategy>(s: &S, rng: &mut TestRng) -> Result<S::Value, Rejection> {
+    for _ in 0..1_000 {
+        if let Some(v) = s.sample(rng) {
+            return Ok(v);
+        }
+    }
+    Err(Rejection)
+}

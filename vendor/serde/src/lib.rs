@@ -1,0 +1,20 @@
+//! Offline stand-in for `serde`.
+//!
+//! Provides the `Serialize` / `Deserialize` *names* in both the trait and
+//! derive-macro namespaces so that `use serde::{Serialize, Deserialize}`
+//! and `#[derive(Serialize, Deserialize)]` compile unchanged. The derives
+//! expand to nothing and the traits are empty: no code in this workspace
+//! serializes through serde (structured output is hand-written JSON), so
+//! the full data model is not needed. See `vendor/serde_derive` for the
+//! rationale.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait standing in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait standing in for `serde::Deserialize<'de>`.
+pub trait Deserialize<'de> {}
+
+/// Marker trait standing in for `serde::de::DeserializeOwned`.
+pub trait DeserializeOwned {}

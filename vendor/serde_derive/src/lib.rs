@@ -1,0 +1,24 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The workspace is built in a container without access to crates.io, so
+//! the real `serde` cannot be fetched. Nothing in the workspace actually
+//! serializes (there is no `serde_json`/`bincode` consumer); the derives
+//! are kept on types as forward-looking annotations. These proc macros
+//! accept `#[derive(Serialize)]` / `#[derive(Deserialize)]` and expand to
+//! nothing, which is exactly the subset of behaviour the workspace relies
+//! on today. Swap back to the real crates by editing the workspace
+//! `Cargo.toml` once a registry is available.
+
+use proc_macro::TokenStream;
+
+/// Accepts `#[derive(Serialize)]` and expands to nothing.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Accepts `#[derive(Deserialize)]` and expands to nothing.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
