@@ -189,6 +189,12 @@ impl Hierarchy {
         self.prefetches
     }
 
+    /// Open-row DRAM statistics `(row_hits, row_misses)`; zeros when the
+    /// DRAM model is disabled.
+    pub fn dram_stats(&self) -> (u64, u64) {
+        self.dram.as_ref().map_or((0, 0), |d| d.stats())
+    }
+
     /// Number of cores (L1s).
     pub fn cores(&self) -> usize {
         self.l1.len()

@@ -1,13 +1,68 @@
 //! Multi-core frame simulation: turns step traces into per-phase cycle
 //! counts on a configurable CG machine (the engine behind Figures 2–6).
 
+use std::sync::OnceLock;
+
 use parallax_physics::PhaseKind;
+use parallax_telemetry as telemetry;
 use parallax_trace::{Kernel, StepTrace, TaskTrace};
 
 use crate::config::MachineConfig;
 use crate::core::CoreModel;
 use crate::hierarchy::{Hierarchy, MemStats};
 use crate::os;
+
+/// Telemetry counters for the architecture simulation, fed with per-step
+/// deltas of the simulator's own statistics (the access hot path is left
+/// untouched — stats are flushed once per simulated step).
+struct ArchMetrics {
+    steps: telemetry::Counter,
+    l1_hits: telemetry::Counter,
+    l1_misses: telemetry::Counter,
+    l2_hits: telemetry::Counter,
+    l2_misses: telemetry::Counter,
+    coherence_transfers: telemetry::Counter,
+    prefetches: telemetry::Counter,
+    /// Open-row DRAM behaviour stands in for queue occupancy: the model
+    /// has no request queue, so pressure shows up as row misses.
+    dram_row_hits: telemetry::Counter,
+    dram_row_misses: telemetry::Counter,
+    dram_row_hit_rate_pct: telemetry::Gauge,
+    kernel_l2_misses: telemetry::Counter,
+    user_l2_misses: telemetry::Counter,
+    phase_cycles: telemetry::Histogram,
+}
+
+fn arch_metrics() -> &'static ArchMetrics {
+    static M: OnceLock<ArchMetrics> = OnceLock::new();
+    M.get_or_init(|| ArchMetrics {
+        steps: telemetry::counter("archsim.steps"),
+        l1_hits: telemetry::counter("archsim.l1_hits"),
+        l1_misses: telemetry::counter("archsim.l1_misses"),
+        l2_hits: telemetry::counter("archsim.l2_hits"),
+        l2_misses: telemetry::counter("archsim.l2_misses"),
+        coherence_transfers: telemetry::counter("archsim.coherence_transfers"),
+        prefetches: telemetry::counter("archsim.prefetches"),
+        dram_row_hits: telemetry::counter("archsim.dram_row_hits"),
+        dram_row_misses: telemetry::counter("archsim.dram_row_misses"),
+        dram_row_hit_rate_pct: telemetry::gauge("archsim.dram_row_hit_rate_pct"),
+        kernel_l2_misses: telemetry::counter("archsim.kernel_l2_misses"),
+        user_l2_misses: telemetry::counter("archsim.user_l2_misses"),
+        phase_cycles: telemetry::histogram("archsim.phase_cycles"),
+    })
+}
+
+/// Cumulative simulator statistics at the last telemetry flush, so each
+/// step contributes exactly its delta to the counters.
+#[derive(Debug, Default, Clone, Copy)]
+struct StatTotals {
+    mem: MemStats,
+    prefetches: u64,
+    dram_row_hits: u64,
+    dram_row_misses: u64,
+    kernel_l2_misses: u64,
+    user_l2_misses: u64,
+}
 
 /// Which kernel model a phase uses.
 ///
@@ -93,6 +148,8 @@ pub struct MulticoreSim {
     cores: Vec<CoreModel>,
     kernel_l2_misses: u64,
     user_l2_misses: u64,
+    /// Totals already flushed to the telemetry registry.
+    flushed: StatTotals,
 }
 
 impl std::fmt::Debug for MulticoreSim {
@@ -117,6 +174,7 @@ impl MulticoreSim {
             options,
             kernel_l2_misses: 0,
             user_l2_misses: 0,
+            flushed: StatTotals::default(),
         }
     }
 
@@ -232,7 +290,71 @@ impl MulticoreSim {
                 time.cycles[pi] = load.into_iter().max().unwrap_or(0) + os_cycles;
             }
         }
+        self.flush_telemetry(&time);
         time
+    }
+
+    /// Cumulative statistics across all hierarchies plus the OS split.
+    fn stat_totals(&self) -> StatTotals {
+        let mut t = StatTotals {
+            kernel_l2_misses: self.kernel_l2_misses,
+            user_l2_misses: self.user_l2_misses,
+            ..Default::default()
+        };
+        for h in &self.hierarchies {
+            let s = h.stats();
+            t.mem.l1_hits += s.l1_hits;
+            t.mem.l1_misses += s.l1_misses;
+            t.mem.l2_hits += s.l2_hits;
+            t.mem.l2_misses += s.l2_misses;
+            t.mem.coherence_transfers += s.coherence_transfers;
+            t.prefetches += h.prefetches();
+            let (rh, rm) = h.dram_stats();
+            t.dram_row_hits += rh;
+            t.dram_row_misses += rm;
+        }
+        t
+    }
+
+    /// Flushes the step's statistics delta into the telemetry registry.
+    fn flush_telemetry(&mut self, time: &PhaseTime) {
+        if !telemetry::enabled() {
+            return;
+        }
+        let m = arch_metrics();
+        m.steps.add(1);
+        for c in time.cycles {
+            m.phase_cycles.record(c);
+        }
+        let now = self.stat_totals();
+        let was = self.flushed;
+        m.l1_hits
+            .add(now.mem.l1_hits.saturating_sub(was.mem.l1_hits));
+        m.l1_misses
+            .add(now.mem.l1_misses.saturating_sub(was.mem.l1_misses));
+        m.l2_hits
+            .add(now.mem.l2_hits.saturating_sub(was.mem.l2_hits));
+        m.l2_misses
+            .add(now.mem.l2_misses.saturating_sub(was.mem.l2_misses));
+        m.coherence_transfers.add(
+            now.mem
+                .coherence_transfers
+                .saturating_sub(was.mem.coherence_transfers),
+        );
+        m.prefetches
+            .add(now.prefetches.saturating_sub(was.prefetches));
+        let row_hits = now.dram_row_hits.saturating_sub(was.dram_row_hits);
+        let row_misses = now.dram_row_misses.saturating_sub(was.dram_row_misses);
+        m.dram_row_hits.add(row_hits);
+        m.dram_row_misses.add(row_misses);
+        if let Some(rate) = (row_hits * 100).checked_div(row_hits + row_misses) {
+            m.dram_row_hit_rate_pct.set(rate);
+        }
+        m.kernel_l2_misses
+            .add(now.kernel_l2_misses.saturating_sub(was.kernel_l2_misses));
+        m.user_l2_misses
+            .add(now.user_l2_misses.saturating_sub(was.user_l2_misses));
+        self.flushed = now;
     }
 
     /// Simulates a window of steps, aggregating phase times.
@@ -267,6 +389,8 @@ impl MulticoreSim {
         }
         self.kernel_l2_misses = 0;
         self.user_l2_misses = 0;
+        // Re-baseline so the next telemetry flush sees post-reset deltas.
+        self.flushed = self.stat_totals();
     }
 }
 

@@ -1,0 +1,65 @@
+//! Guard benchmark for the telemetry layer's disabled-sink cost.
+//!
+//! The step pipeline is instrumented unconditionally; when no sink is
+//! active the recorder must be near-free. Three timings bound the cost:
+//!
+//! * `disabled` — default build, telemetry off at runtime (the product
+//!   configuration every figure binary runs in without `--telemetry`).
+//!   Compare against a `--features no-telemetry` run of the same bench,
+//!   which compiles the recorder out entirely (`compiled_out` then names
+//!   the identical code path): the delta is the disabled-sink overhead
+//!   and must stay within 3%.
+//! * `enabled` — recording counters, histograms and spans (spans are
+//!   drained each step as a sink would), to show the live cost.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use parallax_workloads::{BenchmarkId, Scene, SceneParams};
+
+fn mix_scene() -> Scene {
+    let mut scene = BenchmarkId::Mix.build(&SceneParams {
+        scale: 0.1,
+        ..SceneParams::default()
+    });
+    for _ in 0..10 {
+        scene.step();
+    }
+    scene
+}
+
+fn bench_disabled(c: &mut Criterion) {
+    let mut group = c.benchmark_group("telemetry_overhead");
+    group.sample_size(20);
+    let name = if cfg!(feature = "no-telemetry") {
+        "compiled_out"
+    } else {
+        "disabled"
+    };
+    let mut scene = mix_scene();
+    group.bench_function(name, |b| b.iter(|| scene.step().body_count));
+    group.finish();
+}
+
+#[cfg(not(feature = "no-telemetry"))]
+fn bench_enabled(c: &mut Criterion) {
+    let mut group = c.benchmark_group("telemetry_overhead");
+    group.sample_size(20);
+    let mut scene = mix_scene();
+    parallax_telemetry::set_enabled(true);
+    let mut spans = Vec::new();
+    group.bench_function("enabled", |b| {
+        b.iter(|| {
+            let n = scene.step().body_count;
+            parallax_telemetry::drain_spans(&mut spans);
+            spans.clear();
+            n
+        })
+    });
+    parallax_telemetry::set_enabled(false);
+    group.finish();
+}
+
+#[cfg(feature = "no-telemetry")]
+fn bench_enabled(_c: &mut Criterion) {}
+
+criterion_group!(benches, bench_disabled, bench_enabled);
+criterion_main!(benches);

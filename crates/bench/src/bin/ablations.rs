@@ -6,7 +6,7 @@
 
 use parallax_archsim::config::{L2Config, MachineConfig};
 use parallax_archsim::multicore::{MulticoreSim, SimOptions};
-use parallax_bench::{fmt_secs, print_table, traces_of, warm_measure, Ctx};
+use parallax_bench::{fmt_secs, print_table, traces_of, warm_measure, Ctx, PARTITION_OF_PHASE};
 use parallax_physics::BroadphaseKind;
 use parallax_workloads::{BenchmarkId, SceneParams};
 
@@ -68,7 +68,7 @@ fn main() {
         let mut sim = MulticoreSim::new(
             part_machine,
             SimOptions {
-                partition_of_phase: Some([0, 2, 1, 2, 2]),
+                partition_of_phase: Some(PARTITION_OF_PHASE),
                 ..Default::default()
             },
         );

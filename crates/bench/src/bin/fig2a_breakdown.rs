@@ -3,8 +3,9 @@
 
 use parallax_archsim::config::MachineConfig;
 use parallax_archsim::multicore::{MulticoreSim, SimOptions};
-use parallax_bench::{bench_data, fmt_secs, print_table, traces_of, warm_measure, Ctx};
-use parallax_physics::PhaseKind;
+use parallax_bench::{
+    bench_data, breakdown_row, print_table, traces_of, warm_measure, Ctx, BREAKDOWN_HEADERS,
+};
 use parallax_workloads::BenchmarkId;
 
 fn main() {
@@ -16,24 +17,15 @@ fn main() {
         let mut sim = MulticoreSim::new(MachineConfig::baseline(1, 1), SimOptions::default());
         let r = warm_measure(&mut sim, &traces);
         // Per displayed frame (the window holds `measure_frames` frames).
-        let frames = ctx.measure_frames as f64;
-        let clock = 2.0e9;
-        let mut row = vec![id.abbrev().to_string()];
-        let mut total = 0.0;
-        for (i, _) in PhaseKind::ALL.iter().enumerate() {
-            let secs = r.time.cycles[i] as f64 / clock / frames;
-            total += secs;
-            row.push(fmt_secs(secs));
-        }
-        row.push(fmt_secs(total));
-        row.push(format!("{:.1}", 1.0 / total.max(1e-12)));
-        rows.push(row);
+        rows.push(breakdown_row(
+            id.abbrev(),
+            &r.time,
+            ctx.measure_frames as f64,
+        ));
     }
     print_table(
         "Figure 2a: 1 core + 1MB L2 — seconds per frame by phase",
-        &[
-            "Bench", "Broad", "Narrow", "IslSer", "IslPar", "Cloth", "Total", "FPS",
-        ],
+        &BREAKDOWN_HEADERS,
         &rows,
     );
     println!("\n30 FPS requires total <= 3.33e-2 s. Paper: only Periodic and");

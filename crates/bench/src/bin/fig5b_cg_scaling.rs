@@ -2,24 +2,18 @@
 //! with the 12 MB partitioned L2 (4 MB Broadphase, 4 MB Island Creation,
 //! 4 MB shared by the parallel phases).
 
-use parallax_archsim::config::{L2Config, MachineConfig};
 use parallax_archsim::multicore::{MulticoreSim, SimOptions};
-use parallax_bench::{bench_data, fmt_secs, print_table, traces_of, warm_measure, Ctx};
+use parallax_bench::{
+    bench_data, fmt_secs, partitioned_machine, print_table, traces_of, warm_measure, Ctx,
+    PARTITION_OF_PHASE,
+};
 use parallax_workloads::BenchmarkId;
-
-/// The paper's partitioned machine: 12 MB L2, ways split 1/1/2 between
-/// Broadphase / Island Creation / parallel phases (per-way columnization).
-pub fn partitioned_machine(cores: usize) -> MachineConfig {
-    let mut m = MachineConfig::baseline(cores, 12);
-    m.l2 = L2Config::partitioned(12, vec![1, 1, 2]);
-    m
-}
 
 fn main() {
     let ctx = Ctx::from_env();
     let options = SimOptions {
         os_overhead: true,
-        partition_of_phase: Some([0, 2, 1, 2, 2]),
+        partition_of_phase: Some(PARTITION_OF_PHASE),
         ..Default::default()
     };
     let mut rows = Vec::new();

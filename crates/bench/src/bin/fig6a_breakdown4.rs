@@ -1,10 +1,11 @@
 //! Figure 6(a): execution-time breakdown on 4 CG cores + 12 MB
 //! partitioned L2.
 
-use parallax_archsim::config::{L2Config, MachineConfig};
 use parallax_archsim::multicore::{MulticoreSim, SimOptions};
-use parallax_bench::{bench_data, fmt_secs, print_table, traces_of, warm_measure, Ctx};
-use parallax_physics::PhaseKind;
+use parallax_bench::{
+    bench_data, breakdown_row, partitioned_machine, print_table, traces_of, warm_measure, Ctx,
+    BREAKDOWN_HEADERS, PARTITION_OF_PHASE,
+};
 use parallax_workloads::BenchmarkId;
 
 fn main() {
@@ -13,34 +14,24 @@ fn main() {
     for id in BenchmarkId::ALL {
         let d = bench_data(id, &ctx);
         let traces = traces_of(&d.profiles);
-        let mut machine = MachineConfig::baseline(4, 12);
-        machine.l2 = L2Config::partitioned(12, vec![1, 1, 2]);
         let mut sim = MulticoreSim::new(
-            machine,
+            partitioned_machine(4),
             SimOptions {
                 os_overhead: true,
-                partition_of_phase: Some([0, 2, 1, 2, 2]),
+                partition_of_phase: Some(PARTITION_OF_PHASE),
                 ..Default::default()
             },
         );
         let r = warm_measure(&mut sim, &traces);
-        let frames = ctx.measure_frames as f64;
-        let mut row = vec![id.abbrev().to_string()];
-        let mut total = 0.0;
-        for (i, _) in PhaseKind::ALL.iter().enumerate() {
-            let secs = r.time.cycles[i] as f64 / 2.0e9 / frames;
-            total += secs;
-            row.push(fmt_secs(secs));
-        }
-        row.push(fmt_secs(total));
-        row.push(format!("{:.1}", 1.0 / total.max(1e-12)));
-        rows.push(row);
+        rows.push(breakdown_row(
+            id.abbrev(),
+            &r.time,
+            ctx.measure_frames as f64,
+        ));
     }
     print_table(
         "Figure 6a: 4 cores + 12MB partitioned L2 — seconds per frame by phase",
-        &[
-            "Bench", "Broad", "Narrow", "IslSer", "IslPar", "Cloth", "Total", "FPS",
-        ],
+        &BREAKDOWN_HEADERS,
         &rows,
     );
     println!("\nPaper: ~3x faster than the single-core baseline, but an additional");

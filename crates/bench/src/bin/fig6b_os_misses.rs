@@ -1,9 +1,10 @@
 //! Figure 6(b): L2-miss breakdown (kernel vs user) as worker threads
 //! scale 1 → 8 on the Mix benchmark.
 
-use parallax_archsim::config::{L2Config, MachineConfig};
 use parallax_archsim::multicore::{MulticoreSim, SimOptions};
-use parallax_bench::{bench_data, print_table, traces_of, Ctx};
+use parallax_bench::{
+    bench_data, partitioned_machine, print_table, traces_of, Ctx, PARTITION_OF_PHASE,
+};
 use parallax_workloads::BenchmarkId;
 
 fn main() {
@@ -14,13 +15,11 @@ fn main() {
     let mut four_total = 0u64;
     let mut eight_total = 0u64;
     for cores in [1usize, 2, 4, 8] {
-        let mut machine = MachineConfig::baseline(cores, 12);
-        machine.l2 = L2Config::partitioned(12, vec![1, 1, 2]);
         let mut sim = MulticoreSim::new(
-            machine,
+            partitioned_machine(cores),
             SimOptions {
                 os_overhead: true,
-                partition_of_phase: Some([0, 2, 1, 2, 2]),
+                partition_of_phase: Some(PARTITION_OF_PHASE),
                 ..Default::default()
             },
         );

@@ -5,7 +5,9 @@
 use parallax_archsim::config::{L2Config, MachineConfig};
 use parallax_archsim::core::CoreModel;
 use parallax_archsim::multicore::{MulticoreSim, SimOptions};
-use parallax_bench::{bench_data, fmt_secs, print_table, traces_of, warm_measure, Ctx};
+use parallax_bench::{
+    bench_data, fmt_secs, print_table, traces_of, warm_measure, Ctx, PARTITION_OF_PHASE,
+};
 use parallax_trace::kernels::KernelModel;
 use parallax_trace::Kernel;
 use parallax_workloads::BenchmarkId;
@@ -49,7 +51,7 @@ fn main() {
             machine,
             SimOptions {
                 os_overhead: cores > 1,
-                partition_of_phase: Some([0, 2, 1, 2, 2]),
+                partition_of_phase: Some(PARTITION_OF_PHASE),
                 ..Default::default()
             },
         );

@@ -1,0 +1,120 @@
+//! Steps a single benchmark scene, optionally writing a per-step
+//! telemetry JSONL stream (one [`parallax_telemetry::StepRecord`] per
+//! step, covering physics, trace and archsim metric deltas plus the
+//! executor span tracks).
+//!
+//! ```text
+//! run_scene --scene Mix --steps 60 --scale 0.5 --threads 4 --telemetry out.jsonl
+//! ```
+//!
+//! Render the output with `telemetry_report out.jsonl` or convert it to
+//! a Perfetto-loadable Chrome trace with
+//! `telemetry_report out.jsonl --chrome trace.json`.
+
+use parallax_bench::{benchmark_by_name, telemetry_baseline, telemetry_sink, write_step_record};
+use parallax_workloads::{BenchmarkId, SceneParams};
+
+struct Args {
+    scene: BenchmarkId,
+    steps: u64,
+    scale: f32,
+    threads: usize,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        scene: BenchmarkId::Mix,
+        steps: 30,
+        scale: 0.25,
+        threads: 1,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value_of = |flag: &str| it.next().ok_or_else(|| format!("{flag} requires a value"));
+        match flag.as_str() {
+            "--scene" => {
+                let name = value_of("--scene")?;
+                args.scene = benchmark_by_name(&name)
+                    .ok_or_else(|| format!("unknown scene {name:?} (try Mix, Periodic, ...)"))?;
+            }
+            "--steps" => {
+                args.steps = value_of("--steps")?
+                    .parse()
+                    .map_err(|e| format!("--steps: {e}"))?;
+            }
+            "--scale" => {
+                args.scale = value_of("--scale")?
+                    .parse()
+                    .map_err(|e| format!("--scale: {e}"))?;
+            }
+            "--threads" => {
+                args.threads = value_of("--threads")?
+                    .parse()
+                    .map_err(|e| format!("--threads: {e}"))?;
+            }
+            // Consumed by the shared sink bootstrap in parallax-bench.
+            "--telemetry" => {
+                value_of("--telemetry")?;
+            }
+            other if other.starts_with("--telemetry=") => {}
+            other => return Err(format!("unknown flag {other:?}")),
+        }
+    }
+    Ok(args)
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!(
+                "usage: run_scene [--scene NAME] [--steps N] [--scale F] \
+                 [--threads N] [--telemetry PATH]"
+            );
+            std::process::exit(2);
+        }
+    };
+
+    let recording = telemetry_sink().is_some();
+    let mut scene = args.scene.build(&SceneParams {
+        scale: args.scale,
+        threads: args.threads,
+        ..SceneParams::default()
+    });
+
+    let mut baseline = telemetry_baseline();
+    let mut last = None;
+    for step in 0..args.steps {
+        let profile = scene.step();
+        if recording {
+            write_step_record(
+                "physics",
+                args.scene.name(),
+                step,
+                Some(&profile),
+                &mut baseline,
+            );
+        }
+        last = Some(profile);
+    }
+
+    let Some(profile) = last else {
+        println!("{}: 0 steps", args.scene.name());
+        return;
+    };
+    let total: f64 = profile.wall.iter().map(|d| d.as_secs_f64()).sum();
+    println!(
+        "{}: {} steps, {} bodies, {} geoms, last step {:.3} ms{}",
+        args.scene.name(),
+        args.steps,
+        profile.body_count,
+        profile.geom_count,
+        total * 1e3,
+        if recording {
+            " (telemetry recorded)"
+        } else {
+            ""
+        }
+    );
+}

@@ -1,0 +1,103 @@
+//! Renders a telemetry JSONL stream (written by the figure binaries or
+//! `run_scene` via `--telemetry <path>`) as the paper's Fig-2a-style
+//! per-phase breakdown table, plus counters, histograms and executor
+//! worker utilization.
+//!
+//! ```text
+//! telemetry_report out.jsonl                  # text report
+//! telemetry_report out.jsonl --chrome t.json  # + Perfetto/chrome trace
+//! telemetry_report out.jsonl --check-phases   # smoke-test validation
+//! ```
+//!
+//! `--check-phases` exits nonzero unless every physics step record
+//! carries all five pipeline phases with a positive total — the tier-1
+//! smoke test in `scripts/verify.sh` relies on this.
+
+use parallax_physics::PhaseKind;
+use parallax_telemetry::{chrome_trace, read_jsonl, report, StepRecord};
+
+fn check_phases(records: &[StepRecord]) -> Result<(), String> {
+    let physics: Vec<&StepRecord> = records.iter().filter(|r| r.source == "physics").collect();
+    if physics.is_empty() {
+        return Err("no physics step records in file".to_string());
+    }
+    for r in &physics {
+        for phase in PhaseKind::ALL {
+            if !r.wall_ns.iter().any(|(name, _)| name == phase.name()) {
+                return Err(format!(
+                    "step {} of {:?} is missing phase {:?}",
+                    r.step,
+                    r.scene,
+                    phase.name()
+                ));
+            }
+        }
+        if r.wall_total_ns() == 0 {
+            return Err(format!(
+                "step {} of {:?} has zero total wall time",
+                r.step, r.scene
+            ));
+        }
+    }
+    println!(
+        "ok: {} physics record(s), all {} phases present",
+        physics.len(),
+        PhaseKind::ALL.len()
+    );
+    Ok(())
+}
+
+fn main() {
+    let mut input = None;
+    let mut chrome_out = None;
+    let mut check = false;
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--chrome" => match it.next() {
+                Some(path) => chrome_out = Some(path),
+                None => {
+                    eprintln!("error: --chrome requires a path");
+                    std::process::exit(2);
+                }
+            },
+            "--check-phases" => check = true,
+            other if other.starts_with("--") => {
+                eprintln!("error: unknown flag {other:?}");
+                eprintln!("usage: telemetry_report <file.jsonl> [--chrome OUT] [--check-phases]");
+                std::process::exit(2);
+            }
+            other => input = Some(other.to_string()),
+        }
+    }
+    let Some(input) = input else {
+        eprintln!("usage: telemetry_report <file.jsonl> [--chrome OUT] [--check-phases]");
+        std::process::exit(2);
+    };
+
+    let records = match read_jsonl(&input) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    };
+
+    if check {
+        if let Err(e) = check_phases(&records) {
+            eprintln!("check failed: {e}");
+            std::process::exit(1);
+        }
+    }
+
+    print!("{}", report::render(&records));
+
+    if let Some(path) = chrome_out {
+        let trace = chrome_trace(&records);
+        if let Err(e) = std::fs::write(&path, trace) {
+            eprintln!("error: cannot write {path}: {e}");
+            std::process::exit(1);
+        }
+        println!("\nwrote chrome trace to {path} (load in Perfetto or chrome://tracing)");
+    }
+}

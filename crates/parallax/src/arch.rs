@@ -1,13 +1,45 @@
 //! The full ParallAX system model: CG cores + partitioned L2 + FG pool
 //! (paper Figure 8), simulated end-to-end from physics step profiles.
 
+use std::sync::OnceLock;
+
 use parallax_archsim::config::{L2Config, MachineConfig};
 use parallax_archsim::multicore::{kernel_of, MulticoreSim, SimOptions};
 use parallax_archsim::offchip::Link;
 use parallax_physics::{PhaseKind, StepProfile};
+use parallax_telemetry as telemetry;
 use parallax_trace::kernels::KernelModel;
 use parallax_trace::{OpCounts, StepTrace};
 use serde::{Deserialize, Serialize};
+
+/// Telemetry for the full-system model: FG-pool utilization (via the
+/// hierarchical arbiter) and the CG/FG cycle split, flushed per step.
+struct SysMetrics {
+    steps: telemetry::Counter,
+    fg_tasks: telemetry::Counter,
+    fg_cores_granted: telemetry::Counter,
+    fg_occupancy_pct: telemetry::Gauge,
+    arbiter_queue_depth: telemetry::Gauge,
+    fg_cycles: telemetry::Counter,
+    cg_parallel_cycles: telemetry::Counter,
+    serial_cycles: telemetry::Counter,
+    exposed_comm_cycles: telemetry::Counter,
+}
+
+fn sys_metrics() -> &'static SysMetrics {
+    static M: OnceLock<SysMetrics> = OnceLock::new();
+    M.get_or_init(|| SysMetrics {
+        steps: telemetry::counter("parallax.steps"),
+        fg_tasks: telemetry::counter("parallax.fg_tasks"),
+        fg_cores_granted: telemetry::counter("parallax.fg_cores_granted"),
+        fg_occupancy_pct: telemetry::gauge("parallax.fg_occupancy_pct"),
+        arbiter_queue_depth: telemetry::gauge("parallax.arbiter_queue_depth"),
+        fg_cycles: telemetry::counter("parallax.fg_cycles"),
+        cg_parallel_cycles: telemetry::counter("parallax.cg_parallel_cycles"),
+        serial_cycles: telemetry::counter("parallax.serial_cycles"),
+        exposed_comm_cycles: telemetry::counter("parallax.exposed_comm_cycles"),
+    })
+}
 
 use crate::arbiter::HierarchicalArbiter;
 use crate::fgcore::FgCoreType;
@@ -126,7 +158,47 @@ impl ParallaxSystem {
             // is the slower of the two sides.
             result.per_phase[pi] = cg.max(fg.total_cycles);
         }
+        self.flush_telemetry(profile, &result);
         result
+    }
+
+    /// Records the step's FG utilization and cycle split: per parallel
+    /// phase, the FG-task demand is spread over the CG cores and pushed
+    /// through the hierarchical arbiter, yielding the granted-core count
+    /// (occupancy) and the unmet demand (queue depth).
+    fn flush_telemetry(&self, profile: &StepProfile, result: &SystemResult) {
+        if !telemetry::enabled() {
+            return;
+        }
+        let m = sys_metrics();
+        m.steps.add(1);
+        let mut max_occupancy = 0u64;
+        let mut max_queue = 0u64;
+        for phase in PhaseKind::ALL {
+            if phase.is_serial() {
+                continue;
+            }
+            let tasks = profile.fg_tasks(phase);
+            if tasks == 0 {
+                continue;
+            }
+            m.fg_tasks.add(tasks as u64);
+            // Near-even demand split across CG cores, as each CG core
+            // packs and dispatches its share of the phase's tasks.
+            let demands: Vec<usize> = (0..self.cg_cores)
+                .map(|c| tasks / self.cg_cores + usize::from(c < tasks % self.cg_cores))
+                .collect();
+            let granted: usize = self.arbiter.assign(&demands).iter().map(Vec::len).sum();
+            m.fg_cores_granted.add(granted as u64);
+            max_occupancy = max_occupancy.max(granted as u64 * 100 / self.fg_count as u64);
+            max_queue = max_queue.max(tasks.saturating_sub(granted) as u64);
+        }
+        m.fg_occupancy_pct.set(max_occupancy);
+        m.arbiter_queue_depth.set(max_queue);
+        m.fg_cycles.add(result.fg_cycles);
+        m.cg_parallel_cycles.add(result.cg_parallel_cycles);
+        m.serial_cycles.add(result.serial_cycles);
+        m.exposed_comm_cycles.add(result.exposed_comm_cycles);
     }
 
     /// Simulates a window of steps (e.g. one displayed frame = 3 steps).

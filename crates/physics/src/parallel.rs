@@ -16,8 +16,55 @@
 use std::collections::VecDeque;
 use std::panic::{self, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
 use std::thread::JoinHandle;
+
+use parallax_telemetry as telemetry;
+
+/// Executor-wide telemetry handles, registered once per process.
+struct ExecMetrics {
+    /// Parallel regions dispatched.
+    regions: telemetry::Counter,
+    /// Work-cursor chunks claimed (all participants).
+    chunks: telemetry::Counter,
+    /// Items processed through parallel regions.
+    tasks: telemetry::Counter,
+    /// Calling-thread nanoseconds spent inside parallel regions.
+    caller_busy_ns: telemetry::Counter,
+    /// Fallback span label for unlabeled regions.
+    default_span: telemetry::SpanName,
+}
+
+fn exec_metrics() -> &'static ExecMetrics {
+    static M: OnceLock<ExecMetrics> = OnceLock::new();
+    M.get_or_init(|| ExecMetrics {
+        regions: telemetry::counter("physics.executor.regions"),
+        chunks: telemetry::counter("physics.executor.chunks_claimed"),
+        tasks: telemetry::counter("physics.executor.tasks"),
+        caller_busy_ns: telemetry::counter("physics.executor.caller.busy_ns"),
+        default_span: telemetry::span_name("executor.region"),
+    })
+}
+
+/// Per-worker telemetry: busy/idle counters (merged into the snapshot by
+/// name) plus the worker's span track id.
+struct WorkerTelemetry {
+    busy_ns: telemetry::Counter,
+    idle_ns: telemetry::Counter,
+    jobs: telemetry::Counter,
+    track: u32,
+}
+
+impl WorkerTelemetry {
+    fn for_worker(i: usize) -> WorkerTelemetry {
+        WorkerTelemetry {
+            busy_ns: telemetry::counter_named(format!("physics.executor.worker{i}.busy_ns")),
+            idle_ns: telemetry::counter_named(format!("physics.executor.worker{i}.idle_ns")),
+            jobs: telemetry::counter_named(format!("physics.executor.worker{i}.jobs")),
+            track: i as u32,
+        }
+    }
+}
 
 /// A persistent pool of worker threads serving scoped, borrowed jobs.
 ///
@@ -53,6 +100,8 @@ struct Job {
     state: *const (),
     run: unsafe fn(*const ()),
     latch: Arc<Latch>,
+    /// Interned label for the span this job records on its worker's track.
+    span: telemetry::SpanName,
 }
 
 // Safety: `state` points at a `MapState` whose closure is `Sync` (required
@@ -113,6 +162,9 @@ impl<R, F: Fn(usize) -> R> MapState<R, F> {
             if start >= self.n {
                 return;
             }
+            if telemetry::enabled() {
+                exec_metrics().chunks.add(1);
+            }
             let end = (start + self.chunk).min(self.n);
             for i in start..end {
                 match panic::catch_unwind(AssertUnwindSafe(|| f(i))) {
@@ -148,7 +200,7 @@ impl Executor {
                 let shared = Arc::clone(&shared);
                 std::thread::Builder::new()
                     .name(format!("physics-worker-{i}"))
-                    .spawn(move || worker_loop(&shared))
+                    .spawn(move || worker_loop(&shared, WorkerTelemetry::for_worker(i)))
                     .expect("spawn physics worker")
             })
             .collect();
@@ -173,7 +225,23 @@ impl Executor {
         R: Send,
         F: Fn(&T) -> R + Sync,
     {
-        self.map_indexed_into(items.len(), out, |i| f(&items[i]));
+        self.map_indexed_into(items.len(), out, exec_metrics().default_span, |i| {
+            f(&items[i])
+        });
+    }
+
+    /// [`map_into`](Self::map_into) with a span label: every job the
+    /// region runs records a span named `label` on its worker's track, so
+    /// the exported trace shows which phase each worker was serving.
+    pub fn map_into_labeled<T, R, F>(&self, label: &str, items: &[T], out: &mut Vec<R>, f: F)
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(&T) -> R + Sync,
+    {
+        self.map_indexed_into(items.len(), out, telemetry::span_name(label), |i| {
+            f(&items[i])
+        });
     }
 
     /// Like [`map_into`](Self::map_into) but hands the closure disjoint
@@ -185,15 +253,45 @@ impl Executor {
         R: Send,
         F: Fn(usize, &mut T) -> R + Sync,
     {
+        self.map_mut_into_span(items, out, exec_metrics().default_span, f);
+    }
+
+    /// [`map_mut_into`](Self::map_mut_into) with a span label (see
+    /// [`map_into_labeled`](Self::map_into_labeled)).
+    pub fn map_mut_into_labeled<T, R, F>(
+        &self,
+        label: &str,
+        items: &mut [T],
+        out: &mut Vec<R>,
+        f: F,
+    ) where
+        T: Send,
+        R: Send,
+        F: Fn(usize, &mut T) -> R + Sync,
+    {
+        self.map_mut_into_span(items, out, telemetry::span_name(label), f);
+    }
+
+    fn map_mut_into_span<T, R, F>(
+        &self,
+        items: &mut [T],
+        out: &mut Vec<R>,
+        span: telemetry::SpanName,
+        f: F,
+    ) where
+        T: Send,
+        R: Send,
+        F: Fn(usize, &mut T) -> R + Sync,
+    {
         let base = SendPtr(items.as_mut_ptr());
         let n = items.len();
         // Safety: the cursor hands out each index exactly once, so the
         // `&mut` borrows are disjoint; the slice outlives the call.
-        self.map_indexed_into(n, out, move |i| f(i, unsafe { &mut *base.at(i) }));
+        self.map_indexed_into(n, out, span, move |i| f(i, unsafe { &mut *base.at(i) }));
     }
 
     /// Shared implementation: maps an index-addressed closure over `0..n`.
-    fn map_indexed_into<R, F>(&self, n: usize, out: &mut Vec<R>, f: F)
+    fn map_indexed_into<R, F>(&self, n: usize, out: &mut Vec<R>, span: telemetry::SpanName, f: F)
     where
         R: Send,
         F: Fn(usize) -> R + Sync,
@@ -202,8 +300,15 @@ impl Executor {
         if n == 0 {
             return;
         }
+        if telemetry::enabled() {
+            let m = exec_metrics();
+            m.regions.add(1);
+            m.tasks.add(n as u64);
+        }
         if self.threads <= 1 || n == 1 {
+            let start = maybe_now();
             out.extend((0..n).map(f));
+            record_caller(span, start);
             return;
         }
         out.reserve(n);
@@ -228,6 +333,7 @@ impl Executor {
                     state: &state as *const MapState<R, F> as *const (),
                     run: run_map::<R, F>,
                     latch: Arc::clone(&latch),
+                    span,
                 });
             }
         }
@@ -235,7 +341,9 @@ impl Executor {
 
         // Participate, then wait for the workers; the latch keeps `state`,
         // `out`'s buffer and `f` alive until every job is done with them.
+        let start = maybe_now();
         unsafe { state.work() };
+        record_caller(span, start);
         latch.wait();
 
         if state.panicked.load(Ordering::Acquire) {
@@ -287,8 +395,31 @@ impl Drop for Executor {
     }
 }
 
-fn worker_loop(shared: &Shared) {
+/// Current telemetry clock, or `u64::MAX` as the "disabled" sentinel so
+/// the disabled path skips the clock read entirely.
+#[inline]
+fn maybe_now() -> u64 {
+    if telemetry::enabled() {
+        telemetry::now_ns()
+    } else {
+        u64::MAX
+    }
+}
+
+/// Closes a calling-thread region opened at `start_ns` (track 0).
+#[inline]
+fn record_caller(span: telemetry::SpanName, start_ns: u64) {
+    if start_ns == u64::MAX || !telemetry::enabled() {
+        return;
+    }
+    let dur = telemetry::now_ns().saturating_sub(start_ns);
+    telemetry::span_record(span, 0, start_ns, dur);
+    exec_metrics().caller_busy_ns.add(dur);
+}
+
+fn worker_loop(shared: &Shared, t: WorkerTelemetry) {
     loop {
+        let wait_start = maybe_now();
         let job = {
             let mut queue = shared.queue.lock().unwrap();
             loop {
@@ -301,9 +432,19 @@ fn worker_loop(shared: &Shared) {
                 queue = shared.available.wait(queue).unwrap();
             }
         };
+        let busy_start = maybe_now();
+        if wait_start != u64::MAX && busy_start != u64::MAX {
+            t.idle_ns.add(busy_start.saturating_sub(wait_start));
+        }
         // Safety: the submitting thread blocks on the latch until this
         // job's `run` returns, keeping the pointee alive.
         unsafe { (job.run)(job.state) };
+        if busy_start != u64::MAX && telemetry::enabled() {
+            let dur = telemetry::now_ns().saturating_sub(busy_start);
+            t.busy_ns.add(dur);
+            t.jobs.add(1);
+            telemetry::span_record(job.span, t.track, busy_start, dur);
+        }
         job.latch.count_down();
     }
 }
@@ -395,6 +536,21 @@ mod tests {
             exec.map_into(&items, &mut out, |x| x.wrapping_mul(31) ^ 7);
             assert_eq!(out, expected, "threads = {threads}");
         }
+    }
+
+    #[test]
+    fn labeled_maps_match_unlabeled() {
+        let exec = Executor::new(3);
+        let items: Vec<u64> = (0..128).collect();
+        let mut out = Vec::new();
+        exec.map_into_labeled("test.region", &items, &mut out, |x| x * 3);
+        assert_eq!(out, items.iter().map(|x| x * 3).collect::<Vec<_>>());
+        let mut items2 = items.clone();
+        exec.map_mut_into_labeled("test.region", &mut items2, &mut out, |_, x| {
+            *x += 1;
+            *x
+        });
+        assert_eq!(out, items.iter().map(|x| x + 1).collect::<Vec<_>>());
     }
 
     #[test]

@@ -12,9 +12,10 @@
 //! place, so a steady-state step performs no per-phase allocation beyond
 //! the profile's owned output vectors.
 
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use parallax_math::{Aabb, Transform, Vec3};
+use parallax_telemetry as telemetry;
 
 use crate::body::BodyId;
 use crate::broadphase::{Broadphase, BroadphaseStats, SweepAndPrune, UniformGrid};
@@ -182,7 +183,7 @@ impl NarrowphaseStage {
             };
             (manifold, work)
         };
-        executor.map_into(&self.pairs, &mut self.results, run_pair);
+        executor.map_into_labeled(Self::PHASE.name(), &self.pairs, &mut self.results, run_pair);
 
         self.manifolds.clear();
         let mut work = Vec::with_capacity(self.results.len());
@@ -351,7 +352,12 @@ impl IslandProcessingStage {
             }
         };
 
-        executor.map_into(&self.queued_idx, &mut self.results, solve_island);
+        executor.map_into_labeled(
+            Self::PHASE.name(),
+            &self.queued_idx,
+            &mut self.results,
+            solve_island,
+        );
         for ii in &self.small_idx {
             self.results.push(solve_island(ii));
         }
@@ -412,7 +418,8 @@ impl ClothStage {
         }
 
         let collider_sets = &self.collider_sets;
-        executor.map_mut_into(&mut world.cloths, &mut self.results, |i, cloth| {
+        let label = Self::PHASE.name();
+        executor.map_mut_into_labeled(label, &mut world.cloths, &mut self.results, |i, cloth| {
             let colliders = collider_sets[i].as_slice();
             let stats = cloth.step(gravity, dt, colliders);
             ClothWork {
@@ -427,6 +434,47 @@ impl ClothStage {
     }
 }
 
+/// Telemetry handles for the pipeline: one span name per paper phase
+/// (track 0 — the calling thread), the per-step work histograms and the
+/// step counter. Registration is idempotent, so every pipeline instance
+/// shares the same process-wide slots.
+struct PipelineTelemetry {
+    phase_spans: [telemetry::SpanName; PhaseKind::ALL.len()],
+    steps: telemetry::Counter,
+    island_size: telemetry::Histogram,
+    manifolds_per_step: telemetry::Histogram,
+    solver_rows: telemetry::Histogram,
+}
+
+impl PipelineTelemetry {
+    fn register() -> Self {
+        PipelineTelemetry {
+            phase_spans: PhaseKind::ALL.map(|p| telemetry::span_name(p.name())),
+            steps: telemetry::counter("physics.steps"),
+            island_size: telemetry::histogram("physics.island_size_bodies"),
+            manifolds_per_step: telemetry::histogram("physics.manifolds_per_step"),
+            solver_rows: telemetry::histogram("physics.solver_rows_per_island"),
+        }
+    }
+}
+
+/// Times one pipeline phase: always returns the measured wall time (so
+/// `StepProfile::wall` is populated on every path, including early-outs)
+/// and additionally records a track-0 span when telemetry is enabled.
+fn timed<T>(span: telemetry::SpanName, f: impl FnOnce() -> T) -> (T, Duration) {
+    if !telemetry::enabled() {
+        let t = Instant::now();
+        let r = f();
+        return (r, t.elapsed());
+    }
+    let start = telemetry::now_ns();
+    let t = Instant::now();
+    let r = f();
+    let wall = t.elapsed();
+    telemetry::span_record(span, 0, start, wall.as_nanos() as u64);
+    (r, wall)
+}
+
 /// The five-stage step pipeline plus its persistent executor.
 ///
 /// Owned by [`World`]; `World::step` delegates here. The executor is
@@ -439,6 +487,7 @@ pub struct StepPipeline {
     island_creation: IslandCreationStage,
     island_processing: IslandProcessingStage,
     cloth: ClothStage,
+    telemetry: PipelineTelemetry,
 }
 
 impl std::fmt::Debug for StepPipeline {
@@ -459,6 +508,7 @@ impl StepPipeline {
             island_creation: IslandCreationStage::new(),
             island_processing: IslandProcessingStage::new(),
             cloth: ClothStage::new(),
+            telemetry: PipelineTelemetry::register(),
         }
     }
 
@@ -473,10 +523,16 @@ impl StepPipeline {
     }
 
     /// Runs one full step over `world`, returning the work profile.
+    ///
+    /// Every path — including the empty-world fast path and the no-island
+    /// / no-cloth skips — goes through [`timed`], so all five
+    /// `StepProfile::wall` entries are populated on every step.
     pub(crate) fn step(&mut self, world: &mut World) -> StepProfile {
         if self.executor.threads() != world.config.threads.max(1) {
             self.executor = Executor::new(world.config.threads);
         }
+        self.telemetry.steps.add(1);
+        let spans = self.telemetry.phase_spans;
 
         let mut profile = StepProfile::default();
         let dt = world.config.dt;
@@ -490,20 +546,33 @@ impl StepPipeline {
             integrator::apply_forces(b, gravity, dt);
         }
 
+        // Fast path: a fully empty world has no phase work at all, but
+        // the profile must still report a wall time for every phase.
+        if world.bodies.is_empty() && world.geoms.is_empty() && world.cloths.is_empty() {
+            for (i, span) in spans.iter().enumerate() {
+                let ((), wall) = timed(*span, || {});
+                profile.wall[i] = wall;
+            }
+            return Self::finish_step(world, profile, (0, 0), 0);
+        }
+
         // (b) Broad-phase (serial).
-        let t0 = Instant::now();
-        profile.broadphase = self.broadphase.run(world);
-        profile.wall[0] = t0.elapsed();
+        let (stats, wall) = timed(spans[0], || self.broadphase.run(world));
+        profile.broadphase = stats;
+        profile.wall[0] = wall;
 
         // (c) Narrow-phase (parallel) with explosive / cloth / fracture
         // hooks.
-        let t1 = Instant::now();
-        profile.pairs = self
-            .narrowphase
-            .run(world, &self.executor, &self.broadphase.candidates);
-        let events = world.process_contact_events(&self.narrowphase.manifolds);
-        world.update_cloth_contact_lists();
-        profile.wall[1] = t1.elapsed();
+        let narrowphase = &mut self.narrowphase;
+        let candidates = &self.broadphase.candidates;
+        let executor = &self.executor;
+        let (events, wall) = timed(spans[1], || {
+            profile.pairs = narrowphase.run(world, executor, candidates);
+            let events = world.process_contact_events(&narrowphase.manifolds);
+            world.update_cloth_contact_lists();
+            events
+        });
+        profile.wall[1] = wall;
 
         // Drop manifolds that involve blast volumes or newly exploded
         // bodies: they are fields, not solids.
@@ -513,40 +582,72 @@ impl StepPipeline {
             .retain(|m| !inert_filter.manifold_is_inert(m));
 
         // (d) Island creation (serial).
-        let t2 = Instant::now();
-        profile.island_creation = self.island_creation.run(world, &self.narrowphase.manifolds);
-        profile.wall[2] = t2.elapsed();
+        let island_creation = &mut self.island_creation;
+        let manifolds = &self.narrowphase.manifolds;
+        let (stats, wall) = timed(spans[2], || island_creation.run(world, manifolds));
+        profile.island_creation = stats;
+        profile.wall[2] = wall;
 
-        // (e) Island processing (parallel) + (f) breakable joints.
-        let t3 = Instant::now();
-        let (island_work, joint_impulses) = self.island_processing.run(
-            world,
-            &self.executor,
-            &self.island_creation.islands,
-            &self.narrowphase.manifolds,
-        );
-        profile.islands = island_work;
-        let broken = world.update_breakable_joints(&joint_impulses);
-        for b in &mut world.bodies {
-            integrator::clamp_velocities(
-                b,
-                world.config.max_linear_velocity,
-                world.config.max_angular_velocity,
-            );
-            integrator::integrate(b, dt);
+        // (e) Island processing (parallel) + (f) breakable joints. Skipped
+        // (but still timed) when island creation produced nothing.
+        let island_processing = &mut self.island_processing;
+        let islands = &self.island_creation.islands;
+        let (broken, wall) = timed(spans[3], || {
+            let (island_work, joint_impulses) = if islands.is_empty() {
+                (Vec::new(), Vec::new())
+            } else {
+                island_processing.run(world, executor, islands, manifolds)
+            };
+            profile.islands = island_work;
+            let broken = world.update_breakable_joints(&joint_impulses);
+            for b in &mut world.bodies {
+                integrator::clamp_velocities(
+                    b,
+                    world.config.max_linear_velocity,
+                    world.config.max_angular_velocity,
+                );
+                integrator::integrate(b, dt);
+            }
+            broken
+        });
+        profile.wall[3] = wall;
+
+        // (g) Cloth (parallel); skipped (but still timed) without cloths.
+        let cloth = &mut self.cloth;
+        let (cloths, wall) = timed(spans[4], || {
+            if world.cloths.is_empty() {
+                Vec::new()
+            } else {
+                cloth.run(world, executor)
+            }
+        });
+        profile.cloths = cloths;
+        profile.wall[4] = wall;
+
+        if telemetry::enabled() {
+            self.telemetry
+                .manifolds_per_step
+                .record(self.narrowphase.manifolds.len() as u64);
+            for w in &profile.islands {
+                self.telemetry.island_size.record(w.bodies.len() as u64);
+                self.telemetry.solver_rows.record(w.rows as u64);
+            }
         }
-        profile.wall[3] = t3.elapsed();
 
-        // (g) Cloth (parallel).
-        let t4 = Instant::now();
-        profile.cloths = self.cloth.run(world, &self.executor);
-        profile.wall[4] = t4.elapsed();
+        Self::finish_step(world, profile, events, broken)
+    }
 
-        // Blast volume lifetime.
+    /// Shared step epilogue: blast expiry, clock advance, event and
+    /// entity-count bookkeeping.
+    fn finish_step(
+        world: &mut World,
+        mut profile: StepProfile,
+        events: (usize, usize),
+        broken: usize,
+    ) -> StepProfile {
         let expired = world.expire_blasts();
 
-        // (h) Advance time.
-        world.time += dt as f64;
+        world.time += world.config.dt as f64;
         world.steps += 1;
 
         profile.events = StepEvents {
@@ -583,6 +684,42 @@ mod tests {
         assert!(NarrowphaseStage::new().parallel());
         assert!(IslandProcessingStage::new().parallel());
         assert!(ClothStage::new().parallel());
+    }
+
+    #[test]
+    fn empty_world_step_populates_every_phase_wall() {
+        let mut w = World::new(crate::world::WorldConfig::default());
+        let profile = w.step();
+        // The empty-world fast path must still time all five phases.
+        for phase in PhaseKind::ALL {
+            assert!(
+                profile.wall_time(phase) > std::time::Duration::ZERO,
+                "wall time missing for {}",
+                phase.name()
+            );
+        }
+        assert_eq!(w.steps, 1);
+    }
+
+    #[test]
+    fn no_island_step_populates_every_phase_wall() {
+        use crate::body::BodyDesc;
+        // One free-falling body: broadphase runs but produces no islands
+        // and there are no cloths, so both skip paths are exercised.
+        let mut w = World::new(crate::world::WorldConfig::default());
+        w.add_body(
+            BodyDesc::dynamic(Vec3::new(0.0, 10.0, 0.0)).with_shape(Shape::sphere(0.5), 1.0),
+        );
+        let profile = w.step();
+        assert!(profile.islands.is_empty());
+        assert!(profile.cloths.is_empty());
+        for phase in PhaseKind::ALL {
+            assert!(
+                profile.wall_time(phase) > std::time::Duration::ZERO,
+                "wall time missing for {}",
+                phase.name()
+            );
+        }
     }
 
     #[test]

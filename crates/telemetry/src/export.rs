@@ -1,0 +1,377 @@
+//! Telemetry export: the JSON-lines sink and Chrome trace conversion.
+//!
+//! One [`StepRecord`] is written per simulation step as a single JSON
+//! line, so a snapshot file can be streamed, tailed, grepped, and
+//! appended to by multiple sources (`physics` steps and `archsim` replay
+//! steps interleave in one file, distinguished by `source`).
+//! [`chrome_trace`] converts the span events of a record set into Chrome
+//! `trace_event` JSON — the format Perfetto and `chrome://tracing` load
+//! directly — with one named track per executor worker.
+
+use std::fmt::Write as _;
+use std::fs::File;
+use std::io::{self, BufWriter, Write};
+use std::path::Path;
+
+use crate::json::write_str;
+use crate::registry::{HistogramSnapshot, Snapshot};
+use crate::span::SpanRecord;
+
+/// Everything telemetry knows about one step, ready for export.
+#[derive(Debug, Clone, Default)]
+pub struct StepRecord {
+    /// Which layer produced the record (`"physics"`, `"archsim"`, ...).
+    pub source: String,
+    /// Scene or workload label.
+    pub scene: String,
+    /// Step index within the run.
+    pub step: u64,
+    /// Per-phase wall/simulated time in nanoseconds, by phase name, in
+    /// pipeline order.
+    pub wall_ns: Vec<(String, u64)>,
+    /// Metric deltas for this step (counters/histograms as intervals,
+    /// gauges as current values).
+    pub metrics: Snapshot,
+    /// Spans recorded during the step.
+    pub spans: Vec<SpanRecord>,
+}
+
+impl StepRecord {
+    /// Total of the per-phase times.
+    pub fn wall_total_ns(&self) -> u64 {
+        self.wall_ns.iter().map(|(_, ns)| ns).sum()
+    }
+
+    /// Serializes the record as one JSON line (no trailing newline).
+    pub fn to_json_line(&self) -> String {
+        let mut out = String::with_capacity(1024);
+        out.push_str("{\"source\":");
+        write_str(&mut out, &self.source);
+        out.push_str(",\"scene\":");
+        write_str(&mut out, &self.scene);
+        let _ = write!(out, ",\"step\":{}", self.step);
+        out.push_str(",\"wall_ns\":{");
+        for (i, (phase, ns)) in self.wall_ns.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            write_str(&mut out, phase);
+            let _ = write!(out, ":{ns}");
+        }
+        out.push_str("},\"counters\":{");
+        for (i, (name, v)) in self.metrics.counters.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            write_str(&mut out, name);
+            let _ = write!(out, ":{v}");
+        }
+        out.push_str("},\"gauges\":{");
+        for (i, (name, v)) in self.metrics.gauges.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            write_str(&mut out, name);
+            let _ = write!(out, ":{v}");
+        }
+        out.push_str("},\"histograms\":{");
+        for (i, (name, h)) in self.metrics.histograms.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            write_str(&mut out, name);
+            let trimmed = h.buckets.len() - h.buckets.iter().rev().take_while(|&&b| b == 0).count();
+            out.push_str(":{\"buckets\":[");
+            for (b, c) in h.buckets[..trimmed].iter().enumerate() {
+                if b > 0 {
+                    out.push(',');
+                }
+                let _ = write!(out, "{c}");
+            }
+            let _ = write!(out, "],\"sum\":{}}}", h.sum);
+        }
+        out.push_str("},\"spans\":[");
+        for (i, s) in self.spans.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("{\"name\":");
+            write_str(&mut out, &s.name);
+            let _ = write!(
+                out,
+                ",\"track\":{},\"start_ns\":{},\"dur_ns\":{}}}",
+                s.track, s.start_ns, s.dur_ns
+            );
+        }
+        out.push_str("]}");
+        out
+    }
+
+    /// Parses a record back from one JSON line.
+    pub fn from_json_line(line: &str) -> Result<StepRecord, String> {
+        let v = crate::json::Json::parse(line)?;
+        let str_field = |key: &str| -> String {
+            v.get(key)
+                .and_then(|j| j.as_str())
+                .unwrap_or_default()
+                .to_string()
+        };
+        let num_map = |key: &str| -> Vec<(String, u64)> {
+            match v.get(key) {
+                Some(crate::json::Json::Obj(members)) => members
+                    .iter()
+                    .filter_map(|(k, j)| j.as_u64().map(|n| (k.clone(), n)))
+                    .collect(),
+                _ => Vec::new(),
+            }
+        };
+        let histograms = match v.get("histograms") {
+            Some(crate::json::Json::Obj(members)) => members
+                .iter()
+                .filter_map(|(k, j)| {
+                    let buckets = j
+                        .get("buckets")?
+                        .as_arr()?
+                        .iter()
+                        .map(|b| b.as_u64().unwrap_or(0))
+                        .collect();
+                    let sum = j.get("sum")?.as_u64()?;
+                    Some((k.clone(), HistogramSnapshot { buckets, sum }))
+                })
+                .collect(),
+            _ => Vec::new(),
+        };
+        let spans = match v.get("spans") {
+            Some(crate::json::Json::Arr(items)) => items
+                .iter()
+                .filter_map(|s| {
+                    Some(SpanRecord {
+                        name: s.get("name")?.as_str()?.to_string(),
+                        track: s.get("track")?.as_u64()? as u32,
+                        start_ns: s.get("start_ns")?.as_u64()?,
+                        dur_ns: s.get("dur_ns")?.as_u64()?,
+                    })
+                })
+                .collect(),
+            _ => Vec::new(),
+        };
+        Ok(StepRecord {
+            source: str_field("source"),
+            scene: str_field("scene"),
+            step: v.get("step").and_then(|j| j.as_u64()).unwrap_or(0),
+            wall_ns: num_map("wall_ns"),
+            metrics: Snapshot {
+                counters: num_map("counters"),
+                gauges: num_map("gauges"),
+                histograms,
+            },
+            spans,
+        })
+    }
+}
+
+/// A JSON-lines snapshot file, one [`StepRecord`] per line.
+///
+/// ```no_run
+/// use parallax_telemetry::{StepRecord, TelemetrySink};
+///
+/// let mut sink = TelemetrySink::create("out.jsonl").unwrap();
+/// sink.write(&StepRecord::default()).unwrap();
+/// sink.flush().unwrap();
+/// ```
+#[derive(Debug)]
+pub struct TelemetrySink {
+    out: BufWriter<File>,
+    records: u64,
+}
+
+impl TelemetrySink {
+    /// Creates (truncates) the snapshot file at `path`.
+    pub fn create(path: impl AsRef<Path>) -> io::Result<TelemetrySink> {
+        Ok(TelemetrySink {
+            out: BufWriter::new(File::create(path)?),
+            records: 0,
+        })
+    }
+
+    /// Appends one record as a JSON line.
+    pub fn write(&mut self, record: &StepRecord) -> io::Result<()> {
+        self.out.write_all(record.to_json_line().as_bytes())?;
+        self.out.write_all(b"\n")?;
+        self.records += 1;
+        Ok(())
+    }
+
+    /// Records written so far.
+    pub fn records(&self) -> u64 {
+        self.records
+    }
+
+    /// Flushes buffered lines to disk.
+    pub fn flush(&mut self) -> io::Result<()> {
+        self.out.flush()
+    }
+}
+
+/// Reads a JSON-lines snapshot file back into records (blank lines are
+/// skipped; a malformed line is an error naming its line number).
+pub fn read_jsonl(path: impl AsRef<Path>) -> Result<Vec<StepRecord>, String> {
+    let text = std::fs::read_to_string(path.as_ref())
+        .map_err(|e| format!("{}: {e}", path.as_ref().display()))?;
+    let mut records = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        records.push(StepRecord::from_json_line(line).map_err(|e| format!("line {}: {e}", i + 1))?);
+    }
+    Ok(records)
+}
+
+/// Converts the spans of `records` into Chrome `trace_event` JSON.
+///
+/// Output is the object form (`{"traceEvents": [...]}`) with complete
+/// (`"ph":"X"`) events, timestamps in microseconds, one `tid` per span
+/// track and `thread_name` metadata naming track 0 `main` and track `i`
+/// `worker-i` — so Perfetto shows one named track per executor worker.
+pub fn chrome_trace(records: &[StepRecord]) -> String {
+    let mut out = String::from("{\"traceEvents\":[");
+    let mut first = true;
+    let mut tracks: Vec<u32> = Vec::new();
+    for r in records {
+        for s in &r.spans {
+            if !tracks.contains(&s.track) {
+                tracks.push(s.track);
+            }
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            out.push_str("{\"name\":");
+            write_str(&mut out, &s.name);
+            let _ = write!(
+                out,
+                ",\"cat\":\"{}\",\"ph\":\"X\",\"pid\":1,\"tid\":{},\"ts\":{:.3},\"dur\":{:.3}}}",
+                r.source,
+                s.track,
+                s.start_ns as f64 / 1000.0,
+                s.dur_ns as f64 / 1000.0
+            );
+        }
+    }
+    tracks.sort_unstable();
+    for t in tracks {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        let name = if t == 0 {
+            "main".to_string()
+        } else {
+            format!("worker-{t}")
+        };
+        let _ = write!(
+            out,
+            "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":{t},\"args\":{{\"name\":"
+        );
+        write_str(&mut out, &name);
+        out.push_str("}}");
+    }
+    out.push_str("]}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::Json;
+
+    fn sample_record() -> StepRecord {
+        StepRecord {
+            source: "physics".into(),
+            scene: "mix".into(),
+            step: 42,
+            wall_ns: vec![("Broadphase".into(), 1200), ("Narrowphase".into(), 3400)],
+            metrics: Snapshot {
+                counters: vec![("physics.steps".into(), 1)],
+                gauges: vec![("g".into(), 9)],
+                histograms: vec![(
+                    "island_size".into(),
+                    HistogramSnapshot {
+                        buckets: vec![0, 2, 1],
+                        sum: 9,
+                    },
+                )],
+            },
+            spans: vec![
+                SpanRecord {
+                    name: "Broadphase".into(),
+                    track: 0,
+                    start_ns: 10,
+                    dur_ns: 1200,
+                },
+                SpanRecord {
+                    name: "Narrowphase".into(),
+                    track: 2,
+                    start_ns: 1300,
+                    dur_ns: 3400,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn record_round_trips_through_json_line() {
+        let r = sample_record();
+        let line = r.to_json_line();
+        let back = StepRecord::from_json_line(&line).unwrap();
+        assert_eq!(back.source, r.source);
+        assert_eq!(back.step, 42);
+        assert_eq!(back.wall_ns, r.wall_ns);
+        assert_eq!(back.metrics.counters, r.metrics.counters);
+        assert_eq!(back.metrics.histograms, r.metrics.histograms);
+        assert_eq!(back.spans, r.spans);
+        assert_eq!(back.wall_total_ns(), 4600);
+    }
+
+    #[test]
+    fn sink_writes_readable_lines() {
+        let dir = std::env::temp_dir().join("parallax-telemetry-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("sink_writes_readable_lines.jsonl");
+        let mut sink = TelemetrySink::create(&path).unwrap();
+        sink.write(&sample_record()).unwrap();
+        sink.write(&sample_record()).unwrap();
+        sink.flush().unwrap();
+        assert_eq!(sink.records(), 2);
+        let records = read_jsonl(&path).unwrap();
+        assert_eq!(records.len(), 2);
+        assert_eq!(records[1].scene, "mix");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn chrome_trace_is_valid_json_with_worker_tracks() {
+        let trace = chrome_trace(&[sample_record()]);
+        let v = Json::parse(&trace).unwrap();
+        let events = v.get("traceEvents").unwrap().as_arr().unwrap();
+        // 2 spans + 2 thread_name metadata events.
+        assert_eq!(events.len(), 4);
+        let meta: Vec<_> = events
+            .iter()
+            .filter(|e| e.get("ph").and_then(|p| p.as_str()) == Some("M"))
+            .collect();
+        assert!(meta.iter().any(|e| {
+            e.get("args")
+                .and_then(|a| a.get("name"))
+                .and_then(|n| n.as_str())
+                == Some("worker-2")
+        }));
+        let x: Vec<_> = events
+            .iter()
+            .filter(|e| e.get("ph").and_then(|p| p.as_str()) == Some("X"))
+            .collect();
+        assert_eq!(x[0].get("ts").unwrap().as_f64(), Some(0.01));
+        assert_eq!(x[1].get("tid").unwrap().as_u64(), Some(2));
+    }
+}

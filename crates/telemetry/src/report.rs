@@ -1,0 +1,275 @@
+//! Rendering snapshot files into the paper's per-phase breakdown form.
+//!
+//! Consumed by the `telemetry_report` binary in `parallax-bench` and by
+//! the tier-1 smoke test: [`phase_breakdown`] reproduces the shape of
+//! the paper's Figure 2(a) (per-phase time and share of the step), and
+//! [`worker_utilization`] reproduces the executor-side load-imbalance
+//! view the span tracks carry.
+
+use std::collections::BTreeMap;
+
+use crate::export::StepRecord;
+
+/// Per-phase aggregate over a set of step records.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PhaseRow {
+    /// Phase name as recorded (pipeline order preserved).
+    pub phase: String,
+    /// Mean nanoseconds per step.
+    pub mean_ns: f64,
+    /// Share of the summed per-phase time, in `[0, 1]`.
+    pub share: f64,
+}
+
+/// Aggregates `wall_ns` across records (first occurrence order is kept,
+/// which is pipeline order for records written by the step pipeline).
+pub fn phase_breakdown(records: &[StepRecord]) -> Vec<PhaseRow> {
+    let mut order: Vec<String> = Vec::new();
+    let mut total_ns: BTreeMap<String, u64> = BTreeMap::new();
+    let mut steps = 0u64;
+    for r in records {
+        if r.wall_ns.is_empty() {
+            continue;
+        }
+        steps += 1;
+        for (phase, ns) in &r.wall_ns {
+            if !order.contains(phase) {
+                order.push(phase.clone());
+            }
+            *total_ns.entry(phase.clone()).or_insert(0) += ns;
+        }
+    }
+    if steps == 0 {
+        return Vec::new();
+    }
+    let grand: u64 = total_ns.values().sum();
+    order
+        .into_iter()
+        .map(|phase| {
+            let t = total_ns[&phase];
+            PhaseRow {
+                phase,
+                mean_ns: t as f64 / steps as f64,
+                share: if grand == 0 {
+                    0.0
+                } else {
+                    t as f64 / grand as f64
+                },
+            }
+        })
+        .collect()
+}
+
+/// Per-track (executor worker) span totals.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkerRow {
+    /// Span track (0 = calling thread, `i` = worker `i`).
+    pub track: u32,
+    /// Total busy nanoseconds (sum of span durations on the track).
+    pub busy_ns: u64,
+    /// Spans recorded on the track.
+    pub spans: usize,
+}
+
+/// Sums span time per track across records, plus the imbalance ratio
+/// (max busy / mean busy over the *worker* tracks; 1.0 = perfectly
+/// balanced, meaningless when fewer than two tracks carried work).
+pub fn worker_utilization(records: &[StepRecord]) -> (Vec<WorkerRow>, f64) {
+    let mut per: BTreeMap<u32, (u64, usize)> = BTreeMap::new();
+    for r in records {
+        for s in &r.spans {
+            let e = per.entry(s.track).or_insert((0, 0));
+            e.0 += s.dur_ns;
+            e.1 += 1;
+        }
+    }
+    let rows: Vec<WorkerRow> = per
+        .into_iter()
+        .map(|(track, (busy_ns, spans))| WorkerRow {
+            track,
+            busy_ns,
+            spans,
+        })
+        .collect();
+    let workers: Vec<u64> = rows
+        .iter()
+        .filter(|r| r.track > 0)
+        .map(|r| r.busy_ns)
+        .collect();
+    let imbalance = if workers.len() >= 2 && workers.iter().sum::<u64>() > 0 {
+        let max = *workers.iter().max().expect("nonempty") as f64;
+        let mean = workers.iter().sum::<u64>() as f64 / workers.len() as f64;
+        max / mean
+    } else {
+        1.0
+    };
+    (rows, imbalance)
+}
+
+/// Formats nanoseconds for the report tables.
+pub fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.2} us", ns / 1e3)
+    } else {
+        format!("{ns:.0} ns")
+    }
+}
+
+/// Renders the full report (per-phase table, counters, histograms,
+/// worker utilization) as plain text.
+pub fn render(records: &[StepRecord]) -> String {
+    use std::fmt::Write as _;
+
+    let mut out = String::new();
+    let physics: Vec<StepRecord> = records
+        .iter()
+        .filter(|r| r.source != "archsim")
+        .cloned()
+        .collect();
+    let _ = writeln!(out, "telemetry report — {} record(s)", records.len());
+
+    let rows = phase_breakdown(if physics.is_empty() {
+        records
+    } else {
+        &physics
+    });
+    if !rows.is_empty() {
+        let total: f64 = rows.iter().map(|r| r.mean_ns).sum();
+        let _ = writeln!(out, "\nPer-phase breakdown (mean per step):");
+        let _ = writeln!(out, "  {:<18} {:>12} {:>7}", "Phase", "Time", "Share");
+        for r in &rows {
+            let _ = writeln!(
+                out,
+                "  {:<18} {:>12} {:>6.1}%",
+                r.phase,
+                fmt_ns(r.mean_ns),
+                r.share * 100.0
+            );
+        }
+        let _ = writeln!(
+            out,
+            "  {:<18} {:>12} {:>6.1}%",
+            "total",
+            fmt_ns(total),
+            100.0
+        );
+    }
+
+    // Merge all per-step metric deltas for the summary.
+    let merged = records
+        .iter()
+        .fold(crate::Snapshot::default(), |acc, r| acc.merge(&r.metrics));
+    if !merged.counters.is_empty() {
+        let _ = writeln!(out, "\nCounters (summed over steps):");
+        for (name, v) in &merged.counters {
+            let _ = writeln!(out, "  {name:<42} {v:>14}");
+        }
+    }
+    if !merged.histograms.is_empty() {
+        let _ = writeln!(out, "\nHistograms:");
+        let _ = writeln!(
+            out,
+            "  {:<34} {:>10} {:>12} {:>10} {:>10}",
+            "Name", "Count", "Mean", "p50<=", "p99<="
+        );
+        for (name, h) in &merged.histograms {
+            let _ = writeln!(
+                out,
+                "  {:<34} {:>10} {:>12.1} {:>10} {:>10}",
+                name,
+                h.count(),
+                h.mean(),
+                h.quantile_upper_bound(0.5).unwrap_or(0),
+                h.quantile_upper_bound(0.99).unwrap_or(0)
+            );
+        }
+    }
+
+    let (workers, imbalance) = worker_utilization(records);
+    if !workers.is_empty() {
+        let _ = writeln!(out, "\nSpan tracks (executor workers):");
+        let _ = writeln!(out, "  {:<10} {:>12} {:>8}", "Track", "Busy", "Spans");
+        for w in &workers {
+            let label = if w.track == 0 {
+                "main".to_string()
+            } else {
+                format!("worker-{}", w.track)
+            };
+            let _ = writeln!(
+                out,
+                "  {:<10} {:>12} {:>8}",
+                label,
+                fmt_ns(w.busy_ns as f64),
+                w.spans
+            );
+        }
+        let _ = writeln!(out, "  imbalance (max/mean worker busy): {imbalance:.2}x");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::span::SpanRecord;
+
+    fn rec(step: u64, broad: u64, narrow: u64) -> StepRecord {
+        StepRecord {
+            source: "physics".into(),
+            scene: "t".into(),
+            step,
+            wall_ns: vec![("Broadphase".into(), broad), ("Narrowphase".into(), narrow)],
+            metrics: Default::default(),
+            spans: vec![
+                SpanRecord {
+                    name: "Narrowphase".into(),
+                    track: 1,
+                    start_ns: 0,
+                    dur_ns: 300,
+                },
+                SpanRecord {
+                    name: "Narrowphase".into(),
+                    track: 2,
+                    start_ns: 0,
+                    dur_ns: 100,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn breakdown_means_and_shares() {
+        let rows = phase_breakdown(&[rec(0, 100, 300), rec(1, 300, 500)]);
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].phase, "Broadphase");
+        assert!((rows[0].mean_ns - 200.0).abs() < 1e-9);
+        assert!((rows[0].share - 400.0 / 1200.0).abs() < 1e-9);
+        assert!((rows[1].share - 800.0 / 1200.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn imbalance_over_worker_tracks() {
+        let (rows, imbalance) = worker_utilization(&[rec(0, 1, 1)]);
+        assert_eq!(rows.len(), 2);
+        // workers 1 and 2: busy 300 and 100 → max 300 / mean 200.
+        assert!((imbalance - 1.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn render_contains_phases_and_tracks() {
+        let text = render(&[rec(0, 100, 300)]);
+        assert!(text.contains("Broadphase"));
+        assert!(text.contains("worker-2"));
+        assert!(text.contains("imbalance"));
+    }
+
+    #[test]
+    fn empty_records_render_without_panic() {
+        assert!(render(&[]).contains("0 record(s)"));
+        assert!(phase_breakdown(&[]).is_empty());
+    }
+}

@@ -1,0 +1,94 @@
+//! Property tests for the snapshot algebra: `merge` must be associative
+//! and commutative (so per-step deltas can be re-aggregated in any
+//! order), `delta_since` must invert `merge` for counters, and histogram
+//! bucketing must tile the `u64` range.
+
+use parallax_telemetry::registry::{bucket_bounds, bucket_of, HIST_BUCKETS};
+use parallax_telemetry::{HistogramSnapshot, Snapshot};
+use proptest::prelude::*;
+
+/// A small pool of names so generated snapshots overlap (merging
+/// disjoint snapshots never exercises the combine path).
+fn name() -> impl Strategy<Value = String> {
+    (0u32..6).prop_map(|i| format!("metric.{i}"))
+}
+
+fn counters() -> impl Strategy<Value = Vec<(String, u64)>> {
+    prop::collection::vec((name(), 0u64..1_000_000), 0..6).prop_map(dedup_by_name)
+}
+
+fn histograms() -> impl Strategy<Value = Vec<(String, HistogramSnapshot)>> {
+    prop::collection::vec(
+        (name(), prop::collection::vec(0u64..50, 0..10), 0u64..10_000),
+        0..4,
+    )
+    .prop_map(|entries| {
+        dedup_by_name(
+            entries
+                .into_iter()
+                .map(|(n, buckets, sum)| (n, HistogramSnapshot { buckets, sum }))
+                .collect(),
+        )
+    })
+}
+
+fn dedup_by_name<T>(mut v: Vec<(String, T)>) -> Vec<(String, T)> {
+    let mut seen = std::collections::HashSet::new();
+    v.retain(|(n, _)| seen.insert(n.clone()));
+    v
+}
+
+fn snapshot_strategy() -> impl Strategy<Value = Snapshot> {
+    (counters(), counters(), histograms()).prop_map(|(counters, gauges, histograms)| Snapshot {
+        counters,
+        gauges,
+        histograms,
+    })
+}
+
+/// Canonical form for equality: merge output is name-sorted, but a raw
+/// generated snapshot is not — normalize through a merge with empty.
+fn canon(s: &Snapshot) -> Snapshot {
+    s.merge(&Snapshot::default())
+}
+
+proptest! {
+    #[test]
+    fn merge_is_commutative(a in snapshot_strategy(), b in snapshot_strategy()) {
+        prop_assert_eq!(a.merge(&b), b.merge(&a));
+    }
+
+    #[test]
+    fn merge_is_associative(
+        a in snapshot_strategy(),
+        b in snapshot_strategy(),
+        c in snapshot_strategy(),
+    ) {
+        prop_assert_eq!(a.merge(&b).merge(&c), a.merge(&b.merge(&c)));
+    }
+
+    #[test]
+    fn empty_is_identity(a in snapshot_strategy()) {
+        let e = Snapshot::default();
+        prop_assert_eq!(a.merge(&e), canon(&a));
+        prop_assert_eq!(e.merge(&a), canon(&a));
+    }
+
+    #[test]
+    fn delta_inverts_merge_for_counters(a in snapshot_strategy(), b in snapshot_strategy()) {
+        // Cumulative-then-delta: (a + b) - a == b on every counter a knows.
+        let cumulative = a.merge(&b);
+        let delta = cumulative.delta_since(&a);
+        for (name, v) in &b.counters {
+            prop_assert_eq!(delta.counter(name), *v, "counter {}", name);
+        }
+    }
+
+    #[test]
+    fn buckets_tile_the_u64_range(v in proptest::arbitrary::any::<u64>()) {
+        let b = bucket_of(v);
+        prop_assert!(b < HIST_BUCKETS);
+        let (lo, hi) = bucket_bounds(b);
+        prop_assert!(lo <= v && v <= hi, "value {} outside bucket {} [{}, {}]", v, b, lo, hi);
+    }
+}

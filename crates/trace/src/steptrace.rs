@@ -7,6 +7,35 @@ use crate::kernels::KernelModel;
 use crate::memmap::{self, Region};
 use crate::opmix::OpCounts;
 
+/// Telemetry counters for trace generation: how many synthetic
+/// instructions and memory references the profiles expand into.
+struct TraceMetrics {
+    steps: parallax_telemetry::Counter,
+    tasks: parallax_telemetry::Counter,
+    instructions: parallax_telemetry::Counter,
+    mem_refs: parallax_telemetry::Counter,
+}
+
+impl TraceMetrics {
+    fn record(&self, t: &StepTrace) {
+        self.steps.add(1);
+        self.tasks
+            .add(t.phases.iter().map(|p| p.tasks.len() as u64).sum());
+        self.instructions.add(t.total_instructions());
+        self.mem_refs.add(t.total_mem_refs() as u64);
+    }
+}
+
+fn trace_metrics() -> &'static TraceMetrics {
+    static M: std::sync::OnceLock<TraceMetrics> = std::sync::OnceLock::new();
+    M.get_or_init(|| TraceMetrics {
+        steps: parallax_telemetry::counter("trace.steps"),
+        tasks: parallax_telemetry::counter("trace.tasks"),
+        instructions: parallax_telemetry::counter("trace.instructions"),
+        mem_refs: parallax_telemetry::counter("trace.mem_refs"),
+    })
+}
+
 /// One task's workload: instruction counts plus the cache lines it touches.
 #[derive(Debug, Default, Clone)]
 pub struct TaskTrace {
@@ -64,9 +93,13 @@ pub struct StepTrace {
 impl StepTrace {
     /// Builds the trace for one step from its work profile.
     pub fn from_profile(p: &StepProfile) -> StepTrace {
-        StepTrace {
+        let t = StepTrace {
             phases: PhaseKind::ALL.iter().map(|k| phase_trace(p, *k)).collect(),
+        };
+        if parallax_telemetry::enabled() {
+            trace_metrics().record(&t);
         }
+        t
     }
 
     /// The trace of one phase.

@@ -8,4 +8,20 @@ cargo test -q --offline
 cargo fmt --check
 cargo clippy --workspace --offline --all-targets -- -D warnings
 
+# Telemetry smoke: record 10 Mix steps through the JSONL sink, then
+# validate the stream (parses, all five phases present, nonzero walls)
+# and the Chrome-trace conversion. `--check-phases` exits nonzero on
+# any violation.
+tmp="$(mktemp -d)"
+trap 'rm -rf "$tmp"' EXIT
+cargo run --release --offline -q -p parallax-bench --bin run_scene -- \
+    --scene Mix --steps 10 --scale 0.15 --threads 2 --telemetry "$tmp/mix.jsonl"
+cargo run --release --offline -q -p parallax-bench --bin telemetry_report -- \
+    "$tmp/mix.jsonl" --check-phases --chrome "$tmp/trace.json" >/dev/null
+test -s "$tmp/trace.json"
+
+# Guard bench for the disabled-telemetry hot path (compare against a
+# `--features no-telemetry` run to bound the overhead; see DESIGN.md).
+cargo bench --offline -p parallax-bench --bench telemetry_overhead
+
 echo "tier-1 verify: OK"
