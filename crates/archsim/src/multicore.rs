@@ -432,6 +432,7 @@ mod tests {
                 rows: bodies_per_island * 6,
                 dof_removed: bodies_per_island * 6,
                 iterations: 20,
+                residual: 0.0,
                 queued: bodies_per_island * 6 > 25,
             });
         }

@@ -1,0 +1,272 @@
+//! The performance regression gate.
+//!
+//! ```text
+//! bench_gate record  [--out BENCH_scenes.json] [--steps N] [--warmup N]
+//!                    [--scale F] [--threads N] [--quick]
+//! bench_gate compare [--baseline BENCH_scenes.json] [--threshold F]
+//!                    [--steps N] [--warmup N] [--quick]
+//!                    [--allow-missing-baseline]
+//! ```
+//!
+//! `record` steps every paper scene for a fixed window and writes the
+//! raw per-phase wall-time samples (plus telemetry counter deltas) to a
+//! schema-versioned JSON baseline. `compare` re-runs the same scenes at
+//! the baseline's scale/threads and exits nonzero when any scene×phase
+//! is statistically significantly slower than the baseline beyond the
+//! threshold — "significantly" meaning the entire bootstrap confidence
+//! interval of the relative median change clears it, so one noisy step
+//! on a busy host cannot fail CI.
+//!
+//! `--quick` is the CI smoke shape: 10 steps and a +100% threshold, so
+//! it only trips on catastrophic slowdowns but still exercises the full
+//! record → parse → compare → verdict path on every run.
+
+use parallax_bench::harness::{
+    compare_baselines, record, Baseline, Fingerprint, GateConfig, PhaseComparison,
+};
+use parallax_bench::print_table;
+
+struct Args {
+    mode: Mode,
+    path: String,
+    cfg: GateConfig,
+    threshold: Option<f64>,
+    quick: bool,
+    allow_missing: bool,
+}
+
+#[derive(PartialEq)]
+enum Mode {
+    Record,
+    Compare,
+}
+
+const USAGE: &str = "usage: bench_gate record  [--out PATH] [--steps N] [--warmup N] \
+                     [--scale F] [--threads N] [--quick]\n\
+                     \x20      bench_gate compare [--baseline PATH] [--threshold F] \
+                     [--steps N] [--warmup N] [--quick] [--allow-missing-baseline]";
+
+fn parse_args() -> Result<Args, String> {
+    let mut it = std::env::args().skip(1);
+    let mode = match it.next().as_deref() {
+        Some("record") => Mode::Record,
+        Some("compare") => Mode::Compare,
+        other => return Err(format!("expected subcommand record|compare, got {other:?}")),
+    };
+    let mut args = Args {
+        path: "BENCH_scenes.json".to_string(),
+        mode,
+        cfg: GateConfig::default(),
+        threshold: None,
+        quick: false,
+        allow_missing: false,
+    };
+    let mut steps = None;
+    let mut warmup = None;
+    while let Some(flag) = it.next() {
+        let mut value_of = |flag: &str| it.next().ok_or_else(|| format!("{flag} requires a value"));
+        match flag.as_str() {
+            "--out" | "--baseline" => args.path = value_of(&flag)?,
+            "--steps" => steps = Some(parse_num(&value_of("--steps")?, "--steps")?),
+            "--warmup" => warmup = Some(parse_num(&value_of("--warmup")?, "--warmup")?),
+            "--scale" => {
+                args.cfg.scale = value_of("--scale")?
+                    .parse()
+                    .map_err(|e| format!("--scale: {e}"))?;
+            }
+            "--threads" => args.cfg.threads = parse_num(&value_of("--threads")?, "--threads")?,
+            "--threshold" => {
+                args.threshold = Some(
+                    value_of("--threshold")?
+                        .parse()
+                        .map_err(|e| format!("--threshold: {e}"))?,
+                );
+            }
+            "--quick" => args.quick = true,
+            "--allow-missing-baseline" => args.allow_missing = true,
+            other => return Err(format!("unknown flag {other:?}")),
+        }
+    }
+    if let Some(t) = args.threshold {
+        args.cfg.threshold = t;
+    }
+    if args.quick {
+        args.cfg = args.cfg.clone().quick();
+    }
+    if let Some(s) = steps {
+        args.cfg.steps = s.max(2);
+    }
+    if let Some(w) = warmup {
+        args.cfg.warmup = w;
+    }
+    Ok(args)
+}
+
+fn parse_num(s: &str, flag: &str) -> Result<usize, String> {
+    s.parse().map_err(|e| format!("{flag}: {e}"))
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}\n{USAGE}");
+            std::process::exit(2);
+        }
+    };
+    match args.mode {
+        Mode::Record => run_record(&args),
+        Mode::Compare => run_compare(&args),
+    }
+}
+
+fn run_record(args: &Args) {
+    let cfg = &args.cfg;
+    println!(
+        "recording {} scene(s): {} steps (+{} warmup) @ scale {}, {} thread(s)",
+        cfg.scenes.len(),
+        cfg.steps,
+        cfg.warmup,
+        cfg.scale,
+        cfg.threads
+    );
+    let baseline = record(cfg);
+    let rows: Vec<Vec<String>> = baseline
+        .scenes
+        .iter()
+        .map(|sc| {
+            let step_ns: Vec<f64> = (0..cfg.steps)
+                .map(|s| (0..5).map(|p| sc.phase_wall_ns[p][s]).sum())
+                .collect();
+            let med = parallax_telemetry::median(&step_ns).unwrap_or(0.0);
+            vec![
+                sc.scene.clone(),
+                sc.bodies.to_string(),
+                format!("{:.3}", med / 1e6),
+            ]
+        })
+        .collect();
+    print_table("Recorded medians", &["Scene", "Bodies", "Step ms"], &rows);
+    if let Err(e) = std::fs::write(&args.path, baseline.to_json()) {
+        eprintln!("error: cannot write {}: {e}", args.path);
+        std::process::exit(1);
+    }
+    println!("\nwrote baseline to {}", args.path);
+}
+
+fn run_compare(args: &Args) {
+    let src = match std::fs::read_to_string(&args.path) {
+        Ok(s) => s,
+        Err(e) if args.allow_missing => {
+            eprintln!(
+                "warning: no baseline at {} ({e}); nothing to gate against, passing. \
+                 Record one with `bench_gate record --out {}`.",
+                args.path, args.path
+            );
+            return;
+        }
+        Err(e) => {
+            eprintln!("error: cannot read baseline {}: {e}", args.path);
+            std::process::exit(2);
+        }
+    };
+    let base = match Baseline::from_json(&src) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("error: {}: {e}", args.path);
+            std::process::exit(2);
+        }
+    };
+    let here = Fingerprint::current();
+    if here != base.fingerprint {
+        eprintln!(
+            "warning: baseline was recorded on {}/{} with {} hw thread(s); this host is \
+             {}/{} with {} — absolute times are not comparable across machines, only \
+             uniform relative changes",
+            base.fingerprint.os,
+            base.fingerprint.arch,
+            base.fingerprint.hw_threads,
+            here.os,
+            here.arch,
+            here.hw_threads
+        );
+    }
+
+    // The fresh run must match the baseline's workload exactly; only the
+    // sample count and threshold are the comparer's choice.
+    let cfg = GateConfig {
+        scale: base.config.scale,
+        threads: base.config.threads,
+        scenes: base.config.scenes.clone(),
+        ..args.cfg.clone()
+    };
+    let threshold = if args.threshold.is_some() || args.quick {
+        args.cfg.threshold
+    } else {
+        base.config.threshold
+    };
+    println!(
+        "comparing against {} ({} scene(s), threshold +{:.0}%): {} steps (+{} warmup) \
+         @ scale {}, {} thread(s)",
+        args.path,
+        base.scenes.len(),
+        threshold * 100.0,
+        cfg.steps,
+        cfg.warmup,
+        cfg.scale,
+        cfg.threads
+    );
+    let fresh = record(&cfg);
+    let rows = compare_baselines(&base, &fresh, threshold);
+
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.scene.clone(),
+                r.phase.to_string(),
+                format!("{:.3}", r.cmp.base_median / 1e6),
+                format!("{:.3}", r.cmp.cand_median / 1e6),
+                format!("{:+.0}%", r.cmp.rel_change * 100.0),
+                format!("[{:+.0}%, {:+.0}%]", r.cmp.ci.0 * 100.0, r.cmp.ci.1 * 100.0),
+                r.cmp.verdict.label().to_string(),
+            ]
+        })
+        .collect();
+    print_table(
+        "Scene gate",
+        &[
+            "Scene", "Phase", "Base ms", "Now ms", "Change", "95% CI", "Verdict",
+        ],
+        &table,
+    );
+
+    let regressions: Vec<&PhaseComparison> = rows.iter().filter(|r| r.is_regression()).collect();
+    if regressions.is_empty() {
+        println!(
+            "\ngate passed: no scene/phase slower than baseline beyond +{:.0}%",
+            threshold * 100.0
+        );
+        return;
+    }
+    for r in &regressions {
+        eprintln!(
+            "REGRESSION: {} / {}: median {:.3} ms -> {:.3} ms ({:+.0}%, 95% CI \
+             [{:+.0}%, {:+.0}%] beyond +{:.0}%)",
+            r.scene,
+            r.phase,
+            r.cmp.base_median / 1e6,
+            r.cmp.cand_median / 1e6,
+            r.cmp.rel_change * 100.0,
+            r.cmp.ci.0 * 100.0,
+            r.cmp.ci.1 * 100.0,
+            threshold * 100.0
+        );
+    }
+    eprintln!(
+        "\ngate FAILED: {} regression(s) across {} scene/phase pair(s)",
+        regressions.len(),
+        rows.len()
+    );
+    std::process::exit(1);
+}

@@ -11,7 +11,10 @@
 //! a Perfetto-loadable Chrome trace with
 //! `telemetry_report out.jsonl --chrome trace.json`.
 
-use parallax_bench::{benchmark_by_name, telemetry_baseline, telemetry_sink, write_step_record};
+use parallax_bench::{
+    benchmark_by_name, scene_names, telemetry_baseline, telemetry_sink, write_step_record,
+};
+use parallax_physics::InvariantMonitor;
 use parallax_workloads::{BenchmarkId, SceneParams};
 
 struct Args {
@@ -19,6 +22,7 @@ struct Args {
     steps: u64,
     scale: f32,
     threads: usize,
+    monitor: bool,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -27,6 +31,7 @@ fn parse_args() -> Result<Args, String> {
         steps: 30,
         scale: 0.25,
         threads: 1,
+        monitor: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -34,8 +39,9 @@ fn parse_args() -> Result<Args, String> {
         match flag.as_str() {
             "--scene" => {
                 let name = value_of("--scene")?;
-                args.scene = benchmark_by_name(&name)
-                    .ok_or_else(|| format!("unknown scene {name:?} (try Mix, Periodic, ...)"))?;
+                args.scene = benchmark_by_name(&name).ok_or_else(|| {
+                    format!("unknown scene {name:?}; valid scenes: {}", scene_names())
+                })?;
             }
             "--steps" => {
                 args.steps = value_of("--steps")?
@@ -52,6 +58,7 @@ fn parse_args() -> Result<Args, String> {
                     .parse()
                     .map_err(|e| format!("--threads: {e}"))?;
             }
+            "--monitor" => args.monitor = true,
             // Consumed by the shared sink bootstrap in parallax-bench.
             "--telemetry" => {
                 value_of("--telemetry")?;
@@ -70,7 +77,7 @@ fn main() {
             eprintln!("error: {e}");
             eprintln!(
                 "usage: run_scene [--scene NAME] [--steps N] [--scale F] \
-                 [--threads N] [--telemetry PATH]"
+                 [--threads N] [--monitor] [--telemetry PATH]"
             );
             std::process::exit(2);
         }
@@ -84,9 +91,15 @@ fn main() {
     });
 
     let mut baseline = telemetry_baseline();
+    let mut monitor = args.monitor.then(InvariantMonitor::default);
     let mut last = None;
     for step in 0..args.steps {
         let profile = scene.step();
+        if let Some(mon) = &mut monitor {
+            for v in mon.check_step(&scene.world, &profile) {
+                eprintln!("violation at step {step}: {v}");
+            }
+        }
         if recording {
             write_step_record(
                 "physics",
@@ -117,4 +130,14 @@ fn main() {
             ""
         }
     );
+    if let Some(mon) = &monitor {
+        println!(
+            "monitor: {} step(s) checked, {} violation(s)",
+            mon.checked_steps(),
+            mon.violations_total()
+        );
+        if mon.violations_total() > 0 {
+            std::process::exit(1);
+        }
+    }
 }

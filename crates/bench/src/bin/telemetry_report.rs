@@ -88,6 +88,15 @@ fn main() {
             eprintln!("check failed: {e}");
             std::process::exit(1);
         }
+        // Dropped spans don't fail the check (wall times and counters
+        // are still sound) but the span tracks are incomplete — say so.
+        let dropped = report::spans_dropped(&records);
+        if dropped > 0 {
+            eprintln!(
+                "warning: {dropped} span(s) dropped during recording; worker-utilization \
+                 and trace output are incomplete"
+            );
+        }
     }
 
     print!("{}", report::render(&records));

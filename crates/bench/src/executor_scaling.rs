@@ -167,11 +167,21 @@ pub fn run(
 
 impl ScalingReport {
     /// Serializes the report as JSON (hand-rolled: the workspace's serde
-    /// is an offline no-op shim).
+    /// is an offline no-op shim). The envelope — `schema_version`,
+    /// `experiment`, `fingerprint` — matches the `bench_gate` scene
+    /// baseline so every checked-in `BENCH_*.json` parses the same way.
     pub fn to_json(&self) -> String {
         let mut s = String::new();
         s.push_str("{\n");
+        s.push_str(&format!(
+            "  \"schema_version\": {},\n",
+            crate::harness::SCHEMA_VERSION
+        ));
         s.push_str("  \"experiment\": \"executor_scaling\",\n");
+        s.push_str(&format!(
+            "  \"fingerprint\": {},\n",
+            crate::harness::Fingerprint::current().to_json()
+        ));
         s.push_str(&format!("  \"scene\": \"{}\",\n", self.scene.name()));
         s.push_str(&format!("  \"scale\": {},\n", self.scale));
         s.push_str(&format!("  \"steps_per_point\": {},\n", self.steps));
@@ -224,5 +234,12 @@ mod tests {
         let json = r.to_json();
         assert!(json.contains("\"experiment\": \"executor_scaling\""));
         assert!(json.contains("\"threads\": 2"));
+        // Envelope is valid JSON sharing the bench_gate schema version.
+        let parsed = parallax_telemetry::json::Json::parse(&json).expect("valid JSON");
+        assert_eq!(
+            parsed.get("schema_version").and_then(|v| v.as_u64()),
+            Some(crate::harness::SCHEMA_VERSION)
+        );
+        assert!(parsed.get("fingerprint").is_some());
     }
 }

@@ -8,6 +8,7 @@
 //! quick smoke runs (`PARALLAX_SCALE=0.1`).
 
 pub mod executor_scaling;
+pub mod harness;
 
 use std::collections::HashMap;
 use std::sync::{Mutex, OnceLock};
@@ -143,6 +144,7 @@ pub fn write_step_record(
     let Some(sink) = telemetry_sink() else {
         return;
     };
+    publish_spans_dropped();
     let now = parallax_telemetry::snapshot();
     let metrics = now.delta_since(baseline);
     *baseline = now;
@@ -165,6 +167,17 @@ pub fn write_step_record(
     let mut sink = sink.lock().expect("telemetry sink lock");
     if let Err(e) = sink.write(&record).and_then(|()| sink.flush()) {
         eprintln!("warning: telemetry write failed: {e}");
+    }
+}
+
+/// Mirrors the process's cumulative dropped-span count into the
+/// `telemetry.spans_dropped` gauge so it travels with every snapshot and
+/// `telemetry_report` can surface incomplete traces from the JSONL alone
+/// (gauges merge by max, so the largest value wins across records).
+fn publish_spans_dropped() {
+    let dropped = parallax_telemetry::span::spans_dropped();
+    if dropped > 0 {
+        parallax_telemetry::gauge(parallax_telemetry::report::SPANS_DROPPED_GAUGE).set(dropped);
     }
 }
 
@@ -282,6 +295,16 @@ pub fn benchmark_by_name(s: &str) -> Option<BenchmarkId> {
         .find(|b| b.name().eq_ignore_ascii_case(s) || b.abbrev().eq_ignore_ascii_case(s))
 }
 
+/// Every valid scene spelling, `"Name (Abbrev)"` comma-joined — the
+/// suggestion list binaries print when `--scene` doesn't resolve.
+pub fn scene_names() -> String {
+    BenchmarkId::ALL
+        .into_iter()
+        .map(|b| format!("{} ({})", b.name(), b.abbrev()))
+        .collect::<Vec<_>>()
+        .join(", ")
+}
+
 /// Warm-then-measure helper: runs `traces` through the simulator once to
 /// warm caches, resets stats, runs again and returns the measured result.
 /// With an active `--telemetry` sink, each measured step also writes one
@@ -314,6 +337,7 @@ pub fn warm_measure(
                 (ph.name().to_string(), ns as u64)
             })
             .collect();
+        publish_spans_dropped();
         let now = parallax_telemetry::snapshot();
         let metrics = now.delta_since(&baseline);
         baseline = now;

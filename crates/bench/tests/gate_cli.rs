@@ -1,0 +1,103 @@
+//! `bench_gate` exercised as a subprocess, the way CI and developers
+//! run it: record a baseline, compare an identical build (exit 0),
+//! compare a build slowed via the `PARALLAX_PHASE_SLOW` environment
+//! hook (exit 1, stderr names the scene and phase), and pass with a
+//! warning when no baseline exists and `--allow-missing-baseline` is
+//! given.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn bench_gate() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_bench_gate"))
+}
+
+fn scratch(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("parallax_gate_cli_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("scratch dir");
+    dir.join(name)
+}
+
+fn stderr_of(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stderr).into_owned()
+}
+
+#[test]
+fn record_compare_and_env_slowdown() {
+    let path = scratch("BENCH_scenes.json");
+    let args = [
+        "--steps", "8", "--warmup", "2", "--scale", "0.05", "--quick",
+    ];
+
+    let rec = bench_gate()
+        .arg("record")
+        .args(["--out", path.to_str().unwrap()])
+        .args(args)
+        .output()
+        .expect("run bench_gate record");
+    assert!(rec.status.success(), "record failed: {}", stderr_of(&rec));
+    let doc = std::fs::read_to_string(&path).expect("baseline written");
+    assert!(doc.contains("\"schema_version\""), "{doc}");
+
+    let same = bench_gate()
+        .arg("compare")
+        .args(["--baseline", path.to_str().unwrap()])
+        .args(args)
+        .output()
+        .expect("run bench_gate compare");
+    assert!(
+        same.status.success(),
+        "identical build failed the gate: {}",
+        stderr_of(&same)
+    );
+
+    let slowed = bench_gate()
+        .arg("compare")
+        .args(["--baseline", path.to_str().unwrap()])
+        .args(args)
+        .env("PARALLAX_PHASE_SLOW", "Broadphase:10000000")
+        .output()
+        .expect("run slowed bench_gate compare");
+    assert_eq!(
+        slowed.status.code(),
+        Some(1),
+        "slowed build passed the gate: {}",
+        stderr_of(&slowed)
+    );
+    let err = stderr_of(&slowed);
+    assert!(err.contains("REGRESSION"), "{err}");
+    assert!(err.contains("Broadphase"), "{err}");
+    assert!(
+        err.contains("Periodic") || err.contains("Mix") || err.contains("Ragdoll"),
+        "no scene named: {err}"
+    );
+
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn missing_baseline_is_tolerated_only_when_asked() {
+    let path = scratch("does_not_exist.json");
+    let strict = bench_gate()
+        .arg("compare")
+        .args(["--baseline", path.to_str().unwrap(), "--quick"])
+        .output()
+        .expect("run bench_gate compare");
+    assert_eq!(strict.status.code(), Some(2), "{}", stderr_of(&strict));
+
+    let tolerant = bench_gate()
+        .arg("compare")
+        .args([
+            "--baseline",
+            path.to_str().unwrap(),
+            "--quick",
+            "--allow-missing-baseline",
+        ])
+        .output()
+        .expect("run tolerant bench_gate compare");
+    assert!(tolerant.status.success(), "{}", stderr_of(&tolerant));
+    assert!(
+        stderr_of(&tolerant).contains("no baseline"),
+        "warned about it"
+    );
+}

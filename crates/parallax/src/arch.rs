@@ -295,6 +295,7 @@ mod tests {
                 rows: dof_per_island,
                 dof_removed: dof_per_island,
                 iterations: 20,
+                residual: 0.0,
                 queued: dof_per_island > 25,
             });
         }

@@ -45,6 +45,7 @@ pub mod fracture;
 pub mod integrator;
 pub mod island;
 pub mod joint;
+pub mod monitor;
 pub mod narrowphase;
 pub mod parallel;
 pub mod pipeline;
@@ -60,7 +61,8 @@ pub use contact::{ContactManifold, ContactPoint};
 pub use explosion::ExplosionConfig;
 pub use fracture::FractureConfig;
 pub use joint::{Joint, JointId, JointKind};
-pub use pipeline::{Stage, StepPipeline};
+pub use monitor::{InvariantMonitor, MonitorConfig, Violation};
+pub use pipeline::{set_injected_phase_delay, Stage, StepPipeline};
 pub use probe::{PhaseKind, StepProfile};
 pub use shape::{GeomId, Heightfield, Shape, TriMesh};
 pub use world::{BroadphaseKind, World, WorldConfig};

@@ -347,6 +347,7 @@ impl IslandProcessingStage {
                     rows: stats.rows,
                     dof_removed: island.dof_removed,
                     iterations: stats.iterations,
+                    residual: stats.total_delta,
                     queued: island.dof_removed > threshold,
                 },
             }
@@ -444,6 +445,8 @@ struct PipelineTelemetry {
     island_size: telemetry::Histogram,
     manifolds_per_step: telemetry::Histogram,
     solver_rows: telemetry::Histogram,
+    max_penetration_um: telemetry::Histogram,
+    solver_residual_milli: telemetry::Histogram,
 }
 
 impl PipelineTelemetry {
@@ -454,7 +457,67 @@ impl PipelineTelemetry {
             island_size: telemetry::histogram("physics.island_size_bodies"),
             manifolds_per_step: telemetry::histogram("physics.manifolds_per_step"),
             solver_rows: telemetry::histogram("physics.solver_rows_per_island"),
+            max_penetration_um: telemetry::histogram("physics.max_penetration_um"),
+            solver_residual_milli: telemetry::histogram("physics.solver_residual_milli"),
         }
+    }
+}
+
+/// Per-phase artificial delay in nanoseconds, used to fake a regression
+/// for gate testing. Initialized once from `PARALLAX_PHASE_SLOW`
+/// (`"<PhaseName>:<nanos>"`, e.g. `Broadphase:2000000`), adjustable at
+/// runtime through [`set_injected_phase_delay`].
+fn injected_delays() -> &'static [std::sync::atomic::AtomicU64; 5] {
+    use std::sync::atomic::AtomicU64;
+    use std::sync::OnceLock;
+    static DELAYS: OnceLock<[AtomicU64; 5]> = OnceLock::new();
+    DELAYS.get_or_init(|| {
+        let delays = [const { AtomicU64::new(0) }; 5];
+        if let Ok(spec) = std::env::var("PARALLAX_PHASE_SLOW") {
+            if let Some((name, ns)) = spec.split_once(':') {
+                let idx = PhaseKind::ALL
+                    .iter()
+                    .position(|p| p.name().eq_ignore_ascii_case(name.trim()));
+                match (idx, ns.trim().parse::<u64>()) {
+                    (Some(i), Ok(ns)) => delays[i].store(ns, std::sync::atomic::Ordering::Relaxed),
+                    _ => eprintln!(
+                        "warning: ignoring malformed PARALLAX_PHASE_SLOW={spec:?} \
+                         (expected \"<PhaseName>:<nanos>\")"
+                    ),
+                }
+            } else {
+                eprintln!(
+                    "warning: ignoring malformed PARALLAX_PHASE_SLOW={spec:?} \
+                     (expected \"<PhaseName>:<nanos>\")"
+                );
+            }
+        }
+        delays
+    })
+}
+
+/// Test/CI hook: makes every future step spend an extra `delay` inside
+/// `phase` (a deliberately slowed build without recompiling). Pass
+/// `Duration::ZERO` to clear. The regression-gate acceptance test uses
+/// this to verify `bench_gate compare` catches a real slowdown.
+pub fn set_injected_phase_delay(phase: PhaseKind, delay: Duration) {
+    let idx = PhaseKind::ALL
+        .iter()
+        .position(|p| *p == phase)
+        .expect("phase");
+    injected_delays()[idx].store(
+        delay.as_nanos() as u64,
+        std::sync::atomic::Ordering::Relaxed,
+    );
+}
+
+/// Sleeps the injected delay for a phase, if any (one relaxed load on
+/// the common path).
+#[inline]
+fn apply_injected_delay(phase_idx: usize) {
+    let ns = injected_delays()[phase_idx].load(std::sync::atomic::Ordering::Relaxed);
+    if ns > 0 {
+        std::thread::sleep(Duration::from_nanos(ns));
     }
 }
 
@@ -557,7 +620,11 @@ impl StepPipeline {
         }
 
         // (b) Broad-phase (serial).
-        let (stats, wall) = timed(spans[0], || self.broadphase.run(world));
+        let (stats, wall) = timed(spans[0], || {
+            let s = self.broadphase.run(world);
+            apply_injected_delay(0);
+            s
+        });
         profile.broadphase = stats;
         profile.wall[0] = wall;
 
@@ -570,6 +637,7 @@ impl StepPipeline {
             profile.pairs = narrowphase.run(world, executor, candidates);
             let events = world.process_contact_events(&narrowphase.manifolds);
             world.update_cloth_contact_lists();
+            apply_injected_delay(1);
             events
         });
         profile.wall[1] = wall;
@@ -580,11 +648,22 @@ impl StepPipeline {
         self.narrowphase
             .manifolds
             .retain(|m| !inert_filter.manifold_is_inert(m));
+        profile.max_penetration = self
+            .narrowphase
+            .manifolds
+            .iter()
+            .flat_map(|m| m.points.iter())
+            .map(|p| p.depth)
+            .fold(0.0, f32::max);
 
         // (d) Island creation (serial).
         let island_creation = &mut self.island_creation;
         let manifolds = &self.narrowphase.manifolds;
-        let (stats, wall) = timed(spans[2], || island_creation.run(world, manifolds));
+        let (stats, wall) = timed(spans[2], || {
+            let s = island_creation.run(world, manifolds);
+            apply_injected_delay(2);
+            s
+        });
         profile.island_creation = stats;
         profile.wall[2] = wall;
 
@@ -608,6 +687,7 @@ impl StepPipeline {
                 );
                 integrator::integrate(b, dt);
             }
+            apply_injected_delay(3);
             broken
         });
         profile.wall[3] = wall;
@@ -615,11 +695,13 @@ impl StepPipeline {
         // (g) Cloth (parallel); skipped (but still timed) without cloths.
         let cloth = &mut self.cloth;
         let (cloths, wall) = timed(spans[4], || {
-            if world.cloths.is_empty() {
+            let c = if world.cloths.is_empty() {
                 Vec::new()
             } else {
                 cloth.run(world, executor)
-            }
+            };
+            apply_injected_delay(4);
+            c
         });
         profile.cloths = cloths;
         profile.wall[4] = wall;
@@ -628,9 +710,17 @@ impl StepPipeline {
             self.telemetry
                 .manifolds_per_step
                 .record(self.narrowphase.manifolds.len() as u64);
+            // Penetration in micrometers so the log2 buckets resolve the
+            // useful 1 µm – 10 m range.
+            self.telemetry
+                .max_penetration_um
+                .record((profile.max_penetration.max(0.0) * 1e6) as u64);
             for w in &profile.islands {
                 self.telemetry.island_size.record(w.bodies.len() as u64);
                 self.telemetry.solver_rows.record(w.rows as u64);
+                self.telemetry
+                    .solver_residual_milli
+                    .record((w.residual.max(0.0) * 1e3) as u64);
             }
         }
 

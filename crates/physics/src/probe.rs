@@ -94,6 +94,9 @@ pub struct IslandWork {
     pub dof_removed: usize,
     /// Solver iterations executed.
     pub iterations: usize,
+    /// Total |Δλ| applied over the solve (convergence indicator; the
+    /// invariant monitor flags non-finite values).
+    pub residual: f32,
     /// Whether the island went to the parallel work queue (paper: > 25
     /// DOF removed) or ran on the main thread.
     pub queued: bool,
@@ -138,6 +141,10 @@ pub struct StepProfile {
     pub cloths: Vec<ClothWork>,
     /// Events raised this step.
     pub events: StepEvents,
+    /// Deepest contact penetration among this step's manifolds, meters
+    /// (0 when no contact survived narrow-phase). Watched by the
+    /// invariant monitor: runaway penetration means the solver lost.
+    pub max_penetration: f32,
     /// Wall-clock time per phase, pipeline order (debug aid; the
     /// architecture simulator produces the *simulated* times).
     pub wall: [Duration; 5],
@@ -209,6 +216,7 @@ mod tests {
             rows: 3,
             dof_removed: 3,
             iterations: 20,
+            residual: 0.0,
             queued: false,
         });
         p.cloths.push(ClothWork {

@@ -26,6 +26,10 @@
 //!   Chrome `trace_event` converter whose output loads directly in
 //!   Perfetto / `chrome://tracing`, and the Fig-2a-style per-phase
 //!   report used by the `telemetry_report` binary.
+//! * **Statistics** ([`stats`]) — dependency-free robust statistics
+//!   (median/MAD, deterministic bootstrap confidence intervals and the
+//!   noise-aware two-sample [`compare`] verdict) that the `bench_gate`
+//!   regression gate turns telemetry into pass/fail decisions with.
 //!
 //! Telemetry is disabled at startup: every record call is one relaxed
 //! atomic load and a branch (criterion-verified ≤ 3% on the step path;
@@ -53,6 +57,7 @@ pub mod json;
 pub mod registry;
 pub mod report;
 pub mod span;
+pub mod stats;
 
 pub use export::{chrome_trace, read_jsonl, StepRecord, TelemetrySink};
 pub use registry::{
@@ -60,6 +65,10 @@ pub use registry::{
     HistogramSnapshot, Snapshot,
 };
 pub use span::{drain_spans, now_ns, span_name, span_record, SpanGuard, SpanName, SpanRecord};
+pub use stats::{
+    bootstrap_median_ci, compare, mad, median, summarize, trim_warmup, BootstrapConfig, Comparison,
+    Verdict,
+};
 
 use std::sync::atomic::{AtomicBool, Ordering};
 

@@ -106,6 +106,25 @@ pub fn worker_utilization(records: &[StepRecord]) -> (Vec<WorkerRow>, f64) {
     (rows, imbalance)
 }
 
+/// Counter-name prefix the physics invariant monitors record
+/// violations under (see `parallax_physics::monitor`).
+pub const VIOLATION_PREFIX: &str = "physics.monitor.violation.";
+
+/// Gauge name carrying the cumulative dropped-span count of the
+/// recording process (set by the bench sink before each snapshot).
+pub const SPANS_DROPPED_GAUGE: &str = "telemetry.spans_dropped";
+
+/// Largest `telemetry.spans_dropped` gauge value across records: the
+/// cumulative number of spans the recording process lost to full ring
+/// buffers (0 when the gauge was never set — nothing was dropped).
+pub fn spans_dropped(records: &[StepRecord]) -> u64 {
+    records
+        .iter()
+        .map(|r| r.metrics.gauge(SPANS_DROPPED_GAUGE))
+        .max()
+        .unwrap_or(0)
+}
+
 /// Formats nanoseconds for the report tables.
 pub fn fmt_ns(ns: f64) -> String {
     if ns >= 1e9 {
@@ -187,6 +206,34 @@ pub fn render(records: &[StepRecord]) -> String {
                 h.quantile_upper_bound(0.99).unwrap_or(0)
             );
         }
+    }
+
+    // Invariant-monitor verdict: only rendered when a monitor ran
+    // (its check counter is nonzero in the merged deltas).
+    let checks = merged.counter("physics.monitor.checked_steps");
+    let violations: Vec<(&String, &u64)> = merged
+        .counters
+        .iter()
+        .filter(|(n, _)| n.starts_with(VIOLATION_PREFIX))
+        .map(|(n, v)| (n, v))
+        .collect();
+    if checks > 0 || !violations.is_empty() {
+        let _ = writeln!(out, "\nInvariant violations ({checks} step(s) checked):");
+        if violations.is_empty() {
+            let _ = writeln!(out, "  none");
+        }
+        for (name, v) in &violations {
+            let kind = name.strip_prefix(VIOLATION_PREFIX).unwrap_or(name);
+            let _ = writeln!(out, "  {kind:<20} {v:>10}");
+        }
+    }
+
+    let dropped = spans_dropped(records);
+    if dropped > 0 {
+        let _ = writeln!(
+            out,
+            "\nspans dropped: {dropped} (ring buffers overflowed; trace is incomplete)"
+        );
     }
 
     let (workers, imbalance) = worker_utilization(records);
@@ -271,5 +318,38 @@ mod tests {
     fn empty_records_render_without_panic() {
         assert!(render(&[]).contains("0 record(s)"));
         assert!(phase_breakdown(&[]).is_empty());
+    }
+
+    #[test]
+    fn violations_section_lists_monitor_counters() {
+        let mut r = rec(0, 100, 300);
+        r.metrics.counters = vec![
+            ("physics.monitor.checked_steps".into(), 12),
+            (format!("{VIOLATION_PREFIX}non_finite"), 2),
+        ];
+        let text = render(std::slice::from_ref(&r));
+        assert!(text.contains("Invariant violations (12 step(s) checked):"));
+        assert!(text.contains("non_finite"));
+
+        // A monitored run with no violations renders "none"; an
+        // unmonitored run renders no section at all.
+        r.metrics.counters = vec![("physics.monitor.checked_steps".into(), 5)];
+        let text = render(std::slice::from_ref(&r));
+        assert!(text.contains("Invariant violations (5 step(s) checked):"));
+        assert!(text.contains("none"));
+        assert!(!render(&[rec(0, 1, 1)]).contains("Invariant violations"));
+    }
+
+    #[test]
+    fn spans_dropped_is_max_gauge_across_records() {
+        let mut a = rec(0, 1, 1);
+        a.metrics.gauges = vec![(SPANS_DROPPED_GAUGE.into(), 3)];
+        let mut b = rec(1, 1, 1);
+        b.metrics.gauges = vec![(SPANS_DROPPED_GAUGE.into(), 7)];
+        assert_eq!(spans_dropped(&[a.clone(), b.clone()]), 7);
+        assert_eq!(spans_dropped(&[rec(2, 1, 1)]), 0);
+        let text = render(&[a, b]);
+        assert!(text.contains("spans dropped: 7"));
+        assert!(!render(&[rec(0, 1, 1)]).contains("spans dropped"));
     }
 }

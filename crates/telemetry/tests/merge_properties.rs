@@ -52,6 +52,25 @@ fn canon(s: &Snapshot) -> Snapshot {
     s.merge(&Snapshot::default())
 }
 
+/// Histogram a single shard would have produced from `values`.
+fn hist_of(values: &[u64]) -> HistogramSnapshot {
+    let mut buckets = vec![0u64; HIST_BUCKETS];
+    let mut sum = 0u64;
+    for &v in values {
+        buckets[bucket_of(v)] += 1;
+        sum += v;
+    }
+    HistogramSnapshot { buckets, sum }
+}
+
+fn snap_with_hist(h: HistogramSnapshot) -> Snapshot {
+    Snapshot {
+        counters: Vec::new(),
+        gauges: Vec::new(),
+        histograms: vec![("h".to_string(), h)],
+    }
+}
+
 proptest! {
     #[test]
     fn merge_is_commutative(a in snapshot_strategy(), b in snapshot_strategy()) {
@@ -82,6 +101,46 @@ proptest! {
         for (name, v) in &b.counters {
             prop_assert_eq!(delta.counter(name), *v, "counter {}", name);
         }
+    }
+
+    #[test]
+    fn quantile_upper_bound_is_monotone_in_q(
+        values in prop::collection::vec(0u64..1_000_000_000, 1..50),
+        qs in prop::collection::vec(0.0f64..1.0, 2..6),
+    ) {
+        // The q-th quantile bound can only grow with q: the regression
+        // gate reads p50 and p99 off the same histogram and assumes
+        // p50 <= p99.
+        let h = hist_of(&values);
+        let mut qs = qs;
+        qs.sort_by(f64::total_cmp);
+        let bounds: Vec<u64> = qs
+            .iter()
+            .map(|&q| h.quantile_upper_bound(q).expect("nonempty histogram"))
+            .collect();
+        for w in bounds.windows(2) {
+            prop_assert!(w[0] <= w[1], "quantile bounds not monotone: {:?} for {:?}", bounds, qs);
+        }
+    }
+
+    #[test]
+    fn quantile_is_invariant_under_shard_merge(
+        values in prop::collection::vec(0u64..1_000_000_000, 1..60),
+        split in 0usize..60,
+        q in 0.0f64..1.0,
+    ) {
+        // Recording thread assignment is arbitrary, so any split of the
+        // samples across two shards must merge to the same quantiles as
+        // one shard seeing everything.
+        let split = split.min(values.len());
+        let whole = snap_with_hist(hist_of(&values));
+        let a = snap_with_hist(hist_of(&values[..split]));
+        let b = snap_with_hist(hist_of(&values[split..]));
+        let merged = a.merge(&b);
+        prop_assert_eq!(
+            merged.histogram("h").expect("merged").quantile_upper_bound(q),
+            whole.histogram("h").expect("whole").quantile_upper_bound(q)
+        );
     }
 
     #[test]

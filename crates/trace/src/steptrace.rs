@@ -404,6 +404,7 @@ mod tests {
             rows: 21,
             dof_removed: 21,
             iterations: 20,
+            residual: 0.0,
             queued: false,
         });
         p.cloths.push(ClothWork {

@@ -20,6 +20,14 @@ cargo run --release --offline -q -p parallax-bench --bin telemetry_report -- \
     "$tmp/mix.jsonl" --check-phases --chrome "$tmp/trace.json" >/dev/null
 test -s "$tmp/trace.json"
 
+# Regression-gate smoke: compare against the checked-in scene baseline
+# with few steps and a +100% threshold — only a catastrophic slowdown
+# trips it, but the full record -> parse -> compare -> verdict path runs
+# on every build. Tolerates a missing baseline so a fresh checkout (or a
+# PR that deliberately deletes it for re-recording) still verifies.
+cargo run --release --offline -q -p parallax-bench --bin bench_gate -- \
+    compare --quick --allow-missing-baseline >/dev/null
+
 # Guard bench for the disabled-telemetry hot path (compare against a
 # `--features no-telemetry` run to bound the overhead; see DESIGN.md).
 cargo bench --offline -p parallax-bench --bench telemetry_overhead
