@@ -197,6 +197,7 @@ fn run_compare(args: &Args) {
     let cfg = GateConfig {
         scale: base.config.scale,
         threads: base.config.threads,
+        warm_starting: base.config.warm_starting,
         scenes: base.config.scenes.clone(),
         ..args.cfg.clone()
     };

@@ -23,6 +23,7 @@ struct Args {
     scale: f32,
     threads: usize,
     monitor: bool,
+    warm_starting: bool,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -32,6 +33,7 @@ fn parse_args() -> Result<Args, String> {
         scale: 0.25,
         threads: 1,
         monitor: false,
+        warm_starting: true,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -59,6 +61,7 @@ fn parse_args() -> Result<Args, String> {
                     .map_err(|e| format!("--threads: {e}"))?;
             }
             "--monitor" => args.monitor = true,
+            "--no-warm-start" => args.warm_starting = false,
             // Consumed by the shared sink bootstrap in parallax-bench.
             "--telemetry" => {
                 value_of("--telemetry")?;
@@ -77,16 +80,20 @@ fn main() {
             eprintln!("error: {e}");
             eprintln!(
                 "usage: run_scene [--scene NAME] [--steps N] [--scale F] \
-                 [--threads N] [--monitor] [--telemetry PATH]"
+                 [--threads N] [--monitor] [--no-warm-start] [--telemetry PATH]"
             );
             std::process::exit(2);
         }
     };
 
     let recording = telemetry_sink().is_some();
+    // Keep telemetry live for the solver-residual summary even without a
+    // sink; the registry is cheap and the deltas below stay process-local.
+    parallax_telemetry::set_enabled(true);
     let mut scene = args.scene.build(&SceneParams {
         scale: args.scale,
         threads: args.threads,
+        warm_starting: args.warm_starting,
         ..SceneParams::default()
     });
 
@@ -130,6 +137,19 @@ fn main() {
             ""
         }
     );
+    let snap = parallax_telemetry::snapshot();
+    if let Some(residual) = snap.histogram("physics.solver_residual_milli") {
+        println!(
+            "solver residual (milli-units/island): median<= {} mean {:.1} over {} islands, \
+             warm starting {} ({} hits / {} misses)",
+            residual.quantile_upper_bound(0.5).unwrap_or(0),
+            residual.mean(),
+            residual.count(),
+            if args.warm_starting { "on" } else { "off" },
+            snap.counter("physics.solver.warm_hits"),
+            snap.counter("physics.solver.warm_misses"),
+        );
+    }
     if let Some(mon) = &monitor {
         println!(
             "monitor: {} step(s) checked, {} violation(s)",

@@ -51,6 +51,9 @@ pub struct ScalingReport {
     pub serial_bound: bool,
     /// Human-readable explanation when `serial_bound`.
     pub serial_bound_reason: String,
+    /// Solver warm starting during the run (the engine default; recorded
+    /// in the envelope so baselines carry their solver configuration).
+    pub warm_starting: bool,
 }
 
 /// Measures one `(scene, threads)` point: builds the scene fresh, warms
@@ -162,6 +165,7 @@ pub fn run(
         amdahl_bound,
         serial_bound,
         serial_bound_reason,
+        warm_starting: SceneParams::default().warm_starting,
     }
 }
 
@@ -184,6 +188,7 @@ impl ScalingReport {
         ));
         s.push_str(&format!("  \"scene\": \"{}\",\n", self.scene.name()));
         s.push_str(&format!("  \"scale\": {},\n", self.scale));
+        s.push_str(&format!("  \"warm_starting\": {},\n", self.warm_starting));
         s.push_str(&format!("  \"steps_per_point\": {},\n", self.steps));
         s.push_str(&format!(
             "  \"available_parallelism\": {},\n",

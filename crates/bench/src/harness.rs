@@ -46,6 +46,11 @@ pub struct GateConfig {
     /// Relative median-change threshold a regression must clear
     /// (0.35 = 35% slower).
     pub threshold: f64,
+    /// Solver warm starting from the persistent contact cache. Part of
+    /// the envelope so a baseline is always compared against a run with
+    /// the same solver configuration. Baselines recorded before the
+    /// field existed read as `true` (the engine default).
+    pub warm_starting: bool,
     /// Scenes measured, in order.
     pub scenes: Vec<BenchmarkId>,
 }
@@ -58,6 +63,7 @@ impl Default for GateConfig {
             scale: 0.2,
             threads: 1,
             threshold: 0.35,
+            warm_starting: true,
             scenes: BenchmarkId::ALL.to_vec(),
         }
     }
@@ -160,6 +166,7 @@ pub fn record(cfg: &GateConfig) -> Baseline {
         let mut scene = id.build(&SceneParams {
             scale: cfg.scale,
             threads: cfg.threads,
+            warm_starting: cfg.warm_starting,
             ..SceneParams::default()
         });
         for _ in 0..cfg.warmup {
@@ -206,12 +213,13 @@ impl Baseline {
         let _ = writeln!(
             s,
             "  \"config\": {{\"steps\": {}, \"warmup\": {}, \"scale\": {}, \
-             \"threads\": {}, \"threshold\": {}}},",
+             \"threads\": {}, \"threshold\": {}, \"warm_starting\": {}}},",
             self.config.steps,
             self.config.warmup,
             self.config.scale,
             self.config.threads,
-            self.config.threshold
+            self.config.threshold,
+            self.config.warm_starting
         );
         s.push_str("  \"scenes\": [\n");
         for (i, sc) in self.scenes.iter().enumerate() {
@@ -276,6 +284,9 @@ impl Baseline {
             scale: field_f64(c, "scale")? as f32,
             threads: field_u64(c, "threads")? as usize,
             threshold: field_f64(c, "threshold")?,
+            // Absent in pre-warm-starting baselines: those were recorded
+            // with the engine default, which is on.
+            warm_starting: !matches!(c.get("warm_starting"), Some(Json::Bool(false))),
             scenes: Vec::new(),
         };
         let mut scenes = Vec::new();
@@ -413,6 +424,7 @@ mod tests {
             scale: 0.05,
             threads: 1,
             threshold: 0.35,
+            warm_starting: true,
             scenes: vec![BenchmarkId::Periodic, BenchmarkId::Ragdoll],
         }
     }

@@ -55,9 +55,15 @@ pub trait Broadphase {
 /// against followers whose min-x is below its max-x. This is O(n log n +
 /// n·k) and matches the serial, hard-to-parallelize profile the paper
 /// describes.
+///
+/// The sort order persists across calls: on temporally coherent frames the
+/// previous permutation is already (almost) sorted, which the
+/// pattern-defeating quicksort exploits, and the reported
+/// [`BroadphaseStats::sort_ops`] are the comparisons actually executed
+/// rather than an n·log₂n estimate.
 #[derive(Debug, Default)]
 pub struct SweepAndPrune {
-    // Scratch buffers reused across frames to avoid allocation churn.
+    // Previous frame's sort permutation, reused as the starting order.
     order: Vec<u32>,
 }
 
@@ -80,21 +86,25 @@ impl Broadphase for SweepAndPrune {
             ..Default::default()
         };
         out.clear();
-        self.order.clear();
-        self.order.extend(0..n as u32);
-        // Count comparisons via a wrapper-free estimate: n log2 n.
-        stats.sort_ops = if n > 1 {
-            n * (usize::BITS - (n - 1).leading_zeros()) as usize
-        } else {
-            0
-        };
+        // Start from the previous frame's permutation when the population
+        // is unchanged; coherent motion leaves it nearly sorted.
+        if self.order.len() != n {
+            self.order.clear();
+            self.order.extend(0..n as u32);
+        }
+        let mut sort_ops = 0usize;
         self.order.sort_unstable_by(|&a, &b| {
+            sort_ops += 1;
+            // Tie-break equal keys by index so the final permutation does
+            // not depend on the (history-dependent) starting order.
             aabbs[a as usize]
                 .1
                 .min
                 .x
                 .total_cmp(&aabbs[b as usize].1.min.x)
+                .then(a.cmp(&b))
         });
+        stats.sort_ops = sort_ops;
 
         for (i, &ia) in self.order.iter().enumerate() {
             let (ga, ba) = &aabbs[ia as usize];
@@ -103,6 +113,46 @@ impl Broadphase for SweepAndPrune {
                 if bb.min.x > ba.max.x {
                     break;
                 }
+                stats.overlap_tests += 1;
+                if ba.overlaps(bb) {
+                    let (lo, hi) = if ga < gb { (*ga, *gb) } else { (*gb, *ga) };
+                    out.push((lo, hi));
+                }
+            }
+        }
+        stats.pairs = out.len();
+        stats
+    }
+}
+
+/// Brute-force all-pairs broad-phase.
+///
+/// Tests every geom pair directly — O(n²), far too slow for real scenes,
+/// but trivially correct. It is the reference oracle the property tests
+/// compare [`SweepAndPrune`] and [`UniformGrid`] against.
+#[derive(Debug, Default)]
+pub struct BruteForce;
+
+impl BruteForce {
+    /// Creates the reference broad-phase.
+    pub fn new() -> Self {
+        BruteForce
+    }
+}
+
+impl Broadphase for BruteForce {
+    fn pairs_into(
+        &mut self,
+        aabbs: &[(GeomId, Aabb)],
+        out: &mut Vec<(GeomId, GeomId)>,
+    ) -> BroadphaseStats {
+        let mut stats = BroadphaseStats {
+            geoms: aabbs.len(),
+            ..Default::default()
+        };
+        out.clear();
+        for (i, (ga, ba)) in aabbs.iter().enumerate() {
+            for (gb, bb) in &aabbs[i + 1..] {
                 stats.overlap_tests += 1;
                 if ba.overlaps(bb) {
                     let (lo, hi) = if ga < gb { (*ga, *gb) } else { (*gb, *ga) };
@@ -127,6 +177,7 @@ pub struct UniformGrid {
     // pair-dedup set keep their capacity between calls.
     cells: std::collections::HashMap<(i32, i32, i32), Vec<u32>>,
     global: Vec<u32>,
+    global_mask: Vec<bool>,
     seen: std::collections::HashSet<(GeomId, GeomId)>,
 }
 
@@ -142,6 +193,7 @@ impl UniformGrid {
             cell,
             cells: std::collections::HashMap::new(),
             global: Vec::new(),
+            global_mask: Vec::new(),
             seen: std::collections::HashSet::new(),
         }
     }
@@ -179,15 +231,19 @@ impl Broadphase for UniformGrid {
         // returned to `self` at the end for reuse next step.
         let mut cells = std::mem::take(&mut self.cells);
         let mut global = std::mem::take(&mut self.global);
+        let mut global_mask = std::mem::take(&mut self.global_mask);
         let mut seen = std::mem::take(&mut self.seen);
         cells.clear();
         global.clear();
+        global_mask.clear();
+        global_mask.resize(aabbs.len(), false);
         seen.clear();
         out.clear();
         for (i, (_, bb)) in aabbs.iter().enumerate() {
             let (lo, hi) = self.cell_range(bb);
             if (0..3).any(|k| hi[k] - lo[k] > MAX_CELLS_PER_AXIS) {
                 global.push(i as u32);
+                global_mask[i] = true;
                 continue;
             }
             for x in lo[0]..=hi[0] {
@@ -220,12 +276,14 @@ impl Broadphase for UniformGrid {
                 }
             }
         }
+        // Membership mask instead of a `global.contains` scan: the inner
+        // loop stays O(n) per global geom rather than O(n·g).
         for (i, &a) in global.iter().enumerate() {
             for &b in &global[i + 1..] {
                 emit(a, b, &mut stats);
             }
             for j in 0..aabbs.len() as u32 {
-                if !global.contains(&j) {
+                if !global_mask[j as usize] {
                     emit(a, j, &mut stats);
                 }
             }
@@ -237,6 +295,7 @@ impl Broadphase for UniformGrid {
         stats.pairs = out.len();
         self.cells = cells;
         self.global = global;
+        self.global_mask = global_mask;
         self.seen = seen;
         stats
     }
@@ -330,6 +389,71 @@ mod tests {
         assert!(pairs.contains(&(GeomId(0), GeomId(2))));
         assert!(pairs.contains(&(GeomId(1), GeomId(2))));
         assert!(!pairs.contains(&(GeomId(0), GeomId(1))));
+    }
+
+    #[test]
+    fn sap_resort_of_coherent_frame_is_cheap() {
+        // First frame: a scrambled permutation forces real sorting work
+        // (167 is odd, so i·167 mod 256 visits every slot).
+        let n = 256;
+        let centers: Vec<Vec3> = (0..n)
+            .map(|i| Vec3::new((i * 167 % n) as f32 * 2.0, 0.0, 0.0))
+            .collect();
+        let aabbs = boxes(&centers, 0.5);
+        let mut sap = SweepAndPrune::new();
+        let mut out = Vec::new();
+        let first = sap.pairs_into(&aabbs, &mut out);
+        // Second frame, same positions: the kept permutation is already
+        // sorted, so the pattern-defeating sort needs only a linear scan.
+        let second = sap.pairs_into(&aabbs, &mut out);
+        assert!(
+            second.sort_ops < first.sort_ops / 2,
+            "coherent resort should be far cheaper: first {} second {}",
+            first.sort_ops,
+            second.sort_ops
+        );
+        assert!(
+            second.sort_ops >= n - 1,
+            "a verification scan is still paid"
+        );
+    }
+
+    #[test]
+    fn sap_sort_ops_are_measured_not_estimated() {
+        // Two geoms need exactly one comparison (plus none for the
+        // single-element case), not an n·log₂n estimate.
+        let aabbs = boxes(&[Vec3::ZERO, Vec3::new(5.0, 0.0, 0.0)], 0.5);
+        let (_, stats) = SweepAndPrune::new().pairs(&aabbs);
+        assert_eq!(stats.sort_ops, 1);
+        let aabbs = boxes(&[Vec3::ZERO], 0.5);
+        let (_, stats) = SweepAndPrune::new().pairs(&aabbs);
+        assert_eq!(stats.sort_ops, 0);
+    }
+
+    #[test]
+    fn grid_global_bin_work_is_linear_in_population() {
+        // g global geoms against n total must do g·(g-1)/2 + g·(n-g)
+        // overlap tests — each pair tested exactly once, no rescans.
+        let g = 3usize;
+        let small = 12usize;
+        let mut aabbs = boxes(
+            &(0..small)
+                .map(|i| Vec3::new(i as f32 * 10.0, 0.0, 0.0))
+                .collect::<Vec<_>>(),
+            0.5,
+        );
+        for k in 0..g {
+            aabbs.push((
+                GeomId((small + k) as u32),
+                Aabb::from_center_half_extents(Vec3::ZERO, Vec3::splat(1e8 + k as f32)),
+            ));
+        }
+        let (pairs, stats) = UniformGrid::new(1.0).pairs(&aabbs);
+        let expected_global_tests = g * (g - 1) / 2 + g * small;
+        // Small geoms are 10 apart with cell 1.0 — no cell-local tests.
+        assert_eq!(stats.overlap_tests, expected_global_tests);
+        // Every global overlaps everything.
+        assert_eq!(pairs.len(), expected_global_tests);
     }
 
     #[test]

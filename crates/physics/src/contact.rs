@@ -14,6 +14,13 @@ pub struct ContactPoint {
     pub normal: Vec3,
     /// Penetration depth (>= 0 when overlapping).
     pub depth: f32,
+    /// Stable feature id assigned by the narrow-phase routine that
+    /// produced the point (box corner index, clipped-face vertex, capsule
+    /// cap, mesh triangle index, ...; 0 for spheres). Two points of the
+    /// same pair carrying the same feature id across consecutive steps
+    /// are the *same* physical contact, which is what lets the contact
+    /// cache transfer accumulated solver impulses between steps.
+    pub feature: u32,
 }
 
 /// All contact points between one pair of geoms.
@@ -91,6 +98,7 @@ mod tests {
             position: Vec3::ZERO,
             normal: Vec3::UNIT_Y,
             depth,
+            feature: 0,
         }
     }
 

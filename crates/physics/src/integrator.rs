@@ -25,9 +25,12 @@ pub fn integrate(body: &mut RigidBody, dt: f32) {
     if body.is_static() || body.is_disabled() {
         return;
     }
-    // Damping as exponential decay, matching ODE's linear/angular damping.
-    let lin_scale = (1.0 - body.linear_damping * dt).clamp(0.0, 1.0);
-    let ang_scale = (1.0 - body.angular_damping * dt).clamp(0.0, 1.0);
+    // Damping as true exponential decay. The first-order form
+    // (1 − c·dt) underdamps for small c·dt and collapses to a hard zero
+    // at c·dt ≥ 1, making behaviour depend on the step size; e^(−c·dt)
+    // is stable for any damping coefficient and timestep.
+    let lin_scale = (-body.linear_damping * dt).exp();
+    let ang_scale = (-body.angular_damping * dt).exp();
     body.lin_vel *= lin_scale;
     body.ang_vel *= ang_scale;
 
@@ -113,6 +116,33 @@ mod tests {
         clamp_velocities(&mut b, 50.0, 20.0);
         assert!((b.linear_velocity().length() - 50.0).abs() < 1e-3);
         assert!((b.angular_velocity().length() - 20.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn heavy_damping_decays_smoothly_not_to_zero() {
+        // With damping·dt ≥ 1 the old (1 − c·dt) clamp froze the body in
+        // one step; exponential decay must leave e^(−c·dt) of the
+        // velocity instead.
+        let mut b = unit_ball(Vec3::ZERO);
+        b.linear_damping = 150.0;
+        b.set_linear_velocity(Vec3::new(8.0, 0.0, 0.0));
+        integrate(&mut b, 0.01); // damping·dt = 1.5
+        let v = b.linear_velocity().x;
+        let expected = 8.0 * (-1.5f32).exp();
+        assert!(v > 0.0, "velocity must not hit a hard zero");
+        assert!((v - expected).abs() < 1e-4, "v = {v}, expected {expected}");
+        // Halving the step twice must match one full step (semigroup
+        // property of exponential decay) — the linear form fails this.
+        let mut two = unit_ball(Vec3::ZERO);
+        two.linear_damping = 150.0;
+        two.set_linear_velocity(Vec3::new(8.0, 0.0, 0.0));
+        integrate(&mut two, 0.005);
+        integrate(&mut two, 0.005);
+        let v2 = two.linear_velocity().x;
+        assert!(
+            (v2 - expected).abs() < 1e-4,
+            "v2 = {v2}, expected {expected}"
+        );
     }
 
     #[test]

@@ -40,6 +40,7 @@ pub mod body;
 pub mod broadphase;
 pub mod cloth;
 pub mod contact;
+pub mod contact_cache;
 pub mod explosion;
 pub mod fracture;
 pub mod integrator;
@@ -58,6 +59,7 @@ pub mod world;
 pub use body::{BodyDesc, BodyFlags, BodyId, RigidBody};
 pub use cloth::{Cloth, ClothConfig, ClothId};
 pub use contact::{ContactManifold, ContactPoint};
+pub use contact_cache::ContactCache;
 pub use explosion::ExplosionConfig;
 pub use fracture::FractureConfig;
 pub use joint::{Joint, JointId, JointKind};

@@ -5,6 +5,14 @@
 //! every pair is independent. The per-pair entry point is
 //! [`collide_shapes`]; the dispatcher covers sphere, box, capsule, plane,
 //! heightfield and triangle-mesh combinations.
+//!
+//! Every routine stamps [`ContactPoint::feature`] with a stable id for the
+//! surface feature that generated the point — box corner index against
+//! planes/terrain, capsule cap index, mesh triangle index, clipped
+//! reference/incident face ids for box-box, `0` for spheres (a sphere has a
+//! single featureless surface). Feature ids only need to be stable for a
+//! pair across *consecutive* steps; the contact cache uses them to carry
+//! accumulated solver impulses forward.
 
 use parallax_math::{Transform, Vec3};
 
@@ -56,10 +64,10 @@ pub fn collide_with_ids(
             sphere_sphere(ta.position, *ra, tb.position, *rb, &mut m)
         }
         (Sphere { radius }, Cuboid { half }) => {
-            sphere_box(ta.position, *radius, tb, *half, &mut m, false)
+            sphere_box(ta.position, *radius, tb, *half, 0, &mut m, false)
         }
         (Cuboid { half }, Sphere { radius }) => {
-            sphere_box(tb.position, *radius, ta, *half, &mut m, true)
+            sphere_box(tb.position, *radius, ta, *half, 0, &mut m, true)
         }
         (Sphere { radius }, Plane { normal, offset }) => {
             sphere_plane(ta.position, *radius, *normal, *offset, &mut m, false)
@@ -111,10 +119,10 @@ pub fn collide_with_ids(
             capsule_box(tb, *radius, *half_len, ta, *half, &mut m, true)
         }
         (Sphere { radius }, Heightfield(hf)) => {
-            sphere_heightfield(ta.position, *radius, hf, tb, &mut m, false)
+            sphere_heightfield(ta.position, *radius, hf, tb, 0, &mut m, false)
         }
         (Heightfield(hf), Sphere { radius }) => {
-            sphere_heightfield(tb.position, *radius, hf, ta, &mut m, true)
+            sphere_heightfield(tb.position, *radius, hf, ta, 0, &mut m, true)
         }
         (Cuboid { half }, Heightfield(hf)) => box_heightfield(ta, *half, hf, tb, &mut m, false),
         (Heightfield(hf), Cuboid { half }) => box_heightfield(tb, *half, hf, ta, &mut m, true),
@@ -125,10 +133,10 @@ pub fn collide_with_ids(
             capsule_heightfield(tb, *radius, *half_len, hf, ta, &mut m, true)
         }
         (Sphere { radius }, TriMesh(mesh)) => {
-            sphere_trimesh(ta.position, *radius, mesh, tb, &mut m, false)
+            sphere_trimesh(ta.position, *radius, mesh, tb, 0, &mut m, false)
         }
         (TriMesh(mesh), Sphere { radius }) => {
-            sphere_trimesh(tb.position, *radius, mesh, ta, &mut m, true)
+            sphere_trimesh(tb.position, *radius, mesh, ta, 0, &mut m, true)
         }
         (Cuboid { half }, TriMesh(mesh)) => box_trimesh(ta, *half, mesh, tb, &mut m, false),
         (TriMesh(mesh), Cuboid { half }) => box_trimesh(tb, *half, mesh, ta, &mut m, true),
@@ -170,6 +178,7 @@ fn sphere_sphere(ca: Vec3, ra: f32, cb: Vec3, rb: f32, m: &mut ContactManifold) 
         position: cb + normal * (rb - (rsum - dist) * 0.5),
         normal,
         depth: rsum - dist,
+        feature: 0,
     });
     true
 }
@@ -192,6 +201,7 @@ fn sphere_plane(
             position: c - n * dist,
             normal: n,
             depth: r - dist,
+            feature: 0,
         },
         flipped,
     );
@@ -203,6 +213,7 @@ fn sphere_box(
     r: f32,
     tb: &Transform,
     half: Vec3,
+    feature: u32,
     m: &mut ContactManifold,
     flipped: bool,
 ) -> bool {
@@ -237,6 +248,7 @@ fn sphere_box(
             position: tb.apply(clamped),
             normal,
             depth,
+            feature,
         },
         flipped,
     );
@@ -288,7 +300,7 @@ fn capsule_plane(
 ) -> bool {
     let (p0, p1) = capsule_segment(t, half_len);
     let mut hit = false;
-    for p in [p0, p1] {
+    for (cap, p) in [p0, p1].into_iter().enumerate() {
         let dist = p.dot(n) - offset;
         if dist <= r {
             push_maybe_flipped(
@@ -297,6 +309,7 @@ fn capsule_plane(
                     position: p - n * dist,
                     normal: n,
                     depth: r - dist,
+                    feature: cap as u32,
                 },
                 flipped,
             );
@@ -331,12 +344,13 @@ fn capsule_box(
     flipped: bool,
 ) -> bool {
     // Sample the capsule core segment at both caps and the midpoint and run
-    // sphere-box tests; adequate for game-style stacking.
+    // sphere-box tests; adequate for game-style stacking. The sample index
+    // is the feature id: cap 0, midpoint, cap 1.
     let (p0, p1) = capsule_segment(tc, half_len);
     let mid = (p0 + p1) * 0.5;
     let mut hit = false;
-    for p in [p0, mid, p1] {
-        hit |= sphere_box(p, r, tb, half, m, flipped);
+    for (sample, p) in [p0, mid, p1].into_iter().enumerate() {
+        hit |= sphere_box(p, r, tb, half, sample as u32, m, flipped);
     }
     hit
 }
@@ -353,6 +367,7 @@ fn box_plane(
 ) -> bool {
     let rot = t.rotation.to_mat3();
     let mut hit = false;
+    let mut corner_id = 0u32;
     for sx in [-1.0f32, 1.0] {
         for sy in [-1.0f32, 1.0] {
             for sz in [-1.0f32, 1.0] {
@@ -366,11 +381,13 @@ fn box_plane(
                             position: corner,
                             normal: n,
                             depth: -dist,
+                            feature: corner_id,
                         },
                         flipped,
                     );
                     hit = true;
                 }
+                corner_id += 1;
             }
         }
     }
@@ -433,6 +450,7 @@ fn box_box(ta: &Transform, ha: Vec3, tb: &Transform, hb: Vec3, m: &mut ContactMa
     let d = a.c - b.c;
 
     // SAT over 6 face axes + 9 edge cross products; track minimum overlap.
+    let mut best_score = f32::INFINITY;
     let mut best_depth = f32::INFINITY;
     let mut best_axis = Vec3::UNIT_Y;
     let mut best_is_edge = false;
@@ -448,10 +466,16 @@ fn box_box(ta: &Transform, ha: Vec3, tb: &Transform, hb: Vec3, m: &mut ContactMa
         if overlap < 0.0 {
             return false; // Separating axis found.
         }
-        // Prefer face axes slightly to avoid jittery edge contacts.
-        let bias = if is_edge { 0.95 } else { 1.0 };
-        if overlap * bias < best_depth {
-            best_depth = overlap * bias;
+        // Penalize edge axes slightly: for near-parallel boxes the cross
+        // product of two almost-aligned edges normalizes to (almost) the
+        // face normal, with the same overlap. An edge axis must beat the
+        // best face axis by a clear margin to be chosen, otherwise stacked
+        // boxes degenerate to a single rocking edge contact instead of a
+        // stable clipped-face manifold.
+        let score = if is_edge { overlap * 1.05 } else { overlap };
+        if score < best_score {
+            best_score = score;
+            best_depth = overlap;
             best_axis = n;
             best_is_edge = is_edge;
             best_edge = edge;
@@ -492,7 +516,10 @@ fn box_box(ta: &Transform, ha: Vec3, tb: &Transform, hb: Vec3, m: &mut ContactMa
         m.push(ContactPoint {
             position: (qa + qb) * 0.5,
             normal,
-            depth: best_depth / 0.95,
+            depth: best_depth,
+            // Edge-edge contact keyed by the crossed axis pair; the high bit
+            // keeps it disjoint from face-clip features.
+            feature: 0x4000_0000 | (i * 3 + j) as u32,
         });
         return true;
     }
@@ -545,15 +572,23 @@ fn box_box(ta: &Transform, ha: Vec3, tb: &Transform, hb: Vec3, m: &mut ContactMa
         }
     }
 
+    // Face-clip feature id: which reference/incident faces met, plus the
+    // clipped-polygon vertex index. The vertex index can shift when the clip
+    // output changes shape; the contact cache's distance fallback absorbs
+    // that.
+    let face_id = |axis: usize, sign: f32| (axis as u32) << 1 | (sign > 0.0) as u32;
+    let face_key = (1 << 16) | face_id(ref_axis, ref_sign) << 8 | face_id(inc_axis, inc_sign) << 4;
+
     let plane_d = ref_face_n.dot(ref_face[0]);
     let mut hit = false;
-    for p in poly {
+    for (idx, p) in poly.into_iter().enumerate() {
         let sep = ref_face_n.dot(p) - plane_d;
         if sep <= 0.0 {
             m.push(ContactPoint {
                 position: p,
                 normal,
                 depth: -sep,
+                feature: face_key | idx as u32,
             });
             hit = true;
         }
@@ -565,6 +600,7 @@ fn box_box(ta: &Transform, ha: Vec3, tb: &Transform, hb: Vec3, m: &mut ContactMa
             position: p,
             normal,
             depth: best_depth,
+            feature: 2 << 16,
         });
         hit = true;
     }
@@ -612,6 +648,7 @@ fn sphere_heightfield(
     r: f32,
     hf: &Heightfield,
     t: &Transform,
+    feature: u32,
     m: &mut ContactManifold,
     flipped: bool,
 ) -> bool {
@@ -629,6 +666,7 @@ fn sphere_heightfield(
             position: t.apply(Vec3::new(local.x, h, local.z)),
             normal: n,
             depth: (r - dist).max(0.0),
+            feature,
         },
         flipped,
     );
@@ -645,6 +683,7 @@ fn box_heightfield(
 ) -> bool {
     let rot = tb.rotation.to_mat3();
     let mut hit = false;
+    let mut corner_id = 0u32;
     for sx in [-1.0f32, 1.0] {
         for sy in [-1.0f32, 1.0] {
             for sz in [-1.0f32, 1.0] {
@@ -659,11 +698,13 @@ fn box_heightfield(
                             position: corner,
                             normal: n,
                             depth: h - local.y,
+                            feature: corner_id,
                         },
                         flipped,
                     );
                     hit = true;
                 }
+                corner_id += 1;
             }
         }
     }
@@ -681,8 +722,8 @@ fn capsule_heightfield(
 ) -> bool {
     let (p0, p1) = capsule_segment(tc, half_len);
     let mut hit = false;
-    for p in [p0, p1] {
-        hit |= sphere_heightfield(p, r, hf, t, m, flipped);
+    for (cap, p) in [p0, p1].into_iter().enumerate() {
+        hit |= sphere_heightfield(p, r, hf, t, cap as u32, m, flipped);
     }
     hit
 }
@@ -694,6 +735,7 @@ fn sphere_trimesh(
     r: f32,
     mesh: &TriMesh,
     t: &Transform,
+    feature_base: u32,
     m: &mut ContactManifold,
     flipped: bool,
 ) -> bool {
@@ -714,6 +756,9 @@ fn sphere_trimesh(
                     position: t.apply(p),
                     normal: t.apply_vector(n_local),
                     depth: r - dist,
+                    // Triangle index in the low bits; callers with several
+                    // probe points (capsule caps) tag the high bits.
+                    feature: feature_base | i as u32,
                 },
                 flipped,
             );
@@ -735,6 +780,7 @@ fn box_trimesh(
     // contacts); adequate for boxes resting on terrain meshes.
     let rot = tb.rotation.to_mat3();
     let mut hit = false;
+    let mut corner_id = 0u32;
     for sx in [-1.0f32, 1.0] {
         for sy in [-1.0f32, 1.0] {
             for sz in [-1.0f32, 1.0] {
@@ -754,6 +800,7 @@ fn box_trimesh(
                                     position: corner,
                                     normal: t.apply_vector(n),
                                     depth: -dist,
+                                    feature: corner_id << 16 | i as u32,
                                 },
                                 flipped,
                             );
@@ -762,6 +809,7 @@ fn box_trimesh(
                         }
                     }
                 }
+                corner_id += 1;
             }
         }
     }
@@ -779,8 +827,8 @@ fn capsule_trimesh(
 ) -> bool {
     let (p0, p1) = capsule_segment(tc, half_len);
     let mut hit = false;
-    for p in [p0, p1] {
-        hit |= sphere_trimesh(p, r, mesh, t, m, flipped);
+    for (cap, p) in [p0, p1].into_iter().enumerate() {
+        hit |= sphere_trimesh(p, r, mesh, t, (cap as u32) << 16, m, flipped);
     }
     hit
 }

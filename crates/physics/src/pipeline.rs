@@ -20,6 +20,7 @@ use parallax_telemetry as telemetry;
 use crate::body::BodyId;
 use crate::broadphase::{Broadphase, BroadphaseStats, SweepAndPrune, UniformGrid};
 use crate::contact::ContactManifold;
+use crate::contact_cache::{self, ContactCache, WarmStats};
 use crate::integrator;
 use crate::island::{build_islands_into, ConstraintEdge, Island, IslandStats};
 use crate::narrowphase;
@@ -216,6 +217,12 @@ impl IslandCreationStage {
 struct IslandResult {
     velocities: Vec<(u32, Vec3, Vec3)>,
     joint_impulses: Vec<(u32, f32)>,
+    /// Post-solve accumulated impulses per contact manifold
+    /// (manifold index, per-point `[normal, t1, t2]` lambdas), written
+    /// into the contact cache on the caller thread.
+    contact_updates: Vec<(u32, [[f32; 3]; ContactManifold::MAX_POINTS])>,
+    /// Warm-start hit/miss counts for this island.
+    warm: WarmStats,
     work: IslandWork,
 }
 
@@ -230,15 +237,23 @@ impl IslandProcessingStage {
 
     /// Solves every island — big ones on the executor, small ones on the
     /// calling thread (the paper's DOF > threshold work-queue filter) —
-    /// then applies the velocities. Returns the profile work records and
-    /// the per-joint impulses for breakables.
+    /// then applies the velocities. Returns the profile work records, the
+    /// per-joint impulses for breakables and the warm-start hit/miss
+    /// totals.
+    ///
+    /// The contact cache is read-only inside the (possibly parallel)
+    /// island solves and written back here, serially, in island-result
+    /// order — this is what keeps warm starting deterministic across
+    /// thread counts.
     fn run(
         &mut self,
         world: &mut World,
         executor: &Executor,
         islands: &[Island],
         manifolds: &[ContactManifold],
-    ) -> (Vec<IslandWork>, Vec<(u32, f32)>) {
+        cache: &mut ContactCache,
+        warm_starting: bool,
+    ) -> (Vec<IslandWork>, Vec<(u32, f32)>, WarmStats) {
         let params = RowParams {
             dt: world.config.dt,
             erp: world.config.erp,
@@ -262,6 +277,8 @@ impl IslandProcessingStage {
         }
 
         let world_ref: &World = world;
+        // Shared-immutable snapshot of the cache for the parallel solves.
+        let cache_ref: &ContactCache = cache;
         let solve_island = |&ii: &u32| -> IslandResult {
             let island = &islands[ii as usize];
             // Local index map.
@@ -295,6 +312,11 @@ impl IslandProcessingStage {
                     &mut rows,
                 );
             }
+            let mut warm = WarmStats::default();
+            // (manifold index, first row of its contact block): rows are
+            // emitted 3 per point, in point order, so the block maps the
+            // solved lambdas back to cache entries after the solve.
+            let mut contact_spans: Vec<(u32, u32)> = Vec::with_capacity(island.manifolds.len());
             for &mi in &island.manifolds {
                 let m = &manifolds[mi as usize];
                 let ba = world_ref.geoms[m.geom_a.index()].body;
@@ -315,10 +337,50 @@ impl IslandProcessingStage {
                         local(b.0)
                     }
                 });
-                solver::build_contact_rows(m, la, lb, pa, pb, &vel, &params, &mut rows);
+                let seeds = if warm_starting {
+                    let key = contact_cache::pair_key(m);
+                    let (s, w) = contact_cache::seed_lambdas(cache_ref.pair(key), m);
+                    warm.merge(w);
+                    Some(s)
+                } else {
+                    None
+                };
+                contact_spans.push((mi, rows.len() as u32));
+                solver::build_contact_rows(
+                    m,
+                    la,
+                    lb,
+                    pa,
+                    pb,
+                    &vel,
+                    &params,
+                    seeds.as_ref().map(|s| &s[..]),
+                    &mut rows,
+                );
             }
 
             let stats = solver::solve(&mut rows, &mut vel, iterations);
+
+            let contact_updates = if warm_starting {
+                contact_spans
+                    .iter()
+                    .map(|&(mi, start)| {
+                        let m = &manifolds[mi as usize];
+                        let mut lam = [[0.0f32; 3]; ContactManifold::MAX_POINTS];
+                        for (p, l) in lam.iter_mut().take(m.len()).enumerate() {
+                            let base = start as usize + p * 3;
+                            *l = [
+                                rows[base].lambda,
+                                rows[base + 1].lambda,
+                                rows[base + 2].lambda,
+                            ];
+                        }
+                        (mi, lam)
+                    })
+                    .collect()
+            } else {
+                Vec::new()
+            };
 
             // Per-joint impulse accounting for breakables. Sorted by joint
             // so downstream accumulation order is reproducible.
@@ -340,6 +402,8 @@ impl IslandProcessingStage {
                     .map(|(&bi, v)| (bi, v.lin, v.ang))
                     .collect(),
                 joint_impulses,
+                contact_updates,
+                warm,
                 work: IslandWork {
                     bodies: island.bodies.clone(),
                     joints: island.joints.clone(),
@@ -365,6 +429,7 @@ impl IslandProcessingStage {
 
         let mut work = Vec::with_capacity(self.results.len());
         let mut joint_impulses = Vec::new();
+        let mut warm_total = WarmStats::default();
         for r in self.results.drain(..) {
             for (bi, lin, ang) in r.velocities {
                 let b = &mut world.bodies[bi as usize];
@@ -372,9 +437,21 @@ impl IslandProcessingStage {
                 b.set_angular_velocity(ang);
             }
             joint_impulses.extend(r.joint_impulses);
+            // Serial cache writeback, in island-result order (queued islands
+            // first, then small ones — both sequences are thread-count
+            // independent). Each manifold belongs to exactly one island, so
+            // no pair is stored twice.
+            for (mi, lambdas) in r.contact_updates {
+                let m = &manifolds[mi as usize];
+                cache.store(
+                    contact_cache::pair_key(m),
+                    m.points.iter().copied().zip(lambdas),
+                );
+            }
+            warm_total.merge(r.warm);
             work.push(r.work);
         }
-        (work, joint_impulses)
+        (work, joint_impulses, warm_total)
     }
 }
 
@@ -447,6 +524,9 @@ struct PipelineTelemetry {
     solver_rows: telemetry::Histogram,
     max_penetration_um: telemetry::Histogram,
     solver_residual_milli: telemetry::Histogram,
+    warm_hits: telemetry::Counter,
+    warm_misses: telemetry::Counter,
+    cache_entries: telemetry::Gauge,
 }
 
 impl PipelineTelemetry {
@@ -459,6 +539,9 @@ impl PipelineTelemetry {
             solver_rows: telemetry::histogram("physics.solver_rows_per_island"),
             max_penetration_um: telemetry::histogram("physics.max_penetration_um"),
             solver_residual_milli: telemetry::histogram("physics.solver_residual_milli"),
+            warm_hits: telemetry::counter("physics.solver.warm_hits"),
+            warm_misses: telemetry::counter("physics.solver.warm_misses"),
+            cache_entries: telemetry::gauge("physics.solver.cache_entries"),
         }
     }
 }
@@ -550,6 +633,8 @@ pub struct StepPipeline {
     island_creation: IslandCreationStage,
     island_processing: IslandProcessingStage,
     cloth: ClothStage,
+    /// Cross-step contact persistence for solver warm starting.
+    contact_cache: ContactCache,
     telemetry: PipelineTelemetry,
 }
 
@@ -571,6 +656,7 @@ impl StepPipeline {
             island_creation: IslandCreationStage::new(),
             island_processing: IslandProcessingStage::new(),
             cloth: ClothStage::new(),
+            contact_cache: ContactCache::new(),
             telemetry: PipelineTelemetry::register(),
         }
     }
@@ -578,6 +664,11 @@ impl StepPipeline {
     /// The persistent executor serving the parallel stages.
     pub fn executor(&self) -> &Executor {
         &self.executor
+    }
+
+    /// The cross-step contact cache (inspection hook for tests/tools).
+    pub fn contact_cache(&self) -> &ContactCache {
+        &self.contact_cache
     }
 
     /// Replaces the broad-phase algorithm (ablation hook).
@@ -671,11 +762,23 @@ impl StepPipeline {
         // (but still timed) when island creation produced nothing.
         let island_processing = &mut self.island_processing;
         let islands = &self.island_creation.islands;
+        let contact_cache = &mut self.contact_cache;
+        let warm_starting = world.config.warm_starting;
+        let mut warm = WarmStats::default();
         let (broken, wall) = timed(spans[3], || {
             let (island_work, joint_impulses) = if islands.is_empty() {
                 (Vec::new(), Vec::new())
             } else {
-                island_processing.run(world, executor, islands, manifolds)
+                let (island_work, joint_impulses, w) = island_processing.run(
+                    world,
+                    executor,
+                    islands,
+                    manifolds,
+                    contact_cache,
+                    warm_starting,
+                );
+                warm = w;
+                (island_work, joint_impulses)
             };
             profile.islands = island_work;
             let broken = world.update_breakable_joints(&joint_impulses);
@@ -691,6 +794,18 @@ impl StepPipeline {
             broken
         });
         profile.wall[3] = wall;
+
+        // Contact-cache maintenance, serial: age out pairs that stopped
+        // touching and drop pairs whose geoms were disabled (fracture,
+        // explosions). With warm starting off the cache stays empty so an
+        // ablation run carries no stale state into a later warm-on run.
+        if warm_starting {
+            let geoms = &world.geoms;
+            self.contact_cache
+                .end_step(contact_cache::DEFAULT_MAX_AGE, |g| geoms[g.index()].enabled);
+        } else if !self.contact_cache.is_empty() {
+            self.contact_cache.clear();
+        }
 
         // (g) Cloth (parallel); skipped (but still timed) without cloths.
         let cloth = &mut self.cloth;
@@ -722,6 +837,11 @@ impl StepPipeline {
                     .solver_residual_milli
                     .record((w.residual.max(0.0) * 1e3) as u64);
             }
+            self.telemetry.warm_hits.add(warm.hits as u64);
+            self.telemetry.warm_misses.add(warm.misses as u64);
+            self.telemetry
+                .cache_entries
+                .set(self.contact_cache.len() as u64);
         }
 
         Self::finish_step(world, profile, events, broken)
@@ -810,6 +930,78 @@ mod tests {
                 phase.name()
             );
         }
+    }
+
+    #[test]
+    fn contact_cache_fills_and_clears_with_the_flag() {
+        use crate::body::BodyDesc;
+        let build = |warm: bool| {
+            let mut w = World::new(crate::world::WorldConfig {
+                warm_starting: warm,
+                ..Default::default()
+            });
+            w.add_static_geom(Shape::plane(Vec3::UNIT_Y, 0.0));
+            w.add_body(
+                BodyDesc::dynamic(Vec3::new(0.0, 0.45, 0.0))
+                    .with_shape(Shape::cuboid(Vec3::splat(0.5)), 1.0),
+            );
+            w
+        };
+        // Warm starting on: the resting box-plane pair is cached.
+        let mut w = build(true);
+        for _ in 0..5 {
+            w.step();
+        }
+        assert!(
+            !w.pipeline().contact_cache().is_empty(),
+            "resting contact must be cached"
+        );
+        // Turning the flag off empties the cache on the next step.
+        w.config_mut().warm_starting = false;
+        w.step();
+        assert!(w.pipeline().contact_cache().is_empty());
+        // Warm starting off from the start: never populated.
+        let mut w = build(false);
+        for _ in 0..5 {
+            w.step();
+        }
+        assert!(w.pipeline().contact_cache().is_empty());
+    }
+
+    #[test]
+    fn warm_starting_reduces_iteration_work_at_rest() {
+        use crate::body::BodyDesc;
+        // A small stack settling on a plane: once resting, the warm-started
+        // solver should be doing measurably less iteration work (residual)
+        // than a cold-started one on the same trajectory point.
+        let run = |warm: bool| -> f32 {
+            let mut w = World::new(crate::world::WorldConfig {
+                warm_starting: warm,
+                ..Default::default()
+            });
+            w.add_static_geom(Shape::plane(Vec3::UNIT_Y, 0.0));
+            for i in 0..3 {
+                w.add_body(
+                    BodyDesc::dynamic(Vec3::new(0.0, 0.5 + i as f32 * 1.001, 0.0))
+                        .with_shape(Shape::cuboid(Vec3::splat(0.5)), 1.0),
+                );
+            }
+            let mut residual = 0.0;
+            for step in 0..120 {
+                let p = w.step();
+                // Sum residuals over the settled tail only.
+                if step >= 60 {
+                    residual += p.islands.iter().map(|i| i.residual).sum::<f32>();
+                }
+            }
+            residual
+        };
+        let warm = run(true);
+        let cold = run(false);
+        assert!(
+            warm < cold,
+            "warm-started residual {warm} should beat cold {cold}"
+        );
     }
 
     #[test]

@@ -161,7 +161,12 @@ pub struct SolveStats {
 /// Runs projected Gauss–Seidel over the rows for `iterations` sweeps.
 ///
 /// Velocities in `vel` are updated in place; `rows[i].lambda` holds the
-/// accumulated impulses afterwards.
+/// accumulated impulses afterwards. Rows entering with a non-zero `lambda`
+/// (warm-started from the contact cache) have that impulse applied to the
+/// velocities up front (`M⁻¹Jᵀλ`), so the iterations only have to correct
+/// the *change* since last step instead of rebuilding the full impulse.
+/// `total_delta` counts iteration corrections only — warm-start application
+/// is excluded so the stat keeps measuring convergence work.
 pub fn solve(rows: &mut [ConstraintRow], vel: &mut [VelState], iterations: usize) -> SolveStats {
     // Precompute effective masses.
     let inv_k: Vec<f32> = rows
@@ -181,6 +186,14 @@ pub fn solve(rows: &mut [ConstraintRow], vel: &mut [VelState], iterations: usize
         iterations,
         total_delta: 0.0,
     };
+
+    // Warm start: push the seeded impulses into the velocities so the
+    // accumulated lambdas and the velocity state agree before iterating.
+    for row in rows.iter() {
+        if row.lambda != 0.0 {
+            row.apply(vel, row.lambda);
+        }
+    }
 
     for _ in 0..iterations {
         for i in 0..rows.len() {
@@ -240,6 +253,11 @@ impl Default for RowParams {
 /// geoms); `pa`/`pb` are the body centre positions. Rows are appended to
 /// `out`. Returns the number of rows added (1 normal + 2 friction per
 /// point).
+///
+/// `seeds`, when present, holds per-point `[normal, t1, t2]` warm-start
+/// impulses (from the contact cache) that initialize the rows' `lambda`;
+/// [`solve`] applies them to the velocities before iterating. `None` means
+/// a cold start at zero.
 #[allow(clippy::too_many_arguments)]
 pub fn build_contact_rows(
     manifold: &ContactManifold,
@@ -249,10 +267,12 @@ pub fn build_contact_rows(
     pb: Vec3,
     vel: &[VelState],
     params: &RowParams,
+    seeds: Option<&[[f32; 3]]>,
     out: &mut Vec<ConstraintRow>,
 ) -> usize {
     let start = out.len();
-    for cp in &manifold.points {
+    for (pi, cp) in manifold.points.iter().enumerate() {
+        let seed = seeds.map_or([0.0; 3], |s| s[pi]);
         let n = cp.normal;
         let ra = cp.position - pa;
         let rb = cp.position - pb;
@@ -282,13 +302,14 @@ pub fn build_contact_rows(
             0.0
         };
         row.rhs = bias.max(restitution);
+        row.lambda = seed[0].max(0.0);
         let normal_idx = out.len() as u32;
         out.push(row);
 
         // Two friction rows along tangents.
         let t1 = n.any_orthogonal();
         let t2 = n.cross(t1);
-        for t in [t1, t2] {
+        for (ti, t) in [t1, t2].into_iter().enumerate() {
             let mut fr = ConstraintRow::new(la, lb);
             fr.j_lin_a = t;
             fr.j_ang_a = ra.cross(t);
@@ -298,6 +319,10 @@ pub fn build_contact_rows(
                 normal_row: normal_idx,
                 mu: manifold.friction,
             };
+            // Keep the seeded friction impulse inside the cone of the
+            // seeded normal impulse.
+            let bound = manifold.friction * seed[0].max(0.0);
+            fr.lambda = seed[1 + ti].clamp(-bound, bound);
             out.push(fr);
         }
     }
@@ -441,6 +466,7 @@ mod tests {
             position: Vec3::ZERO,
             normal: Vec3::UNIT_Y,
             depth: 0.0,
+            feature: 0,
         });
         let mut rows = Vec::new();
         let params = RowParams::default();
@@ -452,6 +478,7 @@ mod tests {
             Vec3::ZERO,
             &vel,
             &params,
+            None,
             &mut rows,
         );
         assert_eq!(rows.len(), 3);
@@ -469,6 +496,7 @@ mod tests {
             position: Vec3::ZERO,
             normal: Vec3::UNIT_Y,
             depth: 0.0,
+            feature: 0,
         });
         let mut rows = Vec::new();
         build_contact_rows(
@@ -479,6 +507,7 @@ mod tests {
             Vec3::ZERO,
             &vel,
             &RowParams::default(),
+            None,
             &mut rows,
         );
         solve(&mut rows, &mut vel, 20);
@@ -498,6 +527,7 @@ mod tests {
             position: Vec3::ZERO,
             normal: Vec3::UNIT_Y,
             depth: 0.0,
+            feature: 0,
         });
         let mut rows = Vec::new();
         build_contact_rows(
@@ -508,6 +538,7 @@ mod tests {
             Vec3::ZERO,
             &vel,
             &RowParams::default(),
+            None,
             &mut rows,
         );
         solve(&mut rows, &mut vel, 50);
@@ -529,6 +560,7 @@ mod tests {
             position: Vec3::ZERO,
             normal: Vec3::UNIT_Y,
             depth: 0.0,
+            feature: 0,
         });
         let mut rows = Vec::new();
         build_contact_rows(
@@ -539,6 +571,7 @@ mod tests {
             Vec3::ZERO,
             &vel,
             &RowParams::default(),
+            None,
             &mut rows,
         );
         solve(&mut rows, &mut vel, 30);
@@ -568,14 +601,83 @@ mod tests {
     }
 
     #[test]
-    fn solve_reports_stats() {
-        let mut vel = vec![free_unit_body()];
-        vel[0].lin = Vec3::new(0.0, -1.0, 0.0);
+    fn warm_start_seed_applies_impulse_before_iterating() {
+        // Cold-solve a resting contact to learn its impulse, then rebuild
+        // the same rows seeded with that impulse: the velocity must be
+        // corrected even with zero iterations, and the leftover iteration
+        // work (total_delta) must be (near) zero.
+        let make_vel = || {
+            let mut v = vec![free_unit_body()];
+            v[0].lin = Vec3::new(0.0, -3.0, 0.0);
+            v
+        };
         let mut m = ContactManifold::new(GeomId(0), GeomId(1));
+        m.restitution = 0.0;
         m.push(ContactPoint {
             position: Vec3::ZERO,
             normal: Vec3::UNIT_Y,
             depth: 0.0,
+            feature: 0,
+        });
+        let params = RowParams::default();
+
+        let mut vel = make_vel();
+        let mut rows = Vec::new();
+        build_contact_rows(
+            &m,
+            0,
+            STATIC_BODY,
+            Vec3::ZERO,
+            Vec3::ZERO,
+            &vel,
+            &params,
+            None,
+            &mut rows,
+        );
+        let cold = solve(&mut rows, &mut vel, 20);
+        let learned = [rows[0].lambda, rows[1].lambda, rows[2].lambda];
+        assert!(learned[0] > 0.0);
+
+        let mut vel = make_vel();
+        let mut rows = Vec::new();
+        build_contact_rows(
+            &m,
+            0,
+            STATIC_BODY,
+            Vec3::ZERO,
+            Vec3::ZERO,
+            &vel,
+            &params,
+            Some(&[learned]),
+            &mut rows,
+        );
+        assert_eq!(rows[0].lambda, learned[0], "seed must land on the row");
+        let warm = solve(&mut rows, &mut vel, 20);
+        assert!(
+            vel[0].lin.y.abs() < 1e-3,
+            "warm-started contact still approaching: vy = {}",
+            vel[0].lin.y
+        );
+        assert!(
+            warm.total_delta < cold.total_delta * 0.1,
+            "warm start should do far less iteration work: {} vs {}",
+            warm.total_delta,
+            cold.total_delta
+        );
+    }
+
+    #[test]
+    fn warm_start_friction_seed_is_clamped_to_cone() {
+        // A stale cached friction impulse bigger than μ·λn must be clamped
+        // at build time, not applied unbounded.
+        let vel = vec![free_unit_body()];
+        let mut m = ContactManifold::new(GeomId(0), GeomId(1));
+        m.friction = 0.5;
+        m.push(ContactPoint {
+            position: Vec3::ZERO,
+            normal: Vec3::UNIT_Y,
+            depth: 0.0,
+            feature: 0,
         });
         let mut rows = Vec::new();
         build_contact_rows(
@@ -586,6 +688,50 @@ mod tests {
             Vec3::ZERO,
             &vel,
             &RowParams::default(),
+            Some(&[[2.0, 9.0, -9.0]]),
+            &mut rows,
+        );
+        assert_eq!(rows[0].lambda, 2.0);
+        assert_eq!(rows[1].lambda, 1.0, "t1 clamped to mu * normal");
+        assert_eq!(rows[2].lambda, -1.0, "t2 clamped to -mu * normal");
+        // A negative normal seed (separating last step) must not pull.
+        let mut rows = Vec::new();
+        build_contact_rows(
+            &m,
+            0,
+            STATIC_BODY,
+            Vec3::ZERO,
+            Vec3::ZERO,
+            &vel,
+            &RowParams::default(),
+            Some(&[[-1.0, 0.5, 0.0]]),
+            &mut rows,
+        );
+        assert_eq!(rows[0].lambda, 0.0);
+        assert_eq!(rows[1].lambda, 0.0);
+    }
+
+    #[test]
+    fn solve_reports_stats() {
+        let mut vel = vec![free_unit_body()];
+        vel[0].lin = Vec3::new(0.0, -1.0, 0.0);
+        let mut m = ContactManifold::new(GeomId(0), GeomId(1));
+        m.push(ContactPoint {
+            position: Vec3::ZERO,
+            normal: Vec3::UNIT_Y,
+            depth: 0.0,
+            feature: 0,
+        });
+        let mut rows = Vec::new();
+        build_contact_rows(
+            &m,
+            0,
+            STATIC_BODY,
+            Vec3::ZERO,
+            Vec3::ZERO,
+            &vel,
+            &RowParams::default(),
+            None,
             &mut rows,
         );
         let stats = solve(&mut rows, &mut vel, 20);

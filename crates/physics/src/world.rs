@@ -57,6 +57,10 @@ pub struct WorldConfig {
     pub slider_spring_k: f32,
     /// Spring damping used by slider suspensions.
     pub slider_spring_c: f32,
+    /// Warm-start the contact solver from the previous step's accumulated
+    /// impulses (the cross-step contact cache). On by default; turn off
+    /// for ablation runs comparing cold-start convergence.
+    pub warm_starting: bool,
 }
 
 impl Default for WorldConfig {
@@ -75,6 +79,7 @@ impl Default for WorldConfig {
             broadphase: BroadphaseKind::Grid { cell: 1.2 },
             slider_spring_k: 35_000.0,
             slider_spring_c: 1_200.0,
+            warm_starting: true,
         }
     }
 }

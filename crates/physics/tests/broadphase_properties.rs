@@ -1,0 +1,154 @@
+//! Property-based equivalence of the broad-phase algorithms.
+//!
+//! [`BruteForce`] tests every pair and is trivially correct; sweep-and-prune
+//! and the uniform grid must emit exactly the same pair set on arbitrary
+//! AABB clouds — including negative coordinates, exactly touching boxes and
+//! plane-sized AABBs that land in the grid's global bin.
+
+use parallax_math::{Aabb, Vec3};
+use parallax_physics::broadphase::{Broadphase, BruteForce, SweepAndPrune, UniformGrid};
+use parallax_physics::shape::GeomId;
+use proptest::prelude::*;
+
+fn aabb_cloud(max_len: usize) -> impl Strategy<Value = Vec<(f32, f32, f32, f32, f32, f32)>> {
+    // (center xyz in ±20, half-extents in (0, 3]) per box.
+    prop::collection::vec(
+        (
+            -20.0f32..20.0,
+            -20.0f32..20.0,
+            -20.0f32..20.0,
+            0.01f32..3.0,
+            0.01f32..3.0,
+            0.01f32..3.0,
+        ),
+        0..max_len,
+    )
+}
+
+fn build(cloud: &[(f32, f32, f32, f32, f32, f32)]) -> Vec<(GeomId, Aabb)> {
+    cloud
+        .iter()
+        .enumerate()
+        .map(|(i, &(x, y, z, hx, hy, hz))| {
+            (
+                GeomId(i as u32),
+                Aabb::from_center_half_extents(Vec3::new(x, y, z), Vec3::new(hx, hy, hz)),
+            )
+        })
+        .collect()
+}
+
+fn sorted_pairs(bp: &mut dyn Broadphase, aabbs: &[(GeomId, Aabb)]) -> Vec<(GeomId, GeomId)> {
+    let (mut pairs, _) = bp.pairs(aabbs);
+    pairs.sort_unstable();
+    pairs.dedup();
+    pairs
+}
+
+fn assert_all_agree(aabbs: &[(GeomId, Aabb)]) {
+    let oracle = sorted_pairs(&mut BruteForce::new(), aabbs);
+    let sap = sorted_pairs(&mut SweepAndPrune::new(), aabbs);
+    assert_eq!(sap, oracle, "sweep-and-prune diverged from brute force");
+    for cell in [0.5, 1.2, 4.0] {
+        let grid = sorted_pairs(&mut UniformGrid::new(cell), aabbs);
+        assert_eq!(grid, oracle, "grid (cell {cell}) diverged from brute force");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn algorithms_agree_on_random_clouds(cloud in aabb_cloud(40)) {
+        assert_all_agree(&build(&cloud));
+    }
+
+    #[test]
+    fn algorithms_agree_with_plane_sized_aabbs(
+        cloud in aabb_cloud(24),
+        planes in 1usize..3,
+    ) {
+        let mut aabbs = build(&cloud);
+        // Plane-like AABBs: vast in two axes, thin in the third — these
+        // overflow the grid's per-axis cell cap and take the global-bin
+        // path.
+        for p in 0..planes {
+            aabbs.push((
+                GeomId((cloud.len() + p) as u32),
+                Aabb::from_center_half_extents(
+                    Vec3::new(0.0, p as f32 * 2.0, 0.0),
+                    Vec3::new(1e7, 0.1, 1e7),
+                ),
+            ));
+        }
+        assert_all_agree(&aabbs);
+    }
+
+    #[test]
+    fn algorithms_agree_on_repeated_coherent_frames(cloud in aabb_cloud(24), dx in -0.5f32..0.5) {
+        // Persistent state (SAP's kept permutation, the grid's scratch)
+        // must not change results across frames of slowly moving boxes.
+        let mut sap = SweepAndPrune::new();
+        let mut grid = UniformGrid::new(1.2);
+        let mut out = Vec::new();
+        for frame in 0..3 {
+            let shifted: Vec<_> = cloud
+                .iter()
+                .map(|&(x, y, z, hx, hy, hz)| (x + dx * frame as f32, y, z, hx, hy, hz))
+                .collect();
+            let aabbs = build(&shifted);
+            let oracle = sorted_pairs(&mut BruteForce::new(), &aabbs);
+            sap.pairs_into(&aabbs, &mut out);
+            out.sort_unstable();
+            prop_assert_eq!(&out, &oracle, "SAP frame {}", frame);
+            grid.pairs_into(&aabbs, &mut out);
+            out.sort_unstable();
+            prop_assert_eq!(&out, &oracle, "grid frame {}", frame);
+        }
+    }
+}
+
+#[test]
+fn touching_boxes_count_as_overlapping_everywhere() {
+    // Boxes sharing exactly one face: whatever the convention, all three
+    // algorithms must apply the same one.
+    let aabbs = vec![
+        (
+            GeomId(0),
+            Aabb::from_center_half_extents(Vec3::ZERO, Vec3::splat(0.5)),
+        ),
+        (
+            GeomId(1),
+            Aabb::from_center_half_extents(Vec3::new(1.0, 0.0, 0.0), Vec3::splat(0.5)),
+        ),
+        (
+            GeomId(2),
+            Aabb::from_center_half_extents(Vec3::new(-3.0, 0.0, 0.0), Vec3::splat(0.5)),
+        ),
+    ];
+    assert_all_agree(&aabbs);
+}
+
+#[test]
+fn negative_coordinate_octant_is_not_special() {
+    // Cell indices are floor()-ed; clusters straddling the origin and deep
+    // in the negative octant must behave identically.
+    let centers = [
+        Vec3::new(-10.3, -7.7, -3.1),
+        Vec3::new(-10.9, -7.2, -3.4),
+        Vec3::new(-0.4, -0.4, -0.4),
+        Vec3::new(0.4, 0.4, 0.4),
+        Vec3::new(-100.0, -100.0, -100.0),
+    ];
+    let aabbs: Vec<_> = centers
+        .iter()
+        .enumerate()
+        .map(|(i, c)| {
+            (
+                GeomId(i as u32),
+                Aabb::from_center_half_extents(*c, Vec3::splat(0.6)),
+            )
+        })
+        .collect();
+    assert_all_agree(&aabbs);
+}

@@ -34,9 +34,10 @@ proptest! {
             position: Vec3::ZERO,
             normal: Vec3::UNIT_Y,
             depth,
+            feature: 0,
         });
         let mut rows = Vec::new();
-        build_contact_rows(&m, 0, STATIC_BODY, Vec3::ZERO, Vec3::ZERO, &vel, &RowParams::default(), &mut rows);
+        build_contact_rows(&m, 0, STATIC_BODY, Vec3::ZERO, Vec3::ZERO, &vel, &RowParams::default(), None, &mut rows);
         solve(&mut rows, &mut vel, 20);
         for r in &rows {
             if matches!(r.limit, RowLimit::Unilateral) {
@@ -60,9 +61,10 @@ proptest! {
             position: Vec3::ZERO,
             normal: Vec3::UNIT_Y,
             depth: 0.0,
+            feature: 0,
         });
         let mut rows = Vec::new();
-        build_contact_rows(&m, 0, STATIC_BODY, Vec3::ZERO, Vec3::ZERO, &vel, &RowParams::default(), &mut rows);
+        build_contact_rows(&m, 0, STATIC_BODY, Vec3::ZERO, Vec3::ZERO, &vel, &RowParams::default(), None, &mut rows);
         solve(&mut rows, &mut vel, 40);
         let normal_lambda = rows
             .iter()
@@ -102,10 +104,11 @@ proptest! {
             position: Vec3::ZERO,
             normal: Vec3::UNIT_Y,
             depth,
+            feature: 0,
         });
         let before = vel[0].lin.y + vel[1].lin.y;
         let mut rows = Vec::new();
-        build_contact_rows(&m, 0, 1, Vec3::new(0.0, 0.5, 0.0), Vec3::new(0.0, -0.5, 0.0), &vel, &RowParams { erp: 0.0, ..Default::default() }, &mut rows);
+        build_contact_rows(&m, 0, 1, Vec3::new(0.0, 0.5, 0.0), Vec3::new(0.0, -0.5, 0.0), &vel, &RowParams { erp: 0.0, ..Default::default() }, None, &mut rows);
         solve(&mut rows, &mut vel, 30);
         let after = vel[0].lin.y + vel[1].lin.y;
         prop_assert!(
@@ -125,9 +128,9 @@ proptest! {
         let mut vel = vec![body(Vec3::new(0.0, vy, 0.0), 1.0)];
         let mut m = ContactManifold::new(GeomId(0), GeomId(1));
         m.restitution = 0.0;
-        m.push(ContactPoint { position: Vec3::ZERO, normal: Vec3::UNIT_Y, depth: 0.0 });
+        m.push(ContactPoint { position: Vec3::ZERO, normal: Vec3::UNIT_Y, depth: 0.0, feature: 0 });
         let mut rows = Vec::new();
-        build_contact_rows(&m, 0, STATIC_BODY, Vec3::ZERO, Vec3::ZERO, &vel, &RowParams::default(), &mut rows);
+        build_contact_rows(&m, 0, STATIC_BODY, Vec3::ZERO, Vec3::ZERO, &vel, &RowParams::default(), None, &mut rows);
         solve(&mut rows, &mut vel, iters);
         prop_assert!(vel[0].lin.y.abs() <= vy.abs() + 1e-3, "solver added energy");
         prop_assert!(vel[0].lin.is_finite());

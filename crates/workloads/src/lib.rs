@@ -124,6 +124,8 @@ pub struct SceneParams {
     pub seed: u64,
     /// Worker threads for the engine's parallel phases.
     pub threads: usize,
+    /// Warm-start the solver from the previous step's contact impulses.
+    pub warm_starting: bool,
 }
 
 impl Default for SceneParams {
@@ -132,6 +134,7 @@ impl Default for SceneParams {
             scale: 1.0,
             seed: 0x7A11AC5,
             threads: 1,
+            warm_starting: true,
         }
     }
 }
@@ -147,6 +150,7 @@ impl SceneParams {
     pub fn world_config(&self) -> WorldConfig {
         WorldConfig {
             threads: self.threads,
+            warm_starting: self.warm_starting,
             ..WorldConfig::default()
         }
     }

@@ -8,6 +8,11 @@ cargo test -q --offline
 cargo fmt --check
 cargo clippy --workspace --offline --all-targets -- -D warnings
 
+# Cross-thread determinism must hold on both solver paths: warm-started
+# (the default, exercised by the plain `cargo test` above) and cold.
+# The suite honours PARALLAX_WARM_START=0|off.
+PARALLAX_WARM_START=0 cargo test -q --offline --test determinism
+
 # Telemetry smoke: record 10 Mix steps through the JSONL sink, then
 # validate the stream (parses, all five phases present, nonzero walls)
 # and the Chrome-trace conversion. `--check-phases` exits nonzero on

@@ -21,6 +21,7 @@ fn tiny_gate() -> GateConfig {
         threads: 1,
         // The CI smoke threshold: only a gross slowdown may trip.
         threshold: 1.0,
+        warm_starting: true,
         // Two scenes whose broad-phase is tens of microseconds at this
         // scale, so the injected delay is a huge *relative* change.
         scenes: vec![BenchmarkId::Periodic, BenchmarkId::Ragdoll],

@@ -6,6 +6,12 @@
 //! so a scene stepped with 1, 2 or 8 threads must agree exactly — both in
 //! the simulated state (body positions, velocities) and in the derived
 //! step-trace instruction counts the architecture model consumes.
+//!
+//! The contact cache used for solver warm starting is itself updated in
+//! island order on the caller thread, so the guarantee holds with warm
+//! starting on (the default) or off. `scripts/verify.sh` runs this suite
+//! both ways; set `PARALLAX_WARM_START=0` (or `off`) to cover the cold
+//! path.
 
 use parallax_math::Vec3;
 use parallax_physics::{BodyDesc, Shape, World, WorldConfig};
@@ -13,6 +19,15 @@ use parallax_trace::StepTrace;
 use parallax_workloads::{BenchmarkId, SceneParams};
 
 const STEPS: usize = 100;
+
+/// Honours `PARALLAX_WARM_START=0|off` so the suite can be re-run against
+/// the cold-solver path without a rebuild.
+fn warm_starting() -> bool {
+    !matches!(
+        std::env::var("PARALLAX_WARM_START").as_deref(),
+        Ok("0") | Ok("off")
+    )
+}
 
 /// Bit-exact snapshot of the dynamic state plus per-step trace counts.
 #[derive(PartialEq, Debug)]
@@ -67,6 +82,7 @@ fn record(world: &mut World, steps: usize) -> RunRecord {
 fn build_dense_world(threads: usize) -> World {
     let mut w = World::new(WorldConfig {
         threads,
+        warm_starting: warm_starting(),
         ..WorldConfig::default()
     });
     w.add_static_geom(Shape::plane(Vec3::UNIT_Y, 0.0));
@@ -116,6 +132,7 @@ fn mix_scene_is_bit_identical_across_thread_counts() {
         let mut scene = BenchmarkId::Mix.build(&SceneParams {
             scale: 0.1,
             threads,
+            warm_starting: warm_starting(),
             ..SceneParams::default()
         });
         let mut instructions = Vec::new();
