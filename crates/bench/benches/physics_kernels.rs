@@ -1,7 +1,7 @@
 //! Criterion benchmarks for the physics engine's five phase kernels.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId as CritId, Criterion};
-use parallax_math::{Transform, Vec3};
+use parallax_math::{SimdMode, Transform, Vec3};
 use parallax_physics::broadphase::{Broadphase, SweepAndPrune, UniformGrid};
 use parallax_physics::narrowphase::collide_shapes;
 use parallax_physics::{BodyDesc, Cloth, Shape, World, WorldConfig};
@@ -85,7 +85,7 @@ fn bench_cloth(c: &mut Criterion) {
     for (name, n) in [("small_25v", 5usize), ("large_625v", 25)] {
         let mut cloth = Cloth::rectangle(Vec3::new(0.0, 2.0, 0.0), 1.0, 1.0, n, n, &[0]);
         group.bench_function(name, |b| {
-            b.iter(|| cloth.step(Vec3::new(0.0, -9.81, 0.0), 0.01, &[]))
+            b.iter(|| cloth.step(Vec3::new(0.0, -9.81, 0.0), 0.01, &[], SimdMode::Scalar))
         });
     }
     group.finish();

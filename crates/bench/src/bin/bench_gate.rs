@@ -22,15 +22,21 @@
 //! record → parse → compare → verdict path on every run.
 
 use parallax_bench::harness::{
-    compare_baselines, record, Baseline, Fingerprint, GateConfig, PhaseComparison,
+    compare_baselines, record, record_paired, Baseline, Fingerprint, GateConfig, PhaseComparison,
 };
 use parallax_bench::print_table;
+use parallax_math::SimdMode;
 
 struct Args {
     mode: Mode,
     path: String,
     cfg: GateConfig,
     threshold: Option<f64>,
+    /// An explicit `--simd` choice. For `compare` this deliberately
+    /// overrides the baseline's recorded mode — the cross-mode
+    /// comparison then *measures* the kernel speedup instead of gating
+    /// a code change.
+    simd: Option<SimdMode>,
     quick: bool,
     allow_missing: bool,
 }
@@ -42,9 +48,12 @@ enum Mode {
 }
 
 const USAGE: &str = "usage: bench_gate record  [--out PATH] [--steps N] [--warmup N] \
-                     [--scale F] [--threads N] [--quick]\n\
+                     [--scale F] [--threads N] [--simd MODE] [--quick]\n\
                      \x20      bench_gate compare [--baseline PATH] [--threshold F] \
-                     [--steps N] [--warmup N] [--quick] [--allow-missing-baseline]";
+                     [--steps N] [--warmup N] [--simd MODE] [--quick] \
+                     [--allow-missing-baseline]\n\
+                     MODE: scalar | sse2 | avx2 (default: auto-detect; compare \
+                     defaults to the baseline's recorded mode)";
 
 fn parse_args() -> Result<Args, String> {
     let mut it = std::env::args().skip(1);
@@ -58,6 +67,7 @@ fn parse_args() -> Result<Args, String> {
         mode,
         cfg: GateConfig::default(),
         threshold: None,
+        simd: None,
         quick: false,
         allow_missing: false,
     };
@@ -75,6 +85,13 @@ fn parse_args() -> Result<Args, String> {
                     .map_err(|e| format!("--scale: {e}"))?;
             }
             "--threads" => args.cfg.threads = parse_num(&value_of("--threads")?, "--threads")?,
+            "--simd" => {
+                let name = value_of("--simd")?;
+                let mode = SimdMode::from_name(&name)
+                    .ok_or_else(|| format!("--simd: unknown mode {name:?} (scalar|sse2|avx2)"))?;
+                args.cfg.simd = mode;
+                args.simd = Some(mode);
+            }
             "--threshold" => {
                 args.threshold = Some(
                     value_of("--threshold")?
@@ -123,12 +140,13 @@ fn main() {
 fn run_record(args: &Args) {
     let cfg = &args.cfg;
     println!(
-        "recording {} scene(s): {} steps (+{} warmup) @ scale {}, {} thread(s)",
+        "recording {} scene(s): {} steps (+{} warmup) @ scale {}, {} thread(s), {} kernels",
         cfg.scenes.len(),
         cfg.steps,
         cfg.warmup,
         cfg.scale,
-        cfg.threads
+        cfg.threads,
+        cfg.simd.clamp_to_supported().name()
     );
     let baseline = record(cfg);
     let rows: Vec<Vec<String>> = baseline
@@ -192,12 +210,40 @@ fn run_compare(args: &Args) {
         );
     }
 
+    // A baseline is only meaningful against the kernels it measured:
+    // comparing a scalar baseline against an AVX2 run would gate on the
+    // SIMD speedup, not on a code change. The fresh run therefore runs at
+    // the baseline's recorded mode unless `--simd` explicitly asks for a
+    // cross-mode comparison (which measures the kernel speedup itself);
+    // surface whichever situation holds.
+    let cross_mode = matches!(args.simd, Some(m) if m != base.config.simd);
+    let fresh_simd = match args.simd {
+        Some(m) => m,
+        None => {
+            let active = SimdMode::resolve().clamp_to_supported();
+            if base.config.simd != active {
+                eprintln!(
+                    "warning: baseline was recorded with {} kernels but this run would \
+                     use {}; comparing at the baseline's mode ({}). Re-record with \
+                     `bench_gate record` to gate the {} kernels.",
+                    base.config.simd.name(),
+                    active.name(),
+                    base.config.simd.name(),
+                    active.name()
+                );
+            }
+            base.config.simd
+        }
+    };
+
     // The fresh run must match the baseline's workload exactly; only the
-    // sample count and threshold are the comparer's choice.
+    // sample count, threshold, and an explicit --simd are the comparer's
+    // choice.
     let cfg = GateConfig {
         scale: base.config.scale,
         threads: base.config.threads,
         warm_starting: base.config.warm_starting,
+        simd: fresh_simd,
         scenes: base.config.scenes.clone(),
         ..args.cfg.clone()
     };
@@ -208,16 +254,38 @@ fn run_compare(args: &Args) {
     };
     println!(
         "comparing against {} ({} scene(s), threshold +{:.0}%): {} steps (+{} warmup) \
-         @ scale {}, {} thread(s)",
+         @ scale {}, {} thread(s), {} kernels",
         args.path,
         base.scenes.len(),
         threshold * 100.0,
         cfg.steps,
         cfg.warmup,
         cfg.scale,
-        cfg.threads
+        cfg.threads,
+        cfg.simd.clamp_to_supported().name()
     );
-    let fresh = record(&cfg);
+    // Cross-mode: the stored samples were taken minutes-to-months ago,
+    // and slow host drift between then and now easily exceeds a kernel
+    // effect. Re-measure *both* modes interleaved within each scene so
+    // drift cancels; the stored baseline only contributes the workload
+    // configuration. Same-mode gating keeps the stored samples — that
+    // comparison against the past is the point of the gate.
+    let (base, fresh) = if cross_mode {
+        eprintln!(
+            "note: cross-mode comparison: re-measuring {} and {} kernels interleaved \
+             (stored samples are not drift-comparable). Verdicts measure the kernel \
+             change, not a code change.",
+            base.config.simd.name(),
+            fresh_simd.name()
+        );
+        let base_cfg = GateConfig {
+            simd: base.config.simd,
+            ..cfg.clone()
+        };
+        record_paired(&base_cfg, &cfg)
+    } else {
+        (base, record(&cfg))
+    };
     let rows = compare_baselines(&base, &fresh, threshold);
 
     let table: Vec<Vec<String>> = rows

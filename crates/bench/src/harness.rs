@@ -20,6 +20,7 @@
 
 use std::fmt::Write as _;
 
+use parallax_math::SimdMode;
 use parallax_physics::PhaseKind;
 use parallax_telemetry::json::{write_str, Json};
 use parallax_telemetry::stats::{compare, BootstrapConfig, Comparison, Verdict};
@@ -51,6 +52,11 @@ pub struct GateConfig {
     /// the same solver configuration. Baselines recorded before the
     /// field existed read as `true` (the engine default).
     pub warm_starting: bool,
+    /// SIMD kernel width the samples were taken with. Part of the
+    /// envelope so a scalar baseline is never silently compared against
+    /// an AVX2 run (or vice versa). Baselines recorded before the field
+    /// existed read as `Scalar` — the only kernels that engine had.
+    pub simd: SimdMode,
     /// Scenes measured, in order.
     pub scenes: Vec<BenchmarkId>,
 }
@@ -64,6 +70,7 @@ impl Default for GateConfig {
             threads: 1,
             threshold: 0.35,
             warm_starting: true,
+            simd: SimdMode::resolve(),
             scenes: BenchmarkId::ALL.to_vec(),
         }
     }
@@ -160,37 +167,9 @@ pub struct Baseline {
 pub fn record(cfg: &GateConfig) -> Baseline {
     let was_enabled = parallax_telemetry::enabled();
     parallax_telemetry::set_enabled(true);
-    let mut discard = Vec::new();
     let mut scenes = Vec::with_capacity(cfg.scenes.len());
     for &id in &cfg.scenes {
-        let mut scene = id.build(&SceneParams {
-            scale: cfg.scale,
-            threads: cfg.threads,
-            warm_starting: cfg.warm_starting,
-            ..SceneParams::default()
-        });
-        for _ in 0..cfg.warmup {
-            scene.step();
-        }
-        parallax_telemetry::drain_spans(&mut discard);
-        let before = parallax_telemetry::snapshot();
-        let mut phase_wall_ns: [Vec<f64>; 5] = Default::default();
-        let mut bodies = 0;
-        for _ in 0..cfg.steps {
-            let profile = scene.step();
-            for (i, w) in profile.wall.iter().enumerate() {
-                phase_wall_ns[i].push(w.as_nanos() as f64);
-            }
-            bodies = profile.body_count;
-        }
-        let delta = parallax_telemetry::snapshot().delta_since(&before);
-        parallax_telemetry::drain_spans(&mut discard);
-        scenes.push(SceneSamples {
-            scene: id.name().to_string(),
-            bodies,
-            phase_wall_ns,
-            counters: delta.counters,
-        });
+        scenes.push(record_scene(id, cfg));
     }
     parallax_telemetry::set_enabled(was_enabled);
     Baseline {
@@ -199,6 +178,123 @@ pub fn record(cfg: &GateConfig) -> Baseline {
         config: cfg.clone(),
         scenes,
     }
+}
+
+/// Records one scene under `cfg` (telemetry must already be enabled).
+fn record_scene(id: BenchmarkId, cfg: &GateConfig) -> SceneSamples {
+    let mut discard = Vec::new();
+    let mut scene = id.build(&SceneParams {
+        scale: cfg.scale,
+        threads: cfg.threads,
+        warm_starting: cfg.warm_starting,
+        simd: cfg.simd,
+        ..SceneParams::default()
+    });
+    for _ in 0..cfg.warmup {
+        scene.step();
+    }
+    parallax_telemetry::drain_spans(&mut discard);
+    let before = parallax_telemetry::snapshot();
+    let mut phase_wall_ns: [Vec<f64>; 5] = Default::default();
+    let mut bodies = 0;
+    for _ in 0..cfg.steps {
+        let profile = scene.step();
+        for (i, w) in profile.wall.iter().enumerate() {
+            phase_wall_ns[i].push(w.as_nanos() as f64);
+        }
+        bodies = profile.body_count;
+    }
+    let delta = parallax_telemetry::snapshot().delta_since(&before);
+    parallax_telemetry::drain_spans(&mut discard);
+    SceneSamples {
+        scene: id.name().to_string(),
+        bodies,
+        phase_wall_ns,
+        counters: delta.counters,
+    }
+}
+
+/// Records two configurations as one pass, *interleaved in small step
+/// blocks within each scene*: two instances of the scene run
+/// alternately (A block, B block, A block, …) until both have their
+/// sample budget.
+///
+/// Sequential `record` passes minutes apart are confounded by slow host
+/// drift (thermal/scheduling) that the per-step bootstrap CI cannot
+/// see — identical builds routinely differ by 10% across passes on a
+/// busy host. Interleaving makes any drift hit both configurations
+/// nearly equally, so an A-vs-B comparison measures the configuration
+/// change, not the weather. Telemetry counter deltas are not split per
+/// side (the samples are what comparisons consume); both sides report
+/// empty counters.
+pub fn record_paired(a: &GateConfig, b: &GateConfig) -> (Baseline, Baseline) {
+    /// Steps run on one side before yielding to the other: small enough
+    /// that drift within a block is negligible, large enough that cache
+    /// warmup from the side switch does not dominate.
+    const BLOCK: usize = 8;
+    assert_eq!(a.scenes, b.scenes, "paired recording needs one scene list");
+    let was_enabled = parallax_telemetry::enabled();
+    parallax_telemetry::set_enabled(true);
+    let mut scenes_a = Vec::with_capacity(a.scenes.len());
+    let mut scenes_b = Vec::with_capacity(b.scenes.len());
+    for &id in &a.scenes {
+        let build = |cfg: &GateConfig| {
+            id.build(&SceneParams {
+                scale: cfg.scale,
+                threads: cfg.threads,
+                warm_starting: cfg.warm_starting,
+                simd: cfg.simd,
+                ..SceneParams::default()
+            })
+        };
+        let mut sa = build(a);
+        let mut sb = build(b);
+        for _ in 0..a.warmup {
+            sa.step();
+        }
+        for _ in 0..b.warmup {
+            sb.step();
+        }
+        let mut pa: [Vec<f64>; 5] = Default::default();
+        let mut pb: [Vec<f64>; 5] = Default::default();
+        let (mut bodies_a, mut bodies_b) = (0, 0);
+        while pa[0].len() < a.steps || pb[0].len() < b.steps {
+            for _ in 0..BLOCK.min(a.steps - pa[0].len()) {
+                let profile = sa.step();
+                for (i, w) in profile.wall.iter().enumerate() {
+                    pa[i].push(w.as_nanos() as f64);
+                }
+                bodies_a = profile.body_count;
+            }
+            for _ in 0..BLOCK.min(b.steps - pb[0].len()) {
+                let profile = sb.step();
+                for (i, w) in profile.wall.iter().enumerate() {
+                    pb[i].push(w.as_nanos() as f64);
+                }
+                bodies_b = profile.body_count;
+            }
+        }
+        scenes_a.push(SceneSamples {
+            scene: id.name().to_string(),
+            bodies: bodies_a,
+            phase_wall_ns: pa,
+            counters: Vec::new(),
+        });
+        scenes_b.push(SceneSamples {
+            scene: id.name().to_string(),
+            bodies: bodies_b,
+            phase_wall_ns: pb,
+            counters: Vec::new(),
+        });
+    }
+    parallax_telemetry::set_enabled(was_enabled);
+    let mk = |cfg: &GateConfig, scenes| Baseline {
+        schema_version: SCHEMA_VERSION,
+        fingerprint: Fingerprint::current(),
+        config: cfg.clone(),
+        scenes,
+    };
+    (mk(a, scenes_a), mk(b, scenes_b))
 }
 
 impl Baseline {
@@ -213,13 +309,15 @@ impl Baseline {
         let _ = writeln!(
             s,
             "  \"config\": {{\"steps\": {}, \"warmup\": {}, \"scale\": {}, \
-             \"threads\": {}, \"threshold\": {}, \"warm_starting\": {}}},",
+             \"threads\": {}, \"threshold\": {}, \"warm_starting\": {}, \
+             \"simd\": \"{}\"}},",
             self.config.steps,
             self.config.warmup,
             self.config.scale,
             self.config.threads,
             self.config.threshold,
-            self.config.warm_starting
+            self.config.warm_starting,
+            self.config.simd.name()
         );
         s.push_str("  \"scenes\": [\n");
         for (i, sc) in self.scenes.iter().enumerate() {
@@ -287,6 +385,13 @@ impl Baseline {
             // Absent in pre-warm-starting baselines: those were recorded
             // with the engine default, which is on.
             warm_starting: !matches!(c.get("warm_starting"), Some(Json::Bool(false))),
+            // Absent in pre-SIMD baselines: that engine only had the
+            // scalar kernels.
+            simd: c
+                .get("simd")
+                .and_then(Json::as_str)
+                .and_then(SimdMode::from_name)
+                .unwrap_or(SimdMode::Scalar),
             scenes: Vec::new(),
         };
         let mut scenes = Vec::new();
@@ -357,7 +462,9 @@ impl PhaseComparison {
 pub const MIN_REGRESSION_NS: f64 = 10_000.0;
 
 /// Compares a fresh recording against a baseline, scene by scene and
-/// phase by phase. Scenes present on only one side are skipped (the
+/// phase by phase, plus one whole-step-total row per scene so a drift
+/// spread across phases still gates. Scenes present on only one side
+/// are skipped (the
 /// scene list is part of the config, so this only happens across
 /// deliberate config edits). A `Slower` verdict whose absolute median
 /// increase is under [`MIN_REGRESSION_NS`] is downgraded to
@@ -387,6 +494,22 @@ pub fn compare_baselines(
             rows.push(PhaseComparison {
                 scene: b.scene.clone(),
                 phase: phase.name(),
+                cmp,
+            });
+        }
+        // Whole-step totals: phase rows can individually sit inside the
+        // threshold while their sum drifts past it (or, symmetrically, a
+        // kernel win can be visible per-step but diluted per-phase).
+        let step_total = |sc: &SceneSamples| -> Vec<f64> {
+            let n = sc.phase_wall_ns.iter().map(Vec::len).min().unwrap_or(0);
+            (0..n)
+                .map(|s| sc.phase_wall_ns.iter().map(|p| p[s]).sum())
+                .collect()
+        };
+        if let Some(cmp) = compare(&step_total(b), &step_total(f), threshold, &cfg) {
+            rows.push(PhaseComparison {
+                scene: b.scene.clone(),
+                phase: "step total",
                 cmp,
             });
         }
@@ -425,6 +548,7 @@ mod tests {
             threads: 1,
             threshold: 0.35,
             warm_starting: true,
+            simd: SimdMode::Scalar,
             scenes: vec![BenchmarkId::Periodic, BenchmarkId::Ragdoll],
         }
     }
@@ -448,6 +572,7 @@ mod tests {
         assert_eq!(parsed.schema_version, SCHEMA_VERSION);
         assert_eq!(parsed.fingerprint, b.fingerprint);
         assert_eq!(parsed.config.steps, b.config.steps);
+        assert_eq!(parsed.config.simd, b.config.simd);
         assert_eq!(parsed.config.scenes, b.config.scenes);
         assert_eq!(parsed.scenes.len(), b.scenes.len());
         for (a, e) in parsed.scenes.iter().zip(&b.scenes) {
@@ -479,7 +604,8 @@ mod tests {
     fn identical_baselines_have_no_regressions() {
         let b = record(&tiny_config());
         let rows = compare_baselines(&b, &b, 0.35);
-        assert_eq!(rows.len(), 2 * 5);
+        // 5 phase rows + 1 step-total row per scene.
+        assert_eq!(rows.len(), 2 * 6);
         assert!(rows.iter().all(|r| !r.is_regression()), "{rows:?}");
     }
 

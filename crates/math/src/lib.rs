@@ -18,12 +18,14 @@
 mod aabb;
 mod mat3;
 mod quat;
+pub mod simd;
 mod transform;
 mod vec3;
 
 pub use aabb::Aabb;
 pub use mat3::Mat3;
 pub use quat::Quat;
+pub use simd::SimdMode;
 pub use transform::Transform;
 pub use vec3::Vec3;
 

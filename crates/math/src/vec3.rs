@@ -16,6 +16,7 @@ use serde::{Deserialize, Serialize};
 /// assert_eq!(a.dot(b), 12.0);
 /// ```
 #[derive(Debug, Default, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[repr(C)]
 pub struct Vec3 {
     /// X component.
     pub x: f32,

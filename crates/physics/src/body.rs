@@ -1,4 +1,9 @@
-//! Rigid bodies: state, mass properties and force accumulators.
+//! Rigid-body identity, behaviour flags and the body-description builder.
+//!
+//! The dynamic state itself (position, velocities, mass properties) lives
+//! in the structure-of-arrays [`crate::store::BodyStore`]; this module
+//! keeps the stable identifiers ([`BodyId`], [`BodyFlags`]) and the
+//! builder ([`BodyDesc`]) used to add bodies to a world.
 
 use parallax_math::{Mat3, Quat, Transform, Vec3};
 use serde::{Deserialize, Serialize};
@@ -74,166 +79,6 @@ bitflags_lite! {
         const PREFRACTURED = 1 << 4;
         /// Debris piece belonging to a pre-fractured object.
         const DEBRIS = 1 << 5;
-    }
-}
-
-/// Full dynamic state of a rigid body.
-///
-/// The paper reports 412 B of memory per object; this struct (plus its slot
-/// in the world's side tables) is of comparable size.
-#[derive(Debug, Clone, Serialize, Deserialize)]
-pub struct RigidBody {
-    pub(crate) transform: Transform,
-    pub(crate) lin_vel: Vec3,
-    pub(crate) ang_vel: Vec3,
-    pub(crate) force: Vec3,
-    pub(crate) torque: Vec3,
-    pub(crate) inv_mass: f32,
-    /// Inverse inertia tensor in body-local coordinates.
-    pub(crate) inv_inertia_local: Mat3,
-    /// Cached world-space inverse inertia, refreshed before each solve.
-    pub(crate) inv_inertia_world: Mat3,
-    pub(crate) flags: BodyFlags,
-    /// Island index assigned during island creation (`u32::MAX` = none).
-    pub(crate) island: u32,
-    pub(crate) linear_damping: f32,
-    pub(crate) angular_damping: f32,
-}
-
-impl RigidBody {
-    /// World-space position of the centre of mass.
-    #[inline]
-    pub fn position(&self) -> Vec3 {
-        self.transform.position
-    }
-
-    /// World-space orientation.
-    #[inline]
-    pub fn rotation(&self) -> Quat {
-        self.transform.rotation
-    }
-
-    /// The full rigid transform.
-    #[inline]
-    pub fn transform(&self) -> Transform {
-        self.transform
-    }
-
-    /// Linear velocity of the centre of mass.
-    #[inline]
-    pub fn linear_velocity(&self) -> Vec3 {
-        self.lin_vel
-    }
-
-    /// Angular velocity (world space, rad/s).
-    #[inline]
-    pub fn angular_velocity(&self) -> Vec3 {
-        self.ang_vel
-    }
-
-    /// Inverse mass; 0 for static bodies.
-    #[inline]
-    pub fn inv_mass(&self) -> f32 {
-        self.inv_mass
-    }
-
-    /// Mass of the body.
-    ///
-    /// Returns `f32::INFINITY` for static (immovable) bodies.
-    #[inline]
-    pub fn mass(&self) -> f32 {
-        if self.inv_mass > 0.0 {
-            1.0 / self.inv_mass
-        } else {
-            f32::INFINITY
-        }
-    }
-
-    /// Behaviour flags.
-    #[inline]
-    pub fn flags(&self) -> BodyFlags {
-        self.flags
-    }
-
-    /// Returns `true` if this body cannot move.
-    #[inline]
-    pub fn is_static(&self) -> bool {
-        self.flags.contains(BodyFlags::STATIC) || self.inv_mass == 0.0
-    }
-
-    /// Returns `true` if the body is currently disabled.
-    #[inline]
-    pub fn is_disabled(&self) -> bool {
-        self.flags.contains(BodyFlags::DISABLED)
-    }
-
-    /// Island index assigned by the most recent island-creation phase, or
-    /// `None` when the body was not part of any island.
-    #[inline]
-    pub fn island(&self) -> Option<u32> {
-        (self.island != u32::MAX).then_some(self.island)
-    }
-
-    /// Velocity of the material point of the body at world position `p`.
-    #[inline]
-    pub fn velocity_at(&self, p: Vec3) -> Vec3 {
-        self.lin_vel + self.ang_vel.cross(p - self.transform.position)
-    }
-
-    /// Adds a force (N) through the centre of mass for the next step.
-    #[inline]
-    pub fn add_force(&mut self, f: Vec3) {
-        self.force += f;
-    }
-
-    /// Adds a torque (N·m) for the next step.
-    #[inline]
-    pub fn add_torque(&mut self, t: Vec3) {
-        self.torque += t;
-    }
-
-    /// Applies an instantaneous impulse (kg·m/s) at world position `p`.
-    pub fn apply_impulse_at(&mut self, impulse: Vec3, p: Vec3) {
-        if self.is_static() {
-            return;
-        }
-        self.lin_vel += impulse * self.inv_mass;
-        let r = p - self.transform.position;
-        self.ang_vel += self.inv_inertia_world * r.cross(impulse);
-    }
-
-    /// Directly sets the linear velocity.
-    #[inline]
-    pub fn set_linear_velocity(&mut self, v: Vec3) {
-        self.lin_vel = v;
-    }
-
-    /// Directly sets the angular velocity.
-    #[inline]
-    pub fn set_angular_velocity(&mut self, w: Vec3) {
-        self.ang_vel = w;
-    }
-
-    /// Refreshes the cached world-space inverse inertia from the current
-    /// orientation.
-    pub(crate) fn refresh_inertia(&mut self) {
-        let r = self.transform.rotation.to_mat3();
-        self.inv_inertia_world = r * self.inv_inertia_local * r.transpose();
-    }
-
-    /// Kinetic energy of the body (0 for static bodies).
-    pub fn kinetic_energy(&self) -> f32 {
-        if self.inv_mass == 0.0 {
-            return 0.0;
-        }
-        let m = 1.0 / self.inv_mass;
-        let lin = 0.5 * m * self.lin_vel.length_squared();
-        // ω · I ω / 2; recover I from I⁻¹ where possible.
-        let ang = match self.inv_inertia_world.inverse() {
-            Some(inertia) => 0.5 * self.ang_vel.dot(inertia * self.ang_vel),
-            None => 0.0,
-        };
-        lin + ang
     }
 }
 
@@ -332,11 +177,12 @@ impl BodyDesc {
         self
     }
 
-    /// Builds the runtime body. Inertia comes from the first shape (or a
-    /// unit sphere when the body has no shape).
-    pub(crate) fn build(&self) -> RigidBody {
+    /// Computes `(inv_mass, inv_inertia_local)` for the described body.
+    /// Inertia comes from the first shape (or a unit sphere when the body
+    /// has no shape).
+    pub(crate) fn mass_properties(&self) -> (f32, Mat3) {
         let is_static = self.flags.contains(BodyFlags::STATIC);
-        let (inv_mass, inv_inertia_local) = if is_static {
+        if is_static {
             (0.0, Mat3::ZERO)
         } else {
             let mass = self.mass.max(1e-6);
@@ -346,23 +192,7 @@ impl BodyDesc {
             };
             let inv = inertia.inverse().unwrap_or(Mat3::IDENTITY);
             (1.0 / mass, inv)
-        };
-        let mut body = RigidBody {
-            transform: Transform::new(self.position, self.rotation),
-            lin_vel: self.lin_vel,
-            ang_vel: self.ang_vel,
-            force: Vec3::ZERO,
-            torque: Vec3::ZERO,
-            inv_mass,
-            inv_inertia_local,
-            inv_inertia_world: Mat3::ZERO,
-            flags: self.flags,
-            island: u32::MAX,
-            linear_damping: self.linear_damping,
-            angular_damping: self.angular_damping,
-        };
-        body.refresh_inertia();
-        body
+        }
     }
 }
 
@@ -371,52 +201,25 @@ mod tests {
     use super::*;
 
     #[test]
-    fn dynamic_body_has_finite_mass() {
-        let b = BodyDesc::dynamic(Vec3::ZERO)
+    fn mass_properties_of_dynamic_and_static() {
+        let (im, inertia) = BodyDesc::dynamic(Vec3::ZERO)
             .with_shape(Shape::sphere(1.0), 2.0)
-            .build();
-        assert!((b.mass() - 2.0).abs() < 1e-6);
-        assert!(!b.is_static());
-    }
-
-    #[test]
-    fn static_body_is_immovable() {
-        let mut b = BodyDesc::fixed(Vec3::ZERO)
+            .mass_properties();
+        assert!((im - 0.5).abs() < 1e-6);
+        assert!(inertia.determinant() > 0.0);
+        let (im, inertia) = BodyDesc::fixed(Vec3::ZERO)
             .with_shape(Shape::sphere(1.0), 2.0)
-            .build();
-        assert!(b.is_static());
-        assert_eq!(b.mass(), f32::INFINITY);
-        b.apply_impulse_at(Vec3::new(100.0, 0.0, 0.0), Vec3::ZERO);
-        assert_eq!(b.linear_velocity(), Vec3::ZERO);
+            .mass_properties();
+        assert_eq!(im, 0.0);
+        assert_eq!(inertia, Mat3::ZERO);
     }
 
     #[test]
-    fn impulse_through_com_is_purely_linear() {
-        let mut b = BodyDesc::dynamic(Vec3::ZERO)
-            .with_shape(Shape::sphere(1.0), 1.0)
-            .build();
-        b.apply_impulse_at(Vec3::new(3.0, 0.0, 0.0), Vec3::ZERO);
-        assert!((b.linear_velocity() - Vec3::new(3.0, 0.0, 0.0)).length() < 1e-6);
-        assert!(b.angular_velocity().length() < 1e-6);
-    }
-
-    #[test]
-    fn offset_impulse_induces_spin() {
-        let mut b = BodyDesc::dynamic(Vec3::ZERO)
-            .with_shape(Shape::sphere(1.0), 1.0)
-            .build();
-        b.apply_impulse_at(Vec3::new(0.0, 0.0, 1.0), Vec3::new(1.0, 0.0, 0.0));
-        assert!(b.angular_velocity().length() > 0.0);
-    }
-
-    #[test]
-    fn velocity_at_accounts_for_rotation() {
-        let mut b = BodyDesc::dynamic(Vec3::ZERO)
-            .with_shape(Shape::sphere(1.0), 1.0)
-            .build();
-        b.set_angular_velocity(Vec3::new(0.0, 0.0, 1.0));
-        let v = b.velocity_at(Vec3::new(1.0, 0.0, 0.0));
-        assert!((v - Vec3::new(0.0, 1.0, 0.0)).length() < 1e-6);
+    fn shapeless_body_gets_sphere_like_inertia() {
+        let (im, inertia) = BodyDesc::dynamic(Vec3::ZERO).mass_properties();
+        assert!((im - 1.0).abs() < 1e-6);
+        let d = inertia.diagonal();
+        assert!((d.x - 2.5).abs() < 1e-5 && (d.y - 2.5).abs() < 1e-5);
     }
 
     #[test]
@@ -429,14 +232,5 @@ mod tests {
         assert_eq!(f, BodyFlags::empty());
         let both = BodyFlags::STATIC | BodyFlags::DISABLED;
         assert!(both.contains(BodyFlags::STATIC) && both.contains(BodyFlags::DISABLED));
-    }
-
-    #[test]
-    fn kinetic_energy_of_moving_body() {
-        let mut b = BodyDesc::dynamic(Vec3::ZERO)
-            .with_shape(Shape::sphere(1.0), 2.0)
-            .build();
-        b.set_linear_velocity(Vec3::new(3.0, 0.0, 0.0));
-        assert!((b.kinetic_energy() - 9.0).abs() < 1e-4);
     }
 }

@@ -7,9 +7,19 @@
 //! offending shape.
 //!
 //! Each vertex update is independent — this is the fine-grain parallel
-//! kernel the paper maps onto FG cores.
+//! kernel the paper maps onto FG cores. The real execution exploits the
+//! same structure with SIMD: each step gathers the vertices into scratch
+//! structure-of-arrays lanes, runs the Verlet sweep `LANES` vertices at a
+//! time, and relaxes the constraints in precomputed conflict-free batches
+//! (no two constraints in a batch share a vertex) so a whole batch can be
+//! projected in packed registers. The batch schedule is deterministic and
+//! the scalar path walks the *same* schedule one lane at a time, so every
+//! [`SimdMode`] produces bit-identical vertices.
 
-use parallax_math::{Aabb, Transform, Vec3};
+use parallax_math::simd::WideF32;
+#[cfg(target_arch = "x86_64")]
+use parallax_math::simd::{F32x4, F32x8};
+use parallax_math::{Aabb, SimdMode, Transform, Vec3};
 use serde::{Deserialize, Serialize};
 
 use crate::shape::Shape;
@@ -100,11 +110,78 @@ pub struct Cloth {
     constraints: Vec<LengthConstraint>,
     triangles: Vec<[u32; 3]>,
     config: ClothConfig,
+    /// Conflict-free relaxation schedule: each inner list holds constraint
+    /// indices that share no vertex, so they can be projected in any order
+    /// (and hence in packed lanes). Built once from the topology.
+    batches: Vec<Vec<u32>>,
+    /// Structure-of-arrays scratch for the SIMD step (gather/scatter
+    /// target; persists for allocation reuse).
+    scratch: ClothScratch,
     /// Bodies to collide against this step (world maintains this from
     /// broad-phase overlaps with the cloth's AABB).
     pub(crate) contact_bodies: Vec<u32>,
     /// World-static geoms (ground plane, terrain) on the contact list.
     pub(crate) contact_static_geoms: Vec<u32>,
+}
+
+/// Scratch SoA lanes for one cloth step: positions, Verlet previous
+/// positions and the pin mask (all-ones bits for pinned vertices).
+#[derive(Debug, Default, Clone)]
+struct ClothScratch {
+    sx: Vec<f32>,
+    sy: Vec<f32>,
+    sz: Vec<f32>,
+    px: Vec<f32>,
+    py: Vec<f32>,
+    pz: Vec<f32>,
+    pin: Vec<f32>,
+}
+
+impl ClothScratch {
+    fn gather(&mut self, verts: &[ClothVertex]) {
+        let n = verts.len();
+        self.sx.resize(n, 0.0);
+        self.sy.resize(n, 0.0);
+        self.sz.resize(n, 0.0);
+        self.px.resize(n, 0.0);
+        self.py.resize(n, 0.0);
+        self.pz.resize(n, 0.0);
+        self.pin.resize(n, 0.0);
+        for (i, v) in verts.iter().enumerate() {
+            self.sx[i] = v.pos.x;
+            self.sy[i] = v.pos.y;
+            self.sz[i] = v.pos.z;
+            self.px[i] = v.prev.x;
+            self.py[i] = v.prev.y;
+            self.pz[i] = v.prev.z;
+            self.pin[i] = f32::from_bits(if v.pinned { u32::MAX } else { 0 });
+        }
+    }
+
+    fn scatter(&self, verts: &mut [ClothVertex]) {
+        for (i, v) in verts.iter_mut().enumerate() {
+            v.pos = Vec3::new(self.sx[i], self.sy[i], self.sz[i]);
+            v.prev = Vec3::new(self.px[i], self.py[i], self.pz[i]);
+        }
+    }
+}
+
+/// Deterministic greedy coloring: a constraint goes into the first batch
+/// not yet using either of its vertices. `level[v]` is the next batch with
+/// `v` still free, so batch = max(level[a], level[b]).
+fn color_batches(constraints: &[LengthConstraint], n_verts: usize) -> Vec<Vec<u32>> {
+    let mut level = vec![0u32; n_verts];
+    let mut batches: Vec<Vec<u32>> = Vec::new();
+    for (ci, c) in constraints.iter().enumerate() {
+        let b = level[c.a as usize].max(level[c.b as usize]);
+        if b as usize == batches.len() {
+            batches.push(Vec::new());
+        }
+        batches[b as usize].push(ci as u32);
+        level[c.a as usize] = b + 1;
+        level[c.b as usize] = b + 1;
+    }
+    batches
 }
 
 impl Cloth {
@@ -159,7 +236,7 @@ impl Cloth {
                 }
             }
         }
-        let constraints = constraints
+        let constraints: Vec<LengthConstraint> = constraints
             .into_iter()
             .map(|(a, b)| LengthConstraint {
                 a,
@@ -168,11 +245,18 @@ impl Cloth {
             })
             .collect();
 
+        // The relaxation schedule depends only on topology (pins are
+        // handled by lane masks), so `pin` after construction never
+        // invalidates it.
+        let batches = color_batches(&constraints, verts.len());
+
         Cloth {
             verts,
             constraints,
             triangles,
             config: ClothConfig::default(),
+            batches,
+            scratch: ClothScratch::default(),
             contact_bodies: Vec::new(),
             contact_static_geoms: Vec::new(),
         }
@@ -256,48 +340,72 @@ impl Cloth {
     /// Advances the cloth one step: Verlet integration, constraint
     /// relaxation, then collision projection against `colliders`.
     ///
+    /// Integration and relaxation run on gathered SoA lanes at the width
+    /// `mode` selects; every mode walks the same batch schedule, so the
+    /// resulting vertices are bit-identical across modes (see module docs).
+    ///
     /// Every entry of `colliders` is a posed shape from the contact list.
-    pub fn step(&mut self, gravity: Vec3, dt: f32, colliders: &[(Shape, Transform)]) -> ClothStats {
+    pub fn step(
+        &mut self,
+        gravity: Vec3,
+        dt: f32,
+        colliders: &[(Shape, Transform)],
+        mode: SimdMode,
+    ) -> ClothStats {
         let mut stats = ClothStats {
             vertices: self.verts.len(),
             ..Default::default()
         };
 
-        // Verlet integration.
-        let damping = self.config.damping;
-        for v in &mut self.verts {
-            if v.pinned {
-                continue;
-            }
-            let vel = (v.pos - v.prev) * damping;
-            let next = v.pos + vel + gravity * (dt * dt);
-            v.prev = v.pos;
-            v.pos = next;
+        // Gather AoS vertices into the scratch lanes, run Verlet +
+        // relaxation at the selected width, scatter back.
+        self.scratch.gather(&self.verts);
+        let mode = mode.clamp_to_supported();
+        #[cfg(target_arch = "x86_64")]
+        match mode {
+            SimdMode::Scalar => solve_soa::<f32>(
+                &mut self.scratch,
+                &self.constraints,
+                &self.batches,
+                &self.config,
+                gravity,
+                dt,
+            ),
+            SimdMode::Sse2 => solve_soa::<F32x4>(
+                &mut self.scratch,
+                &self.constraints,
+                &self.batches,
+                &self.config,
+                gravity,
+                dt,
+            ),
+            // SAFETY: `clamp_to_supported` above verified AVX2 via
+            // `is_x86_feature_detected!`, so executing AVX2 code is sound.
+            SimdMode::Avx2 => unsafe {
+                solve_soa_avx2(
+                    &mut self.scratch,
+                    &self.constraints,
+                    &self.batches,
+                    &self.config,
+                    gravity,
+                    dt,
+                )
+            },
         }
-
-        // Constraint relaxation.
-        for _ in 0..self.config.iterations {
-            for c in &self.constraints {
-                let (ia, ib) = (c.a as usize, c.b as usize);
-                let delta = self.verts[ib].pos - self.verts[ia].pos;
-                let Some((dir, len)) = delta.normalized_with_length() else {
-                    continue;
-                };
-                let err = len - c.rest;
-                let correction = dir * (err * 0.5);
-                let (pa, pb) = (self.verts[ia].pinned, self.verts[ib].pinned);
-                match (pa, pb) {
-                    (false, false) => {
-                        self.verts[ia].pos += correction;
-                        self.verts[ib].pos -= correction;
-                    }
-                    (true, false) => self.verts[ib].pos -= correction * 2.0,
-                    (false, true) => self.verts[ia].pos += correction * 2.0,
-                    (true, true) => {}
-                }
-            }
-            stats.projections += self.constraints.len();
+        #[cfg(not(target_arch = "x86_64"))]
+        {
+            let _ = mode;
+            solve_soa::<f32>(
+                &mut self.scratch,
+                &self.constraints,
+                &self.batches,
+                &self.config,
+                gravity,
+                dt,
+            );
         }
+        self.scratch.scatter(&mut self.verts);
+        stats.projections = self.constraints.len() * self.config.iterations;
 
         // Collision: continuous (ray-cast, paper: cloth CD "is based on a
         // combination of ray casting and AABB hierarchies") plus discrete
@@ -334,6 +442,186 @@ impl Cloth {
             }
         }
         stats
+    }
+}
+
+// --- width-generic kernels -----------------------------------------------
+
+/// Verlet sweep + batched constraint relaxation over the SoA scratch.
+///
+/// `W`-wide chunks cover the bulk; the remainder (`len % LANES`) re-uses
+/// the one-lane `f32` instantiation of the *same* chunk kernels, so
+/// remainder elements take the identical data path and every width is
+/// bit-identical.
+#[inline(always)]
+fn solve_soa<W: WideF32>(
+    s: &mut ClothScratch,
+    constraints: &[LengthConstraint],
+    batches: &[Vec<u32>],
+    config: &ClothConfig,
+    gravity: Vec3,
+    dt: f32,
+) {
+    let n = s.sx.len();
+    let main = n - n % W::LANES;
+    let mut i = 0;
+    while i < main {
+        verlet_chunk::<W>(s, i, config.damping, gravity, dt);
+        i += W::LANES;
+    }
+    while i < n {
+        verlet_chunk::<f32>(s, i, config.damping, gravity, dt);
+        i += 1;
+    }
+
+    for _ in 0..config.iterations {
+        for batch in batches {
+            let m = batch.len();
+            let bulk = m - m % W::LANES;
+            let mut j = 0;
+            while j < bulk {
+                relax_chunk::<W>(s, constraints, &batch[j..j + W::LANES]);
+                j += W::LANES;
+            }
+            while j < m {
+                relax_chunk::<f32>(s, constraints, &batch[j..j + 1]);
+                j += 1;
+            }
+        }
+    }
+}
+
+/// `#[target_feature(enable = "avx2")]` recompiles the inlined generic
+/// solve as AVX2 code; `unsafe` because calling it on a CPU without AVX2
+/// would be undefined behaviour. The call site sits behind
+/// [`SimdMode::clamp_to_supported`].
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn solve_soa_avx2(
+    s: &mut ClothScratch,
+    constraints: &[LengthConstraint],
+    batches: &[Vec<u32>],
+    config: &ClothConfig,
+    gravity: Vec3,
+    dt: f32,
+) {
+    solve_soa::<F32x8>(s, constraints, batches, config, gravity, dt);
+}
+
+/// Verlet-integrates `LANES` vertices starting at `i`. Pinned lanes keep
+/// both `pos` and `prev` via the mask blend — no branches, identical at
+/// every width.
+#[inline(always)]
+fn verlet_chunk<W: WideF32>(s: &mut ClothScratch, i: usize, damping: f32, gravity: Vec3, dt: f32) {
+    let pin = W::load(&s.pin, i);
+    let damp = W::splat(damping);
+    let gdt2 = gravity * (dt * dt);
+
+    // Scalar reference per axis: vel = (pos - prev) * damping;
+    //                            next = (pos + vel) + gravity_axis * dt².
+    let pos = W::load(&s.sx, i);
+    let prev = W::load(&s.px, i);
+    let next = pos + (pos - prev) * damp + W::splat(gdt2.x);
+    W::select(pin, prev, pos).store(&mut s.px, i);
+    W::select(pin, pos, next).store(&mut s.sx, i);
+
+    let pos = W::load(&s.sy, i);
+    let prev = W::load(&s.py, i);
+    let next = pos + (pos - prev) * damp + W::splat(gdt2.y);
+    W::select(pin, prev, pos).store(&mut s.py, i);
+    W::select(pin, pos, next).store(&mut s.sy, i);
+
+    let pos = W::load(&s.sz, i);
+    let prev = W::load(&s.pz, i);
+    let next = pos + (pos - prev) * damp + W::splat(gdt2.z);
+    W::select(pin, prev, pos).store(&mut s.pz, i);
+    W::select(pin, pos, next).store(&mut s.sz, i);
+}
+
+/// Projects `idx.len() == LANES` constraints from one conflict-free batch.
+///
+/// Endpoints are gathered into small stack buffers (the indices are not
+/// contiguous), projected in packed lanes, and scattered back. Because no
+/// two constraints in a batch share a vertex, the packed
+/// read-all/compute/write-all is equal to processing them one at a time.
+///
+/// Scalar reference per lane (matching the pre-SoA loop):
+/// `delta = b - a; len = |delta|; if len > 1e-12:
+///  corr = delta/len * ((len - rest) * 0.5);
+///  a += corr·(pinned_b ? 2 : 1) unless pinned_a;
+///  b -= corr·(pinned_a ? 2 : 1) unless pinned_b`.
+/// Multiplying by 1.0 is exact, so the blend of scale factors reproduces
+/// both scalar branches bit-for-bit; lanes with `len <= 1e-12` may divide
+/// by ~0 but their results are discarded by the bitwise `select`.
+#[inline(always)]
+fn relax_chunk<W: WideF32>(s: &mut ClothScratch, constraints: &[LengthConstraint], idx: &[u32]) {
+    debug_assert_eq!(idx.len(), W::LANES);
+    debug_assert!(W::LANES <= 8);
+
+    let mut ax = [0.0f32; 8];
+    let mut ay = [0.0f32; 8];
+    let mut az = [0.0f32; 8];
+    let mut bx = [0.0f32; 8];
+    let mut by = [0.0f32; 8];
+    let mut bz = [0.0f32; 8];
+    let mut pa = [0.0f32; 8];
+    let mut pb = [0.0f32; 8];
+    let mut rest = [0.0f32; 8];
+    for (j, &ci) in idx.iter().enumerate() {
+        let c = &constraints[ci as usize];
+        let (ia, ib) = (c.a as usize, c.b as usize);
+        ax[j] = s.sx[ia];
+        ay[j] = s.sy[ia];
+        az[j] = s.sz[ia];
+        bx[j] = s.sx[ib];
+        by[j] = s.sy[ib];
+        bz[j] = s.sz[ib];
+        pa[j] = s.pin[ia];
+        pb[j] = s.pin[ib];
+        rest[j] = c.rest;
+    }
+
+    let (ax_v, ay_v, az_v) = (W::load(&ax, 0), W::load(&ay, 0), W::load(&az, 0));
+    let (bx_v, by_v, bz_v) = (W::load(&bx, 0), W::load(&by, 0), W::load(&bz, 0));
+    let (pa_v, pb_v) = (W::load(&pa, 0), W::load(&pb, 0));
+
+    let dx = bx_v - ax_v;
+    let dy = by_v - ay_v;
+    let dz = bz_v - az_v;
+    // Same association as Vec3::dot / length: (x² + y²) + z².
+    let len = (dx * dx + dy * dy + dz * dz).sqrt();
+    let ok = len.gt(W::splat(1e-12));
+    let e = (len - W::load(&rest, 0)) * W::splat(0.5);
+    let cx = (dx / len) * e;
+    let cy = (dy / len) * e;
+    let cz = (dz / len) * e;
+
+    let one = W::splat(1.0);
+    let two = W::splat(2.0);
+    let sa = W::select(pb_v, two, one);
+    let sb = W::select(pa_v, two, one);
+    let nax = W::select(ok, W::select(pa_v, ax_v, ax_v + cx * sa), ax_v);
+    let nay = W::select(ok, W::select(pa_v, ay_v, ay_v + cy * sa), ay_v);
+    let naz = W::select(ok, W::select(pa_v, az_v, az_v + cz * sa), az_v);
+    let nbx = W::select(ok, W::select(pb_v, bx_v, bx_v - cx * sb), bx_v);
+    let nby = W::select(ok, W::select(pb_v, by_v, by_v - cy * sb), by_v);
+    let nbz = W::select(ok, W::select(pb_v, bz_v, bz_v - cz * sb), bz_v);
+
+    nax.store(&mut ax, 0);
+    nay.store(&mut ay, 0);
+    naz.store(&mut az, 0);
+    nbx.store(&mut bx, 0);
+    nby.store(&mut by, 0);
+    nbz.store(&mut bz, 0);
+    for (j, &ci) in idx.iter().enumerate() {
+        let c = &constraints[ci as usize];
+        let (ia, ib) = (c.a as usize, c.b as usize);
+        s.sx[ia] = ax[j];
+        s.sy[ia] = ay[j];
+        s.sz[ia] = az[j];
+        s.sx[ib] = bx[j];
+        s.sy[ib] = by[j];
+        s.sz[ib] = bz[j];
     }
 }
 
@@ -410,7 +698,7 @@ mod tests {
         let mut c = Cloth::rectangle(Vec3::ZERO, 1.0, 1.0, 5, 5, &[0]);
         let start = c.vertices()[0].pos;
         for _ in 0..50 {
-            c.step(Vec3::new(0.0, -10.0, 0.0), 0.01, &[]);
+            c.step(Vec3::new(0.0, -10.0, 0.0), 0.01, &[], SimdMode::Scalar);
         }
         assert_eq!(c.vertices()[0].pos, start);
         // Unpinned vertices fell.
@@ -423,7 +711,7 @@ mod tests {
         // small (relaxation converges).
         let mut c = Cloth::rectangle(Vec3::ZERO, 1.0, 1.0, 5, 5, &[0, 1, 2, 3, 4]);
         for _ in 0..200 {
-            c.step(Vec3::new(0.0, -10.0, 0.0), 0.01, &[]);
+            c.step(Vec3::new(0.0, -10.0, 0.0), 0.01, &[], SimdMode::Scalar);
         }
         assert!(
             c.constraint_error() < 1e-3,
@@ -438,7 +726,12 @@ mod tests {
         let colliders = [(Shape::sphere(0.5), Transform::from_position(Vec3::ZERO))];
         let mut stats = ClothStats::default();
         for _ in 0..100 {
-            stats = c.step(Vec3::new(0.0, -10.0, 0.0), 0.01, &colliders);
+            stats = c.step(
+                Vec3::new(0.0, -10.0, 0.0),
+                0.01,
+                &colliders,
+                SimdMode::Scalar,
+            );
         }
         assert!(stats.collisions_resolved > 0, "cloth should touch sphere");
         // Centre vertex should sit on top of the sphere, not inside it.
@@ -451,7 +744,12 @@ mod tests {
         let mut c = Cloth::rectangle(Vec3::new(-0.5, 0.5, -0.5), 1.0, 1.0, 5, 5, &[]);
         let colliders = [(Shape::plane(Vec3::UNIT_Y, 0.0), Transform::IDENTITY)];
         for _ in 0..200 {
-            c.step(Vec3::new(0.0, -10.0, 0.0), 0.01, &colliders);
+            c.step(
+                Vec3::new(0.0, -10.0, 0.0),
+                0.01,
+                &colliders,
+                SimdMode::Scalar,
+            );
         }
         for v in c.vertices() {
             assert!(v.pos.y > -1e-3, "vertex below plane: {:?}", v.pos);
@@ -477,6 +775,7 @@ mod tests {
                 Vec3::new(0.0, -10.0, 0.0),
                 0.01,
                 std::slice::from_ref(&plate),
+                SimdMode::Scalar,
             );
         }
         for v in c.vertices() {
@@ -498,9 +797,64 @@ mod tests {
     }
 
     #[test]
+    fn simd_modes_are_bit_identical() {
+        // Odd vertex/constraint counts exercise the remainder lanes; a
+        // pinned corner and a collider exercise masking and the scalar
+        // collision phase. 6x7 = 42 vertices (42 % 8 = 2, 42 % 4 = 2).
+        let build = || Cloth::rectangle(Vec3::new(-0.5, 0.8, -0.5), 1.0, 1.2, 6, 7, &[0, 5]);
+        let colliders = [(Shape::sphere(0.4), Transform::from_position(Vec3::ZERO))];
+        let run = |mode: SimdMode| {
+            let mut c = build();
+            for _ in 0..60 {
+                c.step(Vec3::new(0.0, -10.0, 0.0), 0.01, &colliders, mode);
+            }
+            c.vertices()
+                .iter()
+                .flat_map(|v| {
+                    [
+                        v.pos.x.to_bits(),
+                        v.pos.y.to_bits(),
+                        v.pos.z.to_bits(),
+                        v.prev.x.to_bits(),
+                        v.prev.y.to_bits(),
+                        v.prev.z.to_bits(),
+                    ]
+                })
+                .collect::<Vec<u32>>()
+        };
+        let reference = run(SimdMode::Scalar);
+        for mode in [SimdMode::Sse2, SimdMode::Avx2] {
+            if mode.clamp_to_supported() != mode {
+                continue;
+            }
+            assert_eq!(run(mode), reference, "{} diverged from scalar", mode.name());
+        }
+    }
+
+    #[test]
+    fn relaxation_batches_are_conflict_free() {
+        let c = Cloth::rectangle(Vec3::ZERO, 1.0, 1.0, 9, 5, &[]);
+        let mut total = 0;
+        for batch in &c.batches {
+            let mut used = std::collections::HashSet::new();
+            for &ci in batch {
+                let con = &c.constraints[ci as usize];
+                assert!(used.insert(con.a), "vertex {} reused in batch", con.a);
+                assert!(used.insert(con.b), "vertex {} reused in batch", con.b);
+            }
+            total += batch.len();
+        }
+        assert_eq!(
+            total,
+            c.constraints.len(),
+            "schedule must cover every constraint"
+        );
+    }
+
+    #[test]
     fn stats_report_work() {
         let mut c = Cloth::rectangle(Vec3::ZERO, 1.0, 1.0, 4, 4, &[]);
-        let stats = c.step(Vec3::new(0.0, -10.0, 0.0), 0.01, &[]);
+        let stats = c.step(Vec3::new(0.0, -10.0, 0.0), 0.01, &[], SimdMode::Scalar);
         assert_eq!(stats.vertices, 16);
         assert_eq!(stats.projections, c.constraints().len() * 8);
     }

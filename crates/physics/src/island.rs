@@ -6,7 +6,7 @@
 //! begin." A union-find over the joint/contact edges produces the islands;
 //! static bodies do not merge islands (they act as anchors, like ODE).
 
-use crate::body::{BodyFlags, RigidBody};
+use crate::store::BodyStore;
 
 /// A single island: the bodies, joints and contact manifolds that must be
 /// solved together.
@@ -120,11 +120,11 @@ pub enum EdgeKind {
 
 /// Builds islands from the constraint edges.
 ///
-/// `bodies` is the world body array (used to skip static/disabled bodies).
+/// `bodies` is the world body store (used to skip static/disabled bodies).
 /// Bodies' `island` fields are updated in place. Bodies with no edges do
 /// not form islands (they are integrated unconstrained).
 pub fn build_islands(
-    bodies: &mut [RigidBody],
+    bodies: &mut BodyStore,
     edges: &[ConstraintEdge],
 ) -> (Vec<Island>, IslandStats) {
     let mut islands = Vec::new();
@@ -136,7 +136,7 @@ pub fn build_islands(
 /// entries in `out` are cleared and refilled in place, so their inner
 /// buffers are reused step over step.
 pub fn build_islands_into(
-    bodies: &mut [RigidBody],
+    bodies: &mut BodyStore,
     edges: &[ConstraintEdge],
     out: &mut Vec<Island>,
 ) -> IslandStats {
@@ -151,39 +151,37 @@ pub fn build_islands_into(
         ..Default::default()
     };
 
-    let movable = |b: &RigidBody| !b.is_static() && !b.is_disabled();
-
     // Union pass: only dynamic-dynamic edges merge components.
     for e in edges {
         if e.body_b == u32::MAX {
             continue;
         }
         let (a, b) = (e.body_a as usize, e.body_b as usize);
-        if movable(&bodies[a]) && movable(&bodies[b]) {
+        if bodies.is_movable(a) && bodies.is_movable(b) {
             uf.union(e.body_a, e.body_b);
         }
     }
 
     // Assign island slots by representative.
     let mut slot_of_root: std::collections::HashMap<u32, u32> = std::collections::HashMap::new();
-    for b in bodies.iter_mut() {
-        b.island = u32::MAX;
+    for i in 0..n {
+        bodies.set_island(i, u32::MAX);
     }
 
     // Touch flag: a body belongs to an island only if it participates in at
     // least one edge (directly or transitively).
     let mut touched = vec![false; n];
     for e in edges {
-        if movable(&bodies[e.body_a as usize]) {
+        if bodies.is_movable(e.body_a as usize) {
             touched[e.body_a as usize] = true;
         }
-        if e.body_b != u32::MAX && movable(&bodies[e.body_b as usize]) {
+        if e.body_b != u32::MAX && bodies.is_movable(e.body_b as usize) {
             touched[e.body_b as usize] = true;
         }
     }
 
-    for i in 0..n {
-        if !touched[i] || !movable(&bodies[i]) {
+    for (i, &is_touched) in touched.iter().enumerate() {
+        if !is_touched || !bodies.is_movable(i) {
             continue;
         }
         let root = uf.find(i as u32);
@@ -194,24 +192,23 @@ pub fn build_islands_into(
             used += 1;
             (used - 1) as u32
         });
-        bodies[i].island = slot;
+        bodies.set_island(i, slot);
         out[slot as usize].bodies.push(i as u32);
     }
     out.truncate(used);
 
     // Attach edges to islands.
     for e in edges {
-        let a_movable = movable(&bodies[e.body_a as usize]);
-        let owner = if a_movable {
-            bodies[e.body_a as usize].island
-        } else if e.body_b != u32::MAX && movable(&bodies[e.body_b as usize]) {
-            bodies[e.body_b as usize].island
+        let owner = if bodies.is_movable(e.body_a as usize) {
+            bodies.island(e.body_a as usize)
+        } else if e.body_b != u32::MAX && bodies.is_movable(e.body_b as usize) {
+            bodies.island(e.body_b as usize)
         } else {
-            u32::MAX
+            None
         };
-        if owner == u32::MAX {
+        let Some(owner) = owner else {
             continue;
-        }
+        };
         let island = &mut out[owner as usize];
         match e.kind {
             EdgeKind::Joint => island.joints.push(e.index),
@@ -226,27 +223,29 @@ pub fn build_islands_into(
     stats
 }
 
-/// Convenience: returns `true` when a body should be skipped entirely by
-/// the dynamics phases.
-pub fn is_inert(b: &RigidBody) -> bool {
-    b.flags().contains(BodyFlags::DISABLED) || b.is_static()
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::body::BodyDesc;
+    use crate::body::{BodyDesc, BodyFlags};
     use crate::shape::Shape;
     use parallax_math::Vec3;
 
-    fn dynamic_bodies(n: usize) -> Vec<RigidBody> {
-        (0..n)
-            .map(|i| {
-                BodyDesc::dynamic(Vec3::new(i as f32, 0.0, 0.0))
-                    .with_shape(Shape::sphere(0.4), 1.0)
-                    .build()
-            })
-            .collect()
+    fn dynamic_bodies(n: usize) -> BodyStore {
+        let mut store = BodyStore::default();
+        for i in 0..n {
+            store.push(
+                &BodyDesc::dynamic(Vec3::new(i as f32, 0.0, 0.0))
+                    .with_shape(Shape::sphere(0.4), 1.0),
+            );
+        }
+        store
+    }
+
+    fn replace_with_static(store: &mut BodyStore, i: usize) {
+        // Turn an existing dynamic slot into an anchor: flag it static and
+        // wipe its mass so `is_movable` rejects it the same way `push`ing a
+        // fixed BodyDesc would.
+        store.flags_mut(i).insert(BodyFlags::STATIC);
     }
 
     fn edge(a: u32, b: u32) -> ConstraintEdge {
@@ -265,7 +264,7 @@ mod tests {
         let (islands, stats) = build_islands(&mut bodies, &[]);
         assert!(islands.is_empty());
         assert_eq!(stats.islands, 0);
-        assert!(bodies.iter().all(|b| b.island().is_none()));
+        assert!((0..bodies.len()).all(|i| bodies.island(i).is_none()));
     }
 
     #[test]
@@ -294,9 +293,7 @@ mod tests {
         // Bodies 0 and 2 both touch static body 1; they must remain in
         // separate islands (ODE semantics).
         let mut bodies = dynamic_bodies(3);
-        bodies[1] = BodyDesc::fixed(Vec3::ZERO)
-            .with_shape(Shape::sphere(0.4), 1.0)
-            .build();
+        replace_with_static(&mut bodies, 1);
         let edges = [edge(0, 1), edge(2, 1)];
         let (islands, _) = build_islands(&mut bodies, &edges);
         assert_eq!(islands.len(), 2);
@@ -317,7 +314,7 @@ mod tests {
     #[test]
     fn disabled_bodies_are_skipped() {
         let mut bodies = dynamic_bodies(3);
-        bodies[1].flags.insert(BodyFlags::DISABLED);
+        bodies.flags_mut(1).insert(BodyFlags::DISABLED);
         let edges = [edge(0, 1), edge(1, 2)];
         let (islands, _) = build_islands(&mut bodies, &edges);
         // Body 1 is disabled: 0 and 2 stay separate... but the edges still

@@ -54,9 +54,10 @@ pub mod probe;
 pub mod ray;
 pub mod shape;
 pub mod solver;
+pub mod store;
 pub mod world;
 
-pub use body::{BodyDesc, BodyFlags, BodyId, RigidBody};
+pub use body::{BodyDesc, BodyFlags, BodyId};
 pub use cloth::{Cloth, ClothConfig, ClothId};
 pub use contact::{ContactManifold, ContactPoint};
 pub use contact_cache::ContactCache;
@@ -64,7 +65,9 @@ pub use explosion::ExplosionConfig;
 pub use fracture::FractureConfig;
 pub use joint::{Joint, JointId, JointKind};
 pub use monitor::{InvariantMonitor, MonitorConfig, Violation};
+pub use parallax_math::SimdMode;
 pub use pipeline::{set_injected_phase_delay, Stage, StepPipeline};
 pub use probe::{PhaseKind, StepProfile};
 pub use shape::{GeomId, Heightfield, Shape, TriMesh};
+pub use store::{BodiesView, BodyMut, BodyRef, BodyStore};
 pub use world::{BroadphaseKind, World, WorldConfig};

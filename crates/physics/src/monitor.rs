@@ -256,8 +256,10 @@ impl InvariantMonitor {
         // (new slots are spawned projectiles/debris whose energy is an
         // intentional injection, not drift).
         let known = world.bodies().len().min(self.prev_bodies);
-        let ke_known: f64 = world.bodies()[..known]
+        let ke_known: f64 = world
+            .bodies()
             .iter()
+            .take(known)
             .filter(|b| !b.is_static() && !b.is_disabled())
             .map(|b| b.kinetic_energy() as f64)
             .filter(|ke| ke.is_finite())

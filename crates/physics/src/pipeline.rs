@@ -27,7 +27,7 @@ use crate::narrowphase;
 use crate::parallel::Executor;
 use crate::probe::{ClothWork, IslandWork, PairWork, PhaseKind, StepEvents, StepProfile};
 use crate::shape::{GeomId, Shape};
-use crate::solver::{self, ConstraintRow, RowParams, VelState, STATIC_BODY};
+use crate::solver::{self, RowParams, RowSoA, VelState, STATIC_BODY};
 use crate::world::{BroadphaseKind, World};
 
 /// A pipeline stage: one per paper phase.
@@ -262,6 +262,7 @@ impl IslandProcessingStage {
         };
         let iterations = world.config.solver_iterations;
         let threshold = world.config.island_queue_threshold;
+        let mode = world.config.simd.clamp_to_supported();
 
         // Partition by the DOF filter. The index lists are rebuilt from the
         // same island order every step, so the result sequence — and thus
@@ -286,7 +287,7 @@ impl IslandProcessingStage {
             let mut vel: Vec<VelState> = Vec::with_capacity(island.bodies.len());
             for (li, &bi) in island.bodies.iter().enumerate() {
                 local_of.insert(bi, li as u32);
-                vel.push(VelState::from_body(&world_ref.bodies[bi as usize]));
+                vel.push(world_ref.bodies.vel_state(bi as usize));
             }
             let local = |body: u32| -> u32 {
                 if body == u32::MAX {
@@ -298,7 +299,7 @@ impl IslandProcessingStage {
                 }
             };
 
-            let mut rows: Vec<ConstraintRow> = Vec::new();
+            let mut rows = RowSoA::new();
             for &ji in &island.joints {
                 let j = &world_ref.joints[ji as usize];
                 solver::build_joint_rows(
@@ -306,8 +307,8 @@ impl IslandProcessingStage {
                     ji,
                     local(j.body_a.0),
                     local(j.body_b.0),
-                    &world_ref.bodies[j.body_a.index()],
-                    &world_ref.bodies[j.body_b.index()],
+                    world_ref.bodies.transform(j.body_a.index()),
+                    world_ref.bodies.transform(j.body_b.index()),
                     &params,
                     &mut rows,
                 );
@@ -321,17 +322,17 @@ impl IslandProcessingStage {
                 let m = &manifolds[mi as usize];
                 let ba = world_ref.geoms[m.geom_a.index()].body;
                 let bb = world_ref.geoms[m.geom_b.index()].body;
-                let pa = ba.map_or(Vec3::ZERO, |b| world_ref.bodies[b.index()].position());
-                let pb = bb.map_or(Vec3::ZERO, |b| world_ref.bodies[b.index()].position());
+                let pa = ba.map_or(Vec3::ZERO, |b| world_ref.bodies.position(b.index()));
+                let pb = bb.map_or(Vec3::ZERO, |b| world_ref.bodies.position(b.index()));
                 let la = ba.map_or(STATIC_BODY, |b| {
-                    if world_ref.bodies[b.index()].is_static() {
+                    if world_ref.bodies.is_static(b.index()) {
                         STATIC_BODY
                     } else {
                         local(b.0)
                     }
                 });
                 let lb = bb.map_or(STATIC_BODY, |b| {
-                    if world_ref.bodies[b.index()].is_static() {
+                    if world_ref.bodies.is_static(b.index()) {
                         STATIC_BODY
                     } else {
                         local(b.0)
@@ -359,7 +360,7 @@ impl IslandProcessingStage {
                 );
             }
 
-            let stats = solver::solve(&mut rows, &mut vel, iterations);
+            let stats = solver::solve(&mut rows, &mut vel, iterations, mode);
 
             let contact_updates = if warm_starting {
                 contact_spans
@@ -370,9 +371,9 @@ impl IslandProcessingStage {
                         for (p, l) in lam.iter_mut().take(m.len()).enumerate() {
                             let base = start as usize + p * 3;
                             *l = [
-                                rows[base].lambda,
-                                rows[base + 1].lambda,
-                                rows[base + 2].lambda,
+                                rows.lambda[base],
+                                rows.lambda[base + 1],
+                                rows.lambda[base + 2],
                             ];
                         }
                         (mi, lam)
@@ -386,9 +387,10 @@ impl IslandProcessingStage {
             // so downstream accumulation order is reproducible.
             let mut joint_impulses: std::collections::HashMap<u32, f32> =
                 std::collections::HashMap::new();
-            for r in &rows {
-                if r.source_joint != u32::MAX {
-                    *joint_impulses.entry(r.source_joint).or_insert(0.0) += r.lambda.abs();
+            for i in 0..rows.len() {
+                if rows.source_joint[i] != u32::MAX {
+                    *joint_impulses.entry(rows.source_joint[i]).or_insert(0.0) +=
+                        rows.lambda[i].abs();
                 }
             }
             let mut joint_impulses: Vec<(u32, f32)> = joint_impulses.into_iter().collect();
@@ -432,9 +434,7 @@ impl IslandProcessingStage {
         let mut warm_total = WarmStats::default();
         for r in self.results.drain(..) {
             for (bi, lin, ang) in r.velocities {
-                let b = &mut world.bodies[bi as usize];
-                b.set_linear_velocity(lin);
-                b.set_angular_velocity(ang);
+                world.bodies.set_velocity(bi as usize, lin, ang);
             }
             joint_impulses.extend(r.joint_impulses);
             // Serial cache writeback, in island-result order (queued islands
@@ -470,6 +470,7 @@ impl ClothStage {
     fn run(&mut self, world: &mut World, executor: &Executor) -> Vec<ClothWork> {
         let gravity = world.config.gravity;
         let dt = world.config.dt;
+        let mode = world.config.simd.clamp_to_supported();
 
         // Gather collider lists per cloth (shape + pose snapshots), reusing
         // the per-cloth buffers.
@@ -499,7 +500,7 @@ impl ClothStage {
         let label = Self::PHASE.name();
         executor.map_mut_into_labeled(label, &mut world.cloths, &mut self.results, |i, cloth| {
             let colliders = collider_sets[i].as_slice();
-            let stats = cloth.step(gravity, dt, colliders);
+            let stats = cloth.step(gravity, dt, colliders, mode);
             ClothWork {
                 cloth: i as u32,
                 stats,
@@ -527,6 +528,8 @@ struct PipelineTelemetry {
     warm_hits: telemetry::Counter,
     warm_misses: telemetry::Counter,
     cache_entries: telemetry::Gauge,
+    /// Active kernel layout/ISA: 0 = scalar, 1 = SSE2, 2 = AVX2.
+    simd_mode: telemetry::Gauge,
 }
 
 impl PipelineTelemetry {
@@ -542,6 +545,7 @@ impl PipelineTelemetry {
             warm_hits: telemetry::counter("physics.solver.warm_hits"),
             warm_misses: telemetry::counter("physics.solver.warm_misses"),
             cache_entries: telemetry::gauge("physics.solver.cache_entries"),
+            simd_mode: telemetry::gauge("physics.simd_mode"),
         }
     }
 }
@@ -636,6 +640,9 @@ pub struct StepPipeline {
     /// Cross-step contact persistence for solver warm starting.
     contact_cache: ContactCache,
     telemetry: PipelineTelemetry,
+    /// Whether the active SIMD mode has been published to telemetry yet
+    /// (done once, on the first step).
+    simd_reported: bool,
 }
 
 impl std::fmt::Debug for StepPipeline {
@@ -658,6 +665,7 @@ impl StepPipeline {
             cloth: ClothStage::new(),
             contact_cache: ContactCache::new(),
             telemetry: PipelineTelemetry::register(),
+            simd_reported: false,
         }
     }
 
@@ -691,14 +699,17 @@ impl StepPipeline {
         let mut profile = StepProfile::default();
         let dt = world.config.dt;
         let gravity = world.config.gravity;
+        let mode = world.config.simd.clamp_to_supported();
+        if !self.simd_reported {
+            self.telemetry.simd_mode.set(mode.gauge_value());
+            self.simd_reported = true;
+        }
 
         // (a) Apply forces: gravity, slider suspension springs, blast
         // impulses.
         world.apply_slider_springs();
         world.apply_blast_impulses();
-        for b in &mut world.bodies {
-            integrator::apply_forces(b, gravity, dt);
-        }
+        integrator::apply_forces(&mut world.bodies, gravity, dt, mode);
 
         // Fast path: a fully empty world has no phase work at all, but
         // the profile must still report a wall time for every phase.
@@ -782,14 +793,17 @@ impl StepPipeline {
             };
             profile.islands = island_work;
             let broken = world.update_breakable_joints(&joint_impulses);
-            for b in &mut world.bodies {
-                integrator::clamp_velocities(
-                    b,
-                    world.config.max_linear_velocity,
-                    world.config.max_angular_velocity,
-                );
-                integrator::integrate(b, dt);
-            }
+            // Clamp then integrate, each as one SoA sweep. Bodies are
+            // independent in both passes, so sweep-then-sweep produces the
+            // same per-body results as the old clamp+integrate-per-body
+            // loop.
+            integrator::clamp_velocities(
+                &mut world.bodies,
+                world.config.max_linear_velocity,
+                world.config.max_angular_velocity,
+                mode,
+            );
+            integrator::integrate(&mut world.bodies, dt, mode);
             apply_injected_delay(3);
             broken
         });

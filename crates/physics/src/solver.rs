@@ -6,15 +6,38 @@
 //! trades accuracy for speed. Each relaxation iteration over the rows of an
 //! island is the fine-grain parallel unit the FG cores execute ("degrees of
 //! freedom removed in the LCP solver").
+//!
+//! Rows are stored as structure-of-arrays ([`RowSoA`]), one lane vector per
+//! quantity. PGS is sequentially dependent row to row *only between rows
+//! that share a body*, so before iterating, the rows are greedily colored
+//! into conflict-free batches (no dynamic body appears twice in a batch;
+//! the same level-based coloring the cloth relaxation uses). Every SIMD
+//! mode — including scalar — projects the rows in this batch order, and
+//! within a batch the rows are independent, so projecting them one at a
+//! time (scalar, and every batch remainder) and four at a time (the
+//! packed SSE kernel under any wide mode) produce identical bits: each
+//! lane performs the same IEEE operations in the same order, garbage
+//! lanes are masked off bitwise, and the per-row reductions keep the
+//! fixed `(p0 + p1) + p2` association of `Vec3::dot`. Friction rows
+//! read their governing normal row's accumulated impulse; the coloring
+//! orders them into a later batch automatically because they share the
+//! normal row's body pair.
 
-use parallax_math::{Mat3, Vec3};
+use parallax_math::simd::{ScalarX4, SimdMode, Wide4};
+use parallax_math::{Mat3, Transform, Vec3};
 
-use crate::body::RigidBody;
 use crate::contact::ContactManifold;
 use crate::joint::{Joint, JointKind};
 
 /// Velocity-space state of one body inside the solver scratch arrays.
+///
+/// Gathered from the [`crate::store::BodyStore`] via
+/// `BodyStore::vel_state` and scattered back with
+/// `BodyStore::set_velocity`.
+/// `repr(C)` so the packed row kernel may load `lin.x..=ang.x` and
+/// `ang.y..inv_inertia` as two contiguous 4-float vectors.
 #[derive(Debug, Clone, Copy)]
+#[repr(C)]
 pub struct VelState {
     /// Linear velocity.
     pub lin: Vec3,
@@ -24,18 +47,6 @@ pub struct VelState {
     pub inv_mass: f32,
     /// World-space inverse inertia.
     pub inv_inertia: Mat3,
-}
-
-impl VelState {
-    /// Captures the solver-relevant state of a body.
-    pub fn from_body(b: &RigidBody) -> Self {
-        VelState {
-            lin: b.lin_vel,
-            ang: b.ang_vel,
-            inv_mass: b.inv_mass,
-            inv_inertia: b.inv_inertia_world,
-        }
-    }
 }
 
 /// Sentinel body index meaning "the static environment".
@@ -58,6 +69,10 @@ pub enum RowLimit {
 }
 
 /// One scalar constraint row `J · v = rhs` with impulse limits.
+///
+/// This is the *builder* representation: row construction assembles a
+/// `ConstraintRow` and pushes it into a [`RowSoA`], which scatters the
+/// fields into its lanes.
 #[derive(Debug, Clone)]
 pub struct ConstraintRow {
     /// Island-local index of body A, or [`STATIC_BODY`].
@@ -101,49 +116,167 @@ impl ConstraintRow {
             source_joint: u32::MAX,
         }
     }
+}
 
-    /// `J · v` for the current velocities.
+/// Structure-of-arrays storage for the constraint rows of one island, in
+/// solve order.
+///
+/// Jacobian 3-vectors are stored zero-padded to `[f32; 4]` so they load
+/// straight into a 128-bit register.
+#[derive(Debug, Default, Clone)]
+pub struct RowSoA {
+    /// Island-local index of body A per row, or [`STATIC_BODY`].
+    pub body_a: Vec<u32>,
+    /// Island-local index of body B per row, or [`STATIC_BODY`].
+    pub body_b: Vec<u32>,
+    /// Jacobian, linear part for A (`[x, y, z, 0]`).
+    pub j_lin_a: Vec<[f32; 4]>,
+    /// Jacobian, angular part for A.
+    pub j_ang_a: Vec<[f32; 4]>,
+    /// Jacobian, linear part for B.
+    pub j_lin_b: Vec<[f32; 4]>,
+    /// Jacobian, angular part for B.
+    pub j_ang_b: Vec<[f32; 4]>,
+    /// Target velocity along the constraint (bias + restitution).
+    pub rhs: Vec<f32>,
+    /// Constraint-force mixing (softness).
+    pub cfm: Vec<f32>,
+    /// Impulse limit policy per row.
+    pub limit: Vec<RowLimit>,
+    /// Accumulated impulse per row (warm-startable; read back for caching).
+    pub lambda: Vec<f32>,
+    /// Producing joint index per row (`u32::MAX` for contacts).
+    pub source_joint: Vec<u32>,
+    /// Inverse effective mass per row; scratch recomputed by [`solve`].
+    inv_k: Vec<f32>,
+}
+
+#[inline]
+fn pad(v: Vec3) -> [f32; 4] {
+    [v.x, v.y, v.z, 0.0]
+}
+
+impl RowSoA {
+    /// An empty row set.
+    pub fn new() -> Self {
+        RowSoA::default()
+    }
+
+    /// Number of rows.
     #[inline]
-    fn jv(&self, vel: &[VelState]) -> f32 {
-        let mut s = 0.0;
-        if self.body_a != STATIC_BODY {
-            let v = &vel[self.body_a as usize];
-            s += self.j_lin_a.dot(v.lin) + self.j_ang_a.dot(v.ang);
-        }
-        if self.body_b != STATIC_BODY {
-            let v = &vel[self.body_b as usize];
-            s += self.j_lin_b.dot(v.lin) + self.j_ang_b.dot(v.ang);
-        }
-        s
+    pub fn len(&self) -> usize {
+        self.rhs.len()
     }
 
-    /// Effective mass `J M⁻¹ Jᵀ`.
-    fn effective_mass(&self, vel: &[VelState]) -> f32 {
-        let mut k = 0.0;
-        if self.body_a != STATIC_BODY {
-            let v = &vel[self.body_a as usize];
-            k += v.inv_mass * self.j_lin_a.length_squared();
-            k += self.j_ang_a.dot(v.inv_inertia * self.j_ang_a);
-        }
-        if self.body_b != STATIC_BODY {
-            let v = &vel[self.body_b as usize];
-            k += v.inv_mass * self.j_lin_b.length_squared();
-            k += self.j_ang_b.dot(v.inv_inertia * self.j_ang_b);
-        }
-        k
+    /// Returns `true` when there are no rows.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.rhs.is_empty()
     }
 
-    fn apply(&self, vel: &mut [VelState], dlambda: f32) {
-        if self.body_a != STATIC_BODY {
-            let v = &mut vel[self.body_a as usize];
-            v.lin += self.j_lin_a * (v.inv_mass * dlambda);
-            v.ang += v.inv_inertia * self.j_ang_a * dlambda;
+    /// Removes all rows, keeping allocations for reuse.
+    pub fn clear(&mut self) {
+        self.body_a.clear();
+        self.body_b.clear();
+        self.j_lin_a.clear();
+        self.j_ang_a.clear();
+        self.j_lin_b.clear();
+        self.j_ang_b.clear();
+        self.rhs.clear();
+        self.cfm.clear();
+        self.limit.clear();
+        self.lambda.clear();
+        self.source_joint.clear();
+        self.inv_k.clear();
+    }
+
+    /// Scatters a built row into the lanes.
+    pub fn push(&mut self, row: ConstraintRow) {
+        self.body_a.push(row.body_a);
+        self.body_b.push(row.body_b);
+        self.j_lin_a.push(pad(row.j_lin_a));
+        self.j_ang_a.push(pad(row.j_ang_a));
+        self.j_lin_b.push(pad(row.j_lin_b));
+        self.j_ang_b.push(pad(row.j_ang_b));
+        self.rhs.push(row.rhs);
+        self.cfm.push(row.cfm);
+        self.limit.push(row.limit);
+        self.lambda.push(row.lambda);
+        self.source_joint.push(row.source_joint);
+    }
+}
+
+/// `J · v` of row `i` for the current velocities.
+#[inline(always)]
+fn jv<V: Wide4>(rows: &RowSoA, i: usize, vel: &[VelState]) -> f32 {
+    // Written as `masked_a + masked_b` (not skip-and-accumulate) so the
+    // packed kernel's bitwise-masked lanes reproduce it exactly.
+    let side = |body: u32, jl: &[f32; 4], ja: &[f32; 4]| {
+        if body == STATIC_BODY {
+            0.0
+        } else {
+            let v = &vel[body as usize];
+            V::dot3_pair(
+                V::from_array(*jl),
+                V::from_vec3(v.lin),
+                V::from_array(*ja),
+                V::from_vec3(v.ang),
+            )
         }
-        if self.body_b != STATIC_BODY {
-            let v = &mut vel[self.body_b as usize];
-            v.lin += self.j_lin_b * (v.inv_mass * dlambda);
-            v.ang += v.inv_inertia * self.j_ang_b * dlambda;
-        }
+    };
+    side(rows.body_a[i], &rows.j_lin_a[i], &rows.j_ang_a[i])
+        + side(rows.body_b[i], &rows.j_lin_b[i], &rows.j_ang_b[i])
+}
+
+/// `I⁻¹ · j` with the row-dot association of `Mat3 * Vec3`.
+#[inline(always)]
+fn inertia_mul<V: Wide4>(inertia: &Mat3, j: V) -> Vec3 {
+    Vec3::new(
+        V::from_vec3(inertia.rows[0]).dot3(j),
+        V::from_vec3(inertia.rows[1]).dot3(j),
+        V::from_vec3(inertia.rows[2]).dot3(j),
+    )
+}
+
+/// Effective mass `J M⁻¹ Jᵀ` of row `i`.
+#[inline(always)]
+fn effective_mass<V: Wide4>(rows: &RowSoA, i: usize, vel: &[VelState]) -> f32 {
+    let mut k = 0.0;
+    if rows.body_a[i] != STATIC_BODY {
+        let v = &vel[rows.body_a[i] as usize];
+        let jl = V::from_array(rows.j_lin_a[i]);
+        let ja = V::from_array(rows.j_ang_a[i]);
+        k += v.inv_mass * jl.dot3(jl);
+        k += ja.dot3(V::from_vec3(inertia_mul(&v.inv_inertia, ja)));
+    }
+    if rows.body_b[i] != STATIC_BODY {
+        let v = &vel[rows.body_b[i] as usize];
+        let jl = V::from_array(rows.j_lin_b[i]);
+        let ja = V::from_array(rows.j_ang_b[i]);
+        k += v.inv_mass * jl.dot3(jl);
+        k += ja.dot3(V::from_vec3(inertia_mul(&v.inv_inertia, ja)));
+    }
+    k
+}
+
+/// Applies impulse `dlambda` along row `i` to the velocities.
+#[inline(always)]
+fn apply<V: Wide4>(rows: &RowSoA, i: usize, vel: &mut [VelState], dlambda: f32) {
+    if rows.body_a[i] != STATIC_BODY {
+        let v = &mut vel[rows.body_a[i] as usize];
+        let jl = V::from_array(rows.j_lin_a[i]);
+        v.lin = (V::from_vec3(v.lin) + jl * V::splat(v.inv_mass * dlambda)).to_vec3();
+        let ja = V::from_array(rows.j_ang_a[i]);
+        let d = inertia_mul(&v.inv_inertia, ja);
+        v.ang = (V::from_vec3(v.ang) + V::from_vec3(d) * V::splat(dlambda)).to_vec3();
+    }
+    if rows.body_b[i] != STATIC_BODY {
+        let v = &mut vel[rows.body_b[i] as usize];
+        let jl = V::from_array(rows.j_lin_b[i]);
+        v.lin = (V::from_vec3(v.lin) + jl * V::splat(v.inv_mass * dlambda)).to_vec3();
+        let ja = V::from_array(rows.j_ang_b[i]);
+        let d = inertia_mul(&v.inv_inertia, ja);
+        v.ang = (V::from_vec3(v.ang) + V::from_vec3(d) * V::splat(dlambda)).to_vec3();
     }
 }
 
@@ -160,26 +293,360 @@ pub struct SolveStats {
 
 /// Runs projected Gauss–Seidel over the rows for `iterations` sweeps.
 ///
-/// Velocities in `vel` are updated in place; `rows[i].lambda` holds the
+/// Velocities in `vel` are updated in place; `rows.lambda[i]` holds the
 /// accumulated impulses afterwards. Rows entering with a non-zero `lambda`
 /// (warm-started from the contact cache) have that impulse applied to the
 /// velocities up front (`M⁻¹Jᵀλ`), so the iterations only have to correct
 /// the *change* since last step instead of rebuilding the full impulse.
 /// `total_delta` counts iteration corrections only — warm-start application
 /// is excluded so the stat keeps measuring convergence work.
-pub fn solve(rows: &mut [ConstraintRow], vel: &mut [VelState], iterations: usize) -> SolveStats {
-    // Precompute effective masses.
-    let inv_k: Vec<f32> = rows
-        .iter()
-        .map(|r| {
-            let k = r.effective_mass(vel) + r.cfm;
-            if k > 1e-10 {
-                1.0 / k
+pub fn solve(
+    rows: &mut RowSoA,
+    vel: &mut [VelState],
+    iterations: usize,
+    mode: SimdMode,
+) -> SolveStats {
+    let (order, batch_ends) = build_schedule(rows, vel.len());
+    // Per-row work (the clamp + impulse scatter, and every remainder row)
+    // always runs the four-lane scalar kernel: its within-row shape is
+    // 3-wide and latency-bound, and LLVM already lowers `ScalarX4` to
+    // minimal vector code — an explicit SSE within-row path measured
+    // *slower* on solver-bound scenes. The wide modes differ only in
+    // front-loading J·v for four independent rows per batch through the
+    // packed kernel.
+    #[cfg(target_arch = "x86_64")]
+    let packed = mode != SimdMode::Scalar;
+    #[cfg(not(target_arch = "x86_64"))]
+    let packed = {
+        let _ = mode;
+        false
+    };
+    solve_impl::<ScalarX4>(rows, vel, iterations, &order, &batch_ends, packed)
+}
+
+/// Greedy level coloring of the rows into conflict-free batches: a row
+/// lands in the first batch after the last batch that used either of its
+/// dynamic bodies. Returns the row indices sorted by batch (`order`) and
+/// the end offset of each batch in that array. Within a batch no dynamic
+/// body repeats, so batch rows can be projected in any order — or four
+/// at a time — with results identical to sequential projection. The
+/// schedule is a pure function of the row topology, so every SIMD mode
+/// and thread count computes the same one.
+fn build_schedule(rows: &RowSoA, n_bodies: usize) -> (Vec<u32>, Vec<u32>) {
+    let n = rows.len();
+    let mut level = vec![0u32; n_bodies];
+    let mut batch_of = vec![0u32; n];
+    let mut n_batches = 0u32;
+    for (i, slot) in batch_of.iter_mut().enumerate() {
+        let (a, b) = (rows.body_a[i], rows.body_b[i]);
+        let mut batch = 0;
+        if a != STATIC_BODY {
+            batch = batch.max(level[a as usize]);
+        }
+        if b != STATIC_BODY {
+            batch = batch.max(level[b as usize]);
+        }
+        *slot = batch;
+        if a != STATIC_BODY {
+            level[a as usize] = batch + 1;
+        }
+        if b != STATIC_BODY {
+            level[b as usize] = batch + 1;
+        }
+        n_batches = n_batches.max(batch + 1);
+    }
+    // Bucket the row indices by batch, preserving index order within one.
+    let mut ends = vec![0u32; n_batches as usize];
+    for &b in &batch_of {
+        ends[b as usize] += 1;
+    }
+    let mut acc = 0;
+    for e in ends.iter_mut() {
+        acc += *e;
+        *e = acc;
+    }
+    let mut cursor: Vec<u32> = std::iter::once(0)
+        .chain(ends.iter().copied())
+        .take(n_batches as usize)
+        .collect();
+    let mut order = vec![0u32; n];
+    for (i, &b) in batch_of.iter().enumerate() {
+        order[cursor[b as usize] as usize] = i as u32;
+        cursor[b as usize] += 1;
+    }
+    (order, ends)
+}
+
+/// Projects row `i` once: compute `J·v`, clamp the accumulated impulse,
+/// apply the correction. The clamps are written as explicit compares
+/// (not `f32::max`/`clamp`, whose −0.0 behaviour is
+/// implementation-defined) so the packed kernel's compare+select lanes
+/// are exactly this code.
+#[inline(always)]
+fn project_row<V: Wide4>(
+    rows: &mut RowSoA,
+    i: usize,
+    vel: &mut [VelState],
+    stats: &mut SolveStats,
+) {
+    let jv = jv::<V>(rows, i, vel);
+    let lambda_old = rows.lambda[i];
+    let unclamped = lambda_old + (rows.rhs[i] - jv - rows.cfm[i] * lambda_old) * rows.inv_k[i];
+    clamp_and_apply::<V>(rows, i, unclamped, vel, stats);
+}
+
+/// The projection tail shared by the scalar and packed paths: clamp the
+/// unclamped impulse by the row's limit and apply the correction.
+#[inline(always)]
+fn clamp_and_apply<V: Wide4>(
+    rows: &mut RowSoA,
+    i: usize,
+    unclamped: f32,
+    vel: &mut [VelState],
+    stats: &mut SolveStats,
+) {
+    let lambda_old = rows.lambda[i];
+    let clamped = match rows.limit[i] {
+        RowLimit::Bilateral => unclamped,
+        RowLimit::Unilateral => {
+            if unclamped > 0.0 {
+                unclamped
             } else {
                 0.0
             }
-        })
-        .collect();
+        }
+        RowLimit::Friction { normal_row, mu } => {
+            let ln = rows.lambda[normal_row as usize];
+            let bound = mu * if ln > 0.0 { ln } else { 0.0 };
+            let hi = if unclamped > bound { bound } else { unclamped };
+            if hi < -bound {
+                -bound
+            } else {
+                hi
+            }
+        }
+    };
+    let dlambda = clamped - lambda_old;
+    if dlambda != 0.0 {
+        rows.lambda[i] = clamped;
+        apply::<V>(rows, i, vel, dlambda);
+        stats.total_delta += dlambda.abs();
+    }
+}
+
+/// Four conflict-free rows with their iteration-invariant data already
+/// transposed into lane form. Built once per solve by [`build_chunks`];
+/// every iteration then only has to gather what actually changes
+/// between iterations — velocities and accumulated impulses.
+#[cfg(target_arch = "x86_64")]
+struct Chunk4 {
+    /// Row indices, in schedule order (lane l = `order` position l).
+    idx: [u32; 4],
+    body_a: [u32; 4],
+    body_b: [u32; 4],
+    /// Component k (x/y/z) of `j_lin_a` across the four lanes.
+    jl_a: [[f32; 4]; 3],
+    ja_a: [[f32; 4]; 3],
+    jl_b: [[f32; 4]; 3],
+    ja_b: [[f32; 4]; 3],
+    rhs: [f32; 4],
+    cfm: [f32; 4],
+    inv_k: [f32; 4],
+    /// All four lanes static on that side: skip it entirely.
+    a_static: bool,
+    b_static: bool,
+}
+
+/// Per-batch ranges of the packed schedule: chunks `..chunks_end` in the
+/// chunk array, then remainder rows `rem_start..rem_end` in `order`.
+#[cfg(target_arch = "x86_64")]
+struct PackedBatch {
+    chunks_end: u32,
+    rem_start: u32,
+    rem_end: u32,
+}
+
+/// Packs each batch's rows into [`Chunk4`]s (leftover rows stay in
+/// `order` as the batch remainder). Pure data movement — the f32
+/// constants are copied bit-exactly — so the packed iteration consumes
+/// the very same values the scalar path reads from [`RowSoA`].
+#[cfg(target_arch = "x86_64")]
+fn build_chunks(
+    rows: &RowSoA,
+    order: &[u32],
+    batch_ends: &[u32],
+) -> (Vec<Chunk4>, Vec<PackedBatch>) {
+    let mut chunks = Vec::with_capacity(order.len() / 4);
+    let mut batches = Vec::with_capacity(batch_ends.len());
+    let mut start = 0usize;
+    for &end in batch_ends {
+        let batch = &order[start..end as usize];
+        for lanes in batch.chunks_exact(4) {
+            let mut c = Chunk4 {
+                idx: [lanes[0], lanes[1], lanes[2], lanes[3]],
+                body_a: [0; 4],
+                body_b: [0; 4],
+                jl_a: [[0.0; 4]; 3],
+                ja_a: [[0.0; 4]; 3],
+                jl_b: [[0.0; 4]; 3],
+                ja_b: [[0.0; 4]; 3],
+                rhs: [0.0; 4],
+                cfm: [0.0; 4],
+                inv_k: [0.0; 4],
+                a_static: false,
+                b_static: false,
+            };
+            for l in 0..4 {
+                let i = c.idx[l] as usize;
+                c.body_a[l] = rows.body_a[i];
+                c.body_b[l] = rows.body_b[i];
+                for k in 0..3 {
+                    c.jl_a[k][l] = rows.j_lin_a[i][k];
+                    c.ja_a[k][l] = rows.j_ang_a[i][k];
+                    c.jl_b[k][l] = rows.j_lin_b[i][k];
+                    c.ja_b[k][l] = rows.j_ang_b[i][k];
+                }
+                c.rhs[l] = rows.rhs[i];
+                c.cfm[l] = rows.cfm[i];
+                c.inv_k[l] = rows.inv_k[i];
+            }
+            c.a_static = c.body_a == [STATIC_BODY; 4];
+            c.b_static = c.body_b == [STATIC_BODY; 4];
+            chunks.push(c);
+        }
+        batches.push(PackedBatch {
+            chunks_end: chunks.len() as u32,
+            rem_start: (start + batch.len() / 4 * 4) as u32,
+            rem_end: end,
+        });
+        start = end as usize;
+    }
+    (chunks, batches)
+}
+
+/// Projects four conflict-free rows at once: the `J·v` and the unclamped
+/// impulse run 4-wide (one row per lane, the dot-product reduction
+/// vertical across lanes), then the clamp/apply tail runs per lane
+/// through [`clamp_and_apply`] — literally the scalar code.
+///
+/// Bit-identity with four sequential [`project_row`] calls: the rows
+/// share no dynamic body, so neither the velocity reads nor the lambda
+/// reads observe another lane's writes; each lane's arithmetic is the
+/// same IEEE f32 operation sequence as the scalar path (the `(tx + ty) +
+/// tz` reduction matches `dot3_pair`, static sides are masked to +0.0
+/// bitwise exactly like the scalar `0.0` arm); and the tail is shared
+/// code executed in lane order.
+///
+/// # Safety
+///
+/// Caller guarantees x86-64 (SSE2 baseline), the chunk's row and body
+/// indices in bounds, and the four rows pairwise disjoint in their
+/// dynamic bodies.
+#[cfg(target_arch = "x86_64")]
+unsafe fn project_chunk4<V: Wide4>(
+    rows: &mut RowSoA,
+    c: &Chunk4,
+    vel: &mut [VelState],
+    stats: &mut SolveStats,
+) {
+    use std::arch::x86_64::*;
+    // SAFETY: SSE2 is part of the x86-64 baseline (caller contract);
+    // all lane loads are in bounds per the caller contract.
+    let unclamped = unsafe {
+        let ld = |a: &[f32; 4]| _mm_loadu_ps(a.as_ptr());
+
+        // One body side: masked `Σ_xyz (j_lin·v_lin + j_ang·v_ang)` per
+        // lane; static lanes read body 0 (any valid slot, selected
+        // branchlessly) and are then zeroed bitwise, matching the scalar
+        // `0.0` arm exactly. A side that is static in all four lanes
+        // (debris resting on the ground dominates some scenes) skips
+        // everything — `+0.0` bitwise, the same lanes the mask would
+        // produce.
+        let side = |all_static: bool, bodies: &[u32; 4], jl: &[[f32; 4]; 3], ja: &[[f32; 4]; 3]| {
+            if all_static {
+                return _mm_setzero_ps();
+            }
+            let lane = |l: usize| {
+                let b = bodies[l];
+                let m = -((b != STATIC_BODY) as i32); // -1 dynamic, 0 static
+                (m, &vel[(b as usize) & (m as isize as usize)])
+            };
+            let (m0, v0) = lane(0);
+            let (m1, v1) = lane(1);
+            let (m2, v2) = lane(2);
+            let (m3, v3) = lane(3);
+            let mask = _mm_castsi128_ps(_mm_set_epi32(m3, m2, m1, m0));
+            // `VelState` is `repr(C)`: `lin.x..=ang.x` and `ang.y..` are
+            // contiguous f32 runs, so each body's six velocity components
+            // arrive in two vector loads (both end before the struct
+            // does) and transpose into lanes.
+            let (mut l0, mut l1, mut l2, mut l3) = (
+                _mm_loadu_ps(&raw const v0.lin.x),
+                _mm_loadu_ps(&raw const v1.lin.x),
+                _mm_loadu_ps(&raw const v2.lin.x),
+                _mm_loadu_ps(&raw const v3.lin.x),
+            );
+            _MM_TRANSPOSE4_PS(&mut l0, &mut l1, &mut l2, &mut l3);
+            let (vlx, vly, vlz, vax) = (l0, l1, l2, l3);
+            let (mut h0, mut h1, mut h2, mut h3) = (
+                _mm_loadu_ps(&raw const v0.ang.y),
+                _mm_loadu_ps(&raw const v1.ang.y),
+                _mm_loadu_ps(&raw const v2.ang.y),
+                _mm_loadu_ps(&raw const v3.ang.y),
+            );
+            _MM_TRANSPOSE4_PS(&mut h0, &mut h1, &mut h2, &mut h3);
+            let (vay, vaz) = (h0, h1);
+            let tx = _mm_add_ps(_mm_mul_ps(ld(&jl[0]), vlx), _mm_mul_ps(ld(&ja[0]), vax));
+            let ty = _mm_add_ps(_mm_mul_ps(ld(&jl[1]), vly), _mm_mul_ps(ld(&ja[1]), vay));
+            let tz = _mm_add_ps(_mm_mul_ps(ld(&jl[2]), vlz), _mm_mul_ps(ld(&ja[2]), vaz));
+            _mm_and_ps(_mm_add_ps(_mm_add_ps(tx, ty), tz), mask)
+        };
+
+        let s = _mm_add_ps(
+            side(c.a_static, &c.body_a, &c.jl_a, &c.ja_a),
+            side(c.b_static, &c.body_b, &c.jl_b, &c.ja_b),
+        );
+
+        // Lambda is the one row quantity the iterations rewrite, so it
+        // is gathered fresh from the SoA each time.
+        let lam = _mm_set_ps(
+            rows.lambda[c.idx[3] as usize],
+            rows.lambda[c.idx[2] as usize],
+            rows.lambda[c.idx[1] as usize],
+            rows.lambda[c.idx[0] as usize],
+        );
+        // lambda_old + (rhs - jv - cfm*lambda_old) * inv_k, same
+        // association as the scalar expression.
+        let u = _mm_add_ps(
+            lam,
+            _mm_mul_ps(
+                _mm_sub_ps(_mm_sub_ps(ld(&c.rhs), s), _mm_mul_ps(ld(&c.cfm), lam)),
+                ld(&c.inv_k),
+            ),
+        );
+        let mut out = [0.0f32; 4];
+        _mm_storeu_ps(out.as_mut_ptr(), u);
+        out
+    };
+    for (&i, &u) in c.idx.iter().zip(&unclamped) {
+        clamp_and_apply::<V>(rows, i as usize, u, vel, stats);
+    }
+}
+
+fn solve_impl<V: Wide4>(
+    rows: &mut RowSoA,
+    vel: &mut [VelState],
+    iterations: usize,
+    order: &[u32],
+    batch_ends: &[u32],
+    packed: bool,
+) -> SolveStats {
+    // Precompute effective masses.
+    rows.inv_k.clear();
+    for i in 0..rows.len() {
+        let k = effective_mass::<V>(rows, i, vel) + rows.cfm[i];
+        rows.inv_k.push(if k > 1e-10 { 1.0 / k } else { 0.0 });
+    }
 
     let mut stats = SolveStats {
         rows: rows.len(),
@@ -189,32 +656,49 @@ pub fn solve(rows: &mut [ConstraintRow], vel: &mut [VelState], iterations: usize
 
     // Warm start: push the seeded impulses into the velocities so the
     // accumulated lambdas and the velocity state agree before iterating.
-    for row in rows.iter() {
-        if row.lambda != 0.0 {
-            row.apply(vel, row.lambda);
+    for i in 0..rows.len() {
+        if rows.lambda[i] != 0.0 {
+            apply::<V>(rows, i, vel, rows.lambda[i]);
         }
     }
 
-    for _ in 0..iterations {
-        for i in 0..rows.len() {
-            let jv = rows[i].jv(vel);
-            let lambda_old = rows[i].lambda;
-            let unclamped = lambda_old + (rows[i].rhs - jv - rows[i].cfm * lambda_old) * inv_k[i];
-            let clamped = match rows[i].limit {
-                RowLimit::Bilateral => unclamped,
-                RowLimit::Unilateral => unclamped.max(0.0),
-                RowLimit::Friction { normal_row, mu } => {
-                    let bound = mu * rows[normal_row as usize].lambda.max(0.0);
-                    unclamped.clamp(-bound, bound)
+    #[cfg(not(target_arch = "x86_64"))]
+    let _ = packed;
+
+    // Packed iteration: four rows per step through the pre-transposed
+    // chunks, remainders per row. The consumption order is exactly the
+    // scalar loop's `order[start..end]` (chunks take the leading 4k rows
+    // of each batch in sequence), so even the `total_delta` f32
+    // accumulation order is shared.
+    #[cfg(target_arch = "x86_64")]
+    if packed && !vel.is_empty() {
+        let (chunks, batches) = build_chunks(rows, order, batch_ends);
+        for _ in 0..iterations {
+            let mut cstart = 0usize;
+            for b in &batches {
+                for c in &chunks[cstart..b.chunks_end as usize] {
+                    // SAFETY: SSE2 is part of the x86-64 baseline; the
+                    // chunk indices come from the schedule, so they are
+                    // in bounds and reference four distinct rows with
+                    // disjoint dynamic bodies.
+                    unsafe { project_chunk4::<V>(rows, c, vel, &mut stats) };
                 }
-            };
-            let dlambda = clamped - lambda_old;
-            if dlambda != 0.0 {
-                rows[i].lambda = clamped;
-                let row = rows[i].clone();
-                row.apply(vel, dlambda);
-                stats.total_delta += dlambda.abs();
+                cstart = b.chunks_end as usize;
+                for &i in &order[b.rem_start as usize..b.rem_end as usize] {
+                    project_row::<V>(rows, i as usize, vel, &mut stats);
+                }
             }
+        }
+        return stats;
+    }
+
+    for _ in 0..iterations {
+        let mut start = 0usize;
+        for &end in batch_ends {
+            for &i in &order[start..end as usize] {
+                project_row::<V>(rows, i as usize, vel, &mut stats);
+            }
+            start = end as usize;
         }
     }
     stats
@@ -268,7 +752,7 @@ pub fn build_contact_rows(
     vel: &[VelState],
     params: &RowParams,
     seeds: Option<&[[f32; 3]]>,
-    out: &mut Vec<ConstraintRow>,
+    out: &mut RowSoA,
 ) -> usize {
     let start = out.len();
     for (pi, cp) in manifold.points.iter().enumerate() {
@@ -331,25 +815,23 @@ pub fn build_contact_rows(
 
 /// Builds the constraint rows for a permanent joint.
 ///
-/// `joint_index` is recorded on each row for break accounting; transforms
-/// come from the current body poses. Returns the number of rows added.
+/// `joint_index` is recorded on each row for break accounting; `ta`/`tb`
+/// are the current body poses. Returns the number of rows added.
 #[allow(clippy::too_many_arguments)]
 pub fn build_joint_rows(
     joint: &Joint,
     joint_index: u32,
     la: u32,
     lb: u32,
-    body_a: &RigidBody,
-    body_b: &RigidBody,
+    ta: Transform,
+    tb: Transform,
     params: &RowParams,
-    out: &mut Vec<ConstraintRow>,
+    out: &mut RowSoA,
 ) -> usize {
     let start = out.len();
-    let ta = body_a.transform;
-    let tb = body_b.transform;
     let bias_k = params.erp / params.dt;
 
-    let point_rows = |anchor_a: Vec3, anchor_b: Vec3, out: &mut Vec<ConstraintRow>| {
+    let point_rows = |anchor_a: Vec3, anchor_b: Vec3, out: &mut RowSoA| {
         let wa = ta.apply(anchor_a);
         let wb = tb.apply(anchor_b);
         let ra = wa - ta.position;
@@ -368,7 +850,7 @@ pub fn build_joint_rows(
         }
     };
 
-    let angular_rows = |dirs: &[Vec3], err: Vec3, out: &mut Vec<ConstraintRow>| {
+    let angular_rows = |dirs: &[Vec3], err: Vec3, out: &mut RowSoA| {
         for &d in dirs {
             let mut row = ConstraintRow::new(la, lb);
             row.j_ang_a = d;
@@ -468,7 +950,7 @@ mod tests {
             depth: 0.0,
             feature: 0,
         });
-        let mut rows = Vec::new();
+        let mut rows = RowSoA::new();
         let params = RowParams::default();
         build_contact_rows(
             &m,
@@ -482,7 +964,7 @@ mod tests {
             &mut rows,
         );
         assert_eq!(rows.len(), 3);
-        solve(&mut rows, &mut vel, 20);
+        solve(&mut rows, &mut vel, 20, SimdMode::Scalar);
         assert!(vel[0].lin.y.abs() < 1e-3, "vy = {}", vel[0].lin.y);
     }
 
@@ -498,7 +980,7 @@ mod tests {
             depth: 0.0,
             feature: 0,
         });
-        let mut rows = Vec::new();
+        let mut rows = RowSoA::new();
         build_contact_rows(
             &m,
             0,
@@ -510,7 +992,7 @@ mod tests {
             None,
             &mut rows,
         );
-        solve(&mut rows, &mut vel, 20);
+        solve(&mut rows, &mut vel, 20, SimdMode::Scalar);
         assert!((vel[0].lin.y - 5.0).abs() < 1e-4);
     }
 
@@ -529,7 +1011,7 @@ mod tests {
             depth: 0.0,
             feature: 0,
         });
-        let mut rows = Vec::new();
+        let mut rows = RowSoA::new();
         build_contact_rows(
             &m,
             0,
@@ -541,7 +1023,7 @@ mod tests {
             None,
             &mut rows,
         );
-        solve(&mut rows, &mut vel, 50);
+        solve(&mut rows, &mut vel, 50, SimdMode::Scalar);
         // Normal velocity removed.
         assert!(vel[0].lin.y.abs() < 1e-3);
         // Tangential velocity reduced but not fully (mu too small to stop
@@ -562,7 +1044,7 @@ mod tests {
             depth: 0.0,
             feature: 0,
         });
-        let mut rows = Vec::new();
+        let mut rows = RowSoA::new();
         build_contact_rows(
             &m,
             0,
@@ -574,7 +1056,7 @@ mod tests {
             None,
             &mut rows,
         );
-        solve(&mut rows, &mut vel, 30);
+        solve(&mut rows, &mut vel, 30, SimdMode::Scalar);
         assert!(
             (vel[0].lin.y - 2.0).abs() < 0.1,
             "expected ~+2 m/s bounce, got {}",
@@ -592,8 +1074,9 @@ mod tests {
         let mut row = ConstraintRow::new(0, 1);
         row.j_lin_a = Vec3::UNIT_X;
         row.j_lin_b = -Vec3::UNIT_X;
-        let mut rows = vec![row];
-        solve(&mut rows, &mut vel, 30);
+        let mut rows = RowSoA::new();
+        rows.push(row);
+        solve(&mut rows, &mut vel, 30, SimdMode::Scalar);
         let rel = vel[0].lin.x - vel[1].lin.x;
         assert!(rel.abs() < 1e-4, "rel = {rel}");
         // Momentum conserved (equal masses): both should be ~0.
@@ -622,7 +1105,7 @@ mod tests {
         let params = RowParams::default();
 
         let mut vel = make_vel();
-        let mut rows = Vec::new();
+        let mut rows = RowSoA::new();
         build_contact_rows(
             &m,
             0,
@@ -634,12 +1117,12 @@ mod tests {
             None,
             &mut rows,
         );
-        let cold = solve(&mut rows, &mut vel, 20);
-        let learned = [rows[0].lambda, rows[1].lambda, rows[2].lambda];
+        let cold = solve(&mut rows, &mut vel, 20, SimdMode::Scalar);
+        let learned = [rows.lambda[0], rows.lambda[1], rows.lambda[2]];
         assert!(learned[0] > 0.0);
 
         let mut vel = make_vel();
-        let mut rows = Vec::new();
+        let mut rows = RowSoA::new();
         build_contact_rows(
             &m,
             0,
@@ -651,8 +1134,8 @@ mod tests {
             Some(&[learned]),
             &mut rows,
         );
-        assert_eq!(rows[0].lambda, learned[0], "seed must land on the row");
-        let warm = solve(&mut rows, &mut vel, 20);
+        assert_eq!(rows.lambda[0], learned[0], "seed must land on the row");
+        let warm = solve(&mut rows, &mut vel, 20, SimdMode::Scalar);
         assert!(
             vel[0].lin.y.abs() < 1e-3,
             "warm-started contact still approaching: vy = {}",
@@ -679,7 +1162,7 @@ mod tests {
             depth: 0.0,
             feature: 0,
         });
-        let mut rows = Vec::new();
+        let mut rows = RowSoA::new();
         build_contact_rows(
             &m,
             0,
@@ -691,11 +1174,11 @@ mod tests {
             Some(&[[2.0, 9.0, -9.0]]),
             &mut rows,
         );
-        assert_eq!(rows[0].lambda, 2.0);
-        assert_eq!(rows[1].lambda, 1.0, "t1 clamped to mu * normal");
-        assert_eq!(rows[2].lambda, -1.0, "t2 clamped to -mu * normal");
+        assert_eq!(rows.lambda[0], 2.0);
+        assert_eq!(rows.lambda[1], 1.0, "t1 clamped to mu * normal");
+        assert_eq!(rows.lambda[2], -1.0, "t2 clamped to -mu * normal");
         // A negative normal seed (separating last step) must not pull.
-        let mut rows = Vec::new();
+        let mut rows = RowSoA::new();
         build_contact_rows(
             &m,
             0,
@@ -707,8 +1190,8 @@ mod tests {
             Some(&[[-1.0, 0.5, 0.0]]),
             &mut rows,
         );
-        assert_eq!(rows[0].lambda, 0.0);
-        assert_eq!(rows[1].lambda, 0.0);
+        assert_eq!(rows.lambda[0], 0.0);
+        assert_eq!(rows.lambda[1], 0.0);
     }
 
     #[test]
@@ -722,7 +1205,7 @@ mod tests {
             depth: 0.0,
             feature: 0,
         });
-        let mut rows = Vec::new();
+        let mut rows = RowSoA::new();
         build_contact_rows(
             &m,
             0,
@@ -734,9 +1217,69 @@ mod tests {
             None,
             &mut rows,
         );
-        let stats = solve(&mut rows, &mut vel, 20);
+        let stats = solve(&mut rows, &mut vel, 20, SimdMode::Scalar);
         assert_eq!(stats.rows, 3);
         assert_eq!(stats.iterations, 20);
         assert!(stats.total_delta > 0.0);
+    }
+
+    /// The SSE2 within-row path must solve bit-identically to the scalar
+    /// four-lane path on a mixed contact + friction + bilateral system.
+    #[test]
+    fn simd_solve_matches_scalar_bitwise() {
+        let build = || {
+            let mut vel = vec![free_unit_body(), free_unit_body()];
+            vel[0].lin = Vec3::new(1.3, -2.0, 0.4);
+            vel[0].ang = Vec3::new(0.2, -0.1, 0.05);
+            vel[1].lin = Vec3::new(-0.7, 0.1, 0.0);
+            vel[1].inv_inertia = Mat3::from_rows(
+                Vec3::new(2.0, 0.1, 0.0),
+                Vec3::new(0.1, 1.5, 0.2),
+                Vec3::new(0.0, 0.2, 2.5),
+            );
+            let mut m = ContactManifold::new(GeomId(0), GeomId(1));
+            m.friction = 0.4;
+            m.restitution = 0.1;
+            m.push(ContactPoint {
+                position: Vec3::new(0.3, 0.0, -0.1),
+                normal: Vec3::new(0.0, 1.0, 0.0),
+                depth: 0.01,
+                feature: 0,
+            });
+            let mut rows = RowSoA::new();
+            build_contact_rows(
+                &m,
+                0,
+                1,
+                Vec3::new(0.3, 0.5, 0.0),
+                Vec3::new(0.3, -0.5, 0.0),
+                &vel,
+                &RowParams::default(),
+                Some(&[[0.5, 0.1, -0.05]]),
+                &mut rows,
+            );
+            let mut bi = ConstraintRow::new(0, 1);
+            bi.j_lin_a = Vec3::new(0.6, 0.8, 0.0);
+            bi.j_lin_b = Vec3::new(-0.6, -0.8, 0.0);
+            bi.j_ang_a = Vec3::new(0.0, 0.3, -0.4);
+            rows.push(bi);
+            (rows, vel)
+        };
+        let (mut rows_s, mut vel_s) = build();
+        let (mut rows_v, mut vel_v) = build();
+        solve(&mut rows_s, &mut vel_s, 25, SimdMode::Scalar);
+        solve(&mut rows_v, &mut vel_v, 25, SimdMode::Sse2);
+        let bits = |v: Vec3| [v.x.to_bits(), v.y.to_bits(), v.z.to_bits()];
+        for i in 0..vel_s.len() {
+            assert_eq!(bits(vel_s[i].lin), bits(vel_v[i].lin), "lin {i}");
+            assert_eq!(bits(vel_s[i].ang), bits(vel_v[i].ang), "ang {i}");
+        }
+        for i in 0..rows_s.len() {
+            assert_eq!(
+                rows_s.lambda[i].to_bits(),
+                rows_v.lambda[i].to_bits(),
+                "λ {i}"
+            );
+        }
     }
 }

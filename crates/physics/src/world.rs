@@ -9,9 +9,9 @@
 
 use std::collections::HashSet;
 
-use parallax_math::{Aabb, Transform, Vec3};
+use parallax_math::{Aabb, SimdMode, Transform, Vec3};
 
-use crate::body::{BodyDesc, BodyFlags, BodyId, RigidBody};
+use crate::body::{BodyDesc, BodyFlags, BodyId};
 use crate::cloth::{Cloth, ClothId};
 use crate::contact::ContactManifold;
 use crate::explosion::{BlastVolume, ExplosionConfig};
@@ -21,6 +21,7 @@ use crate::joint::{Joint, JointId, JointKind};
 use crate::pipeline::StepPipeline;
 use crate::probe::StepProfile;
 use crate::shape::{Geom, GeomId, Shape};
+use crate::store::{BodiesView, BodyMut, BodyRef, BodyStore};
 
 /// Global simulation parameters.
 ///
@@ -61,6 +62,10 @@ pub struct WorldConfig {
     /// impulses (the cross-step contact cache). On by default; turn off
     /// for ablation runs comparing cold-start convergence.
     pub warm_starting: bool,
+    /// Which SIMD kernel set the hot loops use. Defaults to
+    /// [`SimdMode::resolve`]: the widest ISA the CPU supports, overridable
+    /// with `PARALLAX_SIMD=0|sse2|avx2`. All modes are bit-identical.
+    pub simd: SimdMode,
 }
 
 impl Default for WorldConfig {
@@ -80,6 +85,7 @@ impl Default for WorldConfig {
             slider_spring_k: 35_000.0,
             slider_spring_c: 1_200.0,
             warm_starting: true,
+            simd: SimdMode::resolve(),
         }
     }
 }
@@ -101,7 +107,7 @@ pub enum BroadphaseKind {
 /// See the [crate docs](crate) for a complete example.
 pub struct World {
     pub(crate) config: WorldConfig,
-    pub(crate) bodies: Vec<RigidBody>,
+    pub(crate) bodies: BodyStore,
     pub(crate) geoms: Vec<Geom>,
     /// Geoms attached to each body (parallel to `bodies`).
     pub(crate) body_geoms: Vec<Vec<GeomId>>,
@@ -137,7 +143,7 @@ impl World {
         let pipeline = StepPipeline::new(config.threads, config.broadphase);
         World {
             config,
-            bodies: Vec::new(),
+            bodies: BodyStore::default(),
             geoms: Vec::new(),
             body_geoms: Vec::new(),
             joints: Vec::new(),
@@ -200,10 +206,9 @@ impl World {
 
     /// Adds a body described by `desc`, creating its geoms.
     pub fn add_body(&mut self, desc: BodyDesc) -> BodyId {
-        let id = BodyId(self.bodies.len() as u32);
-        let body = desc.build();
-        let body_transform = body.transform();
-        self.bodies.push(body);
+        let idx = self.bodies.push(&desc);
+        let id = BodyId(idx as u32);
+        let body_transform = self.bodies.transform(idx);
         self.body_geoms.push(Vec::new());
         for (shape, local) in &desc.shapes {
             let gid = GeomId(self.geoms.len() as u32);
@@ -263,7 +268,9 @@ impl World {
     /// Marks a body explosive: on its first contact it is replaced by a
     /// blast sphere.
     pub fn make_explosive(&mut self, body: BodyId, cfg: ExplosionConfig) {
-        self.bodies[body.index()].flags.insert(BodyFlags::EXPLOSIVE);
+        self.bodies
+            .flags_mut(body.index())
+            .insert(BodyFlags::EXPLOSIVE);
         self.explosive_cfg.push((body.0, cfg));
     }
 
@@ -321,20 +328,20 @@ impl World {
     ///
     /// Panics if `id` is out of range.
     #[inline]
-    pub fn body(&self, id: BodyId) -> &RigidBody {
-        &self.bodies[id.index()]
+    pub fn body(&self, id: BodyId) -> BodyRef<'_> {
+        self.bodies.body(id.index())
     }
 
     /// Mutable access to a body.
     #[inline]
-    pub fn body_mut(&mut self, id: BodyId) -> &mut RigidBody {
-        &mut self.bodies[id.index()]
+    pub fn body_mut(&mut self, id: BodyId) -> BodyMut<'_> {
+        BodyMut::new(&mut self.bodies, id.index())
     }
 
-    /// All bodies.
+    /// A view over all bodies.
     #[inline]
-    pub fn bodies(&self) -> &[RigidBody] {
-        &self.bodies
+    pub fn bodies(&self) -> BodiesView<'_> {
+        BodiesView::new(&self.bodies)
     }
 
     /// All geoms.
@@ -381,11 +388,11 @@ impl World {
 
     /// Enables or disables a body and its geoms.
     pub fn set_body_enabled(&mut self, id: BodyId, enabled: bool) {
-        let b = &mut self.bodies[id.index()];
+        let flags = self.bodies.flags_mut(id.index());
         if enabled {
-            b.flags.remove(BodyFlags::DISABLED);
+            flags.remove(BodyFlags::DISABLED);
         } else {
-            b.flags.insert(BodyFlags::DISABLED);
+            flags.insert(BodyFlags::DISABLED);
         }
         for g in &self.body_geoms[id.index()] {
             self.geoms[g.index()].enabled = enabled;
@@ -394,9 +401,8 @@ impl World {
 
     /// Count of enabled, dynamic bodies.
     pub fn enabled_dynamic_bodies(&self) -> usize {
-        self.bodies
-            .iter()
-            .filter(|b| !b.is_static() && !b.is_disabled())
+        (0..self.bodies.len())
+            .filter(|&i| self.bodies.is_movable(i))
             .count()
     }
 
@@ -431,15 +437,15 @@ impl World {
             }
             if let JointKind::Slider { axis_a, anchor_a } = j.kind {
                 let (ia, ib) = (j.body_a.index(), j.body_b.index());
-                let axis = self.bodies[ia].transform().apply_vector(axis_a);
-                let anchor_world = self.bodies[ia].transform().apply(anchor_a);
-                let displacement = (self.bodies[ib].position() - anchor_world).dot(axis);
-                let rel_vel = (self.bodies[ib].linear_velocity()
-                    - self.bodies[ia].linear_velocity())
-                .dot(axis);
+                let ta = self.bodies.transform(ia);
+                let axis = ta.apply_vector(axis_a);
+                let anchor_world = ta.apply(anchor_a);
+                let displacement = (self.bodies.position(ib) - anchor_world).dot(axis);
+                let rel_vel =
+                    (self.bodies.linear_velocity(ib) - self.bodies.linear_velocity(ia)).dot(axis);
                 let f = axis * (-k * displacement - c * rel_vel);
-                self.bodies[ib].add_force(f);
-                self.bodies[ia].add_force(-f);
+                self.bodies.add_force(ib, f);
+                self.bodies.add_force(ia, -f);
             }
         }
     }
@@ -462,11 +468,13 @@ impl World {
             ));
         }
         for bi in 0..self.bodies.len() {
-            let b = &self.bodies[bi];
-            if b.is_static() || b.is_disabled() || b.flags().contains(BodyFlags::BLAST_VOLUME) {
+            if self.bodies.is_static(bi)
+                || self.bodies.is_disabled(bi)
+                || self.bodies.flags(bi).contains(BodyFlags::BLAST_VOLUME)
+            {
                 continue;
             }
-            let pos = b.position();
+            let pos = self.bodies.position(bi);
             if !bounds.contains_point(pos) {
                 continue;
             }
@@ -475,19 +483,20 @@ impl World {
                 total += blast.impulse_at(pos);
             }
             if total != Vec3::ZERO {
-                self.bodies[bi].apply_impulse_at(total, pos);
+                self.bodies.apply_impulse_at(bi, total, pos);
             }
         }
     }
 
     pub(crate) fn refresh_aabbs_into(&mut self, out: &mut Vec<(GeomId, Aabb)>) {
         out.clear();
+        let bodies = &self.bodies;
         for (i, g) in self.geoms.iter_mut().enumerate() {
             if !g.enabled {
                 continue;
             }
             let world_t = match g.body {
-                Some(b) => self.bodies[b.index()].transform().compose(&g.local),
+                Some(b) => bodies.transform(b.index()).compose(&g.local),
                 None => g.local,
             };
             g.aabb = g.shape.aabb(&world_t);
@@ -517,12 +526,12 @@ impl World {
             }
             let body_disabled = |g: &Geom| {
                 g.body
-                    .map(|id| self.bodies[id.index()].is_disabled())
+                    .map(|id| self.bodies.is_disabled(id.index()))
                     .unwrap_or(false)
             };
             let body_static = |g: &Geom| {
                 g.body
-                    .map(|id| self.bodies[id.index()].is_static())
+                    .map(|id| self.bodies.is_static(id.index()))
                     .unwrap_or(true)
             };
             if let (Some(ba), Some(bb)) = (ga.body, gb.body) {
@@ -542,7 +551,7 @@ impl World {
 
     pub(crate) fn geom_world_transform(&self, g: &Geom) -> Transform {
         match g.body {
-            Some(b) => self.bodies[b.index()].transform().compose(&g.local),
+            Some(b) => self.bodies.transform(b.index()).compose(&g.local),
             None => g.local,
         }
     }
@@ -560,25 +569,23 @@ impl World {
             let bb = self.geoms[m.geom_b.index()].body;
             for (this, other) in [(ba, bb), (bb, ba)] {
                 let Some(this) = this else { continue };
-                let body = &self.bodies[this.index()];
+                let flags = self.bodies.flags(this.index());
+                let disabled = self.bodies.is_disabled(this.index());
                 let other_is_blast = other
                     .map(|o| {
-                        self.bodies[o.index()]
-                            .flags()
+                        self.bodies
+                            .flags(o.index())
                             .contains(BodyFlags::BLAST_VOLUME)
                     })
                     .unwrap_or(false);
-                if body.flags().contains(BodyFlags::EXPLOSIVE)
-                    && !body.is_disabled()
+                if flags.contains(BodyFlags::EXPLOSIVE)
+                    && !disabled
                     && !other_is_blast
                     && !to_explode.contains(&this.0)
                 {
                     to_explode.push(this.0);
                 }
-                if body.flags().contains(BodyFlags::PREFRACTURED)
-                    && !body.is_disabled()
-                    && other_is_blast
-                {
+                if flags.contains(BodyFlags::PREFRACTURED) && !disabled && other_is_blast {
                     if let Some(pi) = self
                         .prefractured
                         .iter()
@@ -610,7 +617,7 @@ impl World {
             .find(|(b, _)| *b == body.0)
             .map(|(_, c)| *c)
             .unwrap_or_default();
-        let center = self.bodies[body.index()].position();
+        let center = self.bodies.position(body.index());
         self.set_body_enabled(body, false);
         // Blast sphere body: static, flagged, participates in CD so
         // pre-fractured objects can detect it.
@@ -640,20 +647,21 @@ impl World {
                 p.scatter_speed,
             )
         };
-        let parent_body = self.bodies[parent.index()].clone();
-        let parent_vel = parent_body.linear_velocity();
-        let center = parent_body.position();
+        let parent_t = self.bodies.transform(parent.index());
+        let parent_vel = self.bodies.linear_velocity(parent.index());
+        let center = parent_t.position;
         self.set_body_enabled(parent, false);
         for (d, off) in debris.into_iter().zip(offsets) {
             self.set_body_enabled(d, true);
             // Re-pose the piece on the parent's current transform.
-            let pos = parent_body.transform().apply(off);
+            let pos = parent_t.apply(off);
             let dir = (pos - center).normalized();
-            let b = &mut self.bodies[d.index()];
-            b.transform.position = pos;
-            b.transform.rotation = parent_body.rotation();
-            b.refresh_inertia();
-            b.set_linear_velocity(parent_vel + dir * scatter);
+            let i = d.index();
+            self.bodies.set_position(i, pos);
+            self.bodies.set_rotation(i, parent_t.rotation);
+            self.bodies.refresh_inertia(i);
+            self.bodies
+                .set_linear_velocity(i, parent_vel + dir * scatter);
         }
     }
 
@@ -668,8 +676,12 @@ impl World {
                 }
                 match g.body {
                     Some(b) => {
-                        let body = &self.bodies[b.index()];
-                        if body.is_disabled() || body.flags().contains(BodyFlags::BLAST_VOLUME) {
+                        if self.bodies.is_disabled(b.index())
+                            || self
+                                .bodies
+                                .flags(b.index())
+                                .contains(BodyFlags::BLAST_VOLUME)
+                        {
                             continue;
                         }
                         if !cloth.contact_bodies.contains(&b.0) {
@@ -691,8 +703,12 @@ impl World {
                 return true;
             }
             if let Some(b) = g.body {
-                let body = &self.bodies[b.index()];
-                if body.is_disabled() || body.flags().contains(BodyFlags::BLAST_VOLUME) {
+                if self.bodies.is_disabled(b.index())
+                    || self
+                        .bodies
+                        .flags(b.index())
+                        .contains(BodyFlags::BLAST_VOLUME)
+                {
                     return true;
                 }
             }
@@ -711,9 +727,9 @@ impl World {
             if j.is_broken() {
                 continue;
             }
-            let ba = &self.bodies[j.body_a.index()];
-            let bb = &self.bodies[j.body_b.index()];
-            if ba.is_disabled() || bb.is_disabled() {
+            if self.bodies.is_disabled(j.body_a.index())
+                || self.bodies.is_disabled(j.body_b.index())
+            {
                 continue;
             }
             edges.push(ConstraintEdge {
@@ -771,7 +787,9 @@ impl World {
                 true
             } else {
                 expired += 1;
-                bodies[blast.body.index()].flags.insert(BodyFlags::DISABLED);
+                bodies
+                    .flags_mut(blast.body.index())
+                    .insert(BodyFlags::DISABLED);
                 for g in &body_geoms[blast.body.index()] {
                     geoms[g.index()].enabled = false;
                 }

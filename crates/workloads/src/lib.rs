@@ -32,7 +32,7 @@ pub mod entities;
 pub mod scenes;
 pub mod stats;
 
-use parallax_physics::{World, WorldConfig};
+use parallax_physics::{SimdMode, World, WorldConfig};
 use serde::{Deserialize, Serialize};
 
 pub use stats::{measure, BenchStats};
@@ -126,6 +126,8 @@ pub struct SceneParams {
     pub threads: usize,
     /// Warm-start the solver from the previous step's contact impulses.
     pub warm_starting: bool,
+    /// SIMD kernel width for the engine's vectorized sweeps.
+    pub simd: SimdMode,
 }
 
 impl Default for SceneParams {
@@ -135,6 +137,7 @@ impl Default for SceneParams {
             seed: 0x7A11AC5,
             threads: 1,
             warm_starting: true,
+            simd: SimdMode::resolve(),
         }
     }
 }
@@ -151,6 +154,7 @@ impl SceneParams {
         WorldConfig {
             threads: self.threads,
             warm_starting: self.warm_starting,
+            simd: self.simd,
             ..WorldConfig::default()
         }
     }

@@ -13,6 +13,20 @@ cargo clippy --workspace --offline --all-targets -- -D warnings
 # The suite honours PARALLAX_WARM_START=0|off.
 PARALLAX_WARM_START=0 cargo test -q --offline --test determinism
 
+# ... and on both kernel paths: forced-scalar and the widest SIMD the
+# host supports. The kernels are bit-identical by construction (one
+# width-generic implementation; see DESIGN.md §10) and the equivalence
+# proptests assert it, but run the full determinism suite under both
+# settings so the end-to-end pipeline is covered too.
+PARALLAX_SIMD=0 cargo test -q --offline --test determinism
+PARALLAX_SIMD=1 cargo test -q --offline --test determinism
+cargo test -q --offline --test simd_equivalence
+
+# Hot-kernel microbench smoke (integrator sweep, PGS rows, cloth
+# relaxation at each SIMD width) — quick shapes, just proves the bench
+# harness and every dispatch path still run.
+PARALLAX_BENCH_QUICK=1 cargo bench --offline -p parallax-bench --bench kernels
+
 # Telemetry smoke: record 10 Mix steps through the JSONL sink, then
 # validate the stream (parses, all five phases present, nonzero walls)
 # and the Chrome-trace conversion. `--check-phases` exits nonzero on

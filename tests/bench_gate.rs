@@ -10,6 +10,7 @@
 use std::time::Duration;
 
 use parallax_bench::harness::{compare_baselines, record, Baseline, GateConfig};
+use parallax_math::SimdMode;
 use parallax_physics::{set_injected_phase_delay, InvariantMonitor, PhaseKind};
 use parallax_workloads::{BenchmarkId, SceneParams};
 
@@ -22,6 +23,7 @@ fn tiny_gate() -> GateConfig {
         // The CI smoke threshold: only a gross slowdown may trip.
         threshold: 1.0,
         warm_starting: true,
+        simd: SimdMode::Scalar,
         // Two scenes whose broad-phase is tens of microseconds at this
         // scale, so the injected delay is a huge *relative* change.
         scenes: vec![BenchmarkId::Periodic, BenchmarkId::Ragdoll],
@@ -42,9 +44,10 @@ fn gate_passes_identical_build_and_fails_slowed_build() {
     // Identical build: a fresh recording of the same binary must pass.
     let fresh = record(&cfg);
     let rows = compare_baselines(&parsed, &fresh, cfg.threshold);
+    // Five pipeline phases plus the per-scene "step total" row.
     assert_eq!(
         rows.len(),
-        cfg.scenes.len() * 5,
+        cfg.scenes.len() * 6,
         "every scene x phase compared"
     );
     let false_alarms: Vec<_> = rows.iter().filter(|r| r.is_regression()).collect();

@@ -12,9 +12,14 @@
 //! starting on (the default) or off. `scripts/verify.sh` runs this suite
 //! both ways; set `PARALLAX_WARM_START=0` (or `off`) to cover the cold
 //! path.
+//!
+//! The same contract extends to the SIMD kernels: every `SimdMode` must
+//! produce bit-identical runs, at every thread count. `verify.sh` runs
+//! the suite under `PARALLAX_SIMD=0` and `=1` as well, and the grid test
+//! below pins the cross-product explicitly.
 
 use parallax_math::Vec3;
-use parallax_physics::{BodyDesc, Shape, World, WorldConfig};
+use parallax_physics::{BodyDesc, Shape, SimdMode, World, WorldConfig};
 use parallax_trace::StepTrace;
 use parallax_workloads::{BenchmarkId, SceneParams};
 
@@ -151,6 +156,32 @@ fn mix_scene_is_bit_identical_across_thread_counts() {
     let baseline = record_mix(1);
     for threads in [2, 8] {
         assert_eq!(record_mix(threads), baseline, "threads = {threads}");
+    }
+}
+
+#[test]
+fn simulation_is_bit_identical_across_simd_modes_and_threads() {
+    // The full {scalar, sse2, avx2} × {1, 2, 8} grid must agree with the
+    // serial scalar run bit-for-bit — SIMD lanes and the executor width
+    // are both pure implementation details of the same trajectory.
+    let run = |threads: usize, simd: SimdMode| {
+        let mut w = build_dense_world(threads);
+        w.config_mut().simd = simd;
+        record(&mut w, STEPS)
+    };
+    let baseline = run(1, SimdMode::Scalar);
+    for simd in [SimdMode::Scalar, SimdMode::Sse2, SimdMode::Avx2] {
+        if simd.clamp_to_supported() != simd {
+            continue; // CPU cannot execute this width.
+        }
+        for threads in [1, 2, 8] {
+            let r = run(threads, simd);
+            assert!(
+                r == baseline,
+                "threads = {threads}, simd = {} diverged from the scalar serial run",
+                simd.name()
+            );
+        }
     }
 }
 
