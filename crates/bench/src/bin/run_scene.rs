@@ -10,9 +10,16 @@
 //! Render the output with `telemetry_report out.jsonl` or convert it to
 //! a Perfetto-loadable Chrome trace with
 //! `telemetry_report out.jsonl --chrome trace.json`.
+//!
+//! With `--serve <addr>` the live telemetry plane (`parallax-observe`)
+//! is attached: `/metrics`, `/trace`, `/steps` and `/health` answer
+//! while the scene steps. `--serve` implies `--monitor` (so `/health`
+//! has a verdict), and `--steps 0` then means "step until killed" — the
+//! long-running mode `scripts/verify.sh` and manual `curl` poking use.
 
 use parallax_bench::{
-    benchmark_by_name, scene_names, telemetry_baseline, telemetry_sink, write_step_record,
+    benchmark_by_name, build_step_record, scene_names, sink_step_record, telemetry_baseline,
+    telemetry_sink,
 };
 use parallax_physics::InvariantMonitor;
 use parallax_workloads::{BenchmarkId, SceneParams};
@@ -24,6 +31,7 @@ struct Args {
     threads: usize,
     monitor: bool,
     warm_starting: bool,
+    serve: Option<String>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -34,6 +42,7 @@ fn parse_args() -> Result<Args, String> {
         threads: 1,
         monitor: false,
         warm_starting: true,
+        serve: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -61,6 +70,10 @@ fn parse_args() -> Result<Args, String> {
                     .map_err(|e| format!("--threads: {e}"))?;
             }
             "--monitor" => args.monitor = true,
+            "--serve" => {
+                args.serve = Some(value_of("--serve")?);
+                args.monitor = true; // /health needs the invariant verdict
+            }
             "--no-warm-start" => args.warm_starting = false,
             // Consumed by the shared sink bootstrap in parallax-bench.
             "--telemetry" => {
@@ -80,7 +93,8 @@ fn main() {
             eprintln!("error: {e}");
             eprintln!(
                 "usage: run_scene [--scene NAME] [--steps N] [--scale F] \
-                 [--threads N] [--monitor] [--no-warm-start] [--telemetry PATH]"
+                 [--threads N] [--monitor] [--no-warm-start] [--telemetry PATH] \
+                 [--serve ADDR]"
             );
             std::process::exit(2);
         }
@@ -97,26 +111,54 @@ fn main() {
         ..SceneParams::default()
     });
 
+    let observe = args.serve.as_deref().map(|addr| {
+        match parallax_observe::serve(addr) {
+            Ok(obs) => {
+                // The bound address line is machine-read (verify.sh
+                // resolves the ephemeral port from it) — keep the shape.
+                println!("serving telemetry on http://{}/metrics", obs.addr());
+                use std::io::Write as _;
+                std::io::stdout().flush().ok();
+                obs
+            }
+            Err(e) => {
+                eprintln!("error: cannot serve on {addr}: {e}");
+                std::process::exit(1);
+            }
+        }
+    });
+    // With a live exporter, --steps 0 means "step until killed".
+    let forever = observe.is_some() && args.steps == 0;
+
     let mut baseline = telemetry_baseline();
     let mut monitor = args.monitor.then(InvariantMonitor::default);
     let mut last = None;
-    for step in 0..args.steps {
+    let mut steps_run: u64 = 0;
+    while forever || steps_run < args.steps {
+        let step = steps_run;
         let profile = scene.step();
         if let Some(mon) = &mut monitor {
             for v in mon.check_step(&scene.world, &profile) {
                 eprintln!("violation at step {step}: {v}");
             }
         }
-        if recording {
-            write_step_record(
+        if recording || observe.is_some() {
+            let record = build_step_record(
                 "physics",
                 args.scene.name(),
                 step,
                 Some(&profile),
                 &mut baseline,
             );
+            if let Some(obs) = &observe {
+                obs.record_step(record.clone());
+            }
+            if recording {
+                sink_step_record(&record);
+            }
         }
         last = Some(profile);
+        steps_run += 1;
     }
 
     let Some(profile) = last else {
@@ -127,7 +169,7 @@ fn main() {
     println!(
         "{}: {} steps, {} bodies, {} geoms, last step {:.3} ms{}",
         args.scene.name(),
-        args.steps,
+        steps_run,
         profile.body_count,
         profile.geom_count,
         total * 1e3,

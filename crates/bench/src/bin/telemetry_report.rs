@@ -7,6 +7,7 @@
 //! telemetry_report out.jsonl                  # text report
 //! telemetry_report out.jsonl --chrome t.json  # + Perfetto/chrome trace
 //! telemetry_report out.jsonl --check-phases   # smoke-test validation
+//! telemetry_report out.jsonl --critical-path  # Amdahl attribution table
 //! ```
 //!
 //! `--check-phases` exits nonzero unless every physics step record
@@ -14,7 +15,7 @@
 //! smoke test in `scripts/verify.sh` relies on this.
 
 use parallax_physics::PhaseKind;
-use parallax_telemetry::{chrome_trace, read_jsonl, report, StepRecord};
+use parallax_telemetry::{chrome_trace, read_jsonl, render_critical_path, report, StepRecord};
 
 fn check_phases(records: &[StepRecord]) -> Result<(), String> {
     let physics: Vec<&StepRecord> = records.iter().filter(|r| r.source == "physics").collect();
@@ -51,6 +52,7 @@ fn main() {
     let mut input = None;
     let mut chrome_out = None;
     let mut check = false;
+    let mut critical_path = false;
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -62,16 +64,23 @@ fn main() {
                 }
             },
             "--check-phases" => check = true,
+            "--critical-path" => critical_path = true,
             other if other.starts_with("--") => {
                 eprintln!("error: unknown flag {other:?}");
-                eprintln!("usage: telemetry_report <file.jsonl> [--chrome OUT] [--check-phases]");
+                eprintln!(
+                    "usage: telemetry_report <file.jsonl> [--chrome OUT] [--check-phases] \
+                     [--critical-path]"
+                );
                 std::process::exit(2);
             }
             other => input = Some(other.to_string()),
         }
     }
     let Some(input) = input else {
-        eprintln!("usage: telemetry_report <file.jsonl> [--chrome OUT] [--check-phases]");
+        eprintln!(
+            "usage: telemetry_report <file.jsonl> [--chrome OUT] [--check-phases] \
+             [--critical-path]"
+        );
         std::process::exit(2);
     };
 
@@ -100,6 +109,10 @@ fn main() {
     }
 
     print!("{}", report::render(&records));
+
+    if critical_path {
+        print!("\n{}", render_critical_path(&records));
+    }
 
     if let Some(path) = chrome_out {
         let trace = chrome_trace(&records);

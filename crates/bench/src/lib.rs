@@ -131,19 +131,17 @@ fn telemetry_path(args: impl Iterator<Item = String>) -> Option<String> {
     std::env::var("PARALLAX_TELEMETRY").ok()
 }
 
-/// Writes one step's telemetry to the active sink (no-op without one):
-/// the per-phase wall times from `profile`, the registry delta since
-/// `baseline` (which is advanced to now), and the drained spans.
-pub fn write_step_record(
+/// Builds one step's [`StepRecord`]: the per-phase wall times from
+/// `profile`, the registry delta since `baseline` (which is advanced to
+/// now), and the drained spans. Shared by the JSONL sink path and the
+/// live exporter (`parallax-observe`) — both see the same record.
+pub fn build_step_record(
     source: &str,
     scene: &str,
     step: u64,
     profile: Option<&StepProfile>,
     baseline: &mut Snapshot,
-) {
-    let Some(sink) = telemetry_sink() else {
-        return;
-    };
+) -> StepRecord {
     publish_spans_dropped();
     let now = parallax_telemetry::snapshot();
     let metrics = now.delta_since(baseline);
@@ -156,18 +154,41 @@ pub fn write_step_record(
             .map(|ph| (ph.name().to_string(), p.wall_time(*ph).as_nanos() as u64))
             .collect()
     });
-    let record = StepRecord {
+    StepRecord {
         source: source.to_string(),
         scene: scene.to_string(),
         step,
         wall_ns,
         metrics,
         spans,
+    }
+}
+
+/// Appends an already-built record to the active sink (no-op without
+/// one).
+pub fn sink_step_record(record: &StepRecord) {
+    let Some(sink) = telemetry_sink() else {
+        return;
     };
     let mut sink = sink.lock().expect("telemetry sink lock");
-    if let Err(e) = sink.write(&record).and_then(|()| sink.flush()) {
+    if let Err(e) = sink.write(record).and_then(|()| sink.flush()) {
         eprintln!("warning: telemetry write failed: {e}");
     }
+}
+
+/// Writes one step's telemetry to the active sink (no-op without one):
+/// [`build_step_record`] + [`sink_step_record`].
+pub fn write_step_record(
+    source: &str,
+    scene: &str,
+    step: u64,
+    profile: Option<&StepProfile>,
+    baseline: &mut Snapshot,
+) {
+    if telemetry_sink().is_none() {
+        return;
+    }
+    sink_step_record(&build_step_record(source, scene, step, profile, baseline));
 }
 
 /// Mirrors the process's cumulative dropped-span count into the

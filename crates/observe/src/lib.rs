@@ -1,0 +1,258 @@
+//! The live telemetry plane: an in-process HTTP exporter for a running
+//! simulation.
+//!
+//! `parallax-telemetry` gives every layer cheap recording and post-hoc
+//! files; this crate is the *live* surface the ROADMAP's multi-world
+//! server will scrape. [`serve`] binds a loopback address and answers:
+//!
+//! | endpoint | payload |
+//! |---|---|
+//! | `GET /metrics` | Prometheus text v0.0.4: every registry counter, gauge and log2 histogram (cumulative `_bucket`/`_sum`/`_count` plus `_p50`/`_p95`/`_p99` gauges) |
+//! | `GET /trace?steps=N` | Chrome `trace_event` JSON of the last `N` retained steps (loads in Perfetto) |
+//! | `GET /steps?n=N` | JSONL tail of the last `N` retained [`StepRecord`]s |
+//! | `GET /health` | JSON verdict: invariant-monitor counters, spans dropped, steps observed |
+//!
+//! The driver calls [`Observe::record_step`] once per step with the
+//! step's [`StepRecord`]; the handle retains the last [`RING_STEPS`]
+//! records in a ring, publishes per-phase wall gauges
+//! (`physics.phase_wall_ns.<phase>`) and the critical-path attribution
+//! gauges (`telemetry.attribution.*`), and the exporter thread serves
+//! scrapes without ever touching the simulation thread — `/metrics`
+//! reads the lock-free registry, the ring is a mutex held for a push or
+//! a clone of at most [`RING_STEPS`] records.
+//!
+//! Everything is hand-rolled on `std`: no tokio, no hyper, no serde-json
+//! (the workspace builds with no registry access).
+
+use std::collections::VecDeque;
+use std::io;
+use std::net::{SocketAddr, ToSocketAddrs};
+use std::sync::{Arc, Mutex};
+
+use parallax_telemetry as telemetry;
+use telemetry::json::write_str;
+use telemetry::net::{HttpServer, Request, Response};
+use telemetry::report::{CHECKED_STEPS_COUNTER, SPANS_DROPPED_GAUGE, VIOLATION_PREFIX};
+use telemetry::StepRecord;
+
+/// Steps retained for `/trace` and `/steps` (a ring; older steps fall
+/// off). At Mix's ~130 steps/s this is ~4 s of history — enough for a
+/// Perfetto look at "what just happened" without unbounded memory.
+pub const RING_STEPS: usize = 512;
+
+/// Registry gauge-name prefix for the per-phase wall gauges published by
+/// [`Observe::record_step`] (`physics.phase_wall_ns.Broadphase` →
+/// `physics_phase_wall_ns_broadphase` on `/metrics`).
+pub const PHASE_WALL_PREFIX: &str = "physics.phase_wall_ns.";
+
+struct State {
+    ring: Mutex<VecDeque<StepRecord>>,
+}
+
+/// Handle to a live exporter. Dropping it stops the server thread.
+pub struct Observe {
+    state: Arc<State>,
+    server: HttpServer,
+}
+
+/// Binds `addr` (port 0 for ephemeral) and starts serving the telemetry
+/// plane on a background thread.
+pub fn serve(addr: impl ToSocketAddrs) -> io::Result<Observe> {
+    let state = Arc::new(State {
+        ring: Mutex::new(VecDeque::with_capacity(RING_STEPS)),
+    });
+    let routes = Arc::clone(&state);
+    let server = HttpServer::serve(addr, move |req| route(&routes, req))?;
+    Ok(Observe { state, server })
+}
+
+impl Observe {
+    /// The bound address (resolves an ephemeral port).
+    pub fn addr(&self) -> SocketAddr {
+        self.server.addr()
+    }
+
+    /// Feeds one completed step into the plane: retains the record,
+    /// publishes the per-phase wall gauges and the critical-path
+    /// attribution gauges. Call from the stepping thread, once per step,
+    /// after spans are drained into the record.
+    pub fn record_step(&self, record: StepRecord) {
+        for (phase, ns) in &record.wall_ns {
+            telemetry::gauge(&format!("{PHASE_WALL_PREFIX}{phase}")).set_always(*ns);
+        }
+        telemetry::attribute_step(&record).publish_gauges();
+        let mut ring = self.state.ring.lock().expect("step ring");
+        if ring.len() == RING_STEPS {
+            ring.pop_front();
+        }
+        ring.push_back(record);
+    }
+
+    /// Steps currently retained.
+    pub fn steps_retained(&self) -> usize {
+        self.state.ring.lock().expect("step ring").len()
+    }
+}
+
+impl std::fmt::Debug for Observe {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Observe")
+            .field("addr", &self.addr())
+            .field("steps", &self.steps_retained())
+            .finish()
+    }
+}
+
+fn route(state: &State, req: &Request) -> Response {
+    match req.path.as_str() {
+        "/metrics" => Response::ok(
+            "text/plain; version=0.0.4; charset=utf-8",
+            telemetry::prometheus_text(&telemetry::snapshot()),
+        ),
+        "/trace" => {
+            let tail = tail_records(state, req.query_u64("steps").unwrap_or(64) as usize);
+            Response::ok("application/json", telemetry::chrome_trace(&tail))
+        }
+        "/steps" => {
+            let tail = tail_records(state, req.query_u64("n").unwrap_or(32) as usize);
+            let mut body = String::new();
+            for r in &tail {
+                body.push_str(&r.to_json_line());
+                body.push('\n');
+            }
+            Response::ok("application/x-ndjson", body)
+        }
+        "/health" => Response::ok("application/json", health_json(state)),
+        p => Response::not_found(p),
+    }
+}
+
+fn tail_records(state: &State, n: usize) -> Vec<StepRecord> {
+    let ring = state.ring.lock().expect("step ring");
+    ring.iter()
+        .skip(ring.len().saturating_sub(n))
+        .cloned()
+        .collect()
+}
+
+/// The `/health` verdict, computed from the live registry: `"ok"` when
+/// the invariant monitors have recorded no violations, `"degraded"`
+/// otherwise. Dropped spans are reported but do not degrade the status
+/// (the trace is incomplete; the simulation is not wrong).
+fn health_json(state: &State) -> String {
+    use std::fmt::Write as _;
+
+    let snap = telemetry::snapshot();
+    let violations: Vec<(&str, u64)> = snap
+        .counters_with_prefix(VIOLATION_PREFIX)
+        .map(|(n, v)| (n.strip_prefix(VIOLATION_PREFIX).unwrap_or(n), v))
+        .collect();
+    let status = if violations.is_empty() {
+        "ok"
+    } else {
+        "degraded"
+    };
+    let mut out = String::with_capacity(256);
+    let _ = write!(
+        out,
+        "{{\"status\":\"{status}\",\"checked_steps\":{},\"spans_dropped\":{},\"steps_retained\":{},\"violations\":{{",
+        snap.counter(CHECKED_STEPS_COUNTER),
+        snap.gauge(SPANS_DROPPED_GAUGE),
+        state.ring.lock().expect("step ring").len()
+    );
+    for (i, (kind, v)) in violations.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        write_str(&mut out, kind);
+        let _ = write!(out, ":{v}");
+    }
+    out.push_str("}}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use telemetry::http_get;
+    use telemetry::json::Json;
+    use telemetry::span::SpanRecord;
+
+    fn record(step: u64) -> StepRecord {
+        StepRecord {
+            source: "physics".into(),
+            scene: "unit".into(),
+            step,
+            wall_ns: vec![("Broadphase".into(), 1000), ("Narrowphase".into(), 3000)],
+            metrics: Default::default(),
+            spans: vec![SpanRecord {
+                name: "Narrowphase region".into(),
+                track: 0,
+                start_ns: step * 4000 + 1000,
+                dur_ns: 2500,
+            }],
+        }
+    }
+
+    #[test]
+    fn endpoints_serve_ring_and_health() {
+        let obs = serve("127.0.0.1:0").expect("bind");
+        for step in 0..5 {
+            obs.record_step(record(step));
+        }
+        assert_eq!(obs.steps_retained(), 5);
+        let addr = obs.addr();
+
+        let (status, body) = http_get(addr, "/steps?n=2").unwrap();
+        assert_eq!(status, 200);
+        assert_eq!(body.lines().count(), 2, "{body}");
+        let last = StepRecord::from_json_line(body.lines().last().unwrap()).unwrap();
+        assert_eq!(last.step, 4);
+
+        let (status, trace) = http_get(addr, "/trace?steps=1").unwrap();
+        assert_eq!(status, 200);
+        let events = Json::parse(&trace).unwrap();
+        assert!(events.get("traceEvents").is_some(), "{trace}");
+
+        let (status, health) = http_get(addr, "/health").unwrap();
+        assert_eq!(status, 200);
+        let h = Json::parse(&health).unwrap();
+        assert_eq!(h.get("status").and_then(|s| s.as_str()), Some("ok"));
+        assert_eq!(h.get("steps_retained").and_then(|v| v.as_u64()), Some(5));
+
+        let (status, _) = http_get(addr, "/nope").unwrap();
+        assert_eq!(status, 404);
+    }
+
+    #[test]
+    fn record_step_publishes_wall_and_attribution_gauges() {
+        let obs = serve("127.0.0.1:0").expect("bind");
+        obs.record_step(record(0));
+        let snap = telemetry::snapshot();
+        assert_eq!(snap.gauge("physics.phase_wall_ns.Broadphase"), 1000);
+        assert_eq!(snap.gauge("physics.phase_wall_ns.Narrowphase"), 3000);
+        // Serial = Broadphase (1000) + Narrowphase outside the region
+        // (3000 − 2500 = 500); wall = 4000 → 375 permille.
+        assert_eq!(
+            snap.gauge(telemetry::attribution::SERIAL_PERMILLE_GAUGE),
+            375
+        );
+        let (_, text) = http_get(obs.addr(), "/metrics").unwrap();
+        assert!(
+            text.contains("physics_phase_wall_ns_broadphase 1000"),
+            "{text}"
+        );
+    }
+
+    #[test]
+    fn ring_drops_oldest_beyond_capacity() {
+        let obs = serve("127.0.0.1:0").expect("bind");
+        for step in 0..(RING_STEPS as u64 + 10) {
+            obs.record_step(record(step));
+        }
+        assert_eq!(obs.steps_retained(), RING_STEPS);
+        let (_, body) = http_get(obs.addr(), "/steps?n=1").unwrap();
+        let last = StepRecord::from_json_line(body.trim()).unwrap();
+        assert_eq!(last.step, RING_STEPS as u64 + 9);
+    }
+}

@@ -184,7 +184,12 @@ impl NarrowphaseStage {
             };
             (manifold, work)
         };
-        executor.map_into_labeled(Self::PHASE.name(), &self.pairs, &mut self.results, run_pair);
+        executor.map_into_labeled(
+            Self::PHASE.region_label(),
+            &self.pairs,
+            &mut self.results,
+            run_pair,
+        );
 
         self.manifolds.clear();
         let mut work = Vec::with_capacity(self.results.len());
@@ -420,7 +425,7 @@ impl IslandProcessingStage {
         };
 
         executor.map_into_labeled(
-            Self::PHASE.name(),
+            Self::PHASE.region_label(),
             &self.queued_idx,
             &mut self.results,
             solve_island,
@@ -497,7 +502,7 @@ impl ClothStage {
         }
 
         let collider_sets = &self.collider_sets;
-        let label = Self::PHASE.name();
+        let label = Self::PHASE.region_label();
         executor.map_mut_into_labeled(label, &mut world.cloths, &mut self.results, |i, cloth| {
             let colliders = collider_sets[i].as_slice();
             let stats = cloth.step(gravity, dt, colliders, mode);

@@ -51,6 +51,26 @@ impl PhaseKind {
         }
     }
 
+    /// Span label for this phase's parallel fork/join region.
+    ///
+    /// The pipeline records a track-0 span named exactly [`name`]
+    /// covering the whole phase; the executor labels the region's spans
+    /// (caller + workers) with this suffixed form so critical-path
+    /// attribution (`parallax_telemetry::attribution`) can tell the two
+    /// apart. Must stay `"<name> region"` — the telemetry side matches
+    /// on that suffix.
+    ///
+    /// [`name`]: PhaseKind::name
+    pub fn region_label(self) -> &'static str {
+        match self {
+            PhaseKind::Broadphase => "Broadphase region",
+            PhaseKind::Narrowphase => "Narrowphase region",
+            PhaseKind::IslandCreation => "Island Serial region",
+            PhaseKind::IslandProcessing => "Island Parallel region",
+            PhaseKind::Cloth => "Cloth region",
+        }
+    }
+
     /// `true` for the two phases the paper identifies as serial.
     pub fn is_serial(self) -> bool {
         matches!(self, PhaseKind::Broadphase | PhaseKind::IslandCreation)
@@ -194,6 +214,21 @@ mod tests {
         assert!(PhaseKind::Broadphase.is_serial());
         assert!(PhaseKind::IslandCreation.is_serial());
         assert!(!PhaseKind::Narrowphase.is_serial());
+    }
+
+    #[test]
+    fn region_labels_match_attribution_convention() {
+        for phase in PhaseKind::ALL {
+            assert_eq!(
+                phase.region_label(),
+                format!(
+                    "{}{}",
+                    phase.name(),
+                    parallax_telemetry::attribution::REGION_SUFFIX
+                ),
+                "attribution matches on the \" region\" suffix"
+            );
+        }
     }
 
     #[test]

@@ -1,0 +1,350 @@
+//! Critical-path attribution: which nanoseconds of a step are serial?
+//!
+//! The paper's Amdahl framing (Fig 7a) needs more than per-phase walls:
+//! a "parallel" phase still spends caller time outside the fork/join
+//! region (gathering colliders, writing back caches), and inside the
+//! region the wall is set by the slowest worker, not the sum. This
+//! module splits every phase of a [`StepRecord`] into three attributable
+//! parts using the span rings the executor already fills:
+//!
+//! * **caller-serial** — phase wall not covered by the parallel region
+//!   (`wall − region extent`; the whole wall for phases that never
+//!   forked). This is the Amdahl serial term.
+//! * **critical path** — the busiest single track inside the region; the
+//!   region cannot finish faster than this.
+//! * **worker idle** — slack: `Σ (critical − busy(track))` over the
+//!   tracks that participated. Zero means perfect balance.
+//!
+//! The convention that makes the split possible: the pipeline's
+//! `timed()` wrapper records a track-0 span named exactly the phase
+//! (e.g. `"Narrowphase"`) covering the whole phase, while the executor
+//! labels the spans of a parallel region with the phase name plus
+//! [`REGION_SUFFIX`] (e.g. `"Narrowphase region"`) on every
+//! participating track, caller included. `parallax_physics::probe`
+//! asserts the same spelling from its side.
+
+use std::fmt::Write as _;
+
+use crate::export::StepRecord;
+use crate::report::fmt_ns;
+
+/// Suffix distinguishing a parallel-region span (`"Narrowphase region"`)
+/// from the whole-phase track-0 span (`"Narrowphase"`). Must match
+/// `parallax_physics::probe::PhaseKind::region_label`.
+pub const REGION_SUFFIX: &str = " region";
+
+/// Gauge: last step's caller-serial nanoseconds (summed over phases).
+pub const SERIAL_NS_GAUGE: &str = "telemetry.attribution.caller_serial_ns";
+/// Gauge: last step's critical-path nanoseconds (summed over phases).
+pub const CRITICAL_NS_GAUGE: &str = "telemetry.attribution.critical_path_ns";
+/// Gauge: last step's worker-idle slack nanoseconds (summed over phases).
+pub const IDLE_NS_GAUGE: &str = "telemetry.attribution.worker_idle_ns";
+/// Gauge: last step's serial fraction in permille (`⌊1000·serial/wall⌋`,
+/// integer because gauges are `u64`).
+pub const SERIAL_PERMILLE_GAUGE: &str = "telemetry.attribution.serial_permille";
+
+/// One phase of one (or many summed) steps, split three ways.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct PhaseAttribution {
+    /// Phase name as recorded in `wall_ns`.
+    pub phase: String,
+    /// Phase wall time.
+    pub wall_ns: u64,
+    /// Wall not covered by the parallel region (= `wall_ns` when the
+    /// phase recorded no region spans).
+    pub caller_serial_ns: u64,
+    /// Busiest track inside the region (0 when the phase never forked).
+    pub critical_path_ns: u64,
+    /// Slack: `Σ (critical − busy)` over participating tracks.
+    pub worker_idle_ns: u64,
+    /// Distinct tracks that recorded region spans (caller included).
+    pub tracks: usize,
+}
+
+impl PhaseAttribution {
+    fn add(&mut self, other: &PhaseAttribution) {
+        self.wall_ns += other.wall_ns;
+        self.caller_serial_ns += other.caller_serial_ns;
+        self.critical_path_ns += other.critical_path_ns;
+        self.worker_idle_ns += other.worker_idle_ns;
+        self.tracks = self.tracks.max(other.tracks);
+    }
+}
+
+/// A whole step (or scene aggregate) attributed phase by phase.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct StepAttribution {
+    /// Per-phase splits in pipeline order.
+    pub phases: Vec<PhaseAttribution>,
+}
+
+impl StepAttribution {
+    /// Total wall across phases.
+    pub fn wall_total_ns(&self) -> u64 {
+        self.phases.iter().map(|p| p.wall_ns).sum()
+    }
+
+    /// Total caller-serial nanoseconds — the Amdahl serial term.
+    pub fn serial_total_ns(&self) -> u64 {
+        self.phases.iter().map(|p| p.caller_serial_ns).sum()
+    }
+
+    /// Total critical-path nanoseconds.
+    pub fn critical_total_ns(&self) -> u64 {
+        self.phases.iter().map(|p| p.critical_path_ns).sum()
+    }
+
+    /// Total worker-idle slack nanoseconds.
+    pub fn idle_total_ns(&self) -> u64 {
+        self.phases.iter().map(|p| p.worker_idle_ns).sum()
+    }
+
+    /// Serial fraction of the wall, in `[0, 1]` (1.0 for an empty step:
+    /// nothing measured is indistinguishable from all-serial, and the
+    /// conservative answer keeps Amdahl projections honest).
+    pub fn serial_fraction(&self) -> f64 {
+        let wall = self.wall_total_ns();
+        if wall == 0 {
+            1.0
+        } else {
+            self.serial_total_ns() as f64 / wall as f64
+        }
+    }
+
+    /// Mirrors the top-level split into the live attribution gauges so
+    /// `/metrics` exposes it. Uses `set_always`: attribution runs at
+    /// drain time, often after recording has been switched off.
+    pub fn publish_gauges(&self) {
+        crate::registry::gauge(SERIAL_NS_GAUGE).set_always(self.serial_total_ns());
+        crate::registry::gauge(CRITICAL_NS_GAUGE).set_always(self.critical_total_ns());
+        crate::registry::gauge(IDLE_NS_GAUGE).set_always(self.idle_total_ns());
+        crate::registry::gauge(SERIAL_PERMILLE_GAUGE)
+            .set_always((self.serial_fraction() * 1000.0) as u64);
+    }
+}
+
+/// Attributes one step: every `wall_ns` phase is matched against the
+/// region spans named `"<phase> region"` (any track).
+///
+/// The region *extent* — `max(start+dur) − min(start)` over the region's
+/// spans — is what gets subtracted from the wall, not the caller span's
+/// own duration: the caller's region span ends when its share of the
+/// chunks runs out, which can be well before the slowest worker (whom
+/// the caller then waits for). The extent covers exactly the interval
+/// the region occupied.
+pub fn attribute_step(record: &StepRecord) -> StepAttribution {
+    let phases = record
+        .wall_ns
+        .iter()
+        .map(|(phase, wall)| {
+            let label = format!("{phase}{REGION_SUFFIX}");
+            let mut start = u64::MAX;
+            let mut end = 0u64;
+            // (track, busy) pairs; a handful of tracks, linear scan.
+            let mut busy: Vec<(u32, u64)> = Vec::new();
+            for s in record.spans.iter().filter(|s| s.name == label) {
+                start = start.min(s.start_ns);
+                end = end.max(s.start_ns.saturating_add(s.dur_ns));
+                match busy.iter_mut().find(|(t, _)| *t == s.track) {
+                    Some((_, b)) => *b += s.dur_ns,
+                    None => busy.push((s.track, s.dur_ns)),
+                }
+            }
+            let extent = end.saturating_sub(if start == u64::MAX { 0 } else { start });
+            let critical = busy.iter().map(|&(_, b)| b).max().unwrap_or(0);
+            PhaseAttribution {
+                phase: phase.clone(),
+                wall_ns: *wall,
+                caller_serial_ns: wall.saturating_sub(extent.min(*wall)),
+                critical_path_ns: critical,
+                worker_idle_ns: busy.iter().map(|&(_, b)| critical - b).sum(),
+                tracks: busy.len(),
+            }
+        })
+        .collect();
+    StepAttribution { phases }
+}
+
+/// Sums [`attribute_step`] over a record set, phase by phase (pipeline
+/// order preserved; archsim replay records are skipped — their walls are
+/// simulated time with no executor spans behind them).
+pub fn aggregate(records: &[StepRecord]) -> StepAttribution {
+    let mut order: Vec<String> = Vec::new();
+    let mut acc: Vec<PhaseAttribution> = Vec::new();
+    for r in records.iter().filter(|r| r.source != "archsim") {
+        for p in attribute_step(r).phases {
+            match order.iter().position(|n| *n == p.phase) {
+                Some(i) => acc[i].add(&p),
+                None => {
+                    order.push(p.phase.clone());
+                    acc.push(p);
+                }
+            }
+        }
+    }
+    StepAttribution { phases: acc }
+}
+
+/// Renders the per-scene Amdahl table: per-phase wall/serial/critical/
+/// idle plus the step-level serial fraction and the speedup bound it
+/// implies (`1/serial` as worker count → ∞).
+pub fn render_critical_path(records: &[StepRecord]) -> String {
+    let a = aggregate(records);
+    let steps = records.iter().filter(|r| r.source != "archsim").count();
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "Critical-path attribution — {steps} step(s), span-derived"
+    );
+    if a.phases.is_empty() {
+        let _ = writeln!(out, "  no phase walls recorded");
+        return out;
+    }
+    let _ = writeln!(
+        out,
+        "  {:<18} {:>12} {:>12} {:>12} {:>12} {:>7}",
+        "Phase", "Wall", "Serial", "Critical", "Idle", "Tracks"
+    );
+    for p in &a.phases {
+        let _ = writeln!(
+            out,
+            "  {:<18} {:>12} {:>12} {:>12} {:>12} {:>7}",
+            p.phase,
+            fmt_ns(p.wall_ns as f64),
+            fmt_ns(p.caller_serial_ns as f64),
+            if p.tracks == 0 {
+                "-".to_string()
+            } else {
+                fmt_ns(p.critical_path_ns as f64)
+            },
+            if p.tracks == 0 {
+                "-".to_string()
+            } else {
+                fmt_ns(p.worker_idle_ns as f64)
+            },
+            p.tracks
+        );
+    }
+    let _ = writeln!(
+        out,
+        "  {:<18} {:>12} {:>12}",
+        "total",
+        fmt_ns(a.wall_total_ns() as f64),
+        fmt_ns(a.serial_total_ns() as f64)
+    );
+    let serial = a.serial_fraction();
+    let _ = writeln!(
+        out,
+        "\n  serial fraction: {serial:.3}  parallel fraction: {:.3}",
+        1.0 - serial
+    );
+    if serial > 0.0 {
+        let _ = writeln!(
+            out,
+            "  Amdahl bound (workers → ∞): {:.2}x max speedup",
+            1.0 / serial
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::span::SpanRecord;
+
+    fn span(name: &str, track: u32, start_ns: u64, dur_ns: u64) -> SpanRecord {
+        SpanRecord {
+            name: name.to_string(),
+            track,
+            start_ns,
+            dur_ns,
+        }
+    }
+
+    fn forked_record() -> StepRecord {
+        StepRecord {
+            source: "physics".into(),
+            scene: "t".into(),
+            step: 0,
+            wall_ns: vec![("Serialish".into(), 1000), ("Par".into(), 1000)],
+            metrics: Default::default(),
+            spans: vec![
+                // Whole-phase track-0 spans (what timed() records) must
+                // NOT be mistaken for region spans.
+                span("Serialish", 0, 0, 1000),
+                span("Par", 0, 1000, 1000),
+                // The parallel region: caller finishes early (300),
+                // worker 1 is the critical path (800), worker 2 mid.
+                span("Par region", 0, 1100, 300),
+                span("Par region", 1, 1100, 800),
+                span("Par region", 2, 1150, 400),
+                // A different phase's region must not leak in.
+                span("Other region", 1, 1100, 9999),
+            ],
+        }
+    }
+
+    #[test]
+    fn splits_wall_into_serial_critical_idle() {
+        let a = attribute_step(&forked_record());
+        assert_eq!(a.phases.len(), 2);
+
+        let serialish = &a.phases[0];
+        assert_eq!(serialish.caller_serial_ns, 1000, "no region → all serial");
+        assert_eq!(serialish.tracks, 0);
+        assert_eq!(serialish.critical_path_ns, 0);
+
+        let par = &a.phases[1];
+        // extent = max end (1900) − min start (1100) = 800.
+        assert_eq!(par.caller_serial_ns, 200);
+        assert_eq!(par.critical_path_ns, 800);
+        // idle = (800−300) + (800−800) + (800−400).
+        assert_eq!(par.worker_idle_ns, 900);
+        assert_eq!(par.tracks, 3);
+
+        assert_eq!(a.serial_total_ns(), 1200);
+        assert_eq!(a.wall_total_ns(), 2000);
+        assert!((a.serial_fraction() - 0.6).abs() < 1e-9);
+    }
+
+    #[test]
+    fn aggregate_sums_phasewise_and_skips_archsim() {
+        let mut replay = forked_record();
+        replay.source = "archsim".into();
+        let a = aggregate(&[forked_record(), forked_record(), replay]);
+        assert_eq!(a.phases.len(), 2);
+        assert_eq!(a.phases[1].caller_serial_ns, 400, "two physics records");
+        assert_eq!(a.wall_total_ns(), 4000);
+        assert!((a.serial_fraction() - 0.6).abs() < 1e-9);
+    }
+
+    #[test]
+    fn extent_larger_than_wall_clamps_serial_to_zero() {
+        // Timer skew can make the span extent exceed the measured wall;
+        // serial attribution must clamp, not wrap.
+        let r = StepRecord {
+            wall_ns: vec![("P".into(), 100)],
+            spans: vec![span("P region", 1, 0, 5000)],
+            ..Default::default()
+        };
+        let a = attribute_step(&r);
+        assert_eq!(a.phases[0].caller_serial_ns, 0);
+    }
+
+    #[test]
+    fn empty_attribution_is_conservatively_serial() {
+        let a = StepAttribution::default();
+        assert_eq!(a.serial_fraction(), 1.0);
+        assert!(render_critical_path(&[]).contains("no phase walls"));
+    }
+
+    #[test]
+    fn render_shows_phases_and_amdahl_bound() {
+        let text = render_critical_path(&[forked_record()]);
+        assert!(text.contains("Serialish"), "{text}");
+        assert!(text.contains("serial fraction: 0.600"), "{text}");
+        assert!(text.contains("parallel fraction: 0.400"), "{text}");
+        assert!(text.contains("1.67x max speedup"), "{text}");
+    }
+}

@@ -110,6 +110,9 @@ impl StepRecord {
     /// Parses a record back from one JSON line.
     pub fn from_json_line(line: &str) -> Result<StepRecord, String> {
         let v = crate::json::Json::parse(line)?;
+        if !matches!(v, crate::json::Json::Obj(_)) {
+            return Err("not a JSON object".to_string());
+        }
         let str_field = |key: &str| -> String {
             v.get(key)
                 .and_then(|j| j.as_str())
@@ -214,16 +217,21 @@ impl TelemetrySink {
 }
 
 /// Reads a JSON-lines snapshot file back into records (blank lines are
-/// skipped; a malformed line is an error naming its line number).
+/// skipped; a malformed record is an error naming the file and the
+/// 1-based line it sits on, so a multi-gigabyte soak capture with one
+/// torn line is diagnosable without a binary search).
 pub fn read_jsonl(path: impl AsRef<Path>) -> Result<Vec<StepRecord>, String> {
-    let text = std::fs::read_to_string(path.as_ref())
-        .map_err(|e| format!("{}: {e}", path.as_ref().display()))?;
+    let name = path.as_ref().display().to_string();
+    let text = std::fs::read_to_string(path.as_ref()).map_err(|e| format!("{name}: {e}"))?;
     let mut records = Vec::new();
     for (i, line) in text.lines().enumerate() {
         if line.trim().is_empty() {
             continue;
         }
-        records.push(StepRecord::from_json_line(line).map_err(|e| format!("line {}: {e}", i + 1))?);
+        records.push(
+            StepRecord::from_json_line(line)
+                .map_err(|e| format!("{name}:{}: bad step record: {e}", i + 1))?,
+        );
     }
     Ok(records)
 }
@@ -348,6 +356,24 @@ mod tests {
         assert_eq!(records.len(), 2);
         assert_eq!(records[1].scene, "mix");
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn read_jsonl_errors_name_file_and_line() {
+        let dir = std::env::temp_dir().join("parallax-telemetry-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("errors_name_file_and_line.jsonl");
+        let good = sample_record().to_json_line();
+        std::fs::write(&path, format!("{good}\n\n{good}\n{{torn")).unwrap();
+        let err = read_jsonl(&path).unwrap_err();
+        std::fs::remove_file(&path).ok();
+        assert!(
+            err.contains("errors_name_file_and_line.jsonl:4"),
+            "error must carry file and 1-based line: {err}"
+        );
+        assert!(err.contains("bad step record"), "{err}");
+        let not_obj = StepRecord::from_json_line("[1,2]").unwrap_err();
+        assert!(not_obj.contains("not a JSON object"), "{not_obj}");
     }
 
     #[test]

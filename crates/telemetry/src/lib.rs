@@ -52,14 +52,18 @@
 //! telemetry::set_enabled(false);
 //! ```
 
+pub mod attribution;
 pub mod export;
 pub mod json;
+pub mod net;
 pub mod registry;
 pub mod report;
 pub mod span;
 pub mod stats;
 
+pub use attribution::{attribute_step, render_critical_path, StepAttribution};
 pub use export::{chrome_trace, read_jsonl, StepRecord, TelemetrySink};
+pub use net::{http_get, prometheus_text, HttpServer, Request, Response};
 pub use registry::{
     counter, counter_named, gauge, histogram, reset, snapshot, Counter, Gauge, Histogram,
     HistogramSnapshot, Snapshot,

@@ -1,0 +1,491 @@
+//! Minimal HTTP/1.1 plumbing and Prometheus text encoding for the live
+//! telemetry exporter.
+//!
+//! The workspace builds with no registry access, so the exporter is
+//! hand-rolled on `std::net` the same way the JSON layer is hand-rolled
+//! on `std::fmt`: [`HttpServer`] is a background accept loop that parses
+//! one `GET` request per connection and hands it to a route handler;
+//! [`prometheus_text`] renders a [`Snapshot`] in Prometheus text
+//! exposition format v0.0.4 (counters, gauges, and the log2 histograms
+//! as cumulative `_bucket`/`_sum`/`_count` series). Routing policy —
+//! what lives at `/metrics`, `/trace`, `/steps`, `/health` — belongs to
+//! the `parallax-observe` facade crate, not here.
+//!
+//! Connections are handled serially on the server thread with short
+//! read/write timeouts: a scrape every 250 ms is three orders of
+//! magnitude below what a serial loop sustains, and no thread is ever
+//! spawned per connection, so a misbehaving client can delay scrapes but
+//! never exhaust the process.
+
+use std::fmt::Write as _;
+use std::io::{Read as _, Write as _};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use crate::registry::{bucket_bounds, Snapshot, HIST_BUCKETS, SUMMARY_QUANTILES};
+
+/// Most bytes of request head the server reads before answering 400.
+const MAX_REQUEST_BYTES: usize = 8 * 1024;
+
+/// Per-connection socket timeout: a client that stalls longer forfeits
+/// its response (the server moves on to the next connection).
+const IO_TIMEOUT: Duration = Duration::from_secs(2);
+
+/// A parsed HTTP request line: method, path, and query pairs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    /// Request method (`GET` for every route the exporter serves).
+    pub method: String,
+    /// Decoded path, query stripped (e.g. `/trace`).
+    pub path: String,
+    /// Query pairs in source order (`?steps=20` → `[("steps", "20")]`).
+    pub query: Vec<(String, String)>,
+}
+
+impl Request {
+    /// First value of a query key.
+    pub fn query(&self, key: &str) -> Option<&str> {
+        self.query
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// First value of a query key parsed as `u64`.
+    pub fn query_u64(&self, key: &str) -> Option<u64> {
+        self.query(key).and_then(|v| v.parse().ok())
+    }
+}
+
+/// An HTTP response ready to serialize.
+#[derive(Debug, Clone)]
+pub struct Response {
+    /// Status code (`200`, `400`, `404`, `405`).
+    pub status: u16,
+    /// `Content-Type` header value.
+    pub content_type: &'static str,
+    /// Response body.
+    pub body: String,
+}
+
+impl Response {
+    /// A `200 OK` with the given content type.
+    pub fn ok(content_type: &'static str, body: String) -> Response {
+        Response {
+            status: 200,
+            content_type,
+            body,
+        }
+    }
+
+    /// A `400 Bad Request` with a plain-text reason.
+    pub fn bad_request(reason: &str) -> Response {
+        Response {
+            status: 400,
+            content_type: "text/plain; charset=utf-8",
+            body: format!("bad request: {reason}\n"),
+        }
+    }
+
+    /// A `404 Not Found` naming the missing path.
+    pub fn not_found(path: &str) -> Response {
+        Response {
+            status: 404,
+            content_type: "text/plain; charset=utf-8",
+            body: format!("no such endpoint: {path}\n"),
+        }
+    }
+
+    /// A `405 Method Not Allowed` (every exporter route is `GET`).
+    pub fn method_not_allowed(method: &str) -> Response {
+        Response {
+            status: 405,
+            content_type: "text/plain; charset=utf-8",
+            body: format!("method {method} not allowed; use GET\n"),
+        }
+    }
+
+    fn reason(&self) -> &'static str {
+        match self.status {
+            200 => "OK",
+            400 => "Bad Request",
+            404 => "Not Found",
+            405 => "Method Not Allowed",
+            _ => "Error",
+        }
+    }
+
+    fn write_to(&self, stream: &mut TcpStream) -> std::io::Result<()> {
+        let head = format!(
+            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+            self.status,
+            self.reason(),
+            self.content_type,
+            self.body.len()
+        );
+        stream.write_all(head.as_bytes())?;
+        stream.write_all(self.body.as_bytes())?;
+        stream.flush()
+    }
+}
+
+/// Parses the request head (everything through the blank line) into a
+/// [`Request`]. Anything that is not a well-formed `<METHOD> <target>
+/// HTTP/1.x` request line is an error — the caller answers 400.
+pub fn parse_request(head: &str) -> Result<Request, String> {
+    let line = head.lines().next().ok_or("empty request")?;
+    let mut parts = line.split_whitespace();
+    let method = parts.next().ok_or("missing method")?;
+    let target = parts.next().ok_or("missing request target")?;
+    let version = parts.next().ok_or("missing HTTP version")?;
+    if !version.starts_with("HTTP/1.") {
+        return Err(format!("unsupported protocol {version:?}"));
+    }
+    if parts.next().is_some() {
+        return Err("malformed request line".to_string());
+    }
+    if !target.starts_with('/') {
+        return Err(format!("bad request target {target:?}"));
+    }
+    let (path, query_str) = match target.split_once('?') {
+        Some((p, q)) => (p, q),
+        None => (target, ""),
+    };
+    let query = query_str
+        .split('&')
+        .filter(|kv| !kv.is_empty())
+        .map(|kv| match kv.split_once('=') {
+            Some((k, v)) => (k.to_string(), v.to_string()),
+            None => (kv.to_string(), String::new()),
+        })
+        .collect();
+    Ok(Request {
+        method: method.to_string(),
+        path: path.to_string(),
+        query,
+    })
+}
+
+/// A background HTTP server bound to a local address.
+///
+/// Dropping the handle shuts the accept loop down (it is woken with a
+/// loopback connection) and joins the thread.
+pub struct HttpServer {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl HttpServer {
+    /// Binds `addr` (use port 0 for an ephemeral port) and serves
+    /// `handler` on a background thread. The handler only sees
+    /// well-formed `GET` requests; 400/405 are answered before routing.
+    pub fn serve(
+        addr: impl ToSocketAddrs,
+        handler: impl Fn(&Request) -> Response + Send + 'static,
+    ) -> std::io::Result<HttpServer> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let flag = Arc::clone(&shutdown);
+        let thread = std::thread::Builder::new()
+            .name("telemetry-http".to_string())
+            .spawn(move || accept_loop(&listener, &flag, handler))?;
+        Ok(HttpServer {
+            addr,
+            shutdown,
+            thread: Some(thread),
+        })
+    }
+
+    /// The bound address (resolves the ephemeral port).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+}
+
+impl Drop for HttpServer {
+    fn drop(&mut self) {
+        self.shutdown.store(true, Ordering::Release);
+        // Wake the blocking accept with a throwaway connection.
+        let _ = TcpStream::connect_timeout(&self.addr, IO_TIMEOUT);
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl std::fmt::Debug for HttpServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("HttpServer")
+            .field("addr", &self.addr)
+            .finish()
+    }
+}
+
+fn accept_loop(
+    listener: &TcpListener,
+    shutdown: &AtomicBool,
+    handler: impl Fn(&Request) -> Response,
+) {
+    for stream in listener.incoming() {
+        if shutdown.load(Ordering::Acquire) {
+            return;
+        }
+        let Ok(mut stream) = stream else { continue };
+        let _ = stream.set_read_timeout(Some(IO_TIMEOUT));
+        let _ = stream.set_write_timeout(Some(IO_TIMEOUT));
+        let response = match read_head(&mut stream) {
+            Ok(head) => match parse_request(&head) {
+                Ok(req) if req.method != "GET" => Response::method_not_allowed(&req.method),
+                Ok(req) => handler(&req),
+                Err(e) => Response::bad_request(&e),
+            },
+            Err(e) => Response::bad_request(&e),
+        };
+        let _ = response.write_to(&mut stream);
+    }
+}
+
+/// Reads the request head (through `\r\n\r\n`), bounded by
+/// [`MAX_REQUEST_BYTES`].
+fn read_head(stream: &mut TcpStream) -> Result<String, String> {
+    let mut buf = Vec::with_capacity(512);
+    let mut chunk = [0u8; 512];
+    loop {
+        let n = stream.read(&mut chunk).map_err(|e| e.to_string())?;
+        if n == 0 {
+            break;
+        }
+        buf.extend_from_slice(&chunk[..n]);
+        if buf.windows(4).any(|w| w == b"\r\n\r\n") || buf.windows(2).any(|w| w == b"\n\n") {
+            break;
+        }
+        if buf.len() > MAX_REQUEST_BYTES {
+            return Err("request head too large".to_string());
+        }
+    }
+    String::from_utf8(buf).map_err(|_| "request is not UTF-8".to_string())
+}
+
+/// Blocking HTTP GET against a local exporter: returns `(status, body)`.
+/// Used by the soak harness's scraper thread and the exporter tests; not
+/// a general client (no TLS, no redirects, no chunked decoding).
+pub fn http_get(addr: SocketAddr, path: &str) -> Result<(u16, String), String> {
+    let mut stream = TcpStream::connect_timeout(&addr, IO_TIMEOUT).map_err(|e| e.to_string())?;
+    stream
+        .set_read_timeout(Some(IO_TIMEOUT))
+        .map_err(|e| e.to_string())?;
+    stream
+        .set_write_timeout(Some(IO_TIMEOUT))
+        .map_err(|e| e.to_string())?;
+    stream
+        .write_all(
+            format!("GET {path} HTTP/1.1\r\nHost: parallax\r\nConnection: close\r\n\r\n")
+                .as_bytes(),
+        )
+        .map_err(|e| e.to_string())?;
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw).map_err(|e| e.to_string())?;
+    let status: u16 = raw
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| format!("malformed response: {raw:.80?}"))?;
+    let body = match raw.find("\r\n\r\n") {
+        Some(i) => raw[i + 4..].to_string(),
+        None => String::new(),
+    };
+    Ok((status, body))
+}
+
+/// Whether `name` is a legal Prometheus metric name
+/// (`[a-z_][a-z0-9_]*` — the exporter's lint; upstream Prometheus also
+/// allows uppercase and `:`, which this workspace never emits).
+pub fn is_valid_metric_name(name: &str) -> bool {
+    let mut chars = name.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_lowercase() || c == '_' => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_')
+}
+
+/// Maps a registry metric name (`physics.executor.worker0.busy_ns`) to a
+/// Prometheus-legal one (`physics_executor_worker0_busy_ns`): lowercase,
+/// every other character folded to `_`, `_` prefixed when the first
+/// character is a digit.
+pub fn sanitize_metric_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len() + 1);
+    for c in name.chars() {
+        match c {
+            'a'..='z' | '0'..='9' | '_' => out.push(c),
+            'A'..='Z' => out.push(c.to_ascii_lowercase()),
+            _ => out.push('_'),
+        }
+    }
+    if out.is_empty() || out.starts_with(|c: char| c.is_ascii_digit()) {
+        out.insert(0, '_');
+    }
+    out
+}
+
+/// Renders a [`Snapshot`] in Prometheus text exposition format v0.0.4.
+///
+/// * Counters and gauges are one sample each under their sanitized name.
+/// * Each log2 histogram becomes a cumulative `_bucket` series (one
+///   sample per populated power-of-two upper bound plus `le="+Inf"`),
+///   `_sum`, and `_count` — the standard encoding Prometheus computes
+///   quantiles from server-side.
+/// * The [`SUMMARY_QUANTILES`] upper bounds are additionally exported as
+///   `<name>_p50`/`_p95`/`_p99` gauges so a bare `curl` shows the same
+///   numbers as the `telemetry_report` tables without a PromQL engine.
+pub fn prometheus_text(snap: &Snapshot) -> String {
+    let mut out = String::with_capacity(4096);
+    for (name, v) in &snap.counters {
+        let name = sanitize_metric_name(name);
+        let _ = writeln!(out, "# TYPE {name} counter");
+        let _ = writeln!(out, "{name} {v}");
+    }
+    for (name, v) in &snap.gauges {
+        let name = sanitize_metric_name(name);
+        let _ = writeln!(out, "# TYPE {name} gauge");
+        let _ = writeln!(out, "{name} {v}");
+    }
+    for (name, h) in &snap.histograms {
+        let name = sanitize_metric_name(name);
+        let _ = writeln!(out, "# TYPE {name} histogram");
+        let last = h.buckets.iter().rposition(|&c| c > 0).unwrap_or(0);
+        let mut cumulative = 0u64;
+        for (b, &c) in h.buckets.iter().enumerate().take(last + 1) {
+            cumulative += c;
+            if c == 0 && b != last {
+                continue; // empty buckets add nothing; cumulative still counts
+            }
+            let le = bucket_bounds(b).1;
+            if b == HIST_BUCKETS - 1 {
+                break; // the clamped open-ended bucket is the +Inf sample
+            }
+            let _ = writeln!(out, "{name}_bucket{{le=\"{le}\"}} {cumulative}");
+        }
+        let count = h.count();
+        let _ = writeln!(out, "{name}_bucket{{le=\"+Inf\"}} {count}");
+        let _ = writeln!(out, "{name}_sum {}", h.sum);
+        let _ = writeln!(out, "{name}_count {count}");
+        for ((_, label), bound) in SUMMARY_QUANTILES.iter().zip(h.summary_quantiles()) {
+            let _ = writeln!(out, "# TYPE {name}_{label} gauge");
+            let _ = writeln!(out, "{name}_{label} {bound}");
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::HistogramSnapshot;
+
+    #[test]
+    fn request_parsing_and_queries() {
+        let r = parse_request("GET /trace?steps=20&raw HTTP/1.1\r\nHost: x\r\n\r\n").unwrap();
+        assert_eq!(r.method, "GET");
+        assert_eq!(r.path, "/trace");
+        assert_eq!(r.query_u64("steps"), Some(20));
+        assert_eq!(r.query("raw"), Some(""));
+        assert_eq!(r.query("missing"), None);
+
+        assert!(parse_request("").is_err());
+        assert!(parse_request("GET\r\n").is_err());
+        assert!(parse_request("GET /x SPDY/3\r\n").is_err());
+        assert!(parse_request("GET relative HTTP/1.1\r\n").is_err());
+        assert!(parse_request("GET /a /b HTTP/1.1\r\n").is_err());
+        let post = parse_request("POST /metrics HTTP/1.1\r\n\r\n").unwrap();
+        assert_eq!(post.method, "POST");
+    }
+
+    #[test]
+    fn metric_name_sanitizer_always_lints_clean() {
+        for raw in [
+            "physics.steps",
+            "physics.executor.worker3.busy_ns",
+            "telemetry.spans_dropped",
+            "Weird Name-1.0",
+            "9starts.with.digit",
+            "",
+        ] {
+            let s = sanitize_metric_name(raw);
+            assert!(is_valid_metric_name(&s), "{raw:?} -> {s:?}");
+        }
+        assert_eq!(sanitize_metric_name("physics.steps"), "physics_steps");
+        assert_eq!(sanitize_metric_name("9x"), "_9x");
+        assert!(!is_valid_metric_name("0abc"));
+        assert!(!is_valid_metric_name("has space"));
+        assert!(!is_valid_metric_name(""));
+    }
+
+    #[test]
+    fn prometheus_histogram_buckets_are_cumulative() {
+        let mut buckets = vec![0u64; HIST_BUCKETS];
+        buckets[0] = 2; // zeros
+        buckets[3] = 5; // values 4..8
+        let snap = Snapshot {
+            counters: vec![("c.total".into(), 7)],
+            gauges: vec![("g.now".into(), 3)],
+            histograms: vec![("h.ns".into(), HistogramSnapshot { buckets, sum: 25 })],
+        };
+        let text = prometheus_text(&snap);
+        assert!(
+            text.contains("# TYPE c_total counter\nc_total 7\n"),
+            "{text}"
+        );
+        assert!(text.contains("# TYPE g_now gauge\ng_now 3\n"), "{text}");
+        assert!(text.contains("h_ns_bucket{le=\"0\"} 2"), "{text}");
+        assert!(text.contains("h_ns_bucket{le=\"7\"} 7"), "{text}");
+        assert!(text.contains("h_ns_bucket{le=\"+Inf\"} 7"), "{text}");
+        assert!(text.contains("h_ns_sum 25"), "{text}");
+        assert!(text.contains("h_ns_count 7"), "{text}");
+        // Summary gauges share the histogram CDF.
+        assert!(text.contains("h_ns_p50 7"), "{text}");
+        assert!(text.contains("h_ns_p99 7"), "{text}");
+        // Every exposed name lints.
+        for line in text.lines().filter(|l| !l.starts_with('#')) {
+            let name = line.split([' ', '{']).next().unwrap();
+            assert!(is_valid_metric_name(name), "{name:?} in {line:?}");
+        }
+    }
+
+    #[test]
+    fn server_routes_and_rejects() {
+        let server = HttpServer::serve("127.0.0.1:0", |req| match req.path.as_str() {
+            "/ok" => Response::ok(
+                "text/plain",
+                format!("n={}", req.query_u64("n").unwrap_or(0)),
+            ),
+            p => Response::not_found(p),
+        })
+        .expect("bind");
+        let addr = server.addr();
+        let (status, body) = http_get(addr, "/ok?n=42").unwrap();
+        assert_eq!((status, body.as_str()), (200, "n=42"));
+        let (status, _) = http_get(addr, "/nope").unwrap();
+        assert_eq!(status, 404);
+
+        // Malformed request line → 400; non-GET → 405; never a panic.
+        let mut s = TcpStream::connect(addr).unwrap();
+        s.write_all(b"BOGUS\r\n\r\n").unwrap();
+        let mut resp = String::new();
+        s.read_to_string(&mut resp).unwrap();
+        assert!(resp.starts_with("HTTP/1.1 400"), "{resp}");
+        let mut s = TcpStream::connect(addr).unwrap();
+        s.write_all(b"POST /ok HTTP/1.1\r\n\r\n").unwrap();
+        let mut resp = String::new();
+        s.read_to_string(&mut resp).unwrap();
+        assert!(resp.starts_with("HTTP/1.1 405"), "{resp}");
+
+        // The server keeps serving after bad requests.
+        let (status, _) = http_get(addr, "/ok").unwrap();
+        assert_eq!(status, 200);
+    }
+}

@@ -174,6 +174,22 @@ impl Gauge {
         }
         with_shard(|s| s.gauges[self.0 as usize].store(v, Ordering::Relaxed));
     }
+
+    /// Stores `v` regardless of the enabled flag. For bookkeeping values
+    /// that must survive a disabled window (the dropped-span count is
+    /// mirrored at drain time, which often happens after recording has
+    /// been switched off). Still removed by the `off` feature.
+    #[inline]
+    pub fn set_always(self, v: u64) {
+        #[cfg(feature = "off")]
+        {
+            let _ = v;
+        }
+        #[cfg(not(feature = "off"))]
+        {
+            with_shard(|s| s.gauges[self.0 as usize].store(v, Ordering::Relaxed));
+        }
+    }
 }
 
 /// Bucket index of a sample: 0 for 0, else `floor(log2 v) + 1`, clamped
@@ -221,10 +237,22 @@ pub struct HistogramSnapshot {
     pub sum: u64,
 }
 
+/// The quantiles the report tables and the `/metrics` summary series
+/// both render, `(q, label)` pairs — one shared spelling so a value in a
+/// `telemetry_report` table and the `<name>_p99` series scraped from the
+/// exporter come from the same CDF walk.
+pub const SUMMARY_QUANTILES: [(f64, &str); 3] = [(0.50, "p50"), (0.95, "p95"), (0.99, "p99")];
+
 impl HistogramSnapshot {
     /// Total samples recorded.
     pub fn count(&self) -> u64 {
         self.buckets.iter().sum()
+    }
+
+    /// The [`SUMMARY_QUANTILES`] upper bounds of this histogram, in
+    /// order (all zero when empty).
+    pub fn summary_quantiles(&self) -> [u64; SUMMARY_QUANTILES.len()] {
+        SUMMARY_QUANTILES.map(|(q, _)| self.quantile_upper_bound(q).unwrap_or(0))
     }
 
     /// Mean sample value (0 when empty).

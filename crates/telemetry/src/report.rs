@@ -110,6 +110,10 @@ pub fn worker_utilization(records: &[StepRecord]) -> (Vec<WorkerRow>, f64) {
 /// violations under (see `parallax_physics::monitor`).
 pub const VIOLATION_PREFIX: &str = "physics.monitor.violation.";
 
+/// Counter the invariant monitor bumps once per checked step; zero means
+/// no monitor ran (so "no violations" is vacuous).
+pub const CHECKED_STEPS_COUNTER: &str = "physics.monitor.checked_steps";
+
 /// Gauge name carrying the cumulative dropped-span count of the
 /// recording process (set by the bench sink before each snapshot).
 pub const SPANS_DROPPED_GAUGE: &str = "telemetry.spans_dropped";
@@ -190,27 +194,23 @@ pub fn render(records: &[StepRecord]) -> String {
     }
     if !merged.histograms.is_empty() {
         let _ = writeln!(out, "\nHistograms:");
-        let _ = writeln!(
-            out,
-            "  {:<34} {:>10} {:>12} {:>10} {:>10}",
-            "Name", "Count", "Mean", "p50<=", "p99<="
-        );
+        let _ = write!(out, "  {:<34} {:>10} {:>12}", "Name", "Count", "Mean");
+        for (_, label) in crate::registry::SUMMARY_QUANTILES {
+            let _ = write!(out, " {:>10}", format!("{label}<="));
+        }
+        let _ = writeln!(out);
         for (name, h) in &merged.histograms {
-            let _ = writeln!(
-                out,
-                "  {:<34} {:>10} {:>12.1} {:>10} {:>10}",
-                name,
-                h.count(),
-                h.mean(),
-                h.quantile_upper_bound(0.5).unwrap_or(0),
-                h.quantile_upper_bound(0.99).unwrap_or(0)
-            );
+            let _ = write!(out, "  {:<34} {:>10} {:>12.1}", name, h.count(), h.mean());
+            for bound in h.summary_quantiles() {
+                let _ = write!(out, " {bound:>10}");
+            }
+            let _ = writeln!(out);
         }
     }
 
     // Invariant-monitor verdict: only rendered when a monitor ran
     // (its check counter is nonzero in the merged deltas).
-    let checks = merged.counter("physics.monitor.checked_steps");
+    let checks = merged.counter(CHECKED_STEPS_COUNTER);
     let violations: Vec<(&String, &u64)> = merged
         .counters
         .iter()
@@ -338,6 +338,25 @@ mod tests {
         assert!(text.contains("Invariant violations (5 step(s) checked):"));
         assert!(text.contains("none"));
         assert!(!render(&[rec(0, 1, 1)]).contains("Invariant violations"));
+    }
+
+    #[test]
+    fn histogram_table_has_shared_quantile_columns() {
+        let mut r = rec(0, 100, 300);
+        r.metrics.histograms = vec![(
+            "island_size".into(),
+            crate::HistogramSnapshot {
+                buckets: vec![0, 96, 0, 0, 4], // 96 ones, 4 in [8,15]
+                sum: 96 + 4 * 8,
+            },
+        )];
+        let text = render(std::slice::from_ref(&r));
+        for (_, label) in crate::registry::SUMMARY_QUANTILES {
+            assert!(text.contains(&format!("{label}<=")), "{text}");
+        }
+        // p50 and p95 land in the ones bucket, p99 in [8,15].
+        let row = text.lines().find(|l| l.contains("island_size")).unwrap();
+        assert!(row.trim_end().ends_with("1          1         15"), "{row}");
     }
 
     #[test]

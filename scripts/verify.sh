@@ -51,4 +51,33 @@ cargo run --release --offline -q -p parallax-bench --bin bench_gate -- \
 # `--features no-telemetry` run to bound the overhead; see DESIGN.md).
 cargo bench --offline -p parallax-bench --bench telemetry_overhead
 
+# Live telemetry plane smoke: run_scene --serve on an ephemeral port
+# (printed on its first stdout line), curl /metrics and /health while it
+# steps, and check the scrape carries a per-phase wall gauge and a
+# histogram _bucket sample. --steps 0 + --serve = run until killed.
+cargo run --release --offline -q -p parallax-bench --bin run_scene -- \
+    --scene Mix --steps 0 --scale 0.15 --threads 2 --serve 127.0.0.1:0 \
+    > "$tmp/serve.out" &
+serve_pid=$!
+trap 'kill "$serve_pid" 2>/dev/null || true; rm -rf "$tmp"' EXIT
+for _ in $(seq 1 100); do
+    grep -q "serving telemetry on" "$tmp/serve.out" && break
+    sleep 0.2
+done
+addr="$(sed -n 's|^serving telemetry on http://\([^/]*\)/metrics$|\1|p' "$tmp/serve.out")"
+test -n "$addr"
+sleep 1  # let a few steps land before scraping
+curl -fsS "http://$addr/metrics" > "$tmp/metrics.txt"
+curl -fsS "http://$addr/health" > "$tmp/health.json"
+grep -q "physics_phase_wall_ns_" "$tmp/metrics.txt"
+grep -q "_bucket{le=" "$tmp/metrics.txt"
+grep -q '"status":"ok"' "$tmp/health.json"
+kill "$serve_pid" 2>/dev/null || true
+wait "$serve_pid" 2>/dev/null || true
+
+# Soak smoke: ~15 s of stepping with a 250 ms scraper asserting monotone
+# counters, clean invariants and bounded rss (plus the exporter-overhead
+# A/B check).
+cargo run --release --offline -q -p parallax-bench --bin soak -- --quick
+
 echo "tier-1 verify: OK"
