@@ -434,6 +434,7 @@ mod tests {
                 iterations: 20,
                 residual: 0.0,
                 queued: bodies_per_island * 6 > 25,
+                lambda_digest: 0,
             });
         }
         p.joint_count = 0;

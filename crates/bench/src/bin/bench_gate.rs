@@ -244,6 +244,7 @@ fn run_compare(args: &Args) {
         threads: base.config.threads,
         warm_starting: base.config.warm_starting,
         simd: fresh_simd,
+        digests: base.config.digests,
         scenes: base.config.scenes.clone(),
         ..args.cfg.clone()
     };

@@ -12,17 +12,35 @@
 //! `telemetry_report out.jsonl --chrome trace.json`.
 //!
 //! With `--serve <addr>` the live telemetry plane (`parallax-observe`)
-//! is attached: `/metrics`, `/trace`, `/steps` and `/health` answer
-//! while the scene steps. `--serve` implies `--monitor` (so `/health`
-//! has a verdict), and `--steps 0` then means "step until killed" — the
-//! long-running mode `scripts/verify.sh` and manual `curl` poking use.
+//! is attached: `/metrics`, `/trace`, `/steps`, `/health` and
+//! `/blackbox` answer while the scene steps. `--serve` implies
+//! `--monitor` (so `/health` has a verdict), and `--steps 0` then means
+//! "step until killed" — the long-running mode `scripts/verify.sh` and
+//! manual `curl` poking use.
+//!
+//! With `--monitor` (or `--serve`) a flight recorder runs alongside:
+//! per-phase state digests are computed every step and retained in a
+//! ring. On the first invariant violation — or a `GET /blackbox` — a
+//! black box (world snapshot + digest ring + step-record tail) is dumped
+//! under `--blackbox-dir` (default `blackbox/`) and its path printed.
+
+use std::collections::VecDeque;
+use std::path::PathBuf;
 
 use parallax_bench::{
     benchmark_by_name, build_step_record, scene_names, sink_step_record, telemetry_baseline,
     telemetry_sink,
 };
+use parallax_observe::{FlightEntry, FlightRing};
 use parallax_physics::InvariantMonitor;
-use parallax_workloads::{BenchmarkId, SceneParams};
+use parallax_telemetry::StepRecord;
+use parallax_workloads::{BenchmarkId, Scene, SceneParams};
+
+/// Flight-recorder depth: steps of digests retained for a black box.
+const FLIGHT_STEPS: usize = 256;
+
+/// Step records retained alongside (heavier than digests, so fewer).
+const RECORD_TAIL: usize = 64;
 
 struct Args {
     scene: BenchmarkId,
@@ -32,6 +50,7 @@ struct Args {
     monitor: bool,
     warm_starting: bool,
     serve: Option<String>,
+    blackbox_dir: PathBuf,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -43,6 +62,7 @@ fn parse_args() -> Result<Args, String> {
         monitor: false,
         warm_starting: true,
         serve: None,
+        blackbox_dir: PathBuf::from("blackbox"),
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -75,6 +95,7 @@ fn parse_args() -> Result<Args, String> {
                 args.monitor = true; // /health needs the invariant verdict
             }
             "--no-warm-start" => args.warm_starting = false,
+            "--blackbox-dir" => args.blackbox_dir = PathBuf::from(value_of("--blackbox-dir")?),
             // Consumed by the shared sink bootstrap in parallax-bench.
             "--telemetry" => {
                 value_of("--telemetry")?;
@@ -86,6 +107,51 @@ fn parse_args() -> Result<Args, String> {
     Ok(args)
 }
 
+/// One flight-recorder entry from a step's profile: the per-phase
+/// digests plus the non-zero discrete event counts.
+fn flight_entry(step: u64, profile: &parallax_physics::StepProfile) -> FlightEntry {
+    let mut events = Vec::new();
+    let e = &profile.events;
+    for (name, count) in [
+        ("explosions", e.explosions),
+        ("joints_broken", e.joints_broken),
+        ("shattered", e.shattered),
+        ("blasts_expired", e.blasts_expired),
+    ] {
+        if count > 0 {
+            events.push((name.to_string(), count as u64));
+        }
+    }
+    FlightEntry {
+        step,
+        digests: profile.digests.unwrap_or_default(),
+        events,
+    }
+}
+
+/// Dumps a black box (snapshot + digest ring + step-record tail) to
+/// `<blackbox-dir>/<scene>-<step>/` and prints the path.
+fn dump_box(
+    args: &Args,
+    scene: &Scene,
+    flight: &Option<FlightRing>,
+    record_tail: &VecDeque<StepRecord>,
+    step: u64,
+) {
+    let Some(ring) = flight else {
+        return;
+    };
+    let dir = args
+        .blackbox_dir
+        .join(format!("{}-{}", args.scene.name(), step));
+    let records: Vec<StepRecord> = record_tail.iter().cloned().collect();
+    match parallax_observe::dump_blackbox(&dir, &scene.world.snapshot(), &ring.entries(), &records)
+    {
+        Ok(path) => println!("black box dumped to {}", path.display()),
+        Err(e) => eprintln!("error: black box dump to {} failed: {e}", dir.display()),
+    }
+}
+
 fn main() {
     let args = match parse_args() {
         Ok(a) => a,
@@ -94,7 +160,7 @@ fn main() {
             eprintln!(
                 "usage: run_scene [--scene NAME] [--steps N] [--scale F] \
                  [--threads N] [--monitor] [--no-warm-start] [--telemetry PATH] \
-                 [--serve ADDR]"
+                 [--serve ADDR] [--blackbox-dir PATH]"
             );
             std::process::exit(2);
         }
@@ -104,10 +170,15 @@ fn main() {
     // Keep telemetry live for the solver-residual summary even without a
     // sink; the registry is cheap and the deltas below stay process-local.
     parallax_telemetry::set_enabled(true);
+    // The flight recorder rides with the invariant monitor (and thus with
+    // --serve): per-phase digests on, a ring of them retained, a black
+    // box dumped on the first violation or a /blackbox request.
+    let flight_on = args.monitor;
     let mut scene = args.scene.build(&SceneParams {
         scale: args.scale,
         threads: args.threads,
         warm_starting: args.warm_starting,
+        digests: flight_on || parallax_physics::digest::digests_from_env(),
         ..SceneParams::default()
     });
 
@@ -132,17 +203,18 @@ fn main() {
 
     let mut baseline = telemetry_baseline();
     let mut monitor = args.monitor.then(InvariantMonitor::default);
+    let mut flight = flight_on.then(|| FlightRing::new(FLIGHT_STEPS));
+    let mut record_tail: VecDeque<StepRecord> = VecDeque::with_capacity(RECORD_TAIL);
+    let mut blackbox_dumped = false;
     let mut last = None;
     let mut steps_run: u64 = 0;
     while forever || steps_run < args.steps {
         let step = steps_run;
         let profile = scene.step();
-        if let Some(mon) = &mut monitor {
-            for v in mon.check_step(&scene.world, &profile) {
-                eprintln!("violation at step {step}: {v}");
-            }
+        if let Some(ring) = &mut flight {
+            ring.push(flight_entry(step, &profile));
         }
-        if recording || observe.is_some() {
+        if recording || observe.is_some() || flight.is_some() {
             let record = build_step_record(
                 "physics",
                 args.scene.name(),
@@ -155,6 +227,28 @@ fn main() {
             }
             if recording {
                 sink_step_record(&record);
+            }
+            if flight.is_some() {
+                if record_tail.len() == RECORD_TAIL {
+                    record_tail.pop_front();
+                }
+                record_tail.push_back(record);
+            }
+        }
+        let mut violated = false;
+        if let Some(mon) = &mut monitor {
+            for v in mon.check_step(&scene.world, &profile) {
+                eprintln!("violation at step {step}: {v}");
+                violated = true;
+            }
+        }
+        if violated && !blackbox_dumped {
+            blackbox_dumped = true;
+            dump_box(&args, &scene, &flight, &record_tail, step);
+        }
+        if let Some(obs) = &observe {
+            if obs.take_blackbox_request() {
+                dump_box(&args, &scene, &flight, &record_tail, step);
             }
         }
         last = Some(profile);

@@ -57,6 +57,12 @@ pub struct GateConfig {
     /// an AVX2 run (or vice versa). Baselines recorded before the field
     /// existed read as `Scalar` — the only kernels that engine had.
     pub simd: SimdMode,
+    /// Per-phase state digests computed during the run (the flight
+    /// recorder's fingerprinting). Part of the envelope because digests
+    /// add per-step work; the `digest_overhead` binary A/B-compares
+    /// off-vs-on. Baselines recorded before the field existed read as
+    /// `false`.
+    pub digests: bool,
     /// Scenes measured, in order.
     pub scenes: Vec<BenchmarkId>,
 }
@@ -71,6 +77,7 @@ impl Default for GateConfig {
             threshold: 0.35,
             warm_starting: true,
             simd: SimdMode::resolve(),
+            digests: false,
             scenes: BenchmarkId::ALL.to_vec(),
         }
     }
@@ -188,6 +195,7 @@ fn record_scene(id: BenchmarkId, cfg: &GateConfig) -> SceneSamples {
         threads: cfg.threads,
         warm_starting: cfg.warm_starting,
         simd: cfg.simd,
+        digests: cfg.digests,
         ..SceneParams::default()
     });
     for _ in 0..cfg.warmup {
@@ -244,6 +252,7 @@ pub fn record_paired(a: &GateConfig, b: &GateConfig) -> (Baseline, Baseline) {
                 threads: cfg.threads,
                 warm_starting: cfg.warm_starting,
                 simd: cfg.simd,
+                digests: cfg.digests,
                 ..SceneParams::default()
             })
         };
@@ -310,14 +319,15 @@ impl Baseline {
             s,
             "  \"config\": {{\"steps\": {}, \"warmup\": {}, \"scale\": {}, \
              \"threads\": {}, \"threshold\": {}, \"warm_starting\": {}, \
-             \"simd\": \"{}\"}},",
+             \"simd\": \"{}\", \"digests\": {}}},",
             self.config.steps,
             self.config.warmup,
             self.config.scale,
             self.config.threads,
             self.config.threshold,
             self.config.warm_starting,
-            self.config.simd.name()
+            self.config.simd.name(),
+            self.config.digests
         );
         s.push_str("  \"scenes\": [\n");
         for (i, sc) in self.scenes.iter().enumerate() {
@@ -392,6 +402,9 @@ impl Baseline {
                 .and_then(Json::as_str)
                 .and_then(SimdMode::from_name)
                 .unwrap_or(SimdMode::Scalar),
+            // Absent in pre-digest baselines: digests did not exist, so
+            // those samples were recorded without them.
+            digests: matches!(c.get("digests"), Some(Json::Bool(true))),
             scenes: Vec::new(),
         };
         let mut scenes = Vec::new();
@@ -549,6 +562,7 @@ mod tests {
             threshold: 0.35,
             warm_starting: true,
             simd: SimdMode::Scalar,
+            digests: false,
             scenes: vec![BenchmarkId::Periodic, BenchmarkId::Ragdoll],
         }
     }

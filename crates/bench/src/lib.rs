@@ -7,6 +7,7 @@
 //! `PARALLAX_FRAMES` (default `3`) sets the measured window — useful for
 //! quick smoke runs (`PARALLAX_SCALE=0.1`).
 
+pub mod bisect;
 pub mod executor_scaling;
 pub mod harness;
 

@@ -27,6 +27,8 @@
 use std::collections::VecDeque;
 use std::io;
 use std::net::{SocketAddr, ToSocketAddrs};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
 
 use parallax_telemetry as telemetry;
@@ -45,8 +47,121 @@ pub const RING_STEPS: usize = 512;
 /// `physics_phase_wall_ns_broadphase` on `/metrics`).
 pub const PHASE_WALL_PREFIX: &str = "physics.phase_wall_ns.";
 
+/// One step's flight-recorder entry: the per-phase state digests plus the
+/// discrete events (explosions, broken joints, …) that occurred. Cheap to
+/// retain — a black-box dump of these is what the divergence bisector and
+/// post-mortem debugging start from.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FlightEntry {
+    /// Step index (the world's step counter *before* the step ran).
+    pub step: u64,
+    /// Per-phase digests in pipeline order (Broadphase, Narrowphase,
+    /// Island Serial, Island Parallel, Cloth).
+    pub digests: [u64; 5],
+    /// Non-zero discrete event counts this step, as `(name, count)`.
+    pub events: Vec<(String, u64)>,
+}
+
+impl FlightEntry {
+    /// One-line JSON form (digests as hex strings — they are bit
+    /// patterns, not magnitudes).
+    pub fn to_json_line(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::with_capacity(128);
+        let _ = write!(out, "{{\"step\":{},\"digests\":[", self.step);
+        for (i, d) in self.digests.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "\"{d:#018x}\"");
+        }
+        out.push_str("],\"events\":{");
+        for (i, (name, count)) in self.events.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            write_str(&mut out, name);
+            let _ = write!(out, ":{count}");
+        }
+        out.push_str("}}");
+        out
+    }
+}
+
+/// A fixed-capacity ring of [`FlightEntry`]s — the flight recorder
+/// proper. Standalone (no server needed): `run_scene` keeps one even
+/// without `--serve` so a black box can always be dumped.
+#[derive(Debug)]
+pub struct FlightRing {
+    cap: usize,
+    ring: VecDeque<FlightEntry>,
+}
+
+impl FlightRing {
+    /// A ring retaining the last `cap` steps (`cap` ≥ 1).
+    pub fn new(cap: usize) -> Self {
+        FlightRing {
+            cap: cap.max(1),
+            ring: VecDeque::with_capacity(cap.max(1)),
+        }
+    }
+
+    /// Pushes one step's entry, dropping the oldest beyond capacity.
+    pub fn push(&mut self, entry: FlightEntry) {
+        if self.ring.len() == self.cap {
+            self.ring.pop_front();
+        }
+        self.ring.push_back(entry);
+    }
+
+    /// Retained entries, oldest first.
+    pub fn entries(&self) -> Vec<FlightEntry> {
+        self.ring.iter().cloned().collect()
+    }
+
+    /// Entries currently retained.
+    pub fn len(&self) -> usize {
+        self.ring.len()
+    }
+
+    /// `true` when nothing has been recorded yet.
+    pub fn is_empty(&self) -> bool {
+        self.ring.is_empty()
+    }
+}
+
+/// Writes a black box to `dir`: `snapshot.bin` (the world snapshot),
+/// `digests.jsonl` (the flight-recorder tail) and `steps.jsonl` (full
+/// [`StepRecord`]s for the same window, possibly shorter). Creates the
+/// directory; returns its path.
+pub fn dump_blackbox(
+    dir: &Path,
+    snapshot: &[u8],
+    flight: &[FlightEntry],
+    records: &[StepRecord],
+) -> io::Result<PathBuf> {
+    std::fs::create_dir_all(dir)?;
+    std::fs::write(dir.join("snapshot.bin"), snapshot)?;
+    let mut digests = String::new();
+    for e in flight {
+        digests.push_str(&e.to_json_line());
+        digests.push('\n');
+    }
+    std::fs::write(dir.join("digests.jsonl"), digests)?;
+    let mut steps = String::new();
+    for r in records {
+        steps.push_str(&r.to_json_line());
+        steps.push('\n');
+    }
+    std::fs::write(dir.join("steps.jsonl"), steps)?;
+    Ok(dir.to_path_buf())
+}
+
 struct State {
     ring: Mutex<VecDeque<StepRecord>>,
+    /// Set by `GET /blackbox`; drained by the stepping thread through
+    /// [`Observe::take_blackbox_request`].
+    blackbox_requested: AtomicBool,
 }
 
 /// Handle to a live exporter. Dropping it stops the server thread.
@@ -60,6 +175,7 @@ pub struct Observe {
 pub fn serve(addr: impl ToSocketAddrs) -> io::Result<Observe> {
     let state = Arc::new(State {
         ring: Mutex::new(VecDeque::with_capacity(RING_STEPS)),
+        blackbox_requested: AtomicBool::new(false),
     });
     let routes = Arc::clone(&state);
     let server = HttpServer::serve(addr, move |req| route(&routes, req))?;
@@ -92,6 +208,19 @@ impl Observe {
     pub fn steps_retained(&self) -> usize {
         self.state.ring.lock().expect("step ring").len()
     }
+
+    /// Returns `true` (once) if a `GET /blackbox` arrived since the last
+    /// call. The stepping thread polls this between steps and performs
+    /// the dump itself — the server thread never touches the world.
+    pub fn take_blackbox_request(&self) -> bool {
+        self.state.blackbox_requested.swap(false, Ordering::Relaxed)
+    }
+
+    /// The retained [`StepRecord`] tail, oldest first (for black-box
+    /// dumps; same data `/steps` serves).
+    pub fn step_records(&self, n: usize) -> Vec<StepRecord> {
+        tail_records(&self.state, n)
+    }
 }
 
 impl std::fmt::Debug for Observe {
@@ -123,6 +252,10 @@ fn route(state: &State, req: &Request) -> Response {
             Response::ok("application/x-ndjson", body)
         }
         "/health" => Response::ok("application/json", health_json(state)),
+        "/blackbox" => {
+            state.blackbox_requested.store(true, Ordering::Relaxed);
+            Response::ok("application/json", "{\"armed\":true}".to_string())
+        }
         p => Response::not_found(p),
     }
 }
@@ -242,6 +375,54 @@ mod tests {
             text.contains("physics_phase_wall_ns_broadphase 1000"),
             "{text}"
         );
+    }
+
+    #[test]
+    fn flight_ring_retains_tail_and_serializes() {
+        let mut ring = FlightRing::new(4);
+        assert!(ring.is_empty());
+        for step in 0..6 {
+            ring.push(FlightEntry {
+                step,
+                digests: [step, 2, 3, 4, 5],
+                events: vec![("explosions".into(), step)],
+            });
+        }
+        assert_eq!(ring.len(), 4);
+        let entries = ring.entries();
+        assert_eq!(entries[0].step, 2, "oldest two dropped");
+        assert_eq!(entries[3].step, 5);
+        let line = entries[3].to_json_line();
+        assert!(line.contains("\"step\":5"), "{line}");
+        assert!(line.contains("0x0000000000000005"), "{line}");
+        assert!(line.contains("\"explosions\":5"), "{line}");
+        Json::parse(&line).expect("valid JSON");
+    }
+
+    #[test]
+    fn blackbox_endpoint_arms_once_and_dump_writes_files() {
+        let obs = serve("127.0.0.1:0").expect("bind");
+        obs.record_step(record(0));
+        assert!(!obs.take_blackbox_request(), "nothing armed yet");
+        let (status, body) = http_get(obs.addr(), "/blackbox").unwrap();
+        assert_eq!(status, 200);
+        assert!(body.contains("armed"), "{body}");
+        assert!(obs.take_blackbox_request());
+        assert!(!obs.take_blackbox_request(), "request is drained");
+
+        let dir = std::env::temp_dir().join(format!("parallax-blackbox-{}", std::process::id()));
+        let entry = FlightEntry {
+            step: 7,
+            digests: [1, 2, 3, 4, 5],
+            events: vec![],
+        };
+        let out = dump_blackbox(&dir, b"SNAP", &[entry], &obs.step_records(8)).unwrap();
+        assert_eq!(std::fs::read(out.join("snapshot.bin")).unwrap(), b"SNAP");
+        let digests = std::fs::read_to_string(out.join("digests.jsonl")).unwrap();
+        assert_eq!(digests.lines().count(), 1);
+        let steps = std::fs::read_to_string(out.join("steps.jsonl")).unwrap();
+        assert_eq!(steps.lines().count(), 1);
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -297,6 +297,7 @@ mod tests {
                 iterations: 20,
                 residual: 0.0,
                 queued: dof_per_island > 25,
+                lambda_digest: 0,
             });
         }
         p.cloths.push(ClothWork {

@@ -274,6 +274,12 @@ impl Cloth {
         &self.verts
     }
 
+    /// Mutable Verlet state, for snapshot restore (same crate only; the
+    /// vertex count is topology and must not change).
+    pub(crate) fn verts_mut(&mut self) -> &mut [ClothVertex] {
+        &mut self.verts
+    }
+
     /// The length constraints.
     #[inline]
     pub fn constraints(&self) -> &[LengthConstraint] {

@@ -213,6 +213,20 @@ impl ContactCache {
         entry.points.extend_from_slice(&self.scratch);
     }
 
+    /// Every cached pair in sorted key order — the deterministic
+    /// iteration used by state digests and snapshots (the map itself
+    /// iterates in hash order, which differs between processes).
+    pub fn sorted_entries(&self) -> Vec<(&(GeomId, GeomId), &PairCache)> {
+        let mut entries: Vec<_> = self.map.iter().collect();
+        entries.sort_unstable_by_key(|(key, _)| **key);
+        entries
+    }
+
+    /// Rebuilds one entry verbatim (snapshot restore).
+    pub(crate) fn insert_raw(&mut self, key: (GeomId, GeomId), age: u32, points: Vec<CachedPoint>) {
+        self.map.insert(key, PairCache { points, age });
+    }
+
     /// Ages every entry and evicts pairs unmatched for more than
     /// `max_age` steps or whose geoms are no longer live (`is_live`
     /// should report a geom as dead when it was disabled or removed).

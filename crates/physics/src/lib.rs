@@ -41,6 +41,7 @@ pub mod broadphase;
 pub mod cloth;
 pub mod contact;
 pub mod contact_cache;
+pub mod digest;
 pub mod explosion;
 pub mod fracture;
 pub mod integrator;
@@ -53,6 +54,7 @@ pub mod pipeline;
 pub mod probe;
 pub mod ray;
 pub mod shape;
+pub mod snapshot;
 pub mod solver;
 pub mod store;
 pub mod world;
@@ -61,6 +63,7 @@ pub use body::{BodyDesc, BodyFlags, BodyId};
 pub use cloth::{Cloth, ClothConfig, ClothId};
 pub use contact::{ContactManifold, ContactPoint};
 pub use contact_cache::ContactCache;
+pub use digest::{chunk_digests, first_divergence, world_digest, Digest, DigestFault, Divergence};
 pub use explosion::ExplosionConfig;
 pub use fracture::FractureConfig;
 pub use joint::{Joint, JointId, JointKind};
@@ -69,5 +72,6 @@ pub use parallax_math::SimdMode;
 pub use pipeline::{set_injected_phase_delay, Stage, StepPipeline};
 pub use probe::{PhaseKind, StepProfile};
 pub use shape::{GeomId, Heightfield, Shape, TriMesh};
+pub use snapshot::SnapshotError;
 pub use store::{BodiesView, BodyMut, BodyRef, BodyStore};
 pub use world::{BroadphaseKind, World, WorldConfig};

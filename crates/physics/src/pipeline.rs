@@ -21,6 +21,7 @@ use crate::body::BodyId;
 use crate::broadphase::{Broadphase, BroadphaseStats, SweepAndPrune, UniformGrid};
 use crate::contact::ContactManifold;
 use crate::contact_cache::{self, ContactCache, WarmStats};
+use crate::digest;
 use crate::integrator;
 use crate::island::{build_islands_into, ConstraintEdge, Island, IslandStats};
 use crate::narrowphase;
@@ -231,6 +232,15 @@ struct IslandResult {
     work: IslandWork,
 }
 
+/// Step-scoped knobs threaded into the island solve.
+#[derive(Clone, Copy)]
+struct SolveOpts {
+    /// Seed contact rows from last step's cached impulses.
+    warm_starting: bool,
+    /// Compute per-island post-solve λ digests (flight recorder).
+    digests: bool,
+}
+
 impl IslandProcessingStage {
     fn new() -> Self {
         IslandProcessingStage {
@@ -257,8 +267,12 @@ impl IslandProcessingStage {
         islands: &[Island],
         manifolds: &[ContactManifold],
         cache: &mut ContactCache,
-        warm_starting: bool,
+        opts: SolveOpts,
     ) -> (Vec<IslandWork>, Vec<(u32, f32)>, WarmStats) {
+        let SolveOpts {
+            warm_starting,
+            digests,
+        } = opts;
         let params = RowParams {
             dt: world.config.dt,
             erp: world.config.erp,
@@ -420,6 +434,13 @@ impl IslandProcessingStage {
                     iterations: stats.iterations,
                     residual: stats.total_delta,
                     queued: island.dof_removed > threshold,
+                    // Seeded by the island index so identical impulse
+                    // vectors in different islands still hash apart.
+                    lambda_digest: if digests {
+                        digest::hash_f32s(ii as u64, &rows.lambda)
+                    } else {
+                        0
+                    },
                 },
             }
         };
@@ -535,6 +556,10 @@ struct PipelineTelemetry {
     cache_entries: telemetry::Gauge,
     /// Active kernel layout/ISA: 0 = scalar, 1 = SSE2, 2 = AVX2.
     simd_mode: telemetry::Gauge,
+    /// Per-phase state digests (`physics.digest.<phase>`), published only
+    /// when `WorldConfig::digests` is on. Digests are fingerprints, not
+    /// magnitudes, so they are stored with `set_always`.
+    digest_gauges: [telemetry::Gauge; PhaseKind::ALL.len()],
 }
 
 impl PipelineTelemetry {
@@ -551,6 +576,8 @@ impl PipelineTelemetry {
             warm_misses: telemetry::counter("physics.solver.warm_misses"),
             cache_entries: telemetry::gauge("physics.solver.cache_entries"),
             simd_mode: telemetry::gauge("physics.simd_mode"),
+            digest_gauges: PhaseKind::ALL
+                .map(|p| telemetry::gauge(&format!("physics.digest.{}", p.name()))),
         }
     }
 }
@@ -610,6 +637,25 @@ fn apply_injected_delay(phase_idx: usize) {
     let ns = injected_delays()[phase_idx].load(std::sync::atomic::Ordering::Relaxed);
     if ns > 0 {
         std::thread::sleep(Duration::from_nanos(ns));
+    }
+}
+
+/// Applies the configured single-ULP fault if this step+phase matches
+/// [`crate::WorldConfig::digest_fault`]: flips the low mantissa bit of
+/// body 0's `pos.x` at the *end* of the phase, before its digest is
+/// taken. Used by the divergence-bisector acceptance tests to verify
+/// that an injected divergence is localized to exactly this step+phase.
+#[inline]
+fn maybe_inject_fault(world: &mut World, phase_idx: usize) {
+    let Some(fault) = world.config.digest_fault else {
+        return;
+    };
+    if fault.step != world.steps || fault.phase != PhaseKind::ALL[phase_idx] {
+        return;
+    }
+    if !world.bodies.is_empty() {
+        let bits = world.bodies.pos.x[0].to_bits() ^ 1;
+        world.bodies.pos.x[0] = f32::from_bits(bits);
     }
 }
 
@@ -684,6 +730,11 @@ impl StepPipeline {
         &self.contact_cache
     }
 
+    /// Mutable cache access for snapshot restore (see [`crate::snapshot`]).
+    pub(crate) fn contact_cache_mut(&mut self) -> &mut ContactCache {
+        &mut self.contact_cache
+    }
+
     /// Replaces the broad-phase algorithm (ablation hook).
     pub(crate) fn set_broadphase(&mut self, kind: BroadphaseKind) {
         self.broadphase = BroadphaseStage::new(kind);
@@ -705,6 +756,11 @@ impl StepPipeline {
         let dt = world.config.dt;
         let gravity = world.config.gravity;
         let mode = world.config.simd.clamp_to_supported();
+        // Per-phase state digests (flight recorder / divergence bisection).
+        // Computed inside each phase's timed block so the digest cost is
+        // attributed to the phase it fingerprints.
+        let digests_on = world.config.digests;
+        let mut phase_digests = [0u64; 5];
         if !self.simd_reported {
             self.telemetry.simd_mode.set(mode.gauge_value());
             self.simd_reported = true;
@@ -723,12 +779,25 @@ impl StepPipeline {
                 let ((), wall) = timed(*span, || {});
                 profile.wall[i] = wall;
             }
+            if digests_on {
+                profile.digests = Some([
+                    digest::broadphase_digest(world, &[]),
+                    digest::narrowphase_digest(world, &[]),
+                    digest::island_creation_digest(world),
+                    digest::island_processing_digest(world, &[]),
+                    digest::cloth_digest(world),
+                ]);
+            }
             return Self::finish_step(world, profile, (0, 0), 0);
         }
 
         // (b) Broad-phase (serial).
         let (stats, wall) = timed(spans[0], || {
             let s = self.broadphase.run(world);
+            maybe_inject_fault(world, 0);
+            if digests_on {
+                phase_digests[0] = digest::broadphase_digest(world, &self.broadphase.candidates);
+            }
             apply_injected_delay(0);
             s
         });
@@ -744,6 +813,10 @@ impl StepPipeline {
             profile.pairs = narrowphase.run(world, executor, candidates);
             let events = world.process_contact_events(&narrowphase.manifolds);
             world.update_cloth_contact_lists();
+            maybe_inject_fault(world, 1);
+            if digests_on {
+                phase_digests[1] = digest::narrowphase_digest(world, &narrowphase.manifolds);
+            }
             apply_injected_delay(1);
             events
         });
@@ -768,6 +841,10 @@ impl StepPipeline {
         let manifolds = &self.narrowphase.manifolds;
         let (stats, wall) = timed(spans[2], || {
             let s = island_creation.run(world, manifolds);
+            maybe_inject_fault(world, 2);
+            if digests_on {
+                phase_digests[2] = digest::island_creation_digest(world);
+            }
             apply_injected_delay(2);
             s
         });
@@ -791,7 +868,10 @@ impl StepPipeline {
                     islands,
                     manifolds,
                     contact_cache,
-                    warm_starting,
+                    SolveOpts {
+                        warm_starting,
+                        digests: digests_on,
+                    },
                 );
                 warm = w;
                 (island_work, joint_impulses)
@@ -809,6 +889,10 @@ impl StepPipeline {
                 mode,
             );
             integrator::integrate(&mut world.bodies, dt, mode);
+            maybe_inject_fault(world, 3);
+            if digests_on {
+                phase_digests[3] = digest::island_processing_digest(world, &profile.islands);
+            }
             apply_injected_delay(3);
             broken
         });
@@ -834,6 +918,10 @@ impl StepPipeline {
             } else {
                 cloth.run(world, executor)
             };
+            maybe_inject_fault(world, 4);
+            if digests_on {
+                phase_digests[4] = digest::cloth_digest(world);
+            }
             apply_injected_delay(4);
             c
         });
@@ -861,6 +949,15 @@ impl StepPipeline {
             self.telemetry
                 .cache_entries
                 .set(self.contact_cache.len() as u64);
+        }
+
+        if digests_on {
+            profile.digests = Some(phase_digests);
+            if telemetry::enabled() {
+                for (g, d) in self.telemetry.digest_gauges.iter().zip(phase_digests) {
+                    g.set_always(d);
+                }
+            }
         }
 
         Self::finish_step(world, profile, events, broken)

@@ -120,6 +120,10 @@ pub struct IslandWork {
     /// Whether the island went to the parallel work queue (paper: > 25
     /// DOF removed) or ran on the main thread.
     pub queued: bool,
+    /// Digest of the island's post-solve accumulated impulses
+    /// (`RowSoA::lambda` bit patterns, seeded by island index). Only
+    /// computed when [`crate::WorldConfig::digests`] is on; 0 otherwise.
+    pub lambda_digest: u64,
 }
 
 /// Cloth work for one cloth object.
@@ -174,6 +178,9 @@ pub struct StepProfile {
     pub geom_count: usize,
     /// Unbroken joints at the end of the step.
     pub joint_count: usize,
+    /// Per-phase state digests in pipeline order (see [`crate::digest`]);
+    /// `Some` only when [`crate::WorldConfig::digests`] is on.
+    pub digests: Option<[u64; 5]>,
 }
 
 impl StepProfile {
@@ -253,6 +260,7 @@ mod tests {
             iterations: 20,
             residual: 0.0,
             queued: false,
+            lambda_digest: 0,
         });
         p.cloths.push(ClothWork {
             cloth: 0,

@@ -1,0 +1,844 @@
+//! Versioned binary world snapshots with a bit-identity restore
+//! guarantee.
+//!
+//! [`snapshot`] serializes every piece of *mutable* simulation state —
+//! body lanes, geoms, joints, cloth Verlet state, blast volumes,
+//! fracture flags, the contact cache (warm-start impulses) and the
+//! clock — to a little-endian blob; [`restore`] rebuilds that state into
+//! an existing world such that stepping the restored world reproduces
+//! the original trajectory bit for bit (`tests/snapshot_roundtrip.rs`).
+//! This is the foundation of the flight recorder's black-box dumps and
+//! of the divergence bisector's O(log n) restart search.
+//!
+//! # Format
+//!
+//! `b"PXSN"` magic, a `u32` version, then fixed-order sections. All
+//! integers are little-endian; all floats are raw IEEE-754 bit patterns
+//! (`to_bits`), which is what makes the round trip exact. The version is
+//! bumped on any layout change; [`restore`] rejects unknown versions
+//! rather than guessing.
+//!
+//! # What is *not* serialized
+//!
+//! - **Configuration** (threads, SIMD mode, solver parameters): replaying
+//!   one snapshot under different configurations is exactly what the
+//!   divergence bisector does, so the receiving world keeps its own.
+//! - **Shared structural assets**: heightfields and triangle meshes are
+//!   recorded as structural markers and resolved against the receiving
+//!   world's geom at the same index (the `Arc` is reused). Restore
+//!   therefore requires a world built by the same scene constructor —
+//!   which the tooling always has, since it builds both sides from
+//!   [`crate::WorldConfig`] + scene parameters.
+//! - **Derived state**: world-space inertia and the SIMD movable mask are
+//!   recomputed, broad-phase AABBs are refreshed at the next step.
+
+use std::sync::Arc;
+
+use parallax_math::{Aabb, Quat, Transform, Vec3};
+
+use crate::body::{BodyFlags, BodyId};
+use crate::cloth::ClothVertex;
+use crate::contact_cache::CachedPoint;
+use crate::explosion::{BlastVolume, ExplosionConfig};
+use crate::joint::JointKind;
+use crate::shape::{Geom, GeomId, Shape};
+use crate::world::World;
+
+/// Snapshot magic bytes.
+pub const MAGIC: [u8; 4] = *b"PXSN";
+/// Current snapshot format version.
+pub const VERSION: u32 = 1;
+
+/// Error restoring a snapshot: truncated/corrupt input, version
+/// mismatch, or structural mismatch with the receiving world.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SnapshotError(String);
+
+impl SnapshotError {
+    fn new(msg: impl Into<String>) -> Self {
+        SnapshotError(msg.into())
+    }
+}
+
+impl std::fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "snapshot restore failed: {}", self.0)
+    }
+}
+
+impl std::error::Error for SnapshotError {}
+
+// --- little-endian writer/reader ---------------------------------------
+
+struct Writer {
+    buf: Vec<u8>,
+}
+
+impl Writer {
+    fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+    fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+    fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+    fn f32(&mut self, v: f32) {
+        self.u32(v.to_bits());
+    }
+    fn f64(&mut self, v: f64) {
+        self.u64(v.to_bits());
+    }
+    fn vec3(&mut self, v: Vec3) {
+        self.f32(v.x);
+        self.f32(v.y);
+        self.f32(v.z);
+    }
+    fn quat(&mut self, q: Quat) {
+        self.f32(q.w);
+        self.f32(q.x);
+        self.f32(q.y);
+        self.f32(q.z);
+    }
+    fn f32_lane(&mut self, lane: &[f32]) {
+        for &v in lane {
+            self.f32(v);
+        }
+    }
+}
+
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], SnapshotError> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .filter(|&e| e <= self.buf.len())
+            .ok_or_else(|| {
+                SnapshotError::new(format!("truncated at byte {} (need {n} more)", self.pos))
+            })?;
+        let s = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(s)
+    }
+    fn u8(&mut self) -> Result<u8, SnapshotError> {
+        Ok(self.take(1)?[0])
+    }
+    fn u32(&mut self) -> Result<u32, SnapshotError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4")))
+    }
+    fn u64(&mut self) -> Result<u64, SnapshotError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8")))
+    }
+    /// A `u64` count validated against a per-element floor so corrupt
+    /// input cannot trigger an absurd allocation.
+    fn count(&mut self, elem_bytes: usize) -> Result<usize, SnapshotError> {
+        let n = self.u64()? as usize;
+        let remaining = self.buf.len() - self.pos;
+        if n.saturating_mul(elem_bytes.max(1)) > remaining {
+            return Err(SnapshotError::new(format!(
+                "count {n} at byte {} exceeds remaining {remaining} bytes",
+                self.pos
+            )));
+        }
+        Ok(n)
+    }
+    fn f32(&mut self) -> Result<f32, SnapshotError> {
+        Ok(f32::from_bits(self.u32()?))
+    }
+    fn f64(&mut self) -> Result<f64, SnapshotError> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+    fn vec3(&mut self) -> Result<Vec3, SnapshotError> {
+        Ok(Vec3::new(self.f32()?, self.f32()?, self.f32()?))
+    }
+    fn quat(&mut self) -> Result<Quat, SnapshotError> {
+        Ok(Quat::new(
+            self.f32()?,
+            self.f32()?,
+            self.f32()?,
+            self.f32()?,
+        ))
+    }
+    fn f32_lane(&mut self, n: usize) -> Result<Vec<f32>, SnapshotError> {
+        let bytes = self.take(n * 4)?;
+        Ok(bytes
+            .chunks_exact(4)
+            .map(|c| f32::from_bits(u32::from_le_bytes(c.try_into().expect("4"))))
+            .collect())
+    }
+}
+
+// --- snapshot -----------------------------------------------------------
+
+/// Serializes the world's mutable state. See the module docs for the
+/// format and for what is deliberately left out.
+pub fn snapshot(world: &World) -> Vec<u8> {
+    let mut w = Writer {
+        buf: Vec::with_capacity(64 + world.bodies.len() * 42 * 4),
+    };
+    w.buf.extend_from_slice(&MAGIC);
+    w.u32(VERSION);
+    w.u64(world.steps);
+    w.f64(world.time);
+
+    // Bodies: every f32 lane in a fixed order, then flags and islands.
+    let b = &world.bodies;
+    w.u64(b.len() as u64);
+    for lane in body_lanes(b) {
+        w.f32_lane(lane);
+    }
+    for f in &b.flags {
+        w.u32(f.0);
+    }
+    for &i in &b.island {
+        w.u32(i);
+    }
+
+    // Geoms.
+    w.u64(world.geoms.len() as u64);
+    for g in &world.geoms {
+        match &g.shape {
+            Shape::Sphere { radius } => {
+                w.u8(0);
+                w.f32(*radius);
+            }
+            Shape::Cuboid { half } => {
+                w.u8(1);
+                w.vec3(*half);
+            }
+            Shape::Capsule { radius, half_len } => {
+                w.u8(2);
+                w.f32(*radius);
+                w.f32(*half_len);
+            }
+            Shape::Plane { normal, offset } => {
+                w.u8(3);
+                w.vec3(*normal);
+                w.f32(*offset);
+            }
+            // Shared assets: structural markers, resolved by index on
+            // restore (the receiving world's Arc is reused).
+            Shape::Heightfield(_) => w.u8(4),
+            Shape::TriMesh(_) => w.u8(5),
+        }
+        w.u32(g.body.map_or(u32::MAX, |id| id.0));
+        w.vec3(g.local.position);
+        w.quat(g.local.rotation);
+        w.vec3(g.aabb.min);
+        w.vec3(g.aabb.max);
+        w.u8(g.enabled as u8);
+    }
+
+    // Body → geom lists.
+    w.u64(world.body_geoms.len() as u64);
+    for geoms in &world.body_geoms {
+        w.u64(geoms.len() as u64);
+        for g in geoms {
+            w.u32(g.0);
+        }
+    }
+
+    // Joints.
+    w.u64(world.joints.len() as u64);
+    for j in &world.joints {
+        match &j.kind {
+            JointKind::Ball { anchor_a, anchor_b } => {
+                w.u8(0);
+                w.vec3(*anchor_a);
+                w.vec3(*anchor_b);
+            }
+            JointKind::Hinge {
+                anchor_a,
+                anchor_b,
+                axis_a,
+                axis_b,
+            } => {
+                w.u8(1);
+                w.vec3(*anchor_a);
+                w.vec3(*anchor_b);
+                w.vec3(*axis_a);
+                w.vec3(*axis_b);
+            }
+            JointKind::Slider { axis_a, anchor_a } => {
+                w.u8(2);
+                w.vec3(*axis_a);
+                w.vec3(*anchor_a);
+            }
+            JointKind::Fixed { anchor_a, anchor_b } => {
+                w.u8(3);
+                w.vec3(*anchor_a);
+                w.vec3(*anchor_b);
+            }
+        }
+        w.u32(j.body_a.0);
+        w.u32(j.body_b.0);
+        match j.break_threshold {
+            Some(t) => {
+                w.u8(1);
+                w.f32(t);
+            }
+            None => w.u8(0),
+        }
+        w.f32(j.accumulated_load);
+        w.u8(j.broken as u8);
+        w.f32(j.last_impulse);
+    }
+
+    // Collision-excluded pairs, sorted for a canonical encoding.
+    let mut pairs: Vec<(u32, u32)> = world.joint_pairs.iter().copied().collect();
+    pairs.sort_unstable();
+    w.u64(pairs.len() as u64);
+    for (a, b) in pairs {
+        w.u32(a);
+        w.u32(b);
+    }
+
+    // Cloths: Verlet state + contact lists (topology is structural).
+    w.u64(world.cloths.len() as u64);
+    for c in &world.cloths {
+        w.u64(c.vertices().len() as u64);
+        for v in c.vertices() {
+            w.vec3(v.pos);
+            w.vec3(v.prev);
+            w.u8(v.pinned as u8);
+        }
+        w.u64(c.contact_bodies.len() as u64);
+        for &b in &c.contact_bodies {
+            w.u32(b);
+        }
+        w.u64(c.contact_static_geoms.len() as u64);
+        for &g in &c.contact_static_geoms {
+            w.u32(g);
+        }
+    }
+
+    // Pre-fractured objects: only the shatter flag is mutable.
+    w.u64(world.prefractured.len() as u64);
+    for p in &world.prefractured {
+        w.u8(p.shattered as u8);
+    }
+
+    // Explosive configs (this list grows mid-run).
+    w.u64(world.explosive_cfg.len() as u64);
+    for (body, cfg) in &world.explosive_cfg {
+        w.u32(*body);
+        w.f32(cfg.blast_radius);
+        w.u32(cfg.duration_steps);
+        w.f32(cfg.impulse);
+    }
+
+    // Live blast volumes.
+    w.u64(world.blasts.len() as u64);
+    for b in &world.blasts {
+        w.u32(b.body.0);
+        w.vec3(b.center);
+        w.f32(b.radius);
+        w.u32(b.steps_left);
+        w.f32(b.impulse);
+        w.u8(b.fresh as u8);
+    }
+
+    // Contact cache (warm-start impulses), sorted by key for a canonical
+    // encoding (HashMap iteration order is not deterministic).
+    let cache = world
+        .pipeline
+        .as_ref()
+        .expect("pipeline present outside step")
+        .contact_cache();
+    let entries = cache.sorted_entries();
+    w.u64(entries.len() as u64);
+    for (&(a, b), pair) in entries {
+        w.u32(a.0);
+        w.u32(b.0);
+        w.u32(pair.age());
+        w.u64(pair.points().len() as u64);
+        for p in pair.points() {
+            w.u32(p.feature);
+            w.vec3(p.position);
+            w.f32(p.lambdas[0]);
+            w.f32(p.lambdas[1]);
+            w.f32(p.lambdas[2]);
+        }
+    }
+
+    w.buf
+}
+
+fn body_lanes(b: &crate::store::BodyStore) -> [&[f32]; 40] {
+    [
+        &b.pos.x,
+        &b.pos.y,
+        &b.pos.z,
+        &b.rot.w,
+        &b.rot.x,
+        &b.rot.y,
+        &b.rot.z,
+        &b.lin_vel.x,
+        &b.lin_vel.y,
+        &b.lin_vel.z,
+        &b.ang_vel.x,
+        &b.ang_vel.y,
+        &b.ang_vel.z,
+        &b.force.x,
+        &b.force.y,
+        &b.force.z,
+        &b.torque.x,
+        &b.torque.y,
+        &b.torque.z,
+        &b.inv_mass,
+        &b.inv_inertia_local.e[0],
+        &b.inv_inertia_local.e[1],
+        &b.inv_inertia_local.e[2],
+        &b.inv_inertia_local.e[3],
+        &b.inv_inertia_local.e[4],
+        &b.inv_inertia_local.e[5],
+        &b.inv_inertia_local.e[6],
+        &b.inv_inertia_local.e[7],
+        &b.inv_inertia_local.e[8],
+        &b.inv_inertia_world.e[0],
+        &b.inv_inertia_world.e[1],
+        &b.inv_inertia_world.e[2],
+        &b.inv_inertia_world.e[3],
+        &b.inv_inertia_world.e[4],
+        &b.inv_inertia_world.e[5],
+        &b.inv_inertia_world.e[6],
+        &b.inv_inertia_world.e[7],
+        &b.inv_inertia_world.e[8],
+        &b.linear_damping,
+        &b.angular_damping,
+    ]
+}
+
+// --- restore ------------------------------------------------------------
+
+/// Restores state captured by [`snapshot`] into `world`. The world keeps
+/// its configuration; see the module docs for the structural-match
+/// requirements.
+pub fn restore(world: &mut World, bytes: &[u8]) -> Result<(), SnapshotError> {
+    let mut r = Reader { buf: bytes, pos: 0 };
+    if r.take(4)? != MAGIC {
+        return Err(SnapshotError::new("bad magic (not a parallax snapshot)"));
+    }
+    let version = r.u32()?;
+    if version != VERSION {
+        return Err(SnapshotError::new(format!(
+            "unsupported snapshot version {version} (this build reads {VERSION})"
+        )));
+    }
+    let steps = r.u64()?;
+    let time = r.f64()?;
+
+    // Bodies.
+    let n = r.count(40 * 4)?;
+    let mut lanes: Vec<Vec<f32>> = Vec::with_capacity(40);
+    for _ in 0..40 {
+        lanes.push(r.f32_lane(n)?);
+    }
+    let mut flags = Vec::with_capacity(n);
+    for _ in 0..n {
+        flags.push(BodyFlags(r.u32()?));
+    }
+    let mut island = Vec::with_capacity(n);
+    for _ in 0..n {
+        island.push(r.u32()?);
+    }
+
+    // Geoms.
+    let geom_count = r.count(1)?;
+    let mut geoms = Vec::with_capacity(geom_count);
+    for gi in 0..geom_count {
+        let shape = match r.u8()? {
+            0 => Shape::Sphere { radius: r.f32()? },
+            1 => Shape::Cuboid { half: r.vec3()? },
+            2 => Shape::Capsule {
+                radius: r.f32()?,
+                half_len: r.f32()?,
+            },
+            3 => Shape::Plane {
+                normal: r.vec3()?,
+                offset: r.f32()?,
+            },
+            tag @ (4 | 5) => {
+                // Structural marker: reuse the shared asset from the
+                // receiving world's geom at the same index.
+                match (tag, world.geoms.get(gi).map(|g| &g.shape)) {
+                    (4, Some(Shape::Heightfield(h))) => Shape::Heightfield(Arc::clone(h)),
+                    (5, Some(Shape::TriMesh(m))) => Shape::TriMesh(Arc::clone(m)),
+                    _ => {
+                        return Err(SnapshotError::new(format!(
+                            "geom {gi} is a shared asset (tag {tag}) but the target world has \
+                             no matching geom at that index; restore requires a world built by \
+                             the same scene constructor"
+                        )))
+                    }
+                }
+            }
+            tag => return Err(SnapshotError::new(format!("unknown shape tag {tag}"))),
+        };
+        let body = match r.u32()? {
+            u32::MAX => None,
+            idx if (idx as usize) < n => Some(BodyId(idx)),
+            idx => {
+                return Err(SnapshotError::new(format!(
+                    "geom {gi} references body {idx} of {n}"
+                )))
+            }
+        };
+        let local = Transform::new(r.vec3()?, r.quat()?);
+        let aabb = Aabb::new(r.vec3()?, r.vec3()?);
+        let enabled = r.u8()? != 0;
+        geoms.push(Geom {
+            shape,
+            body,
+            local,
+            aabb,
+            enabled,
+        });
+    }
+
+    // Body → geom lists.
+    let bg_count = r.count(8)?;
+    if bg_count != n {
+        return Err(SnapshotError::new(format!(
+            "body_geoms count {bg_count} != body count {n}"
+        )));
+    }
+    let mut body_geoms = Vec::with_capacity(bg_count);
+    for _ in 0..bg_count {
+        let k = r.count(4)?;
+        let mut list = Vec::with_capacity(k);
+        for _ in 0..k {
+            let g = r.u32()?;
+            if g as usize >= geom_count {
+                return Err(SnapshotError::new(format!(
+                    "body geom list references geom {g} of {geom_count}"
+                )));
+            }
+            list.push(GeomId(g));
+        }
+        body_geoms.push(list);
+    }
+
+    // Joints.
+    let joint_count = r.count(1)?;
+    let mut joints = Vec::with_capacity(joint_count);
+    for ji in 0..joint_count {
+        let kind = match r.u8()? {
+            0 => JointKind::Ball {
+                anchor_a: r.vec3()?,
+                anchor_b: r.vec3()?,
+            },
+            1 => JointKind::Hinge {
+                anchor_a: r.vec3()?,
+                anchor_b: r.vec3()?,
+                axis_a: r.vec3()?,
+                axis_b: r.vec3()?,
+            },
+            2 => JointKind::Slider {
+                axis_a: r.vec3()?,
+                anchor_a: r.vec3()?,
+            },
+            3 => JointKind::Fixed {
+                anchor_a: r.vec3()?,
+                anchor_b: r.vec3()?,
+            },
+            tag => {
+                return Err(SnapshotError::new(format!(
+                    "unknown joint tag {tag} for joint {ji}"
+                )))
+            }
+        };
+        let body_a = BodyId(r.u32()?);
+        let body_b = BodyId(r.u32()?);
+        let break_threshold = if r.u8()? != 0 { Some(r.f32()?) } else { None };
+        let accumulated_load = r.f32()?;
+        let broken = r.u8()? != 0;
+        let last_impulse = r.f32()?;
+        let mut j = crate::joint::Joint::new(kind, body_a, body_b);
+        j.break_threshold = break_threshold;
+        j.accumulated_load = accumulated_load;
+        j.broken = broken;
+        j.last_impulse = last_impulse;
+        joints.push(j);
+    }
+
+    // Collision-excluded pairs.
+    let pair_count = r.count(8)?;
+    let mut joint_pairs = std::collections::HashSet::with_capacity(pair_count);
+    for _ in 0..pair_count {
+        joint_pairs.insert((r.u32()?, r.u32()?));
+    }
+
+    // Cloths: state only — topology must already match.
+    let cloth_count = r.count(1)?;
+    if cloth_count != world.cloths.len() {
+        return Err(SnapshotError::new(format!(
+            "snapshot has {cloth_count} cloths, target world has {} (same scene required)",
+            world.cloths.len()
+        )));
+    }
+    let mut cloth_states = Vec::with_capacity(cloth_count);
+    for ci in 0..cloth_count {
+        let vc = r.count(25)?;
+        if vc != world.cloths[ci].vertices().len() {
+            return Err(SnapshotError::new(format!(
+                "cloth {ci} has {vc} vertices in the snapshot, {} in the target world",
+                world.cloths[ci].vertices().len()
+            )));
+        }
+        let mut verts = Vec::with_capacity(vc);
+        for _ in 0..vc {
+            verts.push(ClothVertex {
+                pos: r.vec3()?,
+                prev: r.vec3()?,
+                pinned: r.u8()? != 0,
+            });
+        }
+        let bc = r.count(4)?;
+        let mut contact_bodies = Vec::with_capacity(bc);
+        for _ in 0..bc {
+            contact_bodies.push(r.u32()?);
+        }
+        let gc = r.count(4)?;
+        let mut contact_static_geoms = Vec::with_capacity(gc);
+        for _ in 0..gc {
+            contact_static_geoms.push(r.u32()?);
+        }
+        cloth_states.push((verts, contact_bodies, contact_static_geoms));
+    }
+
+    // Pre-fractured shatter flags.
+    let pf_count = r.count(1)?;
+    if pf_count != world.prefractured.len() {
+        return Err(SnapshotError::new(format!(
+            "snapshot has {pf_count} prefractured objects, target world has {}",
+            world.prefractured.len()
+        )));
+    }
+    let mut shattered = Vec::with_capacity(pf_count);
+    for _ in 0..pf_count {
+        shattered.push(r.u8()? != 0);
+    }
+
+    // Explosive configs.
+    let ec = r.count(13)?;
+    let mut explosive_cfg = Vec::with_capacity(ec);
+    for _ in 0..ec {
+        explosive_cfg.push((
+            r.u32()?,
+            ExplosionConfig {
+                blast_radius: r.f32()?,
+                duration_steps: r.u32()?,
+                impulse: r.f32()?,
+            },
+        ));
+    }
+
+    // Blast volumes.
+    let bc = r.count(26)?;
+    let mut blasts = Vec::with_capacity(bc);
+    for _ in 0..bc {
+        blasts.push(BlastVolume {
+            body: BodyId(r.u32()?),
+            center: r.vec3()?,
+            radius: r.f32()?,
+            steps_left: r.u32()?,
+            impulse: r.f32()?,
+            fresh: r.u8()? != 0,
+        });
+    }
+
+    // Contact cache.
+    let cc = r.count(20)?;
+    let mut cache_entries = Vec::with_capacity(cc);
+    for _ in 0..cc {
+        let key = (GeomId(r.u32()?), GeomId(r.u32()?));
+        let age = r.u32()?;
+        let pc = r.count(28)?;
+        let mut points = Vec::with_capacity(pc);
+        for _ in 0..pc {
+            points.push(CachedPoint {
+                feature: r.u32()?,
+                position: r.vec3()?,
+                lambdas: [r.f32()?, r.f32()?, r.f32()?],
+            });
+        }
+        cache_entries.push((key, age, points));
+    }
+
+    if r.pos != bytes.len() {
+        return Err(SnapshotError::new(format!(
+            "{} trailing bytes after the last section",
+            bytes.len() - r.pos
+        )));
+    }
+
+    // Everything parsed and validated — commit. Body lanes are rebuilt
+    // wholesale: slots only ever grow in this engine, so a snapshot with
+    // fewer bodies than the target simply truncates (bisect restores an
+    // *earlier* state into a world that has since spawned bodies).
+    apply_bodies(world, n, &lanes, flags, island);
+    world.geoms = geoms;
+    world.body_geoms = body_geoms;
+    world.joints = joints;
+    world.joint_pairs = joint_pairs;
+    for (c, (verts, contact_bodies, contact_static_geoms)) in
+        world.cloths.iter_mut().zip(cloth_states)
+    {
+        c.verts_mut().copy_from_slice(&verts);
+        c.contact_bodies = contact_bodies;
+        c.contact_static_geoms = contact_static_geoms;
+    }
+    for (p, s) in world.prefractured.iter_mut().zip(shattered) {
+        p.shattered = s;
+    }
+    world.explosive_cfg = explosive_cfg;
+    world.blasts = blasts;
+    let cache = world
+        .pipeline
+        .as_mut()
+        .expect("pipeline present outside step")
+        .contact_cache_mut();
+    cache.clear();
+    for (key, age, points) in cache_entries {
+        cache.insert_raw(key, age, points);
+    }
+    world.steps = steps;
+    world.time = time;
+    Ok(())
+}
+
+fn apply_bodies(
+    world: &mut World,
+    n: usize,
+    lanes: &[Vec<f32>],
+    flags: Vec<BodyFlags>,
+    island: Vec<u32>,
+) {
+    let b = &mut world.bodies;
+    // Consume the 40 lanes in the exact order `body_lanes` wrote them.
+    let mut it = lanes.iter().cloned();
+    let mut lane = move || it.next().expect("40 body lanes");
+    b.pos.x = lane();
+    b.pos.y = lane();
+    b.pos.z = lane();
+    b.rot.w = lane();
+    b.rot.x = lane();
+    b.rot.y = lane();
+    b.rot.z = lane();
+    b.lin_vel.x = lane();
+    b.lin_vel.y = lane();
+    b.lin_vel.z = lane();
+    b.ang_vel.x = lane();
+    b.ang_vel.y = lane();
+    b.ang_vel.z = lane();
+    b.force.x = lane();
+    b.force.y = lane();
+    b.force.z = lane();
+    b.torque.x = lane();
+    b.torque.y = lane();
+    b.torque.z = lane();
+    b.inv_mass = lane();
+    for e in 0..9 {
+        b.inv_inertia_local.e[e] = lane();
+    }
+    for e in 0..9 {
+        b.inv_inertia_world.e[e] = lane();
+    }
+    b.linear_damping = lane();
+    b.angular_damping = lane();
+    b.flags = flags;
+    b.island = island;
+    b.movable_mask = vec![0.0; n];
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::body::BodyDesc;
+    use crate::digest::world_digest;
+    use crate::joint::Joint;
+    use crate::world::WorldConfig;
+
+    fn playground() -> World {
+        let mut w = World::new(WorldConfig::default());
+        w.add_static_geom(Shape::plane(Vec3::UNIT_Y, 0.0));
+        for i in 0..6 {
+            w.add_body(
+                BodyDesc::dynamic(Vec3::new((i % 3) as f32 * 1.1, 0.5 + (i / 3) as f32, 0.0))
+                    .with_shape(Shape::cuboid(Vec3::splat(0.5)), 1.0),
+            );
+        }
+        let a = w.add_body(BodyDesc::fixed(Vec3::new(5.0, 2.0, 0.0)));
+        let bob = w.add_body(
+            BodyDesc::dynamic(Vec3::new(6.0, 2.0, 0.0)).with_shape(Shape::sphere(0.2), 1.0),
+        );
+        w.add_joint(
+            Joint::new(
+                JointKind::Ball {
+                    anchor_a: Vec3::ZERO,
+                    anchor_b: Vec3::new(-1.0, 0.0, 0.0),
+                },
+                a,
+                bob,
+            )
+            .breakable(50.0),
+        );
+        w.add_cloth(crate::cloth::Cloth::rectangle(
+            Vec3::new(-2.0, 1.5, -0.5),
+            1.0,
+            1.0,
+            5,
+            5,
+            &[0],
+        ));
+        w
+    }
+
+    #[test]
+    fn mid_run_round_trip_is_bit_identical() {
+        let mut a = playground();
+        for _ in 0..40 {
+            a.step();
+        }
+        let snap = a.snapshot();
+        let mut b = playground();
+        b.restore(&snap).expect("restore");
+        assert_eq!(world_digest(&a), world_digest(&b));
+        assert_eq!(a.snapshot(), b.snapshot(), "re-snapshot must be canonical");
+        // And the trajectories stay locked.
+        for i in 0..25 {
+            a.step();
+            b.step();
+            assert_eq!(world_digest(&a), world_digest(&b), "diverged at step {i}");
+        }
+    }
+
+    #[test]
+    fn restore_rejects_garbage_and_wrong_version() {
+        let mut w = playground();
+        assert!(w.restore(b"not a snapshot").is_err());
+        let mut snap = w.snapshot();
+        snap[4] = 99; // version field
+        let err = w.restore(&snap).unwrap_err().to_string();
+        assert!(err.contains("version"), "{err}");
+        let snap = w.snapshot();
+        assert!(w.restore(&snap[..snap.len() - 3]).is_err(), "truncated");
+    }
+
+    #[test]
+    fn restore_rejects_structural_mismatch() {
+        let w = playground();
+        let snap = w.snapshot();
+        let mut other = World::new(WorldConfig::default());
+        // No cloths in the target world.
+        let err = other.restore(&snap).unwrap_err().to_string();
+        assert!(err.contains("cloth"), "{err}");
+    }
+}

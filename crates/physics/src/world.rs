@@ -66,6 +66,15 @@ pub struct WorldConfig {
     /// [`SimdMode::resolve`]: the widest ISA the CPU supports, overridable
     /// with `PARALLAX_SIMD=0|sse2|avx2`. All modes are bit-identical.
     pub simd: SimdMode,
+    /// Compute the per-phase state digests ([`crate::digest`]) every step
+    /// and publish them as `physics.digest.<phase>` gauges +
+    /// [`StepProfile::digests`]. Off by default (the digest walk costs a
+    /// few percent of a step); defaults from `PARALLAX_DIGEST=1`.
+    pub digests: bool,
+    /// Deliberate single-ULP fault injection for testing the divergence
+    /// tooling (see [`crate::digest::DigestFault`]). `None` in any real
+    /// run.
+    pub digest_fault: Option<crate::digest::DigestFault>,
 }
 
 impl Default for WorldConfig {
@@ -86,6 +95,8 @@ impl Default for WorldConfig {
             slider_spring_c: 1_200.0,
             warm_starting: true,
             simd: SimdMode::resolve(),
+            digests: crate::digest::digests_from_env(),
+            digest_fault: None,
         }
     }
 }
@@ -115,12 +126,12 @@ pub struct World {
     /// Collision-excluded body pairs (jointed bodies do not collide).
     pub(crate) joint_pairs: HashSet<(u32, u32)>,
     pub(crate) cloths: Vec<Cloth>,
-    prefractured: Vec<Prefractured>,
-    explosive_cfg: Vec<(u32, ExplosionConfig)>,
+    pub(crate) prefractured: Vec<Prefractured>,
+    pub(crate) explosive_cfg: Vec<(u32, ExplosionConfig)>,
     pub(crate) blasts: Vec<BlastVolume>,
     /// The step pipeline; `None` only transiently while [`World::step`]
     /// has lent it out.
-    pipeline: Option<StepPipeline>,
+    pub(crate) pipeline: Option<StepPipeline>,
     pub(crate) time: f64,
     pub(crate) steps: u64,
 }
@@ -404,6 +415,27 @@ impl World {
         (0..self.bodies.len())
             .filter(|&i| self.bodies.is_movable(i))
             .count()
+    }
+
+    // --- snapshot / restore ------------------------------------------------
+
+    /// Serializes the complete mutable simulation state to a versioned
+    /// binary blob (see [`crate::snapshot`] for the format). Restoring the
+    /// blob with [`World::restore`] reproduces the trajectory bit for bit.
+    pub fn snapshot(&self) -> Vec<u8> {
+        crate::snapshot::snapshot(self)
+    }
+
+    /// Restores state previously captured by [`World::snapshot`].
+    ///
+    /// The receiving world must have been built by the same scene
+    /// constructor as the snapshotted one (structural data — terrain
+    /// meshes, cloth topology, fracture layouts — is matched by index,
+    /// not serialized). The configuration is deliberately *not* restored:
+    /// replaying one snapshot under different thread counts or SIMD modes
+    /// is exactly what the divergence bisector does.
+    pub fn restore(&mut self, bytes: &[u8]) -> Result<(), crate::snapshot::SnapshotError> {
+        crate::snapshot::restore(self, bytes)
     }
 
     // --- stepping -----------------------------------------------------------

@@ -406,6 +406,7 @@ mod tests {
             iterations: 20,
             residual: 0.0,
             queued: false,
+            lambda_digest: 0,
         });
         p.cloths.push(ClothWork {
             cloth: 0,

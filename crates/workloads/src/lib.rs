@@ -128,6 +128,9 @@ pub struct SceneParams {
     pub warm_starting: bool,
     /// SIMD kernel width for the engine's vectorized sweeps.
     pub simd: SimdMode,
+    /// Compute per-phase state digests each step (flight recorder /
+    /// divergence bisection). Defaults from `PARALLAX_DIGEST`.
+    pub digests: bool,
 }
 
 impl Default for SceneParams {
@@ -138,6 +141,7 @@ impl Default for SceneParams {
             threads: 1,
             warm_starting: true,
             simd: SimdMode::resolve(),
+            digests: parallax_physics::digest::digests_from_env(),
         }
     }
 }
@@ -155,6 +159,7 @@ impl SceneParams {
             threads: self.threads,
             warm_starting: self.warm_starting,
             simd: self.simd,
+            digests: self.digests,
             ..WorldConfig::default()
         }
     }
@@ -256,7 +261,39 @@ impl std::fmt::Debug for Scene {
     }
 }
 
+/// A resumable checkpoint of a running [`Scene`]: the world snapshot plus
+/// the mutable actor state (only cannons mutate as a scene runs — cars,
+/// combat groups and cloth attachments are static body-id lists).
+///
+/// Restoring into a scene built from the *same* `BenchmarkId` and
+/// [`SceneParams`] resumes the run bit-identically; restoring into a
+/// structurally different scene is rejected by the snapshot layer.
+#[derive(Debug, Clone)]
+pub struct SceneCheckpoint {
+    /// Serialized world (see `parallax_physics::snapshot`).
+    pub world: Vec<u8>,
+    /// Cannon firing state (countdowns, shots left, fired projectiles).
+    pub cannons: Vec<entities::Cannon>,
+}
+
 impl Scene {
+    /// Captures a resumable checkpoint of the scene.
+    pub fn checkpoint(&self) -> SceneCheckpoint {
+        SceneCheckpoint {
+            world: self.world.snapshot(),
+            cannons: self.actors.cannons.clone(),
+        }
+    }
+
+    /// Restores a checkpoint taken from a scene built with the same
+    /// benchmark and parameters (thread count / SIMD mode may differ —
+    /// those live in the config, which a restore never touches).
+    pub fn restore(&mut self, cp: &SceneCheckpoint) -> Result<(), parallax_physics::SnapshotError> {
+        self.world.restore(&cp.world)?;
+        self.actors.cannons = cp.cannons.clone();
+        Ok(())
+    }
+
     /// Advances one step, running actor logic first.
     pub fn step(&mut self) -> parallax_physics::StepProfile {
         let step = self.world.step_count();
@@ -293,6 +330,39 @@ impl Scene {
 #[cfg(test)]
 mod actor_tests {
     use super::*;
+
+    #[test]
+    fn checkpoint_restore_resumes_bit_identically() {
+        let params = SceneParams {
+            scale: 0.1,
+            digests: true,
+            ..Default::default()
+        };
+        let mut a = BenchmarkId::Mix.build(&params);
+        for _ in 0..20 {
+            a.step();
+        }
+        let cp = a.checkpoint();
+        let mut b = BenchmarkId::Mix.build(&params);
+        b.restore(&cp).expect("same-scene restore");
+        assert_eq!(
+            parallax_physics::world_digest(&a.world),
+            parallax_physics::world_digest(&b.world),
+            "restored scene must match the checkpoint source"
+        );
+        // Both continue in lockstep: cannons keep the same schedule,
+        // physics stays bit-identical.
+        for step in 0..15 {
+            let pa = a.step();
+            let pb = b.step();
+            assert_eq!(pa.digests, pb.digests, "phase digests diverged at {step}");
+            assert_eq!(
+                parallax_physics::world_digest(&a.world),
+                parallax_physics::world_digest(&b.world),
+                "world diverged at {step}"
+            );
+        }
+    }
 
     #[test]
     fn attached_cloth_follows_its_body() {

@@ -80,4 +80,27 @@ wait "$serve_pid" 2>/dev/null || true
 # A/B check).
 cargo run --release --offline -q -p parallax-bench --bin soak -- --quick
 
+# Flight recorder: snapshot round-trip must be bit-identical on Mix
+# (the targeted integration tests cover random worlds and the cross
+# thread/SIMD grid too).
+cargo test -q --offline --test snapshot_roundtrip
+
+# Divergence bisector end to end through the CLI: inject a single-ULP
+# fault into side B at step 17's narrow phase and require the report to
+# name exactly that coordinate. bisect exits 3 on divergence — that IS
+# the expected outcome here.
+set +e
+cargo run --release --offline -q -p parallax-bench --bin bisect -- \
+    --scene Mix --steps 40 --scale 0.1 --fault 17:Narrowphase \
+    > "$tmp/bisect.out" 2>/dev/null
+bisect_rc=$?
+set -e
+test "$bisect_rc" -eq 3
+grep -q "^divergence: step=17 phase=Narrowphase" "$tmp/bisect.out"
+
+# Digest overhead gate: per-phase state digests must cost <=3% of the
+# step total on Mix (interleaved A/B, whole bootstrap CI must clear the
+# budget). Unlike bench_gate --quick, the threshold does not widen.
+cargo run --release --offline -q -p parallax-bench --bin digest_overhead -- --quick
+
 echo "tier-1 verify: OK"

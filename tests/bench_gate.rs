@@ -24,6 +24,7 @@ fn tiny_gate() -> GateConfig {
         threshold: 1.0,
         warm_starting: true,
         simd: SimdMode::Scalar,
+        digests: false,
         // Two scenes whose broad-phase is tens of microseconds at this
         // scale, so the injected delay is a huge *relative* change.
         scenes: vec![BenchmarkId::Periodic, BenchmarkId::Ragdoll],

@@ -19,11 +19,37 @@
 //! below pins the cross-product explicitly.
 
 use parallax_math::Vec3;
-use parallax_physics::{BodyDesc, Shape, SimdMode, World, WorldConfig};
+use parallax_physics::{BodyDesc, PhaseKind, Shape, SimdMode, World, WorldConfig};
 use parallax_trace::StepTrace;
 use parallax_workloads::{BenchmarkId, SceneParams};
 
 const STEPS: usize = 100;
+
+/// First step whose per-phase digests differ, with the first divergent
+/// phase's display name — so a determinism failure reads "step 37,
+/// Island Parallel", not "some array differed".
+fn first_digest_divergence(a: &[[u64; 5]], b: &[[u64; 5]]) -> Option<(usize, &'static str)> {
+    a.iter().zip(b).enumerate().find_map(|(step, (da, db))| {
+        PhaseKind::ALL
+            .iter()
+            .zip(da.iter().zip(db.iter()))
+            .find(|(_, (x, y))| x != y)
+            .map(|(p, _)| (step, p.name()))
+    })
+}
+
+/// Asserts two runs match bit-for-bit, naming the first divergent step
+/// and phase when they do not.
+#[track_caller]
+fn assert_identical(baseline: &RunRecord, run: &RunRecord, label: &str) {
+    if let Some((step, phase)) = first_digest_divergence(&baseline.digests, &run.digests) {
+        panic!("{label}: first divergence at step {step}, phase {phase}");
+    }
+    assert!(
+        run == baseline,
+        "{label}: end state diverged with identical per-step digests"
+    );
+}
 
 /// Honours `PARALLAX_WARM_START=0|off` so the suite can be re-run against
 /// the cold-solver path without a rebuild.
@@ -37,6 +63,10 @@ fn warm_starting() -> bool {
 /// Bit-exact snapshot of the dynamic state plus per-step trace counts.
 #[derive(PartialEq, Debug)]
 struct RunRecord {
+    /// Per-step per-phase state digests (the flight recorder's
+    /// fingerprints) — compared first, so a failure names the exact step
+    /// and phase where two runs part ways.
+    digests: Vec<[u64; 5]>,
     /// (position, linear velocity) bit patterns for every body at the end.
     body_state: Vec<[u32; 6]>,
     /// Cloth vertex position bit patterns at the end.
@@ -52,10 +82,12 @@ fn bits(v: Vec3) -> [u32; 3] {
 }
 
 fn record(world: &mut World, steps: usize) -> RunRecord {
+    let mut digests = Vec::with_capacity(steps);
     let mut instructions = Vec::with_capacity(steps);
     let mut work = Vec::with_capacity(steps);
     for _ in 0..steps {
         let p = world.step();
+        digests.push(p.digests.expect("digests enabled in test worlds"));
         instructions.push(StepTrace::from_profile(&p).total_instructions());
         work.push((p.pairs.len(), p.islands.len(), p.total_contacts()));
     }
@@ -74,6 +106,7 @@ fn record(world: &mut World, steps: usize) -> RunRecord {
         .flat_map(|c| c.vertices().iter().map(|v| bits(v.pos)))
         .collect();
     RunRecord {
+        digests,
         body_state,
         cloth_state,
         instructions,
@@ -88,6 +121,7 @@ fn build_dense_world(threads: usize) -> World {
     let mut w = World::new(WorldConfig {
         threads,
         warm_starting: warm_starting(),
+        digests: true,
         ..WorldConfig::default()
     });
     w.add_static_geom(Shape::plane(Vec3::UNIT_Y, 0.0));
@@ -122,10 +156,7 @@ fn dense_world_is_bit_identical_across_thread_counts() {
     assert!(baseline.instructions.iter().all(|&i| i > 0));
     for threads in [2, 8] {
         let run = record(&mut build_dense_world(threads), STEPS);
-        assert!(
-            run == baseline,
-            "threads = {threads} diverged from the serial run"
-        );
+        assert_identical(&baseline, &run, &format!("threads = {threads}"));
     }
 }
 
@@ -138,11 +169,14 @@ fn mix_scene_is_bit_identical_across_thread_counts() {
             scale: 0.1,
             threads,
             warm_starting: warm_starting(),
+            digests: true,
             ..SceneParams::default()
         });
+        let mut digests = Vec::new();
         let mut instructions = Vec::new();
         for _ in 0..STEPS {
             let p = scene.step();
+            digests.push(p.digests.expect("digests enabled"));
             instructions.push(StepTrace::from_profile(&p).total_instructions());
         }
         let positions: Vec<[u32; 3]> = scene
@@ -151,11 +185,15 @@ fn mix_scene_is_bit_identical_across_thread_counts() {
             .iter()
             .map(|b| bits(b.position()))
             .collect();
-        (instructions, positions)
+        (digests, instructions, positions)
     };
     let baseline = record_mix(1);
     for threads in [2, 8] {
-        assert_eq!(record_mix(threads), baseline, "threads = {threads}");
+        let run = record_mix(threads);
+        if let Some((step, phase)) = first_digest_divergence(&baseline.0, &run.0) {
+            panic!("threads = {threads}: first divergence at step {step}, phase {phase}");
+        }
+        assert_eq!(run, baseline, "threads = {threads}");
     }
 }
 
@@ -176,10 +214,10 @@ fn simulation_is_bit_identical_across_simd_modes_and_threads() {
         }
         for threads in [1, 2, 8] {
             let r = run(threads, simd);
-            assert!(
-                r == baseline,
-                "threads = {threads}, simd = {} diverged from the scalar serial run",
-                simd.name()
+            assert_identical(
+                &baseline,
+                &r,
+                &format!("threads = {threads}, simd = {}", simd.name()),
             );
         }
     }
@@ -192,14 +230,20 @@ fn thread_count_change_mid_run_stays_deterministic() {
     let mut steady = build_dense_world(1);
     let mut switching = build_dense_world(1);
     for step in 0..STEPS {
-        steady.step();
+        let ps = steady.step();
         if step == 25 {
             switching.config_mut().threads = 4;
         }
         if step == 75 {
             switching.config_mut().threads = 2;
         }
-        switching.step();
+        let pw = switching.step();
+        if let Some((_, phase)) = first_digest_divergence(
+            &[ps.digests.expect("digests enabled")],
+            &[pw.digests.expect("digests enabled")],
+        ) {
+            panic!("first divergence at step {step}, phase {phase}");
+        }
     }
     let a: Vec<[u32; 3]> = steady.bodies().iter().map(|b| bits(b.position())).collect();
     let b: Vec<[u32; 3]> = switching
