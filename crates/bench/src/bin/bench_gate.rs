@@ -37,6 +37,10 @@ struct Args {
     /// comparison then *measures* the kernel speedup instead of gating
     /// a code change.
     simd: Option<SimdMode>,
+    /// An explicit `--sleep` choice. Like `--simd`, a `compare` whose
+    /// sleep setting differs from the baseline's becomes a cross-config
+    /// interleaved A/B that *measures* the island-sleeping speedup.
+    sleep: Option<bool>,
     quick: bool,
     allow_missing: bool,
 }
@@ -48,12 +52,14 @@ enum Mode {
 }
 
 const USAGE: &str = "usage: bench_gate record  [--out PATH] [--steps N] [--warmup N] \
-                     [--scale F] [--threads N] [--simd MODE] [--quick]\n\
+                     [--scale F] [--threads N] [--simd MODE] [--sleep on|off] [--quick]\n\
                      \x20      bench_gate compare [--baseline PATH] [--threshold F] \
-                     [--steps N] [--warmup N] [--simd MODE] [--quick] \
+                     [--steps N] [--warmup N] [--simd MODE] [--sleep on|off] [--quick] \
                      [--allow-missing-baseline]\n\
                      MODE: scalar | sse2 | avx2 (default: auto-detect; compare \
-                     defaults to the baseline's recorded mode)";
+                     defaults to the baseline's recorded mode)\n\
+                     --sleep: island sleeping (default: PARALLAX_SLEEP; compare \
+                     defaults to the baseline's recorded setting)";
 
 fn parse_args() -> Result<Args, String> {
     let mut it = std::env::args().skip(1);
@@ -68,6 +74,7 @@ fn parse_args() -> Result<Args, String> {
         cfg: GateConfig::default(),
         threshold: None,
         simd: None,
+        sleep: None,
         quick: false,
         allow_missing: false,
     };
@@ -91,6 +98,16 @@ fn parse_args() -> Result<Args, String> {
                     .ok_or_else(|| format!("--simd: unknown mode {name:?} (scalar|sse2|avx2)"))?;
                 args.cfg.simd = mode;
                 args.simd = Some(mode);
+            }
+            "--sleep" => {
+                let v = value_of("--sleep")?;
+                let on = match v.as_str() {
+                    "on" | "1" | "true" => true,
+                    "off" | "0" | "false" => false,
+                    other => return Err(format!("--sleep: expected on|off, got {other:?}")),
+                };
+                args.cfg.sleeping = on;
+                args.sleep = Some(on);
             }
             "--threshold" => {
                 args.threshold = Some(
@@ -140,13 +157,15 @@ fn main() {
 fn run_record(args: &Args) {
     let cfg = &args.cfg;
     println!(
-        "recording {} scene(s): {} steps (+{} warmup) @ scale {}, {} thread(s), {} kernels",
+        "recording {} scene(s): {} steps (+{} warmup) @ scale {}, {} thread(s), {} kernels, \
+         sleeping {}",
         cfg.scenes.len(),
         cfg.steps,
         cfg.warmup,
         cfg.scale,
         cfg.threads,
-        cfg.simd.clamp_to_supported().name()
+        cfg.simd.clamp_to_supported().name(),
+        if cfg.sleeping { "on" } else { "off" }
     );
     let baseline = record(cfg);
     let rows: Vec<Vec<String>> = baseline
@@ -236,15 +255,22 @@ fn run_compare(args: &Args) {
         }
     };
 
+    // Island sleeping follows the same rule as SIMD: the fresh run
+    // inherits the baseline's setting unless `--sleep` explicitly asks
+    // for a cross-config comparison measuring the sleeping speedup.
+    let cross_sleep = matches!(args.sleep, Some(s) if s != base.config.sleeping);
+    let fresh_sleep = args.sleep.unwrap_or(base.config.sleeping);
+
     // The fresh run must match the baseline's workload exactly; only the
-    // sample count, threshold, and an explicit --simd are the comparer's
-    // choice.
+    // sample count, threshold, and an explicit --simd/--sleep are the
+    // comparer's choice.
     let cfg = GateConfig {
         scale: base.config.scale,
         threads: base.config.threads,
         warm_starting: base.config.warm_starting,
         simd: fresh_simd,
         digests: base.config.digests,
+        sleeping: fresh_sleep,
         scenes: base.config.scenes.clone(),
         ..args.cfg.clone()
     };
@@ -255,7 +281,7 @@ fn run_compare(args: &Args) {
     };
     println!(
         "comparing against {} ({} scene(s), threshold +{:.0}%): {} steps (+{} warmup) \
-         @ scale {}, {} thread(s), {} kernels",
+         @ scale {}, {} thread(s), {} kernels, sleeping {}",
         args.path,
         base.scenes.len(),
         threshold * 100.0,
@@ -263,24 +289,38 @@ fn run_compare(args: &Args) {
         cfg.warmup,
         cfg.scale,
         cfg.threads,
-        cfg.simd.clamp_to_supported().name()
+        cfg.simd.clamp_to_supported().name(),
+        if cfg.sleeping { "on" } else { "off" }
     );
-    // Cross-mode: the stored samples were taken minutes-to-months ago,
+    // Cross-config: the stored samples were taken minutes-to-months ago,
     // and slow host drift between then and now easily exceeds a kernel
-    // effect. Re-measure *both* modes interleaved within each scene so
-    // drift cancels; the stored baseline only contributes the workload
-    // configuration. Same-mode gating keeps the stored samples — that
-    // comparison against the past is the point of the gate.
-    let (base, fresh) = if cross_mode {
-        eprintln!(
-            "note: cross-mode comparison: re-measuring {} and {} kernels interleaved \
-             (stored samples are not drift-comparable). Verdicts measure the kernel \
-             change, not a code change.",
-            base.config.simd.name(),
-            fresh_simd.name()
-        );
+    // or sleeping effect. Re-measure *both* configurations interleaved
+    // within each scene so drift cancels; the stored baseline only
+    // contributes the workload configuration. Same-config gating keeps
+    // the stored samples — that comparison against the past is the point
+    // of the gate.
+    let (base, fresh) = if cross_mode || cross_sleep {
+        if cross_mode {
+            eprintln!(
+                "note: cross-mode comparison: re-measuring {} and {} kernels interleaved \
+                 (stored samples are not drift-comparable). Verdicts measure the kernel \
+                 change, not a code change.",
+                base.config.simd.name(),
+                fresh_simd.name()
+            );
+        }
+        if cross_sleep {
+            eprintln!(
+                "note: cross-sleep comparison: re-measuring sleeping {} and {} interleaved \
+                 (stored samples are not drift-comparable). Verdicts measure the sleeping \
+                 change, not a code change.",
+                if base.config.sleeping { "on" } else { "off" },
+                if fresh_sleep { "on" } else { "off" }
+            );
+        }
         let base_cfg = GateConfig {
             simd: base.config.simd,
+            sleeping: base.config.sleeping,
             ..cfg.clone()
         };
         record_paired(&base_cfg, &cfg)

@@ -74,21 +74,25 @@ fn main() {
             eprintln!("error: {e}");
             eprintln!(
                 "usage: bisect [--scene NAME] [--steps N] [--scale F] [--chunk N] \
-                 [--a threads=N,simd=MODE] [--b threads=N,simd=MODE] [--fault STEP:PHASE]"
+                 [--a threads=N,simd=MODE,sleep=on|off] \
+                 [--b threads=N,simd=MODE,sleep=on|off] [--fault STEP:PHASE]"
             );
             std::process::exit(2);
         }
     };
 
     println!(
-        "bisect: {} for {} steps @ scale {}: A(threads={}, simd={}) vs B(threads={}, simd={}){}",
+        "bisect: {} for {} steps @ scale {}: A(threads={}, simd={}, sleep={}) vs \
+         B(threads={}, simd={}, sleep={}){}",
         cfg.scene.name(),
         cfg.steps,
         cfg.scale,
         cfg.a.threads,
         cfg.a.simd.clamp_to_supported().name(),
+        if cfg.a.sleep { "on" } else { "off" },
         cfg.b.threads,
         cfg.b.simd.clamp_to_supported().name(),
+        if cfg.b.sleep { "on" } else { "off" },
         match cfg.fault {
             Some(f) => format!(" with fault injected at step {} {}", f.step, f.phase.name()),
             None => String::new(),

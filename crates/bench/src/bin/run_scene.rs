@@ -49,6 +49,8 @@ struct Args {
     threads: usize,
     monitor: bool,
     warm_starting: bool,
+    /// Island sleeping override; `None` follows `PARALLAX_SLEEP`.
+    sleep: Option<bool>,
     serve: Option<String>,
     blackbox_dir: PathBuf,
 }
@@ -61,6 +63,7 @@ fn parse_args() -> Result<Args, String> {
         threads: 1,
         monitor: false,
         warm_starting: true,
+        sleep: None,
         serve: None,
         blackbox_dir: PathBuf::from("blackbox"),
     };
@@ -95,6 +98,14 @@ fn parse_args() -> Result<Args, String> {
                 args.monitor = true; // /health needs the invariant verdict
             }
             "--no-warm-start" => args.warm_starting = false,
+            "--sleep" => {
+                let v = value_of("--sleep")?;
+                args.sleep = Some(match v.as_str() {
+                    "on" | "1" | "true" => true,
+                    "off" | "0" | "false" => false,
+                    other => return Err(format!("--sleep: expected on|off, got {other:?}")),
+                });
+            }
             "--blackbox-dir" => args.blackbox_dir = PathBuf::from(value_of("--blackbox-dir")?),
             // Consumed by the shared sink bootstrap in parallax-bench.
             "--telemetry" => {
@@ -159,8 +170,8 @@ fn main() {
             eprintln!("error: {e}");
             eprintln!(
                 "usage: run_scene [--scene NAME] [--steps N] [--scale F] \
-                 [--threads N] [--monitor] [--no-warm-start] [--telemetry PATH] \
-                 [--serve ADDR] [--blackbox-dir PATH]"
+                 [--threads N] [--monitor] [--no-warm-start] [--sleep on|off] \
+                 [--telemetry PATH] [--serve ADDR] [--blackbox-dir PATH]"
             );
             std::process::exit(2);
         }
@@ -178,6 +189,9 @@ fn main() {
         scale: args.scale,
         threads: args.threads,
         warm_starting: args.warm_starting,
+        sleeping: args
+            .sleep
+            .unwrap_or_else(parallax_physics::sleeping_from_env),
         digests: flight_on || parallax_physics::digest::digests_from_env(),
         ..SceneParams::default()
     });

@@ -18,7 +18,12 @@
 //!    lane ([`parallax_physics::first_divergence`]).
 //!
 //! Both sides must be built from the same benchmark and scale; only
-//! threads and SIMD mode (the axes determinism is promised over) differ.
+//! threads, SIMD mode and island sleeping (the axes determinism is
+//! promised over) differ. A cross-sleep bisection (`sleep=on` vs
+//! `sleep=off`) is *expected* to diverge at the first sleep transition —
+//! running it localizes exactly where the fast path first bites, which
+//! doubles as a smoke test that the bisector attributes sleep-lane
+//! divergences correctly.
 //! A test-only single-ULP fault ([`DigestFault`], applied to side B)
 //! lets the machinery be verified end to end.
 
@@ -34,15 +39,18 @@ pub struct SideSpec {
     pub threads: usize,
     /// SIMD kernel mode.
     pub simd: SimdMode,
+    /// Island sleeping.
+    pub sleep: bool,
 }
 
 impl SideSpec {
-    /// Parses `"threads=8,simd=avx2"` (either key optional, any order;
-    /// defaults: 1 thread, scalar kernels).
+    /// Parses `"threads=8,simd=avx2,sleep=on"` (every key optional, any
+    /// order; defaults: 1 thread, scalar kernels, sleeping off).
     pub fn parse(spec: &str) -> Result<SideSpec, String> {
         let mut side = SideSpec {
             threads: 1,
             simd: SimdMode::Scalar,
+            sleep: false,
         };
         for part in spec.split(',').map(str::trim).filter(|p| !p.is_empty()) {
             let (key, value) = part
@@ -56,7 +64,18 @@ impl SideSpec {
                     side.simd = SimdMode::from_name(value.trim())
                         .ok_or_else(|| format!("unknown simd mode {value:?}"))?
                 }
-                other => return Err(format!("unknown key {other:?} (expected threads/simd)")),
+                "sleep" => {
+                    side.sleep = match value.trim() {
+                        "on" | "1" | "true" => true,
+                        "off" | "0" | "false" => false,
+                        other => return Err(format!("sleep: expected on|off, got {other:?}")),
+                    }
+                }
+                other => {
+                    return Err(format!(
+                        "unknown key {other:?} (expected threads/simd/sleep)"
+                    ))
+                }
             }
         }
         Ok(side)
@@ -91,10 +110,12 @@ impl Default for BisectConfig {
             a: SideSpec {
                 threads: 1,
                 simd: SimdMode::Scalar,
+                sleep: false,
             },
             b: SideSpec {
                 threads: 1,
                 simd: SimdMode::Scalar,
+                sleep: false,
             },
             fault: None,
             chunk: 64,
@@ -141,6 +162,7 @@ fn build_side(cfg: &BisectConfig, side: SideSpec, fault: Option<DigestFault>) ->
         scale: cfg.scale,
         threads: side.threads,
         simd: side.simd,
+        sleeping: side.sleep,
         // Off during the scan: the probes compare whole-world digests at
         // their endpoints, so the runs stay representative of production.
         digests: false,
@@ -279,14 +301,17 @@ mod tests {
 
     #[test]
     fn side_spec_parses_and_defaults() {
-        let s = SideSpec::parse("threads=8,simd=avx2").unwrap();
+        let s = SideSpec::parse("threads=8,simd=avx2,sleep=on").unwrap();
         assert_eq!(s.threads, 8);
         assert_eq!(s.simd, SimdMode::Avx2);
+        assert!(s.sleep);
         let d = SideSpec::parse("").unwrap();
         assert_eq!(d.threads, 1);
         assert_eq!(d.simd, SimdMode::Scalar);
+        assert!(!d.sleep);
         assert!(SideSpec::parse("cores=4").is_err());
         assert!(SideSpec::parse("simd=neon").is_err());
+        assert!(SideSpec::parse("sleep=maybe").is_err());
     }
 
     #[test]

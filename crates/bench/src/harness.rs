@@ -63,6 +63,11 @@ pub struct GateConfig {
     /// off-vs-on. Baselines recorded before the field existed read as
     /// `false`.
     pub digests: bool,
+    /// Island sleeping enabled during the run. Part of the envelope
+    /// because sleeping changes how much work settled scenes do per
+    /// step; `bench_gate --sleep` A/B-compares off-vs-on. Baselines
+    /// recorded before the field existed read as `false`.
+    pub sleeping: bool,
     /// Scenes measured, in order.
     pub scenes: Vec<BenchmarkId>,
 }
@@ -78,6 +83,7 @@ impl Default for GateConfig {
             warm_starting: true,
             simd: SimdMode::resolve(),
             digests: false,
+            sleeping: parallax_physics::sleeping_from_env(),
             scenes: BenchmarkId::ALL.to_vec(),
         }
     }
@@ -196,6 +202,7 @@ fn record_scene(id: BenchmarkId, cfg: &GateConfig) -> SceneSamples {
         warm_starting: cfg.warm_starting,
         simd: cfg.simd,
         digests: cfg.digests,
+        sleeping: cfg.sleeping,
         ..SceneParams::default()
     });
     for _ in 0..cfg.warmup {
@@ -253,6 +260,7 @@ pub fn record_paired(a: &GateConfig, b: &GateConfig) -> (Baseline, Baseline) {
                 warm_starting: cfg.warm_starting,
                 simd: cfg.simd,
                 digests: cfg.digests,
+                sleeping: cfg.sleeping,
                 ..SceneParams::default()
             })
         };
@@ -319,7 +327,7 @@ impl Baseline {
             s,
             "  \"config\": {{\"steps\": {}, \"warmup\": {}, \"scale\": {}, \
              \"threads\": {}, \"threshold\": {}, \"warm_starting\": {}, \
-             \"simd\": \"{}\", \"digests\": {}}},",
+             \"simd\": \"{}\", \"digests\": {}, \"sleeping\": {}}},",
             self.config.steps,
             self.config.warmup,
             self.config.scale,
@@ -327,7 +335,8 @@ impl Baseline {
             self.config.threshold,
             self.config.warm_starting,
             self.config.simd.name(),
-            self.config.digests
+            self.config.digests,
+            self.config.sleeping
         );
         s.push_str("  \"scenes\": [\n");
         for (i, sc) in self.scenes.iter().enumerate() {
@@ -405,6 +414,8 @@ impl Baseline {
             // Absent in pre-digest baselines: digests did not exist, so
             // those samples were recorded without them.
             digests: matches!(c.get("digests"), Some(Json::Bool(true))),
+            // Absent in pre-sleeping baselines: sleeping did not exist.
+            sleeping: matches!(c.get("sleeping"), Some(Json::Bool(true))),
             scenes: Vec::new(),
         };
         let mut scenes = Vec::new();
@@ -563,6 +574,7 @@ mod tests {
             warm_starting: true,
             simd: SimdMode::Scalar,
             digests: false,
+            sleeping: false,
             scenes: vec![BenchmarkId::Periodic, BenchmarkId::Ragdoll],
         }
     }

@@ -79,6 +79,12 @@ bitflags_lite! {
         const PREFRACTURED = 1 << 4;
         /// Debris piece belonging to a pre-fractured object.
         const DEBRIS = 1 << 5;
+        /// Body is asleep: its island is fully at rest, so integration,
+        /// narrowphase and solving are skipped until a wake event
+        /// (contact with an awake body, joint neighbour wake, blast,
+        /// user impulse). Set and cleared only by the serial sleep/wake
+        /// passes so trajectories stay deterministic.
+        const SLEEPING = 1 << 6;
     }
 }
 

@@ -230,10 +230,30 @@ impl ContactCache {
     /// Ages every entry and evicts pairs unmatched for more than
     /// `max_age` steps or whose geoms are no longer live (`is_live`
     /// should report a geom as dead when it was disabled or removed).
-    pub fn end_step(&mut self, max_age: u32, mut is_live: impl FnMut(GeomId) -> bool) {
+    pub fn end_step(&mut self, max_age: u32, is_live: impl FnMut(GeomId) -> bool) {
+        self.end_step_pinned(max_age, is_live, |_| false);
+    }
+
+    /// [`end_step`](ContactCache::end_step) with a pin predicate: pairs
+    /// where either geom is pinned (its body sleeps — narrow-phase skips
+    /// the pair, so the cache would otherwise age it out while the
+    /// impulses are still exactly right) neither age nor evict, except
+    /// when a geom dies.
+    pub fn end_step_pinned(
+        &mut self,
+        max_age: u32,
+        mut is_live: impl FnMut(GeomId) -> bool,
+        mut is_pinned: impl FnMut(GeomId) -> bool,
+    ) {
         self.map.retain(|&(a, b), pair| {
+            if !(is_live(a) && is_live(b)) {
+                return false;
+            }
+            if is_pinned(a) || is_pinned(b) {
+                return true;
+            }
             pair.age += 1;
-            pair.age <= max_age && is_live(a) && is_live(b)
+            pair.age <= max_age
         });
     }
 }
@@ -333,6 +353,26 @@ mod tests {
         assert!(cache.pair(stale).is_none(), "stale pair must age out");
         assert!(cache.pair(fresh).is_some());
         assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn pinned_pairs_do_not_age_but_dead_geoms_still_evict() {
+        let mut cache = ContactCache::new();
+        let pinned = (GeomId(0), GeomId(1));
+        let plain = (GeomId(2), GeomId(3));
+        for key in [pinned, plain] {
+            cache.store(key, [(point(0, Vec3::ZERO), [1.0, 0.0, 0.0])]);
+        }
+        // Geom 0 is pinned (sleeping body): its pair outlives max_age.
+        for _ in 0..5 {
+            cache.end_step_pinned(2, |_| true, |g| g == GeomId(0));
+        }
+        assert!(cache.pair(pinned).is_some(), "pinned pair must survive");
+        assert_eq!(cache.pair(pinned).unwrap().age(), 0);
+        assert!(cache.pair(plain).is_none(), "unpinned pair ages out");
+        // Death beats pinning.
+        cache.end_step_pinned(2, |g| g != GeomId(1), |g| g == GeomId(0));
+        assert!(cache.pair(pinned).is_none());
     }
 
     #[test]

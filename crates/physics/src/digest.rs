@@ -302,6 +302,40 @@ fn fold_body_state(d: &mut Digest, bodies: &BodyStore) {
         d.write_f32s(lane);
     }
     d.write_u32s(bodies.flags.iter().map(|f| f.0));
+    d.write_u32s(bodies.sleep_timer.iter().copied());
+    d.write_f32s(&bodies.sleep_ema);
+}
+
+/// Folds the sleeping-island table and pending wake queue so a sleep or
+/// wake transition (or a diverging parked manifold) shows up in the
+/// whole-world digest.
+fn fold_sleep(d: &mut Digest, world: &World) {
+    let s = &world.sleep;
+    d.write_u64(s.islands.len() as u64);
+    for slot in &s.islands {
+        match slot {
+            None => d.write_u32(0),
+            Some(isl) => {
+                d.write_u32(1);
+                d.write_u64(isl.bodies.len() as u64);
+                d.write_u32s(isl.bodies.iter().copied());
+                d.write_u64(isl.manifolds.len() as u64);
+                for m in &isl.manifolds {
+                    d.write_u64((m.geom_a.0 as u64) | ((m.geom_b.0 as u64) << 32));
+                    d.write_u64(pack(m.friction, m.restitution));
+                    d.write_u64(m.len() as u64);
+                    for p in &m.points {
+                        d.write_u64(pack(p.position.x, p.position.y));
+                        d.write_u64(pack(p.position.z, p.normal.x));
+                        d.write_u64(pack(p.normal.y, p.normal.z));
+                        d.write_u64((p.depth.to_bits() as u64) | ((p.feature as u64) << 32));
+                    }
+                }
+            }
+        }
+    }
+    d.write_u32s(s.free.iter().copied());
+    d.write_u32s(s.pending_wakes.iter().copied());
 }
 
 /// Folds per-joint mutable state (load accumulation and breakage).
@@ -439,6 +473,7 @@ pub fn world_digest(world: &World) -> u64 {
         d.write_u32(b.fresh as u32);
     }
     d.write_u32s(world.prefractured.iter().map(|p| p.shattered as u32));
+    fold_sleep(&mut d, world);
     if let Some(p) = world.pipeline.as_ref() {
         fold_contact_cache(&mut d, p.contact_cache());
     }
@@ -477,6 +512,8 @@ pub fn chunk_digests(world: &World, chunk: usize) -> Vec<(usize, usize, u64)> {
             d.write_f32s(&lane[lo..hi]);
         }
         d.write_u32s(b.flags[lo..hi].iter().map(|f| f.0));
+        d.write_u32s(b.sleep_timer[lo..hi].iter().copied());
+        d.write_f32s(&b.sleep_ema[lo..hi]);
         out.push((lo, hi, d.finish()));
         lo = hi;
     }
@@ -544,6 +581,23 @@ pub fn first_divergence(a: &World, b: &World) -> Option<Divergence> {
                 body: Some(i as u32),
                 a_bits: a.bodies.flags[i].0 as u64,
                 b_bits: b.bodies.flags[i].0 as u64,
+            });
+        }
+        if a.bodies.sleep_timer[i] != b.bodies.sleep_timer[i] {
+            return Some(Divergence {
+                location: format!("body {i} sleep_timer"),
+                body: Some(i as u32),
+                a_bits: a.bodies.sleep_timer[i] as u64,
+                b_bits: b.bodies.sleep_timer[i] as u64,
+            });
+        }
+        let (ea, eb) = (a.bodies.sleep_ema[i], b.bodies.sleep_ema[i]);
+        if ea.to_bits() != eb.to_bits() {
+            return Some(Divergence {
+                location: format!("body {i} sleep_ema"),
+                body: Some(i as u32),
+                a_bits: ea.to_bits() as u64,
+                b_bits: eb.to_bits() as u64,
             });
         }
     }

@@ -8,6 +8,13 @@
 
 use crate::store::BodyStore;
 
+/// Bit set in a body's island lane when the body belongs to a *sleeping*
+/// island: the low 31 bits then index the world's sleeping-island table
+/// (see `crate::sleep`) instead of this step's island arena. `u32::MAX`
+/// still means "no island" (it has the bit set, so always test the flag
+/// or compare against `u32::MAX` first).
+pub const SLEEP_SLOT_BIT: u32 = 0x8000_0000;
+
 /// A single island: the bodies, joints and contact manifolds that must be
 /// solved together.
 #[derive(Debug, Default, Clone)]
@@ -223,6 +230,199 @@ pub fn build_islands_into(
     stats
 }
 
+/// Persistent, incremental island builder.
+///
+/// Keeps the union-find forest and scratch lists alive across steps and
+/// only visits bodies that appear in this step's constraint edges plus
+/// the bodies it assigned slots to last step, so a settled world where
+/// most bodies sleep pays O(awake + edges) per step instead of
+/// O(bodies + edges). Sleeping bodies are never touched: their island
+/// lane keeps the frozen [`SLEEP_SLOT_BIT`] encoding.
+///
+/// Produces bit-identical islands, slots and stats ordering to
+/// [`build_islands_into`] when no body sleeps: slots are assigned in
+/// ascending order of each component's lowest body index, exactly like
+/// the from-scratch builder's `0..n` scan.
+#[derive(Debug, Default)]
+pub struct IslandGraph {
+    /// Union-find parent, lazily re-initialised per epoch.
+    parent: Vec<u32>,
+    /// Epoch stamp per body; `stamp[i] == epoch` means `parent[i]` is valid.
+    stamp: Vec<u32>,
+    epoch: u32,
+    /// Bodies touched by this build (stamped), sorted before slot assignment.
+    touched: Vec<u32>,
+    /// Bodies assigned an awake island slot by the previous build; their
+    /// lanes are the only ones that need resetting next build.
+    last_awake: Vec<u32>,
+    /// When set (new graph, or world restored from a snapshot), the next
+    /// build clears every awake body's island lane instead of trusting
+    /// `last_awake`.
+    full_reset: bool,
+    finds: usize,
+    unions: usize,
+}
+
+impl IslandGraph {
+    /// Creates an empty graph; the first build performs a full lane reset.
+    pub fn new() -> Self {
+        IslandGraph {
+            full_reset: true,
+            ..Default::default()
+        }
+    }
+
+    /// Requests a full island-lane reset on the next build. Call after
+    /// restoring body state from a snapshot, when `last_awake` no longer
+    /// matches the lanes actually stored.
+    pub fn invalidate(&mut self) {
+        self.full_reset = true;
+    }
+
+    #[inline]
+    fn touch(&mut self, i: u32) {
+        if self.stamp[i as usize] != self.epoch {
+            self.stamp[i as usize] = self.epoch;
+            self.parent[i as usize] = i;
+            self.touched.push(i);
+        }
+    }
+
+    #[inline]
+    fn find(&mut self, x: u32) -> u32 {
+        self.finds += 1;
+        let mut x = x;
+        while self.parent[x as usize] != x {
+            let gp = self.parent[self.parent[x as usize] as usize];
+            self.parent[x as usize] = gp;
+            x = gp;
+        }
+        x
+    }
+
+    #[inline]
+    fn union(&mut self, a: u32, b: u32) {
+        let ra = self.find(a);
+        let rb = self.find(b);
+        self.unions += 1;
+        if ra != rb {
+            self.parent[ra.max(rb) as usize] = ra.min(rb);
+        }
+    }
+
+    /// Incremental equivalent of [`build_islands_into`]: builds the awake
+    /// islands for this step, leaving sleeping bodies' lanes untouched.
+    pub fn build(
+        &mut self,
+        bodies: &mut BodyStore,
+        edges: &[ConstraintEdge],
+        out: &mut Vec<Island>,
+    ) -> IslandStats {
+        for island in out.iter_mut() {
+            island.clear();
+        }
+        let n = bodies.len();
+        self.parent.resize(n, 0);
+        self.stamp.resize(n, 0);
+        self.finds = 0;
+        self.unions = 0;
+
+        // Reset only the lanes the previous build assigned (bodies that
+        // went to sleep since keep their frozen sleeping-slot lane).
+        if self.full_reset {
+            self.full_reset = false;
+            for i in 0..n {
+                if !bodies.is_sleeping(i) {
+                    bodies.set_island(i, u32::MAX);
+                }
+            }
+        } else {
+            for k in 0..self.last_awake.len() {
+                let b = self.last_awake[k] as usize;
+                if !bodies.is_sleeping(b) {
+                    bodies.set_island(b, u32::MAX);
+                }
+            }
+        }
+        self.last_awake.clear();
+
+        // Epoch bump; on wrap, clear stamps once so stale stamps can't alias.
+        self.epoch = self.epoch.wrapping_add(1);
+        if self.epoch == 0 {
+            self.stamp.iter_mut().for_each(|s| *s = 0);
+            self.epoch = 1;
+        }
+        self.touched.clear();
+
+        let awake = |bodies: &BodyStore, i: usize| bodies.is_movable(i) && !bodies.is_sleeping(i);
+
+        // Touch + union pass over this step's edges. Only dynamic-dynamic
+        // edges merge components; static/world anchors only mark their
+        // movable endpoint as touched.
+        for e in edges {
+            let a_awake = awake(bodies, e.body_a as usize);
+            if a_awake {
+                self.touch(e.body_a);
+            }
+            if e.body_b != u32::MAX && awake(bodies, e.body_b as usize) {
+                self.touch(e.body_b);
+                if a_awake {
+                    self.union(e.body_a, e.body_b);
+                }
+            }
+        }
+
+        // Slot assignment in ascending body order (first-encounter per
+        // root), matching the from-scratch builder's `0..n` scan.
+        self.touched.sort_unstable();
+        let mut used = 0usize;
+        let mut slot_of_root: std::collections::HashMap<u32, u32> =
+            std::collections::HashMap::new();
+        for k in 0..self.touched.len() {
+            let bi = self.touched[k];
+            let root = self.find(bi);
+            let slot = *slot_of_root.entry(root).or_insert_with(|| {
+                if used == out.len() {
+                    out.push(Island::default());
+                }
+                used += 1;
+                (used - 1) as u32
+            });
+            bodies.set_island(bi as usize, slot);
+            out[slot as usize].bodies.push(bi);
+            self.last_awake.push(bi);
+        }
+        out.truncate(used);
+
+        // Attach edges to their owner island.
+        for e in edges {
+            let owner = if awake(bodies, e.body_a as usize) {
+                bodies.island(e.body_a as usize)
+            } else if e.body_b != u32::MAX && awake(bodies, e.body_b as usize) {
+                bodies.island(e.body_b as usize)
+            } else {
+                None
+            };
+            let Some(owner) = owner else {
+                continue;
+            };
+            let island = &mut out[owner as usize];
+            match e.kind {
+                EdgeKind::Joint => island.joints.push(e.index),
+                EdgeKind::Contact => island.manifolds.push(e.index),
+            }
+            island.dof_removed += e.dof;
+        }
+
+        IslandStats {
+            bodies: n,
+            union_ops: self.unions,
+            find_ops: self.finds,
+            islands: out.len(),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -320,6 +520,78 @@ mod tests {
         // Body 1 is disabled: 0 and 2 stay separate... but the edges still
         // anchor each remaining body.
         assert_eq!(islands.len(), 2);
+    }
+
+    #[test]
+    fn incremental_graph_matches_full_rebuild() {
+        // Same edge sets, several steps in a row (changing topology), must
+        // give bit-identical islands and lanes to the from-scratch builder.
+        let steps: Vec<Vec<ConstraintEdge>> = vec![
+            vec![edge(0, 1), edge(1, 2), edge(4, 5)],
+            vec![edge(0, 1), edge(4, 5), edge(5, 6)],
+            vec![edge(2, 3), edge(0, u32::MAX)],
+            vec![],
+            vec![edge(6, 7), edge(0, 7), edge(3, 4)],
+        ];
+        let mut a = dynamic_bodies(8);
+        let mut b = dynamic_bodies(8);
+        replace_with_static(&mut a, 2);
+        replace_with_static(&mut b, 2);
+        let mut graph = IslandGraph::new();
+        let mut inc_out = Vec::new();
+        for edges in &steps {
+            let inc_stats = graph.build(&mut a, edges, &mut inc_out);
+            let mut full_out = Vec::new();
+            let full_stats = build_islands_into(&mut b, edges, &mut full_out);
+            assert_eq!(inc_out.len(), full_out.len());
+            assert_eq!(inc_stats.islands, full_stats.islands);
+            for (x, y) in inc_out.iter().zip(full_out.iter()) {
+                assert_eq!(x.bodies, y.bodies);
+                assert_eq!(x.joints, y.joints);
+                assert_eq!(x.manifolds, y.manifolds);
+                assert_eq!(x.dof_removed, y.dof_removed);
+            }
+            for i in 0..a.len() {
+                assert_eq!(a.island(i), b.island(i), "lane mismatch at body {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn incremental_graph_skips_sleeping_bodies() {
+        let mut bodies = dynamic_bodies(6);
+        let mut graph = IslandGraph::new();
+        let mut out = Vec::new();
+        graph.build(&mut bodies, &[edge(0, 1), edge(3, 4)], &mut out);
+        assert_eq!(out.len(), 2);
+
+        // Put the {3, 4} island to sleep: flag + frozen sleeping lane.
+        for i in [3usize, 4] {
+            bodies.flags_mut(i).insert(BodyFlags::SLEEPING);
+            bodies.set_island(i, SLEEP_SLOT_BIT);
+        }
+        graph.build(&mut bodies, &[edge(0, 1)], &mut out);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].bodies, vec![0, 1]);
+        // Sleeping lanes untouched by the rebuild.
+        assert_eq!(bodies.island_raw(3), SLEEP_SLOT_BIT);
+        assert_eq!(bodies.island_raw(4), SLEEP_SLOT_BIT);
+
+        // An edge naming a sleeping body must not drag it into an island.
+        graph.build(&mut bodies, &[edge(0, 1), edge(1, 3)], &mut out);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].bodies, vec![0, 1]);
+        assert_eq!(bodies.island_raw(3), SLEEP_SLOT_BIT);
+
+        // After waking, the graph picks the bodies back up.
+        for i in [3usize, 4] {
+            bodies.flags_mut(i).remove(BodyFlags::SLEEPING);
+            bodies.set_island(i, u32::MAX);
+        }
+        graph.build(&mut bodies, &[edge(3, 4)], &mut out);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].bodies, vec![3, 4]);
+        assert!(bodies.island(0).is_none());
     }
 
     #[test]

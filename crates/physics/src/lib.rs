@@ -54,6 +54,7 @@ pub mod pipeline;
 pub mod probe;
 pub mod ray;
 pub mod shape;
+pub mod sleep;
 pub mod snapshot;
 pub mod solver;
 pub mod store;
@@ -72,6 +73,7 @@ pub use parallax_math::SimdMode;
 pub use pipeline::{set_injected_phase_delay, Stage, StepPipeline};
 pub use probe::{PhaseKind, StepProfile};
 pub use shape::{GeomId, Heightfield, Shape, TriMesh};
+pub use sleep::{sleeping_from_env, SleepSystem, SleepingIsland};
 pub use snapshot::SnapshotError;
 pub use store::{BodiesView, BodyMut, BodyRef, BodyStore};
 pub use world::{BroadphaseKind, World, WorldConfig};

@@ -25,6 +25,7 @@
 //! prints them live and `telemetry_report` renders a violations section
 //! from a recorded JSONL stream.
 
+use parallax_math::Vec3;
 use parallax_telemetry as telemetry;
 
 use crate::probe::StepProfile;
@@ -78,6 +79,14 @@ pub enum Violation {
         /// Configured bound, meters.
         bound: f32,
     },
+    /// A body flagged asleep changed position between two checks.
+    /// Sleeping bodies are frozen by contract (the integrator, solver
+    /// and cloth coupling must all mask them out), so any movement means
+    /// some phase wrote to a sleeping lane.
+    SleepingMoved {
+        /// Body index.
+        body: u32,
+    },
 }
 
 impl std::fmt::Display for Violation {
@@ -96,6 +105,9 @@ impl std::fmt::Display for Violation {
                     "contact penetration {depth:.3} m exceeds bound {bound:.3} m"
                 )
             }
+            Violation::SleepingMoved { body } => {
+                write!(f, "sleeping body {body} changed position")
+            }
         }
     }
 }
@@ -108,6 +120,7 @@ impl Violation {
             Violation::NonFinite { .. } => "non_finite",
             Violation::EnergyDrift { .. } => "energy_drift",
             Violation::Penetration { .. } => "penetration",
+            Violation::SleepingMoved { .. } => "sleeping_moved",
         }
     }
 }
@@ -117,6 +130,7 @@ struct MonitorTelemetry {
     non_finite: telemetry::Counter,
     energy_drift: telemetry::Counter,
     penetration: telemetry::Counter,
+    sleeping_moved: telemetry::Counter,
 }
 
 impl MonitorTelemetry {
@@ -126,6 +140,7 @@ impl MonitorTelemetry {
             non_finite: telemetry::counter("physics.monitor.violation.non_finite"),
             energy_drift: telemetry::counter("physics.monitor.violation.energy_drift"),
             penetration: telemetry::counter("physics.monitor.violation.penetration"),
+            sleeping_moved: telemetry::counter("physics.monitor.violation.sleeping_moved"),
         }
     }
 
@@ -134,6 +149,7 @@ impl MonitorTelemetry {
             Violation::NonFinite { .. } => self.non_finite.add(1),
             Violation::EnergyDrift { .. } => self.energy_drift.add(1),
             Violation::Penetration { .. } => self.penetration.add(1),
+            Violation::SleepingMoved { .. } => self.sleeping_moved.add(1),
         }
     }
 }
@@ -148,6 +164,10 @@ pub struct InvariantMonitor {
     /// were spawned since (cannon shots etc.) and are excluded from the
     /// growth comparison.
     prev_bodies: usize,
+    /// Positions of bodies asleep at the last check, ascending by body
+    /// index. A body in this list that is still asleep now must not have
+    /// moved a single bit.
+    prev_sleeping: Vec<(u32, Vec3)>,
     checked: u64,
     violations_total: u64,
     telemetry: MonitorTelemetry,
@@ -173,6 +193,7 @@ impl InvariantMonitor {
             cfg,
             prev_ke: None,
             prev_bodies: 0,
+            prev_sleeping: Vec::new(),
             checked: 0,
             violations_total: 0,
             telemetry: MonitorTelemetry::register(),
@@ -199,6 +220,7 @@ impl InvariantMonitor {
 
         self.check_finite(world, profile, &mut out);
         self.check_energy(world, profile, &mut out);
+        self.check_sleeping(world, &mut out);
         if profile.max_penetration > self.cfg.max_penetration {
             out.push(Violation::Penetration {
                 depth: profile.max_penetration,
@@ -249,6 +271,34 @@ impl InvariantMonitor {
                 out,
             );
         }
+    }
+
+    fn check_sleeping(&mut self, world: &World, out: &mut Vec<Violation>) {
+        let mut now = Vec::new();
+        for (i, b) in world.bodies().iter().enumerate() {
+            if b.is_sleeping() {
+                now.push((i as u32, b.position()));
+            }
+        }
+        // Both lists are ascending by body index; compare bodies that
+        // were asleep at *both* checks (a wake between checks may move a
+        // body legitimately).
+        let mut pi = 0;
+        for &(idx, pos) in &now {
+            while pi < self.prev_sleeping.len() && self.prev_sleeping[pi].0 < idx {
+                pi += 1;
+            }
+            if pi < self.prev_sleeping.len() && self.prev_sleeping[pi].0 == idx {
+                let prev = self.prev_sleeping[pi].1;
+                if prev.x.to_bits() != pos.x.to_bits()
+                    || prev.y.to_bits() != pos.y.to_bits()
+                    || prev.z.to_bits() != pos.z.to_bits()
+                {
+                    out.push(Violation::SleepingMoved { body: idx });
+                }
+            }
+        }
+        self.prev_sleeping = now;
     }
 
     fn check_energy(&mut self, world: &World, profile: &StepProfile, out: &mut Vec<Violation>) {
@@ -390,6 +440,41 @@ mod tests {
             "{violations:?}"
         );
         assert_eq!(violations[0].kind(), "penetration");
+    }
+
+    #[test]
+    fn sleeping_body_that_moves_is_flagged() {
+        let mut w = World::new(WorldConfig {
+            sleeping: true,
+            sleep_steps: 20,
+            ..WorldConfig::default()
+        });
+        w.add_static_geom(Shape::plane(Vec3::UNIT_Y, 0.0));
+        w.add_body(
+            BodyDesc::dynamic(Vec3::new(0.0, 0.5, 0.0))
+                .with_shape(Shape::cuboid(Vec3::splat(0.5)), 1.0),
+        );
+        let mut mon = InvariantMonitor::default();
+        for _ in 0..120 {
+            let profile = w.step();
+            let v = mon.check_step(&w, &profile);
+            assert!(v.is_empty(), "clean settle raised {v:?}");
+        }
+        assert!(w.sleeping_body_count() > 0, "box must be asleep by now");
+        // Corrupt a sleeping body's position behind the pipeline's back:
+        // the position scan doesn't wake bodies, so the monitor must.
+        w.bodies.pos.x[0] += 0.5;
+        let profile = w.step();
+        let violations = mon.check_step(&w, &profile);
+        assert!(
+            violations
+                .iter()
+                .any(|v| matches!(v, Violation::SleepingMoved { body: 0 })),
+            "moved sleeper not flagged: {violations:?}"
+        );
+        assert!(violations
+            .iter()
+            .any(|v| v.kind() == "sleeping_moved" && v.to_string().contains("sleeping body 0")));
     }
 
     #[test]

@@ -23,7 +23,7 @@ use crate::contact::ContactManifold;
 use crate::contact_cache::{self, ContactCache, WarmStats};
 use crate::digest;
 use crate::integrator;
-use crate::island::{build_islands_into, ConstraintEdge, Island, IslandStats};
+use crate::island::{ConstraintEdge, Island, IslandGraph, IslandStats};
 use crate::narrowphase;
 use crate::parallel::Executor;
 use crate::probe::{ClothWork, IslandWork, PairWork, PhaseKind, StepEvents, StepProfile};
@@ -68,9 +68,13 @@ pub struct NarrowphaseStage {
 }
 
 /// Serial phase 3: constraint edges + union-find island creation.
+///
+/// Uses the persistent [`IslandGraph`] so a settled world (most bodies
+/// sleeping) pays O(awake + edges) instead of O(bodies + edges).
 pub struct IslandCreationStage {
     edges: Vec<ConstraintEdge>,
     islands: Vec<Island>,
+    graph: IslandGraph,
 }
 
 /// Parallel phase 4: per-island constraint solving, with the paper's
@@ -209,13 +213,15 @@ impl IslandCreationStage {
         IslandCreationStage {
             edges: Vec::new(),
             islands: Vec::new(),
+            graph: IslandGraph::new(),
         }
     }
 
     /// Builds constraint edges and islands into the stage arenas.
     fn run(&mut self, world: &mut World, manifolds: &[ContactManifold]) -> IslandStats {
         world.build_edges_into(manifolds, &mut self.edges);
-        build_islands_into(&mut world.bodies, &self.edges, &mut self.islands)
+        self.graph
+            .build(&mut world.bodies, &self.edges, &mut self.islands)
     }
 }
 
@@ -554,6 +560,13 @@ struct PipelineTelemetry {
     warm_hits: telemetry::Counter,
     warm_misses: telemetry::Counter,
     cache_entries: telemetry::Gauge,
+    /// Bodies currently asleep (end of step).
+    sleeping_bodies: telemetry::Gauge,
+    /// Islands currently asleep (end of step).
+    sleeping_islands: telemetry::Gauge,
+    /// Awake islands rebuilt by island creation, accumulated per step —
+    /// the incremental-graph work measure (settled scenes: ~0/step).
+    islands_rebuilt: telemetry::Counter,
     /// Active kernel layout/ISA: 0 = scalar, 1 = SSE2, 2 = AVX2.
     simd_mode: telemetry::Gauge,
     /// Per-phase state digests (`physics.digest.<phase>`), published only
@@ -575,6 +588,9 @@ impl PipelineTelemetry {
             warm_hits: telemetry::counter("physics.solver.warm_hits"),
             warm_misses: telemetry::counter("physics.solver.warm_misses"),
             cache_entries: telemetry::gauge("physics.solver.cache_entries"),
+            sleeping_bodies: telemetry::gauge("physics.sleeping_bodies"),
+            sleeping_islands: telemetry::gauge("physics.sleeping_islands"),
+            islands_rebuilt: telemetry::counter("physics.islands_rebuilt"),
             simd_mode: telemetry::gauge("physics.simd_mode"),
             digest_gauges: PhaseKind::ALL
                 .map(|p| telemetry::gauge(&format!("physics.digest.{}", p.name()))),
@@ -735,6 +751,13 @@ impl StepPipeline {
         &mut self.contact_cache
     }
 
+    /// Invalidates the incremental island graph's lane bookkeeping; the
+    /// next build performs a full island-lane reset. Called by snapshot
+    /// restore, which replaces the island lanes wholesale.
+    pub(crate) fn invalidate_island_graph(&mut self) {
+        self.island_creation.graph.invalidate();
+    }
+
     /// Replaces the broad-phase algorithm (ablation hook).
     pub(crate) fn set_broadphase(&mut self, kind: BroadphaseKind) {
         self.broadphase = BroadphaseStage::new(kind);
@@ -767,9 +790,13 @@ impl StepPipeline {
         }
 
         // (a) Apply forces: gravity, slider suspension springs, blast
-        // impulses.
+        // impulses. The disturbance scan must run before the integrator
+        // consumes (and zeroes) the force accumulators: any sleeping body
+        // that picked up a velocity, force or torque — user impulse,
+        // blast, spring — is queued for the wake pass.
         world.apply_slider_springs();
         world.apply_blast_impulses();
+        world.scan_sleep_disturbances();
         integrator::apply_forces(&mut world.bodies, gravity, dt, mode);
 
         // Fast path: a fully empty world has no phase work at all, but
@@ -828,6 +855,13 @@ impl StepPipeline {
         self.narrowphase
             .manifolds
             .retain(|m| !inert_filter.manifold_is_inert(m));
+
+        // Serial wake pass: islands disturbed this step (queued by the
+        // scan), touched by an awake body's manifold, or jointed to an
+        // awake body wake up here, replaying their parked manifolds into
+        // the arena so they re-solve their resting contacts immediately.
+        world.resolve_wakes(&mut self.narrowphase.manifolds);
+
         profile.max_penetration = self
             .narrowphase
             .manifolds
@@ -889,6 +923,10 @@ impl StepPipeline {
                 mode,
             );
             integrator::integrate(&mut world.bodies, dt, mode);
+            // Serial sleep pass on post-solve velocities: update every
+            // awake body's activity EMA/quiet timer and deactivate
+            // islands that are fully at rest (when sleeping is enabled).
+            world.update_sleep(islands, manifolds);
             maybe_inject_fault(world, 3);
             if digests_on {
                 phase_digests[3] = digest::island_processing_digest(world, &profile.islands);
@@ -898,14 +936,28 @@ impl StepPipeline {
         });
         profile.wall[3] = wall;
 
+        profile.sleeping_bodies = world.sleeping_body_count();
+        profile.sleeping_islands = world.sleeping_island_count();
+
         // Contact-cache maintenance, serial: age out pairs that stopped
         // touching and drop pairs whose geoms were disabled (fracture,
-        // explosions). With warm starting off the cache stays empty so an
-        // ablation run carries no stale state into a later warm-on run.
+        // explosions). Pairs touching a sleeping body are pinned — they
+        // produce no fresh manifolds while asleep, but their impulses
+        // must survive to warm-start the island on wake. With warm
+        // starting off the cache stays empty so an ablation run carries
+        // no stale state into a later warm-on run.
         if warm_starting {
             let geoms = &world.geoms;
-            self.contact_cache
-                .end_step(contact_cache::DEFAULT_MAX_AGE, |g| geoms[g.index()].enabled);
+            let bodies = &world.bodies;
+            self.contact_cache.end_step_pinned(
+                contact_cache::DEFAULT_MAX_AGE,
+                |g| geoms[g.index()].enabled,
+                |g| {
+                    geoms[g.index()]
+                        .body
+                        .is_some_and(|b| bodies.is_sleeping(b.index()))
+                },
+            );
         } else if !self.contact_cache.is_empty() {
             self.contact_cache.clear();
         }
@@ -949,6 +1001,15 @@ impl StepPipeline {
             self.telemetry
                 .cache_entries
                 .set(self.contact_cache.len() as u64);
+            self.telemetry
+                .sleeping_bodies
+                .set(profile.sleeping_bodies as u64);
+            self.telemetry
+                .sleeping_islands
+                .set(profile.sleeping_islands as u64);
+            self.telemetry
+                .islands_rebuilt
+                .add(profile.island_creation.islands as u64);
         }
 
         if digests_on {

@@ -94,8 +94,9 @@ pub struct PairWork {
     pub shape_b: &'static str,
     /// Contact points generated (0 = pair rejected in narrow-phase).
     pub contacts: usize,
-    /// `false` when the pair was only *considered* (both static or a
-    /// disabled body): counted, cheaply rejected, no contacts possible.
+    /// `false` when the pair was only *considered* (no awake dynamic
+    /// side — both static/sleeping, or a disabled body): counted, cheaply
+    /// rejected, no contacts possible.
     pub active: bool,
 }
 
@@ -181,6 +182,10 @@ pub struct StepProfile {
     /// Per-phase state digests in pipeline order (see [`crate::digest`]);
     /// `Some` only when [`crate::WorldConfig::digests`] is on.
     pub digests: Option<[u64; 5]>,
+    /// Bodies asleep at the end of the step (see [`crate::sleep`]).
+    pub sleeping_bodies: usize,
+    /// Islands asleep at the end of the step.
+    pub sleeping_islands: usize,
 }
 
 impl StepProfile {

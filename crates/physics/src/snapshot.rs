@@ -18,6 +18,13 @@
 //! bumped on any layout change; [`restore`] rejects unknown versions
 //! rather than guessing.
 //!
+//! Version 2 appends the island-sleeping state (per-body sleep timers
+//! and activity EMAs, the sleeping-island table with its parked
+//! manifolds, and the pending wake queue) after the contact-cache
+//! section. Version-1 snapshots still restore: the sleep state is reset
+//! to "everything awake", which is trajectory-safe because sleeping only
+//! ever *skips* work an awake re-solve immediately redoes.
+//!
 //! # What is *not* serialized
 //!
 //! - **Configuration** (threads, SIMD mode, solver parameters): replaying
@@ -38,16 +45,21 @@ use parallax_math::{Aabb, Quat, Transform, Vec3};
 
 use crate::body::{BodyFlags, BodyId};
 use crate::cloth::ClothVertex;
+use crate::contact::{ContactManifold, ContactPoint};
 use crate::contact_cache::CachedPoint;
 use crate::explosion::{BlastVolume, ExplosionConfig};
+use crate::island::SLEEP_SLOT_BIT;
 use crate::joint::JointKind;
 use crate::shape::{Geom, GeomId, Shape};
+use crate::sleep::{SleepSystem, SleepingIsland};
 use crate::world::World;
 
 /// Snapshot magic bytes.
 pub const MAGIC: [u8; 4] = *b"PXSN";
 /// Current snapshot format version.
-pub const VERSION: u32 = 1;
+pub const VERSION: u32 = 2;
+/// Oldest version [`restore`] still reads (pre-sleeping snapshots).
+pub const MIN_VERSION: u32 = 1;
 
 /// Error restoring a snapshot: truncated/corrupt input, version
 /// mismatch, or structural mismatch with the receiving world.
@@ -367,6 +379,47 @@ pub fn snapshot(world: &World) -> Vec<u8> {
         }
     }
 
+    // --- v2: island-sleeping state ------------------------------------
+    for &t in &b.sleep_timer {
+        w.u32(t);
+    }
+    w.f32_lane(&b.sleep_ema);
+    let s = &world.sleep;
+    w.u64(s.islands.len() as u64);
+    for slot in &s.islands {
+        let Some(isl) = slot else {
+            w.u8(0);
+            continue;
+        };
+        w.u8(1);
+        w.u64(isl.bodies.len() as u64);
+        for &bi in &isl.bodies {
+            w.u32(bi);
+        }
+        w.u64(isl.manifolds.len() as u64);
+        for m in &isl.manifolds {
+            w.u32(m.geom_a.0);
+            w.u32(m.geom_b.0);
+            w.f32(m.friction);
+            w.f32(m.restitution);
+            w.u64(m.points.len() as u64);
+            for p in &m.points {
+                w.vec3(p.position);
+                w.vec3(p.normal);
+                w.f32(p.depth);
+                w.u32(p.feature);
+            }
+        }
+    }
+    w.u64(s.free.len() as u64);
+    for &f in &s.free {
+        w.u32(f);
+    }
+    w.u64(s.pending_wakes.len() as u64);
+    for &p in &s.pending_wakes {
+        w.u32(p);
+    }
+
     w.buf
 }
 
@@ -426,9 +479,9 @@ pub fn restore(world: &mut World, bytes: &[u8]) -> Result<(), SnapshotError> {
         return Err(SnapshotError::new("bad magic (not a parallax snapshot)"));
     }
     let version = r.u32()?;
-    if version != VERSION {
+    if !(MIN_VERSION..=VERSION).contains(&version) {
         return Err(SnapshotError::new(format!(
-            "unsupported snapshot version {version} (this build reads {VERSION})"
+            "unsupported snapshot version {version} (this build reads {MIN_VERSION}..={VERSION})"
         )));
     }
     let steps = r.u64()?;
@@ -672,6 +725,77 @@ pub fn restore(world: &mut World, bytes: &[u8]) -> Result<(), SnapshotError> {
         cache_entries.push((key, age, points));
     }
 
+    // Sleep state (v2+). A v1 snapshot predates sleeping: reset to
+    // "everything awake" and strip any sleep markers defensively.
+    let (sleep_timer, sleep_ema, sleep_sys) = if version >= 2 {
+        let mut timers = Vec::with_capacity(n);
+        for _ in 0..n {
+            timers.push(r.u32()?);
+        }
+        let ema = r.f32_lane(n)?;
+        let slot_count = r.count(1)?;
+        let mut slots = Vec::with_capacity(slot_count);
+        for _ in 0..slot_count {
+            if r.u8()? == 0 {
+                slots.push(None);
+                continue;
+            }
+            let bc = r.count(4)?;
+            let mut members = Vec::with_capacity(bc);
+            for _ in 0..bc {
+                let bi = r.u32()?;
+                if bi as usize >= n {
+                    return Err(SnapshotError::new(format!(
+                        "sleeping island references body {bi} of {n}"
+                    )));
+                }
+                members.push(bi);
+            }
+            let mc = r.count(24)?;
+            let mut manifolds = Vec::with_capacity(mc);
+            for _ in 0..mc {
+                let mut m = ContactManifold::new(GeomId(r.u32()?), GeomId(r.u32()?));
+                m.friction = r.f32()?;
+                m.restitution = r.f32()?;
+                let pc = r.count(28)?;
+                for _ in 0..pc {
+                    m.points.push(ContactPoint {
+                        position: r.vec3()?,
+                        normal: r.vec3()?,
+                        depth: r.f32()?,
+                        feature: r.u32()?,
+                    });
+                }
+                manifolds.push(m);
+            }
+            slots.push(Some(SleepingIsland {
+                bodies: members,
+                manifolds,
+            }));
+        }
+        let fc = r.count(4)?;
+        let mut free = Vec::with_capacity(fc);
+        for _ in 0..fc {
+            free.push(r.u32()?);
+        }
+        let wc = r.count(4)?;
+        let mut pending_wakes = Vec::with_capacity(wc);
+        for _ in 0..wc {
+            pending_wakes.push(r.u32()?);
+        }
+        (
+            timers,
+            ema,
+            SleepSystem {
+                islands: slots,
+                free,
+                pending_wakes,
+            },
+        )
+    } else {
+        (vec![0u32; n], vec![0.0f32; n], SleepSystem::default())
+    };
+
     if r.pos != bytes.len() {
         return Err(SnapshotError::new(format!(
             "{} trailing bytes after the last section",
@@ -683,7 +807,17 @@ pub fn restore(world: &mut World, bytes: &[u8]) -> Result<(), SnapshotError> {
     // wholesale: slots only ever grow in this engine, so a snapshot with
     // fewer bodies than the target simply truncates (bisect restores an
     // *earlier* state into a world that has since spawned bodies).
-    apply_bodies(world, n, &lanes, flags, island);
+    if version < 2 {
+        for f in &mut flags {
+            f.0 &= !BodyFlags::SLEEPING.0;
+        }
+        for lane in &mut island {
+            if *lane != u32::MAX && *lane & SLEEP_SLOT_BIT != 0 {
+                *lane = u32::MAX;
+            }
+        }
+    }
+    apply_bodies(world, n, &lanes, flags, island, sleep_timer, sleep_ema);
     world.geoms = geoms;
     world.body_geoms = body_geoms;
     world.joints = joints;
@@ -700,11 +834,15 @@ pub fn restore(world: &mut World, bytes: &[u8]) -> Result<(), SnapshotError> {
     }
     world.explosive_cfg = explosive_cfg;
     world.blasts = blasts;
-    let cache = world
+    world.sleep = sleep_sys;
+    let pipeline = world
         .pipeline
         .as_mut()
-        .expect("pipeline present outside step")
-        .contact_cache_mut();
+        .expect("pipeline present outside step");
+    // The incremental island builder's union-find no longer matches the
+    // restored lanes: force a full rebuild on the next step.
+    pipeline.invalidate_island_graph();
+    let cache = pipeline.contact_cache_mut();
     cache.clear();
     for (key, age, points) in cache_entries {
         cache.insert_raw(key, age, points);
@@ -714,12 +852,15 @@ pub fn restore(world: &mut World, bytes: &[u8]) -> Result<(), SnapshotError> {
     Ok(())
 }
 
+#[allow(clippy::too_many_arguments)]
 fn apply_bodies(
     world: &mut World,
     n: usize,
     lanes: &[Vec<f32>],
     flags: Vec<BodyFlags>,
     island: Vec<u32>,
+    sleep_timer: Vec<u32>,
+    sleep_ema: Vec<f32>,
 ) {
     let b = &mut world.bodies;
     // Consume the 40 lanes in the exact order `body_lanes` wrote them.
@@ -755,6 +896,8 @@ fn apply_bodies(
     b.angular_damping = lane();
     b.flags = flags;
     b.island = island;
+    b.sleep_timer = sleep_timer;
+    b.sleep_ema = sleep_ema;
     b.movable_mask = vec![0.0; n];
 }
 
@@ -830,6 +973,89 @@ mod tests {
         assert!(err.contains("version"), "{err}");
         let snap = w.snapshot();
         assert!(w.restore(&snap[..snap.len() - 3]).is_err(), "truncated");
+    }
+
+    #[test]
+    fn sleeping_world_round_trips_bit_identically() {
+        let build = || {
+            let mut w = World::new(WorldConfig {
+                sleeping: true,
+                sleep_steps: 20,
+                ..WorldConfig::default()
+            });
+            w.add_static_geom(Shape::plane(Vec3::UNIT_Y, 0.0));
+            for i in 0..4 {
+                w.add_body(
+                    BodyDesc::dynamic(Vec3::new(i as f32 * 3.0, 0.5, 0.0))
+                        .with_shape(Shape::cuboid(Vec3::splat(0.5)), 1.0),
+                );
+            }
+            w
+        };
+        let mut a = build();
+        for _ in 0..120 {
+            a.step();
+        }
+        assert!(
+            a.sleeping_body_count() > 0,
+            "boxes at rest height must fall asleep within 120 steps"
+        );
+        let snap = a.snapshot();
+        let mut b = build();
+        b.restore(&snap).expect("restore");
+        assert_eq!(world_digest(&a), world_digest(&b));
+        assert_eq!(a.sleeping_body_count(), b.sleeping_body_count());
+        assert_eq!(a.snapshot(), b.snapshot(), "re-snapshot must be canonical");
+        for i in 0..30 {
+            a.step();
+            b.step();
+            assert_eq!(world_digest(&a), world_digest(&b), "diverged at step {i}");
+        }
+    }
+
+    #[test]
+    fn v1_snapshot_restores_with_sleep_reset() {
+        let mut w = playground();
+        for _ in 0..40 {
+            w.step();
+        }
+        let snap = w.snapshot();
+        // Craft a v1 blob: drop the trailing sleep section (two per-body
+        // lanes + three empty tables — nothing sleeps in this world) and
+        // patch the version field.
+        let n = w.bodies.len();
+        let tail = n * 4 + n * 4 + 8 + 8 + 8;
+        let mut v1 = snap[..snap.len() - tail].to_vec();
+        v1[4..8].copy_from_slice(&1u32.to_le_bytes());
+        let mut b = playground();
+        b.restore(&v1).expect("v1 snapshot must still restore");
+        assert_eq!(b.sleeping_body_count(), 0);
+        assert!(b.bodies.sleep_timer.iter().all(|&t| t == 0));
+        assert!(b.bodies.sleep_ema.iter().all(|&e| e == 0.0));
+        // And it still steps deterministically against a v2 restore of
+        // the same state (sleep timers differ, trajectories must not —
+        // this world never crosses the sleep threshold).
+        let mut a = playground();
+        a.restore(&snap).expect("v2 restore");
+        for _ in 0..10 {
+            a.step();
+            b.step();
+        }
+        if let Some(d) = crate::digest::first_divergence(&a, &b) {
+            assert!(
+                d.location.contains("sleep"),
+                "only sleep bookkeeping may differ after a v1 restore, got {}",
+                d.location
+            );
+        }
+        // Everything except the trailing sleep section must agree.
+        let (sa, sb) = (a.snapshot(), b.snapshot());
+        let tail = n * 8 + 24;
+        assert_eq!(
+            sa[..sa.len() - tail],
+            sb[..sb.len() - tail],
+            "non-sleep state diverged after a v1 restore"
+        );
     }
 
     #[test]

@@ -145,12 +145,20 @@ pub struct BodyStore {
     pub(crate) flags: Vec<BodyFlags>,
     /// Island index assigned during island creation (`u32::MAX` = none).
     pub(crate) island: Vec<u32>,
-    /// Per-body all-ones/all-zeros bit mask (`!is_static && !is_disabled`)
-    /// carried as `f32` lanes for the SIMD sweeps. Recomputed at the start
-    /// of each sweep by [`BodyStore::refresh_movable_mask`] because flags
-    /// can change between sweeps within one step (e.g. contact events
-    /// disabling debris).
+    /// Per-body all-ones/all-zeros bit mask (`!is_static && !is_disabled
+    /// && !is_sleeping`) carried as `f32` lanes for the SIMD sweeps.
+    /// Recomputed at the start of each sweep by
+    /// [`BodyStore::refresh_movable_mask`] because flags can change
+    /// between sweeps within one step (e.g. contact events disabling
+    /// debris, or the serial sleep pass putting an island to rest).
     pub(crate) movable_mask: Vec<f32>,
+    /// Exponential moving average of each body's normalized activity
+    /// (`|v|²/lin_thr² + |ω|²/ang_thr²`), updated by the serial sleep
+    /// pass. Below 1.0 the body counts as quiet.
+    pub(crate) sleep_ema: Vec<f32>,
+    /// Consecutive quiet steps per body; an island sleeps when every
+    /// member's timer reaches the configured threshold.
+    pub(crate) sleep_timer: Vec<u32>,
 }
 
 impl BodyStore {
@@ -190,6 +198,8 @@ impl BodyStore {
         self.flags.push(desc.flags);
         self.island.push(u32::MAX);
         self.movable_mask.push(0.0);
+        self.sleep_ema.push(0.0);
+        self.sleep_timer.push(0);
         self.refresh_inertia(i);
         i
     }
@@ -262,10 +272,25 @@ impl BodyStore {
         !self.is_static(i) && !self.is_disabled(i)
     }
 
+    /// Returns `true` if body `i` is asleep (its island is at rest).
+    #[inline]
+    pub fn is_sleeping(&self, i: usize) -> bool {
+        self.flags[i].contains(BodyFlags::SLEEPING)
+    }
+
     /// Island slot of body `i` from the most recent island build.
+    /// Sleeping bodies keep their frozen slot with
+    /// [`crate::island::SLEEP_SLOT_BIT`] set.
     #[inline]
     pub fn island(&self, i: usize) -> Option<u32> {
         (self.island[i] != u32::MAX).then_some(self.island[i])
+    }
+
+    /// Raw island lane of body `i`, including the sleeping-slot encoding
+    /// (`u32::MAX` = none).
+    #[inline]
+    pub(crate) fn island_raw(&self, i: usize) -> u32 {
+        self.island[i]
     }
 
     /// Assigns the island slot of body `i` (`u32::MAX` = none).
@@ -387,7 +412,8 @@ impl BodyStore {
         for i in 0..self.len() {
             let movable = !(self.flags[i].contains(BodyFlags::STATIC)
                 || self.inv_mass[i] == 0.0
-                || self.flags[i].contains(BodyFlags::DISABLED));
+                || self.flags[i].contains(BodyFlags::DISABLED)
+                || self.flags[i].contains(BodyFlags::SLEEPING));
             self.movable_mask[i] = f32::from_bits(if movable { u32::MAX } else { 0 });
         }
     }
@@ -478,6 +504,12 @@ impl BodyRef<'_> {
     #[inline]
     pub fn is_disabled(self) -> bool {
         self.store.is_disabled(self.i)
+    }
+
+    /// Returns `true` if the body is asleep (its island is at rest).
+    #[inline]
+    pub fn is_sleeping(self) -> bool {
+        self.store.is_sleeping(self.i)
     }
 
     /// Island index from the most recent island-creation phase.
@@ -696,6 +728,14 @@ mod tests {
         s.flags_mut(2).remove(BodyFlags::DISABLED);
         s.refresh_movable_mask();
         assert_eq!(s.movable_mask[2].to_bits(), u32::MAX);
+        // Sleeping bodies are masked out of the SIMD sweeps too.
+        s.flags_mut(0).insert(BodyFlags::SLEEPING);
+        s.refresh_movable_mask();
+        assert_eq!(s.movable_mask[0].to_bits(), 0);
+        assert!(s.is_sleeping(0));
+        s.flags_mut(0).remove(BodyFlags::SLEEPING);
+        s.refresh_movable_mask();
+        assert_eq!(s.movable_mask[0].to_bits(), u32::MAX);
     }
 
     #[test]

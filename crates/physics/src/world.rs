@@ -75,6 +75,22 @@ pub struct WorldConfig {
     /// tooling (see [`crate::digest::DigestFault`]). `None` in any real
     /// run.
     pub digest_fault: Option<crate::digest::DigestFault>,
+    /// Island sleeping (the temporal-coherence fast path, see
+    /// [`crate::sleep`]): islands whose bodies have all been quiet for
+    /// [`WorldConfig::sleep_steps`] consecutive steps are deactivated and
+    /// skipped by every phase until a wake event. Off by default;
+    /// defaults from `PARALLAX_SLEEP=1`. Bit-deterministic across thread
+    /// counts and SIMD modes; note that sleeping zeroes residual
+    /// velocities, so a sleeping run's trajectory differs from a
+    /// non-sleeping run only from the first sleep event onward.
+    pub sleeping: bool,
+    /// Linear-velocity quietness threshold (m/s) for the sleep EMA.
+    pub sleep_lin_threshold: f32,
+    /// Angular-velocity quietness threshold (rad/s) for the sleep EMA.
+    pub sleep_ang_threshold: f32,
+    /// Consecutive quiet steps every island member needs before the
+    /// island sleeps.
+    pub sleep_steps: u32,
 }
 
 impl Default for WorldConfig {
@@ -97,6 +113,10 @@ impl Default for WorldConfig {
             simd: SimdMode::resolve(),
             digests: crate::digest::digests_from_env(),
             digest_fault: None,
+            sleeping: crate::sleep::sleeping_from_env(),
+            sleep_lin_threshold: 0.08,
+            sleep_ang_threshold: 0.10,
+            sleep_steps: 30,
         }
     }
 }
@@ -132,6 +152,8 @@ pub struct World {
     /// The step pipeline; `None` only transiently while [`World::step`]
     /// has lent it out.
     pub(crate) pipeline: Option<StepPipeline>,
+    /// Sleeping-island table + pending wake queue (see [`crate::sleep`]).
+    pub(crate) sleep: crate::sleep::SleepSystem,
     pub(crate) time: f64,
     pub(crate) steps: u64,
 }
@@ -164,6 +186,7 @@ impl World {
             explosive_cfg: Vec::new(),
             blasts: Vec::new(),
             pipeline: Some(pipeline),
+            sleep: crate::sleep::SleepSystem::default(),
             time: 0.0,
             steps: 0,
         }
@@ -399,6 +422,12 @@ impl World {
 
     /// Enables or disables a body and its geoms.
     pub fn set_body_enabled(&mut self, id: BodyId, enabled: bool) {
+        // A body leaving the simulation must not linger in a sleeping
+        // island; wake the island (cheap, discards parked manifolds) so
+        // its remaining members re-settle on their own.
+        if self.bodies.is_sleeping(id.index()) {
+            self.wake_island_of(id.index(), None);
+        }
         let flags = self.bodies.flags_mut(id.index());
         if enabled {
             flags.remove(BodyFlags::DISABLED);
@@ -415,6 +444,212 @@ impl World {
         (0..self.bodies.len())
             .filter(|&i| self.bodies.is_movable(i))
             .count()
+    }
+
+    // --- sleeping ----------------------------------------------------------
+
+    /// Number of currently sleeping bodies.
+    pub fn sleeping_body_count(&self) -> usize {
+        (0..self.bodies.len())
+            .filter(|&i| self.bodies.is_sleeping(i))
+            .count()
+    }
+
+    /// Number of currently sleeping islands.
+    pub fn sleeping_island_count(&self) -> usize {
+        self.sleep.sleeping_islands()
+    }
+
+    /// Wakes the sleeping island containing `id` (no-op when awake).
+    ///
+    /// The parked manifolds are discarded: the bodies have not moved, so
+    /// the next step's narrow-phase regenerates identical contacts.
+    pub fn wake_body(&mut self, id: BodyId) {
+        if self.bodies.is_sleeping(id.index()) {
+            self.wake_island_of(id.index(), None);
+        }
+    }
+
+    /// Wakes every sleeping island.
+    pub fn wake_all(&mut self) {
+        for i in 0..self.bodies.len() {
+            if self.bodies.is_sleeping(i) {
+                self.wake_island_of(i, None);
+            }
+        }
+    }
+
+    /// Wakes the sleeping island that body `i` belongs to, optionally
+    /// replaying its parked manifolds into `replay` (the step's manifold
+    /// arena). Returns 1 if an island was woken.
+    pub(crate) fn wake_island_of(
+        &mut self,
+        i: usize,
+        replay: Option<&mut Vec<ContactManifold>>,
+    ) -> usize {
+        let lane = self.bodies.island_raw(i);
+        if lane == u32::MAX || lane & crate::island::SLEEP_SLOT_BIT == 0 {
+            return 0;
+        }
+        let slot = (lane & !crate::island::SLEEP_SLOT_BIT) as usize;
+        let Some(isle) = self.sleep.islands[slot].take() else {
+            return 0;
+        };
+        for &bi in &isle.bodies {
+            let k = bi as usize;
+            self.bodies.flags_mut(k).remove(BodyFlags::SLEEPING);
+            self.bodies.set_island(k, u32::MAX);
+            self.bodies.sleep_timer[k] = 0;
+            self.bodies.sleep_ema[k] = crate::sleep::WAKE_EMA;
+        }
+        if let Some(arena) = replay {
+            for m in isle.manifolds {
+                if !self.manifold_is_inert(&m) {
+                    arena.push(m);
+                }
+            }
+        }
+        self.sleep.free.push(slot as u32);
+        1
+    }
+
+    /// Serial disturbance scan, run before the integrator consumes the
+    /// force accumulators: any sleeping body with a nonzero velocity,
+    /// force or torque (user impulse, blast impulse, spring) is queued
+    /// for the wake pass. Index-ordered and serial for determinism.
+    pub(crate) fn scan_sleep_disturbances(&mut self) {
+        if self.sleep.is_idle() {
+            return;
+        }
+        for i in 0..self.bodies.len() {
+            if !self.bodies.is_sleeping(i) {
+                continue;
+            }
+            if self.bodies.linear_velocity(i) != Vec3::ZERO
+                || self.bodies.angular_velocity(i) != Vec3::ZERO
+                || self.bodies.force.get(i) != Vec3::ZERO
+                || self.bodies.torque.get(i) != Vec3::ZERO
+            {
+                self.sleep.pending_wakes.push(i as u32);
+            }
+        }
+    }
+
+    /// Serial wake pass, run after narrow-phase and before island
+    /// creation. Wake sources: the pending disturbance queue, contact
+    /// manifolds touching a sleeping body (only awake×sleeping pairs
+    /// reach narrow-phase), and joints whose other side is awake and
+    /// movable. Candidates are processed in ascending body order; each
+    /// wake replays the island's parked manifolds into the arena so the
+    /// woken island re-solves its resting contacts this very step.
+    /// Returns the number of islands woken.
+    pub(crate) fn resolve_wakes(&mut self, manifolds: &mut Vec<ContactManifold>) -> usize {
+        if self.sleep.is_idle() {
+            return 0;
+        }
+        let mut candidates = std::mem::take(&mut self.sleep.pending_wakes);
+        for m in manifolds.iter() {
+            for gid in [m.geom_a, m.geom_b] {
+                if let Some(b) = self.geoms[gid.index()].body {
+                    if self.bodies.is_sleeping(b.index()) {
+                        candidates.push(b.0);
+                    }
+                }
+            }
+        }
+        for j in &self.joints {
+            if j.is_broken() {
+                continue;
+            }
+            let (a, b) = (j.body_a.index(), j.body_b.index());
+            let (sa, sb) = (self.bodies.is_sleeping(a), self.bodies.is_sleeping(b));
+            if sa != sb {
+                let (sleeper, other) = if sa { (a, b) } else { (b, a) };
+                if self.bodies.is_movable(other) {
+                    candidates.push(sleeper as u32);
+                }
+            }
+        }
+        candidates.sort_unstable();
+        candidates.dedup();
+        let mut woken = 0;
+        for bi in candidates {
+            let i = bi as usize;
+            if self.bodies.is_sleeping(i) {
+                woken += self.wake_island_of(i, Some(manifolds));
+            }
+        }
+        woken
+    }
+
+    /// Serial sleep pass, run after island processing (velocities are
+    /// post-solve). Updates every awake body's activity EMA and quiet
+    /// timer — unconditionally, so a sleeping-enabled run stays
+    /// bit-identical to a disabled run up to its first sleep transition —
+    /// then, when sleeping is enabled, deactivates every island whose
+    /// members are all past the quiet threshold. Returns the number of
+    /// islands put to sleep.
+    pub(crate) fn update_sleep(
+        &mut self,
+        islands: &[crate::island::Island],
+        manifolds: &[ContactManifold],
+    ) -> usize {
+        let lin2 = self.config.sleep_lin_threshold * self.config.sleep_lin_threshold;
+        let ang2 = self.config.sleep_ang_threshold * self.config.sleep_ang_threshold;
+        for i in 0..self.bodies.len() {
+            if self.bodies.is_sleeping(i) {
+                continue;
+            }
+            if self.bodies.is_movable(i) {
+                let v = self.bodies.linear_velocity(i).length_squared();
+                let w = self.bodies.angular_velocity(i).length_squared();
+                let ema = 0.5 * self.bodies.sleep_ema[i] + 0.5 * (v / lin2 + w / ang2);
+                self.bodies.sleep_ema[i] = ema;
+                self.bodies.sleep_timer[i] = if ema < 1.0 {
+                    self.bodies.sleep_timer[i].saturating_add(1)
+                } else {
+                    0
+                };
+            } else {
+                self.bodies.sleep_ema[i] = 0.0;
+                self.bodies.sleep_timer[i] = 0;
+            }
+        }
+        if !self.config.sleeping {
+            return 0;
+        }
+        let mut slept = 0;
+        for island in islands {
+            if island.bodies.is_empty() {
+                continue;
+            }
+            let ready = island
+                .bodies
+                .iter()
+                .all(|&bi| self.bodies.sleep_timer[bi as usize] >= self.config.sleep_steps);
+            if !ready {
+                continue;
+            }
+            let parked: Vec<ContactManifold> = island
+                .manifolds
+                .iter()
+                .map(|&mi| manifolds[mi as usize].clone())
+                .collect();
+            let slot = self.sleep.alloc();
+            for &bi in &island.bodies {
+                let k = bi as usize;
+                self.bodies.flags_mut(k).insert(BodyFlags::SLEEPING);
+                self.bodies.set_velocity(k, Vec3::ZERO, Vec3::ZERO);
+                self.bodies
+                    .set_island(k, crate::island::SLEEP_SLOT_BIT | slot);
+            }
+            self.sleep.islands[slot as usize] = Some(crate::sleep::SleepingIsland {
+                bodies: island.bodies.clone(),
+                manifolds: parked,
+            });
+            slept += 1;
+        }
+        slept
     }
 
     // --- snapshot / restore ------------------------------------------------
@@ -469,6 +704,12 @@ impl World {
             }
             if let JointKind::Slider { axis_a, anchor_a } = j.kind {
                 let (ia, ib) = (j.body_a.index(), j.body_b.index());
+                // Both sides asleep: the displacement is frozen, so the
+                // spring force is parked with the island (applying it
+                // would re-wake the island every step).
+                if self.bodies.is_sleeping(ia) && self.bodies.is_sleeping(ib) {
+                    continue;
+                }
                 let ta = self.bodies.transform(ia);
                 let axis = ta.apply_vector(axis_a);
                 let anchor_world = ta.apply(anchor_a);
@@ -527,11 +768,17 @@ impl World {
             if !g.enabled {
                 continue;
             }
-            let world_t = match g.body {
-                Some(b) => bodies.transform(b.index()).compose(&g.local),
-                None => g.local,
-            };
-            g.aabb = g.shape.aabb(&world_t);
+            // Sleeping bodies have not moved: keep the cached AABB (the
+            // geom stays in the broad-phase so awake bodies can still
+            // find it and trigger a contact wake).
+            let asleep = g.body.is_some_and(|b| bodies.is_sleeping(b.index()));
+            if !asleep {
+                let world_t = match g.body {
+                    Some(b) => bodies.transform(b.index()).compose(&g.local),
+                    None => g.local,
+                };
+                g.aabb = g.shape.aabb(&world_t);
+            }
             out.push((GeomId(i as u32), g.aabb));
         }
     }
@@ -561,11 +808,6 @@ impl World {
                     .map(|id| self.bodies.is_disabled(id.index()))
                     .unwrap_or(false)
             };
-            let body_static = |g: &Geom| {
-                g.body
-                    .map(|id| self.bodies.is_static(id.index()))
-                    .unwrap_or(true)
-            };
             if let (Some(ba), Some(bb)) = (ga.body, gb.body) {
                 if ba == bb {
                     return None;
@@ -575,8 +817,21 @@ impl World {
                     return None;
                 }
             }
-            let both_static = body_static(ga) && body_static(gb);
-            let active = !both_static && !body_disabled(ga) && !body_disabled(gb);
+            // Sleeping bodies count as static-like here: a pair needs at
+            // least one *awake* dynamic side to produce contacts. A
+            // sleeping×sleeping or sleeping×static pair is skipped (its
+            // manifolds are parked in the sleep system); an
+            // awake×sleeping pair stays active so contact can wake the
+            // island.
+            let awake_dynamic = |g: &Geom| {
+                g.body
+                    .map(|id| {
+                        !self.bodies.is_static(id.index()) && !self.bodies.is_sleeping(id.index())
+                    })
+                    .unwrap_or(false)
+            };
+            let any_awake = awake_dynamic(ga) || awake_dynamic(gb);
+            let active = any_awake && !body_disabled(ga) && !body_disabled(gb);
             Some((a, b, active))
         }));
     }
@@ -761,6 +1016,14 @@ impl World {
             }
             if self.bodies.is_disabled(j.body_a.index())
                 || self.bodies.is_disabled(j.body_b.index())
+            {
+                continue;
+            }
+            // Joints inside a sleeping island contribute no rows; the
+            // wake pass already ran, so a joint touching a sleeping body
+            // here has both sides asleep (or a static anchor side).
+            if self.bodies.is_sleeping(j.body_a.index())
+                || self.bodies.is_sleeping(j.body_b.index())
             {
                 continue;
             }

@@ -118,6 +118,16 @@ pub const CHECKED_STEPS_COUNTER: &str = "physics.monitor.checked_steps";
 /// recording process (set by the bench sink before each snapshot).
 pub const SPANS_DROPPED_GAUGE: &str = "telemetry.spans_dropped";
 
+/// Gauge: bodies asleep at the end of a step (see the physics pipeline).
+pub const SLEEPING_BODIES_GAUGE: &str = "physics.sleeping_bodies";
+
+/// Gauge: sleeping islands at the end of a step.
+pub const SLEEPING_ISLANDS_GAUGE: &str = "physics.sleeping_islands";
+
+/// Counter: island-graph components actually rebuilt by the incremental
+/// builder (the from-scratch cost this PR's fast path avoids).
+pub const ISLANDS_REBUILT_COUNTER: &str = "physics.islands_rebuilt";
+
 /// Largest `telemetry.spans_dropped` gauge value across records: the
 /// cumulative number of spans the recording process lost to full ring
 /// buffers (0 when the gauge was never set — nothing was dropped).
@@ -226,6 +236,36 @@ pub fn render(records: &[StepRecord]) -> String {
             let kind = name.strip_prefix(VIOLATION_PREFIX).unwrap_or(name);
             let _ = writeln!(out, "  {kind:<20} {v:>10}");
         }
+    }
+
+    // Island sleeping: the gauges are per-step *levels*, so summing them
+    // is meaningless — report the final and peak levels instead, plus the
+    // total incremental rebuild work.
+    let peak = |name: &str| records.iter().map(|r| r.metrics.gauge(name)).max();
+    let last = |name: &str| records.last().map(|r| r.metrics.gauge(name));
+    let peak_bodies = peak(SLEEPING_BODIES_GAUGE).unwrap_or(0);
+    let rebuilt = merged.counter(ISLANDS_REBUILT_COUNTER);
+    if peak_bodies > 0 || rebuilt > 0 {
+        let _ = writeln!(out, "\nIsland sleeping:");
+        let _ = writeln!(
+            out,
+            "  {:<20} final {:>8}, peak {:>8}",
+            "sleeping bodies",
+            last(SLEEPING_BODIES_GAUGE).unwrap_or(0),
+            peak_bodies
+        );
+        let _ = writeln!(
+            out,
+            "  {:<20} final {:>8}, peak {:>8}",
+            "sleeping islands",
+            last(SLEEPING_ISLANDS_GAUGE).unwrap_or(0),
+            peak(SLEEPING_ISLANDS_GAUGE).unwrap_or(0)
+        );
+        let _ = writeln!(
+            out,
+            "  {:<20} {rebuilt} component(s) over all steps",
+            "incremental rebuilds"
+        );
     }
 
     let dropped = spans_dropped(records);
@@ -357,6 +397,30 @@ mod tests {
         // p50 and p95 land in the ones bucket, p99 in [8,15].
         let row = text.lines().find(|l| l.contains("island_size")).unwrap();
         assert!(row.trim_end().ends_with("1          1         15"), "{row}");
+    }
+
+    #[test]
+    fn sleeping_section_reports_levels_not_sums() {
+        let mut a = rec(0, 1, 1);
+        a.metrics.gauges = vec![
+            (SLEEPING_BODIES_GAUGE.into(), 240),
+            (SLEEPING_ISLANDS_GAUGE.into(), 48),
+        ];
+        a.metrics.counters = vec![(ISLANDS_REBUILT_COUNTER.into(), 3)];
+        let mut b = rec(1, 1, 1);
+        b.metrics.gauges = vec![
+            (SLEEPING_BODIES_GAUGE.into(), 235),
+            (SLEEPING_ISLANDS_GAUGE.into(), 47),
+        ];
+        b.metrics.counters = vec![(ISLANDS_REBUILT_COUNTER.into(), 2)];
+        let text = render(&[a, b]);
+        assert!(text.contains("Island sleeping:"), "{text}");
+        // Final level is the last record's, peak is the max — not 475.
+        assert!(text.contains("final      235, peak      240"), "{text}");
+        assert!(text.contains("final       47, peak       48"), "{text}");
+        assert!(text.contains("5 component(s)"), "{text}");
+        // A run that never slept and never rebuilt renders no section.
+        assert!(!render(&[rec(0, 1, 1)]).contains("Island sleeping"));
     }
 
     #[test]

@@ -15,6 +15,7 @@
 //! | [`BenchmarkId::Explosions`] | RTS | urban battlefield, cannons |
 //! | [`BenchmarkId::Highspeed`] | action | high-speed impacts, no blasts |
 //! | [`BenchmarkId::Mix`] | — | everything combined |
+//! | [`BenchmarkId::Resting`] | — | settled stacks + rare projectiles (sleeping stress) |
 //!
 //! # Examples
 //!
@@ -56,11 +57,16 @@ pub enum BenchmarkId {
     Highspeed,
     /// Combination of all features.
     Mix,
+    /// Temporal-coherence stress: large pre-settled box stacks with a
+    /// slow cannon waking one corner — the island-sleeping showcase
+    /// (not in the paper's table; most of a game level is at rest most
+    /// of the time, which is exactly what sleeping exploits).
+    Resting,
 }
 
 impl BenchmarkId {
-    /// All benchmarks in paper order.
-    pub const ALL: [BenchmarkId; 8] = [
+    /// All benchmarks in paper order (plus the post-paper Resting scene).
+    pub const ALL: [BenchmarkId; 9] = [
         BenchmarkId::Periodic,
         BenchmarkId::Ragdoll,
         BenchmarkId::Continuous,
@@ -69,6 +75,7 @@ impl BenchmarkId {
         BenchmarkId::Explosions,
         BenchmarkId::Highspeed,
         BenchmarkId::Mix,
+        BenchmarkId::Resting,
     ];
 
     /// Full name as used in the paper's tables.
@@ -82,6 +89,7 @@ impl BenchmarkId {
             BenchmarkId::Explosions => "Explosions",
             BenchmarkId::Highspeed => "Highspeed",
             BenchmarkId::Mix => "Mix",
+            BenchmarkId::Resting => "Resting",
         }
     }
 
@@ -96,6 +104,7 @@ impl BenchmarkId {
             BenchmarkId::Explosions => "Exp",
             BenchmarkId::Highspeed => "Hig",
             BenchmarkId::Mix => "Mix",
+            BenchmarkId::Resting => "Res",
         }
     }
 
@@ -110,6 +119,7 @@ impl BenchmarkId {
             BenchmarkId::Explosions => scenes::explosions::build(params),
             BenchmarkId::Highspeed => scenes::highspeed::build(params),
             BenchmarkId::Mix => scenes::mix::build(params),
+            BenchmarkId::Resting => scenes::resting::build(params),
         }
     }
 }
@@ -131,6 +141,9 @@ pub struct SceneParams {
     /// Compute per-phase state digests each step (flight recorder /
     /// divergence bisection). Defaults from `PARALLAX_DIGEST`.
     pub digests: bool,
+    /// Island sleeping: settled islands stop simulating until disturbed.
+    /// Defaults from `PARALLAX_SLEEP`.
+    pub sleeping: bool,
 }
 
 impl Default for SceneParams {
@@ -142,6 +155,7 @@ impl Default for SceneParams {
             warm_starting: true,
             simd: SimdMode::resolve(),
             digests: parallax_physics::digest::digests_from_env(),
+            sleeping: parallax_physics::sleeping_from_env(),
         }
     }
 }
@@ -160,6 +174,7 @@ impl SceneParams {
             warm_starting: self.warm_starting,
             simd: self.simd,
             digests: self.digests,
+            sleeping: self.sleeping,
             ..WorldConfig::default()
         }
     }

@@ -1,4 +1,5 @@
-//! The eight benchmark scenes (paper Table 3).
+//! The eight benchmark scenes (paper Table 3), plus the post-paper
+//! Resting scene exercising the island-sleeping fast path.
 
 pub mod breakable;
 pub mod continuous;
@@ -8,6 +9,7 @@ pub mod highspeed;
 pub mod mix;
 pub mod periodic;
 pub mod ragdoll;
+pub mod resting;
 
 use parallax_math::Vec3;
 use parallax_physics::{BodyFlags, Shape, World};

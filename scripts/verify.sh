@@ -22,6 +22,14 @@ PARALLAX_SIMD=0 cargo test -q --offline --test determinism
 PARALLAX_SIMD=1 cargo test -q --offline --test determinism
 cargo test -q --offline --test simd_equivalence
 
+# ... and with the island-sleeping fast path enabled: sleep/wake
+# decisions run serially in body order, so the whole determinism suite
+# must hold with sleeping on too (WorldConfig::default honours
+# PARALLAX_SLEEP). The dedicated suite covers prefix equivalence, wake
+# reconvergence and monitor cleanliness.
+PARALLAX_SLEEP=1 cargo test -q --offline --test determinism
+cargo test -q --offline --test sleeping
+
 # Hot-kernel microbench smoke (integrator sweep, PGS rows, cloth
 # relaxation at each SIMD width) — quick shapes, just proves the bench
 # harness and every dispatch path still run.
@@ -97,6 +105,19 @@ bisect_rc=$?
 set -e
 test "$bisect_rc" -eq 3
 grep -q "^divergence: step=17 phase=Narrowphase" "$tmp/bisect.out"
+
+# Cross-sleep bisect smoke: a sleep-on side diverges from a sleep-off
+# side at the first sleep transition *by design* — the bisector must
+# localize that step rather than report clean, proving it attributes
+# sleep-lane divergences correctly.
+set +e
+cargo run --release --offline -q -p parallax-bench --bin bisect -- \
+    --scene Resting --steps 200 --scale 0.1 \
+    --a sleep=off --b sleep=on > "$tmp/bisect_sleep.out" 2>/dev/null
+bisect_rc=$?
+set -e
+test "$bisect_rc" -eq 3
+grep -q "^divergence: step=" "$tmp/bisect_sleep.out"
 
 # Digest overhead gate: per-phase state digests must cost <=3% of the
 # step total on Mix (interleaved A/B, whole bootstrap CI must clear the

@@ -25,6 +25,7 @@ fn tiny_gate() -> GateConfig {
         warm_starting: true,
         simd: SimdMode::Scalar,
         digests: false,
+        sleeping: false,
         // Two scenes whose broad-phase is tens of microseconds at this
         // scale, so the injected delay is a huge *relative* change.
         scenes: vec![BenchmarkId::Periodic, BenchmarkId::Ragdoll],

@@ -17,6 +17,14 @@
 //! produce bit-identical runs, at every thread count. `verify.sh` runs
 //! the suite under `PARALLAX_SIMD=0` and `=1` as well, and the grid test
 //! below pins the cross-product explicitly.
+//!
+//! Island sleeping is a third axis: all sleep/wake decisions run on the
+//! serial phases in body-index order, so a sleeping-enabled run must
+//! also be bit-identical across thread counts and SIMD modes.
+//! `WorldConfig::default()` honours `PARALLAX_SLEEP=1|on`, so
+//! `verify.sh` re-runs this whole suite with sleeping enabled, and the
+//! dedicated grid test below pins the sleeping cross-product (and that
+//! bodies actually sleep) regardless of the environment.
 
 use parallax_math::Vec3;
 use parallax_physics::{BodyDesc, PhaseKind, Shape, SimdMode, World, WorldConfig};
@@ -219,6 +227,38 @@ fn simulation_is_bit_identical_across_simd_modes_and_threads() {
                 &r,
                 &format!("threads = {threads}, simd = {}", simd.name()),
             );
+        }
+    }
+}
+
+#[test]
+fn sleeping_runs_are_bit_identical_across_simd_modes_and_threads() {
+    // Sleeping on, long enough for the stacks to deactivate: the sleep
+    // timers, island parking and wake passes all run serially in body
+    // order, so the grid must still agree bit-for-bit — and bodies must
+    // actually fall asleep, or the test proves nothing.
+    const SLEEP_STEPS: usize = 200;
+    let run = |threads: usize, simd: SimdMode| {
+        let mut w = build_dense_world(threads);
+        w.config_mut().simd = simd;
+        w.config_mut().sleeping = true;
+        let rec = record(&mut w, SLEEP_STEPS);
+        (rec, w.sleeping_body_count())
+    };
+    let (baseline, slept) = run(1, SimdMode::Scalar);
+    assert!(
+        slept > 0,
+        "no body fell asleep in {SLEEP_STEPS} steps; the sleeping grid is vacuous"
+    );
+    for simd in [SimdMode::Scalar, SimdMode::Sse2, SimdMode::Avx2] {
+        if simd.clamp_to_supported() != simd {
+            continue; // CPU cannot execute this width.
+        }
+        for threads in [1, 2, 8] {
+            let (r, r_slept) = run(threads, simd);
+            let label = format!("sleeping, threads = {threads}, simd = {}", simd.name());
+            assert_identical(&baseline, &r, &label);
+            assert_eq!(r_slept, slept, "{label}: sleeping-body count diverged");
         }
     }
 }

@@ -1,0 +1,163 @@
+//! Island sleeping end to end: the temporal-coherence fast path must be
+//! invisible until the first sleep transition, reversible on wake, and
+//! clean under the invariant monitor.
+//!
+//! Three contracts pin it down:
+//!
+//! 1. **Prefix equivalence** — a sleeping-enabled run is bit-identical
+//!    to a sleeping-disabled run of the same world up to (and including)
+//!    the step of the first sleep transition. Sleep timers update either
+//!    way; only deactivation may change the trajectory, and only from
+//!    the moment it first happens.
+//! 2. **Wake reconvergence** — `wake_all` on a settled world hands every
+//!    island back to the full pipeline; the bodies must re-settle and
+//!    re-sleep without drifting (positions stay put to a tight epsilon),
+//!    and the whole arc stays bit-identical across thread counts.
+//! 3. **Monitor cleanliness** — a monitored sleeping run produces zero
+//!    violations: nothing moves a sleeping body, energy stays bounded,
+//!    and the `sleeping_moved` invariant never fires.
+
+use parallax_math::Vec3;
+use parallax_physics::{world_digest, BodyDesc, InvariantMonitor, Shape, World, WorldConfig};
+use parallax_workloads::{BenchmarkId, SceneParams};
+
+/// A world that settles quickly: a ground plane and a few short box
+/// stacks placed at exact rest height, far enough apart to be separate
+/// islands.
+fn settling_world(threads: usize, sleeping: bool) -> World {
+    let mut w = World::new(WorldConfig {
+        threads,
+        sleeping,
+        sleep_steps: 20,
+        digests: true,
+        ..WorldConfig::default()
+    });
+    w.add_static_geom(Shape::plane(Vec3::UNIT_Y, 0.0));
+    for s in 0..3 {
+        for level in 0..3 {
+            w.add_body(
+                BodyDesc::dynamic(Vec3::new(
+                    s as f32 * 4.0 - 4.0,
+                    0.4 + level as f32 * 0.8,
+                    0.0,
+                ))
+                .with_shape(Shape::cuboid(Vec3::splat(0.4)), 2.0),
+            );
+        }
+    }
+    w
+}
+
+fn positions_bits(w: &World) -> Vec<[u32; 3]> {
+    w.bodies()
+        .iter()
+        .map(|b| {
+            let p = b.position();
+            [p.x.to_bits(), p.y.to_bits(), p.z.to_bits()]
+        })
+        .collect()
+}
+
+fn positions(w: &World) -> Vec<Vec3> {
+    w.bodies().iter().map(|b| b.position()).collect()
+}
+
+#[test]
+fn sleeping_run_matches_non_sleeping_run_until_first_sleep_event() {
+    let mut on = settling_world(1, true);
+    let mut off = settling_world(1, false);
+    let mut first_sleep = None;
+    for step in 0..300 {
+        // Compare *before* stepping: state at step N is the product of
+        // steps 0..N, and the transition at step N may only affect N+1.
+        assert_eq!(
+            world_digest(&on),
+            world_digest(&off),
+            "diverged at step {step} before any body slept"
+        );
+        on.step();
+        off.step();
+        if on.sleeping_body_count() > 0 {
+            first_sleep = Some(step);
+            break;
+        }
+    }
+    let first = first_sleep.expect("no body slept within 300 steps");
+    assert!(first > 0, "bodies cannot sleep on the very first step");
+    // From the transition on, the runs are *allowed* to differ (sleeping
+    // zeroes residual velocities) — but the resting positions must still
+    // agree to within the residual-velocity drift the threshold admits.
+    for _ in 0..60 {
+        on.step();
+        off.step();
+    }
+    for (i, (a, b)) in positions(&on).iter().zip(positions(&off)).enumerate() {
+        assert!(
+            (*a - b).length() < 1e-2,
+            "body {i} rest position drifted: sleeping {a:?} vs awake {b:?}"
+        );
+    }
+}
+
+#[test]
+fn wake_all_reconverges_and_stays_deterministic_across_threads() {
+    let run = |threads: usize| {
+        let mut w = settling_world(threads, true);
+        for _ in 0..150 {
+            w.step();
+        }
+        let slept = w.sleeping_body_count();
+        let rest = positions(&w);
+        w.wake_all();
+        assert_eq!(w.sleeping_body_count(), 0, "wake_all left sleepers");
+        for _ in 0..150 {
+            w.step();
+        }
+        (
+            slept,
+            rest,
+            positions(&w),
+            positions_bits(&w),
+            world_digest(&w),
+        )
+    };
+    let (slept, rest, resettled, bits, digest) = run(1);
+    assert!(slept > 0, "world never slept; reconvergence is vacuous");
+    // Re-settling after a mass wake must not walk the stacks anywhere.
+    for (i, (a, b)) in rest.iter().zip(&resettled).enumerate() {
+        assert!(
+            (*a - *b).length() < 1e-3,
+            "body {i} drifted across wake_all: {a:?} -> {b:?}"
+        );
+    }
+    // And the entire sleep → wake → re-sleep arc is deterministic.
+    for threads in [2, 8] {
+        let (s, _, _, b, d) = run(threads);
+        assert_eq!(s, slept, "threads = {threads}: sleep count diverged");
+        assert_eq!(b, bits, "threads = {threads}: positions diverged");
+        assert_eq!(d, digest, "threads = {threads}: world digest diverged");
+    }
+}
+
+#[test]
+fn monitored_sleeping_scene_has_zero_violations() {
+    // The Resting workload under the full default monitor: islands fall
+    // asleep, cannon impacts wake them, and no invariant — including the
+    // sleeping-body-moved check — may fire.
+    let mut scene = BenchmarkId::Resting.build(&SceneParams {
+        scale: 0.15,
+        sleeping: true,
+        digests: true,
+        ..SceneParams::default()
+    });
+    let mut monitor = InvariantMonitor::default();
+    let mut peak = 0usize;
+    for step in 0..250 {
+        let profile = scene.step();
+        peak = peak.max(profile.sleeping_bodies);
+        let violations = monitor.check_step(&scene.world, &profile);
+        assert!(violations.is_empty(), "step {step}: {violations:?}");
+    }
+    assert!(peak > 0, "nothing slept; the monitored run is vacuous");
+    assert_eq!(monitor.violations_total(), 0);
+}
