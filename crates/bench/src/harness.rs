@@ -137,7 +137,7 @@ impl Fingerprint {
         s
     }
 
-    fn from_json(v: &Json) -> Result<Fingerprint, String> {
+    pub(crate) fn from_json(v: &Json) -> Result<Fingerprint, String> {
         Ok(Fingerprint {
             os: field_str(v, "os")?,
             arch: field_str(v, "arch")?,

@@ -10,6 +10,7 @@
 pub mod bisect;
 pub mod executor_scaling;
 pub mod harness;
+pub mod server_gate;
 
 use std::collections::HashMap;
 use std::sync::{Mutex, OnceLock};
@@ -312,9 +313,11 @@ pub fn breakdown_row(abbrev: &str, time: &PhaseTime, frames: f64) -> Vec<String>
 
 /// Looks up a benchmark by name or abbreviation, case-insensitively.
 pub fn benchmark_by_name(s: &str) -> Option<BenchmarkId> {
-    BenchmarkId::ALL
-        .into_iter()
-        .find(|b| b.name().eq_ignore_ascii_case(s) || b.abbrev().eq_ignore_ascii_case(s))
+    BenchmarkId::by_name(s).or_else(|| {
+        BenchmarkId::ALL
+            .into_iter()
+            .find(|b| b.abbrev().eq_ignore_ascii_case(s))
+    })
 }
 
 /// Every valid scene spelling, `"Name (Abbrev)"` comma-joined — the

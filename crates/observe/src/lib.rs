@@ -164,6 +164,20 @@ struct State {
     blackbox_requested: AtomicBool,
 }
 
+impl State {
+    /// Locks the step ring, recovering the guard if a previous holder
+    /// panicked: the ring only ever holds complete `StepRecord`s (each
+    /// push/pop is a single non-panicking operation on an already-built
+    /// record), so a poisoned lock means a panic elsewhere in the
+    /// holder's stack — the exporter degrades to serving the retained
+    /// tail instead of failing every later `/steps` and `/trace` scrape.
+    fn ring(&self) -> std::sync::MutexGuard<'_, VecDeque<StepRecord>> {
+        self.ring
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+}
+
 /// Handle to a live exporter. Dropping it stops the server thread.
 pub struct Observe {
     state: Arc<State>,
@@ -197,7 +211,7 @@ impl Observe {
             telemetry::gauge(&format!("{PHASE_WALL_PREFIX}{phase}")).set_always(*ns);
         }
         telemetry::attribute_step(&record).publish_gauges();
-        let mut ring = self.state.ring.lock().expect("step ring");
+        let mut ring = self.state.ring();
         if ring.len() == RING_STEPS {
             ring.pop_front();
         }
@@ -206,7 +220,7 @@ impl Observe {
 
     /// Steps currently retained.
     pub fn steps_retained(&self) -> usize {
-        self.state.ring.lock().expect("step ring").len()
+        self.state.ring().len()
     }
 
     /// Returns `true` (once) if a `GET /blackbox` arrived since the last
@@ -233,6 +247,11 @@ impl std::fmt::Debug for Observe {
 }
 
 fn route(state: &State, req: &Request) -> Response {
+    // Every exporter route is read-only; the server layer (`telemetry::
+    // net`) passes all methods through, so the policy lives here.
+    if req.method != "GET" {
+        return Response::method_not_allowed(&req.method, "GET");
+    }
     match req.path.as_str() {
         "/metrics" => Response::ok(
             "text/plain; version=0.0.4; charset=utf-8",
@@ -261,7 +280,7 @@ fn route(state: &State, req: &Request) -> Response {
 }
 
 fn tail_records(state: &State, n: usize) -> Vec<StepRecord> {
-    let ring = state.ring.lock().expect("step ring");
+    let ring = state.ring();
     ring.iter()
         .skip(ring.len().saturating_sub(n))
         .cloned()
@@ -291,7 +310,7 @@ fn health_json(state: &State) -> String {
         "{{\"status\":\"{status}\",\"checked_steps\":{},\"spans_dropped\":{},\"steps_retained\":{},\"violations\":{{",
         snap.counter(CHECKED_STEPS_COUNTER),
         snap.gauge(SPANS_DROPPED_GAUGE),
-        state.ring.lock().expect("step ring").len()
+        state.ring().len()
     );
     for (i, (kind, v)) in violations.iter().enumerate() {
         if i > 0 {
@@ -423,6 +442,48 @@ mod tests {
         let steps = std::fs::read_to_string(out.join("steps.jsonl")).unwrap();
         assert_eq!(steps.lines().count(), 1);
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn poisoned_ring_degrades_instead_of_dying() {
+        let obs = serve("127.0.0.1:0").expect("bind");
+        for step in 0..3 {
+            obs.record_step(record(step));
+        }
+        // Poison the ring mutex: panic while holding the guard, the way
+        // any panic in a ring-holding stack frame would.
+        let state = Arc::clone(&obs.state);
+        let _ = std::thread::spawn(move || {
+            let _guard = state.ring.lock().unwrap();
+            panic!("deliberate poison");
+        })
+        .join();
+        assert!(obs.state.ring.is_poisoned(), "test must actually poison");
+
+        // Every later scrape and record still works on the recovered
+        // guard — the exporter degrades, it does not die.
+        let (status, body) = http_get(obs.addr(), "/steps?n=8").unwrap();
+        assert_eq!(status, 200);
+        assert_eq!(body.lines().count(), 3, "{body}");
+        let (status, health) = http_get(obs.addr(), "/health").unwrap();
+        assert_eq!(status, 200);
+        assert!(health.contains("\"steps_retained\":3"), "{health}");
+        obs.record_step(record(3));
+        assert_eq!(obs.steps_retained(), 4);
+        let (status, _) = http_get(obs.addr(), "/trace?steps=2").unwrap();
+        assert_eq!(status, 200);
+    }
+
+    #[test]
+    fn non_get_methods_are_rejected() {
+        let obs = serve("127.0.0.1:0").expect("bind");
+        let (status, _) =
+            telemetry::http_request(obs.addr(), "POST", "/metrics", "", b"x").unwrap();
+        assert_eq!(status, 405);
+        let (status, _) = telemetry::http_request(obs.addr(), "DELETE", "/steps", "", &[]).unwrap();
+        assert_eq!(status, 405);
+        let (status, _) = http_get(obs.addr(), "/metrics").unwrap();
+        assert_eq!(status, 200);
     }
 
     #[test]

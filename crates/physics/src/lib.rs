@@ -74,6 +74,9 @@ pub use pipeline::{set_injected_phase_delay, Stage, StepPipeline};
 pub use probe::{PhaseKind, StepProfile};
 pub use shape::{GeomId, Heightfield, Shape, TriMesh};
 pub use sleep::{sleeping_from_env, SleepSystem, SleepingIsland};
-pub use snapshot::SnapshotError;
+pub use snapshot::{
+    SnapshotError, MAGIC as SNAPSHOT_MAGIC, MIN_VERSION as SNAPSHOT_MIN_VERSION,
+    VERSION as SNAPSHOT_VERSION,
+};
 pub use store::{BodiesView, BodyMut, BodyRef, BodyStore};
 pub use world::{BroadphaseKind, World, WorldConfig};

@@ -692,6 +692,39 @@ fn timed<T>(span: telemetry::SpanName, f: impl FnOnce() -> T) -> (T, Duration) {
     (r, wall)
 }
 
+/// Cache backing the fully-asleep fast path (see [`StepPipeline::step`]).
+///
+/// Once a step both starts and ends with every dynamic body asleep, no
+/// body can move until something external wakes or mutates the world:
+/// sleeping bodies are masked out of the integrator sweeps and their
+/// AABBs are frozen. The broad-phase candidate set (kept in the
+/// broad-phase stage arena) and the all-inactive narrow-phase pair
+/// records are therefore bit-identical step to step, and both serial
+/// recomputations can be skipped. Validity is keyed on the world's
+/// `mutation_epoch` so any out-of-step mutation — adding bodies,
+/// teleporting a sleeper through `body_mut`, toggling enables, restoring
+/// a snapshot — invalidates the cache before it can serve stale pairs.
+struct QuiescentCache {
+    valid: bool,
+    epoch: u64,
+    /// Broad-phase stats to report while coasting (`sort_ops` and
+    /// `overlap_tests` zeroed: no work is actually performed).
+    stats: BroadphaseStats,
+    /// The all-inactive pair records for the profile.
+    pairs: Vec<PairWork>,
+}
+
+impl QuiescentCache {
+    fn new() -> Self {
+        QuiescentCache {
+            valid: false,
+            epoch: 0,
+            stats: BroadphaseStats::default(),
+            pairs: Vec::new(),
+        }
+    }
+}
+
 /// The five-stage step pipeline plus its persistent executor.
 ///
 /// Owned by [`World`]; `World::step` delegates here. The executor is
@@ -706,6 +739,8 @@ pub struct StepPipeline {
     cloth: ClothStage,
     /// Cross-step contact persistence for solver warm starting.
     contact_cache: ContactCache,
+    /// Fully-asleep fast-path cache.
+    quiet: QuiescentCache,
     telemetry: PipelineTelemetry,
     /// Whether the active SIMD mode has been published to telemetry yet
     /// (done once, on the first step).
@@ -731,6 +766,7 @@ impl StepPipeline {
             island_processing: IslandProcessingStage::new(),
             cloth: ClothStage::new(),
             contact_cache: ContactCache::new(),
+            quiet: QuiescentCache::new(),
             telemetry: PipelineTelemetry::register(),
             simd_reported: false,
         }
@@ -756,11 +792,13 @@ impl StepPipeline {
     /// restore, which replaces the island lanes wholesale.
     pub(crate) fn invalidate_island_graph(&mut self) {
         self.island_creation.graph.invalidate();
+        self.quiet.valid = false;
     }
 
     /// Replaces the broad-phase algorithm (ablation hook).
     pub(crate) fn set_broadphase(&mut self, kind: BroadphaseKind) {
         self.broadphase = BroadphaseStage::new(kind);
+        self.quiet.valid = false;
     }
 
     /// Runs one full step over `world`, returning the work profile.
@@ -818,9 +856,26 @@ impl StepPipeline {
             return Self::finish_step(world, profile, (0, 0), 0);
         }
 
+        // Fully-asleep fast path: every dynamic body is asleep, nothing is
+        // pending and the world has not been mutated since the cache was
+        // filled, so this step cannot move anything. The broad-phase
+        // candidate set and the (all-inactive) pair records are reused
+        // verbatim — the digests below hash the same world state and the
+        // same candidate list, so the trajectory stays bit-identical to
+        // the full recomputation.
+        let quiescent = world.config.sleeping
+            && world.cloths.is_empty()
+            && world.blasts.is_empty()
+            && world.fully_asleep();
+        let coast = quiescent && self.quiet.valid && self.quiet.epoch == world.mutation_epoch;
+
         // (b) Broad-phase (serial).
         let (stats, wall) = timed(spans[0], || {
-            let s = self.broadphase.run(world);
+            let s = if coast {
+                self.quiet.stats
+            } else {
+                self.broadphase.run(world)
+            };
             maybe_inject_fault(world, 0);
             if digests_on {
                 phase_digests[0] = digest::broadphase_digest(world, &self.broadphase.candidates);
@@ -835,9 +890,17 @@ impl StepPipeline {
         // hooks.
         let narrowphase = &mut self.narrowphase;
         let candidates = &self.broadphase.candidates;
+        let quiet_pairs = &self.quiet.pairs;
         let executor = &self.executor;
         let (events, wall) = timed(spans[1], || {
-            profile.pairs = narrowphase.run(world, executor, candidates);
+            if coast {
+                // No pair has an awake dynamic side: zero manifolds, and
+                // the considered-pair records are unchanged.
+                narrowphase.manifolds.clear();
+                profile.pairs = quiet_pairs.clone();
+            } else {
+                profile.pairs = narrowphase.run(world, executor, candidates);
+            }
             let events = world.process_contact_events(&narrowphase.manifolds);
             world.update_cloth_contact_lists();
             maybe_inject_fault(world, 1);
@@ -979,6 +1042,27 @@ impl StepPipeline {
         });
         profile.cloths = cloths;
         profile.wall[4] = wall;
+
+        // Arm or disarm the fast-path cache. Arming requires a step that
+        // both started and ended fully asleep: only then were the
+        // candidates computed from the same frozen positions the next
+        // step will see. A settling step (awake at broad-phase, asleep by
+        // the end) must not arm — its candidates predate the final
+        // integrate.
+        if quiescent && world.fully_asleep() {
+            if !coast {
+                self.quiet.pairs.clone_from(&profile.pairs);
+                self.quiet.stats = BroadphaseStats {
+                    sort_ops: 0,
+                    overlap_tests: 0,
+                    ..profile.broadphase
+                };
+            }
+            self.quiet.valid = true;
+            self.quiet.epoch = world.mutation_epoch;
+        } else {
+            self.quiet.valid = false;
+        }
 
         if telemetry::enabled() {
             self.telemetry
@@ -1179,6 +1263,106 @@ mod tests {
             warm < cold,
             "warm-started residual {warm} should beat cold {cold}"
         );
+    }
+
+    /// A small stack on a plane with sleeping enabled, stepped until every
+    /// dynamic body is asleep.
+    fn settled_world() -> World {
+        use crate::body::BodyDesc;
+        let mut w = World::new(crate::world::WorldConfig {
+            sleeping: true,
+            digests: true,
+            ..Default::default()
+        });
+        w.add_static_geom(Shape::plane(Vec3::UNIT_Y, 0.0));
+        for i in 0..4 {
+            w.add_body(
+                BodyDesc::dynamic(Vec3::new(0.0, 0.5 + i as f32 * 1.001, 0.0))
+                    .with_shape(Shape::cuboid(Vec3::splat(0.5)), 1.0),
+            );
+        }
+        for _ in 0..400 {
+            w.step();
+            if w.sleeping_body_count() == 4 {
+                break;
+            }
+        }
+        assert_eq!(w.sleeping_body_count(), 4, "stack must settle");
+        w
+    }
+
+    #[test]
+    fn fully_asleep_steps_coast_without_broadphase_work() {
+        let mut w = settled_world();
+        // First fully-asleep step runs the real broad-phase and arms the
+        // cache; the second coasts.
+        let armed = w.step();
+        assert!(armed.broadphase.pairs > 0);
+        let coasted = w.step();
+        assert_eq!(coasted.broadphase.pairs, armed.broadphase.pairs);
+        assert_eq!(coasted.broadphase.geoms, armed.broadphase.geoms);
+        assert_eq!(coasted.broadphase.sort_ops, 0, "coasting must not sort");
+        assert_eq!(coasted.broadphase.overlap_tests, 0);
+        assert_eq!(coasted.pairs.len(), armed.pairs.len());
+        assert!(coasted.pairs.iter().all(|p| !p.active));
+        assert_eq!(w.sleeping_body_count(), 4);
+    }
+
+    #[test]
+    fn coasting_is_bit_identical_to_the_full_recomputation() {
+        use crate::body::BodyDesc;
+        let mut coasting = settled_world();
+        let mut full = settled_world();
+        for step in 0..20 {
+            // Bumping the mutation epoch forces `full` down the slow path
+            // every step while `coasting` reuses its cache.
+            let _ = full.config_mut();
+            let a = coasting.step();
+            let b = full.step();
+            assert_eq!(a.digests, b.digests, "digests diverged at step {step}");
+        }
+        // Disturb both identically: a new body dropped onto the stack must
+        // wake it out of the coast and keep the trajectories in lockstep.
+        for w in [&mut coasting, &mut full] {
+            w.add_body(
+                BodyDesc::dynamic(Vec3::new(0.2, 8.0, 0.0))
+                    .with_shape(Shape::cuboid(Vec3::splat(0.5)), 1.0),
+            );
+        }
+        for step in 0..120 {
+            let _ = full.config_mut();
+            let a = coasting.step();
+            let b = full.step();
+            assert_eq!(a.digests, b.digests, "post-wake divergence at step {step}");
+        }
+        for i in 0..coasting.bodies().len() {
+            let (pa, pb) = (
+                coasting.body(crate::body::BodyId(i as u32)).position(),
+                full.body(crate::body::BodyId(i as u32)).position(),
+            );
+            assert_eq!(pa, pb, "body {i} position diverged");
+        }
+    }
+
+    #[test]
+    fn mutation_while_asleep_invalidates_the_coast_cache() {
+        let mut w = settled_world();
+        w.step(); // arm
+        let coasted = w.step();
+        assert_eq!(coasted.broadphase.sort_ops, 0);
+        // A static geom added while everything sleeps must show up in the
+        // next broad-phase pass instead of being masked by the cache.
+        let before = coasted.broadphase.geoms;
+        w.add_static_geom_at(
+            Shape::cuboid(Vec3::splat(0.6)),
+            Transform::from_position(Vec3::new(0.0, 0.5, 2.0)),
+        );
+        let after = w.step();
+        assert!(
+            after.broadphase.sort_ops > 0,
+            "mutation must break the coast"
+        );
+        assert_eq!(after.broadphase.geoms, before + 1);
     }
 
     #[test]

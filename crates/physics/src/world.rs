@@ -154,6 +154,12 @@ pub struct World {
     pub(crate) pipeline: Option<StepPipeline>,
     /// Sleeping-island table + pending wake queue (see [`crate::sleep`]).
     pub(crate) sleep: crate::sleep::SleepSystem,
+    /// Bumped by every out-of-step mutation that could change collision
+    /// state (construction, enable toggles, direct body/cloth access,
+    /// restore). The pipeline's fully-asleep fast path caches broad-phase
+    /// output keyed on this epoch, so a stale cache can never survive a
+    /// mutation it did not observe.
+    pub(crate) mutation_epoch: u64,
     pub(crate) time: f64,
     pub(crate) steps: u64,
 }
@@ -187,9 +193,25 @@ impl World {
             blasts: Vec::new(),
             pipeline: Some(pipeline),
             sleep: crate::sleep::SleepSystem::default(),
+            mutation_epoch: 0,
             time: 0.0,
             steps: 0,
         }
+    }
+
+    /// Records an out-of-step mutation (see `mutation_epoch`).
+    #[inline]
+    fn touch(&mut self) {
+        self.mutation_epoch = self.mutation_epoch.wrapping_add(1);
+    }
+
+    /// `true` when every enabled dynamic body is asleep and no wake is
+    /// pending — the precondition for the pipeline's fully-asleep fast
+    /// path (nothing can move this step).
+    pub(crate) fn fully_asleep(&self) -> bool {
+        self.sleep.pending_wakes.is_empty()
+            && (0..self.bodies.len())
+                .all(|i| !self.bodies.is_movable(i) || self.bodies.is_sleeping(i))
     }
 
     /// The active configuration.
@@ -204,11 +226,13 @@ impl World {
     /// constructed world — use [`World::set_broadphase`].
     #[inline]
     pub fn config_mut(&mut self) -> &mut WorldConfig {
+        self.touch();
         &mut self.config
     }
 
     /// Switches the broad-phase algorithm (used by the ablation study).
     pub fn set_broadphase(&mut self, kind: BroadphaseKind) {
+        self.touch();
         self.config.broadphase = kind;
         self.pipeline
             .as_mut()
@@ -240,6 +264,7 @@ impl World {
 
     /// Adds a body described by `desc`, creating its geoms.
     pub fn add_body(&mut self, desc: BodyDesc) -> BodyId {
+        self.touch();
         let idx = self.bodies.push(&desc);
         let id = BodyId(idx as u32);
         let body_transform = self.bodies.transform(idx);
@@ -266,6 +291,7 @@ impl World {
 
     /// Adds a world-static geom at `transform`.
     pub fn add_static_geom_at(&mut self, shape: Shape, transform: Transform) -> GeomId {
+        self.touch();
         let gid = GeomId(self.geoms.len() as u32);
         self.geoms.push(Geom {
             aabb: shape.aabb(&transform),
@@ -279,6 +305,7 @@ impl World {
 
     /// Adds a permanent joint; collision between its bodies is disabled.
     pub fn add_joint(&mut self, joint: Joint) -> JointId {
+        self.touch();
         let id = JointId(self.joints.len() as u32);
         let (a, b) = (joint.body_a.0, joint.body_b.0);
         self.joint_pairs.insert((a.min(b), a.max(b)));
@@ -289,11 +316,13 @@ impl World {
     /// Excludes collision detection between two bodies (used for composite
     /// entities like vehicles whose parts interpenetrate by design).
     pub fn exclude_collision(&mut self, a: BodyId, b: BodyId) {
+        self.touch();
         self.joint_pairs.insert((a.0.min(b.0), a.0.max(b.0)));
     }
 
     /// Adds a cloth object.
     pub fn add_cloth(&mut self, cloth: Cloth) -> ClothId {
+        self.touch();
         let id = ClothId(self.cloths.len() as u32);
         self.cloths.push(cloth);
         id
@@ -302,6 +331,7 @@ impl World {
     /// Marks a body explosive: on its first contact it is replaced by a
     /// blast sphere.
     pub fn make_explosive(&mut self, body: BodyId, cfg: ExplosionConfig) {
+        self.touch();
         self.bodies
             .flags_mut(body.index())
             .insert(BodyFlags::EXPLOSIVE);
@@ -369,6 +399,10 @@ impl World {
     /// Mutable access to a body.
     #[inline]
     pub fn body_mut(&mut self, id: BodyId) -> BodyMut<'_> {
+        // Conservative: the borrow may reposition the body without waking
+        // anything (e.g. teleporting a sleeping body), which the pipeline
+        // cache cannot see any other way.
+        self.touch();
         BodyMut::new(&mut self.bodies, id.index())
     }
 
@@ -405,6 +439,7 @@ impl World {
     /// Mutable access to a cloth.
     #[inline]
     pub fn cloth_mut(&mut self, id: ClothId) -> &mut Cloth {
+        self.touch();
         &mut self.cloths[id.index()]
     }
 
@@ -422,6 +457,7 @@ impl World {
 
     /// Enables or disables a body and its geoms.
     pub fn set_body_enabled(&mut self, id: BodyId, enabled: bool) {
+        self.touch();
         // A body leaving the simulation must not linger in a sleeping
         // island; wake the island (cheap, discards parked manifolds) so
         // its remaining members re-settle on their own.
@@ -670,6 +706,7 @@ impl World {
     /// replaying one snapshot under different thread counts or SIMD modes
     /// is exactly what the divergence bisector does.
     pub fn restore(&mut self, bytes: &[u8]) -> Result<(), crate::snapshot::SnapshotError> {
+        self.touch();
         crate::snapshot::restore(self, bytes)
     }
 

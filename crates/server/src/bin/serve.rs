@@ -1,0 +1,25 @@
+//! Standalone entry point for the simulation service.
+//!
+//! ```sh
+//! serve [ADDR]        # default 127.0.0.1:9400; use :0 for an ephemeral port
+//! ```
+//!
+//! Runs until killed. `GET /` on the bound address prints the API index.
+
+fn main() {
+    let addr = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "127.0.0.1:9400".to_string());
+    let server = match parallax_server::serve(addr.as_str()) {
+        Ok(server) => server,
+        Err(e) => {
+            eprintln!("serve: cannot bind {addr}: {e}");
+            std::process::exit(1);
+        }
+    };
+    println!("parallax-server listening on http://{}", server.addr());
+    println!("  GET http://{}/ for the API index", server.addr());
+    loop {
+        std::thread::park();
+    }
+}

@@ -1,0 +1,775 @@
+//! Sessions and the table that owns them.
+//!
+//! A *session* is one independent [`World`] plus its scripted actors,
+//! step counter and a short tail of [`StepRecord`]s for the `/state`
+//! stream. The [`SessionTable`] owns the fleet: creation (from a named
+//! benchmark scene or a generated stack world), manual stepping,
+//! scheduled stepping in parallel batches, snapshot/restore, and
+//! destruction.
+//!
+//! # Determinism
+//!
+//! Every session world is built with `threads: 1`: its own pipeline is
+//! serial, and the server parallelizes *across* sessions instead. A
+//! batch step hands each due session to the shared
+//! [`Executor`](parallax_physics::parallel::Executor) as exactly one
+//! job; a job locks its own session and touches nothing else, so the
+//! only cross-session interaction is which thread happens to run the
+//! job — and a serial world's trajectory does not depend on the thread
+//! it runs on. Batch composition therefore cannot perturb any member's
+//! trajectory. The integration suite pins this with a 500-noisy-neighbor
+//! digest comparison.
+
+use std::collections::{HashMap, VecDeque};
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard};
+
+use parallax_physics::parallel::Executor;
+use parallax_physics::{PhaseKind, SnapshotError, World};
+use parallax_telemetry as telemetry;
+use parallax_telemetry::json::write_str;
+use parallax_telemetry::StepRecord;
+use parallax_workloads::{Actors, BenchmarkId, SceneParams, SessionWorld};
+
+/// StepRecord tail kept per session for `GET /sessions/:id/state`.
+const RECORD_TAIL: usize = 32;
+
+/// How a session's world is built.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SceneKind {
+    /// A generated settled-stack world ([`SessionWorld`]).
+    Stacks,
+    /// One of the named benchmark scenes.
+    Named(BenchmarkId),
+}
+
+/// Per-session configuration, posted as JSON to `POST /sessions`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SessionConfig {
+    /// World source: generated stacks (default) or a named scene.
+    pub scene: SceneKind,
+    /// Body count for generated stack worlds.
+    pub bodies: usize,
+    /// Scale for named scenes (1.0 = the paper's scale).
+    pub scale: f32,
+    /// Placement seed — distinct seeds give distinct trajectories.
+    pub seed: u64,
+    /// Scheduled step rate in Hz. `0` means the session only advances
+    /// on explicit `POST /sessions/:id/step` calls. The coarse/fine
+    /// cost knob: a far-away level can idle at 10 Hz while the level
+    /// the player is in runs at 120 Hz.
+    pub step_rate: f64,
+    /// Island sleeping for the session world.
+    pub sleeping: bool,
+}
+
+impl Default for SessionConfig {
+    fn default() -> Self {
+        SessionConfig {
+            scene: SceneKind::Stacks,
+            bodies: 100,
+            scale: 0.2,
+            seed: 0,
+            step_rate: 0.0,
+            sleeping: true,
+        }
+    }
+}
+
+impl SessionConfig {
+    /// Parses a `POST /sessions` body. An empty body means "all
+    /// defaults"; unknown scene names and malformed fields are errors
+    /// (the caller turns them into a 400).
+    pub fn from_json(body: &[u8]) -> Result<SessionConfig, String> {
+        let mut cfg = SessionConfig::default();
+        let trimmed = body
+            .iter()
+            .position(|b| !b.is_ascii_whitespace())
+            .map(|start| &body[start..])
+            .unwrap_or(&[]);
+        if trimmed.is_empty() {
+            return Ok(cfg);
+        }
+        let text = std::str::from_utf8(body).map_err(|_| "body is not UTF-8".to_string())?;
+        let v = telemetry::json::Json::parse(text)?;
+        if let Some(s) = v.get("scene") {
+            let name = s.as_str().ok_or("scene must be a string")?;
+            if name.eq_ignore_ascii_case("stacks") {
+                cfg.scene = SceneKind::Stacks;
+            } else {
+                let id = BenchmarkId::by_name(name).ok_or_else(|| {
+                    let names: Vec<&str> = BenchmarkId::ALL.iter().map(|b| b.name()).collect();
+                    format!("unknown scene {name:?}; expected stacks or one of {names:?}")
+                })?;
+                cfg.scene = SceneKind::Named(id);
+            }
+        }
+        if let Some(n) = v.get("bodies") {
+            let n = n.as_u64().ok_or("bodies must be a non-negative integer")?;
+            if n == 0 || n > 100_000 {
+                return Err(format!("bodies must be in 1..=100000, got {n}"));
+            }
+            cfg.bodies = n as usize;
+        }
+        if let Some(s) = v.get("scale") {
+            let s = s.as_f64().ok_or("scale must be a number")?;
+            if !(s.is_finite() && s > 0.0 && s <= 10.0) {
+                return Err(format!("scale must be in (0, 10], got {s}"));
+            }
+            cfg.scale = s as f32;
+        }
+        if let Some(s) = v.get("seed") {
+            cfg.seed = s.as_u64().ok_or("seed must be a non-negative integer")?;
+        }
+        if let Some(r) = v.get("step_rate") {
+            let r = r.as_f64().ok_or("step_rate must be a number")?;
+            if !(r.is_finite() && (0.0..=100_000.0).contains(&r)) {
+                return Err(format!("step_rate must be in 0..=100000 Hz, got {r}"));
+            }
+            cfg.step_rate = r;
+        }
+        if let Some(s) = v.get("sleeping") {
+            cfg.sleeping = match s {
+                telemetry::json::Json::Bool(b) => *b,
+                _ => return Err("sleeping must be a boolean".to_string()),
+            };
+        }
+        Ok(cfg)
+    }
+
+    /// Scene label used in records and listings.
+    pub fn scene_name(&self) -> &'static str {
+        match self.scene {
+            SceneKind::Stacks => "stacks",
+            SceneKind::Named(id) => id.name(),
+        }
+    }
+
+    /// Scheduled step period, or `None` for manual sessions.
+    fn period_ns(&self) -> Option<u64> {
+        if self.step_rate > 0.0 {
+            Some((1.0e9 / self.step_rate).max(1.0) as u64)
+        } else {
+            None
+        }
+    }
+}
+
+/// Summary of one session, as returned by `GET /sessions`.
+#[derive(Debug, Clone)]
+pub struct SessionInfo {
+    /// Session id.
+    pub id: u64,
+    /// Scene label (`"stacks"` or a benchmark name).
+    pub scene: String,
+    /// Steps taken so far.
+    pub steps: u64,
+    /// Enabled dynamic bodies.
+    pub bodies: usize,
+    /// Bodies currently asleep.
+    pub sleeping_bodies: usize,
+    /// Scheduled rate in Hz (0 = manual).
+    pub step_rate: f64,
+}
+
+impl SessionInfo {
+    /// One-object JSON rendering.
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(128);
+        let _ = write!(out, "{{\"id\":{},\"scene\":", self.id);
+        write_str(&mut out, &self.scene);
+        let _ = write!(
+            out,
+            ",\"steps\":{},\"bodies\":{},\"sleeping_bodies\":{},\"step_rate\":{}}}",
+            self.steps,
+            self.bodies,
+            self.sleeping_bodies,
+            finite(self.step_rate)
+        );
+        out
+    }
+}
+
+/// Renders a float defensively: JSON has no NaN/inf literals.
+fn finite(x: f64) -> f64 {
+    if x.is_finite() {
+        x
+    } else {
+        0.0
+    }
+}
+
+fn finite32(x: f32) -> f32 {
+    if x.is_finite() {
+        x
+    } else {
+        0.0
+    }
+}
+
+/// One independent world behind the API.
+pub struct Session {
+    /// Session id (table-assigned, never reused within a process).
+    pub id: u64,
+    config: SessionConfig,
+    world: World,
+    actors: Actors,
+    /// Next scheduled due time (`telemetry::now_ns` clock); meaningless
+    /// for manual sessions.
+    due_ns: u64,
+    records: VecDeque<StepRecord>,
+}
+
+impl Session {
+    fn new(id: u64, config: SessionConfig, now_ns: u64) -> Session {
+        let (world, actors) = match config.scene {
+            SceneKind::Stacks => (
+                SessionWorld {
+                    bodies: config.bodies,
+                    seed: config.seed,
+                    sleeping: config.sleeping,
+                }
+                .build(),
+                Actors::default(),
+            ),
+            SceneKind::Named(benchmark) => {
+                let scene = benchmark.build(&SceneParams {
+                    scale: config.scale,
+                    seed: config.seed,
+                    threads: 1,
+                    sleeping: config.sleeping,
+                    ..SceneParams::default()
+                });
+                (scene.world, scene.actors)
+            }
+        };
+        let due_ns = now_ns + config.period_ns().unwrap_or(0);
+        Session {
+            id,
+            config,
+            world,
+            actors,
+            due_ns,
+            records: VecDeque::with_capacity(RECORD_TAIL),
+        }
+    }
+
+    /// The session's configuration.
+    pub fn config(&self) -> &SessionConfig {
+        &self.config
+    }
+
+    /// Steps taken so far (the world's own counter, so snapshot restore
+    /// rewinds it consistently).
+    pub fn steps(&self) -> u64 {
+        self.world.step_count()
+    }
+
+    /// Read access to the underlying world (digests, inspection).
+    pub fn world(&self) -> &World {
+        &self.world
+    }
+
+    /// Changes the scheduled step rate at runtime (the coarse/fine cost
+    /// knob): `0` parks the session, any other rate reschedules it one
+    /// fresh period from `now_ns`.
+    pub fn set_step_rate(&mut self, hz: f64, now_ns: u64) {
+        self.config.step_rate = hz;
+        self.due_ns = now_ns + self.config.period_ns().unwrap_or(0);
+    }
+
+    /// Advances `n` steps and returns the new step count.
+    pub fn step_n(&mut self, n: u64) -> u64 {
+        for _ in 0..n {
+            let step = self.world.step_count();
+            self.actors.update(&mut self.world, step);
+            let profile = self.world.step();
+            if self.records.len() == RECORD_TAIL {
+                self.records.pop_front();
+            }
+            self.records.push_back(StepRecord {
+                source: "server".to_string(),
+                scene: self.config.scene_name().to_string(),
+                step,
+                wall_ns: PhaseKind::ALL
+                    .iter()
+                    .zip(profile.wall.iter())
+                    .map(|(phase, wall)| (phase.name().to_string(), wall.as_nanos() as u64))
+                    .collect(),
+                metrics: telemetry::Snapshot::default(),
+                spans: Vec::new(),
+            });
+        }
+        self.world.step_count()
+    }
+
+    /// Summary for listings.
+    pub fn info(&self) -> SessionInfo {
+        SessionInfo {
+            id: self.id,
+            scene: self.config.scene_name().to_string(),
+            steps: self.steps(),
+            bodies: self.world.enabled_dynamic_bodies(),
+            sleeping_bodies: self.world.sleeping_body_count(),
+            step_rate: self.config.step_rate,
+        }
+    }
+
+    /// The `/state` payload: up to `records` most recent step-record
+    /// JSON lines, then one body-state line (positions/velocities of up
+    /// to `bodies` bodies).
+    pub fn state_jsonl(&self, records: usize, bodies: usize) -> String {
+        let mut out = String::with_capacity(4096);
+        let tail = self.records.len().min(records);
+        for record in self.records.iter().skip(self.records.len() - tail) {
+            out.push_str(&record.to_json_line());
+            out.push('\n');
+        }
+        let _ = write!(out, "{{\"session\":{},\"scene\":", self.id);
+        write_str(&mut out, self.config.scene_name());
+        let _ = write!(
+            out,
+            ",\"steps\":{},\"bodies\":{},\"sleeping_bodies\":{},\"body_state\":[",
+            self.steps(),
+            self.world.enabled_dynamic_bodies(),
+            self.world.sleeping_body_count()
+        );
+        let mut written = 0;
+        for body in self.world.bodies() {
+            if written == bodies {
+                break;
+            }
+            let flags = body.flags();
+            if flags.contains(parallax_physics::BodyFlags::STATIC)
+                || flags.contains(parallax_physics::BodyFlags::DISABLED)
+            {
+                continue;
+            }
+            if written > 0 {
+                out.push(',');
+            }
+            let p = body.position();
+            let v = body.linear_velocity();
+            let _ = write!(
+                out,
+                "{{\"pos\":[{},{},{}],\"vel\":[{},{},{}],\"asleep\":{}}}",
+                finite32(p.x),
+                finite32(p.y),
+                finite32(p.z),
+                finite32(v.x),
+                finite32(v.y),
+                finite32(v.z),
+                body.is_sleeping()
+            );
+            written += 1;
+        }
+        out.push_str("]}\n");
+        out
+    }
+
+    /// PXSN v2 snapshot of the session's world.
+    pub fn snapshot(&self) -> Vec<u8> {
+        self.world.snapshot()
+    }
+
+    /// Restores a snapshot previously taken from this session (or a
+    /// structurally identical one).
+    pub fn restore(&mut self, bytes: &[u8]) -> Result<(), SnapshotError> {
+        self.world.restore(bytes)
+    }
+}
+
+/// Table-level tuning.
+#[derive(Debug, Clone, Copy)]
+pub struct TableConfig {
+    /// Threads for the batch executor (including the scheduler thread
+    /// itself). Defaults to the host's available parallelism.
+    pub batch_threads: usize,
+    /// Session-count cap; creation beyond it is refused (HTTP 409).
+    pub max_sessions: usize,
+    /// Most owed steps a scheduled session may catch up per batch;
+    /// beyond that the schedule snaps forward (shed load rather than
+    /// spiral).
+    pub max_catchup: u64,
+}
+
+impl Default for TableConfig {
+    fn default() -> Self {
+        TableConfig {
+            batch_threads: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+            max_sessions: 10_000,
+            max_catchup: 6,
+        }
+    }
+}
+
+/// Table-wide telemetry handles (shared registry, so they show on
+/// `/metrics` next to the physics counters).
+struct TableMetrics {
+    sessions: telemetry::Gauge,
+    created: telemetry::Counter,
+    destroyed: telemetry::Counter,
+    steps: telemetry::Counter,
+    batches: telemetry::Counter,
+    batch_sessions: telemetry::Histogram,
+}
+
+impl TableMetrics {
+    fn new() -> TableMetrics {
+        TableMetrics {
+            sessions: telemetry::gauge("server.sessions"),
+            created: telemetry::counter("server.sessions_created"),
+            destroyed: telemetry::counter("server.sessions_destroyed"),
+            steps: telemetry::counter("server.steps"),
+            batches: telemetry::counter("server.batches"),
+            batch_sessions: telemetry::histogram("server.batch_sessions"),
+        }
+    }
+}
+
+/// The fleet: id-keyed sessions plus the shared batch executor.
+pub struct SessionTable {
+    sessions: Mutex<HashMap<u64, Arc<Mutex<Session>>>>,
+    next_id: AtomicU64,
+    executor: Executor,
+    config: TableConfig,
+    metrics: TableMetrics,
+}
+
+impl Default for SessionTable {
+    fn default() -> Self {
+        SessionTable::new(TableConfig::default())
+    }
+}
+
+impl SessionTable {
+    /// Creates an empty table and spins up the batch executor.
+    pub fn new(config: TableConfig) -> SessionTable {
+        SessionTable {
+            sessions: Mutex::new(HashMap::new()),
+            next_id: AtomicU64::new(1),
+            executor: Executor::new(config.batch_threads.max(1)),
+            config,
+            metrics: TableMetrics::new(),
+        }
+    }
+
+    /// Mutex recovery: a panic inside one session's step must not take
+    /// the whole table down — recover the guard and keep serving.
+    fn map(&self) -> MutexGuard<'_, HashMap<u64, Arc<Mutex<Session>>>> {
+        self.sessions
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+
+    fn lock_session(arc: &Arc<Mutex<Session>>) -> MutexGuard<'_, Session> {
+        arc.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+
+    /// Creates a session; refuses beyond [`TableConfig::max_sessions`].
+    pub fn create(&self, config: SessionConfig) -> Result<SessionInfo, String> {
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        let session = Session::new(id, config, telemetry::now_ns());
+        let info = session.info();
+        let count = {
+            let mut map = self.map();
+            if map.len() >= self.config.max_sessions {
+                return Err(format!(
+                    "session limit reached ({} active)",
+                    self.config.max_sessions
+                ));
+            }
+            map.insert(id, Arc::new(Mutex::new(session)));
+            map.len()
+        };
+        self.metrics.sessions.set(count as u64);
+        self.metrics.created.add(1);
+        Ok(info)
+    }
+
+    /// Destroys a session; `false` if the id is unknown.
+    pub fn destroy(&self, id: u64) -> bool {
+        let (removed, count) = {
+            let mut map = self.map();
+            let removed = map.remove(&id).is_some();
+            (removed, map.len())
+        };
+        if removed {
+            self.metrics.sessions.set(count as u64);
+            self.metrics.destroyed.add(1);
+        }
+        removed
+    }
+
+    /// Runs `f` on a session, serialized against batch stepping.
+    /// `None` if the id is unknown.
+    pub fn with_session<R>(&self, id: u64, f: impl FnOnce(&mut Session) -> R) -> Option<R> {
+        let arc = self.map().get(&id).cloned()?;
+        let mut session = Self::lock_session(&arc);
+        Some(f(&mut session))
+    }
+
+    /// Manually advances a session `n` steps; `None` for unknown ids.
+    pub fn step(&self, id: u64, n: u64) -> Option<u64> {
+        let steps = self.with_session(id, |s| s.step_n(n))?;
+        self.metrics.steps.add(n);
+        Some(steps)
+    }
+
+    /// Active session count.
+    pub fn len(&self) -> usize {
+        self.map().len()
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total steps taken across all sessions so far.
+    pub fn total_steps(&self) -> u64 {
+        telemetry::snapshot().counter("server.steps")
+    }
+
+    /// Summaries of every session, id-ordered.
+    pub fn infos(&self) -> Vec<SessionInfo> {
+        let arcs: Vec<Arc<Mutex<Session>>> = self.map().values().cloned().collect();
+        let mut infos: Vec<SessionInfo> = arcs
+            .iter()
+            .map(|arc| Self::lock_session(arc).info())
+            .collect();
+        infos.sort_by_key(|info| info.id);
+        infos
+    }
+
+    /// Steps every scheduled session that is due at `now_ns`, in one
+    /// parallel batch (one session = one executor job). Returns the
+    /// number of sessions stepped.
+    pub fn step_due(&self, now_ns: u64) -> usize {
+        let due: Vec<Arc<Mutex<Session>>> = {
+            let map = self.map();
+            map.values()
+                .filter(|arc| {
+                    let s = Self::lock_session(arc);
+                    s.config.period_ns().is_some() && s.due_ns <= now_ns
+                })
+                .cloned()
+                .collect()
+        };
+        if due.is_empty() {
+            return 0;
+        }
+        let max_catchup = self.config.max_catchup.max(1);
+        let mut stepped: Vec<u64> = Vec::new();
+        self.executor.map_into(&due, &mut stepped, |arc| {
+            let mut s = Self::lock_session(arc);
+            let period = match s.config.period_ns() {
+                Some(p) => p,
+                None => return 0,
+            };
+            // Steps owed since the last deadline, capped: a session that
+            // fell far behind sheds the backlog instead of stalling the
+            // batch.
+            let owed = 1 + now_ns.saturating_sub(s.due_ns) / period;
+            let n = owed.min(max_catchup);
+            s.step_n(n);
+            s.due_ns += n * period;
+            if owed > max_catchup {
+                s.due_ns = now_ns + period;
+            }
+            n
+        });
+        let total: u64 = stepped.iter().sum();
+        self.metrics.steps.add(total);
+        self.metrics.batches.add(1);
+        self.metrics.batch_sessions.record(due.len() as u64);
+        due.len()
+    }
+
+    /// Earliest scheduled due time, for the scheduler's sleep.
+    pub fn next_due_ns(&self) -> Option<u64> {
+        self.map()
+            .values()
+            .filter_map(|arc| {
+                let s = Self::lock_session(arc);
+                s.config.period_ns().map(|_| s.due_ns)
+            })
+            .min()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn manual(bodies: usize, seed: u64) -> SessionConfig {
+        SessionConfig {
+            bodies,
+            seed,
+            ..SessionConfig::default()
+        }
+    }
+
+    #[test]
+    fn create_step_destroy() {
+        let table = SessionTable::default();
+        let info = table.create(manual(10, 1)).expect("create");
+        assert_eq!(info.bodies, 10);
+        assert_eq!(table.len(), 1);
+        assert_eq!(table.step(info.id, 3), Some(3));
+        assert_eq!(table.step(info.id, 2), Some(5));
+        assert!(table.destroy(info.id));
+        assert!(!table.destroy(info.id));
+        assert_eq!(table.step(info.id, 1), None);
+        assert!(table.is_empty());
+    }
+
+    #[test]
+    fn batch_stepping_matches_manual_trajectory() {
+        // The same (seed, bodies) world stepped by the batch scheduler
+        // must land on the identical state as one stepped manually.
+        let table = SessionTable::new(TableConfig {
+            batch_threads: 4,
+            ..TableConfig::default()
+        });
+        let scheduled = table
+            .create(SessionConfig {
+                step_rate: 1000.0,
+                ..manual(20, 7)
+            })
+            .expect("create scheduled");
+        // Noisy neighbors in the same batches.
+        for seed in 0..20 {
+            table
+                .create(SessionConfig {
+                    step_rate: 1000.0,
+                    ..manual(15, seed)
+                })
+                .expect("create neighbor");
+        }
+        let mut now = telemetry::now_ns();
+        let mut guard = 0;
+        while table
+            .with_session(scheduled.id, |s| s.steps())
+            .expect("session alive")
+            < 50
+        {
+            now += 1_000_000; // 1 ms of virtual time per pass
+            table.step_due(now);
+            guard += 1;
+            assert!(guard < 10_000, "scheduler failed to advance the session");
+        }
+        let batch_digest = table
+            .with_session(scheduled.id, |s| {
+                let steps = s.steps();
+                s.step_n(50 - steps.min(50));
+                parallax_physics::world_digest(&s.world)
+            })
+            .expect("session alive");
+        // Manual reference.
+        let reference = SessionTable::default();
+        let solo = reference.create(manual(20, 7)).expect("create solo");
+        let solo_digest = reference
+            .with_session(solo.id, |s| {
+                s.step_n(50);
+                parallax_physics::world_digest(&s.world)
+            })
+            .expect("solo alive");
+        assert_eq!(
+            batch_digest, solo_digest,
+            "batch composition must not perturb a session's trajectory"
+        );
+    }
+
+    #[test]
+    fn catchup_is_capped() {
+        let table = SessionTable::new(TableConfig {
+            max_catchup: 4,
+            ..TableConfig::default()
+        });
+        let info = table
+            .create(SessionConfig {
+                step_rate: 1000.0,
+                ..manual(5, 1)
+            })
+            .expect("create");
+        // Pretend the scheduler slept for a full second: 1000 steps owed,
+        // only max_catchup taken.
+        let now = telemetry::now_ns() + 1_000_000_000;
+        assert_eq!(table.step_due(now), 1);
+        assert_eq!(table.with_session(info.id, |s| s.steps()), Some(4));
+        // And the schedule snapped forward instead of replaying the backlog.
+        assert!(table.next_due_ns().expect("due") > now);
+    }
+
+    #[test]
+    fn config_parsing_accepts_defaults_and_rejects_garbage() {
+        assert_eq!(
+            SessionConfig::from_json(b"").expect("empty body"),
+            SessionConfig::default()
+        );
+        assert_eq!(
+            SessionConfig::from_json(b"  \r\n ").expect("whitespace body"),
+            SessionConfig::default()
+        );
+        let cfg =
+            SessionConfig::from_json(br#"{"scene":"Resting","scale":0.5,"step_rate":60,"seed":3}"#)
+                .expect("valid config");
+        assert_eq!(cfg.scene, SceneKind::Named(BenchmarkId::Resting));
+        assert_eq!(cfg.step_rate, 60.0);
+        assert_eq!(cfg.seed, 3);
+        assert!(SessionConfig::from_json(b"{").is_err());
+        assert!(SessionConfig::from_json(br#"{"scene":"NoSuchScene"}"#).is_err());
+        assert!(SessionConfig::from_json(br#"{"bodies":0}"#).is_err());
+        assert!(SessionConfig::from_json(br#"{"step_rate":-5}"#).is_err());
+        assert!(SessionConfig::from_json(br#"{"step_rate":1e30}"#).is_err());
+    }
+
+    #[test]
+    fn snapshot_restore_round_trip() {
+        let table = SessionTable::default();
+        let info = table.create(manual(12, 9)).expect("create");
+        table.step(info.id, 10);
+        let (bytes, digest_at_10) = table
+            .with_session(info.id, |s| {
+                (s.snapshot(), parallax_physics::world_digest(&s.world))
+            })
+            .expect("alive");
+        assert_eq!(&bytes[..4], &parallax_physics::SNAPSHOT_MAGIC);
+        table.step(info.id, 25);
+        let restored = table
+            .with_session(info.id, |s| {
+                s.restore(&bytes).expect("restore");
+                (s.steps(), parallax_physics::world_digest(&s.world))
+            })
+            .expect("alive");
+        assert_eq!(restored, (10, digest_at_10));
+    }
+
+    #[test]
+    fn state_jsonl_is_parseable() {
+        let table = SessionTable::default();
+        let info = table.create(manual(8, 2)).expect("create");
+        table.step(info.id, 5);
+        let text = table
+            .with_session(info.id, |s| s.state_jsonl(3, 8))
+            .expect("alive");
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 4, "3 records + 1 body-state line");
+        for line in &lines[..3] {
+            StepRecord::from_json_line(line).expect("record line parses");
+        }
+        let state = telemetry::json::Json::parse(lines[3]).expect("state line parses");
+        assert_eq!(state.get("session").and_then(|v| v.as_u64()), Some(info.id));
+        assert_eq!(
+            state
+                .get("body_state")
+                .and_then(|v| v.as_arr())
+                .map(|a| a.len()),
+            Some(8)
+        );
+    }
+}

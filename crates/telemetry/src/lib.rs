@@ -63,7 +63,9 @@ pub mod stats;
 
 pub use attribution::{attribute_step, render_critical_path, StepAttribution};
 pub use export::{chrome_trace, read_jsonl, StepRecord, TelemetrySink};
-pub use net::{http_get, prometheus_text, HttpServer, Request, Response};
+pub use net::{
+    http_get, http_request, prometheus_text, HttpServer, Request, Response, ServerOptions,
+};
 pub use registry::{
     counter, counter_named, gauge, histogram, reset, snapshot, Counter, Gauge, Histogram,
     HistogramSnapshot, Snapshot,

@@ -1,47 +1,90 @@
 //! Minimal HTTP/1.1 plumbing and Prometheus text encoding for the live
-//! telemetry exporter.
+//! telemetry exporter and the multi-world simulation service.
 //!
-//! The workspace builds with no registry access, so the exporter is
+//! The workspace builds with no registry access, so the server is
 //! hand-rolled on `std::net` the same way the JSON layer is hand-rolled
-//! on `std::fmt`: [`HttpServer`] is a background accept loop that parses
-//! one `GET` request per connection and hands it to a route handler;
-//! [`prometheus_text`] renders a [`Snapshot`] in Prometheus text
-//! exposition format v0.0.4 (counters, gauges, and the log2 histograms
-//! as cumulative `_bucket`/`_sum`/`_count` series). Routing policy —
-//! what lives at `/metrics`, `/trace`, `/steps`, `/health` — belongs to
-//! the `parallax-observe` facade crate, not here.
+//! on `std::fmt`: [`HttpServer`] is an accept loop feeding a small
+//! bounded worker pool that parses one request per connection and hands
+//! it to a route handler; [`prometheus_text`] renders a [`Snapshot`] in
+//! Prometheus text exposition format v0.0.4 (counters, gauges, and the
+//! log2 histograms as cumulative `_bucket`/`_sum`/`_count` series).
+//! Routing policy — what lives at `/metrics`, `/sessions`, `/health` —
+//! belongs to the `parallax-observe` and `parallax-server` crates, not
+//! here; the handler sees every well-formed request (any method, with
+//! body) and answers 405 itself where a method is not supported.
 //!
-//! Connections are handled serially on the server thread with short
-//! read/write timeouts: a scrape every 250 ms is three orders of
-//! magnitude below what a serial loop sustains, and no thread is ever
-//! spawned per connection, so a misbehaving client can delay scrapes but
-//! never exhaust the process.
+//! Connections are isolated from each other: [`ServerOptions::workers`]
+//! threads drain the accept queue, so one stalled client occupies one
+//! worker instead of the whole server, and every connection carries a
+//! wall-clock deadline ([`ServerOptions::deadline`]) in addition to the
+//! per-read idle timeout — a byte-dribbling client (slowloris) cannot
+//! reset its way past the deadline and is answered `408` when it
+//! expires.
 
 use std::fmt::Write as _;
 use std::io::{Read as _, Write as _};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
-use std::time::Duration;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
 
 use crate::registry::{bucket_bounds, Snapshot, HIST_BUCKETS, SUMMARY_QUANTILES};
 
-/// Most bytes of request head the server reads before answering 400.
-const MAX_REQUEST_BYTES: usize = 8 * 1024;
+/// How an [`HttpServer`] reads and schedules connections.
+#[derive(Debug, Clone)]
+pub struct ServerOptions {
+    /// Worker threads draining the accept queue. One stalled client
+    /// occupies one worker; the rest keep serving.
+    pub workers: usize,
+    /// Most bytes of request head read before answering 400.
+    pub max_head_bytes: usize,
+    /// Most bytes of request body read before answering 400 (snapshot
+    /// uploads are the largest legitimate payload).
+    pub max_body_bytes: usize,
+    /// Idle timeout: a connection that makes no progress (no byte read
+    /// or written) for this long forfeits its response.
+    pub io_timeout: Duration,
+    /// Wall-clock deadline for one whole connection, dribbling or not.
+    /// Expiry is answered `408 Request Timeout`.
+    pub deadline: Duration,
+    /// Connections queued between the accept loop and the workers;
+    /// beyond this the accept loop drops new connections (the kernel
+    /// backlog in front of it absorbs normal bursts).
+    pub queue_cap: usize,
+}
 
-/// Per-connection socket timeout: a client that stalls longer forfeits
-/// its response (the server moves on to the next connection).
-const IO_TIMEOUT: Duration = Duration::from_secs(2);
+impl Default for ServerOptions {
+    fn default() -> Self {
+        ServerOptions {
+            workers: 4,
+            max_head_bytes: 16 * 1024,
+            max_body_bytes: 8 * 1024 * 1024,
+            io_timeout: Duration::from_secs(2),
+            deadline: Duration::from_secs(5),
+            queue_cap: 256,
+        }
+    }
+}
 
-/// A parsed HTTP request line: method, path, and query pairs.
+/// Granularity at which blocked reads/writes re-check the shutdown flag
+/// and the wall-clock deadline.
+const POLL_INTERVAL: Duration = Duration::from_millis(250);
+
+/// Connect/IO timeout for the [`http_get`]/[`http_request`] test client.
+const CLIENT_TIMEOUT: Duration = Duration::from_secs(2);
+
+/// A parsed HTTP request: method, path, query pairs, and body.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Request {
-    /// Request method (`GET` for every route the exporter serves).
+    /// Request method (`GET`, `POST`, `DELETE`, …) — routing decides
+    /// what is allowed and answers 405 otherwise.
     pub method: String,
-    /// Decoded path, query stripped (e.g. `/trace`).
+    /// Decoded path, query stripped (e.g. `/sessions/7/state`).
     pub path: String,
     /// Query pairs in source order (`?steps=20` → `[("steps", "20")]`).
     pub query: Vec<(String, String)>,
+    /// Request body (empty unless the client sent `Content-Length`).
+    pub body: Vec<u8>,
 }
 
 impl Request {
@@ -57,22 +100,37 @@ impl Request {
     pub fn query_u64(&self, key: &str) -> Option<u64> {
         self.query(key).and_then(|v| v.parse().ok())
     }
+
+    /// The path split into non-empty segments (`/sessions/7/state` →
+    /// `["sessions", "7", "state"]`).
+    pub fn segments(&self) -> Vec<&str> {
+        self.path.split('/').filter(|s| !s.is_empty()).collect()
+    }
 }
 
 /// An HTTP response ready to serialize.
 #[derive(Debug, Clone)]
 pub struct Response {
-    /// Status code (`200`, `400`, `404`, `405`).
+    /// Status code (`200`, `400`, `404`, `405`, `408`, `409`).
     pub status: u16,
     /// `Content-Type` header value.
     pub content_type: &'static str,
-    /// Response body.
-    pub body: String,
+    /// Response body (binary-safe; text routes use [`Response::ok`]).
+    pub body: Vec<u8>,
 }
 
 impl Response {
-    /// A `200 OK` with the given content type.
+    /// A `200 OK` with the given content type and text body.
     pub fn ok(content_type: &'static str, body: String) -> Response {
+        Response {
+            status: 200,
+            content_type,
+            body: body.into_bytes(),
+        }
+    }
+
+    /// A `200 OK` carrying raw bytes (snapshot downloads).
+    pub fn ok_bytes(content_type: &'static str, body: Vec<u8>) -> Response {
         Response {
             status: 200,
             content_type,
@@ -82,28 +140,34 @@ impl Response {
 
     /// A `400 Bad Request` with a plain-text reason.
     pub fn bad_request(reason: &str) -> Response {
-        Response {
-            status: 400,
-            content_type: "text/plain; charset=utf-8",
-            body: format!("bad request: {reason}\n"),
-        }
+        Response::plain(400, format!("bad request: {reason}\n"))
     }
 
     /// A `404 Not Found` naming the missing path.
     pub fn not_found(path: &str) -> Response {
-        Response {
-            status: 404,
-            content_type: "text/plain; charset=utf-8",
-            body: format!("no such endpoint: {path}\n"),
-        }
+        Response::plain(404, format!("no such endpoint: {path}\n"))
     }
 
-    /// A `405 Method Not Allowed` (every exporter route is `GET`).
-    pub fn method_not_allowed(method: &str) -> Response {
+    /// A `405 Method Not Allowed` naming the methods the route accepts.
+    pub fn method_not_allowed(method: &str, allowed: &str) -> Response {
+        Response::plain(405, format!("method {method} not allowed; use {allowed}\n"))
+    }
+
+    /// A `408 Request Timeout` (idle timeout or wall-clock deadline).
+    pub fn timeout(reason: &str) -> Response {
+        Response::plain(408, format!("request timeout: {reason}\n"))
+    }
+
+    /// A `409 Conflict` with a plain-text reason (session-table races).
+    pub fn conflict(reason: &str) -> Response {
+        Response::plain(409, format!("conflict: {reason}\n"))
+    }
+
+    fn plain(status: u16, body: String) -> Response {
         Response {
-            status: 405,
+            status,
             content_type: "text/plain; charset=utf-8",
-            body: format!("method {method} not allowed; use GET\n"),
+            body: body.into_bytes(),
         }
     }
 
@@ -113,6 +177,8 @@ impl Response {
             400 => "Bad Request",
             404 => "Not Found",
             405 => "Method Not Allowed",
+            408 => "Request Timeout",
+            409 => "Conflict",
             _ => "Error",
         }
     }
@@ -126,14 +192,15 @@ impl Response {
             self.body.len()
         );
         stream.write_all(head.as_bytes())?;
-        stream.write_all(self.body.as_bytes())?;
+        stream.write_all(&self.body)?;
         stream.flush()
     }
 }
 
 /// Parses the request head (everything through the blank line) into a
-/// [`Request`]. Anything that is not a well-formed `<METHOD> <target>
-/// HTTP/1.x` request line is an error — the caller answers 400.
+/// [`Request`] with an empty body. Anything that is not a well-formed
+/// `<METHOD> <target> HTTP/1.x` request line is an error — the caller
+/// answers 400.
 pub fn parse_request(head: &str) -> Result<Request, String> {
     let line = head.lines().next().ok_or("empty request")?;
     let mut parts = line.split_whitespace();
@@ -165,38 +232,95 @@ pub fn parse_request(head: &str) -> Result<Request, String> {
         method: method.to_string(),
         path: path.to_string(),
         query,
+        body: Vec::new(),
     })
+}
+
+/// The declared `Content-Length` of a request head, if any.
+fn content_length(head: &str) -> Result<Option<usize>, String> {
+    for line in head.lines().skip(1) {
+        let Some((name, value)) = line.split_once(':') else {
+            continue;
+        };
+        if name.trim().eq_ignore_ascii_case("content-length") {
+            return value
+                .trim()
+                .parse::<usize>()
+                .map(Some)
+                .map_err(|_| format!("bad Content-Length {:?}", value.trim()));
+        }
+    }
+    Ok(None)
 }
 
 /// A background HTTP server bound to a local address.
 ///
-/// Dropping the handle shuts the accept loop down (it is woken with a
-/// loopback connection) and joins the thread.
+/// Dropping the handle shuts the accept loop and the worker pool down
+/// (the accept thread is woken with a loopback connection, the workers
+/// through their queue condvar) and joins every thread.
 pub struct HttpServer {
     addr: SocketAddr,
-    shutdown: Arc<AtomicBool>,
-    thread: Option<std::thread::JoinHandle<()>>,
+    shared: Arc<ServerShared>,
+    threads: Vec<std::thread::JoinHandle<()>>,
+}
+
+struct ServerShared {
+    shutdown: AtomicBool,
+    queue: Mutex<std::collections::VecDeque<TcpStream>>,
+    available: Condvar,
+    options: ServerOptions,
 }
 
 impl HttpServer {
     /// Binds `addr` (use port 0 for an ephemeral port) and serves
-    /// `handler` on a background thread. The handler only sees
-    /// well-formed `GET` requests; 400/405 are answered before routing.
+    /// `handler` with default [`ServerOptions`]. The handler sees every
+    /// well-formed request — any method, body already read — and is
+    /// responsible for answering 405 on methods a route does not
+    /// support; 400/408 are answered before routing.
     pub fn serve(
         addr: impl ToSocketAddrs,
-        handler: impl Fn(&Request) -> Response + Send + 'static,
+        handler: impl Fn(&Request) -> Response + Send + Sync + 'static,
+    ) -> std::io::Result<HttpServer> {
+        HttpServer::serve_with(addr, ServerOptions::default(), handler)
+    }
+
+    /// [`serve`](Self::serve) with explicit [`ServerOptions`].
+    pub fn serve_with(
+        addr: impl ToSocketAddrs,
+        options: ServerOptions,
+        handler: impl Fn(&Request) -> Response + Send + Sync + 'static,
     ) -> std::io::Result<HttpServer> {
         let listener = TcpListener::bind(addr)?;
         let addr = listener.local_addr()?;
-        let shutdown = Arc::new(AtomicBool::new(false));
-        let flag = Arc::clone(&shutdown);
-        let thread = std::thread::Builder::new()
-            .name("telemetry-http".to_string())
-            .spawn(move || accept_loop(&listener, &flag, handler))?;
+        let shared = Arc::new(ServerShared {
+            shutdown: AtomicBool::new(false),
+            queue: Mutex::new(std::collections::VecDeque::new()),
+            available: Condvar::new(),
+            options,
+        });
+        let handler = Arc::new(handler);
+        let mut threads = Vec::with_capacity(shared.options.workers + 1);
+        for i in 0..shared.options.workers.max(1) {
+            let shared = Arc::clone(&shared);
+            let handler = Arc::clone(&handler);
+            threads.push(
+                std::thread::Builder::new()
+                    .name(format!("http-worker-{i}"))
+                    .spawn(move || worker_loop(&shared, &*handler))?,
+            );
+        }
+        {
+            let shared = Arc::clone(&shared);
+            threads.push(
+                std::thread::Builder::new()
+                    .name("http-accept".to_string())
+                    .spawn(move || accept_loop(&listener, &shared))?,
+            );
+        }
         Ok(HttpServer {
             addr,
-            shutdown,
-            thread: Some(thread),
+            shared,
+            threads,
         })
     }
 
@@ -208,10 +332,12 @@ impl HttpServer {
 
 impl Drop for HttpServer {
     fn drop(&mut self) {
-        self.shutdown.store(true, Ordering::Release);
-        // Wake the blocking accept with a throwaway connection.
-        let _ = TcpStream::connect_timeout(&self.addr, IO_TIMEOUT);
-        if let Some(t) = self.thread.take() {
+        self.shared.shutdown.store(true, Ordering::Release);
+        // Wake the blocking accept with a throwaway connection and the
+        // workers through their condvar.
+        let _ = TcpStream::connect_timeout(&self.addr, CLIENT_TIMEOUT);
+        self.shared.available.notify_all();
+        for t in self.threads.drain(..) {
             let _ = t.join();
         }
     }
@@ -221,84 +347,275 @@ impl std::fmt::Debug for HttpServer {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("HttpServer")
             .field("addr", &self.addr)
+            .field("workers", &self.shared.options.workers)
             .finish()
     }
 }
 
-fn accept_loop(
-    listener: &TcpListener,
-    shutdown: &AtomicBool,
-    handler: impl Fn(&Request) -> Response,
-) {
+fn accept_loop(listener: &TcpListener, shared: &ServerShared) {
     for stream in listener.incoming() {
-        if shutdown.load(Ordering::Acquire) {
+        if shared.shutdown.load(Ordering::Acquire) {
             return;
         }
-        let Ok(mut stream) = stream else { continue };
-        let _ = stream.set_read_timeout(Some(IO_TIMEOUT));
-        let _ = stream.set_write_timeout(Some(IO_TIMEOUT));
-        let response = match read_head(&mut stream) {
-            Ok(head) => match parse_request(&head) {
-                Ok(req) if req.method != "GET" => Response::method_not_allowed(&req.method),
-                Ok(req) => handler(&req),
-                Err(e) => Response::bad_request(&e),
-            },
-            Err(e) => Response::bad_request(&e),
-        };
-        let _ = response.write_to(&mut stream);
+        let Ok(stream) = stream else { continue };
+        let mut queue = shared.queue.lock().unwrap_or_else(|p| p.into_inner());
+        if queue.len() >= shared.options.queue_cap {
+            // Saturated: drop the connection rather than queue without
+            // bound. The client sees a reset and retries.
+            continue;
+        }
+        queue.push_back(stream);
+        drop(queue);
+        shared.available.notify_one();
     }
 }
 
-/// Reads the request head (through `\r\n\r\n`), bounded by
-/// [`MAX_REQUEST_BYTES`].
-fn read_head(stream: &mut TcpStream) -> Result<String, String> {
-    let mut buf = Vec::with_capacity(512);
-    let mut chunk = [0u8; 512];
+fn worker_loop(shared: &ServerShared, handler: &(impl Fn(&Request) -> Response + ?Sized)) {
     loop {
-        let n = stream.read(&mut chunk).map_err(|e| e.to_string())?;
+        let stream = {
+            let mut queue = shared.queue.lock().unwrap_or_else(|p| p.into_inner());
+            loop {
+                if let Some(s) = queue.pop_front() {
+                    break s;
+                }
+                if shared.shutdown.load(Ordering::Acquire) {
+                    return;
+                }
+                queue = shared
+                    .available
+                    .wait(queue)
+                    .unwrap_or_else(|p| p.into_inner());
+            }
+        };
+        handle_connection(stream, shared, handler);
+        if shared.shutdown.load(Ordering::Acquire) {
+            return;
+        }
+    }
+}
+
+/// Why a request could not be read to completion.
+enum ReadError {
+    /// Malformed, oversized, or truncated input → 400 with this reason.
+    Bad(String),
+    /// Idle timeout or wall-clock deadline expired → 408.
+    Timeout(String),
+    /// Transport failure (reset, shutdown) — no response possible.
+    Io,
+}
+
+fn handle_connection(
+    mut stream: TcpStream,
+    shared: &ServerShared,
+    handler: &(impl Fn(&Request) -> Response + ?Sized),
+) {
+    let opts = &shared.options;
+    let deadline = Instant::now() + opts.deadline;
+    let response = match read_request(&mut stream, deadline, shared) {
+        Ok(req) => handler(&req),
+        Err(ReadError::Bad(reason)) => Response::bad_request(&reason),
+        Err(ReadError::Timeout(reason)) => Response::timeout(&reason),
+        Err(ReadError::Io) => return,
+    };
+    let budget = deadline
+        .saturating_duration_since(Instant::now())
+        .max(Duration::from_millis(10))
+        .min(opts.io_timeout);
+    let _ = stream.set_write_timeout(Some(budget));
+    let _ = response.write_to(&mut stream);
+}
+
+/// Reads one whole request (head + declared body) off `stream`,
+/// enforcing the head/body size caps, the per-read idle timeout, and the
+/// wall-clock `deadline`.
+fn read_request(
+    stream: &mut TcpStream,
+    deadline: Instant,
+    shared: &ServerShared,
+) -> Result<Request, ReadError> {
+    let opts = &shared.options;
+    let (head, leftover) = read_head(stream, deadline, shared)?;
+    let mut req = parse_request(&head).map_err(ReadError::Bad)?;
+    let declared = content_length(&head).map_err(ReadError::Bad)?.unwrap_or(0);
+    if declared > opts.max_body_bytes {
+        return Err(ReadError::Bad(format!(
+            "body of {declared} bytes exceeds the {} byte limit",
+            opts.max_body_bytes
+        )));
+    }
+    let mut body = leftover;
+    body.truncate(declared); // pipelined extras are ignored (Connection: close)
+    while body.len() < declared {
+        let mut chunk = [0u8; 4096];
+        let n = read_some(stream, &mut chunk, deadline, shared, "request body")?;
         if n == 0 {
-            break;
+            return Err(ReadError::Bad(format!(
+                "truncated request: body ended at {} of {declared} declared bytes",
+                body.len()
+            )));
+        }
+        let take = n.min(declared - body.len());
+        body.extend_from_slice(&chunk[..take]);
+    }
+    req.body = body;
+    Ok(req)
+}
+
+/// Reads the request head (through `\r\n\r\n` or `\n\n`), bounded by
+/// [`ServerOptions::max_head_bytes`]. Returns the head text and any
+/// bytes read past the terminator (the start of the body).
+///
+/// The terminator scan resumes where the previous scan left off (3 bytes
+/// back, so a terminator split across reads is still seen) instead of
+/// rescanning the whole buffer after every chunk — O(n) on large heads.
+fn read_head(
+    stream: &mut TcpStream,
+    deadline: Instant,
+    shared: &ServerShared,
+) -> Result<(String, Vec<u8>), ReadError> {
+    let opts = &shared.options;
+    let mut buf: Vec<u8> = Vec::with_capacity(512);
+    let mut chunk = [0u8; 512];
+    let mut scan_from = 0usize;
+    loop {
+        let n = read_some(stream, &mut chunk, deadline, shared, "request head")?;
+        if n == 0 {
+            // EOF before the blank line: a truncated request, distinct
+            // from a malformed one — the parser never sees it.
+            return Err(ReadError::Bad(format!(
+                "truncated request: connection closed after {} bytes with no end of head",
+                buf.len()
+            )));
         }
         buf.extend_from_slice(&chunk[..n]);
-        if buf.windows(4).any(|w| w == b"\r\n\r\n") || buf.windows(2).any(|w| w == b"\n\n") {
-            break;
+        if let Some((head_end, body_start)) = find_head_end(&buf, scan_from) {
+            let head = String::from_utf8(buf[..head_end].to_vec())
+                .map_err(|_| ReadError::Bad("request is not UTF-8".to_string()))?;
+            return Ok((head, buf[body_start..].to_vec()));
         }
-        if buf.len() > MAX_REQUEST_BYTES {
-            return Err("request head too large".to_string());
+        scan_from = buf.len().saturating_sub(3);
+        if buf.len() > opts.max_head_bytes {
+            return Err(ReadError::Bad("request head too large".to_string()));
         }
     }
-    String::from_utf8(buf).map_err(|_| "request is not UTF-8".to_string())
 }
 
-/// Blocking HTTP GET against a local exporter: returns `(status, body)`.
-/// Used by the soak harness's scraper thread and the exporter tests; not
-/// a general client (no TLS, no redirects, no chunked decoding).
+/// Finds the head terminator at or after byte `from`: `\r\n\r\n` or a
+/// bare `\n\n`. Returns `(head_end, body_start)`.
+fn find_head_end(buf: &[u8], from: usize) -> Option<(usize, usize)> {
+    for i in from..buf.len() {
+        if buf[i] != b'\n' {
+            continue;
+        }
+        if i >= 3 && buf[i - 3..=i] == *b"\r\n\r\n" {
+            return Some((i - 3, i + 1));
+        }
+        if i >= 1 && buf[i - 1] == b'\n' {
+            return Some((i - 1, i + 1));
+        }
+    }
+    None
+}
+
+/// One `read` with the idle timeout and wall-clock deadline applied.
+/// Blocks in short [`POLL_INTERVAL`] slices so server shutdown and
+/// deadline expiry are noticed promptly even against a silent peer.
+fn read_some(
+    stream: &mut TcpStream,
+    chunk: &mut [u8],
+    deadline: Instant,
+    shared: &ServerShared,
+    what: &str,
+) -> Result<usize, ReadError> {
+    let opts = &shared.options;
+    let idle_limit = opts.io_timeout;
+    let idle_start = Instant::now();
+    loop {
+        if shared.shutdown.load(Ordering::Acquire) {
+            return Err(ReadError::Io);
+        }
+        let now = Instant::now();
+        if now >= deadline {
+            return Err(ReadError::Timeout(format!(
+                "connection deadline expired reading the {what}"
+            )));
+        }
+        if now.duration_since(idle_start) >= idle_limit {
+            return Err(ReadError::Timeout(format!(
+                "no bytes received for {idle_limit:?} reading the {what}"
+            )));
+        }
+        let budget = POLL_INTERVAL
+            .min(deadline.saturating_duration_since(now))
+            .max(Duration::from_millis(1));
+        if stream.set_read_timeout(Some(budget)).is_err() {
+            return Err(ReadError::Io);
+        }
+        match stream.read(chunk) {
+            Ok(n) => return Ok(n),
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                continue;
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(_) => return Err(ReadError::Io),
+        }
+    }
+}
+
+/// Blocking HTTP GET against a local server: returns `(status, body)`
+/// with the body decoded as UTF-8 (lossily). Used by the soak harness's
+/// scraper thread and the exporter tests; not a general client (no TLS,
+/// no redirects, no chunked decoding).
 pub fn http_get(addr: SocketAddr, path: &str) -> Result<(u16, String), String> {
-    let mut stream = TcpStream::connect_timeout(&addr, IO_TIMEOUT).map_err(|e| e.to_string())?;
+    let (status, body) = http_request(addr, "GET", path, "", &[])?;
+    Ok((status, String::from_utf8_lossy(&body).into_owned()))
+}
+
+/// Blocking HTTP request with a body against a local server: returns
+/// `(status, raw body bytes)`. `content_type` is only sent when a body
+/// is present.
+pub fn http_request(
+    addr: SocketAddr,
+    method: &str,
+    path: &str,
+    content_type: &str,
+    body: &[u8],
+) -> Result<(u16, Vec<u8>), String> {
+    let mut stream =
+        TcpStream::connect_timeout(&addr, CLIENT_TIMEOUT).map_err(|e| e.to_string())?;
     stream
-        .set_read_timeout(Some(IO_TIMEOUT))
+        .set_read_timeout(Some(CLIENT_TIMEOUT))
         .map_err(|e| e.to_string())?;
     stream
-        .set_write_timeout(Some(IO_TIMEOUT))
+        .set_write_timeout(Some(CLIENT_TIMEOUT))
         .map_err(|e| e.to_string())?;
+    let mut head = format!("{method} {path} HTTP/1.1\r\nHost: parallax\r\nConnection: close\r\n");
+    if !body.is_empty() {
+        if !content_type.is_empty() {
+            let _ = write!(head, "Content-Type: {content_type}\r\n");
+        }
+        let _ = write!(head, "Content-Length: {}\r\n", body.len());
+    }
+    head.push_str("\r\n");
     stream
-        .write_all(
-            format!("GET {path} HTTP/1.1\r\nHost: parallax\r\nConnection: close\r\n\r\n")
-                .as_bytes(),
-        )
+        .write_all(head.as_bytes())
         .map_err(|e| e.to_string())?;
-    let mut raw = String::new();
-    stream.read_to_string(&mut raw).map_err(|e| e.to_string())?;
-    let status: u16 = raw
+    stream.write_all(body).map_err(|e| e.to_string())?;
+    let mut raw = Vec::new();
+    stream.read_to_end(&mut raw).map_err(|e| e.to_string())?;
+    let header_end = find_head_end(&raw, 0)
+        .map(|(_, body_start)| body_start)
+        .unwrap_or(raw.len());
+    let status_line = String::from_utf8_lossy(&raw[..header_end.min(raw.len())]);
+    let status: u16 = status_line
         .split_whitespace()
         .nth(1)
         .and_then(|s| s.parse().ok())
-        .ok_or_else(|| format!("malformed response: {raw:.80?}"))?;
-    let body = match raw.find("\r\n\r\n") {
-        Some(i) => raw[i + 4..].to_string(),
-        None => String::new(),
-    };
-    Ok((status, body))
+        .ok_or_else(|| format!("malformed response: {:.80}", status_line))?;
+    Ok((status, raw[header_end..].to_vec()))
 }
 
 /// Whether `name` is a legal Prometheus metric name
@@ -389,20 +706,62 @@ mod tests {
 
     #[test]
     fn request_parsing_and_queries() {
-        let r = parse_request("GET /trace?steps=20&raw HTTP/1.1\r\nHost: x\r\n\r\n").unwrap();
+        let r = parse_request("GET /trace?steps=20&raw HTTP/1.1\r\nHost: x\r\n").unwrap();
         assert_eq!(r.method, "GET");
         assert_eq!(r.path, "/trace");
         assert_eq!(r.query_u64("steps"), Some(20));
         assert_eq!(r.query("raw"), Some(""));
         assert_eq!(r.query("missing"), None);
+        assert!(r.body.is_empty());
+
+        let r = parse_request("DELETE /sessions/17 HTTP/1.1\r\n").unwrap();
+        assert_eq!(r.method, "DELETE");
+        assert_eq!(r.segments(), vec!["sessions", "17"]);
 
         assert!(parse_request("").is_err());
         assert!(parse_request("GET\r\n").is_err());
         assert!(parse_request("GET /x SPDY/3\r\n").is_err());
         assert!(parse_request("GET relative HTTP/1.1\r\n").is_err());
         assert!(parse_request("GET /a /b HTTP/1.1\r\n").is_err());
-        let post = parse_request("POST /metrics HTTP/1.1\r\n\r\n").unwrap();
+        let post = parse_request("POST /metrics HTTP/1.1\r\n").unwrap();
         assert_eq!(post.method, "POST");
+    }
+
+    #[test]
+    fn content_length_header_is_case_insensitive() {
+        let head = "POST /x HTTP/1.1\r\nHost: a\r\ncontent-LENGTH: 12\r\n";
+        assert_eq!(content_length(head).unwrap(), Some(12));
+        assert_eq!(content_length("GET /x HTTP/1.1\r\n").unwrap(), None);
+        assert!(content_length("POST /x HTTP/1.1\r\nContent-Length: nope\r\n").is_err());
+    }
+
+    #[test]
+    fn head_end_detection_resumes_across_chunks() {
+        // Replay read_head's incremental scan for every possible chunk
+        // boundary: scan the first chunk from 0; if the terminator is
+        // not there yet, resume 3 bytes back — a terminator split across
+        // the boundary must still be found, at the same position a full
+        // rescan would report.
+        let full = b"GET / HTTP/1.1\r\nHost: x\r\n\r\nBODY";
+        let expected = find_head_end(full, 0).expect("terminator present");
+        assert_eq!(&full[expected.1..], b"BODY");
+        assert_eq!(expected.0, expected.1 - 4);
+        for cut in 1..full.len() {
+            match find_head_end(&full[..cut], 0) {
+                Some(found) => assert_eq!(found, expected, "cut at {cut}"),
+                None => {
+                    let resumed = find_head_end(full, cut.saturating_sub(3))
+                        .unwrap_or_else(|| panic!("resume missed terminator at cut {cut}"));
+                    assert_eq!(resumed, expected, "cut at {cut}");
+                }
+            }
+        }
+        // Bare \n\n is accepted too.
+        let text = b"GET / HTTP/1.1\nHost: x\n\nrest";
+        let (he, bs) = find_head_end(text, 0).unwrap();
+        assert_eq!(&text[bs..], b"rest");
+        assert_eq!(he, bs - 2);
+        assert_eq!(find_head_end(b"GET / HTTP/1.1\r\nHost", 0), None);
     }
 
     #[test]
@@ -456,36 +815,180 @@ mod tests {
         }
     }
 
-    #[test]
-    fn server_routes_and_rejects() {
-        let server = HttpServer::serve("127.0.0.1:0", |req| match req.path.as_str() {
-            "/ok" => Response::ok(
-                "text/plain",
-                format!("n={}", req.query_u64("n").unwrap_or(0)),
-            ),
-            p => Response::not_found(p),
+    /// Routes GETs at `/ok`, echoes POST bodies at `/echo`, 405s
+    /// everything else — the method policy the real facades implement.
+    fn test_server(options: ServerOptions) -> HttpServer {
+        HttpServer::serve_with("127.0.0.1:0", options, |req| {
+            match (req.method.as_str(), req.path.as_str()) {
+                ("GET", "/ok") => Response::ok(
+                    "text/plain",
+                    format!("n={}", req.query_u64("n").unwrap_or(0)),
+                ),
+                ("POST", "/echo") => {
+                    Response::ok_bytes("application/octet-stream", req.body.clone())
+                }
+                ("GET" | "POST", p) => Response::not_found(p),
+                (m, _) => Response::method_not_allowed(m, "GET, POST"),
+            }
         })
-        .expect("bind");
+        .expect("bind")
+    }
+
+    #[test]
+    fn server_routes_posts_and_rejects() {
+        let server = test_server(ServerOptions::default());
         let addr = server.addr();
         let (status, body) = http_get(addr, "/ok?n=42").unwrap();
         assert_eq!((status, body.as_str()), (200, "n=42"));
         let (status, _) = http_get(addr, "/nope").unwrap();
         assert_eq!(status, 404);
 
-        // Malformed request line → 400; non-GET → 405; never a panic.
+        // POST with a binary body round-trips through Content-Length.
+        let payload: Vec<u8> = (0..=255u8).cycle().take(70_000).collect();
+        let (status, echoed) =
+            http_request(addr, "POST", "/echo", "application/octet-stream", &payload).unwrap();
+        assert_eq!(status, 200);
+        assert_eq!(echoed, payload);
+
+        // Malformed request line → 400; unrouted method → 405 from the
+        // handler; never a panic.
         let mut s = TcpStream::connect(addr).unwrap();
         s.write_all(b"BOGUS\r\n\r\n").unwrap();
         let mut resp = String::new();
         s.read_to_string(&mut resp).unwrap();
         assert!(resp.starts_with("HTTP/1.1 400"), "{resp}");
-        let mut s = TcpStream::connect(addr).unwrap();
-        s.write_all(b"POST /ok HTTP/1.1\r\n\r\n").unwrap();
-        let mut resp = String::new();
-        s.read_to_string(&mut resp).unwrap();
-        assert!(resp.starts_with("HTTP/1.1 405"), "{resp}");
+        let (status, _) = http_request(addr, "PATCH", "/ok", "", &[]).unwrap();
+        assert_eq!(status, 405);
 
         // The server keeps serving after bad requests.
         let (status, _) = http_get(addr, "/ok").unwrap();
         assert_eq!(status, 200);
+    }
+
+    #[test]
+    fn large_head_is_linear_and_bounded() {
+        let server = test_server(ServerOptions::default());
+        let addr = server.addr();
+
+        // A legitimate large head (many cookie-sized headers, just under
+        // the cap) parses fine; the resumable scan makes this O(n).
+        let mut head = String::from("GET /ok?n=7 HTTP/1.1\r\nHost: x\r\n");
+        while head.len() < 12 * 1024 {
+            head.push_str("X-Padding: ");
+            head.push_str(&"v".repeat(100));
+            head.push_str("\r\n");
+        }
+        head.push_str("\r\n");
+        let mut s = TcpStream::connect(addr).unwrap();
+        s.write_all(head.as_bytes()).unwrap();
+        let mut resp = String::new();
+        s.read_to_string(&mut resp).unwrap();
+        assert!(resp.starts_with("HTTP/1.1 200"), "{:.64}", resp);
+        assert!(resp.ends_with("n=7"), "{:.64}", resp);
+
+        // Over the cap → 400, connection not hung.
+        let mut s = TcpStream::connect(addr).unwrap();
+        let oversized = format!("GET /ok HTTP/1.1\r\nX-Big: {}\r\n", "y".repeat(20 * 1024));
+        let _ = s.write_all(oversized.as_bytes()); // server may close mid-write
+
+        // The server closes with client bytes still unread, so the 400
+        // can be lost to a TCP reset — tolerate that, but if a response
+        // arrives it must be the size complaint, and either way the
+        // server must keep serving.
+        let mut resp = String::new();
+        let _ = s.read_to_string(&mut resp);
+        if !resp.is_empty() {
+            assert!(resp.starts_with("HTTP/1.1 400"), "{:.64}", resp);
+            assert!(resp.contains("too large"), "{resp}");
+        }
+        let (status, _) = http_get(addr, "/ok").unwrap();
+        assert_eq!(status, 200);
+    }
+
+    #[test]
+    fn truncated_head_gets_a_distinct_400() {
+        let server = test_server(ServerOptions::default());
+        // A client that closes mid-head must get "truncated request",
+        // not have its half request handed to the parser.
+        let mut s = TcpStream::connect(server.addr()).unwrap();
+        s.write_all(b"GET /ok HTTP/1.1\r\nHost: x\r\n").unwrap();
+        s.shutdown(std::net::Shutdown::Write).unwrap();
+        let mut resp = String::new();
+        s.read_to_string(&mut resp).unwrap();
+        assert!(resp.starts_with("HTTP/1.1 400"), "{resp}");
+        assert!(resp.contains("truncated request"), "{resp}");
+
+        // Same for a body shorter than its Content-Length.
+        let mut s = TcpStream::connect(server.addr()).unwrap();
+        s.write_all(b"POST /echo HTTP/1.1\r\nContent-Length: 100\r\n\r\nonly this")
+            .unwrap();
+        s.shutdown(std::net::Shutdown::Write).unwrap();
+        let mut resp = String::new();
+        s.read_to_string(&mut resp).unwrap();
+        assert!(resp.starts_with("HTTP/1.1 400"), "{resp}");
+        assert!(resp.contains("truncated request"), "{resp}");
+    }
+
+    #[test]
+    fn slowloris_is_cut_at_the_wall_deadline() {
+        let server = test_server(ServerOptions {
+            deadline: Duration::from_millis(600),
+            ..ServerOptions::default()
+        });
+        // Dribble one byte at a time, each within the idle timeout: the
+        // per-read timeout never fires, but the wall deadline must.
+        let start = Instant::now();
+        let mut s = TcpStream::connect(server.addr()).unwrap();
+        s.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+        let mut resp = String::new();
+        for b in b"GET /ok HT" {
+            if s.write_all(&[*b]).is_err() {
+                break; // server already gave up on us
+            }
+            std::thread::sleep(Duration::from_millis(120));
+        }
+        let _ = s.read_to_string(&mut resp);
+        assert!(
+            start.elapsed() < Duration::from_secs(5),
+            "dribbling client held the connection {:?}",
+            start.elapsed()
+        );
+        if !resp.is_empty() {
+            assert!(resp.starts_with("HTTP/1.1 408"), "{resp}");
+        }
+    }
+
+    #[test]
+    fn stalled_client_does_not_block_others() {
+        let server = test_server(ServerOptions::default());
+        let addr = server.addr();
+        // Open connections that send nothing and hold them; with the
+        // worker pool the next real request still completes promptly.
+        let stalled: Vec<TcpStream> = (0..2).map(|_| TcpStream::connect(addr).unwrap()).collect();
+        let start = Instant::now();
+        let (status, body) = http_get(addr, "/ok?n=9").unwrap();
+        assert_eq!((status, body.as_str()), (200, "n=9"));
+        assert!(
+            start.elapsed() < Duration::from_millis(1500),
+            "request behind stalled clients took {:?}",
+            start.elapsed()
+        );
+        drop(stalled);
+    }
+
+    #[test]
+    fn drop_joins_all_threads_promptly() {
+        let server = test_server(ServerOptions::default());
+        let addr = server.addr();
+        let _stalled = TcpStream::connect(addr).unwrap();
+        let start = Instant::now();
+        drop(server);
+        assert!(
+            start.elapsed() < Duration::from_secs(2),
+            "shutdown took {:?}",
+            start.elapsed()
+        );
+        // The port is released: nothing accepts anymore.
+        assert!(http_get(addr, "/ok").is_err());
     }
 }

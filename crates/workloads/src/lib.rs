@@ -31,11 +31,13 @@
 
 pub mod entities;
 pub mod scenes;
+pub mod session;
 pub mod stats;
 
 use parallax_physics::{SimdMode, World, WorldConfig};
 use serde::{Deserialize, Serialize};
 
+pub use session::SessionWorld;
 pub use stats::{measure, BenchStats};
 
 /// The eight benchmarks of the suite (paper Table 3).
@@ -106,6 +108,15 @@ impl BenchmarkId {
             BenchmarkId::Mix => "Mix",
             BenchmarkId::Resting => "Res",
         }
+    }
+
+    /// Looks a benchmark up by its full name (case-insensitive), the
+    /// inverse of [`BenchmarkId::name`]. Used by every CLI and API
+    /// surface that accepts a scene by name.
+    pub fn by_name(name: &str) -> Option<BenchmarkId> {
+        BenchmarkId::ALL
+            .into_iter()
+            .find(|b| b.name().eq_ignore_ascii_case(name))
     }
 
     /// Builds the scene at the given parameters.

@@ -124,4 +124,40 @@ grep -q "^divergence: step=" "$tmp/bisect_sleep.out"
 # budget). Unlike bench_gate --quick, the threshold does not widen.
 cargo run --release --offline -q -p parallax-bench --bin digest_overhead -- --quick
 
+# Simulation-service smoke: boot the multi-world server on an ephemeral
+# port, create a session over HTTP, step it 10x, and check that /state
+# streams JSONL body state and /metrics carries the fleet gauge. The
+# integration suite (tests/server.rs, in `cargo test` above) covers
+# determinism under noisy neighbors and snapshot/restore in depth; this
+# proves the standalone binary and the end-to-end curl path.
+cargo run --release --offline -q -p parallax-server --bin serve -- \
+    127.0.0.1:0 > "$tmp/simsrv.out" &
+simsrv_pid=$!
+trap 'kill "$serve_pid" "$simsrv_pid" 2>/dev/null || true; rm -rf "$tmp"' EXIT
+for _ in $(seq 1 100); do
+    grep -q "listening on" "$tmp/simsrv.out" && break
+    sleep 0.2
+done
+sim_addr="$(sed -n 's|^parallax-server listening on http://\(.*\)$|\1|p' "$tmp/simsrv.out")"
+test -n "$sim_addr"
+curl -fsS -XPOST "http://$sim_addr/sessions" \
+    -H 'content-type: application/json' -d '{"bodies":20,"seed":1}' \
+    > "$tmp/create.json"
+sim_id="$(sed -n 's|^{"id":\([0-9]*\).*|\1|p' "$tmp/create.json")"
+test -n "$sim_id"
+curl -fsS -XPOST "http://$sim_addr/sessions/$sim_id/step?n=10" > "$tmp/step.json"
+grep -q '"steps":10' "$tmp/step.json"
+curl -fsS "http://$sim_addr/sessions/$sim_id/state?records=2" > "$tmp/state.jsonl"
+grep -q '"body_state"' "$tmp/state.jsonl"
+curl -fsS "http://$sim_addr/metrics" > "$tmp/simsrv_metrics.txt"
+grep -q '^server_sessions 1$' "$tmp/simsrv_metrics.txt"
+kill "$simsrv_pid" 2>/dev/null || true
+wait "$simsrv_pid" 2>/dev/null || true
+
+# Fleet-capacity gate smoke: server_bench's full record -> compare path
+# at the quick cell (1000 sessions x 100 bodies @ 60 Hz) with the
+# sustain floor enforced. Tolerates a missing baseline like bench_gate.
+cargo run --release --offline -q -p parallax-bench --bin server_bench -- \
+    compare --quick --allow-missing-baseline >/dev/null
+
 echo "tier-1 verify: OK"
